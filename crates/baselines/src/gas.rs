@@ -1,0 +1,329 @@
+//! PowerGraph and PowerLyra: vertex-cut GAS engines (paper §II-B.2, §II-C.2).
+//!
+//! Edges are partitioned across servers (vertex-cut); a vertex that has edges on
+//! several servers is replicated there, with one replica designated the master.
+//! A superstep costs two rounds of network traffic per replicated vertex: mirrors
+//! push partial gather results to the master, the master pushes the applied value
+//! back (2·M·|V| messages for PageRank, where M is the replication factor).
+//!
+//! * **PowerGraph** places edges by hashing the (source, target) pair — the random
+//!   vertex-cut.
+//! * **PowerLyra** uses the hybrid cut: edges pointing at low-degree targets are
+//!   placed by the *target* vertex (so low-degree vertices are not cut at all), and
+//!   only high-degree targets get their in-edges spread by source.
+
+use crate::costsheet::{CostSheet, SystemKind};
+use crate::program::MessageProgram;
+use crate::BaselineRunResult;
+use graphh_cluster::{ClusterConfig, ClusterMetrics, CostModel, SuperstepReport};
+use graphh_graph::ids::{vertex_hash_server, VertexId};
+use graphh_graph::Graph;
+
+/// Edge placement strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CutStrategy {
+    /// Random vertex-cut (PowerGraph).
+    Random,
+    /// Hybrid cut (PowerLyra): low-degree targets keep all their in-edges local.
+    Hybrid {
+        /// In-degree above which a vertex counts as high-degree and is cut by source.
+        high_degree_threshold: u32,
+    },
+}
+
+impl CutStrategy {
+    /// PowerLyra's default threshold (100 in the original system).
+    pub fn hybrid_default() -> Self {
+        CutStrategy::Hybrid {
+            high_degree_threshold: 100,
+        }
+    }
+}
+
+/// Configuration of a GAS run.
+#[derive(Debug, Clone, Copy)]
+pub struct GasConfig {
+    /// The simulated cluster.
+    pub cluster: ClusterConfig,
+    /// Edge placement strategy.
+    pub cut: CutStrategy,
+    /// Cap on supersteps.
+    pub max_supersteps: Option<u32>,
+}
+
+impl GasConfig {
+    /// PowerGraph on the given cluster.
+    pub fn powergraph(cluster: ClusterConfig) -> Self {
+        Self {
+            cluster,
+            cut: CutStrategy::Random,
+            max_supersteps: None,
+        }
+    }
+
+    /// PowerLyra on the given cluster.
+    pub fn powerlyra(cluster: ClusterConfig) -> Self {
+        Self {
+            cluster,
+            cut: CutStrategy::hybrid_default(),
+            max_supersteps: None,
+        }
+    }
+
+    fn system_kind(&self) -> SystemKind {
+        match self.cut {
+            CutStrategy::Random => SystemKind::PowerGraph,
+            CutStrategy::Hybrid { .. } => SystemKind::PowerLyra,
+        }
+    }
+}
+
+/// Bytes of one replica-sync message (vertex id + value).
+const SYNC_BYTES: u64 = 12;
+
+/// The GAS engine.
+#[derive(Debug, Clone)]
+pub struct GasEngine {
+    config: GasConfig,
+}
+
+impl GasEngine {
+    /// An engine with the given configuration.
+    pub fn new(config: GasConfig) -> Self {
+        Self { config }
+    }
+
+    /// Place an edge on a server according to the cut strategy.
+    fn edge_server(&self, src: VertexId, dst: VertexId, in_degrees: &[u32]) -> u32 {
+        let n = self.config.cluster.num_servers;
+        match self.config.cut {
+            CutStrategy::Random => {
+                // Hash the edge (both endpoints) for a random vertex-cut.
+                vertex_hash_server(src ^ dst.rotate_left(16), n)
+            }
+            CutStrategy::Hybrid {
+                high_degree_threshold,
+            } => {
+                if in_degrees[dst as usize] > high_degree_threshold {
+                    vertex_hash_server(src, n)
+                } else {
+                    vertex_hash_server(dst, n)
+                }
+            }
+        }
+    }
+
+    /// Measured replication factor of the placement on this graph.
+    pub fn replication_factor(&self, graph: &Graph) -> f64 {
+        let n = graph.num_vertices() as usize;
+        if n == 0 {
+            return 1.0;
+        }
+        let replicas = self.replica_counts(graph);
+        let total: u64 = replicas.iter().map(|&r| u64::from(r.max(1))).sum();
+        total as f64 / n as f64
+    }
+
+    /// Number of servers each vertex appears on (0 for isolated vertices).
+    fn replica_counts(&self, graph: &Graph) -> Vec<u32> {
+        let n = graph.num_vertices() as usize;
+        let num_servers = self.config.cluster.num_servers as usize;
+        let in_degrees = graph.in_degrees();
+        let mut present = vec![0u64; n]; // bitset over servers (≤ 64 servers supported)
+        assert!(num_servers <= 64, "the GAS baseline models at most 64 servers");
+        for e in graph.edges().iter() {
+            let s = self.edge_server(e.src, e.dst, in_degrees) as u64;
+            present[e.src as usize] |= 1 << s;
+            present[e.dst as usize] |= 1 << s;
+        }
+        present.iter().map(|&mask| mask.count_ones()).collect()
+    }
+
+    /// Run `program` on `graph`.
+    pub fn run(&self, graph: &Graph, program: &dyn MessageProgram) -> BaselineRunResult {
+        let n = graph.num_vertices() as usize;
+        let num_servers = self.config.cluster.num_servers;
+        let csc = graph.to_csc();
+        let out_degrees = graph.out_degrees();
+        let in_degrees = graph.in_degrees();
+        let replica_counts = self.replica_counts(graph);
+        // Masters are placed by vertex hash, like the mirrors' parent assignment.
+        let master: Vec<u32> = (0..n as u32)
+            .map(|v| vertex_hash_server(v, num_servers))
+            .collect();
+
+        let mut values: Vec<f64> = (0..n as u32)
+            .map(|v| program.initial_value(v, n as u64, out_degrees[v as usize]))
+            .collect();
+        let mut active = vec![true; n];
+        let combiner = program.combiner();
+        let cost_model = CostModel::new(self.config.cluster);
+        let mut metrics = ClusterMetrics::default();
+        let max_supersteps = self
+            .config
+            .max_supersteps
+            .unwrap_or(u32::MAX)
+            .min(program.max_supersteps());
+        let mut supersteps_run = 0;
+        let per_server_memory = CostSheet::new(&graph.stats(), self.config.cluster)
+            .per_server_memory_bytes(self.config.system_kind());
+
+        for superstep in 0..max_supersteps {
+            let mut report = SuperstepReport::new(superstep, num_servers);
+            let mut updated = 0u64;
+            let mut next_values = values.clone();
+            let mut next_active = vec![false; n];
+
+            for v in 0..n as u32 {
+                if !active[v as usize] {
+                    continue;
+                }
+                // Gather runs on every server holding in-edges of v; the edge itself
+                // is charged to the server it was placed on.
+                let mut accum = combiner.identity();
+                let mut got = false;
+                for (src, w) in csc.in_neighbors_weighted(v) {
+                    let server = self.edge_server(src, v, in_degrees) as usize;
+                    report.servers[server].edges_processed += 1;
+                    if let Some(msg) = program.message(values[src as usize], out_degrees[src as usize], w)
+                    {
+                        accum = combiner.combine(accum, msg);
+                        got = true;
+                    }
+                }
+                // Replica synchronisation: mirrors → master (partial gather results)
+                // and master → mirrors (new value). 2 × (replicas − 1) messages.
+                let mirrors = u64::from(replica_counts[v as usize].saturating_sub(1));
+                let master_server = master[v as usize] as usize;
+                report.servers[master_server].network_sent_bytes += mirrors * SYNC_BYTES;
+                report.servers[master_server].network_received_bytes += mirrors * SYNC_BYTES;
+                report.servers[master_server].messages_produced += 2 * mirrors;
+
+                let new = program.apply(values[v as usize], got.then_some(accum), n as u64);
+                if program.is_update(values[v as usize], new) {
+                    updated += 1;
+                    next_values[v as usize] = new;
+                    // Scatter: activate out-neighbours.
+                    next_active[v as usize] = true;
+                } else {
+                    next_values[v as usize] = new;
+                }
+            }
+
+            // Scatter phase: an updated vertex activates its out-neighbours.
+            let csr = graph.to_csr();
+            let mut scattered = vec![false; n];
+            for v in 0..n as u32 {
+                if next_active[v as usize] {
+                    for &dst in csr.neighbors(v) {
+                        scattered[dst as usize] = true;
+                    }
+                }
+            }
+            // Fixed-iteration programs keep everything active.
+            let keep_all = program.all_active_initially() && program.max_supersteps() != u32::MAX;
+            for v in 0..n {
+                active[v] = keep_all || scattered[v] || next_active[v];
+            }
+            values = next_values;
+
+            report.total_vertices_updated = updated;
+            for server in report.servers.iter_mut() {
+                server.vertices_updated = updated;
+                server.peak_memory_bytes = per_server_memory;
+                // Replica syncs are batched into one physical exchange with every
+                // other server per phase (gather result + apply broadcast).
+                if num_servers > 1 {
+                    server.network_messages += 2 * u64::from(num_servers - 1);
+                }
+            }
+            let report = cost_model.finalize(report);
+            metrics.push(report);
+            supersteps_run = superstep + 1;
+            if updated == 0 {
+                break;
+            }
+        }
+
+        BaselineRunResult {
+            values,
+            metrics,
+            supersteps_run,
+            per_server_memory_bytes: per_server_memory,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{PageRankMsg, SsspMsg, WccMsg};
+    use graphh_core::reference;
+    use graphh_graph::generators::{grid_graph, GraphGenerator, RmatGenerator};
+
+    fn cluster(n: u32) -> ClusterConfig {
+        ClusterConfig::paper_testbed(n)
+    }
+
+    #[test]
+    fn powergraph_pagerank_matches_reference() {
+        let g = RmatGenerator::new(8, 5).generate(13);
+        let engine = GasEngine::new(GasConfig::powergraph(cluster(4)));
+        let result = engine.run(&g, &PageRankMsg::new(6));
+        assert!(reference::max_abs_diff(&result.values, &reference::pagerank(&g, 6)) < 1e-9);
+    }
+
+    #[test]
+    fn powerlyra_sssp_and_wcc_match_reference() {
+        let g = grid_graph(6, 6);
+        let engine = GasEngine::new(GasConfig::powerlyra(cluster(3)));
+        let sssp = engine.run(&g, &SsspMsg::new(0));
+        assert_eq!(reference::max_abs_diff(&sssp.values, &reference::sssp(&g, 0)), 0.0);
+        let wcc = engine.run(&g, &WccMsg);
+        assert_eq!(reference::max_abs_diff(&wcc.values, &reference::wcc(&g)), 0.0);
+    }
+
+    #[test]
+    fn replication_factor_grows_with_cluster_size() {
+        let g = RmatGenerator::new(9, 8).generate(2);
+        let small = GasEngine::new(GasConfig::powergraph(cluster(2))).replication_factor(&g);
+        let large = GasEngine::new(GasConfig::powergraph(cluster(9))).replication_factor(&g);
+        assert!(large > small, "replication {small} -> {large}");
+        assert!(small >= 1.0);
+        assert!(large <= 9.0);
+    }
+
+    #[test]
+    fn hybrid_cut_replicates_less_than_random_cut() {
+        // PowerLyra's selling point: lower replication factor on skewed graphs.
+        let g = RmatGenerator::new(9, 8).generate(7);
+        let random = GasEngine::new(GasConfig::powergraph(cluster(9))).replication_factor(&g);
+        let hybrid = GasEngine::new(GasConfig::powerlyra(cluster(9))).replication_factor(&g);
+        assert!(
+            hybrid < random,
+            "hybrid cut {hybrid} should beat random cut {random}"
+        );
+    }
+
+    #[test]
+    fn network_traffic_scales_with_replication_not_edges() {
+        let g = RmatGenerator::new(8, 10).generate(5);
+        let engine = GasEngine::new(GasConfig::powergraph(cluster(4)));
+        let m = engine.replication_factor(&g);
+        let result = engine.run(&g, &PageRankMsg::new(2));
+        for report in &result.metrics.supersteps {
+            let messages: u64 = report.servers.iter().map(|s| s.network_messages).sum();
+            let bound = (2.0 * m * g.num_vertices() as f64 * 1.05) as u64 + 16;
+            assert!(messages <= bound, "messages {messages} bound {bound}");
+        }
+    }
+
+    #[test]
+    fn single_server_has_no_sync_traffic() {
+        let g = RmatGenerator::new(6, 4).generate(1);
+        let engine = GasEngine::new(GasConfig::powergraph(cluster(1)));
+        let result = engine.run(&g, &PageRankMsg::new(3));
+        assert_eq!(result.metrics.total_network_bytes(), 0);
+        assert!((engine.replication_factor(&g) - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,61 @@
+//! # graphh-baselines
+//!
+//! Re-implementations of the systems the paper compares GraphH against (§II, §V):
+//!
+//! * [`pregel`] — **Pregel+** (in-memory Pregel with sender-side message combining)
+//!   and **GraphD** (the same computation model with adjacency lists and messages
+//!   streamed from disk), selected by [`pregel::PregelStorage`],
+//! * [`gas`] — **PowerGraph** (random vertex-cut GAS) and **PowerLyra**
+//!   (hybrid-cut: only high-degree vertices are cut), selected by
+//!   [`gas::CutStrategy`],
+//! * [`chaos`] — **Chaos**, the edge-centric streaming GAS engine whose partitions
+//!   are spread over the whole cluster so every I/O crosses the network,
+//! * [`costsheet`] — the closed-form per-superstep memory / network / disk formulas
+//!   of Table III, used both for Figure 1a-style memory reports and as an internal
+//!   cross-check of the measured engines,
+//! * [`program`] — the message-passing program abstraction these engines share, with
+//!   the paper's algorithms (PageRank, SSSP, WCC, BFS) implemented on it.
+//!
+//! All engines execute their algorithm for real on the in-memory graph and meter the
+//! traffic their data layout implies into [`graphh_cluster::ServerMetrics`], exactly
+//! like the GraphH engine does, so the comparison figures come from measured runs of
+//! faithful implementations rather than from formulas alone.
+
+pub mod chaos;
+pub mod costsheet;
+pub mod gas;
+pub mod pregel;
+pub mod program;
+
+pub use chaos::{ChaosConfig, ChaosEngine};
+pub use costsheet::{CostSheet, SystemKind};
+pub use gas::{CutStrategy, GasConfig, GasEngine};
+pub use pregel::{PregelConfig, PregelEngine, PregelStorage};
+pub use program::{MessageCombiner, MessageProgram};
+
+/// The result every baseline engine returns, mirroring
+/// [`graphh_core::RunResult`] so the experiment harness can treat all systems
+/// uniformly.
+#[derive(Debug, Clone)]
+pub struct BaselineRunResult {
+    /// Final vertex values.
+    pub values: Vec<f64>,
+    /// Per-superstep metrics with simulated times filled in.
+    pub metrics: graphh_cluster::ClusterMetrics,
+    /// Number of supersteps executed.
+    pub supersteps_run: u32,
+    /// Modelled per-server memory requirement in bytes (what Figure 1a reports).
+    pub per_server_memory_bytes: u64,
+}
+
+impl BaselineRunResult {
+    /// Average simulated seconds per superstep, excluding the first.
+    pub fn avg_superstep_seconds(&self) -> f64 {
+        self.metrics.avg_seconds_per_superstep(true)
+    }
+
+    /// Total simulated seconds.
+    pub fn total_seconds(&self) -> f64 {
+        self.metrics.total_seconds()
+    }
+}

@@ -1,0 +1,268 @@
+//! The message-passing program abstraction shared by the Pregel, GAS and Chaos
+//! baselines, and the paper's algorithms expressed in it.
+//!
+//! All four evaluated algorithms fit the classic "signal along out-edges, combine
+//! with an associative operator, apply" pattern, which is what makes sender-side
+//! message combining (Pregel+/GraphD) and distributed gather (PowerGraph) possible
+//! in the first place.
+
+use graphh_graph::ids::VertexId;
+
+/// How messages to the same target are folded together.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MessageCombiner {
+    /// Sum of messages (PageRank).
+    Sum,
+    /// Minimum of messages (SSSP, BFS, WCC label propagation).
+    Min,
+}
+
+impl MessageCombiner {
+    /// Identity element of the combiner.
+    pub fn identity(self) -> f64 {
+        match self {
+            MessageCombiner::Sum => 0.0,
+            MessageCombiner::Min => f64::INFINITY,
+        }
+    }
+
+    /// Fold two values.
+    pub fn combine(self, a: f64, b: f64) -> f64 {
+        match self {
+            MessageCombiner::Sum => a + b,
+            MessageCombiner::Min => a.min(b),
+        }
+    }
+}
+
+/// A vertex program in the message-passing (Pregel / GAS scatter) form.
+pub trait MessageProgram: Send + Sync {
+    /// Program name for logs.
+    fn name(&self) -> &'static str;
+
+    /// Initial value of a vertex.
+    fn initial_value(&self, v: VertexId, num_vertices: u64, out_degree: u32) -> f64;
+
+    /// The message `src` sends along an out-edge of weight `weight`, or `None` to
+    /// send nothing (e.g. unreachable SSSP vertices).
+    fn message(&self, src_value: f64, out_degree: u32, weight: f32) -> Option<f64>;
+
+    /// How messages to the same vertex combine.
+    fn combiner(&self) -> MessageCombiner;
+
+    /// New value of a vertex from the combined message and its current value.
+    /// `received` is `None` when the vertex got no message this superstep.
+    fn apply(&self, current: f64, received: Option<f64>, num_vertices: u64) -> f64;
+
+    /// Whether the change from `old` to `new` re-activates the vertex's neighbours.
+    fn is_update(&self, old: f64, new: f64) -> bool {
+        old != new
+    }
+
+    /// Whether every vertex is active in superstep 0.
+    fn all_active_initially(&self) -> bool {
+        true
+    }
+
+    /// Hard cap on supersteps.
+    fn max_supersteps(&self) -> u32 {
+        u32::MAX
+    }
+}
+
+/// PageRank in message-passing form.
+#[derive(Debug, Clone)]
+pub struct PageRankMsg {
+    /// Damping factor.
+    pub damping: f64,
+    /// Number of supersteps to run.
+    pub supersteps: u32,
+}
+
+impl PageRankMsg {
+    /// Standard configuration (damping 0.85).
+    pub fn new(supersteps: u32) -> Self {
+        Self {
+            damping: 0.85,
+            supersteps,
+        }
+    }
+}
+
+impl MessageProgram for PageRankMsg {
+    fn name(&self) -> &'static str {
+        "pagerank"
+    }
+    fn initial_value(&self, _v: VertexId, num_vertices: u64, _d: u32) -> f64 {
+        1.0 / num_vertices as f64
+    }
+    fn message(&self, src_value: f64, out_degree: u32, _w: f32) -> Option<f64> {
+        (out_degree > 0).then(|| src_value / f64::from(out_degree))
+    }
+    fn combiner(&self) -> MessageCombiner {
+        MessageCombiner::Sum
+    }
+    fn apply(&self, _current: f64, received: Option<f64>, num_vertices: u64) -> f64 {
+        (1.0 - self.damping) / num_vertices as f64 + self.damping * received.unwrap_or(0.0)
+    }
+    fn is_update(&self, old: f64, new: f64) -> bool {
+        old != new
+    }
+    fn max_supersteps(&self) -> u32 {
+        self.supersteps
+    }
+}
+
+/// SSSP in message-passing form.
+#[derive(Debug, Clone)]
+pub struct SsspMsg {
+    /// Source vertex.
+    pub source: VertexId,
+}
+
+impl SsspMsg {
+    /// SSSP from `source`.
+    pub fn new(source: VertexId) -> Self {
+        Self { source }
+    }
+}
+
+impl MessageProgram for SsspMsg {
+    fn name(&self) -> &'static str {
+        "sssp"
+    }
+    fn initial_value(&self, v: VertexId, _n: u64, _d: u32) -> f64 {
+        if v == self.source {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    }
+    fn message(&self, src_value: f64, _d: u32, weight: f32) -> Option<f64> {
+        src_value.is_finite().then(|| src_value + f64::from(weight))
+    }
+    fn combiner(&self) -> MessageCombiner {
+        MessageCombiner::Min
+    }
+    fn apply(&self, current: f64, received: Option<f64>, _n: u64) -> f64 {
+        match received {
+            Some(r) => current.min(r),
+            None => current,
+        }
+    }
+    fn is_update(&self, old: f64, new: f64) -> bool {
+        new < old
+    }
+}
+
+/// BFS levels in message-passing form.
+#[derive(Debug, Clone)]
+pub struct BfsMsg {
+    /// Source vertex.
+    pub source: VertexId,
+}
+
+impl BfsMsg {
+    /// BFS from `source`.
+    pub fn new(source: VertexId) -> Self {
+        Self { source }
+    }
+}
+
+impl MessageProgram for BfsMsg {
+    fn name(&self) -> &'static str {
+        "bfs"
+    }
+    fn initial_value(&self, v: VertexId, _n: u64, _d: u32) -> f64 {
+        if v == self.source {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    }
+    fn message(&self, src_value: f64, _d: u32, _w: f32) -> Option<f64> {
+        src_value.is_finite().then(|| src_value + 1.0)
+    }
+    fn combiner(&self) -> MessageCombiner {
+        MessageCombiner::Min
+    }
+    fn apply(&self, current: f64, received: Option<f64>, _n: u64) -> f64 {
+        match received {
+            Some(r) => current.min(r),
+            None => current,
+        }
+    }
+    fn is_update(&self, old: f64, new: f64) -> bool {
+        new < old
+    }
+}
+
+/// Connected components by min-label propagation in message-passing form.
+#[derive(Debug, Clone, Default)]
+pub struct WccMsg;
+
+impl MessageProgram for WccMsg {
+    fn name(&self) -> &'static str {
+        "wcc"
+    }
+    fn initial_value(&self, v: VertexId, _n: u64, _d: u32) -> f64 {
+        f64::from(v)
+    }
+    fn message(&self, src_value: f64, _d: u32, _w: f32) -> Option<f64> {
+        Some(src_value)
+    }
+    fn combiner(&self) -> MessageCombiner {
+        MessageCombiner::Min
+    }
+    fn apply(&self, current: f64, received: Option<f64>, _n: u64) -> f64 {
+        match received {
+            Some(r) => current.min(r),
+            None => current,
+        }
+    }
+    fn is_update(&self, old: f64, new: f64) -> bool {
+        new < old
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn combiners_have_correct_identities() {
+        assert_eq!(MessageCombiner::Sum.identity(), 0.0);
+        assert_eq!(MessageCombiner::Min.identity(), f64::INFINITY);
+        assert_eq!(MessageCombiner::Sum.combine(1.0, 2.5), 3.5);
+        assert_eq!(MessageCombiner::Min.combine(1.0, 2.5), 1.0);
+    }
+
+    #[test]
+    fn pagerank_messages_divide_by_out_degree() {
+        let p = PageRankMsg::new(5);
+        assert_eq!(p.message(0.5, 2, 1.0), Some(0.25));
+        assert_eq!(p.message(0.5, 0, 1.0), None);
+        assert_eq!(p.max_supersteps(), 5);
+        let applied = p.apply(0.0, Some(0.4), 10);
+        assert!((applied - (0.015 + 0.85 * 0.4)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sssp_messages_only_from_reached_vertices() {
+        let p = SsspMsg::new(0);
+        assert_eq!(p.message(f64::INFINITY, 3, 2.0), None);
+        assert_eq!(p.message(5.0, 3, 2.0), Some(7.0));
+        assert_eq!(p.apply(10.0, Some(7.0), 100), 7.0);
+        assert_eq!(p.apply(10.0, None, 100), 10.0);
+        assert!(p.is_update(10.0, 7.0));
+        assert!(!p.is_update(7.0, 7.0));
+    }
+
+    #[test]
+    fn wcc_and_bfs_use_min_combiner() {
+        assert_eq!(WccMsg.combiner(), MessageCombiner::Min);
+        assert_eq!(BfsMsg::new(0).combiner(), MessageCombiner::Min);
+        assert_eq!(BfsMsg::new(0).message(2.0, 1, 9.0), Some(3.0));
+        assert_eq!(WccMsg.message(4.0, 1, 9.0), Some(4.0));
+    }
+}

@@ -1,0 +1,39 @@
+//! Criterion bench for the design-choice ablations (Bloom filter, tile size).
+use criterion::{criterion_group, criterion_main, Criterion};
+use graphh_bench::{experiment_graph, partition_for_experiments};
+use graphh_cluster::ClusterConfig;
+use graphh_core::{GraphHConfig, GraphHEngine, Sssp};
+use graphh_graph::datasets::Dataset;
+use graphh_partition::{Spe, SpeConfig};
+
+fn bench(c: &mut Criterion) {
+    let g = experiment_graph(Dataset::Twitter2010);
+    let p = partition_for_experiments(&g, "twitter-2010");
+    let source = (0..g.num_vertices() as u32)
+        .max_by_key(|&v| g.out_degree(v))
+        .unwrap_or(0);
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+    group.bench_function("sssp_bloom_on", |b| {
+        b.iter(|| {
+            let cfg = GraphHConfig::paper_default(ClusterConfig::paper_testbed(3));
+            GraphHEngine::new(cfg).run(&p, &Sssp::new(source)).unwrap()
+        })
+    });
+    group.bench_function("sssp_bloom_off", |b| {
+        b.iter(|| {
+            let mut cfg = GraphHConfig::paper_default(ClusterConfig::paper_testbed(3));
+            cfg.use_bloom_filter = false;
+            GraphHEngine::new(cfg).run(&p, &Sssp::new(source)).unwrap()
+        })
+    });
+    for tiles in [8u32, 64] {
+        group.bench_function(format!("partition_{tiles}_tiles"), |b| {
+            b.iter(|| Spe::partition(&g, &SpeConfig::with_tile_count("t", &g, tiles)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion bench for Figure 10: one SSSP run per system (Twitter stand-in, 3 servers).
+use criterion::{criterion_group, criterion_main, Criterion};
+use graphh_baselines::program::SsspMsg;
+use graphh_baselines::{ChaosConfig, ChaosEngine, PregelConfig, PregelEngine};
+use graphh_bench::{experiment_graph, partition_for_experiments, run_graphh};
+use graphh_cluster::ClusterConfig;
+use graphh_core::Sssp;
+use graphh_graph::datasets::Dataset;
+
+fn bench(c: &mut Criterion) {
+    let g = experiment_graph(Dataset::Twitter2010);
+    let p = partition_for_experiments(&g, "twitter-2010");
+    let source = (0..g.num_vertices() as u32)
+        .max_by_key(|&v| g.out_degree(v))
+        .unwrap_or(0);
+    let cluster = ClusterConfig::paper_testbed(3);
+    let mut group = c.benchmark_group("fig10_sssp");
+    group.sample_size(10);
+    group.bench_function("graphh", |b| b.iter(|| run_graphh(&p, &Sssp::new(source), 3)));
+    group.bench_function("pregel_plus", |b| {
+        b.iter(|| PregelEngine::new(PregelConfig::pregel_plus(cluster)).run(&g, &SsspMsg::new(source)))
+    });
+    group.bench_function("graphd", |b| {
+        b.iter(|| PregelEngine::new(PregelConfig::graphd(cluster)).run(&g, &SsspMsg::new(source)))
+    });
+    group.bench_function("chaos", |b| {
+        b.iter(|| ChaosEngine::new(ChaosConfig::new(cluster)).run(&g, &SsspMsg::new(source)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Criterion bench for Figure 7: PageRank under each edge-cache mode.
+use criterion::{criterion_group, criterion_main, Criterion};
+use graphh_bench::{experiment_graph, partition_for_experiments};
+use graphh_cache::CacheMode;
+use graphh_cluster::ClusterConfig;
+use graphh_compress::Codec;
+use graphh_core::{GraphHConfig, GraphHEngine, PageRank};
+use graphh_graph::datasets::Dataset;
+
+fn bench(c: &mut Criterion) {
+    let g = experiment_graph(Dataset::Eu2015);
+    let p = partition_for_experiments(&g, "eu-2015");
+    let capacity = p.total_tile_bytes() / 3 * 2 / 5;
+    let mut group = c.benchmark_group("fig7_cache_modes");
+    group.sample_size(10);
+    for mode in 1u8..=4 {
+        let codec = Codec::from_cache_mode(mode).unwrap();
+        group.bench_function(format!("mode{mode}_{}", codec.name()), |b| {
+            b.iter(|| {
+                let mut cfg = GraphHConfig::paper_default(ClusterConfig::paper_testbed(3));
+                cfg.cache_mode = CacheMode::Fixed(codec);
+                cfg.cache_capacity = Some(capacity);
+                GraphHEngine::new(cfg).run(&p, &PageRank::new(3)).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

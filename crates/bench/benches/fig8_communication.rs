@@ -1,0 +1,34 @@
+//! Criterion bench for Figure 8: broadcast encodings and message compressors.
+use criterion::{criterion_group, criterion_main, Criterion};
+use graphh_bench::{experiment_graph, partition_for_experiments};
+use graphh_cluster::{ClusterConfig, CommunicationMode};
+use graphh_compress::Codec;
+use graphh_core::{GraphHConfig, GraphHEngine, PageRank};
+use graphh_graph::datasets::Dataset;
+
+fn bench(c: &mut Criterion) {
+    let g = experiment_graph(Dataset::Uk2007);
+    let p = partition_for_experiments(&g, "uk-2007");
+    let mut group = c.benchmark_group("fig8_communication");
+    group.sample_size(10);
+    let configs: [(&str, CommunicationMode, Option<Codec>); 4] = [
+        ("dense_raw", CommunicationMode::Dense, None),
+        ("sparse_raw", CommunicationMode::Sparse, None),
+        ("hybrid_raw", CommunicationMode::default(), None),
+        ("hybrid_snappy", CommunicationMode::default(), Some(Codec::Snappy)),
+    ];
+    for (name, mode, comp) in configs {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut cfg = GraphHConfig::paper_default(ClusterConfig::paper_testbed(9));
+                cfg.communication = mode;
+                cfg.message_compressor = comp;
+                GraphHEngine::new(cfg).run(&p, &PageRank::new(3)).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

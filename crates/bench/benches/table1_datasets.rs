@@ -1,0 +1,20 @@
+//! Criterion bench for Table I: dataset stand-in generation + partitioning.
+use criterion::{criterion_group, criterion_main, Criterion};
+use graphh_bench::{experiment_graph, partition_for_experiments};
+use graphh_graph::datasets::Dataset;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    group.bench_function("generate_twitter_standin", |b| {
+        b.iter(|| experiment_graph(Dataset::Twitter2010))
+    });
+    let g = experiment_graph(Dataset::Twitter2010);
+    group.bench_function("partition_twitter_standin", |b| {
+        b.iter(|| partition_for_experiments(&g, "twitter-2010"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

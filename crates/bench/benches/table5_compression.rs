@@ -1,0 +1,26 @@
+//! Criterion bench for Table V: tile compression codecs.
+use criterion::{criterion_group, criterion_main, Criterion};
+use graphh_bench::{experiment_graph, partition_for_experiments};
+use graphh_compress::Codec;
+use graphh_graph::datasets::Dataset;
+
+fn bench(c: &mut Criterion) {
+    let g = experiment_graph(Dataset::Uk2007);
+    let p = partition_for_experiments(&g, "uk-2007");
+    let payload = p.tiles[0].to_bytes();
+    let mut group = c.benchmark_group("table5_compression");
+    group.sample_size(20);
+    for codec in [Codec::Snappy, Codec::Zlib1, Codec::Zlib3, Codec::VarintDelta] {
+        group.bench_function(format!("compress/{}", codec.name()), |b| {
+            b.iter(|| codec.compress(&payload))
+        });
+        let compressed = codec.compress(&payload);
+        group.bench_function(format!("decompress/{}", codec.name()), |b| {
+            b.iter(|| codec.decompress(&compressed).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Prints the data behind every table and figure of the paper's evaluation.
+//!
+//! Usage:
+//!
+//! ```text
+//! report                # print everything
+//! report fig9 table5    # print selected experiments
+//! report --list         # list experiment ids
+//! ```
+
+use graphh_bench::*;
+use graphh_graph::datasets::Dataset;
+
+fn available() -> Vec<(&'static str, fn() -> String)> {
+    vec![
+        ("table1", || table1_datasets()),
+        ("fig1a", || fig1a_memory_requirements()),
+        ("fig1b", || fig1b_execution_time()),
+        ("table3", || table3_cost_comparison(Dataset::Uk2007)),
+        ("table4", || table4_input_sizes()),
+        ("fig6a", || fig6a_replication_policies()),
+        ("fig6b", || fig6b_memory_usage()),
+        ("table5", || table5_compression()),
+        ("fig7", || fig7_cache_modes()),
+        ("fig8", || fig8_communication(40)),
+        ("fig9", || fig9_pagerank(6)),
+        ("fig10", || fig10_sssp()),
+        ("ablations", || ablations()),
+    ]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let experiments = available();
+    if args.iter().any(|a| a == "--list") {
+        for (name, _) in &experiments {
+            println!("{name}");
+        }
+        return;
+    }
+    let selected: Vec<&(&str, fn() -> String)> = if args.is_empty() {
+        experiments.iter().collect()
+    } else {
+        experiments
+            .iter()
+            .filter(|(name, _)| args.iter().any(|a| a == name))
+            .collect()
+    };
+    if selected.is_empty() {
+        eprintln!("no matching experiment; use --list to see the available ids");
+        std::process::exit(1);
+    }
+    for (name, f) in selected {
+        println!("==== {name} ====");
+        println!("{}", f());
+    }
+}

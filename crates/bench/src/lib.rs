@@ -1,0 +1,13 @@
+//! # graphh-bench
+//!
+//! The experiment harness: one function per table / figure of the paper's evaluation
+//! (see DESIGN.md §4 for the index). Each function runs the relevant engines on the
+//! scaled-down dataset stand-ins, and returns the rows/series the paper reports as a
+//! formatted text block. The `report` binary prints them (that output is what
+//! EXPERIMENTS.md records); the Criterion benches time the same workloads.
+
+pub mod experiments;
+pub mod workloads;
+
+pub use experiments::*;
+pub use workloads::*;

@@ -1,0 +1,393 @@
+//! # graphh-cache
+//!
+//! GraphH's edge cache system (paper §IV-B).
+//!
+//! Each server keeps its assigned tiles on local disk; whatever memory is left after
+//! vertex states and message buffers is used to cache tiles so later supersteps skip
+//! the disk read. The cache can hold tiles raw or compressed — the paper's four
+//! "cache modes" are raw, snappy, zlib-1 and zlib-3 — and it picks the lightest
+//! codec whose estimated compression ratio lets the whole tile set fit
+//! (`minimise i subject to S / γᵢ ≤ C`, falling back to zlib-1 when none fits).
+//!
+//! The cache records hits, misses, evictions and the decompression time it incurs so
+//! the engine can charge them to the superstep's cost.
+
+use graphh_compress::Codec;
+use graphh_graph::ids::TileId;
+use graphh_partition::Tile;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+/// How the cache chooses its codec.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CacheMode {
+    /// Always use this codec (cache modes 1–4 of the paper when given
+    /// `Raw`/`Snappy`/`Zlib1`/`Zlib3`).
+    Fixed(Codec),
+    /// Choose automatically from the total tile size and the cache capacity.
+    Auto,
+}
+
+/// Configuration of one server's edge cache.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EdgeCacheConfig {
+    /// Memory the cache may use, in bytes (the server's idle memory).
+    pub capacity_bytes: u64,
+    /// Codec selection policy.
+    pub mode: CacheMode,
+}
+
+impl EdgeCacheConfig {
+    /// A cache with automatic codec selection.
+    pub fn auto(capacity_bytes: u64) -> Self {
+        Self {
+            capacity_bytes,
+            mode: CacheMode::Auto,
+        }
+    }
+
+    /// A cache pinned to one of the paper's cache modes (1–4).
+    pub fn fixed_mode(capacity_bytes: u64, paper_mode: u8) -> Option<Self> {
+        Codec::from_cache_mode(paper_mode).map(|codec| Self {
+            capacity_bytes,
+            mode: CacheMode::Fixed(codec),
+        })
+    }
+}
+
+/// Counters the cache exposes for the experiment harness (Fig. 7b) and cost model.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CacheStats {
+    /// Lookups that found the tile in memory.
+    pub hits: u64,
+    /// Lookups that did not.
+    pub misses: u64,
+    /// Tiles evicted to stay under capacity.
+    pub evictions: u64,
+    /// Tiles currently resident.
+    pub resident_tiles: u64,
+    /// Bytes currently used by cached (possibly compressed) tiles.
+    pub used_bytes: u64,
+    /// Seconds spent decompressing cached tiles (to be charged to the superstep).
+    pub decompress_seconds: f64,
+    /// Seconds spent compressing tiles on insert.
+    pub compress_seconds: f64,
+}
+
+impl CacheStats {
+    /// Hit ratio (1.0 when never consulted).
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Choose the cache codec the way GraphH does at program start (§IV-B): the lightest
+/// codec whose *estimated* ratio γ fits the total tile bytes into the capacity;
+/// zlib-1 if even zlib-3 would not fit.
+pub fn select_codec(total_tile_bytes: u64, capacity_bytes: u64) -> Codec {
+    for codec in [Codec::Raw, Codec::Snappy, Codec::Zlib1, Codec::Zlib3] {
+        if (total_tile_bytes as f64 / codec.estimated_ratio()) <= capacity_bytes as f64 {
+            return codec;
+        }
+    }
+    Codec::Zlib1
+}
+
+#[derive(Debug)]
+struct Entry {
+    blob: Vec<u8>,
+    /// Recency stamp for LRU eviction.
+    last_used: u64,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    entries: HashMap<TileId, Entry>,
+    used_bytes: u64,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    decompress_seconds: f64,
+    compress_seconds: f64,
+}
+
+/// A capacity-bounded, LRU, optionally compressing tile cache.
+#[derive(Debug)]
+pub struct EdgeCache {
+    capacity: u64,
+    codec: Codec,
+    inner: Mutex<Inner>,
+}
+
+impl EdgeCache {
+    /// Build a cache for a tile set whose serialized size totals `total_tile_bytes`.
+    /// With [`CacheMode::Auto`] the codec is selected from that size and the capacity.
+    pub fn new(config: EdgeCacheConfig, total_tile_bytes: u64) -> Self {
+        let codec = match config.mode {
+            CacheMode::Fixed(c) => c,
+            CacheMode::Auto => select_codec(total_tile_bytes, config.capacity_bytes),
+        };
+        Self {
+            capacity: config.capacity_bytes,
+            codec,
+            inner: Mutex::new(Inner::default()),
+        }
+    }
+
+    /// The codec the cache ended up using.
+    pub fn codec(&self) -> Codec {
+        self.codec
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Look up a tile. Returns the decoded tile on a hit, `None` on a miss.
+    pub fn get(&self, tile_id: TileId) -> Option<Tile> {
+        let mut inner = self.inner.lock();
+        inner.clock += 1;
+        let clock = inner.clock;
+        let codec = self.codec;
+        match inner.entries.get_mut(&tile_id) {
+            Some(entry) => {
+                entry.last_used = clock;
+                let blob = entry.blob.clone();
+                inner.hits += 1;
+                if codec != Codec::Raw {
+                    inner.decompress_seconds += blob.len() as f64 / codec.decompress_throughput();
+                }
+                drop(inner);
+                let bytes = codec
+                    .decompress(&blob)
+                    .expect("cache blob was produced by this codec");
+                Some(Tile::from_bytes(&bytes).expect("cache blob is a serialized tile"))
+            }
+            None => {
+                inner.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Insert a tile (serialized form) after a miss. Oldest tiles are evicted until
+    /// the new entry fits; if the tile alone exceeds the capacity it is not cached.
+    pub fn insert(&self, tile_id: TileId, serialized_tile: &[u8]) {
+        let blob = self.codec.compress(serialized_tile);
+        let mut inner = self.inner.lock();
+        if self.codec != Codec::Raw {
+            // Compression throughput is of the same order as decompression for the
+            // codecs we model; reuse the decompression figure.
+            inner.compress_seconds +=
+                serialized_tile.len() as f64 / self.codec.decompress_throughput();
+        }
+        let size = blob.len() as u64;
+        if size > self.capacity {
+            return;
+        }
+        if let Some(old) = inner.entries.remove(&tile_id) {
+            inner.used_bytes -= old.blob.len() as u64;
+        }
+        while inner.used_bytes + size > self.capacity {
+            let Some((&victim, _)) = inner
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+            else {
+                break;
+            };
+            let evicted = inner.entries.remove(&victim).expect("victim exists");
+            inner.used_bytes -= evicted.blob.len() as u64;
+            inner.evictions += 1;
+        }
+        inner.clock += 1;
+        let clock = inner.clock;
+        inner.used_bytes += size;
+        inner.entries.insert(
+            tile_id,
+            Entry {
+                blob,
+                last_used: clock,
+            },
+        );
+    }
+
+    /// Whether a tile is currently resident (does not affect recency or stats).
+    pub fn contains(&self, tile_id: TileId) -> bool {
+        self.inner.lock().entries.contains_key(&tile_id)
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.inner.lock();
+        CacheStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            evictions: inner.evictions,
+            resident_tiles: inner.entries.len() as u64,
+            used_bytes: inner.used_bytes,
+            decompress_seconds: inner.decompress_seconds,
+            compress_seconds: inner.compress_seconds,
+        }
+    }
+
+    /// Reset hit/miss/time counters (keeps the cached tiles).
+    pub fn reset_stats(&self) {
+        let mut inner = self.inner.lock();
+        inner.hits = 0;
+        inner.misses = 0;
+        inner.evictions = 0;
+        inner.decompress_seconds = 0.0;
+        inner.compress_seconds = 0.0;
+    }
+
+    /// Drop every cached tile.
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock();
+        inner.entries.clear();
+        inner.used_bytes = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tile(id: TileId, edges_per_target: usize) -> Tile {
+        let adjacency: Vec<Vec<(u32, f32)>> = (0..10)
+            .map(|t| (0..edges_per_target).map(|s| ((t * 100 + s) as u32, 1.0)).collect())
+            .collect();
+        Tile::from_adjacency(id, id * 10, &adjacency, false)
+    }
+
+    #[test]
+    fn auto_mode_selection_follows_paper_rule() {
+        // Fits raw → raw.
+        assert_eq!(select_codec(100, 1000), Codec::Raw);
+        // Fits only after 2x compression → snappy.
+        assert_eq!(select_codec(1800, 1000), Codec::Snappy);
+        // Needs 4x → zlib-1.
+        assert_eq!(select_codec(3900, 1000), Codec::Zlib1);
+        // Needs 5x → zlib-3.
+        assert_eq!(select_codec(4900, 1000), Codec::Zlib3);
+        // Does not fit at all → zlib-1 (paper's fallback).
+        assert_eq!(select_codec(100_000, 1000), Codec::Zlib1);
+    }
+
+    #[test]
+    fn hit_returns_identical_tile() {
+        let cache = EdgeCache::new(EdgeCacheConfig::auto(1 << 20), 1 << 10);
+        let t = tile(3, 5);
+        assert!(cache.get(3).is_none());
+        cache.insert(3, &t.to_bytes());
+        let got = cache.get(3).expect("tile should be cached");
+        assert_eq!(got, t);
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.resident_tiles, 1);
+        assert!((stats.hit_ratio() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn compressed_modes_roundtrip_and_record_time() {
+        for mode in 2u8..=4 {
+            let cfg = EdgeCacheConfig::fixed_mode(1 << 20, mode).unwrap();
+            let cache = EdgeCache::new(cfg, 0);
+            let t = tile(1, 50);
+            cache.insert(1, &t.to_bytes());
+            assert_eq!(cache.get(1).unwrap(), t);
+            let stats = cache.stats();
+            assert!(stats.decompress_seconds > 0.0, "mode {mode}");
+            assert!(stats.compress_seconds > 0.0, "mode {mode}");
+            assert!(stats.used_bytes < t.serialized_size(), "mode {mode} should compress");
+        }
+    }
+
+    #[test]
+    fn eviction_respects_capacity_and_lru_order() {
+        let t0 = tile(0, 20);
+        let blob = t0.to_bytes();
+        // Capacity for roughly two raw tiles.
+        let cache = EdgeCache::new(
+            EdgeCacheConfig {
+                capacity_bytes: blob.len() as u64 * 2 + 10,
+                mode: CacheMode::Fixed(Codec::Raw),
+            },
+            0,
+        );
+        cache.insert(0, &tile(0, 20).to_bytes());
+        cache.insert(1, &tile(1, 20).to_bytes());
+        // Touch tile 0 so tile 1 is the LRU victim.
+        assert!(cache.get(0).is_some());
+        cache.insert(2, &tile(2, 20).to_bytes());
+        assert!(cache.contains(0));
+        assert!(!cache.contains(1), "LRU tile should have been evicted");
+        assert!(cache.contains(2));
+        let stats = cache.stats();
+        assert_eq!(stats.evictions, 1);
+        assert!(stats.used_bytes <= cache.capacity());
+    }
+
+    #[test]
+    fn oversized_tile_is_not_cached() {
+        let cache = EdgeCache::new(
+            EdgeCacheConfig {
+                capacity_bytes: 16,
+                mode: CacheMode::Fixed(Codec::Raw),
+            },
+            0,
+        );
+        cache.insert(7, &tile(7, 50).to_bytes());
+        assert!(!cache.contains(7));
+        assert_eq!(cache.stats().resident_tiles, 0);
+    }
+
+    #[test]
+    fn reinserting_same_tile_does_not_leak_bytes() {
+        let cache = EdgeCache::new(EdgeCacheConfig::auto(1 << 20), 0);
+        let t = tile(5, 10);
+        cache.insert(5, &t.to_bytes());
+        let used_once = cache.stats().used_bytes;
+        cache.insert(5, &t.to_bytes());
+        assert_eq!(cache.stats().used_bytes, used_once);
+        assert_eq!(cache.stats().resident_tiles, 1);
+    }
+
+    #[test]
+    fn clear_and_reset() {
+        let cache = EdgeCache::new(EdgeCacheConfig::auto(1 << 20), 0);
+        cache.insert(1, &tile(1, 5).to_bytes());
+        let _ = cache.get(1);
+        let _ = cache.get(2);
+        cache.reset_stats();
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 0);
+        assert_eq!(stats.misses, 0);
+        assert_eq!(stats.resident_tiles, 1);
+        cache.clear();
+        assert_eq!(cache.stats().resident_tiles, 0);
+        assert_eq!(cache.stats().used_bytes, 0);
+    }
+
+    #[test]
+    fn zero_capacity_cache_never_stores() {
+        let cache = EdgeCache::new(
+            EdgeCacheConfig {
+                capacity_bytes: 0,
+                mode: CacheMode::Fixed(Codec::Raw),
+            },
+            0,
+        );
+        cache.insert(0, &tile(0, 5).to_bytes());
+        assert!(cache.get(0).is_none());
+        assert_eq!(cache.stats().hit_ratio(), 0.0);
+    }
+}

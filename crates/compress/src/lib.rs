@@ -1,0 +1,240 @@
+//! # graphh-compress
+//!
+//! Compression layer for tiles and broadcast messages (paper §IV-B, §IV-C, Table V).
+//!
+//! GraphH compresses cached tiles and network messages with snappy or zlib; the edge
+//! cache picks the lightest codec whose compression ratio lets the working set fit in
+//! memory, and the communication channel defaults to snappy. This crate provides:
+//!
+//! * [`Codec`] — the codecs the paper evaluates (raw, snappy, zlib-1, zlib-3) plus a
+//!   graph-specific varint-delta codec used by the ablation benchmarks,
+//! * [`varint`] — LEB128 varint and delta encoding of id sequences,
+//! * [`stats`] — ratio / throughput measurement used to regenerate Table V.
+
+pub mod stats;
+pub mod varint;
+
+pub use stats::{measure, CodecMeasurement};
+
+use miniz_oxide::deflate::compress_to_vec_zlib;
+use miniz_oxide::inflate::decompress_to_vec_zlib;
+
+/// A compression codec.
+///
+/// The integer values of the first four variants match the paper's cache "modes"
+/// (§IV-B): mode-1 caches raw tiles, mode-2 snappy, mode-3 zlib-1, mode-4 zlib-3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Codec {
+    /// No compression (cache mode-1).
+    Raw,
+    /// Snappy (cache mode-2; also the default message compressor).
+    Snappy,
+    /// zlib level 1 (cache mode-3).
+    Zlib1,
+    /// zlib level 3 (cache mode-4).
+    Zlib3,
+    /// Varint + delta coding of 32-bit id streams; graph-specific extension codec.
+    VarintDelta,
+}
+
+/// Errors from compression or decompression.
+#[derive(Debug)]
+pub enum CompressError {
+    /// The payload could not be decompressed (corrupt or wrong codec).
+    Corrupt(String),
+}
+
+impl std::fmt::Display for CompressError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompressError::Corrupt(m) => write!(f, "corrupt compressed data: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CompressError {}
+
+impl Codec {
+    /// All codecs, in cache-mode order.
+    pub const ALL: [Codec; 5] = [
+        Codec::Raw,
+        Codec::Snappy,
+        Codec::Zlib1,
+        Codec::Zlib3,
+        Codec::VarintDelta,
+    ];
+
+    /// The codec for a paper cache mode (1–4).
+    pub fn from_cache_mode(mode: u8) -> Option<Codec> {
+        match mode {
+            1 => Some(Codec::Raw),
+            2 => Some(Codec::Snappy),
+            3 => Some(Codec::Zlib1),
+            4 => Some(Codec::Zlib3),
+            _ => None,
+        }
+    }
+
+    /// The paper cache mode this codec corresponds to (None for the extension codec).
+    pub fn cache_mode(self) -> Option<u8> {
+        match self {
+            Codec::Raw => Some(1),
+            Codec::Snappy => Some(2),
+            Codec::Zlib1 => Some(3),
+            Codec::Zlib3 => Some(4),
+            Codec::VarintDelta => None,
+        }
+    }
+
+    /// Short human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Codec::Raw => "raw",
+            Codec::Snappy => "snappy",
+            Codec::Zlib1 => "zlib-1",
+            Codec::Zlib3 => "zlib-3",
+            Codec::VarintDelta => "varint-delta",
+        }
+    }
+
+    /// The *estimated* compression ratio GraphH's cache-mode selector assumes before
+    /// it has seen any data (γ in §IV-B: γ₁=1, γ₂=2, γ₃=4, γ₄=5).
+    pub fn estimated_ratio(self) -> f64 {
+        match self {
+            Codec::Raw => 1.0,
+            Codec::Snappy => 2.0,
+            Codec::Zlib1 => 4.0,
+            Codec::Zlib3 => 5.0,
+            Codec::VarintDelta => 3.0,
+        }
+    }
+
+    /// Nominal single-core decompression throughput in bytes/second, used by the cost
+    /// model (Table V reports ~900 MB/s for snappy and ~50–65 MB/s for zlib).
+    pub fn decompress_throughput(self) -> f64 {
+        match self {
+            Codec::Raw => f64::INFINITY,
+            Codec::Snappy => 900.0e6,
+            Codec::Zlib1 => 62.0e6,
+            Codec::Zlib3 => 52.0e6,
+            Codec::VarintDelta => 600.0e6,
+        }
+    }
+
+    /// Compress `data`.
+    pub fn compress(self, data: &[u8]) -> Vec<u8> {
+        match self {
+            Codec::Raw => data.to_vec(),
+            Codec::Snappy => snap::raw::Encoder::new()
+                .compress_vec(data)
+                .expect("snappy compression cannot fail on in-memory data"),
+            Codec::Zlib1 => compress_to_vec_zlib(data, 1),
+            Codec::Zlib3 => compress_to_vec_zlib(data, 3),
+            Codec::VarintDelta => varint::encode_bytes_as_u32_delta(data),
+        }
+    }
+
+    /// Decompress `data` previously produced by [`Codec::compress`] with the same codec.
+    pub fn decompress(self, data: &[u8]) -> Result<Vec<u8>, CompressError> {
+        match self {
+            Codec::Raw => Ok(data.to_vec()),
+            Codec::Snappy => snap::raw::Decoder::new()
+                .decompress_vec(data)
+                .map_err(|e| CompressError::Corrupt(e.to_string())),
+            Codec::Zlib1 | Codec::Zlib3 => decompress_to_vec_zlib(data)
+                .map_err(|e| CompressError::Corrupt(format!("{e:?}"))),
+            Codec::VarintDelta => varint::decode_u32_delta_to_bytes(data)
+                .map_err(|e| CompressError::Corrupt(e)),
+        }
+    }
+
+    /// Achieved compression ratio (`uncompressed / compressed`) on a sample.
+    pub fn measured_ratio(self, data: &[u8]) -> f64 {
+        if data.is_empty() {
+            return 1.0;
+        }
+        let compressed = self.compress(data);
+        data.len() as f64 / compressed.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_tile_like_data() -> Vec<u8> {
+        // CSR column arrays from web graphs mix small per-vertex deltas with hub ids
+        // that recur in many adjacency lists; both general-purpose codecs (repeated
+        // byte patterns) and the delta codec (small gaps) can exploit this.
+        let mut out = Vec::new();
+        let hubs: [u32; 4] = [7, 42, 1000, 65_536];
+        for vertex in 0..10_000u32 {
+            for &h in &hubs {
+                out.extend_from_slice(&h.to_le_bytes());
+            }
+            out.extend_from_slice(&(vertex * 3).to_le_bytes());
+        }
+        out
+    }
+
+    #[test]
+    fn all_codecs_roundtrip() {
+        let data = sample_tile_like_data();
+        for codec in Codec::ALL {
+            let compressed = codec.compress(&data);
+            let restored = codec.decompress(&compressed).unwrap();
+            assert_eq!(restored, data, "codec {}", codec.name());
+        }
+    }
+
+    #[test]
+    fn all_codecs_roundtrip_empty_and_small() {
+        for codec in Codec::ALL {
+            for data in [&b""[..], &b"x"[..], &[0u8, 1, 2, 3][..]] {
+                let restored = codec.decompress(&codec.compress(data)).unwrap();
+                assert_eq!(restored, data, "codec {}", codec.name());
+            }
+        }
+    }
+
+    #[test]
+    fn compressing_codecs_shrink_tile_like_data() {
+        let data = sample_tile_like_data();
+        for codec in [Codec::Snappy, Codec::Zlib1, Codec::Zlib3, Codec::VarintDelta] {
+            let ratio = codec.measured_ratio(&data);
+            assert!(ratio > 1.2, "codec {} ratio {ratio}", codec.name());
+        }
+    }
+
+    #[test]
+    fn zlib3_compresses_at_least_as_well_as_zlib1() {
+        let data = sample_tile_like_data();
+        assert!(Codec::Zlib3.measured_ratio(&data) >= Codec::Zlib1.measured_ratio(&data) * 0.99);
+    }
+
+    #[test]
+    fn cache_mode_mapping_is_bijective_for_paper_modes() {
+        for mode in 1u8..=4 {
+            let codec = Codec::from_cache_mode(mode).unwrap();
+            assert_eq!(codec.cache_mode(), Some(mode));
+        }
+        assert!(Codec::from_cache_mode(0).is_none());
+        assert!(Codec::from_cache_mode(5).is_none());
+        assert_eq!(Codec::VarintDelta.cache_mode(), None);
+    }
+
+    #[test]
+    fn corrupt_data_is_an_error_not_a_panic() {
+        let garbage = vec![0xFFu8; 64];
+        assert!(Codec::Snappy.decompress(&garbage).is_err());
+        assert!(Codec::Zlib1.decompress(&garbage).is_err());
+    }
+
+    #[test]
+    fn estimated_ratios_match_paper_gammas() {
+        assert_eq!(Codec::Raw.estimated_ratio(), 1.0);
+        assert_eq!(Codec::Snappy.estimated_ratio(), 2.0);
+        assert_eq!(Codec::Zlib1.estimated_ratio(), 4.0);
+        assert_eq!(Codec::Zlib3.estimated_ratio(), 5.0);
+    }
+}

@@ -1,0 +1,198 @@
+//! LEB128 varint and delta coding of 32-bit integer streams.
+//!
+//! CSR column arrays are sorted runs of vertex ids with small gaps; delta-coding the
+//! gaps and varint-encoding the result is the classic graph-compression trick
+//! (WebGraph-style). GraphH's cache can use it as an alternative to general-purpose
+//! codecs; it is exercised by the ablation benchmarks.
+
+/// Append a LEB128-encoded `u32` to `out`.
+pub fn write_varint(mut value: u32, out: &mut Vec<u8>) {
+    loop {
+        let byte = (value & 0x7F) as u8;
+        value >>= 7;
+        if value == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Read a LEB128-encoded `u32` from `data[*pos..]`, advancing `pos`.
+pub fn read_varint(data: &[u8], pos: &mut usize) -> Result<u32, String> {
+    let mut value: u32 = 0;
+    let mut shift = 0u32;
+    loop {
+        let Some(&byte) = data.get(*pos) else {
+            return Err("varint truncated".to_string());
+        };
+        *pos += 1;
+        if shift >= 35 {
+            return Err("varint too long".to_string());
+        }
+        value |= u32::from(byte & 0x7F) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(value);
+        }
+        shift += 7;
+    }
+}
+
+/// Append a LEB128-encoded `u64` to `out`.
+pub fn write_varint64(mut value: u64, out: &mut Vec<u8>) {
+    loop {
+        let byte = (value & 0x7F) as u8;
+        value >>= 7;
+        if value == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Read a LEB128-encoded `u64` from `data[*pos..]`, advancing `pos`.
+pub fn read_varint64(data: &[u8], pos: &mut usize) -> Result<u64, String> {
+    let mut value: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let Some(&byte) = data.get(*pos) else {
+            return Err("varint truncated".to_string());
+        };
+        *pos += 1;
+        if shift >= 70 {
+            return Err("varint too long".to_string());
+        }
+        value |= u64::from(byte & 0x7F) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(value);
+        }
+        shift += 7;
+    }
+}
+
+/// Encode a `u32` slice with zig-zag delta + varint coding.
+pub fn encode_u32_delta(values: &[u32]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(values.len());
+    write_varint(values.len() as u32, &mut out);
+    let mut prev: i64 = 0;
+    for &v in values {
+        let delta = i64::from(v) - prev;
+        prev = i64::from(v);
+        let zigzag = ((delta << 1) ^ (delta >> 63)) as u64;
+        write_varint64(zigzag, &mut out);
+    }
+    out
+}
+
+/// Decode the output of [`encode_u32_delta`].
+pub fn decode_u32_delta(data: &[u8]) -> Result<Vec<u32>, String> {
+    let mut pos = 0usize;
+    let len = read_varint(data, &mut pos)? as usize;
+    let mut out = Vec::with_capacity(len);
+    let mut prev: i64 = 0;
+    for _ in 0..len {
+        let zigzag = read_varint64(data, &mut pos)?;
+        let delta = ((zigzag >> 1) as i64) ^ -((zigzag & 1) as i64);
+        prev += delta;
+        if !(0..=i64::from(u32::MAX)).contains(&prev) {
+            return Err(format!("decoded value {prev} out of u32 range"));
+        }
+        out.push(prev as u32);
+    }
+    Ok(out)
+}
+
+/// Treat an arbitrary byte buffer as little-endian `u32`s (padding the tail with a
+/// recorded number of leftover bytes) and delta-encode it. This is what lets the
+/// varint codec plug into the generic byte-oriented [`Codec`](crate::Codec) API.
+pub fn encode_bytes_as_u32_delta(data: &[u8]) -> Vec<u8> {
+    let full_words = data.len() / 4;
+    let tail = &data[full_words * 4..];
+    let values: Vec<u32> = data[..full_words * 4]
+        .chunks_exact(4)
+        .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect();
+    let mut out = Vec::new();
+    out.push(tail.len() as u8);
+    out.extend_from_slice(tail);
+    out.extend_from_slice(&encode_u32_delta(&values));
+    out
+}
+
+/// Inverse of [`encode_bytes_as_u32_delta`].
+pub fn decode_u32_delta_to_bytes(data: &[u8]) -> Result<Vec<u8>, String> {
+    let Some(&tail_len) = data.first() else {
+        return Err("empty varint-delta payload".to_string());
+    };
+    let tail_len = tail_len as usize;
+    if data.len() < 1 + tail_len {
+        return Err("varint-delta payload shorter than declared tail".to_string());
+    }
+    let tail = &data[1..1 + tail_len];
+    let values = decode_u32_delta(&data[1 + tail_len..])?;
+    let mut out = Vec::with_capacity(values.len() * 4 + tail_len);
+    for v in values {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out.extend_from_slice(tail);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_roundtrip_boundaries() {
+        for v in [0u32, 1, 127, 128, 16_383, 16_384, u32::MAX / 2, u32::MAX] {
+            let mut buf = Vec::new();
+            write_varint(v, &mut buf);
+            let mut pos = 0;
+            assert_eq!(read_varint(&buf, &mut pos).unwrap(), v);
+            assert_eq!(pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn varint_truncated_is_error() {
+        let mut buf = Vec::new();
+        write_varint(300, &mut buf);
+        buf.pop();
+        let mut pos = 0;
+        assert!(read_varint(&buf, &mut pos).is_err());
+    }
+
+    #[test]
+    fn delta_roundtrip_sorted_and_unsorted() {
+        let sorted: Vec<u32> = (0..1000).map(|i| i * 3).collect();
+        let unsorted: Vec<u32> = vec![5, 0, u32::MAX, 17, 17, 2];
+        for values in [sorted, unsorted, Vec::new()] {
+            let enc = encode_u32_delta(&values);
+            assert_eq!(decode_u32_delta(&enc).unwrap(), values);
+        }
+    }
+
+    #[test]
+    fn sorted_ids_compress_well() {
+        let values: Vec<u32> = (0..10_000u32).map(|i| 1_000_000 + i * 2).collect();
+        let enc = encode_u32_delta(&values);
+        // Raw is 40 KB; delta coding should cut it by more than half.
+        assert!(enc.len() < values.len() * 4 / 2, "encoded {} bytes", enc.len());
+    }
+
+    #[test]
+    fn bytes_adapter_roundtrip_including_odd_lengths() {
+        for len in [0usize, 1, 3, 4, 5, 8, 13, 4096] {
+            let data: Vec<u8> = (0..len).map(|i| (i * 37 % 251) as u8).collect();
+            let enc = encode_bytes_as_u32_delta(&data);
+            assert_eq!(decode_u32_delta_to_bytes(&enc).unwrap(), data, "len {len}");
+        }
+    }
+
+    #[test]
+    fn corrupt_bytes_adapter_is_error() {
+        assert!(decode_u32_delta_to_bytes(&[]).is_err());
+        assert!(decode_u32_delta_to_bytes(&[10, 1, 2]).is_err());
+    }
+}

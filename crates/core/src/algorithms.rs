@@ -1,0 +1,370 @@
+//! The vertex-centric programs the paper evaluates (PageRank, SSSP) plus the other
+//! standard analytics GraphH supports (WCC, BFS, degree centrality), all expressed
+//! in the GAB model (Algorithms 6 and 7 of the paper).
+
+use crate::gab::{GabProgram, InitContext, VertexContext};
+use graphh_graph::ids::VertexId;
+
+/// PageRank with damping factor 0.85 (Algorithm 6).
+///
+/// `gather` sums `value(u) / out_degree(u)` over in-neighbours `u`; `apply` applies
+/// the damping. The program runs for a fixed number of supersteps (the paper runs 21
+/// and reports the mean of the last 20) or until no rank moves by more than the
+/// tolerance.
+#[derive(Debug, Clone)]
+pub struct PageRank {
+    /// Damping factor (0.85 in the paper).
+    pub damping: f64,
+    /// Number of supersteps to run.
+    pub supersteps: u32,
+    /// Rank change below which a vertex does not count as updated.
+    pub tolerance: f64,
+}
+
+impl PageRank {
+    /// The paper's configuration: damping 0.85, 21 supersteps.
+    pub fn new(supersteps: u32) -> Self {
+        Self {
+            damping: 0.85,
+            supersteps,
+            tolerance: 0.0,
+        }
+    }
+
+    /// PageRank that stops when every rank changes by less than `tolerance`.
+    pub fn with_tolerance(supersteps: u32, tolerance: f64) -> Self {
+        Self {
+            damping: 0.85,
+            supersteps,
+            tolerance,
+        }
+    }
+}
+
+impl GabProgram for PageRank {
+    fn name(&self) -> &'static str {
+        "pagerank"
+    }
+
+    fn initial_value(&self, _v: VertexId, ctx: &InitContext<'_>) -> f64 {
+        1.0 / ctx.num_vertices as f64
+    }
+
+    fn gather(
+        &self,
+        _target: VertexId,
+        in_edges: &mut dyn Iterator<Item = (VertexId, f32)>,
+        ctx: &VertexContext<'_>,
+    ) -> f64 {
+        let mut accum = 0.0;
+        for (src, _w) in in_edges {
+            let d = ctx.out_degrees[src as usize];
+            if d > 0 {
+                accum += ctx.values[src as usize] / f64::from(d);
+            }
+        }
+        accum
+    }
+
+    fn apply(&self, _target: VertexId, accum: f64, _current: f64, ctx: &VertexContext<'_>) -> f64 {
+        (1.0 - self.damping) / ctx.num_vertices as f64 + self.damping * accum
+    }
+
+    fn update_tolerance(&self) -> f64 {
+        self.tolerance
+    }
+
+    fn max_supersteps(&self) -> u32 {
+        self.supersteps
+    }
+}
+
+/// Single-source shortest paths (Algorithm 7). Vertex values are tentative distances;
+/// unreachable vertices stay at `f64::INFINITY`.
+#[derive(Debug, Clone)]
+pub struct Sssp {
+    /// The source vertex.
+    pub source: VertexId,
+}
+
+impl Sssp {
+    /// SSSP from `source`.
+    pub fn new(source: VertexId) -> Self {
+        Self { source }
+    }
+}
+
+impl GabProgram for Sssp {
+    fn name(&self) -> &'static str {
+        "sssp"
+    }
+
+    fn initial_value(&self, v: VertexId, _ctx: &InitContext<'_>) -> f64 {
+        if v == self.source {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    fn gather(
+        &self,
+        _target: VertexId,
+        in_edges: &mut dyn Iterator<Item = (VertexId, f32)>,
+        ctx: &VertexContext<'_>,
+    ) -> f64 {
+        let mut best = f64::INFINITY;
+        for (src, w) in in_edges {
+            let candidate = ctx.values[src as usize] + f64::from(w);
+            if candidate < best {
+                best = candidate;
+            }
+        }
+        best
+    }
+
+    fn apply(&self, _target: VertexId, accum: f64, current: f64, _ctx: &VertexContext<'_>) -> f64 {
+        accum.min(current)
+    }
+
+    fn is_update(&self, old: f64, new: f64) -> bool {
+        new < old
+    }
+
+    fn run_all_vertices_initially(&self) -> bool {
+        // Only the source moved at initialisation; everything else is reached through
+        // the update propagation.
+        true
+    }
+}
+
+/// Weakly connected components via label propagation: every vertex starts with its
+/// own id and repeatedly adopts the minimum label among itself and its in-neighbours.
+///
+/// For a weakly-connected-components result on a directed graph the input should be
+/// symmetrised (both edge directions present), which is how the experiment harness
+/// prepares WCC inputs.
+#[derive(Debug, Clone, Default)]
+pub struct Wcc;
+
+impl Wcc {
+    /// A WCC program.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl GabProgram for Wcc {
+    fn name(&self) -> &'static str {
+        "wcc"
+    }
+
+    fn initial_value(&self, v: VertexId, _ctx: &InitContext<'_>) -> f64 {
+        f64::from(v)
+    }
+
+    fn gather(
+        &self,
+        _target: VertexId,
+        in_edges: &mut dyn Iterator<Item = (VertexId, f32)>,
+        ctx: &VertexContext<'_>,
+    ) -> f64 {
+        let mut best = f64::INFINITY;
+        for (src, _) in in_edges {
+            best = best.min(ctx.values[src as usize]);
+        }
+        best
+    }
+
+    fn apply(&self, _target: VertexId, accum: f64, current: f64, _ctx: &VertexContext<'_>) -> f64 {
+        accum.min(current)
+    }
+
+    fn is_update(&self, old: f64, new: f64) -> bool {
+        new < old
+    }
+}
+
+/// Breadth-first search levels from a source vertex; unreachable vertices stay at
+/// `f64::INFINITY`.
+#[derive(Debug, Clone)]
+pub struct Bfs {
+    /// The source vertex.
+    pub source: VertexId,
+}
+
+impl Bfs {
+    /// BFS from `source`.
+    pub fn new(source: VertexId) -> Self {
+        Self { source }
+    }
+}
+
+impl GabProgram for Bfs {
+    fn name(&self) -> &'static str {
+        "bfs"
+    }
+
+    fn initial_value(&self, v: VertexId, _ctx: &InitContext<'_>) -> f64 {
+        if v == self.source {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    fn gather(
+        &self,
+        _target: VertexId,
+        in_edges: &mut dyn Iterator<Item = (VertexId, f32)>,
+        ctx: &VertexContext<'_>,
+    ) -> f64 {
+        let mut best = f64::INFINITY;
+        for (src, _) in in_edges {
+            best = best.min(ctx.values[src as usize] + 1.0);
+        }
+        best
+    }
+
+    fn apply(&self, _target: VertexId, accum: f64, current: f64, _ctx: &VertexContext<'_>) -> f64 {
+        accum.min(current)
+    }
+
+    fn is_update(&self, old: f64, new: f64) -> bool {
+        new < old
+    }
+}
+
+/// In-degree centrality: a single-superstep program whose result is each vertex's
+/// (weighted) in-degree. Used by tests and as the simplest possible GAB example.
+#[derive(Debug, Clone, Default)]
+pub struct DegreeCentrality;
+
+impl DegreeCentrality {
+    /// A degree-centrality program.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl GabProgram for DegreeCentrality {
+    fn name(&self) -> &'static str {
+        "degree-centrality"
+    }
+
+    fn initial_value(&self, _v: VertexId, _ctx: &InitContext<'_>) -> f64 {
+        0.0
+    }
+
+    fn gather(
+        &self,
+        _target: VertexId,
+        in_edges: &mut dyn Iterator<Item = (VertexId, f32)>,
+        _ctx: &VertexContext<'_>,
+    ) -> f64 {
+        in_edges.map(|(_, w)| f64::from(w)).sum()
+    }
+
+    fn apply(&self, _target: VertexId, accum: f64, _current: f64, _ctx: &VertexContext<'_>) -> f64 {
+        accum
+    }
+
+    fn max_supersteps(&self) -> u32 {
+        1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx<'a>(values: &'a [f64], out: &'a [u32], ind: &'a [u32]) -> VertexContext<'a> {
+        VertexContext {
+            values,
+            out_degrees: out,
+            in_degrees: ind,
+            num_vertices: values.len() as u64,
+            superstep: 0,
+        }
+    }
+
+    #[test]
+    fn pagerank_gather_divides_by_out_degree() {
+        let pr = PageRank::new(10);
+        let values = vec![0.25, 0.25, 0.25, 0.25];
+        let out = vec![2, 1, 5, 0];
+        let ind = vec![0; 4];
+        let c = ctx(&values, &out, &ind);
+        let mut edges = [(0u32, 1.0f32), (1, 1.0)].into_iter();
+        let accum = pr.gather(3, &mut edges, &c);
+        assert!((accum - (0.25 / 2.0 + 0.25 / 1.0)).abs() < 1e-12);
+        let new = pr.apply(3, accum, 0.25, &c);
+        assert!((new - (0.15 / 4.0 + 0.85 * accum)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pagerank_ignores_dangling_sources() {
+        let pr = PageRank::new(1);
+        let values = vec![1.0, 1.0];
+        let out = vec![0, 1];
+        let ind = vec![1, 0];
+        let c = ctx(&values, &out, &ind);
+        // Source 0 has out-degree 0 (inconsistent input, but must not divide by zero).
+        let mut edges = [(0u32, 1.0f32)].into_iter();
+        assert_eq!(pr.gather(1, &mut edges, &c), 0.0);
+    }
+
+    #[test]
+    fn sssp_relaxes_minimum_distance() {
+        let sssp = Sssp::new(0);
+        let values = vec![0.0, 5.0, f64::INFINITY];
+        let out = vec![0; 3];
+        let ind = vec![0; 3];
+        let c = ctx(&values, &out, &ind);
+        let mut edges = [(0u32, 2.0f32), (1, 1.0)].into_iter();
+        let accum = sssp.gather(2, &mut edges, &c);
+        assert_eq!(accum, 2.0);
+        assert_eq!(sssp.apply(2, accum, f64::INFINITY, &c), 2.0);
+        assert!(sssp.is_update(f64::INFINITY, 2.0));
+        assert!(!sssp.is_update(2.0, 2.0));
+        assert_eq!(sssp.initial_value(0, &InitContext { num_vertices: 3, out_degrees: &out, in_degrees: &ind }), 0.0);
+        assert!(sssp
+            .initial_value(1, &InitContext { num_vertices: 3, out_degrees: &out, in_degrees: &ind })
+            .is_infinite());
+    }
+
+    #[test]
+    fn wcc_adopts_minimum_label() {
+        let wcc = Wcc::new();
+        let values = vec![0.0, 1.0, 2.0];
+        let out = vec![0; 3];
+        let ind = vec![0; 3];
+        let c = ctx(&values, &out, &ind);
+        let mut edges = [(0u32, 1.0f32), (1, 1.0)].into_iter();
+        assert_eq!(wcc.gather(2, &mut edges, &c), 0.0);
+        assert_eq!(wcc.apply(2, 0.0, 2.0, &c), 0.0);
+    }
+
+    #[test]
+    fn bfs_counts_hops_not_weights() {
+        let bfs = Bfs::new(0);
+        let values = vec![0.0, f64::INFINITY];
+        let out = vec![0; 2];
+        let ind = vec![0; 2];
+        let c = ctx(&values, &out, &ind);
+        let mut edges = [(0u32, 100.0f32)].into_iter();
+        assert_eq!(bfs.gather(1, &mut edges, &c), 1.0);
+    }
+
+    #[test]
+    fn degree_centrality_sums_weights_in_one_superstep() {
+        let dc = DegreeCentrality::new();
+        assert_eq!(dc.max_supersteps(), 1);
+        let values = vec![0.0; 3];
+        let out = vec![0; 3];
+        let ind = vec![0; 3];
+        let c = ctx(&values, &out, &ind);
+        let mut edges = [(0u32, 1.5f32), (1, 2.5)].into_iter();
+        assert_eq!(dc.gather(2, &mut edges, &c), 4.0);
+    }
+}

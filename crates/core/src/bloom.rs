@@ -1,0 +1,145 @@
+//! Bloom filters over a tile's source vertices (paper §III-C.4).
+//!
+//! Many algorithms update only a few vertices per superstep. A tile whose source
+//! vertices were all unchanged cannot produce any new target value, so loading it is
+//! wasted work. GraphH keeps a small Bloom filter of every tile's source-vertex set
+//! in memory and skips tiles whose filter matches none of the previously updated
+//! vertices. Bloom filters never produce false negatives, so skipping is always safe.
+
+use graphh_graph::ids::VertexId;
+
+/// A fixed-size Bloom filter for vertex ids.
+#[derive(Debug, Clone)]
+pub struct BloomFilter {
+    bits: Vec<u64>,
+    num_bits: u64,
+    num_hashes: u32,
+    items: u64,
+}
+
+impl BloomFilter {
+    /// A filter sized for `expected_items` with roughly the given false-positive rate.
+    pub fn with_rate(expected_items: usize, false_positive_rate: f64) -> Self {
+        let n = expected_items.max(1) as f64;
+        let p = false_positive_rate.clamp(1e-6, 0.5);
+        let ln2 = std::f64::consts::LN_2;
+        let num_bits = ((-n * p.ln()) / (ln2 * ln2)).ceil().max(64.0) as u64;
+        let num_hashes = ((num_bits as f64 / n) * ln2).round().clamp(1.0, 16.0) as u32;
+        Self {
+            bits: vec![0u64; num_bits.div_ceil(64) as usize],
+            num_bits,
+            num_hashes,
+            items: 0,
+        }
+    }
+
+    /// A filter with the paper-appropriate default rate (1%).
+    pub fn new(expected_items: usize) -> Self {
+        Self::with_rate(expected_items, 0.01)
+    }
+
+    /// Build a filter containing all of `ids`.
+    pub fn from_ids(ids: impl IntoIterator<Item = VertexId>, expected_items: usize) -> Self {
+        let mut filter = Self::new(expected_items);
+        for id in ids {
+            filter.insert(id);
+        }
+        filter
+    }
+
+    fn hash(&self, value: VertexId, i: u32) -> u64 {
+        // Double hashing with two independent multiplicative hashes.
+        let x = u64::from(value).wrapping_add(1);
+        let h1 = x.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let h2 = x.wrapping_mul(0xC2B2_AE3D_27D4_EB4F) | 1;
+        h1.wrapping_add(u64::from(i).wrapping_mul(h2)) % self.num_bits
+    }
+
+    /// Insert a vertex id.
+    pub fn insert(&mut self, value: VertexId) {
+        for i in 0..self.num_hashes {
+            let bit = self.hash(value, i);
+            self.bits[(bit / 64) as usize] |= 1 << (bit % 64);
+        }
+        self.items += 1;
+    }
+
+    /// Whether the filter might contain `value` (no false negatives).
+    pub fn may_contain(&self, value: VertexId) -> bool {
+        (0..self.num_hashes).all(|i| {
+            let bit = self.hash(value, i);
+            self.bits[(bit / 64) as usize] & (1 << (bit % 64)) != 0
+        })
+    }
+
+    /// Whether any of `values` might be contained.
+    pub fn may_contain_any<'a>(&self, values: impl IntoIterator<Item = &'a VertexId>) -> bool {
+        values.into_iter().any(|&v| self.may_contain(v))
+    }
+
+    /// Number of inserted items (counting duplicates).
+    pub fn len(&self) -> u64 {
+        self.items
+    }
+
+    /// Whether nothing was inserted.
+    pub fn is_empty(&self) -> bool {
+        self.items == 0
+    }
+
+    /// Memory used by the bit array, in bytes.
+    pub fn memory_bytes(&self) -> u64 {
+        self.bits.len() as u64 * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_false_negatives() {
+        let ids: Vec<u32> = (0..5000).map(|i| i * 7 + 3).collect();
+        let filter = BloomFilter::from_ids(ids.iter().copied(), ids.len());
+        for &id in &ids {
+            assert!(filter.may_contain(id), "false negative for {id}");
+        }
+    }
+
+    #[test]
+    fn false_positive_rate_is_reasonable() {
+        let ids: Vec<u32> = (0..10_000).collect();
+        let filter = BloomFilter::from_ids(ids.iter().copied(), ids.len());
+        let false_positives = (100_000u32..200_000)
+            .filter(|&v| filter.may_contain(v))
+            .count();
+        let rate = false_positives as f64 / 100_000.0;
+        assert!(rate < 0.05, "false positive rate {rate}");
+    }
+
+    #[test]
+    fn may_contain_any_matches_membership() {
+        let filter = BloomFilter::from_ids([1u32, 2, 3], 3);
+        assert!(filter.may_contain_any([&3u32, &999_999]));
+        // A set far from the inserted ids is very unlikely to all collide.
+        let far: Vec<u32> = (1_000_000..1_000_020).collect();
+        let hits = far.iter().filter(|&&v| filter.may_contain(v)).count();
+        assert!(hits < 5);
+    }
+
+    #[test]
+    fn empty_filter_contains_nothing() {
+        let filter = BloomFilter::new(100);
+        assert!(filter.is_empty());
+        assert!(!filter.may_contain(42));
+        assert!(!filter.may_contain_any([&1u32, &2, &3]));
+    }
+
+    #[test]
+    fn memory_footprint_scales_with_expected_items() {
+        let small = BloomFilter::new(100);
+        let large = BloomFilter::new(100_000);
+        assert!(large.memory_bytes() > small.memory_bytes());
+        assert_eq!(BloomFilter::from_ids([1u32, 1, 1], 3).len(), 3);
+    }
+}

@@ -1,0 +1,607 @@
+//! The MPE: GraphH's out-of-core, tile-at-a-time BSP engine (paper Algorithm 5).
+
+use crate::bloom::BloomFilter;
+use crate::gab::{GabProgram, InitContext, VertexContext};
+use crate::{EngineError, Result};
+use graphh_cache::{CacheMode, EdgeCache, EdgeCacheConfig};
+use graphh_cluster::{
+    BroadcastChannel, BroadcastMessage, ClusterConfig, ClusterMetrics, CommunicationMode,
+    CostModel, MemoryTracker, ServerMetrics, SuperstepReport,
+};
+use graphh_compress::Codec;
+use graphh_graph::ids::{ServerId, TileId, VertexId};
+use graphh_partition::{PartitionedGraph, Tile, TileAssignment};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Configuration of a GraphH run.
+#[derive(Debug, Clone)]
+pub struct GraphHConfig {
+    /// The simulated cluster.
+    pub cluster: ClusterConfig,
+    /// Broadcast encoding policy (§IV-C); the paper's default is hybrid.
+    pub communication: CommunicationMode,
+    /// Broadcast message compressor; the paper's default is snappy.
+    pub message_compressor: Option<Codec>,
+    /// Edge cache codec policy (§IV-B); the paper's default is automatic selection.
+    pub cache_mode: CacheMode,
+    /// Edge cache capacity per server in bytes. `None` = whatever memory is left after
+    /// the vertex-state and message arrays (the paper's "idle memory").
+    pub cache_capacity: Option<u64>,
+    /// Skip tiles whose sources were not updated, using per-tile Bloom filters
+    /// (§III-C.4).
+    pub use_bloom_filter: bool,
+    /// Cap on supersteps, overriding the program's own limit when smaller.
+    pub max_supersteps: Option<u32>,
+}
+
+impl GraphHConfig {
+    /// The configuration the paper evaluates: hybrid broadcast, snappy messages,
+    /// automatic cache mode, Bloom-filter skipping enabled.
+    pub fn paper_default(cluster: ClusterConfig) -> Self {
+        Self {
+            cluster,
+            communication: CommunicationMode::default(),
+            message_compressor: Some(Codec::Snappy),
+            cache_mode: CacheMode::Auto,
+            cache_capacity: None,
+            use_bloom_filter: true,
+            max_supersteps: None,
+        }
+    }
+
+    /// Disable the edge cache entirely (every tile read hits the disk), used by the
+    /// Figure 7 baseline and ablations.
+    pub fn without_cache(mut self) -> Self {
+        self.cache_capacity = Some(0);
+        self
+    }
+}
+
+/// Everything a finished run reports.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Final vertex values (indexed by vertex id).
+    pub values: Vec<f64>,
+    /// Per-superstep metrics with simulated times filled in.
+    pub metrics: ClusterMetrics,
+    /// Number of supersteps executed.
+    pub supersteps_run: u32,
+    /// The codec the edge cache selected.
+    pub cache_codec: Codec,
+    /// Accounted peak memory per server in bytes.
+    pub per_server_peak_memory: Vec<u64>,
+    /// Fraction of vertices updated in each superstep (Figure 8a).
+    pub updated_ratio_per_superstep: Vec<f64>,
+}
+
+impl RunResult {
+    /// Average simulated seconds per superstep, excluding the first (the paper's
+    /// reporting convention).
+    pub fn avg_superstep_seconds(&self) -> f64 {
+        self.metrics.avg_seconds_per_superstep(true)
+    }
+
+    /// Total simulated seconds.
+    pub fn total_seconds(&self) -> f64 {
+        self.metrics.total_seconds()
+    }
+}
+
+/// One simulated server's long-lived state.
+struct ServerState {
+    id: ServerId,
+    /// Tiles assigned to this server, in processing order.
+    tiles: Vec<TileId>,
+    /// Serialized tiles as stored on the server's local disk.
+    disk: HashMap<TileId, Vec<u8>>,
+    /// Local replica of every vertex value (All-in-All policy).
+    values: Vec<f64>,
+    /// Edge cache over idle memory.
+    cache: EdgeCache,
+    /// Per-tile Bloom filters over source vertices.
+    blooms: HashMap<TileId, BloomFilter>,
+    /// Memory accounting.
+    memory: MemoryTracker,
+}
+
+/// The GraphH engine.
+#[derive(Debug, Clone)]
+pub struct GraphHEngine {
+    config: GraphHConfig,
+}
+
+impl GraphHEngine {
+    /// An engine with the given configuration.
+    pub fn new(config: GraphHConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &GraphHConfig {
+        &self.config
+    }
+
+    /// Run `program` over `partitioned` on the configured cluster.
+    pub fn run(
+        &self,
+        partitioned: &PartitionedGraph,
+        program: &dyn GabProgram,
+    ) -> Result<RunResult> {
+        let cluster = self.config.cluster;
+        let num_servers = cluster.num_servers;
+        let num_vertices = partitioned.num_vertices();
+        if num_vertices == 0 {
+            return Err(EngineError::BadInput("graph has no vertices".into()));
+        }
+        if num_vertices > u64::from(u32::MAX) {
+            return Err(EngineError::BadInput(
+                "stand-in graphs must have fewer than 2^32 vertices".into(),
+            ));
+        }
+
+        let out_degrees: Arc<Vec<u32>> = Arc::new(partitioned.out_degrees.clone());
+        let in_degrees: Arc<Vec<u32>> = Arc::new(partitioned.in_degrees.clone());
+        let init_ctx = InitContext {
+            num_vertices,
+            out_degrees: &out_degrees,
+            in_degrees: &in_degrees,
+        };
+        let initial_values: Vec<f64> = (0..num_vertices as u32)
+            .map(|v| program.initial_value(v, &init_ctx))
+            .collect();
+
+        let assignment = TileAssignment::round_robin(partitioned.num_tiles(), num_servers);
+        let mut servers = self.build_servers(partitioned, &assignment, &initial_values);
+        let channel = BroadcastChannel::new(
+            num_servers,
+            self.config.communication,
+            self.config.message_compressor,
+        );
+        let cost_model = CostModel::new(cluster);
+
+        // Vertex-state + message memory is permanent; register it once per server.
+        let vertex_bytes = 8 * num_vertices; // f64 value replica
+        let message_bytes = 8 * num_vertices; // dense received-update buffer
+        let degree_bytes = 4 * num_vertices * 2; // out- and in-degree arrays
+        for server in &mut servers {
+            server.memory.set_component("vertex-values", vertex_bytes);
+            server.memory.set_component("message-buffer", message_bytes);
+            server.memory.set_component("degree-arrays", degree_bytes);
+            let bloom_bytes: u64 = server
+                .blooms
+                .values()
+                .map(BloomFilter::memory_bytes)
+                .sum();
+            server.memory.set_component("bloom-filters", bloom_bytes);
+        }
+
+        let max_supersteps = self
+            .config
+            .max_supersteps
+            .unwrap_or(u32::MAX)
+            .min(program.max_supersteps());
+
+        let mut metrics = ClusterMetrics::default();
+        let mut updated_ratio = Vec::new();
+        // Vertices updated in the previous superstep (drives Bloom-filter skipping).
+        let mut previously_updated: Vec<VertexId> =
+            (0..num_vertices as u32).collect();
+        let mut supersteps_run = 0u32;
+
+        for superstep in 0..max_supersteps {
+            let mut report = SuperstepReport::new(superstep, num_servers);
+            let mut all_updates: Vec<(VertexId, f64)> = Vec::new();
+
+            for sid in 0..num_servers as usize {
+                let mut server_metrics = ServerMetrics::default();
+                let mut received = ServerMetrics::default();
+                let server = &mut servers[sid];
+                server.cache.reset_stats();
+
+                let vertex_ctx = VertexContext {
+                    values: &server.values,
+                    out_degrees: &out_degrees,
+                    in_degrees: &in_degrees,
+                    num_vertices,
+                    superstep,
+                };
+
+                for &tile_id in &server.tiles.clone() {
+                    // Bloom-filter tile skipping: a tile with no updated source vertex
+                    // cannot change any target value.
+                    let run_everything =
+                        superstep == 0 && program.run_all_vertices_initially();
+                    if self.config.use_bloom_filter && !run_everything {
+                        let bloom = &server.blooms[&tile_id];
+                        if !bloom.may_contain_any(previously_updated.iter()) {
+                            server_metrics.tiles_skipped += 1;
+                            continue;
+                        }
+                    }
+
+                    // Fetch the tile: edge cache first, local disk on a miss.
+                    let tile = match server.cache.get(tile_id) {
+                        Some(tile) => tile,
+                        None => {
+                            let blob = server
+                                .disk
+                                .get(&tile_id)
+                                .expect("assigned tile must be on local disk");
+                            server_metrics.disk_read_bytes += blob.len() as u64;
+                            server_metrics.disk_read_ops += 1;
+                            let tile = Tile::from_bytes(blob)?;
+                            server.cache.insert(tile_id, blob);
+                            tile
+                        }
+                    };
+
+                    // Process the tile against the local replica array.
+                    let mut tile_updates: Vec<(VertexId, f64)> = Vec::new();
+                    server.memory.with_transient(tile.memory_bytes(), |_| {
+                        for target in tile.targets() {
+                            let in_degree = tile.in_degree(target);
+                            if in_degree == 0 && !run_everything {
+                                continue;
+                            }
+                            let mut edges = tile.in_edges(target);
+                            let accum = program.gather(target, &mut edges, &vertex_ctx);
+                            let current = vertex_ctx.values[target as usize];
+                            let new = program.apply(target, accum, current, &vertex_ctx);
+                            server_metrics.edges_processed += u64::from(in_degree);
+                            if program.is_update(current, new) {
+                                tile_updates.push((target, new));
+                            }
+                        }
+                    });
+                    server_metrics.tiles_processed += 1;
+                    server_metrics.messages_produced += tile_updates.len() as u64;
+
+                    // Broadcast this tile's updates to the other servers.
+                    if !tile_updates.is_empty() {
+                        let message = BroadcastMessage::new(
+                            tile.target_start,
+                            tile.target_end,
+                            tile_updates,
+                        );
+                        let mut receiver_slots =
+                            vec![ServerMetrics::default(); (num_servers - 1) as usize];
+                        let (updates, _encoding) = channel.broadcast(
+                            &message,
+                            &mut server_metrics,
+                            &mut receiver_slots,
+                        );
+                        if let Some(first) = receiver_slots.first() {
+                            received.merge(first);
+                        }
+                        all_updates.extend(updates);
+                    }
+                }
+
+                // Fold cache behaviour into the superstep metrics.
+                let cache_stats = server.cache.stats();
+                server_metrics.cache_hits += cache_stats.hits;
+                server_metrics.cache_misses += cache_stats.misses;
+                server_metrics.decompress_seconds += cache_stats.decompress_seconds;
+                server_metrics.compress_seconds += cache_stats.compress_seconds;
+                server
+                    .memory
+                    .set_component("edge-cache", cache_stats.used_bytes);
+                server_metrics.peak_memory_bytes = server.memory.peak();
+
+                report.servers[sid] = server_metrics;
+                // Every *other* server receives what this server's receiver slot saw.
+                for (other, slot) in report.servers.iter_mut().enumerate() {
+                    if other != sid {
+                        slot.network_received_bytes += received.network_received_bytes;
+                        slot.decompress_seconds += received.decompress_seconds;
+                    }
+                }
+            }
+
+            // BSP barrier: apply all broadcast updates to every replica.
+            all_updates.sort_unstable_by_key(|&(v, _)| v);
+            all_updates.dedup_by_key(|&mut (v, _)| v);
+            for server in &mut servers {
+                for &(v, value) in &all_updates {
+                    server.values[v as usize] = value;
+                }
+            }
+            for (sid, server) in servers.iter().enumerate() {
+                report.servers[sid].vertices_updated = all_updates.len() as u64;
+                report.servers[sid].peak_memory_bytes = server.memory.peak();
+            }
+            report.total_vertices_updated = all_updates.len() as u64;
+            updated_ratio.push(all_updates.len() as f64 / num_vertices as f64);
+            previously_updated = all_updates.iter().map(|&(v, _)| v).collect();
+
+            let report = cost_model.finalize(report);
+            metrics.push(report);
+            supersteps_run = superstep + 1;
+
+            if previously_updated.is_empty() {
+                break;
+            }
+        }
+
+        let per_server_peak_memory = servers.iter().map(|s| s.memory.peak()).collect();
+        let cache_codec = servers
+            .first()
+            .map(|s| s.cache.codec())
+            .unwrap_or(Codec::Raw);
+        let values = servers
+            .into_iter()
+            .next()
+            .map(|s| s.values)
+            .unwrap_or_default();
+
+        Ok(RunResult {
+            values,
+            metrics,
+            supersteps_run,
+            cache_codec,
+            per_server_peak_memory,
+            updated_ratio_per_superstep: updated_ratio,
+        })
+    }
+
+    /// Build per-server state: stage each server's tiles on its local disk, build the
+    /// Bloom filters, size the edge cache from the idle memory.
+    fn build_servers(
+        &self,
+        partitioned: &PartitionedGraph,
+        assignment: &TileAssignment,
+        initial_values: &[f64],
+    ) -> Vec<ServerState> {
+        let num_vertices = initial_values.len() as u64;
+        let machine = self.config.cluster.machine;
+        (0..self.config.cluster.num_servers)
+            .map(|sid| {
+                let tiles = assignment.tiles_of(sid);
+                let mut disk = HashMap::new();
+                let mut blooms = HashMap::new();
+                let mut total_tile_bytes = 0u64;
+                for &tid in &tiles {
+                    let tile = &partitioned.tiles[tid as usize];
+                    let blob = tile.to_bytes();
+                    total_tile_bytes += blob.len() as u64;
+                    blooms.insert(
+                        tid,
+                        BloomFilter::from_ids(
+                            tile.sources().iter().copied(),
+                            tile.sources().len().max(8),
+                        ),
+                    );
+                    disk.insert(tid, blob);
+                }
+                // Idle memory = machine memory minus the permanent vertex arrays.
+                let permanent = 8 * num_vertices * 2 + 4 * num_vertices * 2;
+                let idle = machine.memory_bytes.saturating_sub(permanent);
+                let capacity = self.config.cache_capacity.unwrap_or(idle);
+                let cache = EdgeCache::new(
+                    EdgeCacheConfig {
+                        capacity_bytes: capacity,
+                        mode: self.config.cache_mode,
+                    },
+                    total_tile_bytes,
+                );
+                ServerState {
+                    id: sid,
+                    tiles,
+                    disk,
+                    values: initial_values.to_vec(),
+                    cache,
+                    blooms,
+                    memory: MemoryTracker::new(machine.memory_bytes),
+                }
+            })
+            .collect()
+    }
+}
+
+// `ServerState` is internal; only its id field would otherwise be unused in release
+// builds, keep it for debugging/logging symmetry.
+impl std::fmt::Debug for ServerState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerState")
+            .field("id", &self.id)
+            .field("tiles", &self.tiles.len())
+            .field("values", &self.values.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::{Bfs, DegreeCentrality, PageRank, Sssp, Wcc};
+    use crate::reference;
+    use graphh_graph::generators::{
+        grid_graph, path_graph, star_graph, GraphGenerator, RmatGenerator,
+    };
+    use graphh_graph::Graph;
+    use graphh_partition::{Spe, SpeConfig};
+
+    fn partition(graph: &Graph, tiles: u32) -> PartitionedGraph {
+        Spe::partition(graph, &SpeConfig::with_tile_count("test", graph, tiles)).unwrap()
+    }
+
+    fn engine(servers: u32) -> GraphHEngine {
+        GraphHEngine::new(GraphHConfig::paper_default(ClusterConfig::paper_testbed(
+            servers,
+        )))
+    }
+
+    #[test]
+    fn pagerank_matches_reference_on_rmat() {
+        let g = RmatGenerator::new(8, 6).generate(11);
+        let p = partition(&g, 7);
+        let result = engine(3).run(&p, &PageRank::new(10)).unwrap();
+        let expected = reference::pagerank(&g, 10);
+        assert!(
+            reference::max_abs_diff(&result.values, &expected) < 1e-9,
+            "distributed PageRank diverged from reference"
+        );
+        assert_eq!(result.supersteps_run, 10);
+    }
+
+    #[test]
+    fn pagerank_is_identical_across_cluster_sizes() {
+        let g = RmatGenerator::new(7, 5).generate(2);
+        let p = partition(&g, 9);
+        let one = engine(1).run(&p, &PageRank::new(5)).unwrap();
+        let nine = engine(9).run(&p, &PageRank::new(5)).unwrap();
+        assert!(reference::max_abs_diff(&one.values, &nine.values) < 1e-12);
+    }
+
+    #[test]
+    fn sssp_matches_reference_on_weighted_grid() {
+        let g = grid_graph(6, 7);
+        let p = partition(&g, 5);
+        let result = engine(3).run(&p, &Sssp::new(0)).unwrap();
+        let expected = reference::sssp(&g, 0);
+        assert_eq!(reference::max_abs_diff(&result.values, &expected), 0.0);
+    }
+
+    #[test]
+    fn sssp_terminates_before_max_supersteps_via_convergence() {
+        let g = path_graph(12);
+        let p = partition(&g, 4);
+        let result = engine(2).run(&p, &Sssp::new(0)).unwrap();
+        // A 12-vertex path needs 12 supersteps to settle (one hop per superstep plus
+        // the final no-update round), far below u32::MAX.
+        assert!(result.supersteps_run <= 13);
+        assert_eq!(
+            reference::max_abs_diff(&result.values, &reference::sssp(&g, 0)),
+            0.0
+        );
+    }
+
+    #[test]
+    fn bfs_and_wcc_match_reference() {
+        let g = RmatGenerator::new(7, 4).simplified().generate(5);
+        let p = partition(&g, 6);
+        let bfs = engine(3).run(&p, &Bfs::new(0)).unwrap();
+        assert_eq!(
+            reference::max_abs_diff(&bfs.values, &reference::bfs(&g, 0)),
+            0.0
+        );
+
+        // WCC needs the symmetrised graph.
+        let mut b = graphh_graph::GraphBuilder::new().with_num_vertices(g.num_vertices()).symmetric(true);
+        for e in g.edges().iter() {
+            b.add_edge(e);
+        }
+        let sym = b.build().unwrap();
+        let psym = partition(&sym, 6);
+        let wcc = engine(3).run(&psym, &Wcc::new()).unwrap();
+        assert_eq!(
+            reference::max_abs_diff(&wcc.values, &reference::wcc(&sym)),
+            0.0
+        );
+    }
+
+    #[test]
+    fn degree_centrality_matches_in_degrees() {
+        let g = star_graph(64);
+        let p = partition(&g, 3);
+        let result = engine(2).run(&p, &DegreeCentrality::new()).unwrap();
+        assert_eq!(result.values[0], 63.0);
+        assert!(result.values[1..].iter().all(|&v| v == 0.0));
+        assert_eq!(result.supersteps_run, 1);
+    }
+
+    #[test]
+    fn metrics_record_real_work() {
+        let g = RmatGenerator::new(8, 6).generate(1);
+        let p = partition(&g, 8);
+        let result = engine(3).run(&p, &PageRank::new(5)).unwrap();
+        let m = &result.metrics;
+        assert_eq!(m.num_supersteps() as u32, result.supersteps_run);
+        // Every superstep processes every edge for PageRank (all vertices active).
+        for report in &m.supersteps {
+            assert_eq!(report.total_edges_processed(), g.num_edges());
+            assert!(report.simulated_seconds > 0.0);
+        }
+        // 3 servers, tiles get broadcast: network traffic must be non-zero.
+        assert!(m.total_network_bytes() > 0);
+        // With a 128 GB machine everything fits in cache after the first superstep.
+        assert!(m.supersteps[2].cache_hit_ratio() > 0.99);
+        assert!(m.total_disk_bytes() > 0);
+        assert!(result.per_server_peak_memory.iter().all(|&b| b > 0));
+        assert_eq!(result.updated_ratio_per_superstep.len(), 5);
+        assert!(result.avg_superstep_seconds() > 0.0);
+    }
+
+    #[test]
+    fn single_server_generates_no_network_traffic() {
+        let g = RmatGenerator::new(7, 4).generate(9);
+        let p = partition(&g, 5);
+        let result = engine(1).run(&p, &PageRank::new(3)).unwrap();
+        assert_eq!(result.metrics.total_network_bytes(), 0);
+    }
+
+    #[test]
+    fn disabling_cache_forces_disk_reads_every_superstep() {
+        let g = RmatGenerator::new(7, 6).generate(4);
+        let p = partition(&g, 6);
+        let cached = engine(2).run(&p, &PageRank::new(4)).unwrap();
+        let uncached_engine = GraphHEngine::new(
+            GraphHConfig::paper_default(ClusterConfig::paper_testbed(2)).without_cache(),
+        );
+        let uncached = uncached_engine.run(&p, &PageRank::new(4)).unwrap();
+        assert!(
+            uncached.metrics.total_disk_bytes() > cached.metrics.total_disk_bytes(),
+            "cache should cut disk traffic"
+        );
+        // Results are identical either way.
+        assert!(reference::max_abs_diff(&cached.values, &uncached.values) < 1e-12);
+    }
+
+    #[test]
+    fn bloom_filter_skips_tiles_for_frontier_algorithms() {
+        let g = path_graph(200);
+        let p = partition(&g, 20);
+        let with_bloom = engine(2).run(&p, &Sssp::new(0)).unwrap();
+        let mut cfg = GraphHConfig::paper_default(ClusterConfig::paper_testbed(2));
+        cfg.use_bloom_filter = false;
+        let without_bloom = GraphHEngine::new(cfg).run(&p, &Sssp::new(0)).unwrap();
+        let skipped: u64 = with_bloom
+            .metrics
+            .supersteps
+            .iter()
+            .flat_map(|r| r.servers.iter())
+            .map(|s| s.tiles_skipped)
+            .sum();
+        let skipped_without: u64 = without_bloom
+            .metrics
+            .supersteps
+            .iter()
+            .flat_map(|r| r.servers.iter())
+            .map(|s| s.tiles_skipped)
+            .sum();
+        assert!(skipped > 0, "SSSP on a path should skip most tiles");
+        assert_eq!(skipped_without, 0);
+        assert_eq!(
+            reference::max_abs_diff(&with_bloom.values, &without_bloom.values),
+            0.0
+        );
+    }
+
+    #[test]
+    fn max_supersteps_override_caps_execution() {
+        let g = RmatGenerator::new(6, 4).generate(8);
+        let p = partition(&g, 4);
+        let mut cfg = GraphHConfig::paper_default(ClusterConfig::paper_testbed(2));
+        cfg.max_supersteps = Some(3);
+        let result = GraphHEngine::new(cfg).run(&p, &PageRank::new(100)).unwrap();
+        assert_eq!(result.supersteps_run, 3);
+    }
+
+    #[test]
+    fn empty_graph_is_rejected() {
+        let g = Graph::from_edges(0, graphh_graph::EdgeList::new_unweighted()).unwrap();
+        let p = partition(&g, 1);
+        assert!(engine(1).run(&p, &PageRank::new(1)).is_err());
+    }
+}

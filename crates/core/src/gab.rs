@@ -1,0 +1,145 @@
+//! The GAB (Gather–Apply–Broadcast) programming abstraction (paper §III-C.2).
+//!
+//! A GAB program updates a vertex with two user functions:
+//!
+//! * `gather` — walk the vertex's in-edges, reading the *source* vertices' current
+//!   values from the local replica array, and fold them into an accumulator,
+//! * `apply` — combine the accumulator with the vertex's current value to produce the
+//!   new value.
+//!
+//! Broadcasting the new value to the other replicas is the engine's job, which is why
+//! (unlike GAS) the user only writes two functions. Values are `f64`; that covers
+//! every algorithm in the paper (ranks, distances, component labels) and keeps the
+//! wire encoding uniform.
+
+use graphh_graph::ids::VertexId;
+
+/// Context available while computing initial values.
+#[derive(Debug, Clone, Copy)]
+pub struct InitContext<'a> {
+    /// Number of vertices in the graph.
+    pub num_vertices: u64,
+    /// Out-degree of every vertex (the array PageRank asks the engine to load).
+    pub out_degrees: &'a [u32],
+    /// In-degree of every vertex.
+    pub in_degrees: &'a [u32],
+}
+
+/// Context available to `gather` and `apply`.
+#[derive(Debug, Clone, Copy)]
+pub struct VertexContext<'a> {
+    /// Current values of *all* vertices (the local replica array).
+    pub values: &'a [f64],
+    /// Out-degree of every vertex.
+    pub out_degrees: &'a [u32],
+    /// In-degree of every vertex.
+    pub in_degrees: &'a [u32],
+    /// Number of vertices in the graph.
+    pub num_vertices: u64,
+    /// Current superstep (0-based).
+    pub superstep: u32,
+}
+
+/// A vertex-centric program in the GAB model.
+pub trait GabProgram: Send + Sync {
+    /// Human-readable program name (used in logs and experiment output).
+    fn name(&self) -> &'static str;
+
+    /// Initial value of vertex `v`.
+    fn initial_value(&self, v: VertexId, ctx: &InitContext<'_>) -> f64;
+
+    /// Fold the in-edges of `target` into an accumulator. `in_edges` yields
+    /// `(source vertex, edge weight)` pairs; source values are read from
+    /// `ctx.values`.
+    fn gather(
+        &self,
+        target: VertexId,
+        in_edges: &mut dyn Iterator<Item = (VertexId, f32)>,
+        ctx: &VertexContext<'_>,
+    ) -> f64;
+
+    /// Produce the new value of `target` from the accumulator and its current value.
+    fn apply(&self, target: VertexId, accum: f64, current: f64, ctx: &VertexContext<'_>) -> f64;
+
+    /// Whether `new` counts as an update relative to `old`. The default treats any
+    /// change beyond `update_tolerance` as an update.
+    fn is_update(&self, old: f64, new: f64) -> bool {
+        (new - old).abs() > self.update_tolerance()
+    }
+
+    /// Tolerance below which a change is not considered an update (and therefore is
+    /// neither broadcast nor used to keep the program running).
+    fn update_tolerance(&self) -> f64 {
+        0.0
+    }
+
+    /// Hard cap on supersteps (the program also stops as soon as no vertex updates).
+    fn max_supersteps(&self) -> u32 {
+        u32::MAX
+    }
+
+    /// Whether *every* vertex should run in superstep 0 even if it received no
+    /// update (true for PageRank-style programs; SSSP only activates the source's
+    /// out-neighbours because only the source changed at initialisation).
+    fn run_all_vertices_initially(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A trivial program: every vertex becomes the count of its in-edges.
+    struct CountInEdges;
+
+    impl GabProgram for CountInEdges {
+        fn name(&self) -> &'static str {
+            "count-in-edges"
+        }
+        fn initial_value(&self, _v: VertexId, _ctx: &InitContext<'_>) -> f64 {
+            0.0
+        }
+        fn gather(
+            &self,
+            _target: VertexId,
+            in_edges: &mut dyn Iterator<Item = (VertexId, f32)>,
+            _ctx: &VertexContext<'_>,
+        ) -> f64 {
+            in_edges.count() as f64
+        }
+        fn apply(&self, _t: VertexId, accum: f64, _current: f64, _ctx: &VertexContext<'_>) -> f64 {
+            accum
+        }
+        fn max_supersteps(&self) -> u32 {
+            1
+        }
+    }
+
+    #[test]
+    fn default_update_semantics() {
+        let p = CountInEdges;
+        assert!(p.is_update(0.0, 1.0));
+        assert!(!p.is_update(1.0, 1.0));
+        assert_eq!(p.update_tolerance(), 0.0);
+        assert!(p.run_all_vertices_initially());
+        assert_eq!(p.max_supersteps(), 1);
+    }
+
+    #[test]
+    fn gather_sees_edge_iterator() {
+        let p = CountInEdges;
+        let values = vec![0.0; 4];
+        let out_degrees = vec![0u32; 4];
+        let in_degrees = vec![0u32; 4];
+        let ctx = VertexContext {
+            values: &values,
+            out_degrees: &out_degrees,
+            in_degrees: &in_degrees,
+            num_vertices: 4,
+            superstep: 0,
+        };
+        let mut edges = [(0u32, 1.0f32), (2, 1.0)].into_iter();
+        assert_eq!(p.gather(1, &mut edges, &ctx), 2.0);
+    }
+}

@@ -1,0 +1,157 @@
+//! Chung-Lu generator: random graph with a prescribed expected degree sequence.
+//!
+//! Used for the dataset stand-ins because it lets us dial in the exact average
+//! degree and power-law exponent of each of the paper's crawls (Table I) while
+//! keeping generation linear in |E|.
+
+use super::GraphGenerator;
+use crate::builder::GraphBuilder;
+use crate::edge::Edge;
+use crate::ids::VertexId;
+use crate::Graph;
+use rand::distributions::{Distribution, WeightedIndex};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Chung-Lu style generator with an explicit expected-degree weight per vertex.
+#[derive(Debug, Clone)]
+pub struct ChungLuGenerator {
+    /// Expected out-degree weight of every vertex.
+    out_weights: Vec<f64>,
+    /// Expected in-degree weight of every vertex.
+    in_weights: Vec<f64>,
+    /// Total number of edges to sample.
+    num_edges: u64,
+}
+
+impl ChungLuGenerator {
+    /// Build from explicit weight sequences; `num_edges` edges are sampled with
+    /// source ∝ out-weight and target ∝ in-weight.
+    pub fn new(out_weights: Vec<f64>, in_weights: Vec<f64>, num_edges: u64) -> Self {
+        assert_eq!(out_weights.len(), in_weights.len());
+        assert!(!out_weights.is_empty());
+        Self {
+            out_weights,
+            in_weights,
+            num_edges,
+        }
+    }
+
+    /// A power-law graph: `n` vertices, average degree `avg_degree`, in-degree
+    /// exponent `gamma` (web graphs: roughly 2.1); out-degrees use a milder
+    /// exponent, mirroring the paper's crawls whose max in-degree is orders of
+    /// magnitude larger than the max out-degree (Table I).
+    pub fn power_law(n: u64, avg_degree: f64, gamma: f64) -> Self {
+        assert!(n > 0);
+        let num_edges = (n as f64 * avg_degree).round() as u64;
+        let mut in_weights: Vec<f64> =
+            (0..n).map(|i| ((i + 1) as f64).powf(-1.0 / (gamma - 1.0))).collect();
+        // Out-degree tail is much lighter (exponent ~2.8 equivalent).
+        let mut out_weights: Vec<f64> = (0..n).map(|i| ((i + 1) as f64).powf(-1.0 / 1.8)).collect();
+        // Shuffle which vertex ids are the hubs so heavy vertices are not all low
+        // ids (low ids ending up in the same tile would be unrealistic).
+        let perm = pseudo_permutation(n, 0xC0FF_EE00 ^ n);
+        in_weights = permute(&in_weights, &perm);
+        out_weights = permute(&out_weights, &perm);
+        Self {
+            out_weights,
+            in_weights,
+            num_edges,
+        }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> u64 {
+        self.out_weights.len() as u64
+    }
+
+    /// Number of edges that will be sampled.
+    pub fn num_edges(&self) -> u64 {
+        self.num_edges
+    }
+}
+
+impl GraphGenerator for ChungLuGenerator {
+    fn generate(&self, seed: u64) -> Graph {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let out_dist = WeightedIndex::new(&self.out_weights).expect("non-empty positive weights");
+        let in_dist = WeightedIndex::new(&self.in_weights).expect("non-empty positive weights");
+        let n = self.num_vertices();
+        let mut builder = GraphBuilder::new().with_num_vertices(n);
+        for _ in 0..self.num_edges {
+            let src = out_dist.sample(&mut rng) as VertexId;
+            let dst = in_dist.sample(&mut rng) as VertexId;
+            builder.add_edge(Edge::new(src, dst));
+        }
+        builder.build().expect("permuted ids are in range")
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "chung_lu(n={}, m={})",
+            self.num_vertices(),
+            self.num_edges
+        )
+    }
+}
+
+/// A deterministic pseudo-random permutation of `0..n` derived from `seed`.
+fn pseudo_permutation(n: u64, seed: u64) -> Vec<u32> {
+    use rand::seq::SliceRandom;
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut perm: Vec<u32> = (0..n as u32).collect();
+    perm.shuffle(&mut rng);
+    perm
+}
+
+/// Reorder `values` so that entry `i` moves to position `perm[i]`.
+fn permute(values: &[f64], perm: &[u32]) -> Vec<f64> {
+    let mut out = vec![0.0; values.len()];
+    for (i, &p) in perm.iter().enumerate() {
+        out[p as usize] = values[i];
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::degree::DegreeHistogram;
+
+    #[test]
+    fn power_law_has_requested_average_degree() {
+        let g = ChungLuGenerator::power_law(2000, 8.0, 2.1).generate(9);
+        assert_eq!(g.num_vertices(), 2000);
+        let avg = g.num_edges() as f64 / g.num_vertices() as f64;
+        assert!((avg - 8.0).abs() < 0.5, "avg degree {avg}");
+    }
+
+    #[test]
+    fn power_law_in_degrees_are_heavier_than_out_degrees() {
+        let g = ChungLuGenerator::power_law(5000, 10.0, 2.1).generate(11);
+        let max_in = *g.in_degrees().iter().max().unwrap();
+        let max_out = *g.out_degrees().iter().max().unwrap();
+        assert!(
+            max_in > max_out,
+            "web-like graphs should have in-degree hubs (in {max_in} vs out {max_out})"
+        );
+        let share = DegreeHistogram::top_percent_share(g.in_degrees(), 1.0);
+        assert!(share > 0.15, "top-1% in-degree share {share}");
+    }
+
+    #[test]
+    fn explicit_weights_respected() {
+        // Vertex 0 takes almost all in-edges.
+        let out = vec![1.0; 10];
+        let mut inw = vec![0.0001; 10];
+        inw[0] = 1000.0;
+        let g = ChungLuGenerator::new(out, inw, 500).generate(1);
+        assert!(g.in_degree(0) > 450);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_weight_lengths_panic() {
+        let _ = ChungLuGenerator::new(vec![1.0; 3], vec![1.0; 4], 10);
+    }
+}

@@ -1,0 +1,53 @@
+//! Engine shoot-out: run PageRank on the same graph with GraphH and all five
+//! baselines, verify they agree, and print the simulated performance and memory
+//! profile of each — a miniature version of the paper's Figure 1 and Figure 9.
+//!
+//! Run with: `cargo run --release --example engine_shootout`
+
+use graphh::baselines::program::PageRankMsg;
+use graphh::graph::properties::human_bytes;
+use graphh::prelude::*;
+
+fn main() {
+    let graph = Dataset::Twitter2010.default_spec().generate(11);
+    let partitioned =
+        Spe::partition(&graph, &SpeConfig::with_tile_count("twitter", &graph, 36)).unwrap();
+    let cluster = ClusterConfig::paper_testbed(9);
+    let supersteps = 10;
+
+    let graphh = GraphHEngine::new(GraphHConfig::paper_default(cluster))
+        .run(&partitioned, &PageRank::new(supersteps))
+        .unwrap();
+    let pregel = PregelEngine::new(PregelConfig::pregel_plus(cluster))
+        .run(&graph, &PageRankMsg::new(supersteps));
+    let graphd =
+        PregelEngine::new(PregelConfig::graphd(cluster)).run(&graph, &PageRankMsg::new(supersteps));
+    let powergraph =
+        GasEngine::new(GasConfig::powergraph(cluster)).run(&graph, &PageRankMsg::new(supersteps));
+    let powerlyra =
+        GasEngine::new(GasConfig::powerlyra(cluster)).run(&graph, &PageRankMsg::new(supersteps));
+    let chaos =
+        ChaosEngine::new(ChaosConfig::new(cluster)).run(&graph, &PageRankMsg::new(supersteps));
+
+    // All engines implement the same synchronous PageRank, so they must agree.
+    let max_diff = graphh
+        .values
+        .iter()
+        .zip(&pregel.values)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f64, f64::max);
+    println!("max |GraphH - Pregel+| rank difference: {max_diff:.2e}\n");
+
+    println!("system      avg superstep (sim. s)   per-server memory");
+    let rows: [(&str, f64, u64); 6] = [
+        ("GraphH", graphh.avg_superstep_seconds(), *graphh.per_server_peak_memory.iter().max().unwrap()),
+        ("Pregel+", pregel.avg_superstep_seconds(), pregel.per_server_memory_bytes),
+        ("PowerGraph", powergraph.avg_superstep_seconds(), powergraph.per_server_memory_bytes),
+        ("PowerLyra", powerlyra.avg_superstep_seconds(), powerlyra.per_server_memory_bytes),
+        ("GraphD", graphd.avg_superstep_seconds(), graphd.per_server_memory_bytes),
+        ("Chaos", chaos.avg_superstep_seconds(), chaos.per_server_memory_bytes),
+    ];
+    for (name, secs, mem) in rows {
+        println!("{name:<11} {secs:>20.4}   {}", human_bytes(mem));
+    }
+}

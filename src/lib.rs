@@ -1,0 +1,64 @@
+//! # graphh
+//!
+//! Facade crate for the GraphH reproduction (CLUSTER 2017: *GraphH: High Performance
+//! Big Graph Analytics in Small Clusters*, Sun et al.). It re-exports the public API
+//! of every workspace crate so applications can depend on a single crate:
+//!
+//! ```
+//! use graphh::prelude::*;
+//!
+//! // 1. Get a graph (here: a small synthetic web-like graph).
+//! let graph = RmatGenerator::new(10, 8).generate(42);
+//!
+//! // 2. Pre-process it into tiles (the paper's SPE / two-stage partitioning).
+//! let partitioned = Spe::partition(&graph, &SpeConfig::with_tile_count("demo", &graph, 16)).unwrap();
+//!
+//! // 3. Run a GAB program on a simulated cluster (the paper's MPE).
+//! let engine = GraphHEngine::new(GraphHConfig::paper_default(ClusterConfig::paper_testbed(3)));
+//! let result = engine.run(&partitioned, &PageRank::new(10)).unwrap();
+//!
+//! assert_eq!(result.values.len() as u64, graph.num_vertices());
+//! assert!(result.metrics.total_seconds() > 0.0);
+//! ```
+//!
+//! The individual layers are documented in their own crates:
+//!
+//! * [`graph`] — graph data structures, generators, dataset stand-ins,
+//! * [`storage`] — DFS substrate and metered local storage,
+//! * [`compress`] — snappy / zlib / varint-delta codecs,
+//! * [`partition`] — two-stage partitioning into tiles,
+//! * [`cluster`] — the simulated cluster: config, metrics, cost model, broadcast,
+//! * [`cache`] — the edge cache,
+//! * [`core`] — the GAB model, the GraphH engine and the algorithms,
+//! * [`baselines`] — Pregel+, GraphD, PowerGraph, PowerLyra and Chaos.
+
+pub use graphh_baselines as baselines;
+pub use graphh_cache as cache;
+pub use graphh_cluster as cluster;
+pub use graphh_compress as compress;
+pub use graphh_core as core;
+pub use graphh_graph as graph;
+pub use graphh_partition as partition;
+pub use graphh_storage as storage;
+
+/// The most commonly used types, re-exported flat.
+pub mod prelude {
+    pub use graphh_baselines::{
+        ChaosConfig, ChaosEngine, CostSheet, GasConfig, GasEngine, PregelConfig, PregelEngine,
+        SystemKind,
+    };
+    pub use graphh_cache::{CacheMode, EdgeCache, EdgeCacheConfig};
+    pub use graphh_cluster::{ClusterConfig, CommunicationMode, CostModel, MachineSpec};
+    pub use graphh_compress::Codec;
+    pub use graphh_core::{
+        Bfs, DegreeCentrality, GabProgram, GraphHConfig, GraphHEngine, PageRank, RunResult, Sssp,
+        Wcc,
+    };
+    pub use graphh_graph::datasets::{Dataset, DatasetSpec};
+    pub use graphh_graph::generators::{
+        ChungLuGenerator, ErdosRenyiGenerator, GraphGenerator, RmatGenerator,
+    };
+    pub use graphh_graph::{Edge, EdgeList, Graph, GraphBuilder};
+    pub use graphh_partition::{PartitionedGraph, Spe, SpeConfig, Tile};
+    pub use graphh_storage::{Dfs, DfsConfig, LocalDiskBackend, MemoryBackend};
+}

@@ -1,0 +1,116 @@
+//! Property-based tests of the core data structures and invariants.
+
+use graphh::cluster::{BroadcastEncoding, BroadcastMessage};
+use graphh::compress::Codec;
+use graphh::core::reference;
+use graphh::prelude::*;
+use proptest::prelude::*;
+
+fn arbitrary_edges(max_v: u32, max_e: usize) -> impl Strategy<Value = Vec<(u32, u32)>> {
+    prop::collection::vec((0..max_v, 0..max_v), 0..max_e)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn partitioning_conserves_every_edge(edges in arbitrary_edges(200, 400), tile_size in 1u64..50) {
+        let mut builder = GraphBuilder::new().with_num_vertices(200);
+        for (s, d) in &edges {
+            builder.add_edge(Edge::new(*s, *d));
+        }
+        let graph = builder.build().unwrap();
+        let partitioned = Spe::partition(&graph, &SpeConfig::new("prop", tile_size)).unwrap();
+        prop_assert_eq!(partitioned.num_edges(), graph.num_edges());
+        // Every edge is in the tile owning its target, and tile ranges are disjoint.
+        let mut recovered: Vec<(u32, u32)> = Vec::new();
+        for tile in &partitioned.tiles {
+            for target in tile.targets() {
+                for (src, _) in tile.in_edges(target) {
+                    recovered.push((src, target));
+                }
+            }
+        }
+        let mut expected: Vec<(u32, u32)> = edges.clone();
+        expected.sort_unstable();
+        recovered.sort_unstable();
+        prop_assert_eq!(recovered, expected);
+    }
+
+    #[test]
+    fn tile_serialization_roundtrips(edges in arbitrary_edges(64, 200)) {
+        let mut builder = GraphBuilder::new().with_num_vertices(64);
+        for (s, d) in &edges {
+            builder.add_edge(Edge::new(*s, *d));
+        }
+        let graph = builder.build().unwrap();
+        let partitioned = Spe::partition(&graph, &SpeConfig::new("prop", 16)).unwrap();
+        for tile in &partitioned.tiles {
+            let bytes = tile.to_bytes();
+            prop_assert_eq!(bytes.len() as u64, tile.serialized_size());
+            let back = Tile::from_bytes(&bytes).unwrap();
+            prop_assert_eq!(&back, tile);
+        }
+    }
+
+    #[test]
+    fn codecs_roundtrip_arbitrary_bytes(data in prop::collection::vec(any::<u8>(), 0..2048)) {
+        for codec in Codec::ALL {
+            let restored = codec.decompress(&codec.compress(&data)).unwrap();
+            prop_assert_eq!(&restored, &data, "codec {}", codec.name());
+        }
+    }
+
+    #[test]
+    fn broadcast_encodings_decode_to_the_same_updates(
+        range_start in 0u32..1000,
+        len in 1u32..300,
+        picks in prop::collection::btree_set(0u32..300, 0..100),
+    ) {
+        let range_end = range_start + len;
+        let updates: Vec<(u32, f64)> = picks
+            .iter()
+            .filter(|&&p| p < len)
+            .map(|&p| (range_start + p, f64::from(p) * 0.25 - 3.0))
+            .collect();
+        let msg = BroadcastMessage::new(range_start, range_end, updates.clone());
+        for enc in [BroadcastEncoding::Dense, BroadcastEncoding::Sparse] {
+            let decoded = BroadcastMessage::decode(&msg.encode(enc)).unwrap();
+            prop_assert_eq!(&decoded.updates, &updates);
+        }
+    }
+
+    #[test]
+    fn pagerank_mass_is_bounded_and_engine_matches_reference(
+        scale in 4u32..7,
+        edge_factor in 2u32..6,
+        seed in 0u64..50,
+    ) {
+        let graph = RmatGenerator::new(scale, edge_factor).generate(seed);
+        let partitioned = Spe::partition(&graph, &SpeConfig::with_tile_count("prop", &graph, 6)).unwrap();
+        let engine = GraphHEngine::new(GraphHConfig::paper_default(ClusterConfig::paper_testbed(2)));
+        let result = engine.run(&partitioned, &PageRank::new(5)).unwrap();
+        let expected = reference::pagerank(&graph, 5);
+        prop_assert!(reference::max_abs_diff(&result.values, &expected) < 1e-9);
+        let sum: f64 = result.values.iter().sum();
+        prop_assert!(sum > 0.0 && sum <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn sssp_distances_respect_triangle_inequality_on_edges(
+        rows in 2u64..6,
+        cols in 2u64..6,
+    ) {
+        let graph = graphh::graph::generators::grid_graph(rows, cols);
+        let partitioned = Spe::partition(&graph, &SpeConfig::with_tile_count("prop", &graph, 4)).unwrap();
+        let engine = GraphHEngine::new(GraphHConfig::paper_default(ClusterConfig::paper_testbed(2)));
+        let result = engine.run(&partitioned, &Sssp::new(0)).unwrap();
+        // dist(v) <= dist(u) + w(u, v) for every edge.
+        for e in graph.edges().iter() {
+            let du = result.values[e.src as usize];
+            let dv = result.values[e.dst as usize];
+            prop_assert!(dv <= du + f64::from(e.weight) + 1e-9);
+        }
+        prop_assert_eq!(result.values[0], 0.0);
+    }
+}
