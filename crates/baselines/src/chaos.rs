@@ -116,8 +116,9 @@ impl ChaosEngine {
             // Charge the storage traffic of Algorithm 3, spread evenly over the
             // cluster (Chaos distributes every partition over all servers).
             let per_server = |total: u64| total / u64::from(num_servers);
-            let disk_read =
-                2 * v * VERTEX_RECORD_BYTES + e * EDGE_RECORD_BYTES + messages_written * MESSAGE_RECORD_BYTES;
+            let disk_read = 2 * v * VERTEX_RECORD_BYTES
+                + e * EDGE_RECORD_BYTES
+                + messages_written * MESSAGE_RECORD_BYTES;
             let disk_write = messages_written * MESSAGE_RECORD_BYTES + v * VERTEX_RECORD_BYTES;
             let network = disk_read + disk_write; // every access is remote
             for server in report.servers.iter_mut() {
@@ -175,7 +176,10 @@ mod tests {
     fn chaos_sssp_matches_reference() {
         let g = grid_graph(5, 5);
         let result = ChaosEngine::new(ChaosConfig::new(cluster(2))).run(&g, &SsspMsg::new(0));
-        assert_eq!(reference::max_abs_diff(&result.values, &reference::sssp(&g, 0)), 0.0);
+        assert_eq!(
+            reference::max_abs_diff(&result.values, &reference::sssp(&g, 0)),
+            0.0
+        );
     }
 
     #[test]
@@ -195,7 +199,8 @@ mod tests {
         // Figure 1b / 9: in-memory Pregel+ beats the out-of-core engines by a wide
         // margin because it performs no disk I/O.
         let g = RmatGenerator::new(9, 8).generate(3);
-        let pregel = PregelEngine::new(PregelConfig::pregel_plus(cluster(3))).run(&g, &PageRankMsg::new(3));
+        let pregel =
+            PregelEngine::new(PregelConfig::pregel_plus(cluster(3))).run(&g, &PageRankMsg::new(3));
         let chaos = ChaosEngine::new(ChaosConfig::new(cluster(3))).run(&g, &PageRankMsg::new(3));
         assert!(
             chaos.avg_superstep_seconds() > 2.0 * pregel.avg_superstep_seconds(),

@@ -135,7 +135,11 @@ impl CostSheet {
             // 2|E| edge storage + M|V| replicated vertex states + M|V| messages.
             SystemKind::PowerGraph | SystemKind::PowerLyra => {
                 let m = self.replication_factor(system);
-                let per_edge = if system == SystemKind::PowerGraph { 28.0 } else { 40.0 };
+                let per_edge = if system == SystemKind::PowerGraph {
+                    28.0
+                } else {
+                    40.0
+                };
                 2.0 * e * per_edge + m * v * 48.0
             }
             // |V| states + |E| adjacency + (η|E| + |V|) combined messages.
@@ -147,8 +151,7 @@ impl CostSheet {
             SystemKind::Chaos => v * 16.0 + (n * 3.0 * 1e9).min(e * 12.0),
             // All-in-All replicas on every server + per-worker tile buffers (no cache).
             SystemKind::GraphH => {
-                n * (v * 20.0)
-                    + n * f64::from(self.cluster.machine.workers) * 25_000_000.0 * 4.0
+                n * (v * 20.0) + n * f64::from(self.cluster.machine.workers) * 25_000_000.0 * 4.0
             }
         };
         bytes as u64
@@ -231,7 +234,10 @@ mod tests {
         let pregel = gb(SystemKind::PregelPlus);
         let graphd = gb(SystemKind::GraphD);
         let chaos = gb(SystemKind::Chaos);
-        assert!(giraph > graphx && graphx > powerlyra, "{giraph} {graphx} {powerlyra}");
+        assert!(
+            giraph > graphx && graphx > powerlyra,
+            "{giraph} {graphx} {powerlyra}"
+        );
         assert!(powerlyra > powergraph && powergraph > pregel);
         assert!(pregel > graphd && graphd > chaos);
         for (value, paper) in [
@@ -284,13 +290,19 @@ mod tests {
     #[test]
     fn out_of_core_disk_traffic_matches_table3_shape() {
         let s = sheet(Dataset::Uk2007, 9);
-        assert_eq!(s.disk_read_bytes_per_superstep(SystemKind::PregelPlus, 0.0), 0);
+        assert_eq!(
+            s.disk_read_bytes_per_superstep(SystemKind::PregelPlus, 0.0),
+            0
+        );
         let graphd = s.disk_read_bytes_per_superstep(SystemKind::GraphD, 0.0);
         let chaos = s.disk_read_bytes_per_superstep(SystemKind::Chaos, 0.0);
         let graphh_cold = s.disk_read_bytes_per_superstep(SystemKind::GraphH, 1.0);
         let graphh_warm = s.disk_read_bytes_per_superstep(SystemKind::GraphH, 0.0);
         assert!(chaos > graphd);
-        assert!(graphh_cold < graphd, "even a cold GraphH cache reads less (4 B/edge)");
+        assert!(
+            graphh_cold < graphd,
+            "even a cold GraphH cache reads less (4 B/edge)"
+        );
         assert_eq!(graphh_warm, 0);
         assert!(s.disk_write_bytes_per_superstep(SystemKind::GraphD) > 0);
         assert_eq!(s.disk_write_bytes_per_superstep(SystemKind::GraphH), 0);

@@ -130,7 +130,10 @@ impl GasEngine {
         let num_servers = self.config.cluster.num_servers as usize;
         let in_degrees = graph.in_degrees();
         let mut present = vec![0u64; n]; // bitset over servers (≤ 64 servers supported)
-        assert!(num_servers <= 64, "the GAS baseline models at most 64 servers");
+        assert!(
+            num_servers <= 64,
+            "the GAS baseline models at most 64 servers"
+        );
         for e in graph.edges().iter() {
             let s = self.edge_server(e.src, e.dst, in_degrees) as u64;
             present[e.src as usize] |= 1 << s;
@@ -185,7 +188,8 @@ impl GasEngine {
                 for (src, w) in csc.in_neighbors_weighted(v) {
                     let server = self.edge_server(src, v, in_degrees) as usize;
                     report.servers[server].edges_processed += 1;
-                    if let Some(msg) = program.message(values[src as usize], out_degrees[src as usize], w)
+                    if let Some(msg) =
+                        program.message(values[src as usize], out_degrees[src as usize], w)
                     {
                         accum = combiner.combine(accum, msg);
                         got = true;
@@ -278,9 +282,15 @@ mod tests {
         let g = grid_graph(6, 6);
         let engine = GasEngine::new(GasConfig::powerlyra(cluster(3)));
         let sssp = engine.run(&g, &SsspMsg::new(0));
-        assert_eq!(reference::max_abs_diff(&sssp.values, &reference::sssp(&g, 0)), 0.0);
+        assert_eq!(
+            reference::max_abs_diff(&sssp.values, &reference::sssp(&g, 0)),
+            0.0
+        );
         let wcc = engine.run(&g, &WccMsg);
-        assert_eq!(reference::max_abs_diff(&wcc.values, &reference::wcc(&g)), 0.0);
+        assert_eq!(
+            reference::max_abs_diff(&wcc.values, &reference::wcc(&g)),
+            0.0
+        );
     }
 
     #[test]

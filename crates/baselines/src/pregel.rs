@@ -14,9 +14,9 @@
 //! results to the GraphH engine) and meters traffic according to the selected
 //! storage model.
 
+use crate::costsheet::{CostSheet, SystemKind};
 use crate::program::MessageProgram;
 use crate::BaselineRunResult;
-use crate::costsheet::{CostSheet, SystemKind};
 use graphh_cluster::{ClusterConfig, ClusterMetrics, CostModel, SuperstepReport};
 use graphh_graph::ids::vertex_hash_server;
 use graphh_graph::Graph;
@@ -261,9 +261,15 @@ mod tests {
         let g = grid_graph(5, 6);
         let engine = PregelEngine::new(PregelConfig::pregel_plus(cluster(4)));
         let sssp = engine.run(&g, &SsspMsg::new(0));
-        assert_eq!(reference::max_abs_diff(&sssp.values, &reference::sssp(&g, 0)), 0.0);
+        assert_eq!(
+            reference::max_abs_diff(&sssp.values, &reference::sssp(&g, 0)),
+            0.0
+        );
         let bfs = engine.run(&g, &BfsMsg::new(0));
-        assert_eq!(reference::max_abs_diff(&bfs.values, &reference::bfs(&g, 0)), 0.0);
+        assert_eq!(
+            reference::max_abs_diff(&bfs.values, &reference::bfs(&g, 0)),
+            0.0
+        );
     }
 
     #[test]
@@ -271,14 +277,19 @@ mod tests {
         let g = grid_graph(4, 4);
         let engine = PregelEngine::new(PregelConfig::pregel_plus(cluster(2)));
         let wcc = engine.run(&g, &WccMsg);
-        assert_eq!(reference::max_abs_diff(&wcc.values, &reference::wcc(&g)), 0.0);
+        assert_eq!(
+            reference::max_abs_diff(&wcc.values, &reference::wcc(&g)),
+            0.0
+        );
     }
 
     #[test]
     fn graphd_computes_same_values_but_reads_disk() {
         let g = RmatGenerator::new(7, 6).generate(4);
-        let pregel = PregelEngine::new(PregelConfig::pregel_plus(cluster(3))).run(&g, &PageRankMsg::new(5));
-        let graphd = PregelEngine::new(PregelConfig::graphd(cluster(3))).run(&g, &PageRankMsg::new(5));
+        let pregel =
+            PregelEngine::new(PregelConfig::pregel_plus(cluster(3))).run(&g, &PageRankMsg::new(5));
+        let graphd =
+            PregelEngine::new(PregelConfig::graphd(cluster(3))).run(&g, &PageRankMsg::new(5));
         assert!(reference::max_abs_diff(&pregel.values, &graphd.values) < 1e-12);
         assert_eq!(pregel.metrics.total_disk_bytes(), 0);
         assert!(graphd.metrics.total_disk_bytes() > 0);
@@ -312,7 +323,10 @@ mod tests {
         for report in result.metrics.supersteps.iter().skip(1) {
             assert!(report.total_edges_processed() <= 2);
         }
-        assert_eq!(reference::max_abs_diff(&result.values, &reference::sssp(&g, 0)), 0.0);
+        assert_eq!(
+            reference::max_abs_diff(&result.values, &reference::sssp(&g, 0)),
+            0.0
+        );
     }
 
     #[test]

@@ -181,7 +181,7 @@ impl MessageProgram for BfsMsg {
         }
     }
     fn message(&self, src_value: f64, _d: u32, _w: f32) -> Option<f64> {
-        src_value.is_finite().then(|| src_value + 1.0)
+        src_value.is_finite().then_some(src_value + 1.0)
     }
     fn combiner(&self) -> MessageCombiner {
         MessageCombiner::Min

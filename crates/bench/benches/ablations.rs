@@ -32,6 +32,26 @@ fn bench(c: &mut Criterion) {
             b.iter(|| Spe::partition(&g, &SpeConfig::with_tile_count("t", &g, tiles)).unwrap())
         });
     }
+    // Executor axis: the same PageRank workload on the sequential reference
+    // loop vs the threaded worker runtime (one OS thread per server).
+    for (name, threaded) in [
+        ("pagerank_sequential_4srv", false),
+        ("pagerank_threaded_4srv", true),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let cfg = GraphHConfig::paper_default(ClusterConfig::paper_testbed(4));
+                let executor: std::sync::Arc<dyn graphh_core::Executor> = if threaded {
+                    std::sync::Arc::new(graphh_runtime::ThreadedExecutor::new())
+                } else {
+                    std::sync::Arc::new(graphh_core::SequentialExecutor::new())
+                };
+                GraphHEngine::with_executor(cfg, executor)
+                    .run(&p, &graphh_core::PageRank::new(5))
+                    .unwrap()
+            })
+        });
+    }
     group.finish();
 }
 

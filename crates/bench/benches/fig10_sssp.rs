@@ -16,9 +16,13 @@ fn bench(c: &mut Criterion) {
     let cluster = ClusterConfig::paper_testbed(3);
     let mut group = c.benchmark_group("fig10_sssp");
     group.sample_size(10);
-    group.bench_function("graphh", |b| b.iter(|| run_graphh(&p, &Sssp::new(source), 3)));
+    group.bench_function("graphh", |b| {
+        b.iter(|| run_graphh(&p, &Sssp::new(source), 3))
+    });
     group.bench_function("pregel_plus", |b| {
-        b.iter(|| PregelEngine::new(PregelConfig::pregel_plus(cluster)).run(&g, &SsspMsg::new(source)))
+        b.iter(|| {
+            PregelEngine::new(PregelConfig::pregel_plus(cluster)).run(&g, &SsspMsg::new(source))
+        })
     });
     group.bench_function("graphd", |b| {
         b.iter(|| PregelEngine::new(PregelConfig::graphd(cluster)).run(&g, &SsspMsg::new(source)))

@@ -15,7 +15,11 @@ fn bench(c: &mut Criterion) {
         ("dense_raw", CommunicationMode::Dense, None),
         ("sparse_raw", CommunicationMode::Sparse, None),
         ("hybrid_raw", CommunicationMode::default(), None),
-        ("hybrid_snappy", CommunicationMode::default(), Some(Codec::Snappy)),
+        (
+            "hybrid_snappy",
+            CommunicationMode::default(),
+            Some(Codec::Snappy),
+        ),
     ];
     for (name, mode, comp) in configs {
         group.bench_function(name, |b| {

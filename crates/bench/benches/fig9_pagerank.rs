@@ -1,7 +1,9 @@
 //! Criterion bench for Figure 9: one PageRank run per system (Twitter stand-in, 3 servers).
 use criterion::{criterion_group, criterion_main, Criterion};
 use graphh_baselines::program::PageRankMsg;
-use graphh_baselines::{ChaosConfig, ChaosEngine, GasConfig, GasEngine, PregelConfig, PregelEngine};
+use graphh_baselines::{
+    ChaosConfig, ChaosEngine, GasConfig, GasEngine, PregelConfig, PregelEngine,
+};
 use graphh_bench::{experiment_graph, partition_for_experiments, run_graphh};
 use graphh_cluster::ClusterConfig;
 use graphh_core::PageRank;
@@ -13,9 +15,13 @@ fn bench(c: &mut Criterion) {
     let cluster = ClusterConfig::paper_testbed(3);
     let mut group = c.benchmark_group("fig9_pagerank");
     group.sample_size(10);
-    group.bench_function("graphh", |b| b.iter(|| run_graphh(&p, &PageRank::new(3), 3)));
+    group.bench_function("graphh", |b| {
+        b.iter(|| run_graphh(&p, &PageRank::new(3), 3))
+    });
     group.bench_function("pregel_plus", |b| {
-        b.iter(|| PregelEngine::new(PregelConfig::pregel_plus(cluster)).run(&g, &PageRankMsg::new(3)))
+        b.iter(|| {
+            PregelEngine::new(PregelConfig::pregel_plus(cluster)).run(&g, &PageRankMsg::new(3))
+        })
     });
     group.bench_function("graphd", |b| {
         b.iter(|| PregelEngine::new(PregelConfig::graphd(cluster)).run(&g, &PageRankMsg::new(3)))

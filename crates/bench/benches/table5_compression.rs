@@ -10,7 +10,12 @@ fn bench(c: &mut Criterion) {
     let payload = p.tiles[0].to_bytes();
     let mut group = c.benchmark_group("table5_compression");
     group.sample_size(20);
-    for codec in [Codec::Snappy, Codec::Zlib1, Codec::Zlib3, Codec::VarintDelta] {
+    for codec in [
+        Codec::Snappy,
+        Codec::Zlib1,
+        Codec::Zlib3,
+        Codec::VarintDelta,
+    ] {
         group.bench_function(format!("compress/{}", codec.name()), |b| {
             b.iter(|| codec.compress(&payload))
         });

@@ -3,15 +3,22 @@
 //! Usage:
 //!
 //! ```text
-//! report                # print everything
+//! report                # print everything (and write BENCH_runtime.json)
 //! report fig9 table5    # print selected experiments
+//! report runtime        # executor shoot-out (also writes BENCH_runtime.json)
 //! report --list         # list experiment ids
 //! ```
+//!
+//! Whenever the `runtime` experiment runs, its measurements are additionally
+//! written to `BENCH_runtime.json` in the current directory, so the wall-clock
+//! trajectory of the executors is recorded machine-readably run over run.
 
 use graphh_bench::*;
 use graphh_graph::datasets::Dataset;
 
-fn available() -> Vec<(&'static str, fn() -> String)> {
+type Experiment = (&'static str, fn() -> String);
+
+fn available() -> Vec<Experiment> {
     vec![
         ("table1", || table1_datasets()),
         ("fig1a", || fig1a_memory_requirements()),
@@ -26,7 +33,20 @@ fn available() -> Vec<(&'static str, fn() -> String)> {
         ("fig9", || fig9_pagerank(6)),
         ("fig10", || fig10_sssp()),
         ("ablations", || ablations()),
+        ("runtime", runtime_and_record_json),
     ]
+}
+
+/// The executor comparison: measure once, render the table from that
+/// measurement, and record the same rows to `BENCH_runtime.json`.
+fn runtime_and_record_json() -> String {
+    let rows = runtime_rows();
+    let mut out = runtime_report(&rows);
+    match std::fs::write("BENCH_runtime.json", runtime_json(&rows)) {
+        Ok(()) => out.push_str("(wrote BENCH_runtime.json)\n"),
+        Err(e) => out.push_str(&format!("could not write BENCH_runtime.json: {e}\n")),
+    }
+    out
 }
 
 fn main() {
@@ -38,7 +58,7 @@ fn main() {
         }
         return;
     }
-    let selected: Vec<&(&str, fn() -> String)> = if args.is_empty() {
+    let selected: Vec<&Experiment> = if args.is_empty() {
         experiments.iter().collect()
     } else {
         experiments
@@ -50,7 +70,7 @@ fn main() {
         eprintln!("no matching experiment; use --list to see the available ids");
         std::process::exit(1);
     }
-    for (name, f) in selected {
+    for (name, f) in &selected {
         println!("==== {name} ====");
         println!("{}", f());
     }

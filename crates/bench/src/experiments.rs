@@ -9,11 +9,11 @@
 use crate::workloads::{
     experiment_graph, experiment_spec, partition_for_experiments, run_graphh, EXPERIMENT_SEED,
 };
+use graphh_baselines::program::{PageRankMsg, SsspMsg};
 use graphh_baselines::{
     ChaosConfig, ChaosEngine, CostSheet, GasConfig, GasEngine, PregelConfig, PregelEngine,
     SystemKind,
 };
-use graphh_baselines::program::{PageRankMsg, SsspMsg};
 use graphh_cache::CacheMode;
 use graphh_cluster::{ClusterConfig, CommunicationMode};
 use graphh_compress::{stats::measure_all, Codec};
@@ -114,12 +114,30 @@ fn run_all_systems_pagerank(
     let chaos =
         ChaosEngine::new(ChaosConfig::new(cluster)).run(graph, &PageRankMsg::new(supersteps));
     vec![
-        SystemRun { name: "GraphH", avg_seconds: graphh.avg_superstep_seconds() },
-        SystemRun { name: "Pregel+", avg_seconds: pregel.avg_superstep_seconds() },
-        SystemRun { name: "PowerGraph", avg_seconds: powergraph.avg_superstep_seconds() },
-        SystemRun { name: "PowerLyra", avg_seconds: powerlyra.avg_superstep_seconds() },
-        SystemRun { name: "GraphD", avg_seconds: graphd.avg_superstep_seconds() },
-        SystemRun { name: "Chaos", avg_seconds: chaos.avg_superstep_seconds() },
+        SystemRun {
+            name: "GraphH",
+            avg_seconds: graphh.avg_superstep_seconds(),
+        },
+        SystemRun {
+            name: "Pregel+",
+            avg_seconds: pregel.avg_superstep_seconds(),
+        },
+        SystemRun {
+            name: "PowerGraph",
+            avg_seconds: powergraph.avg_superstep_seconds(),
+        },
+        SystemRun {
+            name: "PowerLyra",
+            avg_seconds: powerlyra.avg_superstep_seconds(),
+        },
+        SystemRun {
+            name: "GraphD",
+            avg_seconds: graphd.avg_superstep_seconds(),
+        },
+        SystemRun {
+            name: "Chaos",
+            avg_seconds: chaos.avg_superstep_seconds(),
+        },
     ]
 }
 
@@ -135,18 +153,34 @@ fn run_all_systems_sssp(
         PregelEngine::new(PregelConfig::pregel_plus(cluster)).run(graph, &SsspMsg::new(source));
     let powergraph =
         GasEngine::new(GasConfig::powergraph(cluster)).run(graph, &SsspMsg::new(source));
-    let powerlyra =
-        GasEngine::new(GasConfig::powerlyra(cluster)).run(graph, &SsspMsg::new(source));
-    let graphd =
-        PregelEngine::new(PregelConfig::graphd(cluster)).run(graph, &SsspMsg::new(source));
+    let powerlyra = GasEngine::new(GasConfig::powerlyra(cluster)).run(graph, &SsspMsg::new(source));
+    let graphd = PregelEngine::new(PregelConfig::graphd(cluster)).run(graph, &SsspMsg::new(source));
     let chaos = ChaosEngine::new(ChaosConfig::new(cluster)).run(graph, &SsspMsg::new(source));
     vec![
-        SystemRun { name: "GraphH", avg_seconds: graphh.avg_superstep_seconds() },
-        SystemRun { name: "Pregel+", avg_seconds: pregel.avg_superstep_seconds() },
-        SystemRun { name: "PowerGraph", avg_seconds: powergraph.avg_superstep_seconds() },
-        SystemRun { name: "PowerLyra", avg_seconds: powerlyra.avg_superstep_seconds() },
-        SystemRun { name: "GraphD", avg_seconds: graphd.avg_superstep_seconds() },
-        SystemRun { name: "Chaos", avg_seconds: chaos.avg_superstep_seconds() },
+        SystemRun {
+            name: "GraphH",
+            avg_seconds: graphh.avg_superstep_seconds(),
+        },
+        SystemRun {
+            name: "Pregel+",
+            avg_seconds: pregel.avg_superstep_seconds(),
+        },
+        SystemRun {
+            name: "PowerGraph",
+            avg_seconds: powergraph.avg_superstep_seconds(),
+        },
+        SystemRun {
+            name: "PowerLyra",
+            avg_seconds: powerlyra.avg_superstep_seconds(),
+        },
+        SystemRun {
+            name: "GraphD",
+            avg_seconds: graphd.avg_superstep_seconds(),
+        },
+        SystemRun {
+            name: "Chaos",
+            avg_seconds: chaos.avg_superstep_seconds(),
+        },
     ]
 }
 
@@ -245,14 +279,27 @@ pub fn fig6b_memory_usage() -> String {
         let g = experiment_graph(d);
         let p = partition_for_experiments(&g, d.name());
         for (label, sizes, program) in [
-            ("PageRank", VertexSizes::pagerank(), Box::new(PageRank::new(3)) as Box<dyn GabProgram>),
-            ("SSSP", VertexSizes::sssp(), Box::new(Sssp::new(best_source(&g))) as Box<dyn GabProgram>),
+            (
+                "PageRank",
+                VertexSizes::pagerank(),
+                Box::new(PageRank::new(3)) as Box<dyn GabProgram>,
+            ),
+            (
+                "SSSP",
+                VertexSizes::sssp(),
+                Box::new(Sssp::new(best_source(&g))) as Box<dyn GabProgram>,
+            ),
         ] {
             let engine = GraphHEngine::new(
                 GraphHConfig::paper_default(ClusterConfig::paper_testbed(9)).without_cache(),
             );
             let result = engine.run(&p, program.as_ref()).expect("run");
-            let measured = result.per_server_peak_memory.iter().copied().max().unwrap_or(0);
+            let measured = result
+                .per_server_peak_memory
+                .iter()
+                .copied()
+                .max()
+                .unwrap_or(0);
             let model = MemoryModel::new(&d.paper_stats(), sizes);
             let paper_scale = model.aa_vertex_bytes() + 25_000_000 * 4 * 12;
             writeln!(
@@ -321,7 +368,9 @@ pub fn fig7_cache_modes() -> String {
             let mut cfg = GraphHConfig::paper_default(ClusterConfig::paper_testbed(servers));
             cfg.cache_mode = CacheMode::Fixed(codec);
             cfg.cache_capacity = Some(capacity);
-            let result = GraphHEngine::new(cfg).run(&p, &PageRank::new(6)).expect("run");
+            let result = GraphHEngine::new(cfg)
+                .run(&p, &PageRank::new(6))
+                .expect("run");
             let hits: u64 = result
                 .metrics
                 .supersteps
@@ -368,7 +417,9 @@ pub fn fig8_communication(supersteps: u32) -> String {
     // A tolerance makes the updated-vertex ratio decay over time like Figure 8a.
     let program = PageRank::with_tolerance(supersteps, 1e-3 / n);
 
-    let mut out = String::from("# Figure 8a: vertex updated ratio per superstep (PageRank, UK-2007 stand-in)\n");
+    let mut out = String::from(
+        "# Figure 8a: vertex updated ratio per superstep (PageRank, UK-2007 stand-in)\n",
+    );
     let baseline = run_graphh(&p, &program, 9);
     for (i, ratio) in baseline.updated_ratio_per_superstep.iter().enumerate() {
         writeln!(out, "superstep {i}\t{ratio:.4}").unwrap();
@@ -481,7 +532,9 @@ pub fn ablations() -> String {
     let with = run_graphh(&p, &Sssp::new(source), 9);
     let mut cfg = GraphHConfig::paper_default(ClusterConfig::paper_testbed(9));
     cfg.use_bloom_filter = false;
-    let without = GraphHEngine::new(cfg).run(&p, &Sssp::new(source)).expect("run");
+    let without = GraphHEngine::new(cfg)
+        .run(&p, &Sssp::new(source))
+        .expect("run");
     writeln!(
         out,
         "bloom-filter (SSSP, Twitter stand-in, 9 servers): with={:.4}s/superstep without={:.4}s/superstep",
@@ -522,8 +575,166 @@ pub fn ablations() -> String {
         )
         .unwrap();
     }
+    // Executor ablation: sequential reference loop vs the threaded runtime on
+    // the same workload (results are bit-identical; only wall-clock differs).
+    let g = experiment_graph(Dataset::Twitter2010);
+    let p = partition_for_experiments(&g, "twitter-2010");
+    for servers in [1u32, 4] {
+        let seq = crate::run_graphh_with(
+            &p,
+            &graphh_core::PageRank::new(5),
+            servers,
+            std::sync::Arc::new(graphh_core::SequentialExecutor::new()),
+        );
+        let thr = crate::run_graphh_with(
+            &p,
+            &graphh_core::PageRank::new(5),
+            servers,
+            std::sync::Arc::new(graphh_runtime::ThreadedExecutor::new()),
+        );
+        writeln!(
+            out,
+            "executor (PageRank, Twitter stand-in, {servers} servers): sequential={:.4}s threaded={:.4}s wall-clock speedup={:.2}x",
+            seq.wall_clock_seconds,
+            thr.wall_clock_seconds,
+            seq.wall_clock_seconds / thr.wall_clock_seconds.max(1e-12)
+        )
+        .unwrap();
+    }
     let _ = EXPERIMENT_SEED;
     let _ = experiment_spec(Dataset::Twitter2010);
+    out
+}
+
+/// Runtime shoot-out: sequential vs threaded executor wall-clock on RMAT
+/// scale-10 PageRank, per cluster size. Results are bit-identical by
+/// construction (enforced here, differentially tested in `tests/`); the point
+/// of this table is the real-time speedup trajectory, which [`runtime_json`]
+/// records machine-readably as `BENCH_runtime.json`.
+///
+/// Measures once; callers wanting both the table and the JSON should call
+/// [`runtime_rows`] once and render with [`runtime_report`] / [`runtime_json`]
+/// (the report binary does) so both outputs describe the same measurement.
+pub fn runtime_executors() -> String {
+    runtime_report(&runtime_rows())
+}
+
+/// Render the executor-comparison table from measured rows.
+pub fn runtime_report(rows: &[RuntimeRow]) -> String {
+    let mut out = String::from(
+        "# Runtime: sequential vs threaded executor (RMAT scale-10, PageRank, wall-clock)\n\
+         servers\tsequential_s\tthreaded_s\tspeedup\tidentical\n",
+    );
+    for row in rows {
+        writeln!(
+            out,
+            "{}\t{:.6}\t{:.6}\t{:.2}x\t{}",
+            row.servers,
+            row.sequential_seconds,
+            row.threaded_seconds,
+            row.speedup(),
+            row.identical
+        )
+        .unwrap();
+    }
+    out.push_str(
+        "(threaded speedup needs real cores: on a single-core host the barrier \
+         overhead makes it <=1x)\n",
+    );
+    out
+}
+
+/// One measured executor-comparison configuration.
+pub struct RuntimeRow {
+    /// Cluster size.
+    pub servers: u32,
+    /// Best-of-3 wall-clock seconds, sequential reference executor.
+    pub sequential_seconds: f64,
+    /// Best-of-3 wall-clock seconds, threaded runtime.
+    pub threaded_seconds: f64,
+    /// Whether the two executors produced bit-identical values.
+    pub identical: bool,
+}
+
+impl RuntimeRow {
+    /// Wall-clock speedup of threaded over sequential.
+    pub fn speedup(&self) -> f64 {
+        self.sequential_seconds / self.threaded_seconds.max(1e-12)
+    }
+}
+
+/// Measure the executor comparison: RMAT scale-10 (edge factor 16) PageRank,
+/// 20 supersteps, best-of-3 per executor per cluster size.
+pub fn runtime_rows() -> Vec<RuntimeRow> {
+    use graphh_core::SequentialExecutor;
+    use graphh_graph::generators::{GraphGenerator, RmatGenerator};
+    use graphh_runtime::ThreadedExecutor;
+    use std::sync::Arc;
+
+    let g = RmatGenerator::new(10, 16).generate(EXPERIMENT_SEED);
+    let p = graphh_partition::Spe::partition(
+        &g,
+        &graphh_partition::SpeConfig::with_tile_count("rmat-10", &g, 16),
+    )
+    .expect("partition");
+    let program = graphh_core::PageRank::new(20);
+
+    let best_of_3 = |servers: u32, executor: Arc<dyn graphh_core::Executor>| {
+        let mut best: Option<graphh_core::RunResult> = None;
+        for _ in 0..3 {
+            let run = crate::run_graphh_with(&p, &program, servers, Arc::clone(&executor));
+            if best
+                .as_ref()
+                .is_none_or(|b| run.wall_clock_seconds < b.wall_clock_seconds)
+            {
+                best = Some(run);
+            }
+        }
+        best.expect("three runs happened")
+    };
+
+    [1u32, 2, 4]
+        .into_iter()
+        .map(|servers| {
+            let seq = best_of_3(servers, Arc::new(SequentialExecutor::new()));
+            let thr = best_of_3(servers, Arc::new(ThreadedExecutor::new()));
+            let identical = seq.values.len() == thr.values.len()
+                && seq
+                    .values
+                    .iter()
+                    .zip(&thr.values)
+                    .all(|(a, b)| a.to_bits() == b.to_bits());
+            RuntimeRow {
+                servers,
+                sequential_seconds: seq.wall_clock_seconds,
+                threaded_seconds: thr.wall_clock_seconds,
+                identical,
+            }
+        })
+        .collect()
+}
+
+/// Render measured rows as machine-readable JSON (the report binary writes
+/// this to `BENCH_runtime.json` so the perf trajectory is recorded run over
+/// run).
+pub fn runtime_json(rows: &[RuntimeRow]) -> String {
+    let mut out = String::from(
+        "{\n  \"experiment\": \"runtime\",\n  \"workload\": \"rmat-scale10-ef16-pagerank-20\",\n  \"rows\": [\n",
+    );
+    for (i, row) in rows.iter().enumerate() {
+        writeln!(
+            out,
+            "    {{\"servers\": {}, \"sequential_s\": {:.6}, \"threaded_s\": {:.6}, \"speedup\": {:.4}, \"identical\": {}}}{}",
+            row.servers,
+            row.sequential_seconds,
+            row.threaded_seconds,
+            row.speedup(),
+            row.identical,
+            if i + 1 < rows.len() { "," } else { "" }
+        )
+        .unwrap();
+    }
+    out.push_str("  ]\n}\n");
     out
 }
 
@@ -557,7 +768,13 @@ mod tests {
         let graphh = runs[0].avg_seconds;
         let graphd = runs[4].avg_seconds;
         let chaos = runs[5].avg_seconds;
-        assert!(graphd > graphh, "GraphD {graphd} should be slower than GraphH {graphh}");
-        assert!(chaos > graphh, "Chaos {chaos} should be slower than GraphH {graphh}");
+        assert!(
+            graphd > graphh,
+            "GraphD {graphd} should be slower than GraphH {graphh}"
+        );
+        assert!(
+            chaos > graphh,
+            "Chaos {chaos} should be slower than GraphH {graphh}"
+        );
     }
 }

@@ -1,10 +1,11 @@
 //! Shared workload setup for experiments and Criterion benches.
 
 use graphh_cluster::ClusterConfig;
-use graphh_core::{GraphHConfig, GraphHEngine, RunResult};
+use graphh_core::{Executor, GraphHConfig, GraphHEngine, RunResult};
 use graphh_graph::datasets::{Dataset, DatasetSpec};
 use graphh_graph::Graph;
 use graphh_partition::{PartitionedGraph, Spe, SpeConfig};
+use std::sync::Arc;
 
 /// Seed every experiment uses so results are reproducible run-to-run.
 pub const EXPERIMENT_SEED: u64 = 2017;
@@ -32,15 +33,33 @@ pub fn partition_for_experiments(graph: &Graph, name: &str) -> PartitionedGraph 
         .expect("partitioning experiment graphs cannot fail")
 }
 
-/// Run GraphH with the paper-default configuration.
+/// Run GraphH with the paper-default configuration (sequential reference
+/// executor).
 pub fn run_graphh(
     partitioned: &PartitionedGraph,
     program: &dyn graphh_core::GabProgram,
     servers: u32,
 ) -> RunResult {
-    GraphHEngine::new(GraphHConfig::paper_default(ClusterConfig::paper_testbed(servers)))
-        .run(partitioned, program)
-        .expect("GraphH run failed")
+    GraphHEngine::new(GraphHConfig::paper_default(ClusterConfig::paper_testbed(
+        servers,
+    )))
+    .run(partitioned, program)
+    .expect("GraphH run failed")
+}
+
+/// Run GraphH with the paper-default configuration on an explicit executor.
+pub fn run_graphh_with(
+    partitioned: &PartitionedGraph,
+    program: &dyn graphh_core::GabProgram,
+    servers: u32,
+    executor: Arc<dyn Executor>,
+) -> RunResult {
+    GraphHEngine::with_executor(
+        GraphHConfig::paper_default(ClusterConfig::paper_testbed(servers)),
+        executor,
+    )
+    .run(partitioned, program)
+    .expect("GraphH run failed")
 }
 
 #[cfg(test)]

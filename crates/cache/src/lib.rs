@@ -196,11 +196,7 @@ impl EdgeCache {
             inner.used_bytes -= old.blob.len() as u64;
         }
         while inner.used_bytes + size > self.capacity {
-            let Some((&victim, _)) = inner
-                .entries
-                .iter()
-                .min_by_key(|(_, e)| e.last_used)
-            else {
+            let Some((&victim, _)) = inner.entries.iter().min_by_key(|(_, e)| e.last_used) else {
                 break;
             };
             let evicted = inner.entries.remove(&victim).expect("victim exists");
@@ -262,7 +258,11 @@ mod tests {
 
     fn tile(id: TileId, edges_per_target: usize) -> Tile {
         let adjacency: Vec<Vec<(u32, f32)>> = (0..10)
-            .map(|t| (0..edges_per_target).map(|s| ((t * 100 + s) as u32, 1.0)).collect())
+            .map(|t| {
+                (0..edges_per_target)
+                    .map(|s| ((t * 100 + s) as u32, 1.0))
+                    .collect()
+            })
             .collect();
         Tile::from_adjacency(id, id * 10, &adjacency, false)
     }
@@ -307,7 +307,10 @@ mod tests {
             let stats = cache.stats();
             assert!(stats.decompress_seconds > 0.0, "mode {mode}");
             assert!(stats.compress_seconds > 0.0, "mode {mode}");
-            assert!(stats.used_bytes < t.serialized_size(), "mode {mode} should compress");
+            assert!(
+                stats.used_bytes < t.serialized_size(),
+                "mode {mode} should compress"
+            );
         }
     }
 

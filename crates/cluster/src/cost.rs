@@ -59,14 +59,14 @@ impl CostModel {
     /// Time breakdown of one server's superstep.
     pub fn server_breakdown(&self, m: &ServerMetrics) -> CostBreakdown {
         let spec = self.config.machine;
-        let compute = m.edges_processed as f64
-            / (spec.edges_per_second_per_worker * f64::from(spec.workers));
+        let compute =
+            m.edges_processed as f64 / (spec.edges_per_second_per_worker * f64::from(spec.workers));
         let disk_bytes_time = m.disk_read_bytes as f64 / spec.disk_read_bw
             + m.disk_write_bytes as f64 / spec.disk_write_bw;
         let disk_latency_time = (m.disk_read_ops + m.disk_write_ops) as f64 * spec.disk_latency;
         let network_bytes = m.network_sent_bytes.max(m.network_received_bytes) as f64;
-        let network = network_bytes / spec.network_bw
-            + m.network_messages as f64 * spec.network_latency;
+        let network =
+            network_bytes / spec.network_bw + m.network_messages as f64 * spec.network_latency;
         CostBreakdown {
             compute,
             disk: disk_bytes_time + disk_latency_time,

@@ -14,7 +14,8 @@
 //! * [`cost`] — the cost model that converts metered work into simulated
 //!   per-superstep time under BSP (the slowest server bounds the superstep),
 //! * [`network`] — the broadcast message encodings GraphH uses (dense, sparse,
-//!   hybrid, optionally compressed) and a metered broadcast channel,
+//!   hybrid, optionally compressed) and the metered per-message wire codec
+//!   both executors broadcast through,
 //! * [`memory`] — a per-server memory budget/high-watermark tracker.
 
 pub mod config;
@@ -27,4 +28,4 @@ pub use config::{ClusterConfig, MachineSpec};
 pub use cost::{CostBreakdown, CostModel};
 pub use memory::MemoryTracker;
 pub use metrics::{ClusterMetrics, ServerMetrics, SuperstepReport};
-pub use network::{BroadcastChannel, BroadcastEncoding, BroadcastMessage, CommunicationMode};
+pub use network::{BroadcastEncoding, BroadcastMessage, CommunicationMode, MessageCodec};

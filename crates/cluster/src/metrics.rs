@@ -138,7 +138,11 @@ impl SuperstepReport {
 
     /// Maximum per-server peak memory this superstep.
     pub fn max_peak_memory_bytes(&self) -> u64 {
-        self.servers.iter().map(|s| s.peak_memory_bytes).max().unwrap_or(0)
+        self.servers
+            .iter()
+            .map(|s| s.peak_memory_bytes)
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -187,7 +191,10 @@ impl ClusterMetrics {
 
     /// Total network traffic over the whole run.
     pub fn total_network_bytes(&self) -> u64 {
-        self.supersteps.iter().map(SuperstepReport::total_network_bytes).sum()
+        self.supersteps
+            .iter()
+            .map(SuperstepReport::total_network_bytes)
+            .sum()
     }
 
     /// Total disk traffic (read + write) over the whole run.

@@ -11,9 +11,10 @@
 //!   threshold (0.8 in the paper), dense otherwise.
 //!
 //! Messages can additionally be compressed (snappy by default). The
-//! [`BroadcastChannel`] encodes for real, meters the bytes into [`ServerMetrics`],
-//! and hands the decoded updates back, so Figure 8's traffic series are measured,
-//! not estimated.
+//! [`MessageCodec`] encodes for real and meters the codec time into
+//! [`ServerMetrics`]; both executors (the sequential reference loop and the
+//! threaded runtime's channel plane) push every broadcast through it, so
+//! Figure 8's traffic series are measured, not estimated.
 
 use crate::metrics::ServerMetrics;
 use graphh_compress::Codec;
@@ -68,7 +69,10 @@ impl BroadcastMessage {
     /// Create a message, checking the updates are sorted and inside the range.
     pub fn new(range_start: VertexId, range_end: VertexId, updates: Vec<(VertexId, f64)>) -> Self {
         debug_assert!(range_start <= range_end);
-        debug_assert!(updates.windows(2).all(|w| w[0].0 < w[1].0), "updates must be sorted");
+        debug_assert!(
+            updates.windows(2).all(|w| w[0].0 < w[1].0),
+            "updates must be sorted"
+        );
         debug_assert!(updates
             .iter()
             .all(|&(v, _)| v >= range_start && v < range_end));
@@ -167,8 +171,7 @@ impl BroadcastMessage {
                 let (bitmap, values) = body.split_at(bitmap_len);
                 for i in 0..n {
                     if bitmap[i / 8] & (1 << (i % 8)) != 0 {
-                        let val =
-                            f64::from_le_bytes(values[i * 8..i * 8 + 8].try_into().unwrap());
+                        let val = f64::from_le_bytes(values[i * 8..i * 8 + 8].try_into().unwrap());
                         updates.push((range_start + i as u32, val));
                     }
                 }
@@ -208,30 +211,28 @@ impl BroadcastMessage {
     }
 }
 
-/// The simulated broadcast channel: encodes, optionally compresses, meters traffic
-/// and returns the decoded updates for delivery to the other servers' replicas.
-#[derive(Debug, Clone)]
-pub struct BroadcastChannel {
-    num_servers: u32,
+/// The per-message wire path: encoding choice + optional compression, with the
+/// codec time charged to the participating servers' metrics.
+///
+/// This is the piece both broadcast transports share: the sequential
+/// reference executor runs it inline, and the threaded runtime
+/// (`graphh-runtime`) runs it on both ends of a real channel, so Figure 8
+/// traffic is metered per real message either way.
+#[derive(Debug, Clone, Copy)]
+pub struct MessageCodec {
     mode: CommunicationMode,
     compressor: Option<Codec>,
 }
 
-impl BroadcastChannel {
-    /// A channel for `num_servers` servers with the given encoding policy and message
-    /// compressor (the paper's default is hybrid + snappy).
-    pub fn new(num_servers: u32, mode: CommunicationMode, compressor: Option<Codec>) -> Self {
-        assert!(num_servers > 0);
-        Self {
-            num_servers,
-            mode,
-            compressor,
-        }
+impl MessageCodec {
+    /// A codec with the given encoding policy and message compressor.
+    pub fn new(mode: CommunicationMode, compressor: Option<Codec>) -> Self {
+        Self { mode, compressor }
     }
 
-    /// The paper's default configuration: hybrid encoding, snappy compression.
-    pub fn paper_default(num_servers: u32) -> Self {
-        Self::new(num_servers, CommunicationMode::default(), Some(Codec::Snappy))
+    /// The paper's default: hybrid encoding, snappy compression.
+    pub fn paper_default() -> Self {
+        Self::new(CommunicationMode::default(), Some(Codec::Snappy))
     }
 
     /// Encoding policy.
@@ -239,47 +240,55 @@ impl BroadcastChannel {
         self.mode
     }
 
-    /// Broadcast `message` from `sender_metrics`'s server to every other server.
-    ///
-    /// Returns the decoded updates (identical to the input, but round-tripped through
-    /// the wire format so the encode/decode path is actually exercised) together with
-    /// the encoding used. Traffic is charged to the sender's metrics; receivers are
-    /// charged via `receiver_metrics`.
-    pub fn broadcast(
+    /// Message compressor (`None` and `Some(Raw)` both mean uncompressed).
+    pub fn compressor(&self) -> Option<Codec> {
+        self.compressor
+    }
+
+    /// Seconds of codec time a server is charged for pushing `bytes` through the
+    /// compressor (the simulation prices both directions at the codec's
+    /// decompression throughput).
+    pub fn codec_seconds(&self, bytes: usize) -> f64 {
+        match self.compressor {
+            None | Some(Codec::Raw) => 0.0,
+            Some(codec) => bytes as f64 / codec.decompress_throughput(),
+        }
+    }
+
+    /// Encode `message` for the wire, charging compression time to `sender`.
+    pub fn encode(
         &self,
         message: &BroadcastMessage,
-        sender_metrics: &mut ServerMetrics,
-        receiver_metrics: &mut [ServerMetrics],
-    ) -> (Vec<(VertexId, f64)>, BroadcastEncoding) {
+        sender: &mut ServerMetrics,
+    ) -> (Vec<u8>, BroadcastEncoding) {
         let encoding = message.choose_encoding(self.mode);
         let encoded = message.encode(encoding);
         let wire = match self.compressor {
-            None | Some(Codec::Raw) => encoded.clone(),
+            None | Some(Codec::Raw) => encoded,
             Some(codec) => {
                 let compressed = codec.compress(&encoded);
-                sender_metrics.compress_seconds +=
-                    encoded.len() as f64 / codec.decompress_throughput();
+                sender.compress_seconds += self.codec_seconds(encoded.len());
                 compressed
             }
         };
-        let fanout = u64::from(self.num_servers - 1);
-        sender_metrics.network_sent_bytes += wire.len() as u64 * fanout;
-        sender_metrics.network_messages += fanout;
-        for r in receiver_metrics.iter_mut() {
-            r.network_received_bytes += wire.len() as u64;
-            if let Some(codec) = self.compressor {
-                if codec != Codec::Raw {
-                    r.decompress_seconds += wire.len() as f64 / codec.decompress_throughput();
-                }
-            }
-        }
-        // Receivers decode the wire format.
+        (wire, encoding)
+    }
+
+    /// Decode wire bytes produced by [`MessageCodec::encode`], charging
+    /// decompression time to `receiver`.
+    pub fn decode(
+        &self,
+        wire: &[u8],
+        receiver: &mut ServerMetrics,
+    ) -> Result<BroadcastMessage, String> {
         let decoded_bytes = match self.compressor {
-            None | Some(Codec::Raw) => wire,
-            Some(codec) => codec.decompress(&wire).expect("we just compressed this"),
+            None | Some(Codec::Raw) => None,
+            Some(codec) => {
+                receiver.decompress_seconds += self.codec_seconds(wire.len());
+                Some(codec.decompress(wire).map_err(|e| e.to_string())?)
+            }
         };
-        let decoded = BroadcastMessage::decode(&decoded_bytes).expect("we just encoded this");
-        (decoded.updates, encoding)
+        BroadcastMessage::decode(decoded_bytes.as_deref().unwrap_or(wire))
     }
 }
 
@@ -311,10 +320,16 @@ mod tests {
     #[test]
     fn sparse_wins_when_few_updates_dense_wins_when_many() {
         let few = msg((0, 1000), &[1, 5, 9]);
-        assert!(few.encoded_size(BroadcastEncoding::Sparse) < few.encoded_size(BroadcastEncoding::Dense));
+        assert!(
+            few.encoded_size(BroadcastEncoding::Sparse)
+                < few.encoded_size(BroadcastEncoding::Dense)
+        );
         let all: Vec<u32> = (0..1000).collect();
         let many = msg((0, 1000), &all);
-        assert!(many.encoded_size(BroadcastEncoding::Dense) < many.encoded_size(BroadcastEncoding::Sparse));
+        assert!(
+            many.encoded_size(BroadcastEncoding::Dense)
+                < many.encoded_size(BroadcastEncoding::Sparse)
+        );
     }
 
     #[test]
@@ -353,20 +368,20 @@ mod tests {
     }
 
     #[test]
-    fn channel_meters_fanout_traffic() {
-        let channel = BroadcastChannel::new(4, CommunicationMode::Sparse, None);
+    fn message_codec_roundtrips_and_meters_codec_time() {
+        let codec = MessageCodec::new(CommunicationMode::Sparse, None);
         let m = msg((0, 100), &[1, 2, 3]);
         let mut sender = ServerMetrics::default();
-        let mut receivers = vec![ServerMetrics::default(); 3];
-        let (updates, enc) = channel.broadcast(&m, &mut sender, &mut receivers);
+        let (wire, enc) = codec.encode(&m, &mut sender);
         assert_eq!(enc, BroadcastEncoding::Sparse);
-        assert_eq!(updates, m.updates);
-        let wire = m.encoded_size(BroadcastEncoding::Sparse);
-        assert_eq!(sender.network_sent_bytes, wire * 3);
-        assert_eq!(sender.network_messages, 3);
-        for r in &receivers {
-            assert_eq!(r.network_received_bytes, wire);
-        }
+        assert_eq!(wire.len() as u64, m.encoded_size(BroadcastEncoding::Sparse));
+        // Uncompressed path charges no codec time.
+        assert_eq!(sender.compress_seconds, 0.0);
+        assert_eq!(codec.codec_seconds(wire.len()), 0.0);
+        let mut receiver = ServerMetrics::default();
+        let decoded = codec.decode(&wire, &mut receiver).unwrap();
+        assert_eq!(decoded.updates, m.updates);
+        assert_eq!(receiver.decompress_seconds, 0.0);
     }
 
     #[test]
@@ -374,22 +389,25 @@ mod tests {
         // A dense message full of identical values compresses extremely well.
         let all: Vec<u32> = (0..4096).collect();
         let m = BroadcastMessage::new(0, 4096, all.iter().map(|&v| (v, 1.0)).collect());
-        let raw_channel = BroadcastChannel::new(2, CommunicationMode::Dense, None);
-        let snappy_channel = BroadcastChannel::new(2, CommunicationMode::Dense, Some(Codec::Snappy));
+        let raw = MessageCodec::new(CommunicationMode::Dense, None);
+        let snappy = MessageCodec::new(CommunicationMode::Dense, Some(Codec::Snappy));
         let mut s_raw = ServerMetrics::default();
         let mut s_snappy = ServerMetrics::default();
-        let mut r = vec![ServerMetrics::default(); 1];
-        raw_channel.broadcast(&m, &mut s_raw, &mut r);
-        let mut r2 = vec![ServerMetrics::default(); 1];
-        let (updates, _) = snappy_channel.broadcast(&m, &mut s_snappy, &mut r2);
-        assert_eq!(updates.len(), 4096);
-        assert!(s_snappy.network_sent_bytes < s_raw.network_sent_bytes / 2);
-        assert!(r2[0].decompress_seconds > 0.0);
+        let (raw_wire, _) = raw.encode(&m, &mut s_raw);
+        let (snappy_wire, _) = snappy.encode(&m, &mut s_snappy);
+        assert!(snappy_wire.len() < raw_wire.len() / 2);
+        assert!(s_snappy.compress_seconds > 0.0);
+        let mut receiver = ServerMetrics::default();
+        let decoded = snappy.decode(&snappy_wire, &mut receiver).unwrap();
+        assert_eq!(decoded.updates.len(), 4096);
+        assert!(receiver.decompress_seconds > 0.0);
+        // Corrupt wire bytes surface as an error, not a panic.
+        assert!(snappy.decode(&[0xFF; 32], &mut receiver).is_err());
     }
 
     #[test]
     fn paper_default_is_hybrid_snappy() {
-        let c = BroadcastChannel::paper_default(9);
+        let c = MessageCodec::paper_default();
         assert!(matches!(
             c.mode(),
             CommunicationMode::Hybrid { sparsity_threshold } if (sparsity_threshold - 0.8).abs() < 1e-9

@@ -141,10 +141,12 @@ impl Codec {
             Codec::Snappy => snap::raw::Decoder::new()
                 .decompress_vec(data)
                 .map_err(|e| CompressError::Corrupt(e.to_string())),
-            Codec::Zlib1 | Codec::Zlib3 => decompress_to_vec_zlib(data)
-                .map_err(|e| CompressError::Corrupt(format!("{e:?}"))),
-            Codec::VarintDelta => varint::decode_u32_delta_to_bytes(data)
-                .map_err(|e| CompressError::Corrupt(e)),
+            Codec::Zlib1 | Codec::Zlib3 => {
+                decompress_to_vec_zlib(data).map_err(|e| CompressError::Corrupt(format!("{e:?}")))
+            }
+            Codec::VarintDelta => {
+                varint::decode_u32_delta_to_bytes(data).map_err(CompressError::Corrupt)
+            }
         }
     }
 
@@ -200,7 +202,12 @@ mod tests {
     #[test]
     fn compressing_codecs_shrink_tile_like_data() {
         let data = sample_tile_like_data();
-        for codec in [Codec::Snappy, Codec::Zlib1, Codec::Zlib3, Codec::VarintDelta] {
+        for codec in [
+            Codec::Snappy,
+            Codec::Zlib1,
+            Codec::Zlib3,
+            Codec::VarintDelta,
+        ] {
             let ratio = codec.measured_ratio(&data);
             assert!(ratio > 1.2, "codec {} ratio {ratio}", codec.name());
         }

@@ -31,7 +31,12 @@ pub fn measure(codec: Codec, data: &[u8]) -> CodecMeasurement {
         .decompress(&compressed)
         .expect("data we just compressed must decompress");
     let decompress_secs = start.elapsed().as_secs_f64().max(1e-9);
-    assert_eq!(restored.len(), data.len(), "codec {} corrupted payload", codec.name());
+    assert_eq!(
+        restored.len(),
+        data.len(),
+        "codec {} corrupted payload",
+        codec.name()
+    );
 
     CodecMeasurement {
         codec,

@@ -178,7 +178,11 @@ mod tests {
         let values: Vec<u32> = (0..10_000u32).map(|i| 1_000_000 + i * 2).collect();
         let enc = encode_u32_delta(&values);
         // Raw is 40 KB; delta coding should cut it by more than half.
-        assert!(enc.len() < values.len() * 4 / 2, "encoded {} bytes", enc.len());
+        assert!(
+            enc.len() < values.len() * 4 / 2,
+            "encoded {} bytes",
+            enc.len()
+        );
     }
 
     #[test]

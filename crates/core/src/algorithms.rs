@@ -327,9 +327,26 @@ mod tests {
         assert_eq!(sssp.apply(2, accum, f64::INFINITY, &c), 2.0);
         assert!(sssp.is_update(f64::INFINITY, 2.0));
         assert!(!sssp.is_update(2.0, 2.0));
-        assert_eq!(sssp.initial_value(0, &InitContext { num_vertices: 3, out_degrees: &out, in_degrees: &ind }), 0.0);
+        assert_eq!(
+            sssp.initial_value(
+                0,
+                &InitContext {
+                    num_vertices: 3,
+                    out_degrees: &out,
+                    in_degrees: &ind
+                }
+            ),
+            0.0
+        );
         assert!(sssp
-            .initial_value(1, &InitContext { num_vertices: 3, out_degrees: &out, in_degrees: &ind })
+            .initial_value(
+                1,
+                &InitContext {
+                    num_vertices: 3,
+                    out_degrees: &out,
+                    in_degrees: &ind
+                }
+            )
             .is_infinite());
     }
 

@@ -1,17 +1,20 @@
 //! The MPE: GraphH's out-of-core, tile-at-a-time BSP engine (paper Algorithm 5).
+//!
+//! The engine itself is now a thin shell: configuration ([`GraphHConfig`]),
+//! result reporting ([`RunResult`]) and a pluggable execution strategy
+//! ([`crate::exec::Executor`]). The superstep machinery shared by all
+//! strategies lives in [`crate::exec`]; the single-threaded reference strategy
+//! is [`crate::exec::sequential::SequentialExecutor`], and `graphh-runtime`
+//! provides a threaded one running each simulated server on its own OS thread.
 
-use crate::bloom::BloomFilter;
-use crate::gab::{GabProgram, InitContext, VertexContext};
-use crate::{EngineError, Result};
-use graphh_cache::{CacheMode, EdgeCache, EdgeCacheConfig};
-use graphh_cluster::{
-    BroadcastChannel, BroadcastMessage, ClusterConfig, ClusterMetrics, CommunicationMode,
-    CostModel, MemoryTracker, ServerMetrics, SuperstepReport,
-};
+use crate::exec::sequential::SequentialExecutor;
+use crate::exec::Executor;
+use crate::gab::GabProgram;
+use crate::Result;
+use graphh_cache::CacheMode;
+use graphh_cluster::{ClusterConfig, ClusterMetrics, CommunicationMode};
 use graphh_compress::Codec;
-use graphh_graph::ids::{ServerId, TileId, VertexId};
-use graphh_partition::{PartitionedGraph, Tile, TileAssignment};
-use std::collections::HashMap;
+use graphh_partition::PartitionedGraph;
 use std::sync::Arc;
 
 /// Configuration of a GraphH run.
@@ -73,6 +76,11 @@ pub struct RunResult {
     pub per_server_peak_memory: Vec<u64>,
     /// Fraction of vertices updated in each superstep (Figure 8a).
     pub updated_ratio_per_superstep: Vec<f64>,
+    /// Name of the executor that produced this result.
+    pub executor: &'static str,
+    /// Real elapsed time of the run on this machine in seconds (as opposed to
+    /// the *simulated* cluster seconds in `metrics`).
+    pub wall_clock_seconds: f64,
 }
 
 impl RunResult {
@@ -88,38 +96,34 @@ impl RunResult {
     }
 }
 
-/// One simulated server's long-lived state.
-struct ServerState {
-    id: ServerId,
-    /// Tiles assigned to this server, in processing order.
-    tiles: Vec<TileId>,
-    /// Serialized tiles as stored on the server's local disk.
-    disk: HashMap<TileId, Vec<u8>>,
-    /// Local replica of every vertex value (All-in-All policy).
-    values: Vec<f64>,
-    /// Edge cache over idle memory.
-    cache: EdgeCache,
-    /// Per-tile Bloom filters over source vertices.
-    blooms: HashMap<TileId, BloomFilter>,
-    /// Memory accounting.
-    memory: MemoryTracker,
-}
-
-/// The GraphH engine.
-#[derive(Debug, Clone)]
+/// The GraphH engine: a configuration plus an execution strategy.
+#[derive(Clone)]
 pub struct GraphHEngine {
     config: GraphHConfig,
+    executor: Arc<dyn Executor>,
 }
 
 impl GraphHEngine {
-    /// An engine with the given configuration.
+    /// An engine with the given configuration and the sequential reference
+    /// executor.
     pub fn new(config: GraphHConfig) -> Self {
-        Self { config }
+        Self::with_executor(config, Arc::new(SequentialExecutor::new()))
+    }
+
+    /// An engine with an explicit execution strategy (e.g. `graphh-runtime`'s
+    /// `ThreadedExecutor`).
+    pub fn with_executor(config: GraphHConfig, executor: Arc<dyn Executor>) -> Self {
+        Self { config, executor }
     }
 
     /// The configuration.
     pub fn config(&self) -> &GraphHConfig {
         &self.config
+    }
+
+    /// The execution strategy's name.
+    pub fn executor_name(&self) -> &'static str {
+        self.executor.name()
     }
 
     /// Run `program` over `partitioned` on the configured cluster.
@@ -128,285 +132,15 @@ impl GraphHEngine {
         partitioned: &PartitionedGraph,
         program: &dyn GabProgram,
     ) -> Result<RunResult> {
-        let cluster = self.config.cluster;
-        let num_servers = cluster.num_servers;
-        let num_vertices = partitioned.num_vertices();
-        if num_vertices == 0 {
-            return Err(EngineError::BadInput("graph has no vertices".into()));
-        }
-        if num_vertices > u64::from(u32::MAX) {
-            return Err(EngineError::BadInput(
-                "stand-in graphs must have fewer than 2^32 vertices".into(),
-            ));
-        }
-
-        let out_degrees: Arc<Vec<u32>> = Arc::new(partitioned.out_degrees.clone());
-        let in_degrees: Arc<Vec<u32>> = Arc::new(partitioned.in_degrees.clone());
-        let init_ctx = InitContext {
-            num_vertices,
-            out_degrees: &out_degrees,
-            in_degrees: &in_degrees,
-        };
-        let initial_values: Vec<f64> = (0..num_vertices as u32)
-            .map(|v| program.initial_value(v, &init_ctx))
-            .collect();
-
-        let assignment = TileAssignment::round_robin(partitioned.num_tiles(), num_servers);
-        let mut servers = self.build_servers(partitioned, &assignment, &initial_values);
-        let channel = BroadcastChannel::new(
-            num_servers,
-            self.config.communication,
-            self.config.message_compressor,
-        );
-        let cost_model = CostModel::new(cluster);
-
-        // Vertex-state + message memory is permanent; register it once per server.
-        let vertex_bytes = 8 * num_vertices; // f64 value replica
-        let message_bytes = 8 * num_vertices; // dense received-update buffer
-        let degree_bytes = 4 * num_vertices * 2; // out- and in-degree arrays
-        for server in &mut servers {
-            server.memory.set_component("vertex-values", vertex_bytes);
-            server.memory.set_component("message-buffer", message_bytes);
-            server.memory.set_component("degree-arrays", degree_bytes);
-            let bloom_bytes: u64 = server
-                .blooms
-                .values()
-                .map(BloomFilter::memory_bytes)
-                .sum();
-            server.memory.set_component("bloom-filters", bloom_bytes);
-        }
-
-        let max_supersteps = self
-            .config
-            .max_supersteps
-            .unwrap_or(u32::MAX)
-            .min(program.max_supersteps());
-
-        let mut metrics = ClusterMetrics::default();
-        let mut updated_ratio = Vec::new();
-        // Vertices updated in the previous superstep (drives Bloom-filter skipping).
-        let mut previously_updated: Vec<VertexId> =
-            (0..num_vertices as u32).collect();
-        let mut supersteps_run = 0u32;
-
-        for superstep in 0..max_supersteps {
-            let mut report = SuperstepReport::new(superstep, num_servers);
-            let mut all_updates: Vec<(VertexId, f64)> = Vec::new();
-
-            for sid in 0..num_servers as usize {
-                let mut server_metrics = ServerMetrics::default();
-                let mut received = ServerMetrics::default();
-                let server = &mut servers[sid];
-                server.cache.reset_stats();
-
-                let vertex_ctx = VertexContext {
-                    values: &server.values,
-                    out_degrees: &out_degrees,
-                    in_degrees: &in_degrees,
-                    num_vertices,
-                    superstep,
-                };
-
-                for &tile_id in &server.tiles.clone() {
-                    // Bloom-filter tile skipping: a tile with no updated source vertex
-                    // cannot change any target value.
-                    let run_everything =
-                        superstep == 0 && program.run_all_vertices_initially();
-                    if self.config.use_bloom_filter && !run_everything {
-                        let bloom = &server.blooms[&tile_id];
-                        if !bloom.may_contain_any(previously_updated.iter()) {
-                            server_metrics.tiles_skipped += 1;
-                            continue;
-                        }
-                    }
-
-                    // Fetch the tile: edge cache first, local disk on a miss.
-                    let tile = match server.cache.get(tile_id) {
-                        Some(tile) => tile,
-                        None => {
-                            let blob = server
-                                .disk
-                                .get(&tile_id)
-                                .expect("assigned tile must be on local disk");
-                            server_metrics.disk_read_bytes += blob.len() as u64;
-                            server_metrics.disk_read_ops += 1;
-                            let tile = Tile::from_bytes(blob)?;
-                            server.cache.insert(tile_id, blob);
-                            tile
-                        }
-                    };
-
-                    // Process the tile against the local replica array.
-                    let mut tile_updates: Vec<(VertexId, f64)> = Vec::new();
-                    server.memory.with_transient(tile.memory_bytes(), |_| {
-                        for target in tile.targets() {
-                            let in_degree = tile.in_degree(target);
-                            if in_degree == 0 && !run_everything {
-                                continue;
-                            }
-                            let mut edges = tile.in_edges(target);
-                            let accum = program.gather(target, &mut edges, &vertex_ctx);
-                            let current = vertex_ctx.values[target as usize];
-                            let new = program.apply(target, accum, current, &vertex_ctx);
-                            server_metrics.edges_processed += u64::from(in_degree);
-                            if program.is_update(current, new) {
-                                tile_updates.push((target, new));
-                            }
-                        }
-                    });
-                    server_metrics.tiles_processed += 1;
-                    server_metrics.messages_produced += tile_updates.len() as u64;
-
-                    // Broadcast this tile's updates to the other servers.
-                    if !tile_updates.is_empty() {
-                        let message = BroadcastMessage::new(
-                            tile.target_start,
-                            tile.target_end,
-                            tile_updates,
-                        );
-                        let mut receiver_slots =
-                            vec![ServerMetrics::default(); (num_servers - 1) as usize];
-                        let (updates, _encoding) = channel.broadcast(
-                            &message,
-                            &mut server_metrics,
-                            &mut receiver_slots,
-                        );
-                        if let Some(first) = receiver_slots.first() {
-                            received.merge(first);
-                        }
-                        all_updates.extend(updates);
-                    }
-                }
-
-                // Fold cache behaviour into the superstep metrics.
-                let cache_stats = server.cache.stats();
-                server_metrics.cache_hits += cache_stats.hits;
-                server_metrics.cache_misses += cache_stats.misses;
-                server_metrics.decompress_seconds += cache_stats.decompress_seconds;
-                server_metrics.compress_seconds += cache_stats.compress_seconds;
-                server
-                    .memory
-                    .set_component("edge-cache", cache_stats.used_bytes);
-                server_metrics.peak_memory_bytes = server.memory.peak();
-
-                report.servers[sid] = server_metrics;
-                // Every *other* server receives what this server's receiver slot saw.
-                for (other, slot) in report.servers.iter_mut().enumerate() {
-                    if other != sid {
-                        slot.network_received_bytes += received.network_received_bytes;
-                        slot.decompress_seconds += received.decompress_seconds;
-                    }
-                }
-            }
-
-            // BSP barrier: apply all broadcast updates to every replica.
-            all_updates.sort_unstable_by_key(|&(v, _)| v);
-            all_updates.dedup_by_key(|&mut (v, _)| v);
-            for server in &mut servers {
-                for &(v, value) in &all_updates {
-                    server.values[v as usize] = value;
-                }
-            }
-            for (sid, server) in servers.iter().enumerate() {
-                report.servers[sid].vertices_updated = all_updates.len() as u64;
-                report.servers[sid].peak_memory_bytes = server.memory.peak();
-            }
-            report.total_vertices_updated = all_updates.len() as u64;
-            updated_ratio.push(all_updates.len() as f64 / num_vertices as f64);
-            previously_updated = all_updates.iter().map(|&(v, _)| v).collect();
-
-            let report = cost_model.finalize(report);
-            metrics.push(report);
-            supersteps_run = superstep + 1;
-
-            if previously_updated.is_empty() {
-                break;
-            }
-        }
-
-        let per_server_peak_memory = servers.iter().map(|s| s.memory.peak()).collect();
-        let cache_codec = servers
-            .first()
-            .map(|s| s.cache.codec())
-            .unwrap_or(Codec::Raw);
-        let values = servers
-            .into_iter()
-            .next()
-            .map(|s| s.values)
-            .unwrap_or_default();
-
-        Ok(RunResult {
-            values,
-            metrics,
-            supersteps_run,
-            cache_codec,
-            per_server_peak_memory,
-            updated_ratio_per_superstep: updated_ratio,
-        })
-    }
-
-    /// Build per-server state: stage each server's tiles on its local disk, build the
-    /// Bloom filters, size the edge cache from the idle memory.
-    fn build_servers(
-        &self,
-        partitioned: &PartitionedGraph,
-        assignment: &TileAssignment,
-        initial_values: &[f64],
-    ) -> Vec<ServerState> {
-        let num_vertices = initial_values.len() as u64;
-        let machine = self.config.cluster.machine;
-        (0..self.config.cluster.num_servers)
-            .map(|sid| {
-                let tiles = assignment.tiles_of(sid);
-                let mut disk = HashMap::new();
-                let mut blooms = HashMap::new();
-                let mut total_tile_bytes = 0u64;
-                for &tid in &tiles {
-                    let tile = &partitioned.tiles[tid as usize];
-                    let blob = tile.to_bytes();
-                    total_tile_bytes += blob.len() as u64;
-                    blooms.insert(
-                        tid,
-                        BloomFilter::from_ids(
-                            tile.sources().iter().copied(),
-                            tile.sources().len().max(8),
-                        ),
-                    );
-                    disk.insert(tid, blob);
-                }
-                // Idle memory = machine memory minus the permanent vertex arrays.
-                let permanent = 8 * num_vertices * 2 + 4 * num_vertices * 2;
-                let idle = machine.memory_bytes.saturating_sub(permanent);
-                let capacity = self.config.cache_capacity.unwrap_or(idle);
-                let cache = EdgeCache::new(
-                    EdgeCacheConfig {
-                        capacity_bytes: capacity,
-                        mode: self.config.cache_mode,
-                    },
-                    total_tile_bytes,
-                );
-                ServerState {
-                    id: sid,
-                    tiles,
-                    disk,
-                    values: initial_values.to_vec(),
-                    cache,
-                    blooms,
-                    memory: MemoryTracker::new(machine.memory_bytes),
-                }
-            })
-            .collect()
+        self.executor.execute(&self.config, partitioned, program)
     }
 }
 
-// `ServerState` is internal; only its id field would otherwise be unused in release
-// builds, keep it for debugging/logging symmetry.
-impl std::fmt::Debug for ServerState {
+impl std::fmt::Debug for GraphHEngine {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("ServerState")
-            .field("id", &self.id)
-            .field("tiles", &self.tiles.len())
-            .field("values", &self.values.len())
+        f.debug_struct("GraphHEngine")
+            .field("config", &self.config)
+            .field("executor", &self.executor.name())
             .finish()
     }
 }
@@ -443,6 +177,8 @@ mod tests {
             "distributed PageRank diverged from reference"
         );
         assert_eq!(result.supersteps_run, 10);
+        assert_eq!(result.executor, "sequential");
+        assert!(result.wall_clock_seconds > 0.0);
     }
 
     #[test]
@@ -488,7 +224,9 @@ mod tests {
         );
 
         // WCC needs the symmetrised graph.
-        let mut b = graphh_graph::GraphBuilder::new().with_num_vertices(g.num_vertices()).symmetric(true);
+        let mut b = graphh_graph::GraphBuilder::new()
+            .with_num_vertices(g.num_vertices())
+            .symmetric(true);
         for e in g.edges().iter() {
             b.add_edge(e);
         }

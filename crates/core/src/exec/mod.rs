@@ -1,0 +1,378 @@
+//! Execution machinery shared by every [`Executor`].
+//!
+//! The engine's per-superstep work factors into pieces that are identical no
+//! matter how the simulated servers are scheduled:
+//!
+//! * [`ExecutionPlan`] — everything derived from the config + partitioned graph
+//!   before the first superstep (initial values, tile assignment, cost model),
+//! * [`ServerState`] — one server's long-lived state (tiles on "disk", vertex
+//!   replica, edge cache, Bloom filters, memory accounting),
+//! * [`ServerState::run_tile_phase`] — the compute phase of one superstep on
+//!   one server: Bloom-skip, fetch, gather/apply, producing the tile-granular
+//!   [`BroadcastMessage`]s to publish,
+//! * [`merge_updates`] / [`ServerState::apply_updates`] — the deterministic
+//!   barrier: updates are sorted by vertex id before application, so every
+//!   executor applies them in the same order and produces bit-identical
+//!   replicas.
+//!
+//! An [`Executor`] strings these together: [`sequential::SequentialExecutor`]
+//! on one thread (the reference), `graphh-runtime`'s `ThreadedExecutor` on one
+//! OS thread per server with a real channel broadcast plane.
+
+pub mod sequential;
+
+use crate::bloom::BloomFilter;
+use crate::engine::{GraphHConfig, RunResult};
+use crate::gab::{GabProgram, InitContext, VertexContext};
+use crate::{EngineError, Result};
+use graphh_cache::{EdgeCache, EdgeCacheConfig};
+use graphh_cluster::{BroadcastMessage, CostModel, MemoryTracker, MessageCodec, ServerMetrics};
+use graphh_compress::Codec;
+use graphh_graph::ids::{ServerId, TileId, VertexId};
+use graphh_partition::{PartitionedGraph, Tile, TileAssignment};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// An execution strategy for the GraphH engine.
+///
+/// Implementations must be observationally equivalent: given the same config,
+/// graph and program, `execute` must return bit-identical `values` (the
+/// differential tests in `graphh-runtime` and `tests/determinism.rs` enforce
+/// this). Only wall-clock behaviour may differ.
+pub trait Executor: Send + Sync {
+    /// Short name used in reports ("sequential", "threaded", ...).
+    fn name(&self) -> &'static str;
+
+    /// Run `program` over `partitioned` under `config`.
+    fn execute(
+        &self,
+        config: &GraphHConfig,
+        partitioned: &PartitionedGraph,
+        program: &dyn GabProgram,
+    ) -> Result<RunResult>;
+}
+
+/// Immutable state shared by all servers of one run.
+pub struct ExecutionPlan {
+    /// Number of vertices.
+    pub num_vertices: u64,
+    /// Out-degree of every vertex.
+    pub out_degrees: Arc<Vec<u32>>,
+    /// In-degree of every vertex.
+    pub in_degrees: Arc<Vec<u32>>,
+    /// Initial value of every vertex.
+    pub initial_values: Arc<Vec<f64>>,
+    /// Tile → server assignment.
+    pub assignment: TileAssignment,
+    /// Superstep cap (config and program limits combined).
+    pub max_supersteps: u32,
+    /// Wire codec for broadcast messages.
+    pub message_codec: MessageCodec,
+    /// Metered-work → simulated-seconds conversion.
+    pub cost_model: CostModel,
+}
+
+impl ExecutionPlan {
+    /// Validate the input and precompute everything supersteps share.
+    pub fn prepare(
+        config: &GraphHConfig,
+        partitioned: &PartitionedGraph,
+        program: &dyn GabProgram,
+    ) -> Result<Self> {
+        let num_vertices = partitioned.num_vertices();
+        if num_vertices == 0 {
+            return Err(EngineError::BadInput("graph has no vertices".into()));
+        }
+        if num_vertices > u64::from(u32::MAX) {
+            return Err(EngineError::BadInput(
+                "stand-in graphs must have fewer than 2^32 vertices".into(),
+            ));
+        }
+        let out_degrees: Arc<Vec<u32>> = Arc::new(partitioned.out_degrees.clone());
+        let in_degrees: Arc<Vec<u32>> = Arc::new(partitioned.in_degrees.clone());
+        let init_ctx = InitContext {
+            num_vertices,
+            out_degrees: &out_degrees,
+            in_degrees: &in_degrees,
+        };
+        let initial_values: Arc<Vec<f64>> = Arc::new(
+            (0..num_vertices as u32)
+                .map(|v| program.initial_value(v, &init_ctx))
+                .collect(),
+        );
+        let assignment =
+            TileAssignment::round_robin(partitioned.num_tiles(), config.cluster.num_servers);
+        let max_supersteps = config
+            .max_supersteps
+            .unwrap_or(u32::MAX)
+            .min(program.max_supersteps());
+        Ok(Self {
+            num_vertices,
+            out_degrees,
+            in_degrees,
+            initial_values,
+            assignment,
+            max_supersteps,
+            message_codec: MessageCodec::new(config.communication, config.message_compressor),
+            cost_model: CostModel::new(config.cluster),
+        })
+    }
+
+    /// Vertex ids active before superstep 0 (everything changed at init).
+    pub fn initial_frontier(&self) -> Vec<VertexId> {
+        (0..self.num_vertices as u32).collect()
+    }
+}
+
+/// One simulated server's long-lived state.
+pub struct ServerState {
+    /// Server id.
+    pub id: ServerId,
+    /// Tiles assigned to this server, in processing order.
+    pub tiles: Vec<TileId>,
+    /// Serialized tiles as stored on the server's local disk.
+    disk: HashMap<TileId, Vec<u8>>,
+    /// Local replica of every vertex value (All-in-All policy).
+    pub values: Vec<f64>,
+    /// Edge cache over idle memory.
+    cache: EdgeCache,
+    /// Per-tile Bloom filters over source vertices.
+    blooms: HashMap<TileId, BloomFilter>,
+    /// Memory accounting.
+    memory: MemoryTracker,
+}
+
+/// Output of one server's compute phase for one superstep.
+pub struct TilePhaseOutput {
+    /// Metered work, cache stats and peak memory folded in.
+    pub metrics: ServerMetrics,
+    /// One message per processed tile that produced updates, in tile order.
+    pub messages: Vec<BroadcastMessage>,
+}
+
+impl ServerState {
+    /// Build server `sid`'s state: stage its tiles on its local disk, build the
+    /// Bloom filters, size the edge cache from the idle memory, register the
+    /// permanent arrays with the memory tracker.
+    pub fn build(
+        config: &GraphHConfig,
+        plan: &ExecutionPlan,
+        partitioned: &PartitionedGraph,
+        sid: ServerId,
+    ) -> Self {
+        let num_vertices = plan.num_vertices;
+        let machine = config.cluster.machine;
+        let tiles = plan.assignment.tiles_of(sid);
+        let mut disk = HashMap::new();
+        let mut blooms = HashMap::new();
+        let mut total_tile_bytes = 0u64;
+        for &tid in &tiles {
+            let tile = &partitioned.tiles[tid as usize];
+            let blob = tile.to_bytes();
+            total_tile_bytes += blob.len() as u64;
+            blooms.insert(
+                tid,
+                BloomFilter::from_ids(tile.sources().iter().copied(), tile.sources().len().max(8)),
+            );
+            disk.insert(tid, blob);
+        }
+        // Idle memory = machine memory minus the permanent vertex arrays.
+        let permanent = 8 * num_vertices * 2 + 4 * num_vertices * 2;
+        let idle = machine.memory_bytes.saturating_sub(permanent);
+        let capacity = config.cache_capacity.unwrap_or(idle);
+        let cache = EdgeCache::new(
+            EdgeCacheConfig {
+                capacity_bytes: capacity,
+                mode: config.cache_mode,
+            },
+            total_tile_bytes,
+        );
+        let mut memory = MemoryTracker::new(machine.memory_bytes);
+        // Vertex-state + message memory is permanent; register it once.
+        memory.set_component("vertex-values", 8 * num_vertices);
+        memory.set_component("message-buffer", 8 * num_vertices);
+        memory.set_component("degree-arrays", 4 * num_vertices * 2);
+        let bloom_bytes: u64 = blooms.values().map(BloomFilter::memory_bytes).sum();
+        memory.set_component("bloom-filters", bloom_bytes);
+        ServerState {
+            id: sid,
+            tiles,
+            disk,
+            values: plan.initial_values.to_vec(),
+            cache,
+            blooms,
+            memory,
+        }
+    }
+
+    /// The codec the edge cache selected.
+    pub fn cache_codec(&self) -> Codec {
+        self.cache.codec()
+    }
+
+    /// Peak accounted memory so far.
+    pub fn peak_memory(&self) -> u64 {
+        self.memory.peak()
+    }
+
+    /// The compute phase of one superstep on this server: walk the assigned
+    /// tiles (Bloom-skipping inactive ones), gather/apply against the local
+    /// replica, and emit one broadcast message per tile with updates.
+    pub fn run_tile_phase(
+        &mut self,
+        program: &dyn GabProgram,
+        plan: &ExecutionPlan,
+        superstep: u32,
+        previously_updated: &[VertexId],
+        use_bloom: bool,
+    ) -> Result<TilePhaseOutput> {
+        let mut metrics = ServerMetrics::default();
+        let mut messages = Vec::new();
+        self.cache.reset_stats();
+
+        let vertex_ctx = VertexContext {
+            values: &self.values,
+            out_degrees: &plan.out_degrees,
+            in_degrees: &plan.in_degrees,
+            num_vertices: plan.num_vertices,
+            superstep,
+        };
+        let run_everything = superstep == 0 && program.run_all_vertices_initially();
+
+        for &tile_id in &self.tiles {
+            // Bloom-filter tile skipping: a tile with no updated source vertex
+            // cannot change any target value.
+            if use_bloom && !run_everything {
+                let bloom = &self.blooms[&tile_id];
+                if !bloom.may_contain_any(previously_updated.iter()) {
+                    metrics.tiles_skipped += 1;
+                    continue;
+                }
+            }
+
+            // Fetch the tile: edge cache first, local disk on a miss.
+            let tile = match self.cache.get(tile_id) {
+                Some(tile) => tile,
+                None => {
+                    let blob = self
+                        .disk
+                        .get(&tile_id)
+                        .expect("assigned tile must be on local disk");
+                    metrics.disk_read_bytes += blob.len() as u64;
+                    metrics.disk_read_ops += 1;
+                    let tile = Tile::from_bytes(blob)?;
+                    self.cache.insert(tile_id, blob);
+                    tile
+                }
+            };
+
+            // Process the tile against the local replica array.
+            let mut tile_updates: Vec<(VertexId, f64)> = Vec::new();
+            self.memory.with_transient(tile.memory_bytes(), |_| {
+                for target in tile.targets() {
+                    let in_degree = tile.in_degree(target);
+                    if in_degree == 0 && !run_everything {
+                        continue;
+                    }
+                    let mut edges = tile.in_edges(target);
+                    let accum = program.gather(target, &mut edges, &vertex_ctx);
+                    let current = vertex_ctx.values[target as usize];
+                    let new = program.apply(target, accum, current, &vertex_ctx);
+                    metrics.edges_processed += u64::from(in_degree);
+                    if program.is_update(current, new) {
+                        tile_updates.push((target, new));
+                    }
+                }
+            });
+            metrics.tiles_processed += 1;
+            metrics.messages_produced += tile_updates.len() as u64;
+
+            if !tile_updates.is_empty() {
+                messages.push(BroadcastMessage::new(
+                    tile.target_start,
+                    tile.target_end,
+                    tile_updates,
+                ));
+            }
+        }
+
+        // Fold cache behaviour into the superstep metrics.
+        let cache_stats = self.cache.stats();
+        metrics.cache_hits += cache_stats.hits;
+        metrics.cache_misses += cache_stats.misses;
+        metrics.decompress_seconds += cache_stats.decompress_seconds;
+        metrics.compress_seconds += cache_stats.compress_seconds;
+        self.memory
+            .set_component("edge-cache", cache_stats.used_bytes);
+        metrics.peak_memory_bytes = self.memory.peak();
+
+        Ok(TilePhaseOutput { metrics, messages })
+    }
+
+    /// The barrier's apply half: fold `updates` (pre-sorted by vertex id) into
+    /// this server's replica.
+    pub fn apply_updates(&mut self, updates: &[(VertexId, f64)]) {
+        for &(v, value) in updates {
+            self.values[v as usize] = value;
+        }
+    }
+}
+
+impl std::fmt::Debug for ServerState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerState")
+            .field("id", &self.id)
+            .field("tiles", &self.tiles.len())
+            .field("values", &self.values.len())
+            .finish()
+    }
+}
+
+/// Deterministically merge per-tile update lists into the barrier's apply
+/// order: sorted by vertex id. Tiles partition the target-vertex space, so
+/// each vertex appears at most once; the dedup is a safety net that keeps the
+/// first occurrence if an engine ever violates that.
+pub fn merge_updates(mut all_updates: Vec<(VertexId, f64)>) -> Vec<(VertexId, f64)> {
+    all_updates.sort_unstable_by_key(|&(v, _)| v);
+    all_updates.dedup_by_key(|&mut (v, _)| v);
+    all_updates
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::PageRank;
+    use graphh_cluster::ClusterConfig;
+    use graphh_graph::generators::{GraphGenerator, RmatGenerator};
+    use graphh_partition::{Spe, SpeConfig};
+
+    #[test]
+    fn merge_updates_sorts_and_dedups() {
+        let merged = merge_updates(vec![(5, 1.0), (1, 2.0), (5, 3.0), (0, 4.0)]);
+        assert_eq!(merged, vec![(0, 4.0), (1, 2.0), (5, 1.0)]);
+    }
+
+    #[test]
+    fn plan_rejects_empty_graph() {
+        let g =
+            graphh_graph::Graph::from_edges(0, graphh_graph::EdgeList::new_unweighted()).unwrap();
+        let p = Spe::partition(&g, &SpeConfig::new("x", 1)).unwrap();
+        let cfg = GraphHConfig::paper_default(ClusterConfig::paper_testbed(1));
+        assert!(ExecutionPlan::prepare(&cfg, &p, &PageRank::new(1)).is_err());
+    }
+
+    #[test]
+    fn server_state_stages_assigned_tiles() {
+        let g = RmatGenerator::new(7, 4).generate(3);
+        let p = Spe::partition(&g, &SpeConfig::with_tile_count("t", &g, 6)).unwrap();
+        let cfg = GraphHConfig::paper_default(ClusterConfig::paper_testbed(3));
+        let plan = ExecutionPlan::prepare(&cfg, &p, &PageRank::new(1)).unwrap();
+        let total_tiles: usize = (0..3)
+            .map(|sid| ServerState::build(&cfg, &plan, &p, sid).tiles.len())
+            .sum();
+        assert_eq!(total_tiles as u32, p.num_tiles());
+        let s0 = ServerState::build(&cfg, &plan, &p, 0);
+        assert_eq!(s0.values.len() as u64, plan.num_vertices);
+        assert!(s0.peak_memory() > 0);
+    }
+}

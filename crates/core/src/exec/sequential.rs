@@ -1,0 +1,137 @@
+//! The reference executor: every simulated server runs on the calling thread.
+//!
+//! This is the engine loop the rest of the workspace is differentially tested
+//! against — `graphh-runtime`'s threaded executor must produce bit-identical
+//! values. Traffic is still pushed through the real wire path
+//! ([`graphh_cluster::MessageCodec`]), so Figure 8 numbers are measured here
+//! exactly as they are on the threaded channels.
+
+use super::{merge_updates, ExecutionPlan, Executor, ServerState};
+use crate::engine::{GraphHConfig, RunResult};
+use crate::gab::GabProgram;
+use crate::Result;
+use graphh_cluster::{ClusterMetrics, ServerMetrics, SuperstepReport};
+use graphh_graph::ids::VertexId;
+use graphh_partition::PartitionedGraph;
+use std::time::Instant;
+
+/// Runs all simulated servers on one thread, in server-id order.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SequentialExecutor;
+
+impl SequentialExecutor {
+    /// A sequential executor.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl Executor for SequentialExecutor {
+    fn name(&self) -> &'static str {
+        "sequential"
+    }
+
+    fn execute(
+        &self,
+        config: &GraphHConfig,
+        partitioned: &PartitionedGraph,
+        program: &dyn GabProgram,
+    ) -> Result<RunResult> {
+        let started = Instant::now();
+        let plan = ExecutionPlan::prepare(config, partitioned, program)?;
+        let num_servers = config.cluster.num_servers;
+        let mut servers: Vec<ServerState> = (0..num_servers)
+            .map(|sid| ServerState::build(config, &plan, partitioned, sid))
+            .collect();
+
+        let mut metrics = ClusterMetrics::default();
+        let mut updated_ratio = Vec::new();
+        // Vertices updated in the previous superstep (drives Bloom-filter skipping).
+        let mut previously_updated: Vec<VertexId> = plan.initial_frontier();
+        let mut supersteps_run = 0u32;
+
+        for superstep in 0..plan.max_supersteps {
+            let mut report = SuperstepReport::new(superstep, num_servers);
+            let mut all_updates: Vec<(VertexId, f64)> = Vec::new();
+
+            for (sid, server) in servers.iter_mut().enumerate() {
+                let phase = server.run_tile_phase(
+                    program,
+                    &plan,
+                    superstep,
+                    &previously_updated,
+                    config.use_bloom_filter,
+                )?;
+                let mut server_metrics = phase.metrics;
+                // What every *other* server receives from this one.
+                let mut received = ServerMetrics::default();
+                for message in &phase.messages {
+                    let (wire, _encoding) = plan.message_codec.encode(message, &mut server_metrics);
+                    let fanout = u64::from(num_servers - 1);
+                    server_metrics.network_sent_bytes += wire.len() as u64 * fanout;
+                    server_metrics.network_messages += fanout;
+                    received.network_received_bytes += wire.len() as u64;
+                    received.decompress_seconds += plan.message_codec.codec_seconds(wire.len());
+                    // Decode once: every receiver sees the same payload (their
+                    // decompression time was charged above).
+                    let mut scratch = ServerMetrics::default();
+                    let decoded = plan
+                        .message_codec
+                        .decode(&wire, &mut scratch)
+                        .expect("we just encoded this");
+                    all_updates.extend(decoded.updates);
+                }
+                report.servers[sid] = server_metrics;
+                for (other, slot) in report.servers.iter_mut().enumerate() {
+                    if other != sid {
+                        slot.network_received_bytes += received.network_received_bytes;
+                        slot.decompress_seconds += received.decompress_seconds;
+                    }
+                }
+            }
+
+            // BSP barrier: apply all broadcast updates to every replica.
+            let all_updates = merge_updates(all_updates);
+            for server in &mut servers {
+                server.apply_updates(&all_updates);
+            }
+            for (sid, server) in servers.iter().enumerate() {
+                report.servers[sid].vertices_updated = all_updates.len() as u64;
+                report.servers[sid].peak_memory_bytes = server.peak_memory();
+            }
+            report.total_vertices_updated = all_updates.len() as u64;
+            updated_ratio.push(all_updates.len() as f64 / plan.num_vertices as f64);
+            previously_updated = all_updates.iter().map(|&(v, _)| v).collect();
+
+            let report = plan.cost_model.finalize(report);
+            metrics.push(report);
+            supersteps_run = superstep + 1;
+
+            if previously_updated.is_empty() {
+                break;
+            }
+        }
+
+        let per_server_peak_memory = servers.iter().map(ServerState::peak_memory).collect();
+        let cache_codec = servers
+            .first()
+            .map(ServerState::cache_codec)
+            .unwrap_or(graphh_compress::Codec::Raw);
+        let values = servers
+            .into_iter()
+            .next()
+            .map(|s| s.values)
+            .unwrap_or_default();
+
+        Ok(RunResult {
+            values,
+            metrics,
+            supersteps_run,
+            cache_codec,
+            per_server_peak_memory,
+            updated_ratio_per_superstep: updated_ratio,
+            executor: self.name(),
+            wall_clock_seconds: started.elapsed().as_secs_f64(),
+        })
+    }
+}

@@ -27,6 +27,7 @@
 pub mod algorithms;
 pub mod bloom;
 pub mod engine;
+pub mod exec;
 pub mod gab;
 pub mod reference;
 pub mod replication;
@@ -34,6 +35,8 @@ pub mod replication;
 pub use algorithms::{Bfs, DegreeCentrality, PageRank, Sssp, Wcc};
 pub use bloom::BloomFilter;
 pub use engine::{GraphHConfig, GraphHEngine, RunResult};
+pub use exec::sequential::SequentialExecutor;
+pub use exec::{ExecutionPlan, Executor, ServerState};
 pub use gab::{GabProgram, InitContext, VertexContext};
 pub use replication::{MemoryModel, ReplicationPolicy};
 

@@ -114,9 +114,7 @@ impl MemoryModel {
         let tile_term = tile_bytes * u64::from(cluster.machine.workers);
         match policy {
             ReplicationPolicy::AllInAll => self.aa_vertex_bytes() + tile_term,
-            ReplicationPolicy::OnDemand => {
-                self.od_vertex_bytes(cluster.num_servers) + tile_term
-            }
+            ReplicationPolicy::OnDemand => self.od_vertex_bytes(cluster.num_servers) + tile_term,
         }
     }
 

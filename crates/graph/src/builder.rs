@@ -74,10 +74,8 @@ impl GraphBuilder {
         if self.drop_self_loops && edge.src == edge.dst {
             return;
         }
-        if self.dedup {
-            if !self.seen.insert((edge.src, edge.dst)) {
-                return;
-            }
+        if self.dedup && !self.seen.insert((edge.src, edge.dst)) {
+            return;
         }
         self.edges.push(edge);
     }

@@ -100,12 +100,7 @@ impl Csr {
     pub fn neighbors_weighted(&self, v: VertexId) -> impl Iterator<Item = (VertexId, f32)> + '_ {
         let lo = self.offsets[v as usize] as usize;
         let hi = self.offsets[v as usize + 1] as usize;
-        (lo..hi).map(move |i| {
-            (
-                self.targets[i],
-                self.weights.as_ref().map_or(1.0, |w| w[i]),
-            )
-        })
+        (lo..hi).map(move |i| (self.targets[i], self.weights.as_ref().map_or(1.0, |w| w[i])))
     }
 
     /// Out-degree of `v`.
@@ -161,18 +156,10 @@ impl Csc {
     }
 
     /// In-neighbors of `v` with edge weights (1.0 when unweighted).
-    pub fn in_neighbors_weighted(
-        &self,
-        v: VertexId,
-    ) -> impl Iterator<Item = (VertexId, f32)> + '_ {
+    pub fn in_neighbors_weighted(&self, v: VertexId) -> impl Iterator<Item = (VertexId, f32)> + '_ {
         let lo = self.offsets[v as usize] as usize;
         let hi = self.offsets[v as usize + 1] as usize;
-        (lo..hi).map(move |i| {
-            (
-                self.sources[i],
-                self.weights.as_ref().map_or(1.0, |w| w[i]),
-            )
-        })
+        (lo..hi).map(move |i| (self.sources[i], self.weights.as_ref().map_or(1.0, |w| w[i])))
     }
 
     /// In-degree of `v`.

@@ -50,10 +50,24 @@ impl Dataset {
     /// Paper-scale statistics (Table I).
     pub fn paper_stats(self) -> GraphStats {
         let (v, e, avg, max_in, max_out, csv_gb) = match self {
-            Dataset::Twitter2010 => (42_000_000u64, 1_500_000_000u64, 35.3, 700_000, 770_000, 25.0),
+            Dataset::Twitter2010 => (
+                42_000_000u64,
+                1_500_000_000u64,
+                35.3,
+                700_000,
+                770_000,
+                25.0,
+            ),
             Dataset::Uk2007 => (134_000_000, 5_500_000_000, 41.2, 6_300_000, 22_400, 93.0),
             Dataset::Uk2014 => (788_000_000, 47_600_000_000, 60.4, 8_600_000, 16_300, 900.0),
-            Dataset::Eu2015 => (1_100_000_000, 91_800_000_000, 85.7, 20_000_000, 35_300, 1700.0),
+            Dataset::Eu2015 => (
+                1_100_000_000,
+                91_800_000_000,
+                85.7,
+                20_000_000,
+                35_300,
+                1700.0,
+            ),
         };
         GraphStats {
             name: self.name().to_string(),

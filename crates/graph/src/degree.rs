@@ -90,7 +90,11 @@ impl DegreeHistogram {
     pub fn from_degrees(degrees: &[u32]) -> Self {
         let mut buckets = vec![0u64; 33];
         for &d in degrees {
-            let b = if d <= 1 { 0 } else { 31 - (d.leading_zeros() as usize) };
+            let b = if d <= 1 {
+                0
+            } else {
+                31 - (d.leading_zeros() as usize)
+            };
             buckets[b] += 1;
         }
         while buckets.len() > 1 && *buckets.last().unwrap() == 0 {

@@ -149,11 +149,7 @@ impl EdgeList {
 
     /// The largest vertex id referenced by any edge, or `None` for an empty list.
     pub fn max_vertex_id(&self) -> Option<VertexId> {
-        self.srcs
-            .iter()
-            .chain(self.dsts.iter())
-            .copied()
-            .max()
+        self.srcs.iter().chain(self.dsts.iter()).copied().max()
     }
 
     /// Append all edges from `other`.

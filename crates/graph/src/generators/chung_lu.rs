@@ -44,8 +44,9 @@ impl ChungLuGenerator {
     pub fn power_law(n: u64, avg_degree: f64, gamma: f64) -> Self {
         assert!(n > 0);
         let num_edges = (n as f64 * avg_degree).round() as u64;
-        let mut in_weights: Vec<f64> =
-            (0..n).map(|i| ((i + 1) as f64).powf(-1.0 / (gamma - 1.0))).collect();
+        let mut in_weights: Vec<f64> = (0..n)
+            .map(|i| ((i + 1) as f64).powf(-1.0 / (gamma - 1.0)))
+            .collect();
         // Out-degree tail is much lighter (exponent ~2.8 equivalent).
         let mut out_weights: Vec<f64> = (0..n).map(|i| ((i + 1) as f64).powf(-1.0 / 1.8)).collect();
         // Shuffle which vertex ids are the hubs so heavy vertices are not all low
@@ -87,11 +88,7 @@ impl GraphGenerator for ChungLuGenerator {
     }
 
     fn describe(&self) -> String {
-        format!(
-            "chung_lu(n={}, m={})",
-            self.num_vertices(),
-            self.num_edges
-        )
+        format!("chung_lu(n={}, m={})", self.num_vertices(), self.num_edges)
     }
 }
 

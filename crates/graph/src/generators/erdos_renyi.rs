@@ -72,7 +72,9 @@ mod tests {
 
     #[test]
     fn er_without_self_loops() {
-        let g = ErdosRenyiGenerator::new(10, 500).without_self_loops().generate(1);
+        let g = ErdosRenyiGenerator::new(10, 500)
+            .without_self_loops()
+            .generate(1);
         for e in g.edges().iter() {
             assert_ne!(e.src, e.dst);
         }

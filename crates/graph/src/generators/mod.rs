@@ -15,7 +15,9 @@ mod structured;
 pub use chung_lu::ChungLuGenerator;
 pub use erdos_renyi::ErdosRenyiGenerator;
 pub use rmat::RmatGenerator;
-pub use structured::{complete_graph, cycle_graph, grid_graph, path_graph, star_graph, binary_tree};
+pub use structured::{
+    binary_tree, complete_graph, cycle_graph, grid_graph, path_graph, star_graph,
+};
 
 use crate::Graph;
 

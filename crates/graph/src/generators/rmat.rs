@@ -102,7 +102,9 @@ impl GraphGenerator for RmatGenerator {
         for _ in 0..m {
             builder.add_edge(self.sample_edge(&mut rng));
         }
-        builder.build().expect("rmat edges are in range by construction")
+        builder
+            .build()
+            .expect("rmat edges are in range by construction")
     }
 
     fn describe(&self) -> String {

@@ -49,7 +49,9 @@ pub fn complete_graph(n: u64) -> Graph {
 /// Edge weights are 1.0, so it doubles as a weighted SSSP test case.
 pub fn grid_graph(rows: u64, cols: u64) -> Graph {
     let id = |r: u64, c: u64| (r * cols + c) as VertexId;
-    let mut b = GraphBuilder::new().with_num_vertices(rows * cols).symmetric(true);
+    let mut b = GraphBuilder::new()
+        .with_num_vertices(rows * cols)
+        .symmetric(true);
     for r in 0..rows {
         for c in 0..cols {
             if c + 1 < cols {

@@ -65,7 +65,10 @@ mod tests {
         }
         // Every server should get a reasonable share (within 3x of uniform).
         for &c in &counts {
-            assert!(c > 10_000 / (n * 3), "unbalanced hash distribution: {counts:?}");
+            assert!(
+                c > 10_000 / (n * 3),
+                "unbalanced hash distribution: {counts:?}"
+            );
         }
     }
 

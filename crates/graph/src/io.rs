@@ -24,10 +24,7 @@ pub fn write_edge_list<W: Write>(graph: &Graph, mut w: W, sep: char) -> Result<(
 /// separated by commas, tabs, or runs of spaces. Vertex ids are used verbatim (they
 /// must already be dense); the vertex count is `max id + 1` unless `num_vertices`
 /// is given.
-pub fn read_edge_list<R: Read>(
-    r: R,
-    num_vertices: Option<u64>,
-) -> Result<Graph, GraphError> {
+pub fn read_edge_list<R: Read>(r: R, num_vertices: Option<u64>) -> Result<Graph, GraphError> {
     let reader = BufReader::new(r);
     let mut builder = GraphBuilder::new();
     if let Some(n) = num_vertices {
@@ -40,7 +37,7 @@ pub fn read_edge_list<R: Read>(
             continue;
         }
         let fields: Vec<&str> = line
-            .split(|c: char| c == ',' || c == '\t' || c == ' ')
+            .split([',', '\t', ' '])
             .filter(|f| !f.is_empty())
             .collect();
         if fields.len() < 2 {
@@ -207,8 +204,14 @@ mod tests {
             let g2 = read_binary(&buf[..]).unwrap();
             assert_eq!(g.num_vertices(), g2.num_vertices());
             assert_eq!(
-                g.edges().iter().map(|e| (e.src, e.dst, e.weight)).collect::<Vec<_>>(),
-                g2.edges().iter().map(|e| (e.src, e.dst, e.weight)).collect::<Vec<_>>()
+                g.edges()
+                    .iter()
+                    .map(|e| (e.src, e.dst, e.weight))
+                    .collect::<Vec<_>>(),
+                g2.edges()
+                    .iter()
+                    .map(|e| (e.src, e.dst, e.weight))
+                    .collect::<Vec<_>>()
             );
         }
     }

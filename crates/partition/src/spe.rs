@@ -154,7 +154,10 @@ impl PartitionedGraph {
     /// Persist tiles and degree arrays to a DFS under `graph_name/`.
     pub fn persist<B: StorageBackend>(&self, dfs: &Dfs<B>) -> Result<()> {
         for tile in &self.tiles {
-            dfs.put(&Tile::storage_key(&self.graph_name, tile.tile_id), &tile.to_bytes())?;
+            dfs.put(
+                &Tile::storage_key(&self.graph_name, tile.tile_id),
+                &tile.to_bytes(),
+            )?;
         }
         dfs.put(
             &format!("{}/degrees/in.bin", self.graph_name),
@@ -317,7 +320,7 @@ mod tests {
     }
 
     #[test]
-    fn tile_format_is_smaller_than_csv(){
+    fn tile_format_is_smaller_than_csv() {
         let (g, p) = partitioned(300);
         assert!(p.total_input_bytes() < g.edges().csv_size_bytes() * 2);
         assert!(p.total_tile_bytes() > 0);

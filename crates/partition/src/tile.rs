@@ -122,12 +122,7 @@ impl Tile {
         let i = (target - self.target_start) as usize;
         let lo = self.offsets[i] as usize;
         let hi = self.offsets[i + 1] as usize;
-        (lo..hi).map(move |k| {
-            (
-                self.sources[k],
-                self.weights.as_ref().map_or(1.0, |w| w[k]),
-            )
-        })
+        (lo..hi).map(move |k| (self.sources[k], self.weights.as_ref().map_or(1.0, |w| w[k])))
     }
 
     /// In-degree of a target vertex within this tile.
@@ -350,6 +345,9 @@ mod tests {
 
     #[test]
     fn storage_key_is_stable() {
-        assert_eq!(Tile::storage_key("uk-2007", 3), "uk-2007/tiles/tile-000003.bin");
+        assert_eq!(
+            Tile::storage_key("uk-2007", 3),
+            "uk-2007/tiles/tile-000003.bin"
+        );
     }
 }

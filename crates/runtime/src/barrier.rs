@@ -1,0 +1,159 @@
+//! The superstep barrier: BSP's `wait_other_servers` (paper Algorithm 5, l. 17).
+//!
+//! A condvar-based generation barrier rather than `std::sync::Barrier` because
+//! the error path needs it to be **abortable**: when a worker fails it must be
+//! able to release peers that already arrived at the barrier (its channel
+//! `Abort` frame only reaches peers still draining their inbox). A poisoned
+//! barrier wakes every waiter with [`BarrierError::Poisoned`].
+
+use std::sync::{Condvar, Mutex};
+
+/// Why a barrier wait did not complete.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BarrierError {
+    /// Another worker aborted the run while we were waiting.
+    Poisoned,
+}
+
+impl std::fmt::Display for BarrierError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "superstep barrier poisoned by an aborting worker")
+    }
+}
+
+impl std::error::Error for BarrierError {}
+
+#[derive(Debug)]
+struct BarrierState {
+    arrived: u32,
+    generation: u64,
+    poisoned: bool,
+}
+
+/// A reusable, abortable barrier all worker threads cross once per superstep.
+pub struct SuperstepBarrier {
+    num_servers: u32,
+    state: Mutex<BarrierState>,
+    condvar: Condvar,
+}
+
+impl SuperstepBarrier {
+    /// A barrier for `num_servers` workers.
+    pub fn new(num_servers: u32) -> Self {
+        assert!(num_servers > 0);
+        Self {
+            num_servers,
+            state: Mutex::new(BarrierState {
+                arrived: 0,
+                generation: 0,
+                poisoned: false,
+            }),
+            condvar: Condvar::new(),
+        }
+    }
+
+    /// Block until every worker has arrived (or the barrier is poisoned).
+    /// Exactly one caller per generation is the leader.
+    pub fn wait(&self) -> Result<BarrierCrossing, BarrierError> {
+        let mut state = self.state.lock().unwrap();
+        if state.poisoned {
+            return Err(BarrierError::Poisoned);
+        }
+        state.arrived += 1;
+        if state.arrived == self.num_servers {
+            state.arrived = 0;
+            state.generation += 1;
+            self.condvar.notify_all();
+            return Ok(BarrierCrossing { is_leader: true });
+        }
+        let generation = state.generation;
+        loop {
+            state = self.condvar.wait(state).unwrap();
+            if state.poisoned {
+                return Err(BarrierError::Poisoned);
+            }
+            if state.generation != generation {
+                return Ok(BarrierCrossing { is_leader: false });
+            }
+        }
+    }
+
+    /// Poison the barrier: every current and future waiter returns
+    /// [`BarrierError::Poisoned`]. Called by a worker on its error path so
+    /// peers already parked here do not deadlock.
+    pub fn poison(&self) {
+        let mut state = self.state.lock().unwrap();
+        state.poisoned = true;
+        self.condvar.notify_all();
+    }
+
+    /// Number of fully completed generations (all workers arrived).
+    pub fn generations(&self) -> u64 {
+        self.state.lock().unwrap().generation
+    }
+}
+
+/// Outcome of one barrier crossing.
+#[derive(Debug, Clone, Copy)]
+pub struct BarrierCrossing {
+    is_leader: bool,
+}
+
+impl BarrierCrossing {
+    /// Whether this caller was elected leader for the crossing.
+    pub fn is_leader(&self) -> bool {
+        self.is_leader
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn all_workers_cross_and_one_leads() {
+        let barrier = Arc::new(SuperstepBarrier::new(4));
+        let leaders: usize = thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let barrier = Arc::clone(&barrier);
+                    scope.spawn(move || {
+                        let mut led = 0usize;
+                        for _ in 0..10 {
+                            if barrier.wait().unwrap().is_leader() {
+                                led += 1;
+                            }
+                        }
+                        led
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        });
+        // Exactly one leader per generation.
+        assert_eq!(leaders, 10);
+        assert_eq!(barrier.generations(), 10);
+    }
+
+    #[test]
+    fn poison_releases_parked_waiters() {
+        let barrier = Arc::new(SuperstepBarrier::new(3));
+        let results: Vec<Result<bool, BarrierError>> = thread::scope(|scope| {
+            let waiters: Vec<_> = (0..2)
+                .map(|_| {
+                    let barrier = Arc::clone(&barrier);
+                    scope.spawn(move || barrier.wait().map(|c| c.is_leader()))
+                })
+                .collect();
+            // Give both waiters time to park, then poison instead of arriving.
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            barrier.poison();
+            waiters.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert!(results.iter().all(|r| r == &Err(BarrierError::Poisoned)));
+        // Future waits fail immediately too.
+        assert_eq!(barrier.wait().map(|_| ()), Err(BarrierError::Poisoned));
+    }
+}

@@ -1,0 +1,49 @@
+//! # graphh-runtime
+//!
+//! The real parallel worker runtime for the GraphH engine.
+//!
+//! The paper's MPE runs its supersteps on `p` servers concurrently; the
+//! sequential reference executor in `graphh-core` iterates the simulated
+//! servers on one thread, which keeps the *simulated* cost model honest but
+//! makes wall-clock numbers `p×` off. This crate supplies the missing
+//! execution substrate:
+//!
+//! * [`ThreadedExecutor`] — one OS thread per simulated server, each owning
+//!   its tile set, vertex-replica array and edge cache (implements
+//!   [`graphh_core::Executor`], so `GraphHEngine::with_executor` plugs it in),
+//! * [`BroadcastPlane`] / [`ChannelPlane`] — the all-to-all message fabric the
+//!   workers broadcast wire-encoded updates over; every message really travels
+//!   encoded (+ compressed) through [`graphh_cluster::MessageCodec`], so
+//!   Figure 8 traffic is metered per real message,
+//! * [`SuperstepBarrier`] — BSP's `wait_other_servers`,
+//! * [`reduce_metrics`] — deterministic reduction of the per-server
+//!   [`graphh_cluster::ServerMetrics`] streams into
+//!   [`graphh_cluster::ClusterMetrics`].
+//!
+//! ## Determinism
+//!
+//! Thread scheduling must never change results. Three properties guarantee it:
+//!
+//! 1. each vertex is updated by exactly one tile, and each tile by exactly one
+//!    server, so the merged update set of a superstep is schedule-independent,
+//! 2. workers sort the merged updates by vertex id before applying
+//!    ([`graphh_core::exec::merge_updates`]) — the same order the sequential
+//!    executor uses,
+//! 3. the superstep barrier + end-of-superstep channel markers keep replicas
+//!    in lockstep, so every gather reads the same replica state.
+//!
+//! The differential tests in this crate and `tests/determinism.rs` enforce
+//! bit-identical `values` between [`ThreadedExecutor`] and
+//! [`graphh_core::SequentialExecutor`].
+
+pub mod barrier;
+pub mod plane;
+pub mod reduce;
+pub mod threaded;
+pub mod worker;
+
+pub use barrier::SuperstepBarrier;
+pub use plane::{BroadcastPlane, ChannelPlane, Frame, PlaneError};
+pub use reduce::{reduce_metrics, ReducedMetrics};
+pub use threaded::ThreadedExecutor;
+pub use worker::{run_worker, MetricsSlice, WorkerError, WorkerOutput};

@@ -1,0 +1,281 @@
+//! The broadcast plane: how worker threads exchange encoded broadcast messages.
+//!
+//! A [`BroadcastPlane`] is one server's endpoint on an all-to-all message
+//! fabric. The contract mirrors the paper's superstep broadcast (§IV-C): a
+//! server publishes any number of wire-encoded messages during a superstep,
+//! marks the superstep finished, and [`BroadcastPlane::collect`] blocks until
+//! *every* peer has finished that superstep, returning everything they sent.
+//! The end-of-superstep markers are what make the plane BSP: no frame from
+//! superstep `s + 1` can be observed before every frame of `s`.
+//!
+//! [`ChannelPlane`] is the in-process implementation over `std::sync::mpsc`
+//! (one MPSC inbox per server, a sender handle per peer). The trait exists so
+//! future backends (async sockets, multi-process shared memory — see ROADMAP)
+//! can slot in without touching the executor.
+
+use graphh_graph::ids::ServerId;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
+
+/// A wire-encoded broadcast message as produced by
+/// [`graphh_cluster::MessageCodec::encode`]. Reference-counted so one
+/// broadcast allocates the payload once no matter how many peers receive it.
+pub type WireMessage = Arc<[u8]>;
+
+/// What travels between worker threads.
+#[derive(Debug)]
+pub enum Frame {
+    /// One encoded broadcast message.
+    Message {
+        /// Sending server.
+        sender: ServerId,
+        /// Superstep the message belongs to.
+        superstep: u32,
+        /// Encoded (and possibly compressed) payload.
+        wire: WireMessage,
+    },
+    /// `sender` has published everything for `superstep`.
+    EndOfSuperstep {
+        /// Sending server.
+        sender: ServerId,
+        /// The finished superstep.
+        superstep: u32,
+    },
+    /// `sender` hit a fatal error; receivers should abort the run.
+    Abort {
+        /// Sending server.
+        sender: ServerId,
+    },
+}
+
+/// Errors surfaced by a broadcast plane.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlaneError {
+    /// A peer disconnected without ending the superstep (thread died).
+    Disconnected,
+    /// A peer aborted the run.
+    Aborted(ServerId),
+    /// Frames arrived out of superstep order (protocol bug).
+    Protocol(String),
+}
+
+impl std::fmt::Display for PlaneError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlaneError::Disconnected => write!(f, "peer disconnected mid-superstep"),
+            PlaneError::Aborted(s) => write!(f, "server {s} aborted the run"),
+            PlaneError::Protocol(m) => write!(f, "broadcast protocol violation: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for PlaneError {}
+
+/// One server's endpoint on the all-to-all broadcast fabric.
+pub trait BroadcastPlane: Send {
+    /// Total servers on the plane.
+    fn num_servers(&self) -> u32;
+
+    /// This endpoint's server id.
+    fn server_id(&self) -> ServerId;
+
+    /// Publish one wire message to every other server.
+    fn broadcast(&mut self, superstep: u32, wire: &[u8]) -> Result<(), PlaneError>;
+
+    /// Mark `superstep` finished on this server.
+    fn end_superstep(&mut self, superstep: u32) -> Result<(), PlaneError>;
+
+    /// Block until every peer has ended `superstep`; returns their wire
+    /// messages in arrival order. (Arrival order is nondeterministic across
+    /// peers — consumers must not depend on it; the engine sorts updates
+    /// before applying them.)
+    fn collect(&mut self, superstep: u32) -> Result<Vec<WireMessage>, PlaneError>;
+
+    /// Tell every peer this server is aborting (best effort, never blocks).
+    fn abort(&mut self);
+}
+
+/// In-process broadcast plane over `std::sync::mpsc` channels.
+pub struct ChannelPlane {
+    id: ServerId,
+    num_servers: u32,
+    /// Sender handle into every *other* server's inbox, ordered by server id.
+    peers: Vec<(ServerId, Sender<Frame>)>,
+    /// This server's inbox.
+    inbox: Receiver<Frame>,
+    /// Frames for future supersteps that arrived while collecting an earlier
+    /// one. Peers' streams are FIFO individually but interleave in the shared
+    /// inbox, so a client that pipelines supersteps without an external
+    /// barrier can see a fast peer's `s + 1` frames before a slow peer's `s`.
+    /// The current worker loop crosses a barrier between supersteps and never
+    /// hits this, but the `BroadcastPlane` contract does not require a
+    /// barrier, and the no-barrier unit test below exercises it.
+    stash: Vec<Frame>,
+}
+
+impl ChannelPlane {
+    /// Build a fully-connected plane for `num_servers` servers, returning one
+    /// endpoint per server (ordered by server id).
+    pub fn connect(num_servers: u32) -> Vec<ChannelPlane> {
+        assert!(num_servers > 0);
+        let (senders, inboxes): (Vec<Sender<Frame>>, Vec<Receiver<Frame>>) =
+            (0..num_servers).map(|_| channel()).unzip();
+        inboxes
+            .into_iter()
+            .enumerate()
+            .map(|(sid, inbox)| ChannelPlane {
+                id: sid as ServerId,
+                num_servers,
+                peers: senders
+                    .iter()
+                    .enumerate()
+                    .filter(|&(peer, _)| peer != sid)
+                    .map(|(peer, tx)| (peer as ServerId, tx.clone()))
+                    .collect(),
+                inbox,
+                stash: Vec::new(),
+            })
+            .collect()
+    }
+}
+
+impl BroadcastPlane for ChannelPlane {
+    fn num_servers(&self) -> u32 {
+        self.num_servers
+    }
+
+    fn server_id(&self) -> ServerId {
+        self.id
+    }
+
+    fn broadcast(&mut self, superstep: u32, wire: &[u8]) -> Result<(), PlaneError> {
+        // One shared allocation for all peers instead of a copy per peer.
+        let wire: WireMessage = wire.into();
+        for (_, tx) in &self.peers {
+            tx.send(Frame::Message {
+                sender: self.id,
+                superstep,
+                wire: Arc::clone(&wire),
+            })
+            .map_err(|_| PlaneError::Disconnected)?;
+        }
+        Ok(())
+    }
+
+    fn end_superstep(&mut self, superstep: u32) -> Result<(), PlaneError> {
+        for (_, tx) in &self.peers {
+            tx.send(Frame::EndOfSuperstep {
+                sender: self.id,
+                superstep,
+            })
+            .map_err(|_| PlaneError::Disconnected)?;
+        }
+        Ok(())
+    }
+
+    fn collect(&mut self, superstep: u32) -> Result<Vec<WireMessage>, PlaneError> {
+        let mut wires = Vec::new();
+        let mut pending = self.num_servers - 1;
+        // Frames stashed by an earlier collect come first.
+        let stashed = std::mem::take(&mut self.stash);
+        let mut queue = stashed.into_iter();
+        while pending > 0 {
+            let frame = match queue.next() {
+                Some(frame) => frame,
+                None => self.inbox.recv().map_err(|_| PlaneError::Disconnected)?,
+            };
+            match frame {
+                Frame::Message {
+                    superstep: s, wire, ..
+                } if s == superstep => wires.push(wire),
+                Frame::EndOfSuperstep { superstep: s, .. } if s == superstep => pending -= 1,
+                Frame::Message { superstep: s, .. }
+                | Frame::EndOfSuperstep { superstep: s, .. }
+                    if s > superstep =>
+                {
+                    self.stash.push(frame);
+                }
+                Frame::Abort { sender } => return Err(PlaneError::Aborted(sender)),
+                Frame::Message { superstep: s, .. }
+                | Frame::EndOfSuperstep { superstep: s, .. } => {
+                    return Err(PlaneError::Protocol(format!(
+                        "frame from past superstep {s} while collecting {superstep}"
+                    )));
+                }
+            }
+        }
+        // Anything left over in the drained stash belongs to a later superstep.
+        self.stash.extend(queue);
+        Ok(wires)
+    }
+
+    fn abort(&mut self) {
+        for (_, tx) in &self.peers {
+            let _ = tx.send(Frame::Abort { sender: self.id });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn single_server_collects_nothing() {
+        let mut planes = ChannelPlane::connect(1);
+        let mut p = planes.pop().unwrap();
+        p.end_superstep(0).unwrap();
+        assert_eq!(p.collect(0).unwrap(), Vec::<WireMessage>::new());
+    }
+
+    #[test]
+    fn all_to_all_delivery_respects_superstep_framing() {
+        let planes = ChannelPlane::connect(3);
+        let results: Vec<Vec<usize>> = thread::scope(|scope| {
+            let handles: Vec<_> = planes
+                .into_iter()
+                .map(|mut p| {
+                    scope.spawn(move || {
+                        let mut seen = Vec::new();
+                        for s in 0..4u32 {
+                            // Each server sends s+1 messages tagged with its id.
+                            for _ in 0..=s {
+                                p.broadcast(s, &[p.server_id() as u8]).unwrap();
+                            }
+                            p.end_superstep(s).unwrap();
+                            let got = p.collect(s).unwrap();
+                            seen.push(got.len());
+                            // Every peer sent s+1 one-byte messages.
+                            assert!(got.iter().all(|w| w.len() == 1));
+                        }
+                        seen
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for seen in results {
+            assert_eq!(seen, vec![2, 4, 6, 8]);
+        }
+    }
+
+    #[test]
+    fn abort_is_observed_by_peers() {
+        let mut planes = ChannelPlane::connect(2);
+        let mut b = planes.pop().unwrap();
+        let mut a = planes.pop().unwrap();
+        b.abort();
+        a.end_superstep(0).unwrap();
+        assert_eq!(a.collect(0), Err(PlaneError::Aborted(1)));
+    }
+
+    #[test]
+    fn dropped_peer_surfaces_as_disconnect() {
+        let mut planes = ChannelPlane::connect(2);
+        let b = planes.pop().unwrap();
+        let mut a = planes.pop().unwrap();
+        drop(b);
+        assert_eq!(a.collect(0), Err(PlaneError::Disconnected));
+    }
+}

@@ -1,0 +1,89 @@
+//! Deterministic reduction of per-worker metrics into [`ClusterMetrics`].
+//!
+//! Workers stream one [`MetricsSlice`] per (superstep, server) to the executor
+//! thread in arbitrary arrival order; the reducer re-assembles them into
+//! per-superstep reports ordered by server id, so the reduced metrics are
+//! independent of thread scheduling.
+
+use crate::worker::MetricsSlice;
+use graphh_cluster::{ClusterMetrics, CostModel, SuperstepReport};
+
+/// Reduced metrics plus the per-superstep updated-vertex counts.
+pub struct ReducedMetrics {
+    /// Per-superstep metrics with simulated seconds filled in.
+    pub metrics: ClusterMetrics,
+    /// Fraction of vertices updated per superstep.
+    pub updated_ratio_per_superstep: Vec<f64>,
+}
+
+/// Assemble `slices` (any order) into finalized superstep reports.
+///
+/// Every superstep must have exactly one slice per server; supersteps are
+/// emitted in index order.
+pub fn reduce_metrics(
+    mut slices: Vec<MetricsSlice>,
+    num_servers: u32,
+    num_vertices: u64,
+    cost_model: &CostModel,
+) -> ReducedMetrics {
+    // Deterministic order: by (superstep, server id).
+    slices.sort_by_key(|s| (s.superstep, s.server));
+    let mut metrics = ClusterMetrics::default();
+    let mut updated_ratio = Vec::new();
+    let mut iter = slices.into_iter().peekable();
+    while let Some(superstep) = iter.peek().map(|s| s.superstep) {
+        let mut report = SuperstepReport::new(superstep, num_servers);
+        let mut total_updates = 0u64;
+        for expected_sid in 0..num_servers {
+            let slice = iter
+                .next()
+                .expect("one metrics slice per server per superstep");
+            assert_eq!(slice.superstep, superstep, "metrics slice misaligned");
+            assert_eq!(slice.server, expected_sid, "metrics slice misaligned");
+            report.servers[expected_sid as usize] = slice.metrics;
+            total_updates = slice.total_updates;
+        }
+        report.total_vertices_updated = total_updates;
+        updated_ratio.push(total_updates as f64 / num_vertices as f64);
+        metrics.push(cost_model.finalize(report));
+    }
+    ReducedMetrics {
+        metrics,
+        updated_ratio_per_superstep: updated_ratio,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphh_cluster::{ClusterConfig, ServerMetrics};
+
+    #[test]
+    fn slices_reassemble_in_server_order_regardless_of_arrival() {
+        let cost = CostModel::new(ClusterConfig::paper_testbed(2));
+        let slice = |superstep, server, edges| MetricsSlice {
+            superstep,
+            server,
+            metrics: ServerMetrics {
+                edges_processed: edges,
+                ..Default::default()
+            },
+            total_updates: 10,
+        };
+        // Deliberately scrambled arrival order.
+        let slices = vec![
+            slice(1, 1, 40),
+            slice(0, 1, 20),
+            slice(1, 0, 30),
+            slice(0, 0, 10),
+        ];
+        let reduced = reduce_metrics(slices, 2, 100, &cost);
+        assert_eq!(reduced.metrics.num_supersteps(), 2);
+        let s0 = &reduced.metrics.supersteps[0];
+        assert_eq!(s0.servers[0].edges_processed, 10);
+        assert_eq!(s0.servers[1].edges_processed, 20);
+        assert_eq!(s0.total_vertices_updated, 10);
+        assert!(s0.simulated_seconds > 0.0);
+        assert_eq!(reduced.updated_ratio_per_superstep, vec![0.1, 0.1]);
+    }
+}

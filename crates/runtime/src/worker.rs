@@ -1,0 +1,199 @@
+//! The per-server worker: one OS thread owning one simulated server's state.
+//!
+//! Each worker runs the identical superstep loop:
+//!
+//! 1. **compute** — [`ServerState::run_tile_phase`] over its own tiles, against
+//!    its own vertex-replica array and edge cache (the exact code the
+//!    sequential executor runs),
+//! 2. **publish** — encode each tile's updates through the configured
+//!    [`MessageCodec`] and push the wire bytes onto the broadcast plane,
+//! 3. **exchange** — collect every peer's wire messages for the superstep and
+//!    decode them (charging real decompression time),
+//! 4. **apply** — merge own + received updates, sorted by vertex id
+//!    ([`merge_updates`]), into the local replica — the sort makes the apply
+//!    order independent of message arrival order, which is what keeps threaded
+//!    results bit-identical to sequential ones,
+//! 5. **barrier** — cross the superstep barrier; every replica now agrees, and
+//!    every worker independently reaches the same termination decision.
+
+use crate::barrier::SuperstepBarrier;
+use crate::plane::{BroadcastPlane, PlaneError};
+use graphh_cluster::ServerMetrics;
+use graphh_compress::Codec;
+use graphh_core::exec::{merge_updates, ExecutionPlan, ServerState};
+use graphh_core::gab::GabProgram;
+use graphh_core::{EngineError, GraphHConfig};
+use graphh_graph::ids::{ServerId, VertexId};
+use graphh_partition::PartitionedGraph;
+use std::sync::mpsc::Sender;
+
+/// One server's metrics for one superstep, streamed to the reducer.
+#[derive(Debug)]
+pub struct MetricsSlice {
+    /// Superstep index.
+    pub superstep: u32,
+    /// Reporting server.
+    pub server: ServerId,
+    /// The metered work.
+    pub metrics: ServerMetrics,
+    /// Cluster-wide updated-vertex count this superstep (identical on every
+    /// server — each applies the same merged update set).
+    pub total_updates: u64,
+}
+
+/// What a worker thread hands back when the run finishes.
+#[derive(Debug)]
+pub struct WorkerOutput {
+    /// The server this worker simulated.
+    pub server: ServerId,
+    /// Final vertex values of this server's replica.
+    pub values: Vec<f64>,
+    /// Codec its edge cache selected.
+    pub cache_codec: Codec,
+    /// Peak accounted memory in bytes.
+    pub peak_memory: u64,
+    /// Supersteps executed.
+    pub supersteps_run: u32,
+}
+
+/// A worker failure, tagged with whether it is the *root cause* or a
+/// secondary effect of another worker's abort (peers observing the poison /
+/// abort signals). The executor reports a root-cause error when one exists.
+#[derive(Debug)]
+pub struct WorkerError {
+    /// The underlying engine error.
+    pub error: EngineError,
+    /// True when this error only reports another worker's abort.
+    pub secondary: bool,
+}
+
+fn plane_error(e: PlaneError) -> WorkerError {
+    WorkerError {
+        secondary: matches!(e, PlaneError::Aborted(_)),
+        error: EngineError::BadInput(format!("broadcast plane failure: {e}")),
+    }
+}
+
+/// Run server `sid` to completion on the calling thread.
+///
+/// On *any* exit that is not a clean finish — an `Err` return or a panic
+/// (e.g. a user `GabProgram` indexing out of bounds) — the peers are
+/// unblocked: the plane gets an abort frame (releases peers draining their
+/// inbox) and the barrier is poisoned (releases peers already parked at the
+/// superstep boundary). Skipping either would deadlock the other group.
+#[allow(clippy::too_many_arguments)]
+pub fn run_worker(
+    config: &GraphHConfig,
+    plan: &ExecutionPlan,
+    partitioned: &PartitionedGraph,
+    program: &dyn GabProgram,
+    sid: ServerId,
+    plane: &mut dyn BroadcastPlane,
+    barrier: &SuperstepBarrier,
+    metrics_tx: &Sender<MetricsSlice>,
+) -> Result<WorkerOutput, WorkerError> {
+    let num_servers = config.cluster.num_servers;
+    let mut server = ServerState::build(config, plan, partitioned, sid);
+    let mut previously_updated: Vec<VertexId> = plan.initial_frontier();
+    let mut supersteps_run = 0u32;
+
+    let body = std::panic::AssertUnwindSafe(|| -> Result<u32, WorkerError> {
+        for superstep in 0..plan.max_supersteps {
+            let phase = server
+                .run_tile_phase(
+                    program,
+                    plan,
+                    superstep,
+                    &previously_updated,
+                    config.use_bloom_filter,
+                )
+                .map_err(|error| WorkerError {
+                    error,
+                    secondary: false,
+                })?;
+            let mut metrics = phase.metrics;
+
+            // Publish this superstep's messages through the real wire path.
+            let mut all_updates: Vec<(VertexId, f64)> = Vec::new();
+            for message in &phase.messages {
+                let (wire, _encoding) = plan.message_codec.encode(message, &mut metrics);
+                let fanout = u64::from(num_servers - 1);
+                metrics.network_sent_bytes += wire.len() as u64 * fanout;
+                metrics.network_messages += fanout;
+                plane.broadcast(superstep, &wire).map_err(plane_error)?;
+                // The sender applies its own updates without a decode round
+                // trip (the wire format is lossless, and the sequential
+                // executor charges no decompression to the sender either).
+                all_updates.extend(message.updates.iter().copied());
+            }
+            plane.end_superstep(superstep).map_err(plane_error)?;
+
+            // Exchange: decode everything the peers published.
+            for wire in plane.collect(superstep).map_err(plane_error)? {
+                metrics.network_received_bytes += wire.len() as u64;
+                let decoded = plan
+                    .message_codec
+                    .decode(&wire, &mut metrics)
+                    .map_err(|e| WorkerError {
+                        error: EngineError::BadInput(format!("corrupt broadcast: {e}")),
+                        secondary: false,
+                    })?;
+                all_updates.extend(decoded.updates);
+            }
+
+            // Deterministic apply: sorted by vertex id, so the replica is
+            // independent of message arrival order.
+            let all_updates = merge_updates(all_updates);
+            server.apply_updates(&all_updates);
+            metrics.vertices_updated = all_updates.len() as u64;
+            metrics.peak_memory_bytes = server.peak_memory();
+            let _ = metrics_tx.send(MetricsSlice {
+                superstep,
+                server: sid,
+                metrics,
+                total_updates: all_updates.len() as u64,
+            });
+
+            previously_updated = all_updates.iter().map(|&(v, _)| v).collect();
+            supersteps_run = superstep + 1;
+
+            // BSP barrier; every worker sees the same update set, so all make
+            // the same continue/stop decision and stay in lockstep.
+            barrier.wait().map_err(|e| WorkerError {
+                error: EngineError::BadInput(format!("superstep barrier: {e}")),
+                secondary: true,
+            })?;
+            if previously_updated.is_empty() {
+                break;
+            }
+        }
+        Ok(supersteps_run)
+    });
+
+    // catch_unwind so a panicking worker (not just an erroring one) still
+    // releases its peers; the panic is re-raised by the executor after join.
+    // (AssertUnwindSafe implements FnOnce, so it is passed directly — wrapping
+    // it in another closure would capture the inner closure field and lose
+    // the unwind-safety assertion.)
+    let result = std::panic::catch_unwind(body);
+
+    match result {
+        Ok(Ok(supersteps_run)) => Ok(WorkerOutput {
+            server: sid,
+            values: std::mem::take(&mut server.values),
+            cache_codec: server.cache_codec(),
+            peak_memory: server.peak_memory(),
+            supersteps_run,
+        }),
+        Ok(Err(e)) => {
+            plane.abort();
+            barrier.poison();
+            Err(e)
+        }
+        Err(payload) => {
+            plane.abort();
+            barrier.poison();
+            std::panic::resume_unwind(payload);
+        }
+    }
+}

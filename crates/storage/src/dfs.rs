@@ -59,7 +59,9 @@ impl<B: StorageBackend> Dfs<B> {
     /// Create an empty DFS over `backend`.
     pub fn new(backend: B, config: DfsConfig) -> Result<Self> {
         if config.block_size == 0 {
-            return Err(StorageError::InvalidArgument("block_size must be > 0".into()));
+            return Err(StorageError::InvalidArgument(
+                "block_size must be > 0".into(),
+            ));
         }
         if config.replication == 0 || config.num_nodes == 0 {
             return Err(StorageError::InvalidArgument(
@@ -95,7 +97,7 @@ impl<B: StorageBackend> Dfs<B> {
             0
         } else {
             data.len() as u64 / self.config.block_size
-                + u64::from(data.len() as u64 % self.config.block_size != 0)
+                + u64::from(!(data.len() as u64).is_multiple_of(self.config.block_size))
         };
         let mut locations = Vec::with_capacity(num_blocks as usize);
         {
@@ -115,7 +117,9 @@ impl<B: StorageBackend> Dfs<B> {
             num_blocks,
             block_locations: locations,
         };
-        self.namespace.write().insert(path.to_string(), meta.clone());
+        self.namespace
+            .write()
+            .insert(path.to_string(), meta.clone());
         Ok(meta)
     }
 

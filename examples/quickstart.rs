@@ -16,8 +16,11 @@ fn main() {
     );
 
     // Stage 1+2 of GraphH's partitioning: split into tiles, assign to servers.
-    let partitioned =
-        Spe::partition(&graph, &SpeConfig::with_tile_count("quickstart", &graph, 24)).unwrap();
+    let partitioned = Spe::partition(
+        &graph,
+        &SpeConfig::with_tile_count("quickstart", &graph, 24),
+    )
+    .unwrap();
     println!(
         "partitioned into {} tiles ({} total)",
         partitioned.num_tiles(),

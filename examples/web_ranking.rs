@@ -22,10 +22,16 @@ fn main() {
 
     println!("servers\tavg superstep (simulated s)\tpeak memory/server\tnetwork/superstep");
     for servers in [1u32, 3, 6, 9] {
-        let engine =
-            GraphHEngine::new(GraphHConfig::paper_default(ClusterConfig::paper_testbed(servers)));
+        let engine = GraphHEngine::new(GraphHConfig::paper_default(ClusterConfig::paper_testbed(
+            servers,
+        )));
         let result = engine.run(&partitioned, &PageRank::new(10)).unwrap();
-        let peak = result.per_server_peak_memory.iter().copied().max().unwrap_or(0);
+        let peak = result
+            .per_server_peak_memory
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(0);
         let network = result.metrics.total_network_bytes() / result.supersteps_run.max(1) as u64;
         println!(
             "{servers}\t{:.4}\t{}\t{}",

@@ -29,8 +29,24 @@
 //! * [`partition`] — two-stage partitioning into tiles,
 //! * [`cluster`] — the simulated cluster: config, metrics, cost model, broadcast,
 //! * [`cache`] — the edge cache,
-//! * [`core`] — the GAB model, the GraphH engine and the algorithms,
+//! * [`core`] — the GAB model, the GraphH engine, executors and the algorithms,
+//! * [`runtime`] — the threaded worker runtime (one OS thread per server,
+//!   channel broadcast plane, superstep barriers),
 //! * [`baselines`] — Pregel+, GraphD, PowerGraph, PowerLyra and Chaos.
+//!
+//! To run the engine on real threads instead of the sequential reference loop:
+//!
+//! ```
+//! use graphh::prelude::*;
+//! use std::sync::Arc;
+//!
+//! let graph = RmatGenerator::new(8, 4).generate(1);
+//! let partitioned = Spe::partition(&graph, &SpeConfig::with_tile_count("demo", &graph, 8)).unwrap();
+//! let config = GraphHConfig::paper_default(ClusterConfig::paper_testbed(3));
+//! let threaded = GraphHEngine::with_executor(config, Arc::new(ThreadedExecutor::new()));
+//! let result = threaded.run(&partitioned, &PageRank::new(5)).unwrap();
+//! assert_eq!(result.executor, "threaded");
+//! ```
 
 pub use graphh_baselines as baselines;
 pub use graphh_cache as cache;
@@ -39,6 +55,7 @@ pub use graphh_compress as compress;
 pub use graphh_core as core;
 pub use graphh_graph as graph;
 pub use graphh_partition as partition;
+pub use graphh_runtime as runtime;
 pub use graphh_storage as storage;
 
 /// The most commonly used types, re-exported flat.
@@ -51,8 +68,8 @@ pub mod prelude {
     pub use graphh_cluster::{ClusterConfig, CommunicationMode, CostModel, MachineSpec};
     pub use graphh_compress::Codec;
     pub use graphh_core::{
-        Bfs, DegreeCentrality, GabProgram, GraphHConfig, GraphHEngine, PageRank, RunResult, Sssp,
-        Wcc,
+        Bfs, DegreeCentrality, Executor, GabProgram, GraphHConfig, GraphHEngine, PageRank,
+        RunResult, SequentialExecutor, Sssp, Wcc,
     };
     pub use graphh_graph::datasets::{Dataset, DatasetSpec};
     pub use graphh_graph::generators::{
@@ -60,5 +77,6 @@ pub mod prelude {
     };
     pub use graphh_graph::{Edge, EdgeList, Graph, GraphBuilder};
     pub use graphh_partition::{PartitionedGraph, Spe, SpeConfig, Tile};
+    pub use graphh_runtime::ThreadedExecutor;
     pub use graphh_storage::{Dfs, DfsConfig, LocalDiskBackend, MemoryBackend};
 }

@@ -1,0 +1,125 @@
+//! Differential determinism suite: the threaded runtime must be a drop-in
+//! replacement for the sequential reference executor.
+//!
+//! 3 seeds × {PageRank, SSSP, WCC} × {sequential, threaded} on a 4-server
+//! cluster: `result.values` must be **bit-identical** (not approximately
+//! equal), the superstep counts must agree, and the scheduling-independent
+//! byte counters must match exactly.
+
+use graphh::prelude::*;
+use std::sync::Arc;
+
+const SEEDS: [u64; 3] = [2017, 42, 7];
+const SERVERS: u32 = 4;
+
+fn engine_pair() -> (GraphHEngine, GraphHEngine) {
+    let config = GraphHConfig::paper_default(ClusterConfig::paper_testbed(SERVERS));
+    (
+        GraphHEngine::with_executor(config.clone(), Arc::new(SequentialExecutor::new())),
+        GraphHEngine::with_executor(config, Arc::new(ThreadedExecutor::new())),
+    )
+}
+
+fn assert_bit_identical(a: &RunResult, b: &RunResult, what: &str) {
+    assert_eq!(a.values.len(), b.values.len(), "{what}: value count");
+    for (i, (x, y)) in a.values.iter().zip(&b.values).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "{what}: vertex {i} diverged ({x} vs {y})"
+        );
+    }
+    assert_eq!(
+        a.supersteps_run, b.supersteps_run,
+        "{what}: superstep count"
+    );
+    assert_eq!(
+        a.updated_ratio_per_superstep, b.updated_ratio_per_superstep,
+        "{what}: convergence trajectory"
+    );
+    assert_eq!(
+        a.metrics.total_network_bytes(),
+        b.metrics.total_network_bytes(),
+        "{what}: network bytes"
+    );
+    assert_eq!(
+        a.metrics.total_disk_bytes(),
+        b.metrics.total_disk_bytes(),
+        "{what}: disk bytes"
+    );
+}
+
+#[test]
+fn threaded_matches_sequential_on_pagerank() {
+    let (seq, thr) = engine_pair();
+    for seed in SEEDS {
+        let g = RmatGenerator::new(8, 6).generate(seed);
+        let p = Spe::partition(&g, &SpeConfig::with_tile_count("det", &g, 11)).unwrap();
+        let a = seq.run(&p, &PageRank::new(10)).unwrap();
+        let b = thr.run(&p, &PageRank::new(10)).unwrap();
+        assert_bit_identical(&a, &b, &format!("pagerank seed {seed}"));
+    }
+}
+
+#[test]
+fn threaded_matches_sequential_on_sssp() {
+    let (seq, thr) = engine_pair();
+    for seed in SEEDS {
+        let g = RmatGenerator::new(8, 5).generate(seed);
+        let p = Spe::partition(&g, &SpeConfig::with_tile_count("det", &g, 11)).unwrap();
+        let source = (0..g.num_vertices() as u32)
+            .max_by_key(|&v| g.out_degree(v))
+            .unwrap_or(0);
+        let a = seq.run(&p, &Sssp::new(source)).unwrap();
+        let b = thr.run(&p, &Sssp::new(source)).unwrap();
+        assert_bit_identical(&a, &b, &format!("sssp seed {seed}"));
+    }
+}
+
+#[test]
+fn threaded_matches_sequential_on_wcc() {
+    let (seq, thr) = engine_pair();
+    for seed in SEEDS {
+        // WCC needs the symmetrised graph.
+        let g = RmatGenerator::new(7, 4).simplified().generate(seed);
+        let mut b = GraphBuilder::new()
+            .with_num_vertices(g.num_vertices())
+            .symmetric(true);
+        for e in g.edges().iter() {
+            b.add_edge(e);
+        }
+        let sym = b.build().unwrap();
+        let p = Spe::partition(&sym, &SpeConfig::with_tile_count("det", &sym, 11)).unwrap();
+        let a = seq.run(&p, &Wcc::new()).unwrap();
+        let t = thr.run(&p, &Wcc::new()).unwrap();
+        assert_bit_identical(&a, &t, &format!("wcc seed {seed}"));
+    }
+}
+
+/// The executors also agree across every communication mode / compressor
+/// combination, so the wire path cannot smuggle in nondeterminism.
+#[test]
+fn threaded_matches_sequential_across_wire_configs() {
+    use graphh::cluster::CommunicationMode;
+    use graphh::compress::Codec;
+
+    let g = RmatGenerator::new(7, 5).generate(13);
+    let p = Spe::partition(&g, &SpeConfig::with_tile_count("det", &g, 9)).unwrap();
+    for mode in [
+        CommunicationMode::Dense,
+        CommunicationMode::Sparse,
+        CommunicationMode::default(),
+    ] {
+        for compressor in [None, Some(Codec::Snappy), Some(Codec::Zlib1)] {
+            let mut config = GraphHConfig::paper_default(ClusterConfig::paper_testbed(SERVERS));
+            config.communication = mode;
+            config.message_compressor = compressor;
+            let seq =
+                GraphHEngine::with_executor(config.clone(), Arc::new(SequentialExecutor::new()));
+            let thr = GraphHEngine::with_executor(config, Arc::new(ThreadedExecutor::new()));
+            let a = seq.run(&p, &PageRank::new(5)).unwrap();
+            let b = thr.run(&p, &PageRank::new(5)).unwrap();
+            assert_bit_identical(&a, &b, &format!("mode {mode:?} codec {compressor:?}"));
+        }
+    }
+}

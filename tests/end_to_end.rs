@@ -33,7 +33,11 @@ fn tiles_survive_a_real_disk_roundtrip() {
     let partitioned =
         Spe::partition(&graph, &SpeConfig::with_tile_count("disk", &graph, 8)).unwrap();
     let dir = tempfile::tempdir().unwrap();
-    let dfs = Dfs::new(LocalDiskBackend::new(dir.path()).unwrap(), DfsConfig::default()).unwrap();
+    let dfs = Dfs::new(
+        LocalDiskBackend::new(dir.path()).unwrap(),
+        DfsConfig::default(),
+    )
+    .unwrap();
     partitioned.persist(&dfs).unwrap();
     let reloaded = PartitionedGraph::load(&dfs, "disk").unwrap();
     assert_eq!(reloaded.num_edges(), graph.num_edges());
@@ -58,8 +62,7 @@ fn all_engines_agree_on_pagerank_and_sssp() {
         .unwrap();
     let pregel_pr =
         PregelEngine::new(PregelConfig::pregel_plus(cluster)).run(&graph, &PageRankMsg::new(6));
-    let gas_pr =
-        GasEngine::new(GasConfig::powergraph(cluster)).run(&graph, &PageRankMsg::new(6));
+    let gas_pr = GasEngine::new(GasConfig::powergraph(cluster)).run(&graph, &PageRankMsg::new(6));
     let chaos_pr = ChaosEngine::new(ChaosConfig::new(cluster)).run(&graph, &PageRankMsg::new(6));
     for (name, values) in [
         ("pregel", &pregel_pr.values),
@@ -101,8 +104,7 @@ fn headline_claim_graphh_beats_out_of_core_systems() {
     let graphh = GraphHEngine::new(GraphHConfig::paper_default(cluster))
         .run(&partitioned, &PageRank::new(5))
         .unwrap();
-    let graphd =
-        PregelEngine::new(PregelConfig::graphd(cluster)).run(&graph, &PageRankMsg::new(5));
+    let graphd = PregelEngine::new(PregelConfig::graphd(cluster)).run(&graph, &PageRankMsg::new(5));
     let chaos = ChaosEngine::new(ChaosConfig::new(cluster)).run(&graph, &PageRankMsg::new(5));
 
     let g = graphh.avg_superstep_seconds();
@@ -125,9 +127,10 @@ fn graphh_handles_the_big_graph_standins_on_a_single_server() {
         let graph = dataset.default_spec().generate(1);
         let partitioned =
             Spe::partition(&graph, &SpeConfig::with_tile_count("big", &graph, 24)).unwrap();
-        let result = GraphHEngine::new(GraphHConfig::paper_default(ClusterConfig::paper_testbed(1)))
-            .run(&partitioned, &PageRank::new(3))
-            .unwrap();
+        let result =
+            GraphHEngine::new(GraphHConfig::paper_default(ClusterConfig::paper_testbed(1)))
+                .run(&partitioned, &PageRank::new(3))
+                .unwrap();
         assert_eq!(result.values.len() as u64, graph.num_vertices());
         assert_eq!(result.metrics.total_network_bytes(), 0);
         let sum: f64 = result.values.iter().sum();

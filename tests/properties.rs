@@ -1,27 +1,64 @@
 //! Property-based tests of the core data structures and invariants.
+//!
+//! Offline rewrite of the original proptest suite: each property runs over a
+//! deterministic sweep of seeded random cases produced by a small inline PRNG,
+//! so failures are reproducible by case index without any external crates.
 
-use graphh::cluster::{BroadcastEncoding, BroadcastMessage};
+use graphh::cluster::{BroadcastEncoding, BroadcastMessage, CommunicationMode};
 use graphh::compress::Codec;
 use graphh::core::reference;
 use graphh::prelude::*;
-use proptest::prelude::*;
 
-fn arbitrary_edges(max_v: u32, max_e: usize) -> impl Strategy<Value = Vec<(u32, u32)>> {
-    prop::collection::vec((0..max_v, 0..max_v), 0..max_e)
+/// Cases per property (the proptest suite used 32).
+const CASES: u64 = 32;
+
+/// splitmix64: one u64 per call, fully determined by the evolving state.
+struct CaseRng(u64);
+
+impl CaseRng {
+    fn new(case: u64) -> Self {
+        Self(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(case + 1))
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0);
+        self.next() % n
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+fn arbitrary_edges(rng: &mut CaseRng, max_v: u32, max_e: u64) -> Vec<(u32, u32)> {
+    let count = rng.below(max_e + 1);
+    (0..count)
+        .map(|_| {
+            (
+                rng.below(u64::from(max_v)) as u32,
+                rng.below(u64::from(max_v)) as u32,
+            )
+        })
+        .collect()
+}
 
-    #[test]
-    fn partitioning_conserves_every_edge(edges in arbitrary_edges(200, 400), tile_size in 1u64..50) {
+#[test]
+fn partitioning_conserves_every_edge() {
+    for case in 0..CASES {
+        let mut rng = CaseRng::new(case);
+        let edges = arbitrary_edges(&mut rng, 200, 400);
+        let tile_size = 1 + rng.below(49);
         let mut builder = GraphBuilder::new().with_num_vertices(200);
-        for (s, d) in &edges {
-            builder.add_edge(Edge::new(*s, *d));
+        for &(s, d) in &edges {
+            builder.add_edge(Edge::new(s, d));
         }
         let graph = builder.build().unwrap();
         let partitioned = Spe::partition(&graph, &SpeConfig::new("prop", tile_size)).unwrap();
-        prop_assert_eq!(partitioned.num_edges(), graph.num_edges());
+        assert_eq!(partitioned.num_edges(), graph.num_edges(), "case {case}");
         // Every edge is in the tile owning its target, and tile ranges are disjoint.
         let mut recovered: Vec<(u32, u32)> = Vec::new();
         for tile in &partitioned.tiles {
@@ -31,86 +68,179 @@ proptest! {
                 }
             }
         }
-        let mut expected: Vec<(u32, u32)> = edges.clone();
+        let mut expected = edges.clone();
         expected.sort_unstable();
         recovered.sort_unstable();
-        prop_assert_eq!(recovered, expected);
+        assert_eq!(recovered, expected, "case {case}");
     }
+}
 
-    #[test]
-    fn tile_serialization_roundtrips(edges in arbitrary_edges(64, 200)) {
+#[test]
+fn tile_serialization_roundtrips() {
+    for case in 0..CASES {
+        let mut rng = CaseRng::new(1000 + case);
+        let edges = arbitrary_edges(&mut rng, 64, 200);
         let mut builder = GraphBuilder::new().with_num_vertices(64);
-        for (s, d) in &edges {
-            builder.add_edge(Edge::new(*s, *d));
+        for &(s, d) in &edges {
+            builder.add_edge(Edge::new(s, d));
         }
         let graph = builder.build().unwrap();
         let partitioned = Spe::partition(&graph, &SpeConfig::new("prop", 16)).unwrap();
         for tile in &partitioned.tiles {
             let bytes = tile.to_bytes();
-            prop_assert_eq!(bytes.len() as u64, tile.serialized_size());
+            assert_eq!(bytes.len() as u64, tile.serialized_size(), "case {case}");
             let back = Tile::from_bytes(&bytes).unwrap();
-            prop_assert_eq!(&back, tile);
+            assert_eq!(&back, tile, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn codecs_roundtrip_arbitrary_bytes(data in prop::collection::vec(any::<u8>(), 0..2048)) {
+#[test]
+fn codecs_roundtrip_arbitrary_bytes() {
+    for case in 0..CASES {
+        let mut rng = CaseRng::new(2000 + case);
+        let len = rng.below(2048) as usize;
+        let data: Vec<u8> = (0..len).map(|_| rng.next() as u8).collect();
         for codec in Codec::ALL {
             let restored = codec.decompress(&codec.compress(&data)).unwrap();
-            prop_assert_eq!(&restored, &data, "codec {}", codec.name());
+            assert_eq!(restored, data, "codec {} case {case}", codec.name());
         }
     }
+}
 
-    #[test]
-    fn broadcast_encodings_decode_to_the_same_updates(
-        range_start in 0u32..1000,
-        len in 1u32..300,
-        picks in prop::collection::btree_set(0u32..300, 0..100),
-    ) {
-        let range_end = range_start + len;
-        let updates: Vec<(u32, f64)> = picks
-            .iter()
-            .filter(|&&p| p < len)
-            .map(|&p| (range_start + p, f64::from(p) * 0.25 - 3.0))
-            .collect();
-        let msg = BroadcastMessage::new(range_start, range_end, updates.clone());
+/// A broadcast message over `[range_start, range_start + len)` updating a
+/// deterministic pseudo-random subset of `updated` vertices.
+fn random_message(rng: &mut CaseRng, range_start: u32, len: u32, updated: u32) -> BroadcastMessage {
+    let mut picks: Vec<u32> = (0..len).collect();
+    // Partial Fisher-Yates: the first `updated` entries are the chosen subset.
+    for i in 0..updated.min(len) as usize {
+        let j = i + rng.below((len as usize - i) as u64) as usize;
+        picks.swap(i, j);
+    }
+    let mut chosen: Vec<u32> = picks[..updated.min(len) as usize].to_vec();
+    chosen.sort_unstable();
+    let updates = chosen
+        .iter()
+        .map(|&p| (range_start + p, f64::from(p) * 0.25 - 3.0))
+        .collect();
+    BroadcastMessage::new(range_start, range_start + len, updates)
+}
+
+#[test]
+fn broadcast_encodings_decode_to_the_same_updates() {
+    for case in 0..CASES {
+        let mut rng = CaseRng::new(3000 + case);
+        let range_start = rng.below(1000) as u32;
+        let len = 1 + rng.below(299) as u32;
+        let updated = rng.below(u64::from(len) + 1) as u32;
+        let msg = random_message(&mut rng, range_start, len, updated);
         for enc in [BroadcastEncoding::Dense, BroadcastEncoding::Sparse] {
             let decoded = BroadcastMessage::decode(&msg.encode(enc)).unwrap();
-            prop_assert_eq!(&decoded.updates, &updates);
+            assert_eq!(decoded.updates, msg.updates, "case {case} {enc:?}");
+            assert_eq!(decoded.range_start, msg.range_start);
+            assert_eq!(decoded.range_end, msg.range_end);
         }
     }
+}
 
-    #[test]
-    fn pagerank_mass_is_bounded_and_engine_matches_reference(
-        scale in 4u32..7,
-        edge_factor in 2u32..6,
-        seed in 0u64..50,
-    ) {
+/// The full wire path (encode → compress → decompress → decode) is lossless
+/// for every encoding policy × codec, across sparsity ratios that bracket the
+/// paper's 0.8 hybrid threshold.
+#[test]
+fn broadcast_wire_path_is_lossless_across_sparsity_ratios() {
+    let len = 200u32;
+    // updated counts giving sparsity ratios 1.0, 0.995, 0.9, just above /
+    // exactly at / just below 0.8, 0.5, 0.0.
+    let updated_counts = [0u32, 1, 20, 39, 40, 41, 100, 200];
+    let modes = [
+        CommunicationMode::Dense,
+        CommunicationMode::Sparse,
+        CommunicationMode::default(), // hybrid at 0.8
+    ];
+    let codecs = [
+        None,
+        Some(Codec::Raw),
+        Some(Codec::Snappy),
+        Some(Codec::Zlib1),
+        Some(Codec::Zlib3),
+    ];
+    for (i, &updated) in updated_counts.iter().enumerate() {
+        let mut rng = CaseRng::new(4000 + i as u64);
+        let msg = random_message(&mut rng, 64, len, updated);
+        let sparsity = msg.sparsity_ratio();
+        for mode in modes {
+            let enc = msg.choose_encoding(mode);
+            if let CommunicationMode::Hybrid { sparsity_threshold } = mode {
+                // The boundary itself: sparse strictly above the threshold, so
+                // a message sitting exactly at 0.8 stays dense.
+                let expect_sparse = sparsity > sparsity_threshold;
+                assert_eq!(
+                    enc == BroadcastEncoding::Sparse,
+                    expect_sparse,
+                    "updated={updated} sparsity={sparsity}"
+                );
+            }
+            for codec in codecs {
+                let encoded = msg.encode(enc);
+                let wire = match codec {
+                    None | Some(Codec::Raw) => encoded.clone(),
+                    Some(c) => c.compress(&encoded),
+                };
+                let restored = match codec {
+                    None | Some(Codec::Raw) => wire,
+                    Some(c) => c.decompress(&wire).unwrap(),
+                };
+                let decoded = BroadcastMessage::decode(&restored).unwrap();
+                assert_eq!(
+                    decoded.updates, msg.updates,
+                    "updated={updated} mode={mode:?} codec={codec:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn pagerank_mass_is_bounded_and_engine_matches_reference() {
+    for case in 0..CASES {
+        let mut rng = CaseRng::new(5000 + case);
+        let scale = 4 + rng.below(3) as u32;
+        let edge_factor = 2 + rng.below(4) as u32;
+        let seed = rng.below(50);
         let graph = RmatGenerator::new(scale, edge_factor).generate(seed);
-        let partitioned = Spe::partition(&graph, &SpeConfig::with_tile_count("prop", &graph, 6)).unwrap();
-        let engine = GraphHEngine::new(GraphHConfig::paper_default(ClusterConfig::paper_testbed(2)));
+        let partitioned =
+            Spe::partition(&graph, &SpeConfig::with_tile_count("prop", &graph, 6)).unwrap();
+        let engine =
+            GraphHEngine::new(GraphHConfig::paper_default(ClusterConfig::paper_testbed(2)));
         let result = engine.run(&partitioned, &PageRank::new(5)).unwrap();
         let expected = reference::pagerank(&graph, 5);
-        prop_assert!(reference::max_abs_diff(&result.values, &expected) < 1e-9);
+        assert!(
+            reference::max_abs_diff(&result.values, &expected) < 1e-9,
+            "case {case}"
+        );
         let sum: f64 = result.values.iter().sum();
-        prop_assert!(sum > 0.0 && sum <= 1.0 + 1e-9);
+        assert!(sum > 0.0 && sum <= 1.0 + 1e-9, "case {case} sum {sum}");
     }
+}
 
-    #[test]
-    fn sssp_distances_respect_triangle_inequality_on_edges(
-        rows in 2u64..6,
-        cols in 2u64..6,
-    ) {
+#[test]
+fn sssp_distances_respect_triangle_inequality_on_edges() {
+    for case in 0..CASES {
+        let mut rng = CaseRng::new(6000 + case);
+        let rows = 2 + rng.below(4);
+        let cols = 2 + rng.below(4);
         let graph = graphh::graph::generators::grid_graph(rows, cols);
-        let partitioned = Spe::partition(&graph, &SpeConfig::with_tile_count("prop", &graph, 4)).unwrap();
-        let engine = GraphHEngine::new(GraphHConfig::paper_default(ClusterConfig::paper_testbed(2)));
+        let partitioned =
+            Spe::partition(&graph, &SpeConfig::with_tile_count("prop", &graph, 4)).unwrap();
+        let engine =
+            GraphHEngine::new(GraphHConfig::paper_default(ClusterConfig::paper_testbed(2)));
         let result = engine.run(&partitioned, &Sssp::new(0)).unwrap();
         // dist(v) <= dist(u) + w(u, v) for every edge.
         for e in graph.edges().iter() {
             let du = result.values[e.src as usize];
             let dv = result.values[e.dst as usize];
-            prop_assert!(dv <= du + f64::from(e.weight) + 1e-9);
+            assert!(dv <= du + f64::from(e.weight) + 1e-9, "case {case}");
         }
-        prop_assert_eq!(result.values[0], 0.0);
+        assert_eq!(result.values[0], 0.0);
     }
 }

@@ -1,0 +1,269 @@
+//! A small LZSS engine shared by the `snap` and `miniz_oxide` stand-ins.
+//!
+//! Frame layout:
+//!
+//! ```text
+//! [magic: u8] [orig_len: u32 le] [token stream...] [checksum: u32 le]
+//! ```
+//!
+//! The token stream is flag-byte groups: each flag byte covers the next 8 items,
+//! LSB first; a 0 bit is a literal byte, a 1 bit is a match encoded as
+//! `[offset: u16 le] [len - MIN_MATCH: u8]`. The checksum is a Fletcher-style
+//! sum over the *decompressed* bytes so corrupt frames are detected.
+
+const MIN_MATCH: usize = 4;
+const MAX_MATCH: usize = MIN_MATCH + 255;
+const WINDOW: usize = 1 << 16;
+const HASH_BITS: u32 = 15;
+
+/// Decompression failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LzError(pub String);
+
+impl std::fmt::Display for LzError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "lz77: {}", self.0)
+    }
+}
+
+impl std::error::Error for LzError {}
+
+fn checksum(data: &[u8]) -> u32 {
+    let (mut a, mut b) = (1u32, 0u32);
+    for &byte in data {
+        a = (a + u32::from(byte)) % 65_521;
+        b = (b + a) % 65_521;
+    }
+    (b << 16) | a
+}
+
+fn hash4(data: &[u8], i: usize) -> usize {
+    let v = u32::from_le_bytes([data[i], data[i + 1], data[i + 2], data[i + 3]]);
+    (v.wrapping_mul(0x9E37_79B1) >> (32 - HASH_BITS)) as usize
+}
+
+/// Stride-4 byte delta: `t[i] = d[i] - d[i-4]`. The workspace's payloads are
+/// dominated by `u32`/`f64` arrays (CSR source ids, value vectors); deltaing at
+/// the word stride turns slowly-varying integer runs into long repeats the LZ
+/// stage can fold. Lossless for arbitrary input.
+fn delta_forward(data: &[u8]) -> Vec<u8> {
+    let mut t = data.to_vec();
+    for i in (4..t.len()).rev() {
+        t[i] = t[i].wrapping_sub(data[i - 4]);
+    }
+    t
+}
+
+fn delta_inverse(data: &mut [u8]) {
+    for i in 4..data.len() {
+        data[i] = data[i].wrapping_add(data[i - 4]);
+    }
+}
+
+/// Compress `data` into a frame tagged with `magic`. `max_chain` bounds how many
+/// previous hash-bucket candidates are examined per position (higher = better
+/// ratio, slower).
+pub fn compress(magic: u8, data: &[u8], max_chain: usize) -> Vec<u8> {
+    let orig = data;
+    let transformed = delta_forward(data);
+    let data = &transformed[..];
+    let mut out = Vec::with_capacity(data.len() / 2 + 16);
+    out.push(magic);
+    out.extend_from_slice(&(data.len() as u32).to_le_bytes());
+
+    // head[h] = most recent position with hash h; prev[i % WINDOW] = previous
+    // position in the same bucket as i.
+    let mut head = vec![usize::MAX; 1 << HASH_BITS];
+    let mut prev = vec![usize::MAX; WINDOW];
+
+    let mut i = 0usize;
+    let mut flag_pos = 0usize;
+    let mut flag_bit = 8u8; // forces a fresh flag byte before the first item
+
+    // Open a new flag group if the current one is full, then record one item.
+    // Must run BEFORE the item's payload bytes so flag byte and payloads stay
+    // in stream order.
+    macro_rules! emit_item {
+        ($is_match:expr) => {
+            if flag_bit == 8 {
+                flag_bit = 0;
+                flag_pos = out.len();
+                out.push(0);
+            }
+            if $is_match {
+                out[flag_pos] |= 1 << flag_bit;
+            }
+            flag_bit += 1;
+        };
+    }
+
+    while i < data.len() {
+        let mut best_len = 0usize;
+        let mut best_off = 0usize;
+        if i + MIN_MATCH <= data.len() {
+            let h = hash4(data, i);
+            let bucket_head = head[h];
+            let mut cand = bucket_head;
+            let mut chain = 0usize;
+            while cand != usize::MAX && chain < max_chain {
+                let off = i - cand;
+                if off > WINDOW - 1 {
+                    break;
+                }
+                let limit = (data.len() - i).min(MAX_MATCH);
+                let mut l = 0usize;
+                while l < limit && data[cand + l] == data[i + l] {
+                    l += 1;
+                }
+                if l > best_len {
+                    best_len = l;
+                    best_off = off;
+                    if l == limit {
+                        break;
+                    }
+                }
+                cand = prev[cand % WINDOW];
+                chain += 1;
+            }
+            prev[i % WINDOW] = bucket_head;
+            head[h] = i;
+        }
+        if best_len >= MIN_MATCH {
+            emit_item!(true);
+            out.extend_from_slice(&(best_off as u16).to_le_bytes());
+            out.push((best_len - MIN_MATCH) as u8);
+            // Index the skipped positions so later matches can reference them.
+            let end = (i + best_len).min(data.len().saturating_sub(MIN_MATCH - 1));
+            let mut j = i + 1;
+            while j < end {
+                if j + MIN_MATCH <= data.len() {
+                    let h = hash4(data, j);
+                    prev[j % WINDOW] = head[h];
+                    head[h] = j;
+                }
+                j += 1;
+            }
+            i += best_len;
+        } else {
+            emit_item!(false);
+            out.push(data[i]);
+            i += 1;
+        }
+    }
+    out.extend_from_slice(&checksum(orig).to_le_bytes());
+    out
+}
+
+/// Decompress a frame produced by [`compress`] with the same `magic`.
+pub fn decompress(magic: u8, frame: &[u8]) -> Result<Vec<u8>, LzError> {
+    if frame.len() < 9 {
+        return Err(LzError("frame too short".into()));
+    }
+    if frame[0] != magic {
+        return Err(LzError(format!(
+            "bad magic: expected {magic:#x}, got {:#x}",
+            frame[0]
+        )));
+    }
+    let orig_len = u32::from_le_bytes(frame[1..5].try_into().unwrap()) as usize;
+    let body = &frame[5..frame.len() - 4];
+    let expect_sum = u32::from_le_bytes(frame[frame.len() - 4..].try_into().unwrap());
+
+    let mut out = Vec::with_capacity(orig_len);
+    let mut pos = 0usize;
+    while out.len() < orig_len {
+        if pos >= body.len() {
+            return Err(LzError("truncated token stream".into()));
+        }
+        let flags = body[pos];
+        pos += 1;
+        for bit in 0..8 {
+            if out.len() == orig_len {
+                break;
+            }
+            if flags & (1 << bit) != 0 {
+                if pos + 3 > body.len() {
+                    return Err(LzError("truncated match".into()));
+                }
+                let off = u16::from_le_bytes([body[pos], body[pos + 1]]) as usize;
+                let len = body[pos + 2] as usize + MIN_MATCH;
+                pos += 3;
+                if off == 0 || off > out.len() {
+                    return Err(LzError("match offset out of range".into()));
+                }
+                let start = out.len() - off;
+                for k in 0..len {
+                    let byte = out[start + k];
+                    out.push(byte);
+                }
+            } else {
+                if pos >= body.len() {
+                    return Err(LzError("truncated literal".into()));
+                }
+                out.push(body[pos]);
+                pos += 1;
+            }
+        }
+    }
+    if pos != body.len() {
+        return Err(LzError("trailing garbage in token stream".into()));
+    }
+    delta_inverse(&mut out);
+    if checksum(&out) != expect_sum {
+        return Err(LzError("checksum mismatch".into()));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[u8], chain: usize) {
+        let frame = compress(0xA5, data, chain);
+        let back = decompress(0xA5, &frame).unwrap();
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn roundtrips() {
+        roundtrip(b"", 16);
+        roundtrip(b"x", 16);
+        roundtrip(b"aaaaaaaaaaaaaaaaaaaaaaaa", 16);
+        roundtrip(&[0u8; 10_000], 16);
+        let mut mixed = Vec::new();
+        for i in 0..5000u32 {
+            mixed.extend_from_slice(&(i % 97).to_le_bytes());
+        }
+        roundtrip(&mixed, 64);
+    }
+
+    #[test]
+    fn repetitive_data_shrinks() {
+        let data: Vec<u8> = (0..20_000).map(|i| (i % 16) as u8).collect();
+        let frame = compress(1, &data, 32);
+        assert!(frame.len() * 4 < data.len());
+    }
+
+    #[test]
+    fn garbage_is_rejected() {
+        assert!(decompress(1, &[0xFFu8; 64]).is_err());
+        assert!(decompress(1, &[]).is_err());
+        let mut frame = compress(1, b"hello world hello world", 16);
+        let last = frame.len() - 1;
+        frame[last] ^= 0xFF;
+        assert!(decompress(1, &frame).is_err());
+    }
+
+    #[test]
+    fn deeper_chains_do_not_hurt_much() {
+        let mut data = Vec::new();
+        for i in 0..3000u32 {
+            data.extend_from_slice(&[7, 42, 0, 0]);
+            data.extend_from_slice(&(i * 3).to_le_bytes());
+        }
+        let shallow = compress(1, &data, 8).len();
+        let deep = compress(1, &data, 64).len();
+        assert!(deep as f64 <= shallow as f64 * 1.01);
+    }
+}

@@ -1,0 +1,59 @@
+//! Offline stand-in for `memmap2` (see `vendor/README.md`).
+//!
+//! `Mmap` here reads the whole file into an owned buffer instead of mapping
+//! pages — same `Deref<Target = [u8]>` surface, no `unsafe` aliasing concerns,
+//! adequate for the tile sizes this workspace handles.
+
+use std::fs::File;
+use std::io::{self, Read, Seek, SeekFrom};
+
+/// A read-only "memory map" backed by an owned buffer.
+#[derive(Debug)]
+pub struct Mmap {
+    data: Vec<u8>,
+}
+
+impl Mmap {
+    /// Read `file` fully.
+    ///
+    /// # Safety
+    ///
+    /// Always safe in this stand-in (no real mapping happens); the signature
+    /// stays `unsafe` to match upstream `memmap2::Mmap::map`.
+    pub unsafe fn map(file: &File) -> io::Result<Mmap> {
+        let mut f = file;
+        f.seek(SeekFrom::Start(0))?;
+        let mut data = Vec::new();
+        f.read_to_end(&mut data)?;
+        Ok(Mmap { data })
+    }
+}
+
+impl std::ops::Deref for Mmap {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for Mmap {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_file_contents() {
+        let path = std::env::temp_dir().join(format!("mmap-shim-test-{}", std::process::id()));
+        std::fs::write(&path, b"hello").unwrap();
+        let f = File::open(&path).unwrap();
+        let m = unsafe { Mmap::map(&f) }.unwrap();
+        assert_eq!(&m[..], b"hello");
+        assert_eq!(m.len(), 5);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,64 @@
+//! Offline stand-in for `miniz_oxide` (see `vendor/README.md`).
+//!
+//! Provides `deflate::compress_to_vec_zlib` and `inflate::decompress_to_vec_zlib`
+//! over the shared LZSS engine. Higher compression levels search longer hash
+//! chains, mirroring the real ratio/speed trade-off; the wire format is not
+//! zlib-compatible but round-trips losslessly and rejects corrupt frames.
+
+const MAGIC: u8 = 0x5A; // 'Z'
+
+/// Deflate-side API.
+pub mod deflate {
+    use super::MAGIC;
+
+    /// Compress `data` at `level` (0–10; higher searches harder).
+    pub fn compress_to_vec_zlib(data: &[u8], level: u8) -> Vec<u8> {
+        let max_chain = match level {
+            0..=1 => 16,
+            2..=3 => 64,
+            4..=6 => 128,
+            _ => 512,
+        };
+        lz77::compress(MAGIC, data, max_chain)
+    }
+}
+
+/// Inflate-side API.
+pub mod inflate {
+    use super::MAGIC;
+
+    /// Decompression failure, mirroring `miniz_oxide::inflate::DecompressError`.
+    #[derive(Debug, Clone)]
+    pub struct DecompressError(pub String);
+
+    impl std::fmt::Display for DecompressError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "decompress error: {}", self.0)
+        }
+    }
+
+    impl std::error::Error for DecompressError {}
+
+    /// Decompress a frame produced by [`super::deflate::compress_to_vec_zlib`].
+    pub fn decompress_to_vec_zlib(data: &[u8]) -> Result<Vec<u8>, DecompressError> {
+        lz77::decompress(MAGIC, data).map_err(|e| DecompressError(e.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_roundtrip_and_higher_levels_do_not_regress() {
+        let data: Vec<u8> = (0..30_000u32)
+            .flat_map(|i| (i % 251).to_le_bytes())
+            .collect();
+        let l1 = deflate::compress_to_vec_zlib(&data, 1);
+        let l3 = deflate::compress_to_vec_zlib(&data, 3);
+        assert_eq!(inflate::decompress_to_vec_zlib(&l1).unwrap(), data);
+        assert_eq!(inflate::decompress_to_vec_zlib(&l3).unwrap(), data);
+        assert!(l3.len() as f64 <= l1.len() as f64 * 1.01);
+        assert!(inflate::decompress_to_vec_zlib(&[0xFF; 64]).is_err());
+    }
+}

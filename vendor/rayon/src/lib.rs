@@ -1,0 +1,55 @@
+//! Offline stand-in for `rayon` (see `vendor/README.md`).
+//!
+//! `into_par_iter()`/`par_iter()` fall back to the equivalent *sequential* std
+//! iterators: results are identical (rayon's `collect` preserves order), only
+//! the data-parallel speedup is forfeited. Real thread-level parallelism in
+//! this workspace lives in `crates/runtime`, which uses std threads directly.
+
+/// The parallel-iterator traits, sequentially implemented.
+pub mod prelude {
+    /// `into_par_iter()` for owned collections.
+    pub trait IntoParallelIterator {
+        /// The (sequential) iterator type.
+        type Iter: Iterator;
+        /// Convert into a "parallel" iterator.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<T> IntoParallelIterator for Vec<T> {
+        type Iter = std::vec::IntoIter<T>;
+        fn into_par_iter(self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    /// `par_iter()` for borrowed slices.
+    pub trait ParallelSlice<T> {
+        /// Iterate by reference.
+        fn par_iter(&self) -> std::slice::Iter<'_, T>;
+    }
+
+    impl<T> ParallelSlice<T> for [T] {
+        fn par_iter(&self) -> std::slice::Iter<'_, T> {
+            self.iter()
+        }
+    }
+
+    impl<T> ParallelSlice<T> for Vec<T> {
+        fn par_iter(&self) -> std::slice::Iter<'_, T> {
+            self.iter()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_matches_iter() {
+        let v = vec![3, 1, 2];
+        let doubled: Vec<i32> = v.clone().into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![6, 2, 4]);
+        assert_eq!(v.par_iter().sum::<i32>(), 6);
+    }
+}

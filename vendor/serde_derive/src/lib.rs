@@ -1,0 +1,17 @@
+//! Offline stand-in for `serde_derive`: the derives are no-ops because nothing in
+//! the workspace serialises through serde (wire formats are hand-rolled). The
+//! derive attributes exist so `#[derive(Serialize, Deserialize)]` keeps compiling.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -1,0 +1,67 @@
+//! Offline stand-in for the `snap` crate (see `vendor/README.md`).
+//!
+//! Exposes the `snap::raw::{Encoder, Decoder}` API over the shared LZSS engine.
+//! The wire format is NOT Snappy-compatible; it only needs to round-trip
+//! losslessly and reject corrupt input, which is all the workspace relies on.
+
+pub mod raw {
+    const MAGIC: u8 = 0x53; // 'S'
+    const MAX_CHAIN: usize = 32;
+
+    /// Compression failure (the stand-in never fails to compress).
+    #[derive(Debug, Clone)]
+    pub struct Error(pub String);
+
+    impl std::fmt::Display for Error {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "snappy: {}", self.0)
+        }
+    }
+
+    impl std::error::Error for Error {}
+
+    /// Raw-block Snappy encoder.
+    #[derive(Debug, Default)]
+    pub struct Encoder;
+
+    impl Encoder {
+        /// A new encoder.
+        pub fn new() -> Self {
+            Encoder
+        }
+
+        /// Compress `data` into a fresh vector.
+        pub fn compress_vec(&mut self, data: &[u8]) -> Result<Vec<u8>, Error> {
+            Ok(lz77::compress(MAGIC, data, MAX_CHAIN))
+        }
+    }
+
+    /// Raw-block Snappy decoder.
+    #[derive(Debug, Default)]
+    pub struct Decoder;
+
+    impl Decoder {
+        /// A new decoder.
+        pub fn new() -> Self {
+            Decoder
+        }
+
+        /// Decompress `data` previously produced by [`Encoder::compress_vec`].
+        pub fn decompress_vec(&mut self, data: &[u8]) -> Result<Vec<u8>, Error> {
+            lz77::decompress(MAGIC, data).map_err(|e| Error(e.0))
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn roundtrip_and_reject() {
+            let data = b"the quick brown fox jumps over the lazy dog the quick brown fox";
+            let c = Encoder::new().compress_vec(data).unwrap();
+            assert_eq!(Decoder::new().decompress_vec(&c).unwrap(), data);
+            assert!(Decoder::new().decompress_vec(&[0xFF; 64]).is_err());
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! Offline stand-in for `tempfile` (see `vendor/README.md`).
+
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// A directory deleted (recursively) on drop.
+#[derive(Debug)]
+pub struct TempDir {
+    path: PathBuf,
+}
+
+impl TempDir {
+    /// The directory's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Keep the directory, returning its path.
+    pub fn into_path(mut self) -> PathBuf {
+        std::mem::take(&mut self.path)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        if !self.path.as_os_str().is_empty() {
+            let _ = std::fs::remove_dir_all(&self.path);
+        }
+    }
+}
+
+/// Create a fresh directory under the system temp dir.
+pub fn tempdir() -> io::Result<TempDir> {
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let path = std::env::temp_dir().join(format!("graphh-tmp-{}-{n}", std::process::id()));
+    std::fs::create_dir_all(&path)?;
+    Ok(TempDir { path })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tempdir_exists_then_vanishes() {
+        let d = tempdir().unwrap();
+        let p = d.path().to_path_buf();
+        assert!(p.is_dir());
+        std::fs::write(p.join("f"), b"x").unwrap();
+        drop(d);
+        assert!(!p.exists());
+    }
+}
