@@ -601,6 +601,35 @@ pub fn ablations() -> String {
         )
         .unwrap();
     }
+    // Intra-server parallelism sweep: the paper's T compute threads inside
+    // each server, against the T=1 reference on the same 2-server cluster.
+    let base = crate::run_graphh_config(
+        &p,
+        &graphh_core::PageRank::new(5),
+        GraphHConfig::paper_default(ClusterConfig::paper_testbed(2)).with_threads_per_server(1),
+        std::sync::Arc::new(graphh_runtime::ThreadedExecutor::new()),
+    );
+    for threads in [2u32, 4, 8] {
+        let run = crate::run_graphh_config(
+            &p,
+            &graphh_core::PageRank::new(5),
+            GraphHConfig::paper_default(ClusterConfig::paper_testbed(2))
+                .with_threads_per_server(threads),
+            std::sync::Arc::new(graphh_runtime::ThreadedExecutor::new()),
+        );
+        let identical = base
+            .values
+            .iter()
+            .zip(&run.values)
+            .all(|(a, b)| a.to_bits() == b.to_bits());
+        writeln!(
+            out,
+            "threads-per-server (PageRank, Twitter stand-in, 2 servers): T={threads} wall-clock={:.4}s speedup-vs-T1={:.2}x bit-identical={identical}",
+            run.wall_clock_seconds,
+            base.wall_clock_seconds / run.wall_clock_seconds.max(1e-12)
+        )
+        .unwrap();
+    }
     let _ = EXPERIMENT_SEED;
     let _ = experiment_spec(Dataset::Twitter2010);
     out
@@ -623,13 +652,14 @@ pub fn runtime_executors() -> String {
 pub fn runtime_report(rows: &[RuntimeRow]) -> String {
     let mut out = String::from(
         "# Runtime: sequential vs threaded executor (RMAT scale-10, PageRank, wall-clock)\n\
-         servers\tsequential_s\tthreaded_s\tspeedup\tidentical\n",
+         servers\tthreads/server\tsequential_s\tthreaded_s\tspeedup\tidentical\n",
     );
     for row in rows {
         writeln!(
             out,
-            "{}\t{:.6}\t{:.6}\t{:.2}x\t{}",
+            "{}\t{}\t{:.6}\t{:.6}\t{:.2}x\t{}",
             row.servers,
+            row.threads_per_server,
             row.sequential_seconds,
             row.threaded_seconds,
             row.speedup(),
@@ -638,16 +668,19 @@ pub fn runtime_report(rows: &[RuntimeRow]) -> String {
         .unwrap();
     }
     out.push_str(
-        "(threaded speedup needs real cores: on a single-core host the barrier \
-         overhead makes it <=1x)\n",
+        "(speedup needs real cores: on a single-core host the fork-join and \
+         barrier overhead make it <=1x; the threaded executor runs p server \
+         threads x T tile threads)\n",
     );
     out
 }
 
 /// One measured executor-comparison configuration.
 pub struct RuntimeRow {
-    /// Cluster size.
+    /// Cluster size (the paper's `p` servers).
     pub servers: u32,
+    /// Tile-phase compute threads per server (the paper's `T`).
+    pub threads_per_server: u32,
     /// Best-of-3 wall-clock seconds, sequential reference executor.
     pub sequential_seconds: f64,
     /// Best-of-3 wall-clock seconds, threaded runtime.
@@ -664,7 +697,9 @@ impl RuntimeRow {
 }
 
 /// Measure the executor comparison: RMAT scale-10 (edge factor 16) PageRank,
-/// 20 supersteps, best-of-3 per executor per cluster size.
+/// 20 supersteps, best-of-3 per executor per (cluster size × threads-per-
+/// server) configuration — the second axis is the paper's `T` intra-server
+/// compute threads.
 pub fn runtime_rows() -> Vec<RuntimeRow> {
     use graphh_core::SequentialExecutor;
     use graphh_graph::generators::{GraphGenerator, RmatGenerator};
@@ -679,10 +714,12 @@ pub fn runtime_rows() -> Vec<RuntimeRow> {
     .expect("partition");
     let program = graphh_core::PageRank::new(20);
 
-    let best_of_3 = |servers: u32, executor: Arc<dyn graphh_core::Executor>| {
+    let best_of_3 = |servers: u32, threads: u32, executor: Arc<dyn graphh_core::Executor>| {
+        let config = GraphHConfig::paper_default(ClusterConfig::paper_testbed(servers))
+            .with_threads_per_server(threads);
         let mut best: Option<graphh_core::RunResult> = None;
         for _ in 0..3 {
-            let run = crate::run_graphh_with(&p, &program, servers, Arc::clone(&executor));
+            let run = crate::run_graphh_config(&p, &program, config.clone(), Arc::clone(&executor));
             if best
                 .as_ref()
                 .is_none_or(|b| run.wall_clock_seconds < b.wall_clock_seconds)
@@ -693,25 +730,27 @@ pub fn runtime_rows() -> Vec<RuntimeRow> {
         best.expect("three runs happened")
     };
 
-    [1u32, 2, 4]
-        .into_iter()
-        .map(|servers| {
-            let seq = best_of_3(servers, Arc::new(SequentialExecutor::new()));
-            let thr = best_of_3(servers, Arc::new(ThreadedExecutor::new()));
+    let mut rows = Vec::new();
+    for servers in [1u32, 2, 4] {
+        for threads in [1u32, 2, 4] {
+            let seq = best_of_3(servers, threads, Arc::new(SequentialExecutor::new()));
+            let thr = best_of_3(servers, threads, Arc::new(ThreadedExecutor::new()));
             let identical = seq.values.len() == thr.values.len()
                 && seq
                     .values
                     .iter()
                     .zip(&thr.values)
                     .all(|(a, b)| a.to_bits() == b.to_bits());
-            RuntimeRow {
+            rows.push(RuntimeRow {
                 servers,
+                threads_per_server: threads,
                 sequential_seconds: seq.wall_clock_seconds,
                 threaded_seconds: thr.wall_clock_seconds,
                 identical,
-            }
-        })
-        .collect()
+            });
+        }
+    }
+    rows
 }
 
 /// Render measured rows as machine-readable JSON (the report binary writes
@@ -724,8 +763,9 @@ pub fn runtime_json(rows: &[RuntimeRow]) -> String {
     for (i, row) in rows.iter().enumerate() {
         writeln!(
             out,
-            "    {{\"servers\": {}, \"sequential_s\": {:.6}, \"threaded_s\": {:.6}, \"speedup\": {:.4}, \"identical\": {}}}{}",
+            "    {{\"servers\": {}, \"threads_per_server\": {}, \"sequential_s\": {:.6}, \"threaded_s\": {:.6}, \"speedup\": {:.4}, \"identical\": {}}}{}",
             row.servers,
+            row.threads_per_server,
             row.sequential_seconds,
             row.threaded_seconds,
             row.speedup(),

@@ -54,12 +54,25 @@ pub fn run_graphh_with(
     servers: u32,
     executor: Arc<dyn Executor>,
 ) -> RunResult {
-    GraphHEngine::with_executor(
+    run_graphh_config(
+        partitioned,
+        program,
         GraphHConfig::paper_default(ClusterConfig::paper_testbed(servers)),
         executor,
     )
-    .run(partitioned, program)
-    .expect("GraphH run failed")
+}
+
+/// Run GraphH with an explicit configuration and executor (the
+/// threads-per-server bench axis sets `config.threads_per_server`).
+pub fn run_graphh_config(
+    partitioned: &PartitionedGraph,
+    program: &dyn graphh_core::GabProgram,
+    config: GraphHConfig,
+    executor: Arc<dyn Executor>,
+) -> RunResult {
+    GraphHEngine::with_executor(config, executor)
+        .run(partitioned, program)
+        .expect("GraphH run failed")
 }
 
 #[cfg(test)]

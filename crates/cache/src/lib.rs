@@ -9,6 +9,13 @@
 //! codec whose estimated compression ratio lets the whole tile set fit
 //! (`minimise i subject to S / γᵢ ≤ C`, falling back to zlib-1 when none fits).
 //!
+//! Raw mode stores the *decoded* tile behind an `Arc`, so a hit is a refcount bump —
+//! no memcpy, no re-parse. Compressed modes store the compressed blob as an
+//! `Arc<[u8]>` and decompress outside the cache lock on each hit. Recency can be
+//! stamped explicitly by the caller ([`EdgeCache::lookup`] / [`EdgeCache::admit`]),
+//! which is how the engine keeps LRU state deterministic when `threads_per_server`
+//! workers probe the cache concurrently.
+//!
 //! The cache records hits, misses, evictions and the decompression time it incurs so
 //! the engine can charge them to the superstep's cost.
 
@@ -17,6 +24,7 @@ use graphh_graph::ids::TileId;
 use graphh_partition::Tile;
 use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// How the cache chooses its codec.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -98,11 +106,39 @@ pub fn select_codec(total_tile_bytes: u64, capacity_bytes: u64) -> Codec {
     Codec::Zlib1
 }
 
+/// How a tile is held in memory.
+#[derive(Debug)]
+enum Stored {
+    /// Raw mode: the *decoded* tile. A hit is an `Arc` refcount bump — no
+    /// memcpy, no re-parse.
+    Raw(Arc<Tile>),
+    /// Compressed modes: the compressed blob, reference-counted so hits can
+    /// decompress outside the cache lock without cloning the bytes.
+    Compressed(Arc<[u8]>),
+}
+
 #[derive(Debug)]
 struct Entry {
-    blob: Vec<u8>,
+    data: Stored,
+    /// Bytes charged against the capacity: the serialized tile size for raw
+    /// mode (what the old byte-blob cache charged), the compressed size
+    /// otherwise.
+    charged_bytes: u64,
     /// Recency stamp for LRU eviction.
     last_used: u64,
+}
+
+/// A cache hit: the decoded tile plus the decompression time this particular
+/// hit cost (0 for raw mode). Returning the per-hit time lets callers
+/// accumulate codec time in a deterministic order of their own choosing
+/// (the engine reduces per-tile metrics in tile order), instead of relying on
+/// the cache's internal, lock-order-dependent accumulation.
+#[derive(Debug)]
+pub struct TileFetch {
+    /// The decoded tile.
+    pub tile: Arc<Tile>,
+    /// Seconds of decompression charged for this hit.
+    pub decompress_seconds: f64,
 }
 
 #[derive(Debug, Default)]
@@ -150,25 +186,55 @@ impl EdgeCache {
         self.capacity
     }
 
-    /// Look up a tile. Returns the decoded tile on a hit, `None` on a miss.
-    pub fn get(&self, tile_id: TileId) -> Option<Tile> {
+    /// Current value of the recency clock. Callers that stamp their own
+    /// lookups (see [`EdgeCache::lookup`]) derive deterministic stamps from
+    /// this base.
+    pub fn clock(&self) -> u64 {
+        self.inner.lock().clock
+    }
+
+    /// Look up a tile with an explicit recency stamp.
+    ///
+    /// The stamp replaces the internal access-order clock so concurrent
+    /// callers can assign recency deterministically (the engine stamps each
+    /// tile by its position in the server's tile order, making LRU state
+    /// independent of thread scheduling). The internal clock ratchets to the
+    /// largest stamp seen.
+    pub fn lookup(&self, tile_id: TileId, stamp: u64) -> Option<TileFetch> {
         let mut inner = self.inner.lock();
-        inner.clock += 1;
-        let clock = inner.clock;
-        let codec = self.codec;
+        inner.clock = inner.clock.max(stamp);
         match inner.entries.get_mut(&tile_id) {
             Some(entry) => {
-                entry.last_used = clock;
-                let blob = entry.blob.clone();
+                entry.last_used = entry.last_used.max(stamp);
+                let data = match &entry.data {
+                    Stored::Raw(tile) => Stored::Raw(Arc::clone(tile)),
+                    Stored::Compressed(blob) => Stored::Compressed(Arc::clone(blob)),
+                };
                 inner.hits += 1;
-                if codec != Codec::Raw {
-                    inner.decompress_seconds += blob.len() as f64 / codec.decompress_throughput();
+                match data {
+                    Stored::Raw(tile) => Some(TileFetch {
+                        tile,
+                        decompress_seconds: 0.0,
+                    }),
+                    Stored::Compressed(blob) => {
+                        let decompress_seconds =
+                            blob.len() as f64 / self.codec.decompress_throughput();
+                        inner.decompress_seconds += decompress_seconds;
+                        // Decompress + parse outside the lock.
+                        drop(inner);
+                        let bytes = self
+                            .codec
+                            .decompress(&blob)
+                            .expect("cache blob was produced by this codec");
+                        let tile = Arc::new(
+                            Tile::from_bytes(&bytes).expect("cache blob is a serialized tile"),
+                        );
+                        Some(TileFetch {
+                            tile,
+                            decompress_seconds,
+                        })
+                    }
                 }
-                drop(inner);
-                let bytes = codec
-                    .decompress(&blob)
-                    .expect("cache blob was produced by this codec");
-                Some(Tile::from_bytes(&bytes).expect("cache blob is a serialized tile"))
             }
             None => {
                 inner.misses += 1;
@@ -177,42 +243,94 @@ impl EdgeCache {
         }
     }
 
-    /// Insert a tile (serialized form) after a miss. Oldest tiles are evicted until
-    /// the new entry fits; if the tile alone exceeds the capacity it is not cached.
-    pub fn insert(&self, tile_id: TileId, serialized_tile: &[u8]) {
-        let blob = self.codec.compress(serialized_tile);
+    /// Admit a tile after a miss, with an explicit recency stamp (see
+    /// [`EdgeCache::lookup`]). Oldest tiles are evicted until the new entry
+    /// fits; if the tile alone exceeds the capacity it is not cached.
+    ///
+    /// `serialized` is the tile's on-disk form (sizes the entry and feeds the
+    /// compressor); `decoded` is the already-parsed tile the caller obtained
+    /// from those bytes — raw mode stores it directly so later hits skip the
+    /// parse. Returns the compression time charged (0 for raw mode), so the
+    /// caller can fold it into its own metrics deterministically.
+    pub fn admit(
+        &self,
+        tile_id: TileId,
+        serialized: &[u8],
+        decoded: &Arc<Tile>,
+        stamp: u64,
+    ) -> f64 {
+        let (data, charged_bytes, compress_seconds) = match self.codec {
+            Codec::Raw => (
+                Stored::Raw(Arc::clone(decoded)),
+                serialized.len() as u64,
+                0.0,
+            ),
+            codec => {
+                let blob = codec.compress(serialized);
+                // Compression throughput is of the same order as decompression
+                // for the codecs we model; reuse the decompression figure.
+                let seconds = serialized.len() as f64 / codec.decompress_throughput();
+                let charged = blob.len() as u64;
+                (
+                    Stored::Compressed(Arc::from(blob.into_boxed_slice())),
+                    charged,
+                    seconds,
+                )
+            }
+        };
         let mut inner = self.inner.lock();
-        if self.codec != Codec::Raw {
-            // Compression throughput is of the same order as decompression for the
-            // codecs we model; reuse the decompression figure.
-            inner.compress_seconds +=
-                serialized_tile.len() as f64 / self.codec.decompress_throughput();
-        }
-        let size = blob.len() as u64;
-        if size > self.capacity {
-            return;
+        inner.clock = inner.clock.max(stamp);
+        inner.compress_seconds += compress_seconds;
+        if charged_bytes > self.capacity {
+            return compress_seconds;
         }
         if let Some(old) = inner.entries.remove(&tile_id) {
-            inner.used_bytes -= old.blob.len() as u64;
+            inner.used_bytes -= old.charged_bytes;
         }
-        while inner.used_bytes + size > self.capacity {
+        while inner.used_bytes + charged_bytes > self.capacity {
             let Some((&victim, _)) = inner.entries.iter().min_by_key(|(_, e)| e.last_used) else {
                 break;
             };
             let evicted = inner.entries.remove(&victim).expect("victim exists");
-            inner.used_bytes -= evicted.blob.len() as u64;
+            inner.used_bytes -= evicted.charged_bytes;
             inner.evictions += 1;
         }
-        inner.clock += 1;
-        let clock = inner.clock;
-        inner.used_bytes += size;
+        inner.used_bytes += charged_bytes;
         inner.entries.insert(
             tile_id,
             Entry {
-                blob,
-                last_used: clock,
+                data,
+                charged_bytes,
+                last_used: stamp,
             },
         );
+        compress_seconds
+    }
+
+    /// Reserve a unique access-order stamp: the clock is incremented under
+    /// the lock, so concurrent callers can never mint the same stamp (a
+    /// duplicate would make LRU ties break by hash-map iteration order).
+    fn reserve_stamp(&self) -> u64 {
+        let mut inner = self.inner.lock();
+        inner.clock += 1;
+        inner.clock
+    }
+
+    /// Look up a tile using the internal access-order clock. Returns the
+    /// decoded tile on a hit, `None` on a miss.
+    pub fn get(&self, tile_id: TileId) -> Option<Arc<Tile>> {
+        let stamp = self.reserve_stamp();
+        self.lookup(tile_id, stamp).map(|fetch| fetch.tile)
+    }
+
+    /// Insert a tile (serialized form) after a miss, using the internal
+    /// access-order clock. Bytes that do not parse as a tile are not cached.
+    pub fn insert(&self, tile_id: TileId, serialized_tile: &[u8]) {
+        let Ok(tile) = Tile::from_bytes(serialized_tile) else {
+            return;
+        };
+        let stamp = self.reserve_stamp();
+        self.admit(tile_id, serialized_tile, &Arc::new(tile), stamp);
     }
 
     /// Whether a tile is currently resident (does not affect recency or stats).
@@ -288,7 +406,7 @@ mod tests {
         assert!(cache.get(3).is_none());
         cache.insert(3, &t.to_bytes());
         let got = cache.get(3).expect("tile should be cached");
-        assert_eq!(got, t);
+        assert_eq!(*got, t);
         let stats = cache.stats();
         assert_eq!(stats.hits, 1);
         assert_eq!(stats.misses, 1);
@@ -303,7 +421,7 @@ mod tests {
             let cache = EdgeCache::new(cfg, 0);
             let t = tile(1, 50);
             cache.insert(1, &t.to_bytes());
-            assert_eq!(cache.get(1).unwrap(), t);
+            assert_eq!(*cache.get(1).unwrap(), t);
             let stats = cache.stats();
             assert!(stats.decompress_seconds > 0.0, "mode {mode}");
             assert!(stats.compress_seconds > 0.0, "mode {mode}");
@@ -378,6 +496,57 @@ mod tests {
         cache.clear();
         assert_eq!(cache.stats().resident_tiles, 0);
         assert_eq!(cache.stats().used_bytes, 0);
+    }
+
+    #[test]
+    fn raw_mode_hits_share_one_decoded_tile() {
+        let cache = EdgeCache::new(
+            EdgeCacheConfig {
+                capacity_bytes: 1 << 20,
+                mode: CacheMode::Fixed(Codec::Raw),
+            },
+            0,
+        );
+        let t = tile(4, 8);
+        cache.insert(4, &t.to_bytes());
+        let a = cache.get(4).unwrap();
+        let b = cache.get(4).unwrap();
+        // A raw hit is a refcount bump on the same decoded tile, not a copy.
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.stats().decompress_seconds, 0.0);
+    }
+
+    #[test]
+    fn explicit_stamps_drive_lru_deterministically() {
+        let t0 = tile(0, 20);
+        let blob = t0.to_bytes();
+        let cache = EdgeCache::new(
+            EdgeCacheConfig {
+                capacity_bytes: blob.len() as u64 * 2 + 10,
+                mode: CacheMode::Fixed(Codec::Raw),
+            },
+            0,
+        );
+        // Admit tiles 0 and 1, then bump tile 0's recency via a stamped
+        // lookup; tile 1 must be the victim when tile 2 arrives, regardless
+        // of the order the operations' locks were acquired in.
+        cache.admit(0, &tile(0, 20).to_bytes(), &Arc::new(tile(0, 20)), 1);
+        cache.admit(1, &tile(1, 20).to_bytes(), &Arc::new(tile(1, 20)), 2);
+        assert!(cache.lookup(0, 3).is_some());
+        cache.admit(2, &tile(2, 20).to_bytes(), &Arc::new(tile(2, 20)), 4);
+        assert!(cache.contains(0));
+        assert!(!cache.contains(1));
+        assert!(cache.contains(2));
+        // Stale stamps never roll recency backwards.
+        assert!(cache.lookup(0, 1).is_some());
+        assert_eq!(cache.clock(), 4);
+    }
+
+    #[test]
+    fn unparseable_bytes_are_not_cached() {
+        let cache = EdgeCache::new(EdgeCacheConfig::auto(1 << 20), 0);
+        cache.insert(9, b"definitely not a tile");
+        assert!(!cache.contains(9));
     }
 
     #[test]

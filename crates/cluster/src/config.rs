@@ -82,6 +82,18 @@ impl ClusterConfig {
         }
     }
 
+    /// The same cluster with a different per-server worker count (the paper's
+    /// `T`). This feeds both the cost model (edge-processing rate scales with
+    /// workers) and the *default* tile-phase thread count when
+    /// `GraphHConfig::threads_per_server` is unset; to vary real threads
+    /// without touching the simulated cost, use
+    /// `GraphHConfig::with_threads_per_server` instead (the bench axis does).
+    pub fn with_workers(mut self, workers: u32) -> Self {
+        assert!(workers > 0, "each server needs at least one worker thread");
+        self.machine.workers = workers;
+        self
+    }
+
     /// Total workers across the cluster (the paper's `T × N`).
     pub fn total_workers(&self) -> u32 {
         self.num_servers * self.machine.workers
@@ -138,6 +150,19 @@ mod tests {
             let eta = c.combining_ratio(d);
             assert!(eta > 0.0 && eta <= 1.0);
         }
+    }
+
+    #[test]
+    fn with_workers_overrides_machine_workers() {
+        let c = ClusterConfig::paper_testbed(3).with_workers(4);
+        assert_eq!(c.machine.workers, 4);
+        assert_eq!(c.total_workers(), 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_rejected() {
+        let _ = ClusterConfig::paper_testbed(1).with_workers(0);
     }
 
     #[test]

@@ -159,8 +159,17 @@ impl BroadcastMessage {
         if range_end < range_start {
             return Err("inverted range".into());
         }
+        if count as u64 > u64::from(range_end - range_start) {
+            return Err(format!(
+                "update count {count} exceeds range length {}",
+                range_end - range_start
+            ));
+        }
         let body = &data[13..];
-        let mut updates = Vec::with_capacity(count);
+        // Allocate only after the arm-specific length checks: `count` and the
+        // range are wire-controlled, so reserving up front would let a
+        // 13-byte corrupt header demand gigabytes.
+        let mut updates = Vec::new();
         match tag {
             0 => {
                 let n = (range_end - range_start) as usize;
@@ -168,6 +177,7 @@ impl BroadcastMessage {
                 if body.len() != bitmap_len + n * 8 {
                     return Err("dense body length mismatch".into());
                 }
+                updates.reserve_exact(count);
                 let (bitmap, values) = body.split_at(bitmap_len);
                 for i in 0..n {
                     if bitmap[i / 8] & (1 << (i % 8)) != 0 {
@@ -183,9 +193,27 @@ impl BroadcastMessage {
                 if body.len() != count * 12 {
                     return Err("sparse body length mismatch".into());
                 }
+                updates.reserve_exact(count);
+                // Corrupt or malicious wire bytes must never reach
+                // `apply_updates` (which indexes the replica array by vertex
+                // id): ids must lie inside the advertised range and be
+                // strictly increasing, exactly as `BroadcastMessage::new`
+                // guarantees on the sender side.
                 for chunk in body.chunks_exact(12) {
                     let v = u32::from_le_bytes(chunk[..4].try_into().unwrap());
                     let val = f64::from_le_bytes(chunk[4..].try_into().unwrap());
+                    if v < range_start || v >= range_end {
+                        return Err(format!(
+                            "sparse vertex id {v} outside range [{range_start}, {range_end})"
+                        ));
+                    }
+                    if let Some(&(prev, _)) = updates.last() {
+                        if v <= prev {
+                            return Err(format!(
+                                "sparse vertex ids not strictly increasing ({prev} then {v})"
+                            ));
+                        }
+                    }
                     updates.push((v, val));
                 }
             }
@@ -365,6 +393,47 @@ mod tests {
         let mut bytes = m.encode(BroadcastEncoding::Sparse);
         bytes.truncate(bytes.len() - 1);
         assert!(BroadcastMessage::decode(&bytes).is_err());
+    }
+
+    /// Hand-craft a sparse wire message with arbitrary ids (bypassing the
+    /// checks in `BroadcastMessage::new`).
+    fn raw_sparse(range: (u32, u32), ids: &[u32]) -> Vec<u8> {
+        let mut out = vec![1u8];
+        out.extend_from_slice(&range.0.to_le_bytes());
+        out.extend_from_slice(&range.1.to_le_bytes());
+        out.extend_from_slice(&(ids.len() as u32).to_le_bytes());
+        for &v in ids {
+            out.extend_from_slice(&v.to_le_bytes());
+            out.extend_from_slice(&1.0f64.to_le_bytes());
+        }
+        out
+    }
+
+    #[test]
+    fn decode_rejects_out_of_range_sparse_ids() {
+        // An id past range_end would index out of bounds in apply_updates.
+        let err = BroadcastMessage::decode(&raw_sparse((10, 20), &[11, 25])).unwrap_err();
+        assert!(err.contains("outside range"), "{err}");
+        // An id below range_start is equally corrupt.
+        assert!(BroadcastMessage::decode(&raw_sparse((10, 20), &[3])).is_err());
+        // Boundary ids are fine: start inclusive, end exclusive.
+        let ok = BroadcastMessage::decode(&raw_sparse((10, 20), &[10, 19])).unwrap();
+        assert_eq!(ok.updates.len(), 2);
+        assert!(BroadcastMessage::decode(&raw_sparse((10, 20), &[20])).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_unsorted_or_duplicate_sparse_ids() {
+        let err = BroadcastMessage::decode(&raw_sparse((0, 100), &[5, 3])).unwrap_err();
+        assert!(err.contains("strictly increasing"), "{err}");
+        assert!(BroadcastMessage::decode(&raw_sparse((0, 100), &[7, 7])).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_count_exceeding_range() {
+        // 4 claimed updates cannot fit a 2-vertex range, whatever the body says.
+        let err = BroadcastMessage::decode(&raw_sparse((0, 2), &[0, 1, 0, 1])).unwrap_err();
+        assert!(err.contains("exceeds range"), "{err}");
     }
 
     #[test]

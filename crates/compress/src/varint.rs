@@ -30,6 +30,12 @@ pub fn read_varint(data: &[u8], pos: &mut usize) -> Result<u32, String> {
         if shift >= 35 {
             return Err("varint too long".to_string());
         }
+        // The 5th byte (shift 28) can only contribute u32's top 4 bits; any
+        // higher payload bit would be shifted out silently, making distinct
+        // non-canonical encodings decode to the same value.
+        if shift == 28 && byte & 0x70 != 0 {
+            return Err("varint overflows u32".to_string());
+        }
         value |= u32::from(byte & 0x7F) << shift;
         if byte & 0x80 == 0 {
             return Ok(value);
@@ -62,6 +68,11 @@ pub fn read_varint64(data: &[u8], pos: &mut usize) -> Result<u64, String> {
         *pos += 1;
         if shift >= 70 {
             return Err("varint too long".to_string());
+        }
+        // The 10th byte (shift 63) can only contribute u64's top bit; reject
+        // overflowing payload bits instead of dropping them.
+        if shift == 63 && byte & 0x7E != 0 {
+            return Err("varint overflows u64".to_string());
         }
         value |= u64::from(byte & 0x7F) << shift;
         if byte & 0x80 == 0 {
@@ -152,6 +163,56 @@ mod tests {
             assert_eq!(read_varint(&buf, &mut pos).unwrap(), v);
             assert_eq!(pos, buf.len());
         }
+    }
+
+    #[test]
+    fn varint_rejects_overflowing_final_byte_u32() {
+        // Canonical u32::MAX: 5 bytes, final byte 0x0F.
+        let mut buf = Vec::new();
+        write_varint(u32::MAX, &mut buf);
+        assert_eq!(buf, [0xFF, 0xFF, 0xFF, 0xFF, 0x0F]);
+        // Any payload bit above the top 4 in the 5th byte must error instead
+        // of silently decoding to the same value as a canonical encoding.
+        for last in [0x10u8, 0x1F, 0x70, 0x7F] {
+            let bad = [0xFF, 0xFF, 0xFF, 0xFF, last];
+            let mut pos = 0;
+            assert!(
+                read_varint(&bad, &mut pos).is_err(),
+                "final byte {last:#x} should overflow"
+            );
+        }
+        // The largest valid final byte still round-trips.
+        let mut pos = 0;
+        assert_eq!(
+            read_varint(&[0x80, 0x80, 0x80, 0x80, 0x0F], &mut pos).unwrap(),
+            0x0F << 28
+        );
+    }
+
+    #[test]
+    fn varint_rejects_overflowing_final_byte_u64() {
+        // Canonical u64::MAX: 10 bytes, final byte 0x01.
+        let mut buf = Vec::new();
+        write_varint64(u64::MAX, &mut buf);
+        assert_eq!(buf.len(), 10);
+        assert_eq!(*buf.last().unwrap(), 0x01);
+        let mut pos = 0;
+        assert_eq!(read_varint64(&buf, &mut pos).unwrap(), u64::MAX);
+        // 10th byte may only carry the top bit.
+        for last in [0x02u8, 0x03, 0x7E, 0x7F] {
+            let mut bad = vec![0x80u8; 9];
+            bad.push(last);
+            let mut pos = 0;
+            assert!(
+                read_varint64(&bad, &mut pos).is_err(),
+                "final byte {last:#x} should overflow"
+            );
+        }
+        // 1 << 63 (only the top bit set) is the boundary case that must pass.
+        let mut top = vec![0x80u8; 9];
+        top.push(0x01);
+        let mut pos = 0;
+        assert_eq!(read_varint64(&top, &mut pos).unwrap(), 1u64 << 63);
     }
 
     #[test]

@@ -36,6 +36,11 @@ pub struct GraphHConfig {
     pub use_bloom_filter: bool,
     /// Cap on supersteps, overriding the program's own limit when smaller.
     pub max_supersteps: Option<u32>,
+    /// Compute threads per server for the tile phase (the paper's `T` worker
+    /// threads inside every server). `None` = the machine's worker count
+    /// (`cluster.machine.workers`; 12 on the paper testbed). Results are
+    /// bit-identical for every thread count — only wall-clock changes.
+    pub threads_per_server: Option<u32>,
 }
 
 impl GraphHConfig {
@@ -50,6 +55,7 @@ impl GraphHConfig {
             cache_capacity: None,
             use_bloom_filter: true,
             max_supersteps: None,
+            threads_per_server: None,
         }
     }
 
@@ -57,6 +63,13 @@ impl GraphHConfig {
     /// Figure 7 baseline and ablations.
     pub fn without_cache(mut self) -> Self {
         self.cache_capacity = Some(0);
+        self
+    }
+
+    /// Pin the tile phase to `threads` compute threads per server (the
+    /// paper's `T`); values below 1 are clamped to 1 (sequential).
+    pub fn with_threads_per_server(mut self, threads: u32) -> Self {
+        self.threads_per_server = Some(threads.max(1));
         self
     }
 }

@@ -33,6 +33,16 @@ use graphh_partition::{PartitionedGraph, Tile, TileAssignment};
 use std::collections::HashMap;
 use std::sync::Arc;
 
+/// Frontier density (fraction of all vertices) at or above which the per-tile
+/// Bloom probe is skipped.
+///
+/// Probing costs O(frontier) per tile. When the frontier is dense — PageRank
+/// updates essentially every vertex every superstep — no tile can realistically
+/// be skipped, so the probe is pure O(tiles × frontier) overhead; below the
+/// threshold (frontier algorithms like SSSP/BFS) probing pays for itself many
+/// times over and `tiles_skipped` semantics are unchanged.
+pub const BLOOM_DENSE_FRONTIER_FRACTION: f64 = 0.25;
+
 /// An execution strategy for the GraphH engine.
 ///
 /// Implementations must be observationally equivalent: given the same config,
@@ -70,6 +80,10 @@ pub struct ExecutionPlan {
     pub message_codec: MessageCodec,
     /// Metered-work → simulated-seconds conversion.
     pub cost_model: CostModel,
+    /// Compute threads per server for the tile phase (the paper's `T`),
+    /// resolved from the config (explicit knob, else the machine's worker
+    /// count).
+    pub threads_per_server: u32,
 }
 
 impl ExecutionPlan {
@@ -115,6 +129,10 @@ impl ExecutionPlan {
             max_supersteps,
             message_codec: MessageCodec::new(config.communication, config.message_compressor),
             cost_model: CostModel::new(config.cluster),
+            threads_per_server: config
+                .threads_per_server
+                .unwrap_or(config.cluster.machine.workers)
+                .max(1),
         })
     }
 
@@ -148,6 +166,21 @@ pub struct TilePhaseOutput {
     pub metrics: ServerMetrics,
     /// One message per processed tile that produced updates, in tile order.
     pub messages: Vec<BroadcastMessage>,
+}
+
+/// What one tile-phase worker produces for one tile. Outcomes are reduced in
+/// tile order, which is what keeps the parallel phase bit-identical to the
+/// sequential reference.
+struct TileOutcome {
+    /// This tile's share of the superstep metrics.
+    metrics: ServerMetrics,
+    /// The broadcast message, if the tile produced updates.
+    message: Option<BroadcastMessage>,
+    /// The decoded tile, when it missed the cache and should be admitted by
+    /// the post-join pass.
+    admit: Option<Arc<Tile>>,
+    /// Decoded in-memory size, for transient-memory accounting (0 if skipped).
+    tile_memory_bytes: u64,
 }
 
 impl ServerState {
@@ -218,6 +251,21 @@ impl ServerState {
     /// The compute phase of one superstep on this server: walk the assigned
     /// tiles (Bloom-skipping inactive ones), gather/apply against the local
     /// replica, and emit one broadcast message per tile with updates.
+    ///
+    /// Tiles are processed by `plan.threads_per_server` worker threads (the
+    /// paper's `T` intra-server compute threads) via
+    /// [`graphh_pool::fork_join_ordered`]. Determinism for any thread count is
+    /// by construction:
+    ///
+    /// * each tile reads the *previous* superstep's replica (never this
+    ///   phase's output), so tiles are data-independent,
+    /// * every tile produces its own [`ServerMetrics`] / update buffer, and
+    ///   the per-tile outputs are reduced **in tile order** after the join —
+    ///   including the floating-point codec-time sums,
+    /// * cache recency is stamped by tile position (not lock-acquisition
+    ///   order) and admissions of missed tiles are deferred to a post-join
+    ///   pass in tile order, so the LRU state — and therefore every later
+    ///   superstep's hit/miss/eviction sequence — is schedule-independent.
     pub fn run_tile_phase(
         &mut self,
         program: &dyn GabProgram,
@@ -226,9 +274,15 @@ impl ServerState {
         previously_updated: &[VertexId],
         use_bloom: bool,
     ) -> Result<TilePhaseOutput> {
-        let mut metrics = ServerMetrics::default();
-        let mut messages = Vec::new();
-        self.cache.reset_stats();
+        let threads = plan.threads_per_server as usize;
+        let run_everything = superstep == 0 && program.run_all_vertices_initially();
+        // Skip the O(frontier)-per-tile Bloom probe outright when the frontier
+        // is dense: nothing would be skipped, and the probe itself becomes the
+        // hot loop. The rule depends only on the frontier, so it is identical
+        // across executors and thread counts.
+        let frontier_is_dense = previously_updated.len() as f64
+            >= plan.num_vertices as f64 * BLOOM_DENSE_FRONTIER_FRACTION;
+        let probe_bloom = use_bloom && !run_everything && !frontier_is_dense;
 
         let vertex_ctx = VertexContext {
             values: &self.values,
@@ -237,38 +291,57 @@ impl ServerState {
             num_vertices: plan.num_vertices,
             superstep,
         };
-        let run_everything = superstep == 0 && program.run_all_vertices_initially();
+        let tiles = &self.tiles;
+        let cache = &self.cache;
+        let disk = &self.disk;
+        let blooms = &self.blooms;
+        // Deterministic recency stamps: tile i of this phase gets stamp
+        // `base + 1 + i`, regardless of which thread touches the cache first.
+        let stamp_base = cache.clock();
 
-        for &tile_id in &self.tiles {
-            // Bloom-filter tile skipping: a tile with no updated source vertex
-            // cannot change any target value.
-            if use_bloom && !run_everything {
-                let bloom = &self.blooms[&tile_id];
-                if !bloom.may_contain_any(previously_updated.iter()) {
+        let outcomes: Vec<Result<TileOutcome>> =
+            graphh_pool::fork_join_ordered(threads, tiles.len(), |i| {
+                let tile_id = tiles[i];
+                let stamp = stamp_base + 1 + i as u64;
+                let mut metrics = ServerMetrics::default();
+
+                // Bloom-filter tile skipping: a tile with no updated source
+                // vertex cannot change any target value.
+                if probe_bloom && !blooms[&tile_id].may_contain_any(previously_updated.iter()) {
                     metrics.tiles_skipped += 1;
-                    continue;
+                    return Ok(TileOutcome {
+                        metrics,
+                        message: None,
+                        admit: None,
+                        tile_memory_bytes: 0,
+                    });
                 }
-            }
 
-            // Fetch the tile: edge cache first, local disk on a miss.
-            let tile = match self.cache.get(tile_id) {
-                Some(tile) => tile,
-                None => {
-                    let blob = self
-                        .disk
-                        .get(&tile_id)
-                        .expect("assigned tile must be on local disk");
-                    metrics.disk_read_bytes += blob.len() as u64;
-                    metrics.disk_read_ops += 1;
-                    let tile = Tile::from_bytes(blob)?;
-                    self.cache.insert(tile_id, blob);
-                    tile
-                }
-            };
+                // Fetch the tile: edge cache first, local disk on a miss.
+                let mut admit = None;
+                let tile: Arc<Tile> = match cache.lookup(tile_id, stamp) {
+                    Some(fetch) => {
+                        metrics.cache_hits += 1;
+                        metrics.decompress_seconds += fetch.decompress_seconds;
+                        fetch.tile
+                    }
+                    None => {
+                        metrics.cache_misses += 1;
+                        let blob = disk
+                            .get(&tile_id)
+                            .expect("assigned tile must be on local disk");
+                        metrics.disk_read_bytes += blob.len() as u64;
+                        metrics.disk_read_ops += 1;
+                        let tile = Arc::new(Tile::from_bytes(blob)?);
+                        // Admission is deferred to the post-join pass so
+                        // evictions happen in tile order on one thread.
+                        admit = Some(Arc::clone(&tile));
+                        tile
+                    }
+                };
 
-            // Process the tile against the local replica array.
-            let mut tile_updates: Vec<(VertexId, f64)> = Vec::new();
-            self.memory.with_transient(tile.memory_bytes(), |_| {
+                // Process the tile against the local replica array.
+                let mut tile_updates: Vec<(VertexId, f64)> = Vec::new();
                 for target in tile.targets() {
                     let in_degree = tile.in_degree(target);
                     if in_degree == 0 && !run_everything {
@@ -283,27 +356,55 @@ impl ServerState {
                         tile_updates.push((target, new));
                     }
                 }
-            });
-            metrics.tiles_processed += 1;
-            metrics.messages_produced += tile_updates.len() as u64;
+                metrics.tiles_processed += 1;
+                metrics.messages_produced += tile_updates.len() as u64;
 
-            if !tile_updates.is_empty() {
-                messages.push(BroadcastMessage::new(
-                    tile.target_start,
-                    tile.target_end,
-                    tile_updates,
-                ));
+                let message = (!tile_updates.is_empty()).then(|| {
+                    BroadcastMessage::new(tile.target_start, tile.target_end, tile_updates)
+                });
+                Ok(TileOutcome {
+                    metrics,
+                    message,
+                    admit,
+                    tile_memory_bytes: tile.memory_bytes(),
+                })
+            });
+
+        // Deterministic reduction, in tile order: fold metrics (fixing the
+        // floating-point summation order), collect messages, and admit the
+        // tiles that missed — evictions therefore replay identically for any
+        // thread count.
+        let mut metrics = ServerMetrics::default();
+        let mut messages = Vec::new();
+        let mut transient = Vec::with_capacity(tiles.len());
+        for (i, outcome) in outcomes.into_iter().enumerate() {
+            let outcome = outcome?;
+            metrics.merge(&outcome.metrics);
+            if let Some(tile) = outcome.admit {
+                let tile_id = self.tiles[i];
+                let blob = self
+                    .disk
+                    .get(&tile_id)
+                    .expect("assigned tile must be on local disk");
+                metrics.compress_seconds +=
+                    self.cache
+                        .admit(tile_id, blob, &tile, stamp_base + 1 + i as u64);
             }
+            if let Some(message) = outcome.message {
+                messages.push(message);
+            }
+            transient.push(outcome.tile_memory_bytes);
         }
 
-        // Fold cache behaviour into the superstep metrics.
-        let cache_stats = self.cache.stats();
-        metrics.cache_hits += cache_stats.hits;
-        metrics.cache_misses += cache_stats.misses;
-        metrics.decompress_seconds += cache_stats.decompress_seconds;
-        metrics.compress_seconds += cache_stats.compress_seconds;
+        // Transient tile memory: up to `threads` tiles are decoded
+        // concurrently, so charge the sum of the `threads` largest (with one
+        // thread this is exactly the sequential per-tile maximum).
+        transient.sort_unstable_by(|a, b| b.cmp(a));
+        let concurrent_tile_bytes: u64 = transient.iter().take(threads.max(1)).sum();
+        self.memory.with_transient(concurrent_tile_bytes, |_| ());
+
         self.memory
-            .set_component("edge-cache", cache_stats.used_bytes);
+            .set_component("edge-cache", self.cache.stats().used_bytes);
         metrics.peak_memory_bytes = self.memory.peak();
 
         Ok(TilePhaseOutput { metrics, messages })
@@ -359,6 +460,31 @@ mod tests {
         let p = Spe::partition(&g, &SpeConfig::new("x", 1)).unwrap();
         let cfg = GraphHConfig::paper_default(ClusterConfig::paper_testbed(1));
         assert!(ExecutionPlan::prepare(&cfg, &p, &PageRank::new(1)).is_err());
+    }
+
+    #[test]
+    fn plan_resolves_tile_threads_from_knob_then_machine_workers() {
+        let g = RmatGenerator::new(6, 4).generate(1);
+        let p = Spe::partition(&g, &SpeConfig::with_tile_count("t", &g, 4)).unwrap();
+        // Default: the machine's worker count (the paper's T).
+        let cfg = GraphHConfig::paper_default(ClusterConfig::paper_testbed(1).with_workers(3));
+        let plan = ExecutionPlan::prepare(&cfg, &p, &PageRank::new(1)).unwrap();
+        assert_eq!(plan.threads_per_server, 3);
+        // Explicit knob wins over the machine spec; 0 clamps to 1.
+        let pinned = cfg.clone().with_threads_per_server(2);
+        assert_eq!(
+            ExecutionPlan::prepare(&pinned, &p, &PageRank::new(1))
+                .unwrap()
+                .threads_per_server,
+            2
+        );
+        let clamped = cfg.with_threads_per_server(0);
+        assert_eq!(
+            ExecutionPlan::prepare(&clamped, &p, &PageRank::new(1))
+                .unwrap()
+                .threads_per_server,
+            1
+        );
     }
 
     #[test]

@@ -1,0 +1,180 @@
+//! # graphh-pool
+//!
+//! A small, self-owned work-chunking thread pool: scoped fork-join over index
+//! ranges on plain `std::thread`s.
+//!
+//! GraphH (SunWDX17) runs `T` compute threads *inside* every server for
+//! tile-level parallel gather. The workspace's vendored `rayon` stand-in is
+//! sequential, so this crate supplies the real data-parallel substrate the
+//! engine's tile phase needs — without pulling in any external dependency.
+//!
+//! ## Design
+//!
+//! [`fork_join_ordered`] maps a function over `0..num_items` on up to
+//! `threads` scoped worker threads and returns the results **in index order**:
+//!
+//! * work is *chunked* dynamically: workers claim contiguous index chunks from
+//!   a shared atomic cursor, so an unlucky thread stuck on one expensive item
+//!   does not serialize the rest (tiles have very uneven edge counts),
+//! * every item's result is tagged with its index and the tagged results are
+//!   sorted after the join, so the output order — and therefore any reduction
+//!   the caller performs over it — is independent of thread count and
+//!   scheduling. This is what lets the engine keep `threads_per_server`-way
+//!   parallel tile phases bit-identical to the sequential reference,
+//! * a panic on any worker is re-raised on the calling thread after all
+//!   workers have been joined (no thread outlives the scope), matching what a
+//!   plain sequential loop would do,
+//! * `threads <= 1` (or fewer than two items) runs inline on the calling
+//!   thread with no spawn at all, so the sequential path has zero overhead.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Chunk of indices a worker claims per cursor fetch: small enough to balance
+/// uneven per-item work, large enough to amortise the atomic traffic.
+fn chunk_size(num_items: usize, workers: usize) -> usize {
+    (num_items / (workers * 4)).max(1)
+}
+
+/// Upper bound on workers per fork-join: the host's available parallelism
+/// (floored at 2 so the concurrent path still runs — and stays tested — on
+/// single-core hosts). Spawning more threads than cores cannot speed a
+/// CPU-bound tile phase up; it only multiplies spawn/join overhead when a
+/// large `threads_per_server` meets a small machine.
+fn worker_cap() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(2)
+        .max(2)
+}
+
+/// Map `f` over `0..num_items` using up to `threads` worker threads and return
+/// the results in index order.
+///
+/// `f` runs exactly once per index. With `threads <= 1` or fewer than two
+/// items the calling thread does all the work inline; otherwise up to
+/// `min(threads, num_items, available_parallelism)` scoped threads are
+/// spawned for the duration of the call (spawn-per-call keeps the pool free
+/// of `'static` job erasure; a persistent pool is future work — see
+/// ROADMAP). The result is independent of the worker count by construction.
+/// A panic inside `f` is propagated to the caller after every worker has
+/// been joined.
+pub fn fork_join_ordered<T, F>(threads: usize, num_items: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if threads <= 1 || num_items <= 1 {
+        return (0..num_items).map(f).collect();
+    }
+    let workers = threads.min(num_items).min(worker_cap());
+    let chunk = chunk_size(num_items, workers);
+    let cursor = AtomicUsize::new(0);
+    let f = &f;
+    let cursor = &cursor;
+
+    let mut tagged: Vec<(usize, T)> = Vec::with_capacity(num_items);
+    let parts: Vec<Vec<(usize, T)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut local = Vec::new();
+                    loop {
+                        let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                        if start >= num_items {
+                            break;
+                        }
+                        let end = (start + chunk).min(num_items);
+                        for i in start..end {
+                            local.push((i, f(i)));
+                        }
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(part) => part,
+                // Re-raise the worker's panic on the caller; remaining workers
+                // are joined by the scope before this propagates.
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
+    });
+    for part in parts {
+        tagged.extend(part);
+    }
+    tagged.sort_unstable_by_key(|&(i, _)| i);
+    tagged.into_iter().map(|(_, v)| v).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn results_come_back_in_index_order() {
+        for threads in [1usize, 2, 3, 8, 64] {
+            for n in [0usize, 1, 2, 7, 100, 1000] {
+                let out = fork_join_ordered(threads, n, |i| i * i);
+                assert_eq!(out, (0..n).map(|i| i * i).collect::<Vec<_>>());
+            }
+        }
+    }
+
+    #[test]
+    fn every_index_runs_exactly_once() {
+        let calls = AtomicU64::new(0);
+        let out = fork_join_ordered(8, 500, |i| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), 500);
+        assert_eq!(out.len(), 500);
+    }
+
+    #[test]
+    fn uneven_work_is_balanced_not_lost() {
+        // Item 0 is ~1000x more expensive; dynamic chunking must still finish
+        // every item and keep the order.
+        let out = fork_join_ordered(4, 64, |i| {
+            if i == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(10));
+            }
+            i + 1
+        });
+        assert_eq!(out, (1..=64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_thread_runs_inline() {
+        // A non-Sync side effect per call would not compile for the spawned
+        // path; instead assert the calling thread does the work.
+        let caller = std::thread::current().id();
+        let out = fork_join_ordered(1, 10, |i| {
+            assert_eq!(std::thread::current().id(), caller);
+            i
+        });
+        assert_eq!(out.len(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "item 3 exploded")]
+    fn worker_panic_propagates_to_caller() {
+        let _ = fork_join_ordered(4, 16, |i| {
+            if i == 3 {
+                panic!("item 3 exploded");
+            }
+            i
+        });
+    }
+
+    #[test]
+    fn chunk_size_is_sane() {
+        assert_eq!(chunk_size(0, 4), 1);
+        assert_eq!(chunk_size(3, 4), 1);
+        assert_eq!(chunk_size(1000, 4), 62);
+    }
+}

@@ -10,7 +10,10 @@
 //!
 //! * [`ThreadedExecutor`] — one OS thread per simulated server, each owning
 //!   its tile set, vertex-replica array and edge cache (implements
-//!   [`graphh_core::Executor`], so `GraphHEngine::with_executor` plugs it in),
+//!   [`graphh_core::Executor`], so `GraphHEngine::with_executor` plugs it in);
+//!   inside each server the tile phase additionally fans out to
+//!   `threads_per_server` compute threads (the paper's `T`, via
+//!   `graphh-pool`), so the executor runs `p × T` workers at peak,
 //! * [`BroadcastPlane`] / [`ChannelPlane`] — the all-to-all message fabric the
 //!   workers broadcast wire-encoded updates over; every message really travels
 //!   encoded (+ compressed) through [`graphh_cluster::MessageCodec`], so

@@ -18,7 +18,9 @@ use std::sync::mpsc::channel;
 use std::thread;
 use std::time::Instant;
 
-/// Runs every simulated server on its own OS thread.
+/// Runs every simulated server on its own OS thread — `p` server threads,
+/// each of which fans its tile phase out to `threads_per_server` compute
+/// threads (the paper's `T`), i.e. `p × T` workers at peak.
 ///
 /// Observationally equivalent to
 /// [`graphh_core::SequentialExecutor`]: `values` are bit-identical; wall-clock

@@ -138,6 +138,19 @@ pub fn run_worker(
                         error: EngineError::BadInput(format!("corrupt broadcast: {e}")),
                         secondary: false,
                     })?;
+                // `decode` bounds every vertex id by the message's *own*
+                // advertised range; that range is itself wire bytes, so bound
+                // it by the graph before the ids can index the replica array
+                // in `apply_updates`.
+                if u64::from(decoded.range_end) > plan.num_vertices {
+                    return Err(WorkerError {
+                        error: EngineError::BadInput(format!(
+                            "corrupt broadcast: range end {} exceeds vertex count {}",
+                            decoded.range_end, plan.num_vertices
+                        )),
+                        secondary: false,
+                    });
+                }
                 all_updates.extend(decoded.updates);
             }
 
@@ -195,5 +208,80 @@ pub fn run_worker(
             barrier.poison();
             std::panic::resume_unwind(payload);
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plane::WireMessage;
+    use graphh_cluster::{BroadcastEncoding, BroadcastMessage, ClusterConfig, CommunicationMode};
+    use graphh_core::PageRank;
+    use graphh_graph::generators::path_graph;
+    use graphh_partition::{Spe, SpeConfig};
+    use std::sync::mpsc::channel;
+
+    /// A plane that hands the worker one attacker-controlled wire message.
+    struct InjectingPlane {
+        payload: Option<WireMessage>,
+    }
+
+    impl BroadcastPlane for InjectingPlane {
+        fn num_servers(&self) -> u32 {
+            2
+        }
+        fn server_id(&self) -> ServerId {
+            0
+        }
+        fn broadcast(&mut self, _superstep: u32, _wire: &[u8]) -> Result<(), PlaneError> {
+            Ok(())
+        }
+        fn end_superstep(&mut self, _superstep: u32) -> Result<(), PlaneError> {
+            Ok(())
+        }
+        fn collect(&mut self, _superstep: u32) -> Result<Vec<WireMessage>, PlaneError> {
+            Ok(self.payload.take().into_iter().collect())
+        }
+        fn abort(&mut self) {}
+    }
+
+    /// A sparse message can be internally consistent (ids inside its own
+    /// advertised range, strictly increasing) while the range itself lies far
+    /// past the graph — `decode` cannot know the vertex count, so the worker
+    /// must bound the range before `apply_updates` indexes the replica.
+    #[test]
+    fn oversized_broadcast_range_is_an_error_not_a_panic() {
+        let g = path_graph(10);
+        let p = Spe::partition(&g, &SpeConfig::with_tile_count("t", &g, 2)).unwrap();
+        let mut config = GraphHConfig::paper_default(ClusterConfig::paper_testbed(1));
+        config.communication = CommunicationMode::Sparse;
+        config.message_compressor = None;
+        let program = PageRank::new(3);
+        let plan = ExecutionPlan::prepare(&config, &p, &program).unwrap();
+
+        let evil = BroadcastMessage {
+            range_start: 0,
+            range_end: 1 << 30,
+            updates: vec![(123_456_789, 1.0)],
+        };
+        let mut plane = InjectingPlane {
+            payload: Some(evil.encode(BroadcastEncoding::Sparse).into()),
+        };
+        let barrier = SuperstepBarrier::new(1);
+        let (metrics_tx, _metrics_rx) = channel();
+        let err = run_worker(
+            &config,
+            &plan,
+            &p,
+            &program,
+            0,
+            &mut plane,
+            &barrier,
+            &metrics_tx,
+        )
+        .expect_err("oversized range must abort cleanly");
+        let rendered = err.error.to_string();
+        assert!(rendered.contains("exceeds vertex count"), "{rendered}");
+        assert!(!err.secondary);
     }
 }

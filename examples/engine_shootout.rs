@@ -126,4 +126,29 @@ fn main() {
         "  threaded:   {thr_s:.4}s   (speedup {:.2}x)",
         seq_s / thr_s
     );
+
+    // Second parallelism axis: the paper's T compute threads *inside* each
+    // server (tile-level parallel gather). Results are bit-identical for
+    // every T; only wall-clock changes.
+    println!("\nintra-server tile threads (threaded executor, 4 servers, best of 3):");
+    let best_t = |threads: u32| {
+        (0..3)
+            .map(|_| {
+                GraphHEngine::with_executor(
+                    GraphHConfig::paper_default(ClusterConfig::paper_testbed(4))
+                        .with_threads_per_server(threads),
+                    Arc::new(ThreadedExecutor::new()),
+                )
+                .run(&p10, &PageRank::new(20))
+                .unwrap()
+                .wall_clock_seconds
+            })
+            .fold(f64::INFINITY, f64::min)
+    };
+    let t1 = best_t(1);
+    println!("  T=1: {t1:.4}s");
+    for threads in [2u32, 4] {
+        let tn = best_t(threads);
+        println!("  T={threads}: {tn:.4}s   (speedup vs T=1 {:.2}x)", t1 / tn);
+    }
 }

@@ -29,9 +29,11 @@
 //! * [`partition`] — two-stage partitioning into tiles,
 //! * [`cluster`] — the simulated cluster: config, metrics, cost model, broadcast,
 //! * [`cache`] — the edge cache,
+//! * [`pool`] — the scoped fork-join thread pool behind intra-server tile
+//!   parallelism (the paper's `T` compute threads),
 //! * [`core`] — the GAB model, the GraphH engine, executors and the algorithms,
-//! * [`runtime`] — the threaded worker runtime (one OS thread per server,
-//!   channel broadcast plane, superstep barriers),
+//! * [`runtime`] — the threaded worker runtime (one OS thread per server ×
+//!   `T` tile threads inside it, channel broadcast plane, superstep barriers),
 //! * [`baselines`] — Pregel+, GraphD, PowerGraph, PowerLyra and Chaos.
 //!
 //! To run the engine on real threads instead of the sequential reference loop:
@@ -55,6 +57,7 @@ pub use graphh_compress as compress;
 pub use graphh_core as core;
 pub use graphh_graph as graph;
 pub use graphh_partition as partition;
+pub use graphh_pool as pool;
 pub use graphh_runtime as runtime;
 pub use graphh_storage as storage;
 

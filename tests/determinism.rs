@@ -96,6 +96,55 @@ fn threaded_matches_sequential_on_wcc() {
     }
 }
 
+/// The second parallelism axis: `threads_per_server` (the paper's T compute
+/// threads inside every server) must never change a single bit of the result,
+/// on either executor. The T=1 sequential run is the pinned reference.
+#[test]
+fn threads_per_server_axis_is_bit_identical() {
+    let g = RmatGenerator::new(8, 6).generate(SEEDS[0]);
+    let p = Spe::partition(&g, &SpeConfig::with_tile_count("det", &g, 11)).unwrap();
+    let sym = {
+        let base = RmatGenerator::new(7, 4).simplified().generate(SEEDS[0]);
+        let mut b = GraphBuilder::new()
+            .with_num_vertices(base.num_vertices())
+            .symmetric(true);
+        for e in base.edges().iter() {
+            b.add_edge(e);
+        }
+        b.build().unwrap()
+    };
+    let psym = Spe::partition(&sym, &SpeConfig::with_tile_count("det", &sym, 11)).unwrap();
+
+    type Workload<'a> = (&'a str, &'a PartitionedGraph, Box<dyn GabProgram>);
+    let workloads: Vec<Workload> = vec![
+        ("pagerank", &p, Box::new(PageRank::new(8))),
+        ("sssp", &p, Box::new(Sssp::new(0))),
+        ("wcc", &psym, Box::new(Wcc::new())),
+    ];
+    for (name, part, program) in workloads {
+        let reference = GraphHEngine::with_executor(
+            GraphHConfig::paper_default(ClusterConfig::paper_testbed(SERVERS))
+                .with_threads_per_server(1),
+            Arc::new(SequentialExecutor::new()),
+        )
+        .run(part, program.as_ref())
+        .unwrap();
+        for threads in [1u32, 2, 4] {
+            let config = GraphHConfig::paper_default(ClusterConfig::paper_testbed(SERVERS))
+                .with_threads_per_server(threads);
+            let seq =
+                GraphHEngine::with_executor(config.clone(), Arc::new(SequentialExecutor::new()))
+                    .run(part, program.as_ref())
+                    .unwrap();
+            let thr = GraphHEngine::with_executor(config, Arc::new(ThreadedExecutor::new()))
+                .run(part, program.as_ref())
+                .unwrap();
+            assert_bit_identical(&reference, &seq, &format!("{name} seq T={threads}"));
+            assert_bit_identical(&reference, &thr, &format!("{name} thr T={threads}"));
+        }
+    }
+}
+
 /// The executors also agree across every communication mode / compressor
 /// combination, so the wire path cannot smuggle in nondeterminism.
 #[test]
@@ -122,4 +171,74 @@ fn threaded_matches_sequential_across_wire_configs() {
             assert_bit_identical(&a, &b, &format!("mode {mode:?} codec {compressor:?}"));
         }
     }
+}
+
+/// Corrupt wire bytes must surface as `Err` from the wire path — never as a
+/// panic (the worker converts decode errors into a clean abort; a panic would
+/// take the whole process down). Random byte flips over real encoded messages
+/// exercise every decode branch in every wire config.
+#[test]
+fn corrupt_wire_bytes_error_but_never_panic() {
+    use graphh::cluster::{BroadcastMessage, CommunicationMode, MessageCodec, ServerMetrics};
+    use graphh::compress::Codec;
+
+    // Deterministic xorshift so failures are reproducible.
+    let mut state = 0x2017_2017_2017_2017u64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+
+    let messages = [
+        BroadcastMessage::new(0, 64, (0..64).map(|v| (v, v as f64 * 0.5)).collect()),
+        BroadcastMessage::new(100, 1100, vec![(100, 1.0), (512, -2.0), (1099, 3.5)]),
+        BroadcastMessage::new(7, 7, vec![]),
+    ];
+    for mode in [
+        CommunicationMode::Dense,
+        CommunicationMode::Sparse,
+        CommunicationMode::default(),
+    ] {
+        for compressor in [None, Some(Codec::Snappy), Some(Codec::Zlib1)] {
+            let codec = MessageCodec::new(mode, compressor);
+            for message in &messages {
+                let mut sender = ServerMetrics::default();
+                let (wire, _) = codec.encode(message, &mut sender);
+                for _ in 0..200 {
+                    let mut corrupt = wire.clone();
+                    // 1-3 random byte flips, occasionally a truncation.
+                    for _ in 0..(1 + next() as usize % 3) {
+                        let i = next() as usize % corrupt.len().max(1);
+                        corrupt[i] ^= (1 + next() % 255) as u8;
+                    }
+                    if next() % 4 == 0 {
+                        corrupt.truncate(next() as usize % (corrupt.len() + 1));
+                    }
+                    let outcome = std::panic::catch_unwind(|| {
+                        let mut receiver = ServerMetrics::default();
+                        codec.decode(&corrupt, &mut receiver).map(|m| m.updates)
+                    });
+                    // Ok(Ok(_)) (the flip happened to stay valid) and
+                    // Ok(Err(_)) are both acceptable; a panic is not.
+                    assert!(
+                        outcome.is_ok(),
+                        "decode panicked on corrupt wire bytes (mode {mode:?}, compressor {compressor:?})"
+                    );
+                }
+            }
+        }
+    }
+
+    // Decoded-but-corrupt payloads must be rejected, not handed to
+    // apply_updates: ids outside the range or out of order are the cases that
+    // used to panic with an out-of-bounds index.
+    let mut bad_sparse = vec![1u8];
+    bad_sparse.extend_from_slice(&10u32.to_le_bytes()); // range_start
+    bad_sparse.extend_from_slice(&20u32.to_le_bytes()); // range_end
+    bad_sparse.extend_from_slice(&1u32.to_le_bytes()); // count
+    bad_sparse.extend_from_slice(&9999u32.to_le_bytes()); // id outside range
+    bad_sparse.extend_from_slice(&1.0f64.to_le_bytes());
+    assert!(BroadcastMessage::decode(&bad_sparse).is_err());
 }
