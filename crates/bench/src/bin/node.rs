@@ -1,0 +1,225 @@
+//! `graphh-node` — one GraphH server as one OS process.
+//!
+//! Runs a single simulated server of a `--servers`-node cluster over the TCP
+//! broadcast plane: every process rebuilds the same deterministic workload
+//! from the same CLI parameters, connects to its peers over loopback (or any
+//! network), and executes the identical superstep loop the in-process
+//! executors run — every broadcast crossing the wire through the real
+//! `MessageCodec` *and* the length-prefixed frame protocol. Results are
+//! bit-identical to the sequential reference executor; the `multiprocess`
+//! integration test and the CI smoke job assert exactly that.
+//!
+//! ```text
+//! # 2-server PageRank over loopback (run in two shells / background jobs):
+//! graphh-node --id 0 --servers 2 --listen 127.0.0.1:4750 \
+//!     --peers 127.0.0.1:4750,127.0.0.1:4751 --program pagerank --out v0.bin
+//! graphh-node --id 1 --servers 2 --listen 127.0.0.1:4751 \
+//!     --peers 127.0.0.1:4750,127.0.0.1:4751 --program pagerank --out v1.bin
+//! cmp v0.bin v1.bin   # byte-identical replicas
+//! ```
+//!
+//! Workload flags (must match on every node): `--program pagerank|sssp|wcc`,
+//! `--scale`, `--edge-factor`, `--seed`, `--tiles`, `--supersteps`,
+//! `--threads-per-server`. Runtime flags: `--id`, `--servers`, `--listen`,
+//! `--peers` (comma-separated, indexed by server id), `--out`,
+//! `--establish-timeout-secs`.
+
+use graphh_bench::multiprocess::{encode_values, NodeWorkload};
+use graphh_cluster::ClusterConfig;
+use graphh_core::exec::ExecutionPlan;
+use graphh_core::GraphHConfig;
+use graphh_pool::WorkerPool;
+use graphh_runtime::{run_worker, BroadcastPlane, MetricsSlice, SocketPlane, SuperstepBarrier};
+use std::net::SocketAddr;
+use std::sync::mpsc::channel;
+use std::time::{Duration, Instant};
+
+struct Args {
+    id: u32,
+    servers: u32,
+    listen: String,
+    peers: Vec<SocketAddr>,
+    workload: NodeWorkload,
+    threads_per_server: Option<u32>,
+    out: Option<String>,
+    establish_timeout: Duration,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: graphh-node --id I --servers P --listen ADDR --peers A0,A1,... \
+         [--program pagerank|sssp|wcc] [--scale S] [--edge-factor F] [--seed N] \
+         [--tiles T] [--supersteps N] [--threads-per-server T] [--out FILE] \
+         [--establish-timeout-secs N]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut id = None;
+    let mut servers = None;
+    let mut listen = None;
+    let mut peers: Vec<SocketAddr> = Vec::new();
+    let mut workload = NodeWorkload {
+        program: "pagerank".into(),
+        scale: 8,
+        edge_factor: 6,
+        seed: 2017,
+        tiles: 9,
+        supersteps: 10,
+    };
+    let mut threads_per_server = None;
+    let mut out = None;
+    let mut establish_timeout = Duration::from_secs(10);
+
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        if flag == "--help" || flag == "-h" {
+            usage();
+        }
+        let value = args
+            .next()
+            .ok_or_else(|| format!("flag {flag} needs a value"))?;
+        let bad = |e: &dyn std::fmt::Display| format!("bad value for {flag}: {e}");
+        match flag.as_str() {
+            "--id" => id = Some(value.parse().map_err(|e| bad(&e))?),
+            "--servers" => servers = Some(value.parse().map_err(|e| bad(&e))?),
+            "--listen" => listen = Some(value),
+            "--peers" => {
+                peers = value
+                    .split(',')
+                    .map(|a| a.trim().parse().map_err(|e| bad(&e)))
+                    .collect::<Result<_, _>>()?;
+            }
+            "--program" => workload.program = value,
+            "--scale" => workload.scale = value.parse().map_err(|e| bad(&e))?,
+            "--edge-factor" => workload.edge_factor = value.parse().map_err(|e| bad(&e))?,
+            "--seed" => workload.seed = value.parse().map_err(|e| bad(&e))?,
+            "--tiles" => workload.tiles = value.parse().map_err(|e| bad(&e))?,
+            "--supersteps" => workload.supersteps = value.parse().map_err(|e| bad(&e))?,
+            "--threads-per-server" => {
+                threads_per_server = Some(value.parse().map_err(|e| bad(&e))?)
+            }
+            "--out" => out = Some(value),
+            "--establish-timeout-secs" => {
+                establish_timeout = Duration::from_secs(value.parse().map_err(|e| bad(&e))?)
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    let id = id.ok_or("--id is required")?;
+    let servers = servers.ok_or("--servers is required")?;
+    let listen = listen.ok_or("--listen is required")?;
+    if peers.is_empty() && servers > 1 {
+        return Err("--peers is required for clusters with more than one server".into());
+    }
+    Ok(Args {
+        id,
+        servers,
+        listen,
+        peers,
+        workload,
+        threads_per_server,
+        out,
+        establish_timeout,
+    })
+}
+
+fn run(args: Args) -> Result<(), String> {
+    let started = Instant::now();
+
+    // Bind the listener before the (potentially slow) deterministic workload
+    // build, so peers' connect retries succeed as early as possible.
+    let bound = SocketPlane::bind(args.id, args.servers, args.listen.as_str())
+        .map_err(|e| format!("bind listener: {e}"))?;
+    eprintln!(
+        "graphh-node {}/{}: listening on {}",
+        args.id,
+        args.servers,
+        bound.local_addr().map_err(|e| e.to_string())?
+    );
+
+    let mut config = GraphHConfig::paper_default(ClusterConfig::paper_testbed(args.servers));
+    if let Some(threads) = args.threads_per_server {
+        config = config.with_threads_per_server(threads);
+    }
+    config.validate().map_err(|e| e.to_string())?;
+
+    let pool = WorkerPool::with_host_parallelism();
+    let (partitioned, program) = args.workload.build(&pool)?;
+    let plan = ExecutionPlan::prepare(&config, &partitioned, program.as_ref())
+        .map_err(|e| format!("prepare plan: {e}"))?;
+    drop(pool); // the run uses the per-server pool inside `ServerState`
+
+    let peer_addrs: Vec<SocketAddr> = if args.servers == 1 {
+        vec![bound.local_addr().map_err(|e| e.to_string())?]
+    } else {
+        args.peers.clone()
+    };
+    let mut plane = bound
+        .establish_with_timeout(&peer_addrs, args.establish_timeout)
+        .map_err(|e| format!("establish cluster: {e}"))?;
+    eprintln!(
+        "graphh-node {}/{}: cluster established ({} peers)",
+        args.id,
+        args.servers,
+        args.servers - 1
+    );
+
+    // One worker per process: the local barrier is trivial, lockstep comes
+    // from the broadcast plane's end-of-superstep framing.
+    let barrier = SuperstepBarrier::new(1);
+    let (metrics_tx, metrics_rx) = channel::<MetricsSlice>();
+    let sid = plane.server_id();
+    let output = run_worker(
+        &config,
+        &plan,
+        &partitioned,
+        program.as_ref(),
+        sid,
+        &mut plane,
+        &barrier,
+        &metrics_tx,
+    )
+    .map_err(|e| format!("worker failed: {}", e.error))?;
+    drop(metrics_tx);
+
+    let slices: Vec<MetricsSlice> = metrics_rx.into_iter().collect();
+    let sent: u64 = slices.iter().map(|s| s.metrics.network_sent_bytes).sum();
+    let received: u64 = slices
+        .iter()
+        .map(|s| s.metrics.network_received_bytes)
+        .sum();
+    println!(
+        "graphh-node {}/{}: {} supersteps={} program={} vertices={} \
+         net_sent_bytes={sent} net_received_bytes={received} wall_seconds={:.3}",
+        args.id,
+        args.servers,
+        program.name(),
+        output.supersteps_run,
+        args.workload.program,
+        output.values.len(),
+        started.elapsed().as_secs_f64(),
+    );
+
+    if let Some(path) = &args.out {
+        std::fs::write(path, encode_values(&output.values))
+            .map_err(|e| format!("write {path}: {e}"))?;
+        eprintln!("graphh-node {}: wrote {path}", args.id);
+    }
+    Ok(())
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("graphh-node: {message}");
+            usage();
+        }
+    };
+    if let Err(message) = run(args) {
+        eprintln!("graphh-node: {message}");
+        std::process::exit(1);
+    }
+}

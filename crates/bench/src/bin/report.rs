@@ -37,12 +37,14 @@ fn available() -> Vec<Experiment> {
     ]
 }
 
-/// The executor comparison: measure once, render the table from that
-/// measurement, and record the same rows to `BENCH_runtime.json`.
+/// The executor comparison: measure once (the sweep and the pool spawn-cost
+/// microbenchmark), render the table from that measurement, and record the
+/// same numbers to `BENCH_runtime.json`.
 fn runtime_and_record_json() -> String {
     let rows = runtime_rows();
-    let mut out = runtime_report(&rows);
-    match std::fs::write("BENCH_runtime.json", runtime_json(&rows)) {
+    let pool = pool_spawn_microbench();
+    let mut out = runtime_report(&rows, &pool);
+    match std::fs::write("BENCH_runtime.json", runtime_json(&rows, &pool)) {
         Ok(()) => out.push_str("(wrote BENCH_runtime.json)\n"),
         Err(e) => out.push_str(&format!("could not write BENCH_runtime.json: {e}\n")),
     }

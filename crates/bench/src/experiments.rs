@@ -642,17 +642,30 @@ pub fn ablations() -> String {
 /// records machine-readably as `BENCH_runtime.json`.
 ///
 /// Measures once; callers wanting both the table and the JSON should call
-/// [`runtime_rows`] once and render with [`runtime_report`] / [`runtime_json`]
-/// (the report binary does) so both outputs describe the same measurement.
+/// [`runtime_rows`] / [`pool_spawn_microbench`] once and render with
+/// [`runtime_report`] / [`runtime_json`] (the report binary does) so both
+/// outputs describe the same measurement.
 pub fn runtime_executors() -> String {
-    runtime_report(&runtime_rows())
+    runtime_report(&runtime_rows(), &pool_spawn_microbench())
+}
+
+/// The host's core count as `available_parallelism` reports it (0 when the
+/// host will not say). Recorded next to every runtime measurement: a ≤1×
+/// speedup is self-explanatory when the sweep shows `servers ×
+/// threads_per_server` exceeding this number.
+pub fn host_cores() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(0)
 }
 
 /// Render the executor-comparison table from measured rows.
-pub fn runtime_report(rows: &[RuntimeRow]) -> String {
-    let mut out = String::from(
+pub fn runtime_report(rows: &[RuntimeRow], pool: &PoolBench) -> String {
+    let mut out = format!(
         "# Runtime: sequential vs threaded executor (RMAT scale-10, PageRank, wall-clock)\n\
+         host cores (available_parallelism): {}\n\
          servers\tthreads/server\tsequential_s\tthreaded_s\tspeedup\tidentical\n",
+        host_cores()
     );
     for row in rows {
         writeln!(
@@ -672,7 +685,91 @@ pub fn runtime_report(rows: &[RuntimeRow]) -> String {
          barrier overhead make it <=1x; the threaded executor runs p server \
          threads x T tile threads)\n",
     );
+    writeln!(
+        out,
+        "pool microbench ({} phases x {} items, {} threads): \
+         spawn-per-phase={:.6}s persistent-pool={:.6}s speedup={:.2}x",
+        pool.phases,
+        pool.items,
+        pool.threads,
+        pool.spawning_seconds,
+        pool.persistent_seconds,
+        pool.speedup()
+    )
+    .unwrap();
     out
+}
+
+/// Measured cost of many *short* fork-join phases (the shape of a superstep
+/// tile phase on a small graph): freshly spawned scoped threads per phase vs
+/// the persistent [`graphh_pool::WorkerPool`] the engine now uses.
+pub struct PoolBench {
+    /// Fork-join phases per measurement.
+    pub phases: usize,
+    /// Items per phase (tiles of a short superstep).
+    pub items: usize,
+    /// Cooperating threads.
+    pub threads: usize,
+    /// Best-of-3 seconds for spawn-per-phase `fork_join_ordered`.
+    pub spawning_seconds: f64,
+    /// Best-of-3 seconds for the persistent pool (created once, outside the
+    /// measured loop — exactly how `ServerState` holds it).
+    pub persistent_seconds: f64,
+}
+
+impl PoolBench {
+    /// How much faster the persistent pool runs the same phases.
+    pub fn speedup(&self) -> f64 {
+        self.spawning_seconds / self.persistent_seconds.max(1e-12)
+    }
+}
+
+/// Measure [`PoolBench`]: 256 phases of 32 tiny items each, best of 3.
+pub fn pool_spawn_microbench() -> PoolBench {
+    use std::time::Instant;
+    const PHASES: usize = 256;
+    const ITEMS: usize = 32;
+
+    // A few hundred nanoseconds of mixing per item — the regime where spawn
+    // overhead dominates honest work, i.e. short supersteps.
+    let work = |i: usize| {
+        let mut acc = i as u64 ^ 0x9e37_79b9_7f4a_7c15;
+        for _ in 0..64 {
+            acc = acc
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+        }
+        acc
+    };
+    let best_of_3 = |mut run: Box<dyn FnMut()>| -> f64 {
+        let mut best = f64::INFINITY;
+        for _ in 0..3 {
+            let started = Instant::now();
+            run();
+            best = best.min(started.elapsed().as_secs_f64());
+        }
+        best
+    };
+
+    let pool = graphh_pool::WorkerPool::with_host_parallelism();
+    let threads = pool.threads();
+    let spawning_seconds = best_of_3(Box::new(move || {
+        for _ in 0..PHASES {
+            std::hint::black_box(graphh_pool::fork_join_ordered(threads, ITEMS, work));
+        }
+    }));
+    let persistent_seconds = best_of_3(Box::new(move || {
+        for _ in 0..PHASES {
+            std::hint::black_box(pool.fork_join_ordered(ITEMS, work));
+        }
+    }));
+    PoolBench {
+        phases: PHASES,
+        items: ITEMS,
+        threads,
+        spawning_seconds,
+        persistent_seconds,
+    }
 }
 
 /// One measured executor-comparison configuration.
@@ -755,10 +852,30 @@ pub fn runtime_rows() -> Vec<RuntimeRow> {
 
 /// Render measured rows as machine-readable JSON (the report binary writes
 /// this to `BENCH_runtime.json` so the perf trajectory is recorded run over
-/// run).
-pub fn runtime_json(rows: &[RuntimeRow]) -> String {
-    let mut out = String::from(
-        "{\n  \"experiment\": \"runtime\",\n  \"workload\": \"rmat-scale10-ef16-pagerank-20\",\n  \"rows\": [\n",
+/// run). The header records the host core count and the swept axes so a ≤1×
+/// speedup on a small runner reads as the hardware's verdict, not a
+/// regression.
+pub fn runtime_json(rows: &[RuntimeRow], pool: &PoolBench) -> String {
+    let mut servers_swept: Vec<u32> = rows.iter().map(|r| r.servers).collect();
+    servers_swept.dedup();
+    let mut threads_swept: Vec<u32> = rows.iter().map(|r| r.threads_per_server).collect();
+    threads_swept.sort_unstable();
+    threads_swept.dedup();
+    let join = |values: &[u32]| {
+        values
+            .iter()
+            .map(u32::to_string)
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    let mut out = format!(
+        "{{\n  \"experiment\": \"runtime\",\n  \"workload\": \"rmat-scale10-ef16-pagerank-20\",\n  \
+         \"host_cores\": {},\n  \"servers_swept\": [{}],\n  \"threads_per_server_swept\": [{}],\n  \
+         \"note\": \"speedup needs host_cores > servers * threads_per_server; single-core runners honestly report <=1x\",\n  \
+         \"rows\": [\n",
+        host_cores(),
+        join(&servers_swept),
+        join(&threads_swept),
     );
     for (i, row) in rows.iter().enumerate() {
         writeln!(
@@ -774,7 +891,20 @@ pub fn runtime_json(rows: &[RuntimeRow]) -> String {
         )
         .unwrap();
     }
-    out.push_str("  ]\n}\n");
+    out.push_str("  ],\n");
+    writeln!(
+        out,
+        "  \"pool_microbench\": {{\"phases\": {}, \"items\": {}, \"threads\": {}, \
+         \"spawn_per_phase_s\": {:.6}, \"persistent_pool_s\": {:.6}, \"speedup\": {:.4}}}",
+        pool.phases,
+        pool.items,
+        pool.threads,
+        pool.spawning_seconds,
+        pool.persistent_seconds,
+        pool.speedup()
+    )
+    .unwrap();
+    out.push_str("}\n");
     out
 }
 

@@ -7,7 +7,9 @@
 //! EXPERIMENTS.md records); the Criterion benches time the same workloads.
 
 pub mod experiments;
+pub mod multiprocess;
 pub mod workloads;
 
 pub use experiments::*;
+pub use multiprocess::*;
 pub use workloads::*;

@@ -1,0 +1,172 @@
+//! Shared pieces of the multi-process runtime: the workload vocabulary of the
+//! `graphh-node` binary and the value-file format it writes.
+//!
+//! A multi-process run has no shared memory, so every node process rebuilds
+//! the *same* graph and partition from the same CLI parameters
+//! ([`NodeWorkload::build`] is deterministic: seeded generators, order-
+//! preserving partitioning) and then exchanges only broadcast frames over
+//! TCP. The launcher (CI smoke job, the `multiprocess` integration test)
+//! builds the identical workload in-process to diff the nodes' value files
+//! against the sequential reference executor.
+
+use graphh_core::{GabProgram, PageRank, Sssp, Wcc};
+use graphh_graph::generators::{GraphGenerator, RmatGenerator};
+use graphh_graph::{Graph, GraphBuilder};
+use graphh_partition::{PartitionedGraph, Spe, SpeConfig};
+use graphh_pool::WorkerPool;
+
+/// Parameters that pin a node workload bit-for-bit across processes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeWorkload {
+    /// `pagerank`, `sssp` or `wcc`.
+    pub program: String,
+    /// RMAT scale (log2 vertices).
+    pub scale: u32,
+    /// RMAT edge factor.
+    pub edge_factor: u32,
+    /// Generator seed.
+    pub seed: u64,
+    /// Target tile count for the SPE.
+    pub tiles: u32,
+    /// Superstep cap handed to the program.
+    pub supersteps: u32,
+}
+
+impl NodeWorkload {
+    /// Deterministically construct the graph, partition and program every
+    /// process of the cluster must agree on.
+    pub fn build(
+        &self,
+        pool: &WorkerPool,
+    ) -> Result<(PartitionedGraph, Box<dyn GabProgram>), String> {
+        let (graph, program): (Graph, Box<dyn GabProgram>) = match self.program.as_str() {
+            "pagerank" => (
+                RmatGenerator::new(self.scale, self.edge_factor).generate(self.seed),
+                Box::new(PageRank::new(self.supersteps)),
+            ),
+            "sssp" => {
+                let graph = RmatGenerator::new(self.scale, self.edge_factor).generate(self.seed);
+                let source = (0..graph.num_vertices() as u32)
+                    .max_by_key(|&v| graph.out_degree(v))
+                    .unwrap_or(0);
+                (graph, Box::new(Sssp::new(source)))
+            }
+            "wcc" => {
+                let base = RmatGenerator::new(self.scale, self.edge_factor)
+                    .simplified()
+                    .generate(self.seed);
+                let mut b = GraphBuilder::new()
+                    .with_num_vertices(base.num_vertices())
+                    .symmetric(true);
+                for e in base.edges().iter() {
+                    b.add_edge(e);
+                }
+                let graph = b.build().map_err(|e| format!("symmetrise graph: {e}"))?;
+                (graph, Box::new(Wcc::new()))
+            }
+            other => {
+                return Err(format!(
+                    "unknown program {other:?} (expected pagerank, sssp or wcc)"
+                ))
+            }
+        };
+        let partitioned = Spe::partition_with_pool(
+            &graph,
+            &SpeConfig::with_tile_count("node", &graph, self.tiles),
+            pool,
+        )
+        .map_err(|e| format!("partition: {e}"))?;
+        Ok((partitioned, program))
+    }
+}
+
+/// Magic header of a node value file.
+pub const VALUES_MAGIC: [u8; 4] = *b"GHHV";
+
+/// Serialize final vertex values the way `graphh-node --out` writes them:
+/// magic, u64 LE count, then each value's f64 bits LE — lossless, so two
+/// files are byte-equal iff the runs were bit-identical.
+pub fn encode_values(values: &[f64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(12 + values.len() * 8);
+    out.extend_from_slice(&VALUES_MAGIC);
+    out.extend_from_slice(&(values.len() as u64).to_le_bytes());
+    for v in values {
+        out.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+    out
+}
+
+/// Parse a node value file back into vertex values.
+pub fn decode_values(bytes: &[u8]) -> Result<Vec<f64>, String> {
+    if bytes.len() < 12 || bytes[0..4] != VALUES_MAGIC {
+        return Err("not a GHHV value file".into());
+    }
+    let count = u64::from_le_bytes(bytes[4..12].try_into().unwrap()) as usize;
+    // Checked arithmetic: the count is untrusted file bytes, and a corrupt
+    // header must come back as Err, not overflow.
+    let expected = count
+        .checked_mul(8)
+        .and_then(|payload| payload.checked_add(12));
+    if expected != Some(bytes.len()) {
+        return Err(format!(
+            "value file length {} does not match its count {count}",
+            bytes.len()
+        ));
+    }
+    Ok(bytes[12..]
+        .chunks_exact(8)
+        .map(|c| f64::from_bits(u64::from_le_bytes(c.try_into().unwrap())))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn values_roundtrip_losslessly() {
+        let values = vec![
+            0.0,
+            -1.5,
+            f64::MAX,
+            1e-300,
+            f64::from_bits(0x7ff8_0000_0000_0001),
+        ];
+        let decoded = decode_values(&encode_values(&values)).unwrap();
+        assert_eq!(values.len(), decoded.len());
+        for (a, b) in values.iter().zip(&decoded) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert!(decode_values(b"nope").is_err());
+    }
+
+    #[test]
+    fn workload_build_is_deterministic_across_calls() {
+        let w = NodeWorkload {
+            program: "pagerank".into(),
+            scale: 7,
+            edge_factor: 4,
+            seed: 11,
+            tiles: 6,
+            supersteps: 3,
+        };
+        let pool = WorkerPool::with_host_parallelism();
+        let (a, _) = w.build(&pool).unwrap();
+        let (b, _) = w.build(&pool).unwrap();
+        assert_eq!(a.tiles, b.tiles);
+        assert_eq!(a.in_degrees, b.in_degrees);
+    }
+
+    #[test]
+    fn unknown_program_is_rejected() {
+        let w = NodeWorkload {
+            program: "frobnicate".into(),
+            scale: 5,
+            edge_factor: 2,
+            seed: 1,
+            tiles: 2,
+            supersteps: 1,
+        };
+        assert!(w.build(&WorkerPool::new(1)).is_err());
+    }
+}

@@ -1,0 +1,171 @@
+//! Multi-process determinism: launch real `graphh-node` OS processes over
+//! loopback TCP and pin their replicas bit-identical to each other *and* to
+//! the in-process sequential reference executor — for PageRank, SSSP and WCC.
+//!
+//! This is the strongest statement the transport refactor makes: the same
+//! superstep loop, wire codec and frame protocol, with the simulated servers
+//! living in separate address spaces, produces byte-for-byte the values of
+//! the single-threaded reference.
+
+use graphh_bench::multiprocess::{decode_values, NodeWorkload};
+use graphh_cluster::ClusterConfig;
+use graphh_core::{GraphHConfig, GraphHEngine, SequentialExecutor};
+use graphh_pool::WorkerPool;
+use std::net::TcpListener;
+use std::process::{Child, Command};
+use std::sync::Arc;
+
+const SERVERS: u32 = 2;
+
+fn free_loopback_ports(n: usize) -> Vec<u16> {
+    // Bind ephemeral listeners to reserve distinct ports, then release them
+    // for the node processes. The tiny reuse race is retried by the caller.
+    let listeners: Vec<TcpListener> = (0..n)
+        .map(|_| TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port"))
+        .collect();
+    listeners
+        .iter()
+        .map(|l| l.local_addr().unwrap().port())
+        .collect()
+}
+
+fn spawn_node(workload: &NodeWorkload, id: u32, ports: &[u16], out: &std::path::Path) -> Child {
+    let peers = ports
+        .iter()
+        .map(|p| format!("127.0.0.1:{p}"))
+        .collect::<Vec<_>>()
+        .join(",");
+    Command::new(env!("CARGO_BIN_EXE_graphh-node"))
+        .args([
+            "--id",
+            &id.to_string(),
+            "--servers",
+            &SERVERS.to_string(),
+            "--listen",
+            &format!("127.0.0.1:{}", ports[id as usize]),
+            "--peers",
+            &peers,
+            "--program",
+            &workload.program,
+            "--scale",
+            &workload.scale.to_string(),
+            "--edge-factor",
+            &workload.edge_factor.to_string(),
+            "--seed",
+            &workload.seed.to_string(),
+            "--tiles",
+            &workload.tiles.to_string(),
+            "--supersteps",
+            &workload.supersteps.to_string(),
+            "--establish-timeout-secs",
+            "30",
+            "--out",
+            &out.display().to_string(),
+        ])
+        .spawn()
+        .expect("spawn graphh-node")
+}
+
+/// Run the cluster once; `Err` when any node exits nonzero (e.g. it lost the
+/// port-reservation race) so the caller can retry with fresh ports.
+fn try_cluster_run(workload: &NodeWorkload, attempt: u32) -> Result<Vec<Vec<f64>>, String> {
+    let dir = std::env::temp_dir();
+    let outs: Vec<std::path::PathBuf> = (0..SERVERS)
+        .map(|id| {
+            dir.join(format!(
+                "graphh-mp-{}-{}-a{attempt}-s{id}.bin",
+                std::process::id(),
+                workload.program
+            ))
+        })
+        .collect();
+    let ports = free_loopback_ports(SERVERS as usize);
+    let children: Vec<Child> = (0..SERVERS)
+        .map(|id| spawn_node(workload, id, &ports, &outs[id as usize]))
+        .collect();
+    let mut ok = true;
+    for mut child in children {
+        ok &= child.wait().expect("wait for graphh-node").success();
+    }
+    if !ok {
+        return Err("a graphh-node process exited nonzero".into());
+    }
+    let values = outs
+        .iter()
+        .map(|path| {
+            let bytes = std::fs::read(path).map_err(|e| format!("read {path:?}: {e}"))?;
+            let _ = std::fs::remove_file(path);
+            decode_values(&bytes)
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(values)
+}
+
+fn assert_cluster_matches_sequential(workload: NodeWorkload) {
+    // Retry a couple of times: the free-port reservation is inherently racy
+    // on a shared machine, and a stolen port makes a node exit nonzero.
+    let mut replicas = None;
+    for attempt in 0..3 {
+        match try_cluster_run(&workload, attempt) {
+            Ok(values) => {
+                replicas = Some(values);
+                break;
+            }
+            Err(e) if attempt < 2 => eprintln!("cluster attempt {attempt} failed ({e}); retrying"),
+            Err(e) => panic!("multi-process cluster never came up: {e}"),
+        }
+    }
+    let replicas = replicas.unwrap();
+
+    let pool = WorkerPool::with_host_parallelism();
+    let (partitioned, program) = workload.build(&pool).expect("reference workload");
+    let reference = GraphHEngine::with_executor(
+        GraphHConfig::paper_default(ClusterConfig::paper_testbed(SERVERS)),
+        Arc::new(SequentialExecutor::new()),
+    )
+    .run(&partitioned, program.as_ref())
+    .expect("sequential reference run");
+
+    for (sid, values) in replicas.iter().enumerate() {
+        assert_eq!(
+            values.len(),
+            reference.values.len(),
+            "{}: server {sid} value count",
+            workload.program
+        );
+        for (v, (x, y)) in values.iter().zip(&reference.values).enumerate() {
+            assert_eq!(
+                x.to_bits(),
+                y.to_bits(),
+                "{}: server {sid} vertex {v} diverged across processes ({x} vs {y})",
+                workload.program
+            );
+        }
+    }
+}
+
+fn workload(program: &str) -> NodeWorkload {
+    NodeWorkload {
+        program: program.into(),
+        scale: 7,
+        edge_factor: 5,
+        seed: 2017,
+        tiles: 7,
+        supersteps: 8,
+    }
+}
+
+#[test]
+fn two_process_tcp_pagerank_matches_sequential() {
+    assert_cluster_matches_sequential(workload("pagerank"));
+}
+
+#[test]
+fn two_process_tcp_sssp_matches_sequential() {
+    assert_cluster_matches_sequential(workload("sssp"));
+}
+
+#[test]
+fn two_process_tcp_wcc_matches_sequential() {
+    assert_cluster_matches_sequential(workload("wcc"));
+}

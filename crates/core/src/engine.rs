@@ -67,10 +67,34 @@ impl GraphHConfig {
     }
 
     /// Pin the tile phase to `threads` compute threads per server (the
-    /// paper's `T`); values below 1 are clamped to 1 (sequential).
+    /// paper's `T`). A value of 0 is kept as-is and rejected by
+    /// [`Self::validate`] when the run starts — silently clamping would hide
+    /// a config bug.
     pub fn with_threads_per_server(mut self, threads: u32) -> Self {
-        self.threads_per_server = Some(threads.max(1));
+        self.threads_per_server = Some(threads);
         self
+    }
+
+    /// Check the configuration for values that would panic or hang deep
+    /// inside a run. Every executor calls this before doing any work (via
+    /// `ExecutionPlan::prepare`), so a bad config surfaces as a clear `Err`
+    /// at construction of the plan rather than as a division by zero in tile
+    /// assignment or a worker pool waiting for zero threads.
+    pub fn validate(&self) -> Result<()> {
+        if self.cluster.num_servers == 0 {
+            return Err(crate::EngineError::BadInput(
+                "invalid config: cluster.num_servers is 0 (a cluster needs at least one server)"
+                    .into(),
+            ));
+        }
+        if self.threads_per_server == Some(0) {
+            return Err(crate::EngineError::BadInput(
+                "invalid config: threads_per_server is 0 (each server needs at least one \
+                 compute thread; use None for the machine default)"
+                    .into(),
+            ));
+        }
+        Ok(())
     }
 }
 

@@ -63,6 +63,7 @@ pub trait Executor: Send + Sync {
 }
 
 /// Immutable state shared by all servers of one run.
+#[derive(Debug)]
 pub struct ExecutionPlan {
     /// Number of vertices.
     pub num_vertices: u64,
@@ -93,6 +94,7 @@ impl ExecutionPlan {
         partitioned: &PartitionedGraph,
         program: &dyn GabProgram,
     ) -> Result<Self> {
+        config.validate()?;
         let num_vertices = partitioned.num_vertices();
         if num_vertices == 0 {
             return Err(EngineError::BadInput("graph has no vertices".into()));
@@ -129,6 +131,8 @@ impl ExecutionPlan {
             max_supersteps,
             message_codec: MessageCodec::new(config.communication, config.message_compressor),
             cost_model: CostModel::new(config.cluster),
+            // `validate` rejected an explicit 0; the fallback machine spec
+            // could still be hand-built with 0 workers, so floor it.
             threads_per_server: config
                 .threads_per_server
                 .unwrap_or(config.cluster.machine.workers)
@@ -158,6 +162,10 @@ pub struct ServerState {
     blooms: HashMap<TileId, BloomFilter>,
     /// Memory accounting.
     memory: MemoryTracker,
+    /// This server's persistent compute-thread pool (the paper's `T` worker
+    /// threads): created once here, reused by every tile phase of every
+    /// superstep — no thread is spawned inside the superstep loop.
+    pool: graphh_pool::WorkerPool,
 }
 
 /// Output of one server's compute phase for one superstep.
@@ -235,6 +243,7 @@ impl ServerState {
             cache,
             blooms,
             memory,
+            pool: graphh_pool::WorkerPool::new(plan.threads_per_server as usize),
         }
     }
 
@@ -252,10 +261,11 @@ impl ServerState {
     /// tiles (Bloom-skipping inactive ones), gather/apply against the local
     /// replica, and emit one broadcast message per tile with updates.
     ///
-    /// Tiles are processed by `plan.threads_per_server` worker threads (the
-    /// paper's `T` intra-server compute threads) via
-    /// [`graphh_pool::fork_join_ordered`]. Determinism for any thread count is
-    /// by construction:
+    /// Tiles are processed by this server's **persistent**
+    /// [`graphh_pool::WorkerPool`] (the paper's `T` intra-server compute
+    /// threads), built once in [`ServerState::build`] and reused every
+    /// superstep — short supersteps pay a condvar wake, not a thread spawn.
+    /// Determinism for any thread count is by construction:
     ///
     /// * each tile reads the *previous* superstep's replica (never this
     ///   phase's output), so tiles are data-independent,
@@ -299,76 +309,74 @@ impl ServerState {
         // `base + 1 + i`, regardless of which thread touches the cache first.
         let stamp_base = cache.clock();
 
-        let outcomes: Vec<Result<TileOutcome>> =
-            graphh_pool::fork_join_ordered(threads, tiles.len(), |i| {
-                let tile_id = tiles[i];
-                let stamp = stamp_base + 1 + i as u64;
-                let mut metrics = ServerMetrics::default();
+        let outcomes: Vec<Result<TileOutcome>> = self.pool.fork_join_ordered(tiles.len(), |i| {
+            let tile_id = tiles[i];
+            let stamp = stamp_base + 1 + i as u64;
+            let mut metrics = ServerMetrics::default();
 
-                // Bloom-filter tile skipping: a tile with no updated source
-                // vertex cannot change any target value.
-                if probe_bloom && !blooms[&tile_id].may_contain_any(previously_updated.iter()) {
-                    metrics.tiles_skipped += 1;
-                    return Ok(TileOutcome {
-                        metrics,
-                        message: None,
-                        admit: None,
-                        tile_memory_bytes: 0,
-                    });
-                }
-
-                // Fetch the tile: edge cache first, local disk on a miss.
-                let mut admit = None;
-                let tile: Arc<Tile> = match cache.lookup(tile_id, stamp) {
-                    Some(fetch) => {
-                        metrics.cache_hits += 1;
-                        metrics.decompress_seconds += fetch.decompress_seconds;
-                        fetch.tile
-                    }
-                    None => {
-                        metrics.cache_misses += 1;
-                        let blob = disk
-                            .get(&tile_id)
-                            .expect("assigned tile must be on local disk");
-                        metrics.disk_read_bytes += blob.len() as u64;
-                        metrics.disk_read_ops += 1;
-                        let tile = Arc::new(Tile::from_bytes(blob)?);
-                        // Admission is deferred to the post-join pass so
-                        // evictions happen in tile order on one thread.
-                        admit = Some(Arc::clone(&tile));
-                        tile
-                    }
-                };
-
-                // Process the tile against the local replica array.
-                let mut tile_updates: Vec<(VertexId, f64)> = Vec::new();
-                for target in tile.targets() {
-                    let in_degree = tile.in_degree(target);
-                    if in_degree == 0 && !run_everything {
-                        continue;
-                    }
-                    let mut edges = tile.in_edges(target);
-                    let accum = program.gather(target, &mut edges, &vertex_ctx);
-                    let current = vertex_ctx.values[target as usize];
-                    let new = program.apply(target, accum, current, &vertex_ctx);
-                    metrics.edges_processed += u64::from(in_degree);
-                    if program.is_update(current, new) {
-                        tile_updates.push((target, new));
-                    }
-                }
-                metrics.tiles_processed += 1;
-                metrics.messages_produced += tile_updates.len() as u64;
-
-                let message = (!tile_updates.is_empty()).then(|| {
-                    BroadcastMessage::new(tile.target_start, tile.target_end, tile_updates)
-                });
-                Ok(TileOutcome {
+            // Bloom-filter tile skipping: a tile with no updated source
+            // vertex cannot change any target value.
+            if probe_bloom && !blooms[&tile_id].may_contain_any(previously_updated.iter()) {
+                metrics.tiles_skipped += 1;
+                return Ok(TileOutcome {
                     metrics,
-                    message,
-                    admit,
-                    tile_memory_bytes: tile.memory_bytes(),
-                })
-            });
+                    message: None,
+                    admit: None,
+                    tile_memory_bytes: 0,
+                });
+            }
+
+            // Fetch the tile: edge cache first, local disk on a miss.
+            let mut admit = None;
+            let tile: Arc<Tile> = match cache.lookup(tile_id, stamp) {
+                Some(fetch) => {
+                    metrics.cache_hits += 1;
+                    metrics.decompress_seconds += fetch.decompress_seconds;
+                    fetch.tile
+                }
+                None => {
+                    metrics.cache_misses += 1;
+                    let blob = disk
+                        .get(&tile_id)
+                        .expect("assigned tile must be on local disk");
+                    metrics.disk_read_bytes += blob.len() as u64;
+                    metrics.disk_read_ops += 1;
+                    let tile = Arc::new(Tile::from_bytes(blob)?);
+                    // Admission is deferred to the post-join pass so
+                    // evictions happen in tile order on one thread.
+                    admit = Some(Arc::clone(&tile));
+                    tile
+                }
+            };
+
+            // Process the tile against the local replica array.
+            let mut tile_updates: Vec<(VertexId, f64)> = Vec::new();
+            for target in tile.targets() {
+                let in_degree = tile.in_degree(target);
+                if in_degree == 0 && !run_everything {
+                    continue;
+                }
+                let mut edges = tile.in_edges(target);
+                let accum = program.gather(target, &mut edges, &vertex_ctx);
+                let current = vertex_ctx.values[target as usize];
+                let new = program.apply(target, accum, current, &vertex_ctx);
+                metrics.edges_processed += u64::from(in_degree);
+                if program.is_update(current, new) {
+                    tile_updates.push((target, new));
+                }
+            }
+            metrics.tiles_processed += 1;
+            metrics.messages_produced += tile_updates.len() as u64;
+
+            let message = (!tile_updates.is_empty())
+                .then(|| BroadcastMessage::new(tile.target_start, tile.target_end, tile_updates));
+            Ok(TileOutcome {
+                metrics,
+                message,
+                admit,
+                tile_memory_bytes: tile.memory_bytes(),
+            })
+        });
 
         // Deterministic reduction, in tile order: fold metrics (fixing the
         // floating-point summation order), collect messages, and admit the
@@ -470,7 +478,7 @@ mod tests {
         let cfg = GraphHConfig::paper_default(ClusterConfig::paper_testbed(1).with_workers(3));
         let plan = ExecutionPlan::prepare(&cfg, &p, &PageRank::new(1)).unwrap();
         assert_eq!(plan.threads_per_server, 3);
-        // Explicit knob wins over the machine spec; 0 clamps to 1.
+        // Explicit knob wins over the machine spec.
         let pinned = cfg.clone().with_threads_per_server(2);
         assert_eq!(
             ExecutionPlan::prepare(&pinned, &p, &PageRank::new(1))
@@ -478,13 +486,20 @@ mod tests {
                 .threads_per_server,
             2
         );
-        let clamped = cfg.with_threads_per_server(0);
-        assert_eq!(
-            ExecutionPlan::prepare(&clamped, &p, &PageRank::new(1))
-                .unwrap()
-                .threads_per_server,
-            1
-        );
+        // 0 is a config bug and surfaces as a clear error, not a clamp.
+        let zero = cfg.with_threads_per_server(0);
+        let err = ExecutionPlan::prepare(&zero, &p, &PageRank::new(1)).unwrap_err();
+        assert!(err.to_string().contains("threads_per_server"), "{err}");
+    }
+
+    #[test]
+    fn plan_rejects_zero_server_cluster_without_panicking() {
+        let g = RmatGenerator::new(6, 4).generate(1);
+        let p = Spe::partition(&g, &SpeConfig::with_tile_count("t", &g, 4)).unwrap();
+        let mut cfg = GraphHConfig::paper_default(ClusterConfig::paper_testbed(1));
+        cfg.cluster.num_servers = 0; // bypasses the constructor assert on purpose
+        let err = ExecutionPlan::prepare(&cfg, &p, &PageRank::new(1)).unwrap_err();
+        assert!(err.to_string().contains("num_servers"), "{err}");
     }
 
     #[test]

@@ -1,11 +1,17 @@
 //! The pre-processing engine ("SPE", paper §III-B, Algorithm 4).
 //!
 //! The original system runs three Spark map-reduce jobs; here the same three logical
-//! passes run as rayon data-parallel steps over the in-memory edge list:
+//! passes run as data-parallel steps over the in-memory edge list, on a
+//! [`graphh_pool::WorkerPool`] (the same persistent pool substrate the engine's
+//! tile phases run on):
 //!
 //! 1. degree counting,
 //! 2. splitter construction from the in-degree array,
-//! 3. grouping edges by tile and encoding each tile as CSR.
+//! 3. grouping edges by tile — contiguous edge-list chunks are bucketed per
+//!    tile in parallel and the per-chunk buckets merged **in chunk order**
+//!    (preserving the original edge order, so the output is bit-identical to
+//!    a single sequential pass) — and encoding each tile as CSR, one tile per
+//!    pool item.
 //!
 //! The output — tiles plus the in/out-degree arrays — can be persisted to the DFS
 //! once and reused by every vertex-centric program, exactly like the paper's
@@ -16,8 +22,8 @@ use crate::tile::Tile;
 use crate::{PartitionError, Result};
 use graphh_graph::ids::{TileId, VertexId};
 use graphh_graph::{Graph, GraphStats};
+use graphh_pool::WorkerPool;
 use graphh_storage::{Dfs, StorageBackend};
-use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// Configuration of the pre-processing engine.
@@ -68,9 +74,28 @@ pub struct PartitionedGraph {
 #[derive(Debug, Default)]
 pub struct Spe;
 
+/// Floor on edges per bucketing chunk: below this, the per-chunk bucket
+/// allocation outweighs the parallelism.
+const MIN_EDGES_PER_CHUNK: usize = 8 * 1024;
+
 impl Spe {
-    /// Partition a graph into tiles (stage one of GraphH's two-stage partitioning).
+    /// Partition a graph into tiles (stage one of GraphH's two-stage
+    /// partitioning) on a freshly sized worker pool. Callers that already own
+    /// a pool — the `graphh-node` launcher partitions and then runs on one —
+    /// should use [`Spe::partition_with_pool`] to avoid standing up a second
+    /// set of threads.
     pub fn partition(graph: &Graph, config: &SpeConfig) -> Result<PartitionedGraph> {
+        Self::partition_with_pool(graph, config, &WorkerPool::with_host_parallelism())
+    }
+
+    /// Partition a graph into tiles using the caller's worker pool for the
+    /// data-parallel passes. The result is bit-identical for any pool size
+    /// (chunked bucketing merges in chunk order, tiles are built per index).
+    pub fn partition_with_pool(
+        graph: &Graph,
+        config: &SpeConfig,
+        pool: &WorkerPool,
+    ) -> Result<PartitionedGraph> {
         if config.avg_tile_size == 0 {
             return Err(PartitionError::InvalidConfig(
                 "avg_tile_size must be at least 1".into(),
@@ -80,33 +105,56 @@ impl Spe {
         let out_degrees = graph.out_degrees().to_vec();
         let splitter = Splitter::from_in_degrees(&in_degrees, config.avg_tile_size)?;
 
-        // Group edges by tile. Edges are first bucketed per tile (single sequential
-        // pass — the edge list is not sorted), then each tile's CSR is built in
-        // parallel, which is where the work is.
+        // Group edges by tile: contiguous edge-list chunks are bucketed in
+        // parallel, then the per-chunk buckets are merged in chunk order —
+        // chunks partition the edge list in order, so every tile sees its
+        // edges in exactly the order a single sequential pass would produce.
         let num_tiles = splitter.num_tiles() as usize;
+        let edges = graph.edges();
+        let num_edges = edges.len();
+        let num_chunks = (pool.threads() * 4)
+            .min(num_edges.div_ceil(MIN_EDGES_PER_CHUNK))
+            .max(1);
+        let chunk_len = num_edges.div_ceil(num_chunks);
+        let chunked: Vec<Vec<Vec<(VertexId, VertexId, f32)>>> =
+            pool.fork_join_ordered(num_chunks, |c| {
+                let start = c * chunk_len;
+                let end = ((c + 1) * chunk_len).min(num_edges);
+                let mut buckets: Vec<Vec<(VertexId, VertexId, f32)>> = vec![Vec::new(); num_tiles];
+                for i in start..end {
+                    let e = edges.get(i);
+                    buckets[splitter.tile_of(e.dst) as usize].push((e.src, e.dst, e.weight));
+                }
+                buckets
+            });
         let mut per_tile_edges: Vec<Vec<(VertexId, VertexId, f32)>> = vec![Vec::new(); num_tiles];
-        for e in graph.edges().iter() {
-            let t = splitter.tile_of(e.dst) as usize;
-            per_tile_edges[t].push((e.src, e.dst, e.weight));
+        for buckets in chunked {
+            for (t, mut bucket) in buckets.into_iter().enumerate() {
+                if per_tile_edges[t].is_empty() {
+                    // Common case (few chunks): steal the allocation.
+                    per_tile_edges[t] = std::mem::take(&mut bucket);
+                } else {
+                    per_tile_edges[t].extend_from_slice(&bucket);
+                }
+            }
         }
+
+        // Encode each tile as CSR, one pool item per tile.
         let weighted = graph.is_weighted();
-        let tiles: Vec<Tile> = per_tile_edges
-            .into_par_iter()
-            .enumerate()
-            .map(|(t, edges)| {
-                let (lo, hi) = splitter.tile_range(t as TileId);
-                let mut adjacency: Vec<Vec<(VertexId, f32)>> = vec![Vec::new(); (hi - lo) as usize];
-                for (src, dst, w) in edges {
-                    adjacency[(dst - lo) as usize].push((src, w));
-                }
-                // Sort each adjacency list by source id: deterministic output and
-                // better delta compression.
-                for list in &mut adjacency {
-                    list.sort_unstable_by_key(|&(s, _)| s);
-                }
-                Tile::from_adjacency(t as TileId, lo, &adjacency, weighted)
-            })
-            .collect();
+        let per_tile_edges = &per_tile_edges;
+        let tiles: Vec<Tile> = pool.fork_join_ordered(num_tiles, |t| {
+            let (lo, hi) = splitter.tile_range(t as TileId);
+            let mut adjacency: Vec<Vec<(VertexId, f32)>> = vec![Vec::new(); (hi - lo) as usize];
+            for &(src, dst, w) in &per_tile_edges[t] {
+                adjacency[(dst - lo) as usize].push((src, w));
+            }
+            // Sort each adjacency list by source id: deterministic output and
+            // better delta compression.
+            for list in &mut adjacency {
+                list.sort_unstable_by_key(|&(s, _)| s);
+            }
+            Tile::from_adjacency(t as TileId, lo, &adjacency, weighted)
+        });
 
         Ok(PartitionedGraph {
             graph_name: config.graph_name.clone(),
@@ -330,6 +378,41 @@ mod tests {
     fn zero_tile_size_rejected() {
         let g = RmatGenerator::new(4, 2).generate(1);
         assert!(Spe::partition(&g, &SpeConfig::new("x", 0)).is_err());
+    }
+
+    /// The data-parallel bucketing must be invisible: any pool size yields
+    /// byte-for-byte the tiles a sequential pass produces (chunk-order merge
+    /// preserves edge order, so even equal-key sort outcomes match).
+    #[test]
+    fn partition_is_identical_for_any_pool_size() {
+        let g = RmatGenerator::new(9, 8).generate(17);
+        let reference =
+            Spe::partition_with_pool(&g, &SpeConfig::new("det", 200), &WorkerPool::new(1)).unwrap();
+        for threads in [2usize, 4, 8] {
+            let parallel = Spe::partition_with_pool(
+                &g,
+                &SpeConfig::new("det", 200),
+                &WorkerPool::new(threads),
+            )
+            .unwrap();
+            assert_eq!(parallel.num_tiles(), reference.num_tiles());
+            for (a, b) in parallel.tiles.iter().zip(&reference.tiles) {
+                assert_eq!(a, b, "tile diverged with a {threads}-thread pool");
+            }
+            assert_eq!(parallel.in_degrees, reference.in_degrees);
+        }
+    }
+
+    /// One pool can serve both pre-processing and (later) the run — and a
+    /// reused pool keeps producing correct partitions.
+    #[test]
+    fn partition_with_reused_pool() {
+        let pool = WorkerPool::with_host_parallelism();
+        let g = RmatGenerator::new(8, 6).generate(3);
+        let p1 = Spe::partition_with_pool(&g, &SpeConfig::new("a", 300), &pool).unwrap();
+        let p2 = Spe::partition_with_pool(&g, &SpeConfig::new("b", 300), &pool).unwrap();
+        assert_eq!(p1.num_edges(), p2.num_edges());
+        assert_eq!(p1.tiles, p2.tiles);
     }
 
     #[test]

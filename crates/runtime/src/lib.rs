@@ -13,11 +13,19 @@
 //!   [`graphh_core::Executor`], so `GraphHEngine::with_executor` plugs it in);
 //!   inside each server the tile phase additionally fans out to
 //!   `threads_per_server` compute threads (the paper's `T`, via
-//!   `graphh-pool`), so the executor runs `p × T` workers at peak,
-//! * [`BroadcastPlane`] / [`ChannelPlane`] — the all-to-all message fabric the
-//!   workers broadcast wire-encoded updates over; every message really travels
-//!   encoded (+ compressed) through [`graphh_cluster::MessageCodec`], so
-//!   Figure 8 traffic is metered per real message,
+//!   `graphh-pool`'s persistent per-server `WorkerPool`), so the executor
+//!   runs `p × T` workers at peak,
+//! * [`frame`] — the transport-agnostic framing protocol: [`Frame`], its
+//!   length-prefixed wire codec, and the [`SuperstepCollector`] inbox
+//!   discipline (superstep ordering, stashing, abort semantics), unit-tested
+//!   without threads,
+//! * [`BroadcastPlane`] — the all-to-all message fabric the workers broadcast
+//!   wire-encoded updates over; every message really travels encoded
+//!   (+ compressed) through [`graphh_cluster::MessageCodec`], so Figure 8
+//!   traffic is metered per real message. Backends: [`ChannelPlane`]
+//!   (in-process mpsc) and [`SocketPlane`] (TCP — each simulated server can
+//!   be its own OS **process**; the `graphh-node` binary in `graphh-bench`
+//!   does exactly that),
 //! * [`SuperstepBarrier`] — BSP's `wait_other_servers`,
 //! * [`reduce_metrics`] — deterministic reduction of the per-server
 //!   [`graphh_cluster::ServerMetrics`] streams into
@@ -40,13 +48,19 @@
 //! [`graphh_core::SequentialExecutor`].
 
 pub mod barrier;
+pub mod frame;
 pub mod plane;
 pub mod reduce;
+pub mod socket;
 pub mod threaded;
 pub mod worker;
 
 pub use barrier::SuperstepBarrier;
-pub use plane::{BroadcastPlane, ChannelPlane, Frame, PlaneError};
+pub use frame::{
+    encode_message_into, Frame, FrameError, InboxEvent, PlaneError, SuperstepCollector, WireMessage,
+};
+pub use plane::{BroadcastPlane, ChannelPlane};
 pub use reduce::{reduce_metrics, ReducedMetrics};
+pub use socket::{BoundSocketPlane, SocketPlane};
 pub use threaded::ThreadedExecutor;
 pub use worker::{run_worker, MetricsSlice, WorkerError, WorkerOutput};

@@ -8,68 +8,22 @@
 //! The end-of-superstep markers are what make the plane BSP: no frame from
 //! superstep `s + 1` can be observed before every frame of `s`.
 //!
-//! [`ChannelPlane`] is the in-process implementation over `std::sync::mpsc`
-//! (one MPSC inbox per server, a sender handle per peer). The trait exists so
-//! future backends (async sockets, multi-process shared memory — see ROADMAP)
-//! can slot in without touching the executor.
+//! The framing protocol itself — [`Frame`], its length-prefixed wire codec and
+//! the [`SuperstepCollector`] inbox discipline — is transport-agnostic and
+//! lives in [`crate::frame`]. Two backends implement the trait on top of it:
+//!
+//! * [`ChannelPlane`] — in-process, over `std::sync::mpsc` (one MPSC inbox per
+//!   server, a sender handle per peer); frames travel as values, no bytes are
+//!   copied,
+//! * [`crate::socket::SocketPlane`] — multi-process, over TCP: frames travel
+//!   length-prefix-encoded, one reader thread per peer feeds the same inbox
+//!   discipline (see the `socket` module).
 
+pub use crate::frame::{Frame, PlaneError, WireMessage};
+use crate::frame::{InboxEvent, SuperstepCollector};
 use graphh_graph::ids::ServerId;
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
-
-/// A wire-encoded broadcast message as produced by
-/// [`graphh_cluster::MessageCodec::encode`]. Reference-counted so one
-/// broadcast allocates the payload once no matter how many peers receive it.
-pub type WireMessage = Arc<[u8]>;
-
-/// What travels between worker threads.
-#[derive(Debug)]
-pub enum Frame {
-    /// One encoded broadcast message.
-    Message {
-        /// Sending server.
-        sender: ServerId,
-        /// Superstep the message belongs to.
-        superstep: u32,
-        /// Encoded (and possibly compressed) payload.
-        wire: WireMessage,
-    },
-    /// `sender` has published everything for `superstep`.
-    EndOfSuperstep {
-        /// Sending server.
-        sender: ServerId,
-        /// The finished superstep.
-        superstep: u32,
-    },
-    /// `sender` hit a fatal error; receivers should abort the run.
-    Abort {
-        /// Sending server.
-        sender: ServerId,
-    },
-}
-
-/// Errors surfaced by a broadcast plane.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum PlaneError {
-    /// A peer disconnected without ending the superstep (thread died).
-    Disconnected,
-    /// A peer aborted the run.
-    Aborted(ServerId),
-    /// Frames arrived out of superstep order (protocol bug).
-    Protocol(String),
-}
-
-impl std::fmt::Display for PlaneError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            PlaneError::Disconnected => write!(f, "peer disconnected mid-superstep"),
-            PlaneError::Aborted(s) => write!(f, "server {s} aborted the run"),
-            PlaneError::Protocol(m) => write!(f, "broadcast protocol violation: {m}"),
-        }
-    }
-}
-
-impl std::error::Error for PlaneError {}
 
 /// One server's endpoint on the all-to-all broadcast fabric.
 pub trait BroadcastPlane: Send {
@@ -103,14 +57,8 @@ pub struct ChannelPlane {
     peers: Vec<(ServerId, Sender<Frame>)>,
     /// This server's inbox.
     inbox: Receiver<Frame>,
-    /// Frames for future supersteps that arrived while collecting an earlier
-    /// one. Peers' streams are FIFO individually but interleave in the shared
-    /// inbox, so a client that pipelines supersteps without an external
-    /// barrier can see a fast peer's `s + 1` frames before a slow peer's `s`.
-    /// The current worker loop crosses a barrier between supersteps and never
-    /// hits this, but the `BroadcastPlane` contract does not require a
-    /// barrier, and the no-barrier unit test below exercises it.
-    stash: Vec<Frame>,
+    /// The shared BSP inbox discipline (stash + superstep ordering).
+    collector: SuperstepCollector,
 }
 
 impl ChannelPlane {
@@ -133,7 +81,7 @@ impl ChannelPlane {
                     .map(|(peer, tx)| (peer as ServerId, tx.clone()))
                     .collect(),
                 inbox,
-                stash: Vec::new(),
+                collector: SuperstepCollector::new(),
             })
             .collect()
     }
@@ -174,39 +122,17 @@ impl BroadcastPlane for ChannelPlane {
     }
 
     fn collect(&mut self, superstep: u32) -> Result<Vec<WireMessage>, PlaneError> {
-        let mut wires = Vec::new();
-        let mut pending = self.num_servers - 1;
-        // Frames stashed by an earlier collect come first.
-        let stashed = std::mem::take(&mut self.stash);
-        let mut queue = stashed.into_iter();
-        while pending > 0 {
-            let frame = match queue.next() {
-                Some(frame) => frame,
-                None => self.inbox.recv().map_err(|_| PlaneError::Disconnected)?,
-            };
-            match frame {
-                Frame::Message {
-                    superstep: s, wire, ..
-                } if s == superstep => wires.push(wire),
-                Frame::EndOfSuperstep { superstep: s, .. } if s == superstep => pending -= 1,
-                Frame::Message { superstep: s, .. }
-                | Frame::EndOfSuperstep { superstep: s, .. }
-                    if s > superstep =>
-                {
-                    self.stash.push(frame);
-                }
-                Frame::Abort { sender } => return Err(PlaneError::Aborted(sender)),
-                Frame::Message { superstep: s, .. }
-                | Frame::EndOfSuperstep { superstep: s, .. } => {
-                    return Err(PlaneError::Protocol(format!(
-                        "frame from past superstep {s} while collecting {superstep}"
-                    )));
-                }
-            }
-        }
-        // Anything left over in the drained stash belongs to a later superstep.
-        self.stash.extend(queue);
-        Ok(wires)
+        let inbox = &self.inbox;
+        let peers: Vec<ServerId> = self.peers.iter().map(|&(p, _)| p).collect();
+        self.collector.collect(superstep, &peers, || {
+            // A recv failure means *every* sender is gone (a single dead peer
+            // keeps the channel open through the other clones), so it is
+            // fatal rather than peer-attributed.
+            inbox
+                .recv()
+                .map(InboxEvent::Frame)
+                .map_err(|_| PlaneError::Disconnected)
+        })
     }
 
     fn abort(&mut self) {

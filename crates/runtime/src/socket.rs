@@ -1,0 +1,512 @@
+//! TCP backend of the broadcast plane: real multi-process transport.
+//!
+//! [`SocketPlane`] puts one simulated server in its own OS **process** (the
+//! `graphh-node` binary in `graphh-bench` does exactly that): every pair of
+//! servers shares one full-duplex TCP connection, frames travel in the
+//! length-prefixed wire encoding of [`crate::frame`], and one reader thread
+//! per peer feeds the same [`SuperstepCollector`] inbox discipline the
+//! in-process [`crate::plane::ChannelPlane`] uses — so the executor-facing
+//! behaviour (superstep ordering, stashing, abort semantics) is identical and
+//! the differential tests pin TCP runs bit-identical to the sequential
+//! reference.
+//!
+//! ## Topology and handshake
+//!
+//! Establishment is deterministic and cycle-free: server `i` **connects** to
+//! every peer with a smaller id and **accepts** from every peer with a larger
+//! one. The connector opens the connection with a 12-byte handshake —
+//! `b"GHH1" | u32 LE cluster size | u32 LE sender id` — which the acceptor
+//! validates (magic, matching cluster size, expected and not-yet-seen id)
+//! before the stream joins the fabric. Connects retry while the peer's
+//! listener is still coming up; both sides give up after the establish
+//! timeout instead of hanging on a misconfigured cluster.
+
+use crate::frame::{Frame, FrameError, InboxEvent, PlaneError, SuperstepCollector, WireMessage};
+use crate::plane::BroadcastPlane;
+use graphh_graph::ids::ServerId;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// First bytes of every connection: protocol magic + version.
+const HANDSHAKE_MAGIC: [u8; 4] = *b"GHH1";
+
+/// How long [`BoundSocketPlane::establish`] keeps retrying connects and
+/// polling accepts before giving up on an absent peer.
+pub const DEFAULT_ESTABLISH_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// A socket plane that has bound its listener but not yet connected to its
+/// peers. Two-phase establishment exists so callers (tests, the `graphh-node`
+/// launcher) can bind every listener first — `local_addr` then reports the
+/// OS-assigned port — before any endpoint starts dialing.
+pub struct BoundSocketPlane {
+    id: ServerId,
+    num_servers: u32,
+    listener: TcpListener,
+}
+
+impl BoundSocketPlane {
+    /// The address the listener actually bound (resolves port 0).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Connect to every peer and return the ready plane.
+    ///
+    /// `peer_addrs` holds one address per server, indexed by server id (this
+    /// server's own entry is ignored). Blocks until all `num_servers - 1`
+    /// connections are up, retrying for [`DEFAULT_ESTABLISH_TIMEOUT`].
+    pub fn establish(self, peer_addrs: &[SocketAddr]) -> std::io::Result<SocketPlane> {
+        self.establish_with_timeout(peer_addrs, DEFAULT_ESTABLISH_TIMEOUT)
+    }
+
+    /// [`Self::establish`] with an explicit timeout.
+    pub fn establish_with_timeout(
+        self,
+        peer_addrs: &[SocketAddr],
+        timeout: Duration,
+    ) -> std::io::Result<SocketPlane> {
+        let BoundSocketPlane {
+            id,
+            num_servers,
+            listener,
+        } = self;
+        if peer_addrs.len() != num_servers as usize {
+            return Err(invalid_input(format!(
+                "need one address per server: got {} for a {num_servers}-server cluster",
+                peer_addrs.len()
+            )));
+        }
+        let deadline = Instant::now() + timeout;
+
+        // Dial every lower id (their listeners are up or coming up), then
+        // accept every higher id. The direction is fixed by the ids, so the
+        // establishment graph is acyclic and cannot deadlock; the listener
+        // backlog holds early connects from higher ids until we accept them.
+        let mut streams: Vec<(ServerId, TcpStream)> = Vec::with_capacity(num_servers as usize - 1);
+        for peer in 0..id {
+            let stream = connect_with_retry(peer_addrs[peer as usize], deadline)?;
+            stream.set_nodelay(true)?;
+            let mut hello = Vec::with_capacity(12);
+            hello.extend_from_slice(&HANDSHAKE_MAGIC);
+            hello.extend_from_slice(&num_servers.to_le_bytes());
+            hello.extend_from_slice(&id.to_le_bytes());
+            let mut stream_ref = &stream;
+            stream_ref.write_all(&hello)?;
+            stream_ref.flush()?;
+            streams.push((peer, stream));
+        }
+        let mut expected: Vec<ServerId> = ((id + 1)..num_servers).collect();
+        listener.set_nonblocking(true)?;
+        while !expected.is_empty() {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    stream.set_nonblocking(false)?;
+                    let peer = read_handshake(&stream, num_servers, deadline)?;
+                    if let Some(slot) = expected.iter().position(|&e| e == peer) {
+                        expected.swap_remove(slot);
+                        stream.set_nodelay(true)?;
+                        streams.push((peer, stream));
+                    } else {
+                        return Err(invalid_data(format!(
+                            "unexpected or duplicate handshake from server {peer}"
+                        )));
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    if Instant::now() >= deadline {
+                        return Err(std::io::Error::new(
+                            std::io::ErrorKind::TimedOut,
+                            format!(
+                                "server {id}: peers {expected:?} did not connect before the \
+                                 establish timeout"
+                            ),
+                        ));
+                    }
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        streams.sort_by_key(|&(peer, _)| peer);
+
+        // One reader thread per peer feeds the shared inbox; the write halves
+        // stay with the plane.
+        let (tx, inbox) = channel::<InboxEvent>();
+        let mut writers = Vec::with_capacity(streams.len());
+        let mut readers = Vec::with_capacity(streams.len());
+        for (peer, stream) in streams {
+            let read_half = stream.try_clone()?;
+            let tx = tx.clone();
+            readers.push(
+                std::thread::Builder::new()
+                    .name(format!("graphh-sock-rx-{id}-from-{peer}"))
+                    .spawn(move || reader_loop(read_half, peer, &tx))
+                    .map_err(|e| std::io::Error::other(format!("spawn reader thread: {e}")))?,
+            );
+            writers.push((peer, BufWriter::new(stream)));
+        }
+        Ok(SocketPlane {
+            id,
+            num_servers,
+            writers,
+            inbox,
+            collector: SuperstepCollector::new(),
+            readers,
+            scratch: Vec::new(),
+        })
+    }
+}
+
+/// TCP implementation of [`BroadcastPlane`]: one full-duplex connection per
+/// peer, frames in the length-prefixed wire encoding, reader threads feeding
+/// the shared [`SuperstepCollector`] discipline.
+pub struct SocketPlane {
+    id: ServerId,
+    num_servers: u32,
+    /// Write halves, ordered by peer id.
+    writers: Vec<(ServerId, BufWriter<TcpStream>)>,
+    /// Frames (and peer-loss events) from every reader thread.
+    inbox: Receiver<InboxEvent>,
+    collector: SuperstepCollector,
+    readers: Vec<JoinHandle<()>>,
+    /// Reused frame-encoding buffer.
+    scratch: Vec<u8>,
+}
+
+impl SocketPlane {
+    /// Bind the listener for server `id` of a `num_servers` cluster on
+    /// `listen_addr` (port 0 picks a free port; see
+    /// [`BoundSocketPlane::local_addr`]).
+    pub fn bind<A: ToSocketAddrs>(
+        id: ServerId,
+        num_servers: u32,
+        listen_addr: A,
+    ) -> std::io::Result<BoundSocketPlane> {
+        if num_servers == 0 {
+            return Err(invalid_input(
+                "cluster must have at least one server (num_servers = 0)".to_string(),
+            ));
+        }
+        if id >= num_servers {
+            return Err(invalid_input(format!(
+                "server id {id} out of range for a {num_servers}-server cluster"
+            )));
+        }
+        let listener = TcpListener::bind(listen_addr)?;
+        Ok(BoundSocketPlane {
+            id,
+            num_servers,
+            listener,
+        })
+    }
+
+    /// Encode `frame` once and write it to every peer.
+    fn send_to_all(&mut self, frame: &Frame) -> Result<(), PlaneError> {
+        self.scratch.clear();
+        frame.encode(&mut self.scratch);
+        for (_, writer) in &mut self.writers {
+            writer
+                .write_all(&self.scratch)
+                .map_err(|_| PlaneError::Disconnected)?;
+        }
+        Ok(())
+    }
+}
+
+impl BroadcastPlane for SocketPlane {
+    fn num_servers(&self) -> u32 {
+        self.num_servers
+    }
+
+    fn server_id(&self) -> ServerId {
+        self.id
+    }
+
+    fn broadcast(&mut self, superstep: u32, wire: &[u8]) -> Result<(), PlaneError> {
+        // Encode straight from the payload slice (no intermediate Arc copy on
+        // the hot path); the size check makes an oversized broadcast a clear
+        // sender-side error instead of a stream every receiver rejects.
+        self.scratch.clear();
+        crate::frame::encode_message_into(self.id, superstep, wire, &mut self.scratch)
+            .map_err(|e| PlaneError::Protocol(e.to_string()))?;
+        for (_, writer) in &mut self.writers {
+            writer
+                .write_all(&self.scratch)
+                .map_err(|_| PlaneError::Disconnected)?;
+        }
+        Ok(())
+    }
+
+    fn end_superstep(&mut self, superstep: u32) -> Result<(), PlaneError> {
+        let frame = Frame::EndOfSuperstep {
+            sender: self.id,
+            superstep,
+        };
+        self.send_to_all(&frame)?;
+        // The superstep's frames must actually hit the wire: peers block in
+        // `collect` until they see this marker.
+        for (_, writer) in &mut self.writers {
+            writer.flush().map_err(|_| PlaneError::Disconnected)?;
+        }
+        Ok(())
+    }
+
+    fn collect(&mut self, superstep: u32) -> Result<Vec<WireMessage>, PlaneError> {
+        let inbox = &self.inbox;
+        let peers: Vec<ServerId> = self.writers.iter().map(|&(p, _)| p).collect();
+        self.collector.collect(superstep, &peers, || {
+            inbox.recv().map_err(|_| PlaneError::Disconnected)
+        })
+    }
+
+    fn abort(&mut self) {
+        let frame = Frame::Abort { sender: self.id };
+        self.scratch.clear();
+        frame.encode(&mut self.scratch);
+        for (_, writer) in &mut self.writers {
+            // Best effort: a peer that is already gone cannot be told.
+            let _ = writer.write_all(&self.scratch);
+            let _ = writer.flush();
+        }
+    }
+}
+
+impl Drop for SocketPlane {
+    fn drop(&mut self) {
+        for (_, writer) in &mut self.writers {
+            let _ = writer.flush();
+            // Shutting down the socket unblocks this plane's reader thread
+            // (same fd) and delivers EOF to the peer's.
+            let _ = writer.get_ref().shutdown(Shutdown::Both);
+        }
+        for handle in self.readers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for SocketPlane {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SocketPlane")
+            .field("id", &self.id)
+            .field("num_servers", &self.num_servers)
+            .finish()
+    }
+}
+
+/// Decode frames off one peer's stream into the shared inbox until the stream
+/// ends. Any ending — clean EOF included — enqueues a terminal
+/// [`InboxEvent::PeerLost`]: because the stream is FIFO, every frame the peer
+/// ever sent is already in the inbox ahead of the loss event, so the
+/// collector can tell a peer that finished the run and closed (benign) from
+/// one that died mid-superstep (fatal).
+fn reader_loop(stream: TcpStream, peer: ServerId, tx: &Sender<InboxEvent>) {
+    let mut reader = BufReader::new(stream);
+    loop {
+        match Frame::read_from(&mut reader) {
+            Ok(Some(frame)) => {
+                if frame.sender() != peer {
+                    let _ = tx.send(InboxEvent::PeerLost(
+                        peer,
+                        PlaneError::Protocol(format!(
+                            "stream from server {peer} carried a frame claiming sender {}",
+                            frame.sender()
+                        )),
+                    ));
+                    return;
+                }
+                if tx.send(InboxEvent::Frame(frame)).is_err() {
+                    return; // plane dropped; stop reading
+                }
+            }
+            Ok(None) => {
+                let _ = tx.send(InboxEvent::PeerLost(peer, PlaneError::Disconnected));
+                return;
+            }
+            Err(FrameError::Corrupt(m)) => {
+                let _ = tx.send(InboxEvent::PeerLost(
+                    peer,
+                    PlaneError::Protocol(format!("corrupt frame from server {peer}: {m}")),
+                ));
+                return;
+            }
+            Err(FrameError::Io(_)) => {
+                let _ = tx.send(InboxEvent::PeerLost(peer, PlaneError::Disconnected));
+                return;
+            }
+        }
+    }
+}
+
+fn connect_with_retry(addr: SocketAddr, deadline: Instant) -> std::io::Result<TcpStream> {
+    loop {
+        match TcpStream::connect(addr) {
+            Ok(stream) => return Ok(stream),
+            Err(e) => {
+                if Instant::now() >= deadline {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::TimedOut,
+                        format!("could not reach peer at {addr} before the establish timeout: {e}"),
+                    ));
+                }
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+    }
+}
+
+fn read_handshake(
+    stream: &TcpStream,
+    num_servers: u32,
+    deadline: Instant,
+) -> std::io::Result<ServerId> {
+    // A rogue or half-dead connection must not park establishment forever.
+    let budget = deadline
+        .checked_duration_since(Instant::now())
+        .unwrap_or(Duration::from_millis(1));
+    stream.set_read_timeout(Some(budget))?;
+    let mut hello = [0u8; 12];
+    (&mut &*stream).read_exact(&mut hello)?;
+    stream.set_read_timeout(None)?;
+    if hello[0..4] != HANDSHAKE_MAGIC {
+        return Err(invalid_data(
+            "connection did not open with the GHH1 handshake magic".to_string(),
+        ));
+    }
+    let claimed_servers = u32::from_le_bytes([hello[4], hello[5], hello[6], hello[7]]);
+    if claimed_servers != num_servers {
+        return Err(invalid_data(format!(
+            "peer believes the cluster has {claimed_servers} servers, this node {num_servers}"
+        )));
+    }
+    Ok(ServerId::from_le_bytes([
+        hello[8], hello[9], hello[10], hello[11],
+    ]))
+}
+
+fn invalid_input(message: String) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidInput, message)
+}
+
+fn invalid_data(message: String) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, message)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    /// Bind `n` planes on loopback and return them with the address table.
+    fn bind_cluster(n: u32) -> (Vec<BoundSocketPlane>, Vec<SocketAddr>) {
+        let bound: Vec<BoundSocketPlane> = (0..n)
+            .map(|sid| SocketPlane::bind(sid, n, "127.0.0.1:0").unwrap())
+            .collect();
+        let addrs = bound.iter().map(|b| b.local_addr().unwrap()).collect();
+        (bound, addrs)
+    }
+
+    fn establish_all(bound: Vec<BoundSocketPlane>, addrs: &[SocketAddr]) -> Vec<SocketPlane> {
+        thread::scope(|scope| {
+            let handles: Vec<_> = bound
+                .into_iter()
+                .map(|b| scope.spawn(move || b.establish(addrs).unwrap()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        })
+    }
+
+    #[test]
+    fn config_errors_are_rejected_at_bind() {
+        assert!(SocketPlane::bind(0, 0, "127.0.0.1:0").is_err());
+        assert!(SocketPlane::bind(3, 3, "127.0.0.1:0").is_err());
+        assert!(SocketPlane::bind(0, 1, "127.0.0.1:0").is_ok());
+    }
+
+    #[test]
+    fn establish_rejects_wrong_address_table() {
+        let (mut bound, mut addrs) = bind_cluster(2);
+        let b = bound.remove(0);
+        addrs.pop();
+        assert!(b.establish(&addrs).is_err());
+        // Unblock the remaining bound plane by dropping it unestablished.
+        drop(bound);
+    }
+
+    #[test]
+    fn single_server_socket_plane_collects_nothing() {
+        let (bound, addrs) = bind_cluster(1);
+        let mut plane = bound.into_iter().next().unwrap().establish(&addrs).unwrap();
+        plane.end_superstep(0).unwrap();
+        assert_eq!(plane.collect(0).unwrap(), Vec::<WireMessage>::new());
+    }
+
+    #[test]
+    fn all_to_all_delivery_over_loopback_tcp() {
+        let (bound, addrs) = bind_cluster(3);
+        let planes = establish_all(bound, &addrs);
+        let results: Vec<Vec<usize>> = thread::scope(|scope| {
+            let handles: Vec<_> = planes
+                .into_iter()
+                .map(|mut p| {
+                    scope.spawn(move || {
+                        let mut seen = Vec::new();
+                        for s in 0..4u32 {
+                            for _ in 0..=s {
+                                p.broadcast(s, &[p.server_id() as u8, s as u8]).unwrap();
+                            }
+                            p.end_superstep(s).unwrap();
+                            let got = p.collect(s).unwrap();
+                            assert!(got.iter().all(|w| w.len() == 2 && w[1] == s as u8));
+                            seen.push(got.len());
+                        }
+                        seen
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for seen in results {
+            assert_eq!(seen, vec![2, 4, 6, 8]);
+        }
+    }
+
+    #[test]
+    fn abort_crosses_the_wire() {
+        let (bound, addrs) = bind_cluster(2);
+        let mut planes = establish_all(bound, &addrs).into_iter();
+        let mut a = planes.next().unwrap();
+        let mut b = planes.next().unwrap();
+        b.abort();
+        a.end_superstep(0).unwrap();
+        assert_eq!(a.collect(0), Err(PlaneError::Aborted(1)));
+    }
+
+    #[test]
+    fn dropped_peer_process_surfaces_as_disconnect() {
+        let (bound, addrs) = bind_cluster(2);
+        let mut planes = establish_all(bound, &addrs).into_iter();
+        let mut a = planes.next().unwrap();
+        let b = planes.next().unwrap();
+        drop(b); // peer "process" dies without ending the superstep
+        assert_eq!(a.collect(0), Err(PlaneError::Disconnected));
+    }
+
+    #[test]
+    fn missing_peer_times_out_instead_of_hanging() {
+        let bound = SocketPlane::bind(1, 2, "127.0.0.1:0").unwrap();
+        // Peer 0's address points at a bound-then-dropped port: nothing will
+        // ever accept there.
+        let dead = TcpListener::bind("127.0.0.1:0").unwrap();
+        let dead_addr = dead.local_addr().unwrap();
+        drop(dead);
+        let addrs = vec![dead_addr, bound.local_addr().unwrap()];
+        let err = bound
+            .establish_with_timeout(&addrs, Duration::from_millis(300))
+            .unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::TimedOut);
+    }
+}

@@ -1,0 +1,134 @@
+//! Differential suite for the TCP transport: a cluster of workers exchanging
+//! frames over real loopback sockets must be bit-identical to the sequential
+//! reference executor — for PageRank, SSSP and WCC.
+//!
+//! Each worker runs on its own thread with its own [`SocketPlane`] endpoint
+//! (the multi-process variant of the same wiring lives in `graphh-bench`'s
+//! `graphh-node` binary and its `multiprocess` test); every broadcast crosses
+//! the wire length-prefix-encoded and re-decoded, so this pins the entire
+//! socket path: handshake, frame codec, reader threads, inbox discipline.
+
+use graphh_cluster::ClusterConfig;
+use graphh_core::exec::ExecutionPlan;
+use graphh_core::{
+    GabProgram, GraphHConfig, GraphHEngine, PageRank, SequentialExecutor, Sssp, Wcc,
+};
+use graphh_graph::generators::{GraphGenerator, RmatGenerator};
+use graphh_graph::GraphBuilder;
+use graphh_partition::{PartitionedGraph, Spe, SpeConfig};
+use graphh_runtime::{run_worker, BroadcastPlane, SocketPlane, SuperstepBarrier};
+use std::net::SocketAddr;
+use std::sync::mpsc::channel;
+use std::sync::Arc;
+use std::thread;
+
+const SERVERS: u32 = 3;
+
+/// Run `program` with every server on its own thread and its own TCP
+/// endpoint; returns each server's final replica values.
+fn run_over_tcp(
+    config: &GraphHConfig,
+    partitioned: &PartitionedGraph,
+    program: &dyn GabProgram,
+) -> Vec<Vec<f64>> {
+    let plan = ExecutionPlan::prepare(config, partitioned, program).expect("plan");
+    let num_servers = config.cluster.num_servers;
+    let bound: Vec<_> = (0..num_servers)
+        .map(|sid| SocketPlane::bind(sid, num_servers, "127.0.0.1:0").expect("bind"))
+        .collect();
+    let addrs: Vec<SocketAddr> = bound.iter().map(|b| b.local_addr().unwrap()).collect();
+
+    let mut outputs: Vec<(u32, Vec<f64>)> = thread::scope(|scope| {
+        let handles: Vec<_> = bound
+            .into_iter()
+            .map(|b| {
+                let addrs = &addrs;
+                let plan = &plan;
+                scope.spawn(move || {
+                    let mut plane = b.establish(addrs).expect("establish");
+                    // Each process-like worker has a trivial local barrier;
+                    // cross-server lockstep comes from the plane's
+                    // end-of-superstep framing, exactly as in a real
+                    // multi-process deployment.
+                    let barrier = SuperstepBarrier::new(1);
+                    let (metrics_tx, _metrics_rx) = channel();
+                    let sid = plane.server_id();
+                    let output = run_worker(
+                        config,
+                        plan,
+                        partitioned,
+                        program,
+                        sid,
+                        &mut plane,
+                        &barrier,
+                        &metrics_tx,
+                    )
+                    .expect("worker");
+                    (sid, output.values)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    outputs.sort_by_key(|&(sid, _)| sid);
+    outputs.into_iter().map(|(_, values)| values).collect()
+}
+
+fn assert_tcp_matches_sequential(
+    partitioned: &PartitionedGraph,
+    program: &dyn GabProgram,
+    what: &str,
+) {
+    let config = GraphHConfig::paper_default(ClusterConfig::paper_testbed(SERVERS));
+    let sequential =
+        GraphHEngine::with_executor(config.clone(), Arc::new(SequentialExecutor::new()))
+            .run(partitioned, program)
+            .expect("sequential run");
+    let replicas = run_over_tcp(&config, partitioned, program);
+    assert_eq!(replicas.len() as u32, SERVERS);
+    for (sid, values) in replicas.iter().enumerate() {
+        assert_eq!(
+            values.len(),
+            sequential.values.len(),
+            "{what}: server {sid}"
+        );
+        for (v, (x, y)) in values.iter().zip(&sequential.values).enumerate() {
+            assert_eq!(
+                x.to_bits(),
+                y.to_bits(),
+                "{what}: server {sid} vertex {v} diverged over TCP ({x} vs {y})"
+            );
+        }
+    }
+}
+
+#[test]
+fn tcp_pagerank_is_bit_identical_to_sequential() {
+    let g = RmatGenerator::new(8, 6).generate(2017);
+    let p = Spe::partition(&g, &SpeConfig::with_tile_count("tcp", &g, 9)).unwrap();
+    assert_tcp_matches_sequential(&p, &PageRank::new(8), "pagerank");
+}
+
+#[test]
+fn tcp_sssp_is_bit_identical_to_sequential() {
+    let g = RmatGenerator::new(8, 5).generate(42);
+    let p = Spe::partition(&g, &SpeConfig::with_tile_count("tcp", &g, 9)).unwrap();
+    let source = (0..g.num_vertices() as u32)
+        .max_by_key(|&v| g.out_degree(v))
+        .unwrap_or(0);
+    assert_tcp_matches_sequential(&p, &Sssp::new(source), "sssp");
+}
+
+#[test]
+fn tcp_wcc_is_bit_identical_to_sequential() {
+    let base = RmatGenerator::new(7, 4).simplified().generate(7);
+    let mut b = GraphBuilder::new()
+        .with_num_vertices(base.num_vertices())
+        .symmetric(true);
+    for e in base.edges().iter() {
+        b.add_edge(e);
+    }
+    let sym = b.build().unwrap();
+    let p = Spe::partition(&sym, &SpeConfig::with_tile_count("tcp", &sym, 9)).unwrap();
+    assert_tcp_matches_sequential(&p, &Wcc::new(), "wcc");
+}

@@ -29,11 +29,14 @@
 //! * [`partition`] — two-stage partitioning into tiles,
 //! * [`cluster`] — the simulated cluster: config, metrics, cost model, broadcast,
 //! * [`cache`] — the edge cache,
-//! * [`pool`] — the scoped fork-join thread pool behind intra-server tile
-//!   parallelism (the paper's `T` compute threads),
+//! * [`pool`] — the persistent fork-join worker pool behind intra-server tile
+//!   parallelism (the paper's `T` compute threads) and the SPE's parallel
+//!   passes,
 //! * [`core`] — the GAB model, the GraphH engine, executors and the algorithms,
-//! * [`runtime`] — the threaded worker runtime (one OS thread per server ×
-//!   `T` tile threads inside it, channel broadcast plane, superstep barriers),
+//! * [`runtime`] — the parallel worker runtime (one OS thread per server ×
+//!   `T` tile threads inside it; broadcast planes over in-process channels or
+//!   TCP sockets — the latter runs each server as its own process via the
+//!   `graphh-node` binary — plus superstep barriers),
 //! * [`baselines`] — Pregel+, GraphD, PowerGraph, PowerLyra and Chaos.
 //!
 //! To run the engine on real threads instead of the sequential reference loop:
