@@ -33,9 +33,10 @@ pub use gas::{CutStrategy, GasConfig, GasEngine};
 pub use pregel::{PregelConfig, PregelEngine, PregelStorage};
 pub use program::{MessageCombiner, MessageProgram};
 
-/// The result every baseline engine returns, mirroring
-/// [`graphh_core::RunResult`] so the experiment harness can treat all systems
-/// uniformly.
+/// The result every baseline engine returns, mirroring `graphh_core`'s
+/// `RunResult` so the experiment harness can treat all systems uniformly
+/// (no intra-doc link: the engines are deliberately decoupled from
+/// `graphh-core` outside of tests).
 #[derive(Debug, Clone)]
 pub struct BaselineRunResult {
     /// Final vertex values.

@@ -21,15 +21,16 @@
 //! Workload flags (must match on every node): `--program pagerank|sssp|wcc`,
 //! `--scale`, `--edge-factor`, `--seed`, `--tiles`, `--supersteps`,
 //! `--threads-per-server`. Runtime flags: `--id`, `--servers`, `--listen`,
-//! `--peers` (comma-separated, indexed by server id), `--out`,
-//! `--establish-timeout-secs`.
+//! `--peers` (comma-separated, indexed by server id), `--plane socket|poll`
+//! (blocking reader-thread-per-peer vs single event-loop thread — same wire
+//! protocol, see docs/WIRE.md), `--out`, `--establish-timeout-secs`.
 
 use graphh_bench::multiprocess::{encode_values, NodeWorkload};
 use graphh_cluster::ClusterConfig;
 use graphh_core::exec::ExecutionPlan;
 use graphh_core::GraphHConfig;
 use graphh_pool::WorkerPool;
-use graphh_runtime::{run_worker, BroadcastPlane, MetricsSlice, SocketPlane, SuperstepBarrier};
+use graphh_runtime::{run_worker, BoundTcpPlane, MetricsSlice, SuperstepBarrier, TcpPlaneKind};
 use std::net::SocketAddr;
 use std::sync::mpsc::channel;
 use std::time::{Duration, Instant};
@@ -39,6 +40,7 @@ struct Args {
     servers: u32,
     listen: String,
     peers: Vec<SocketAddr>,
+    plane: TcpPlaneKind,
     workload: NodeWorkload,
     threads_per_server: Option<u32>,
     out: Option<String>,
@@ -48,9 +50,9 @@ struct Args {
 fn usage() -> ! {
     eprintln!(
         "usage: graphh-node --id I --servers P --listen ADDR --peers A0,A1,... \
-         [--program pagerank|sssp|wcc] [--scale S] [--edge-factor F] [--seed N] \
-         [--tiles T] [--supersteps N] [--threads-per-server T] [--out FILE] \
-         [--establish-timeout-secs N]"
+         [--plane socket|poll] [--program pagerank|sssp|wcc] [--scale S] \
+         [--edge-factor F] [--seed N] [--tiles T] [--supersteps N] \
+         [--threads-per-server T] [--out FILE] [--establish-timeout-secs N]"
     );
     std::process::exit(2);
 }
@@ -68,6 +70,7 @@ fn parse_args() -> Result<Args, String> {
         tiles: 9,
         supersteps: 10,
     };
+    let mut plane = TcpPlaneKind::Socket;
     let mut threads_per_server = None;
     let mut out = None;
     let mut establish_timeout = Duration::from_secs(10);
@@ -91,6 +94,7 @@ fn parse_args() -> Result<Args, String> {
                     .map(|a| a.trim().parse().map_err(|e| bad(&e)))
                     .collect::<Result<_, _>>()?;
             }
+            "--plane" => plane = value.parse()?,
             "--program" => workload.program = value,
             "--scale" => workload.scale = value.parse().map_err(|e| bad(&e))?,
             "--edge-factor" => workload.edge_factor = value.parse().map_err(|e| bad(&e))?,
@@ -118,6 +122,7 @@ fn parse_args() -> Result<Args, String> {
         servers,
         listen,
         peers,
+        plane,
         workload,
         threads_per_server,
         out,
@@ -130,13 +135,14 @@ fn run(args: Args) -> Result<(), String> {
 
     // Bind the listener before the (potentially slow) deterministic workload
     // build, so peers' connect retries succeed as early as possible.
-    let bound = SocketPlane::bind(args.id, args.servers, args.listen.as_str())
+    let bound = BoundTcpPlane::bind(args.plane, args.id, args.servers, args.listen.as_str())
         .map_err(|e| format!("bind listener: {e}"))?;
     eprintln!(
-        "graphh-node {}/{}: listening on {}",
+        "graphh-node {}/{}: listening on {} (plane {:?})",
         args.id,
         args.servers,
-        bound.local_addr().map_err(|e| e.to_string())?
+        bound.local_addr().map_err(|e| e.to_string())?,
+        args.plane,
     );
 
     let mut config = GraphHConfig::paper_default(ClusterConfig::paper_testbed(args.servers));
@@ -177,7 +183,7 @@ fn run(args: Args) -> Result<(), String> {
         &partitioned,
         program.as_ref(),
         sid,
-        &mut plane,
+        plane.as_mut(),
         &barrier,
         &metrics_tx,
     )

@@ -43,8 +43,9 @@ fn available() -> Vec<Experiment> {
 fn runtime_and_record_json() -> String {
     let rows = runtime_rows();
     let pool = pool_spawn_microbench();
-    let mut out = runtime_report(&rows, &pool);
-    match std::fs::write("BENCH_runtime.json", runtime_json(&rows, &pool)) {
+    let plane = plane_loopback_microbench();
+    let mut out = runtime_report(&rows, &pool, &plane);
+    match std::fs::write("BENCH_runtime.json", runtime_json(&rows, &pool, &plane)) {
         Ok(()) => out.push_str("(wrote BENCH_runtime.json)\n"),
         Err(e) => out.push_str(&format!("could not write BENCH_runtime.json: {e}\n")),
     }

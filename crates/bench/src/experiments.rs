@@ -646,7 +646,11 @@ pub fn ablations() -> String {
 /// [`runtime_report`] / [`runtime_json`] (the report binary does) so both
 /// outputs describe the same measurement.
 pub fn runtime_executors() -> String {
-    runtime_report(&runtime_rows(), &pool_spawn_microbench())
+    runtime_report(
+        &runtime_rows(),
+        &pool_spawn_microbench(),
+        &plane_loopback_microbench(),
+    )
 }
 
 /// The host's core count as `available_parallelism` reports it (0 when the
@@ -660,7 +664,7 @@ pub fn host_cores() -> usize {
 }
 
 /// Render the executor-comparison table from measured rows.
-pub fn runtime_report(rows: &[RuntimeRow], pool: &PoolBench) -> String {
+pub fn runtime_report(rows: &[RuntimeRow], pool: &PoolBench, plane: &PlaneBench) -> String {
     let mut out = format!(
         "# Runtime: sequential vs threaded executor (RMAT scale-10, PageRank, wall-clock)\n\
          host cores (available_parallelism): {}\n\
@@ -695,6 +699,19 @@ pub fn runtime_report(rows: &[RuntimeRow], pool: &PoolBench) -> String {
         pool.spawning_seconds,
         pool.persistent_seconds,
         pool.speedup()
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "plane microbench (2 endpoints, {} supersteps x {} x {} B broadcasts): \
+         socket={:.6}s poll={:.6}s socket/poll={:.2}x (poll's win is thread \
+         footprint: 1 loop thread vs one reader per peer)",
+        plane.supersteps,
+        plane.messages_per_superstep,
+        plane.payload_bytes,
+        plane.socket_seconds,
+        plane.poll_seconds,
+        plane.ratio()
     )
     .unwrap();
     out
@@ -769,6 +786,88 @@ pub fn pool_spawn_microbench() -> PoolBench {
         threads,
         spawning_seconds,
         persistent_seconds,
+    }
+}
+
+/// Measured loopback wall-clock of the two TCP broadcast planes on the same
+/// exchange — the transport axis of the runtime record. `socket` burns one
+/// reader thread per peer; `poll` drives every peer from a single event-loop
+/// thread (see `docs/WIRE.md` §5 and the `graphh-node --plane` flag). On a
+/// 2-endpoint loopback the two are expected to be close; the poll plane's
+/// advantage is thread *footprint* at larger cluster sizes, not 2-node
+/// latency.
+pub struct PlaneBench {
+    /// Supersteps per measurement.
+    pub supersteps: u32,
+    /// Broadcasts per endpoint per superstep.
+    pub messages_per_superstep: usize,
+    /// Bytes per broadcast payload.
+    pub payload_bytes: usize,
+    /// Best-of-3 seconds over [`graphh_runtime::SocketPlane`].
+    pub socket_seconds: f64,
+    /// Best-of-3 seconds over [`graphh_runtime::PollPlane`].
+    pub poll_seconds: f64,
+}
+
+impl PlaneBench {
+    /// Socket-plane time over poll-plane time (>1 means poll was faster).
+    pub fn ratio(&self) -> f64 {
+        self.socket_seconds / self.poll_seconds.max(1e-12)
+    }
+}
+
+/// Measure [`PlaneBench`]: two endpoints over loopback, 32 supersteps of
+/// 8 × 4 KiB broadcasts each, best of 3 per plane.
+pub fn plane_loopback_microbench() -> PlaneBench {
+    use graphh_runtime::{BoundTcpPlane, BroadcastPlane, TcpPlaneKind};
+    use std::net::SocketAddr;
+    use std::time::Instant;
+
+    const SUPERSTEPS: u32 = 32;
+    const MESSAGES: usize = 8;
+    const PAYLOAD: usize = 4096;
+
+    fn exchange(mut plane: Box<dyn BroadcastPlane>, payload: &[u8]) {
+        for s in 0..SUPERSTEPS {
+            for _ in 0..MESSAGES {
+                plane.broadcast(s, payload).expect("broadcast");
+            }
+            plane.end_superstep(s).expect("end superstep");
+            let got = plane.collect(s).expect("collect");
+            assert_eq!(got.len(), MESSAGES);
+        }
+    }
+
+    // Measures one full 2-endpoint run: bind, establish, exchange, teardown
+    // (teardown is part of the cost story — the socket plane joins 2 reader
+    // threads, the poll plane 1 event loop, per endpoint).
+    fn run_once(kind: TcpPlaneKind, payload: &[u8]) -> f64 {
+        let started = Instant::now();
+        std::thread::scope(|scope| {
+            let bound: Vec<BoundTcpPlane> = (0..2)
+                .map(|sid| BoundTcpPlane::bind(kind, sid, 2, "127.0.0.1:0").expect("bind"))
+                .collect();
+            let addrs: Vec<SocketAddr> = bound.iter().map(|b| b.local_addr().unwrap()).collect();
+            for b in bound {
+                let addrs = addrs.clone();
+                scope.spawn(move || exchange(b.establish(&addrs).expect("establish"), payload));
+            }
+        });
+        started.elapsed().as_secs_f64()
+    }
+
+    let payload = vec![0x5au8; PAYLOAD];
+    let best_of_3 = |kind: TcpPlaneKind| {
+        (0..3)
+            .map(|_| run_once(kind, &payload))
+            .fold(f64::INFINITY, f64::min)
+    };
+    PlaneBench {
+        supersteps: SUPERSTEPS,
+        messages_per_superstep: MESSAGES,
+        payload_bytes: PAYLOAD,
+        socket_seconds: best_of_3(TcpPlaneKind::Socket),
+        poll_seconds: best_of_3(TcpPlaneKind::Poll),
     }
 }
 
@@ -855,7 +954,7 @@ pub fn runtime_rows() -> Vec<RuntimeRow> {
 /// run). The header records the host core count and the swept axes so a ≤1×
 /// speedup on a small runner reads as the hardware's verdict, not a
 /// regression.
-pub fn runtime_json(rows: &[RuntimeRow], pool: &PoolBench) -> String {
+pub fn runtime_json(rows: &[RuntimeRow], pool: &PoolBench, plane: &PlaneBench) -> String {
     let mut servers_swept: Vec<u32> = rows.iter().map(|r| r.servers).collect();
     servers_swept.dedup();
     let mut threads_swept: Vec<u32> = rows.iter().map(|r| r.threads_per_server).collect();
@@ -895,13 +994,26 @@ pub fn runtime_json(rows: &[RuntimeRow], pool: &PoolBench) -> String {
     writeln!(
         out,
         "  \"pool_microbench\": {{\"phases\": {}, \"items\": {}, \"threads\": {}, \
-         \"spawn_per_phase_s\": {:.6}, \"persistent_pool_s\": {:.6}, \"speedup\": {:.4}}}",
+         \"spawn_per_phase_s\": {:.6}, \"persistent_pool_s\": {:.6}, \"speedup\": {:.4}}},",
         pool.phases,
         pool.items,
         pool.threads,
         pool.spawning_seconds,
         pool.persistent_seconds,
         pool.speedup()
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "  \"planes_swept\": [\"socket\", \"poll\"],\n  \
+         \"plane_microbench\": {{\"endpoints\": 2, \"supersteps\": {}, \"messages_per_superstep\": {}, \
+         \"payload_bytes\": {}, \"socket_s\": {:.6}, \"poll_s\": {:.6}, \"socket_over_poll\": {:.4}}}",
+        plane.supersteps,
+        plane.messages_per_superstep,
+        plane.payload_bytes,
+        plane.socket_seconds,
+        plane.poll_seconds,
+        plane.ratio()
     )
     .unwrap();
     out.push_str("}\n");
@@ -924,6 +1036,18 @@ mod tests {
         assert!(f1a.contains("Pregel+"));
         let f6a = fig6a_replication_policies();
         assert!(f6a.contains("UK-2014"));
+    }
+
+    /// The transport axis must actually run on both planes (a hang or
+    /// deadlock here would stall CI's `report runtime` step).
+    #[test]
+    fn plane_microbench_measures_both_planes() {
+        let bench = plane_loopback_microbench();
+        assert!(bench.socket_seconds > 0.0);
+        assert!(bench.poll_seconds > 0.0);
+        let json = runtime_json(&[], &pool_spawn_microbench(), &bench);
+        assert!(json.contains("\"planes_swept\": [\"socket\", \"poll\"]"));
+        assert!(json.contains("\"plane_microbench\""));
     }
 
     #[test]

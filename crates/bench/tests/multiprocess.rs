@@ -1,10 +1,12 @@
 //! Multi-process determinism: launch real `graphh-node` OS processes over
 //! loopback TCP and pin their replicas bit-identical to each other *and* to
-//! the in-process sequential reference executor — for PageRank, SSSP and WCC.
+//! the in-process sequential reference executor — for PageRank, SSSP and WCC,
+//! over **both** TCP planes (`--plane socket` and `--plane poll`).
 //!
 //! This is the strongest statement the transport refactor makes: the same
 //! superstep loop, wire codec and frame protocol, with the simulated servers
-//! living in separate address spaces, produces byte-for-byte the values of
+//! living in separate address spaces — whether driven by blocking reader
+//! threads or a single readiness loop — produces byte-for-byte the values of
 //! the single-threaded reference.
 
 use graphh_bench::multiprocess::{decode_values, NodeWorkload};
@@ -29,7 +31,13 @@ fn free_loopback_ports(n: usize) -> Vec<u16> {
         .collect()
 }
 
-fn spawn_node(workload: &NodeWorkload, id: u32, ports: &[u16], out: &std::path::Path) -> Child {
+fn spawn_node(
+    workload: &NodeWorkload,
+    plane: &str,
+    id: u32,
+    ports: &[u16],
+    out: &std::path::Path,
+) -> Child {
     let peers = ports
         .iter()
         .map(|p| format!("127.0.0.1:{p}"))
@@ -43,6 +51,8 @@ fn spawn_node(workload: &NodeWorkload, id: u32, ports: &[u16], out: &std::path::
             &SERVERS.to_string(),
             "--listen",
             &format!("127.0.0.1:{}", ports[id as usize]),
+            "--plane",
+            plane,
             "--peers",
             &peers,
             "--program",
@@ -68,12 +78,16 @@ fn spawn_node(workload: &NodeWorkload, id: u32, ports: &[u16], out: &std::path::
 
 /// Run the cluster once; `Err` when any node exits nonzero (e.g. it lost the
 /// port-reservation race) so the caller can retry with fresh ports.
-fn try_cluster_run(workload: &NodeWorkload, attempt: u32) -> Result<Vec<Vec<f64>>, String> {
+fn try_cluster_run(
+    workload: &NodeWorkload,
+    plane: &str,
+    attempt: u32,
+) -> Result<Vec<Vec<f64>>, String> {
     let dir = std::env::temp_dir();
     let outs: Vec<std::path::PathBuf> = (0..SERVERS)
         .map(|id| {
             dir.join(format!(
-                "graphh-mp-{}-{}-a{attempt}-s{id}.bin",
+                "graphh-mp-{}-{}-{plane}-a{attempt}-s{id}.bin",
                 std::process::id(),
                 workload.program
             ))
@@ -81,7 +95,7 @@ fn try_cluster_run(workload: &NodeWorkload, attempt: u32) -> Result<Vec<Vec<f64>
         .collect();
     let ports = free_loopback_ports(SERVERS as usize);
     let children: Vec<Child> = (0..SERVERS)
-        .map(|id| spawn_node(workload, id, &ports, &outs[id as usize]))
+        .map(|id| spawn_node(workload, plane, id, &ports, &outs[id as usize]))
         .collect();
     let mut ok = true;
     for mut child in children {
@@ -101,12 +115,12 @@ fn try_cluster_run(workload: &NodeWorkload, attempt: u32) -> Result<Vec<Vec<f64>
     Ok(values)
 }
 
-fn assert_cluster_matches_sequential(workload: NodeWorkload) {
+fn assert_cluster_matches_sequential(workload: NodeWorkload, plane: &str) {
     // Retry a couple of times: the free-port reservation is inherently racy
     // on a shared machine, and a stolen port makes a node exit nonzero.
     let mut replicas = None;
     for attempt in 0..3 {
-        match try_cluster_run(&workload, attempt) {
+        match try_cluster_run(&workload, plane, attempt) {
             Ok(values) => {
                 replicas = Some(values);
                 break;
@@ -137,7 +151,7 @@ fn assert_cluster_matches_sequential(workload: NodeWorkload) {
             assert_eq!(
                 x.to_bits(),
                 y.to_bits(),
-                "{}: server {sid} vertex {v} diverged across processes ({x} vs {y})",
+                "{} over {plane}: server {sid} vertex {v} diverged across processes ({x} vs {y})",
                 workload.program
             );
         }
@@ -157,15 +171,33 @@ fn workload(program: &str) -> NodeWorkload {
 
 #[test]
 fn two_process_tcp_pagerank_matches_sequential() {
-    assert_cluster_matches_sequential(workload("pagerank"));
+    assert_cluster_matches_sequential(workload("pagerank"), "socket");
 }
 
 #[test]
 fn two_process_tcp_sssp_matches_sequential() {
-    assert_cluster_matches_sequential(workload("sssp"));
+    assert_cluster_matches_sequential(workload("sssp"), "socket");
 }
 
 #[test]
 fn two_process_tcp_wcc_matches_sequential() {
-    assert_cluster_matches_sequential(workload("wcc"));
+    assert_cluster_matches_sequential(workload("wcc"), "socket");
+}
+
+// The same clusters over the event-driven plane: real separate processes,
+// each with exactly one event-loop thread driving its peer sockets.
+
+#[test]
+fn two_process_poll_pagerank_matches_sequential() {
+    assert_cluster_matches_sequential(workload("pagerank"), "poll");
+}
+
+#[test]
+fn two_process_poll_sssp_matches_sequential() {
+    assert_cluster_matches_sequential(workload("sssp"), "poll");
+}
+
+#[test]
+fn two_process_poll_wcc_matches_sequential() {
+    assert_cluster_matches_sequential(workload("wcc"), "poll");
 }

@@ -143,6 +143,16 @@ struct PoolShared {
 ///
 /// The resident worker count is capped at the host's available parallelism,
 /// exactly like the spawning [`fork_join_ordered`].
+///
+/// ```
+/// use graphh_pool::WorkerPool;
+///
+/// let pool = WorkerPool::new(4);
+/// // Results come back in item order no matter which worker ran what.
+/// let squares = pool.fork_join_ordered(8, |i| i * i);
+/// assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+/// drop(pool); // resident workers are joined here
+/// ```
 pub struct WorkerPool {
     shared: std::sync::Arc<PoolShared>,
     handles: Vec<JoinHandle<()>>,

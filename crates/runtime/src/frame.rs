@@ -7,9 +7,11 @@
 //! * [`Frame`] — what travels between servers (a wire-encoded broadcast
 //!   message, an end-of-superstep marker, or an abort),
 //! * the **length-prefixed wire codec** ([`Frame::encode`] /
-//!   [`Frame::decode`] / [`Frame::read_from`]) used whenever frames cross a
-//!   byte stream (the TCP [`crate::socket::SocketPlane`]); in-process backends
-//!   ship the `Frame` values directly,
+//!   [`Frame::decode`] / [`Frame::read_from`], plus the incremental
+//!   [`FrameDecoder`] for non-blocking transports) used whenever frames cross
+//!   a byte stream — the TCP [`crate::socket::SocketPlane`] and
+//!   [`crate::poll::PollPlane`]; in-process backends ship the `Frame` values
+//!   directly,
 //! * [`SuperstepCollector`] — the BSP inbox discipline shared by every
 //!   backend: frames for a future superstep are stashed, frames from a past
 //!   superstep are protocol violations, aborts surface as errors, and a
@@ -28,6 +30,10 @@
 //! bodies of the wrong size for their tag, and bodies larger than
 //! [`MAX_FRAME_BODY`] (a corrupt or hostile length must not trigger a
 //! gigantic allocation before the first payload byte is read).
+//!
+//! The byte-level layout, handshake and inbox discipline are specified
+//! normatively in `docs/WIRE.md`; this module is the reference
+//! implementation.
 
 use graphh_graph::ids::ServerId;
 use std::io::Read;
@@ -233,6 +239,97 @@ impl Frame {
             }
         })?;
         Self::decode_body(&body).map(Some)
+    }
+}
+
+/// Incremental decoder for transports that receive bytes in arbitrary pieces.
+///
+/// The blocking [`Frame::read_from`] owns its stream and can simply block
+/// until a whole frame arrived. A non-blocking transport (the event-driven
+/// [`crate::poll::PollPlane`]) cannot: a readiness loop hands it whatever the
+/// socket had — half a length prefix, three frames and a torn fourth — and
+/// must carry the remainder across loop iterations. `FrameDecoder` is that
+/// carry: [`push`](Self::push) appends received bytes, and
+/// [`next_frame`](Self::next_frame) yields complete frames until only a
+/// partial one (or nothing) is left.
+///
+/// The decoder enforces the same validity rules as [`Frame::decode`] (it is
+/// built on it): corrupt bytes surface as [`FrameError::Corrupt`] and a
+/// hostile length prefix is rejected before any allocation.
+///
+/// ```
+/// use graphh_runtime::frame::{Frame, FrameDecoder};
+///
+/// let mut bytes = Vec::new();
+/// Frame::EndOfSuperstep { sender: 1, superstep: 0 }.encode(&mut bytes);
+///
+/// // Feed the encoding one byte at a time: no frame until the last byte.
+/// let mut decoder = FrameDecoder::new();
+/// for &b in &bytes[..bytes.len() - 1] {
+///     decoder.push(&[b]);
+///     assert!(decoder.next_frame().unwrap().is_none());
+/// }
+/// decoder.push(&bytes[bytes.len() - 1..]);
+/// assert!(matches!(
+///     decoder.next_frame().unwrap(),
+///     Some(Frame::EndOfSuperstep { sender: 1, superstep: 0 })
+/// ));
+/// assert!(decoder.is_clean());
+/// ```
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    /// Received-but-undecoded bytes; everything before `start` was consumed.
+    buf: Vec<u8>,
+    start: usize,
+}
+
+/// Consumed prefix length past which [`FrameDecoder::push`] compacts its
+/// buffer instead of letting it grow unboundedly.
+const DECODER_COMPACT_THRESHOLD: usize = 64 * 1024;
+
+impl FrameDecoder {
+    /// An empty decoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append freshly received bytes.
+    pub fn push(&mut self, bytes: &[u8]) {
+        if self.start == self.buf.len() {
+            self.buf.clear();
+            self.start = 0;
+        } else if self.start >= DECODER_COMPACT_THRESHOLD {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Decode the next complete frame from the buffered bytes.
+    ///
+    /// Returns `Ok(None)` when the buffer holds no frame or only a torn one
+    /// (push more bytes and try again); an `Err` means the stream can never
+    /// recover (a length-prefix desync has no resynchronization point).
+    pub fn next_frame(&mut self) -> Result<Option<Frame>, FrameError> {
+        match Frame::decode(&self.buf[self.start..])? {
+            Some((frame, consumed)) => {
+                self.start += consumed;
+                Ok(Some(frame))
+            }
+            None => Ok(None),
+        }
+    }
+
+    /// True when no partially received frame is buffered — i.e. the stream
+    /// could end here cleanly. A peer's EOF while `!is_clean()` means the
+    /// stream died mid-frame (corruption, not a clean close).
+    pub fn is_clean(&self) -> bool {
+        self.start == self.buf.len()
+    }
+
+    /// Bytes currently buffered but not yet decoded into frames.
+    pub fn pending_bytes(&self) -> usize {
+        self.buf.len() - self.start
     }
 }
 
@@ -654,6 +751,158 @@ mod tests {
         bytes.extend_from_slice(&1u32.to_le_bytes());
         bytes.extend_from_slice(&[0, 0, 0]);
         assert!(matches!(Frame::decode(&bytes), Err(FrameError::Corrupt(_))));
+    }
+
+    // -- incremental decoder -------------------------------------------------
+
+    fn sample_frames() -> Vec<Frame> {
+        vec![
+            Frame::Message {
+                sender: 0,
+                superstep: 1,
+                wire: (0..64u8).collect::<Vec<_>>().into(),
+            },
+            Frame::EndOfSuperstep {
+                sender: 0,
+                superstep: 1,
+            },
+            Frame::Message {
+                sender: 0,
+                superstep: 2,
+                wire: Vec::new().into(),
+            },
+            Frame::Abort { sender: 0 },
+        ]
+    }
+
+    fn encode_all(frames: &[Frame]) -> Vec<u8> {
+        let mut bytes = Vec::new();
+        for f in frames {
+            f.encode(&mut bytes);
+        }
+        bytes
+    }
+
+    fn assert_same_frame(a: &Frame, b: &Frame) {
+        match (a, b) {
+            (
+                Frame::Message {
+                    sender: s1,
+                    superstep: p1,
+                    wire: w1,
+                },
+                Frame::Message {
+                    sender: s2,
+                    superstep: p2,
+                    wire: w2,
+                },
+            ) => assert_eq!((s1, p1, &w1[..]), (s2, p2, &w2[..])),
+            (
+                Frame::EndOfSuperstep {
+                    sender: s1,
+                    superstep: p1,
+                },
+                Frame::EndOfSuperstep {
+                    sender: s2,
+                    superstep: p2,
+                },
+            ) => assert_eq!((s1, p1), (s2, p2)),
+            (Frame::Abort { sender: s1 }, Frame::Abort { sender: s2 }) => assert_eq!(s1, s2),
+            (a, b) => panic!("frame variant mismatch: {a:?} vs {b:?}"),
+        }
+    }
+
+    /// Feeding a frame stream to the decoder in every chunk size from one
+    /// byte upward must yield exactly the encoded frames, in order, with the
+    /// decoder clean at the end.
+    #[test]
+    fn decoder_handles_any_chunking_including_one_byte_at_a_time() {
+        let frames = sample_frames();
+        let bytes = encode_all(&frames);
+        for chunk in [1usize, 2, 3, 5, 7, 16, bytes.len()] {
+            let mut decoder = FrameDecoder::new();
+            let mut decoded = Vec::new();
+            for piece in bytes.chunks(chunk) {
+                decoder.push(piece);
+                while let Some(frame) = decoder.next_frame().unwrap() {
+                    decoded.push(frame);
+                }
+            }
+            assert_eq!(decoded.len(), frames.len(), "chunk size {chunk}");
+            for (a, b) in decoded.iter().zip(&frames) {
+                assert_same_frame(a, b);
+            }
+            assert!(decoder.is_clean(), "chunk size {chunk}");
+            assert_eq!(decoder.pending_bytes(), 0);
+        }
+    }
+
+    /// A torn frame (every proper prefix) must leave the decoder waiting —
+    /// `Ok(None)` and not clean — and complete once the rest arrives.
+    #[test]
+    fn decoder_reports_torn_frames_as_incomplete_not_errors() {
+        let frames = sample_frames();
+        let bytes = encode_all(&frames[..1]);
+        for cut in 1..bytes.len() {
+            let mut decoder = FrameDecoder::new();
+            decoder.push(&bytes[..cut]);
+            assert!(
+                decoder.next_frame().unwrap().is_none(),
+                "prefix of {cut} bytes decoded a frame"
+            );
+            assert!(!decoder.is_clean(), "prefix of {cut} bytes looked clean");
+            decoder.push(&bytes[cut..]);
+            assert_same_frame(&decoder.next_frame().unwrap().unwrap(), &frames[0]);
+            assert!(decoder.is_clean());
+        }
+    }
+
+    /// A corrupt or hostile length prefix must poison the decoder stream the
+    /// same way `Frame::decode` rejects it — before any giant allocation.
+    #[test]
+    fn decoder_rejects_corrupt_streams() {
+        let mut decoder = FrameDecoder::new();
+        decoder.push(&u32::MAX.to_le_bytes());
+        decoder.push(&[TAG_ABORT]);
+        assert!(matches!(decoder.next_frame(), Err(FrameError::Corrupt(_))));
+
+        // Valid frame followed by garbage: the frame decodes, the tail errors.
+        let mut decoder = FrameDecoder::new();
+        let mut bytes = Vec::new();
+        Frame::Abort { sender: 3 }.encode(&mut bytes);
+        bytes.extend_from_slice(&2u32.to_le_bytes()); // body too short for a tag+sender
+        bytes.extend_from_slice(&[0, 0]);
+        decoder.push(&bytes);
+        assert!(matches!(
+            decoder.next_frame().unwrap(),
+            Some(Frame::Abort { sender: 3 })
+        ));
+        assert!(matches!(decoder.next_frame(), Err(FrameError::Corrupt(_))));
+    }
+
+    /// Long-running streams must not accumulate consumed bytes: after many
+    /// pushed-and-decoded frames the buffer stays bounded by the compaction
+    /// threshold plus one frame.
+    #[test]
+    fn decoder_compacts_consumed_prefix() {
+        let mut decoder = FrameDecoder::new();
+        let mut bytes = Vec::new();
+        Frame::Message {
+            sender: 1,
+            superstep: 0,
+            wire: vec![0u8; 1024].into(),
+        }
+        .encode(&mut bytes);
+        for _ in 0..1000 {
+            decoder.push(&bytes);
+            assert!(decoder.next_frame().unwrap().is_some());
+            assert!(
+                decoder.buf.len() <= DECODER_COMPACT_THRESHOLD + 2 * bytes.len(),
+                "decoder buffer grew unboundedly: {} bytes",
+                decoder.buf.len()
+            );
+        }
+        assert!(decoder.is_clean());
     }
 
     // -- collector (no threads involved) ------------------------------------

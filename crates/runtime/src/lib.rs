@@ -23,9 +23,12 @@
 //!   wire-encoded updates over; every message really travels encoded
 //!   (+ compressed) through [`graphh_cluster::MessageCodec`], so Figure 8
 //!   traffic is metered per real message. Backends: [`ChannelPlane`]
-//!   (in-process mpsc) and [`SocketPlane`] (TCP — each simulated server can
-//!   be its own OS **process**; the `graphh-node` binary in `graphh-bench`
-//!   does exactly that),
+//!   (in-process mpsc), [`SocketPlane`] (TCP, one blocking reader thread per
+//!   peer) and [`PollPlane`] (TCP, **one event-loop thread** multiplexing all
+//!   peers over non-blocking sockets) — the TCP planes let each simulated
+//!   server be its own OS **process**; the `graphh-node` binary in
+//!   `graphh-bench` does exactly that. The wire protocol the TCP backends
+//!   speak is specified normatively in `docs/WIRE.md`,
 //! * [`SuperstepBarrier`] — BSP's `wait_other_servers`,
 //! * [`reduce_metrics`] — deterministic reduction of the per-server
 //!   [`graphh_cluster::ServerMetrics`] streams into
@@ -50,6 +53,7 @@
 pub mod barrier;
 pub mod frame;
 pub mod plane;
+pub mod poll;
 pub mod reduce;
 pub mod socket;
 pub mod threaded;
@@ -57,9 +61,13 @@ pub mod worker;
 
 pub use barrier::SuperstepBarrier;
 pub use frame::{
-    encode_message_into, Frame, FrameError, InboxEvent, PlaneError, SuperstepCollector, WireMessage,
+    encode_message_into, Frame, FrameDecoder, FrameError, InboxEvent, PlaneError,
+    SuperstepCollector, WireMessage,
 };
 pub use plane::{BroadcastPlane, ChannelPlane};
+pub use poll::{
+    BoundPollPlane, BoundTcpPlane, PollPlane, ReadinessPoller, SpinPoller, TcpPlaneKind,
+};
 pub use reduce::{reduce_metrics, ReducedMetrics};
 pub use socket::{BoundSocketPlane, SocketPlane};
 pub use threaded::ThreadedExecutor;

@@ -10,14 +10,18 @@
 //!
 //! The framing protocol itself — [`Frame`], its length-prefixed wire codec and
 //! the [`SuperstepCollector`] inbox discipline — is transport-agnostic and
-//! lives in [`crate::frame`]. Two backends implement the trait on top of it:
+//! lives in [`crate::frame`] (normative spec: `docs/WIRE.md`). Three backends
+//! implement the trait on top of it:
 //!
 //! * [`ChannelPlane`] — in-process, over `std::sync::mpsc` (one MPSC inbox per
 //!   server, a sender handle per peer); frames travel as values, no bytes are
 //!   copied,
 //! * [`crate::socket::SocketPlane`] — multi-process, over TCP: frames travel
-//!   length-prefix-encoded, one reader thread per peer feeds the same inbox
-//!   discipline (see the `socket` module).
+//!   length-prefix-encoded, one blocking reader thread per peer feeds the
+//!   same inbox discipline,
+//! * [`crate::poll::PollPlane`] — multi-process, over TCP, event-driven: a
+//!   single readiness-loop thread multiplexes all peer sockets (non-blocking
+//!   I/O, incremental decoding, backpressured write queues).
 
 pub use crate::frame::{Frame, PlaneError, WireMessage};
 use crate::frame::{InboxEvent, SuperstepCollector};
@@ -26,6 +30,31 @@ use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
 
 /// One server's endpoint on the all-to-all broadcast fabric.
+///
+/// The BSP shape in miniature — publish, mark the superstep done, collect
+/// everything the peers published:
+///
+/// ```
+/// use graphh_runtime::{BroadcastPlane, ChannelPlane};
+///
+/// let mut planes = ChannelPlane::connect(2);
+/// let mut b = planes.pop().unwrap();
+/// let mut a = planes.pop().unwrap();
+///
+/// a.broadcast(0, b"hello").unwrap();
+/// a.end_superstep(0).unwrap();
+/// b.end_superstep(0).unwrap();
+///
+/// // `b` sees `a`'s message; `a` sees nothing — `b` published nothing.
+/// let received = b.collect(0).unwrap();
+/// assert_eq!(&received[0][..], b"hello");
+/// assert!(a.collect(0).unwrap().is_empty());
+/// ```
+///
+/// The TCP backends ([`crate::socket::SocketPlane`],
+/// [`crate::poll::PollPlane`]) have the same shape after their two-phase
+/// bind/establish; `docs/WIRE.md` §5 spells out the full conformance
+/// contract a new backend must satisfy.
 pub trait BroadcastPlane: Send {
     /// Total servers on the plane.
     fn num_servers(&self) -> u32;
@@ -53,6 +82,8 @@ pub trait BroadcastPlane: Send {
 pub struct ChannelPlane {
     id: ServerId,
     num_servers: u32,
+    /// Peer ids, sorted — the collector's completeness set, computed once.
+    peer_ids: Vec<ServerId>,
     /// Sender handle into every *other* server's inbox, ordered by server id.
     peers: Vec<(ServerId, Sender<Frame>)>,
     /// This server's inbox.
@@ -71,17 +102,21 @@ impl ChannelPlane {
         inboxes
             .into_iter()
             .enumerate()
-            .map(|(sid, inbox)| ChannelPlane {
-                id: sid as ServerId,
-                num_servers,
-                peers: senders
+            .map(|(sid, inbox)| {
+                let peers: Vec<(ServerId, Sender<Frame>)> = senders
                     .iter()
                     .enumerate()
                     .filter(|&(peer, _)| peer != sid)
                     .map(|(peer, tx)| (peer as ServerId, tx.clone()))
-                    .collect(),
-                inbox,
-                collector: SuperstepCollector::new(),
+                    .collect();
+                ChannelPlane {
+                    id: sid as ServerId,
+                    num_servers,
+                    peer_ids: peers.iter().map(|&(p, _)| p).collect(),
+                    peers,
+                    inbox,
+                    collector: SuperstepCollector::new(),
+                }
             })
             .collect()
     }
@@ -123,8 +158,7 @@ impl BroadcastPlane for ChannelPlane {
 
     fn collect(&mut self, superstep: u32) -> Result<Vec<WireMessage>, PlaneError> {
         let inbox = &self.inbox;
-        let peers: Vec<ServerId> = self.peers.iter().map(|&(p, _)| p).collect();
-        self.collector.collect(superstep, &peers, || {
+        self.collector.collect(superstep, &self.peer_ids, || {
             // A recv failure means *every* sender is gone (a single dead peer
             // keeps the channel open through the other clones), so it is
             // fatal rather than peer-attributed.

@@ -1,0 +1,1123 @@
+//! Event-driven TCP backend: **one readiness loop drives every peer socket**.
+//!
+//! [`crate::socket::SocketPlane`] spends one OS reader thread per peer — a
+//! `p`-server cluster costs each process `p - 1` parked threads, which caps
+//! how many servers one host can simulate. [`PollPlane`] multiplexes all peer
+//! connections onto a **single event-loop thread** instead: every stream is
+//! `O_NONBLOCK`, a [`ReadinessPoller`] reports which sockets can make
+//! progress, and per-peer state machines carry partial frames
+//! ([`crate::frame::FrameDecoder`]) and backpressured write queues across
+//! loop iterations. Same wire protocol, same GHH1 handshake, same
+//! [`SuperstepCollector`] inbox discipline — the executor-facing behaviour is
+//! identical and the determinism suites pin `PollPlane` runs bit-identical to
+//! the sequential reference (see `docs/WIRE.md` §5 for the conformance
+//! contract).
+//!
+//! ## Threading model
+//!
+//! ```text
+//!  worker thread                     event-loop thread (exactly one)
+//!  ─────────────                     ──────────────────────────────
+//!  broadcast() ──encode──▶ bounded   ┌────────────────────────────────┐
+//!  end_superstep()         command   │ drain commands → fan out bytes │
+//!  abort()                 channel ─▶│ to per-peer write queues       │
+//!       │                   + waker  │ poll(readable/writable fds)    │
+//!       ▼                            │  readable → read, FrameDecoder │
+//!  collect() ◀── inbox channel ◀─────│  writable → flush write queue  │
+//!  (SuperstepCollector)              └────────────────────────────────┘
+//! ```
+//!
+//! The worker thread never touches a socket; the event loop never blocks on
+//! one. Commands travel over a *bounded* channel, so a worker that broadcasts
+//! faster than the network drains is throttled (backpressure) instead of
+//! buffering without limit; the loop additionally stops accepting commands
+//! while any peer's write queue is above its high-water mark.
+//!
+//! ## Readiness abstraction
+//!
+//! [`ReadinessPoller`] is the minimal mio-style seam: register sockets once,
+//! then repeatedly ask which can make progress. Two implementations:
+//!
+//! * [`PollSyscallPoller`] (Linux) — level-triggered readiness via the
+//!   `poll(2)` syscall, declared directly (std already links libc; no crate
+//!   dependency). The loop sleeps in the kernel until a socket has data or
+//!   buffer space.
+//! * [`SpinPoller`] (portable, FFI-less) — claims every registered socket
+//!   ready and lets the non-blocking `read`/`write` calls discover the truth
+//!   (`WouldBlock`), with a short sleep per round to keep the spin cool.
+//!   Tests force it on every platform ([`BoundPollPlane::establish_with`]).
+//!
+//! A dropped [`PollPlane`] flushes its queues, half-closes its streams and
+//! joins the loop thread — shutdown is asserted by the thread-count checks in
+//! `tests/poll_threads.rs` and `examples/socket_cluster.rs`, not assumed.
+
+use crate::frame::{
+    Frame, FrameDecoder, FrameError, InboxEvent, PlaneError, SuperstepCollector, WireMessage,
+};
+use crate::plane::BroadcastPlane;
+use crate::socket::{bind_listener, establish_streams, DEFAULT_ESTABLISH_TIMEOUT};
+use graphh_graph::ids::ServerId;
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::net::{Ipv4Addr, Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::mpsc::{channel, sync_channel, Receiver, Sender, SyncSender, TryRecvError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How long one `poll` round may sleep when nothing is ready. Bounds shutdown
+/// latency for events the waker does not cover; the waker covers commands.
+const POLL_TIMEOUT: Duration = Duration::from_millis(25);
+
+/// Per-peer write-queue high-water mark: while any peer has more than this
+/// many bytes queued, the loop stops draining commands, the bounded command
+/// channel fills, and the broadcasting worker blocks — backpressure reaches
+/// the producer instead of growing an unbounded buffer.
+const WRITE_HIGH_WATER: usize = 8 * 1024 * 1024;
+
+/// Commands the loop will buffer before `broadcast` blocks.
+const COMMAND_BACKLOG: usize = 64;
+
+/// Read scratch size per `read` call.
+const READ_CHUNK: usize = 64 * 1024;
+
+// ---------------------------------------------------------------------------
+// Readiness abstraction
+// ---------------------------------------------------------------------------
+
+/// Which directions a socket is interesting in / ready for.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Readiness {
+    /// Reading would make progress (data, EOF, or a pending error).
+    pub readable: bool,
+    /// Writing would make progress.
+    pub writable: bool,
+}
+
+impl Readiness {
+    /// Neither direction.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Is either direction set?
+    pub fn any(self) -> bool {
+        self.readable || self.writable
+    }
+}
+
+/// The minimal mio-style readiness seam the event loop drives sockets with.
+///
+/// Sockets are registered once, in order; each [`poll`](Self::poll) round
+/// then pairs `interest[i]` / `ready[i]` with the `i`-th registered socket.
+/// Implementations may block up to `timeout`, and may over-report readiness
+/// (the loop's non-blocking I/O treats `WouldBlock` as "not actually ready"),
+/// but must never under-report it forever — a byte sitting in a socket's
+/// receive buffer must eventually set `readable`.
+pub trait ReadinessPoller: Send {
+    /// Register the next socket; its index is the number of sockets
+    /// registered before it.
+    fn register(&mut self, stream: &TcpStream) -> std::io::Result<()>;
+
+    /// Report readiness for every registered socket whose `interest[i]` has a
+    /// direction set, blocking up to `timeout` when none is ready.
+    fn poll(
+        &mut self,
+        interest: &[Readiness],
+        ready: &mut [Readiness],
+        timeout: Duration,
+    ) -> std::io::Result<()>;
+}
+
+/// Level-triggered readiness via the `poll(2)` syscall.
+///
+/// Declared directly against the C ABI std already links on Linux — no `libc`
+/// crate, no new dependency. Entries without interest are skipped by handing
+/// the kernel a negative fd (ignored per POSIX).
+#[cfg(target_os = "linux")]
+pub struct PollSyscallPoller {
+    fds: Vec<std::os::unix::io::RawFd>,
+    /// Reused `pollfd` array — `poll` runs once per event-loop round (the
+    /// hottest path in the plane), so it must not allocate per call.
+    pollfds: Vec<sys::PollFd>,
+}
+
+#[cfg(target_os = "linux")]
+mod sys {
+    use std::os::unix::io::RawFd;
+
+    pub const POLLIN: i16 = 0x001;
+    pub const POLLOUT: i16 = 0x004;
+    pub const POLLERR: i16 = 0x008;
+    pub const POLLHUP: i16 = 0x010;
+    pub const POLLNVAL: i16 = 0x020;
+
+    /// `struct pollfd` from `poll(2)`.
+    #[repr(C)]
+    pub struct PollFd {
+        pub fd: RawFd,
+        pub events: i16,
+        pub revents: i16,
+    }
+
+    extern "C" {
+        /// `int poll(struct pollfd *fds, nfds_t nfds, int timeout)` — nfds_t
+        /// is `unsigned long` on Linux.
+        pub fn poll(fds: *mut PollFd, nfds: std::os::raw::c_ulong, timeout: i32) -> i32;
+    }
+}
+
+#[cfg(target_os = "linux")]
+impl PollSyscallPoller {
+    /// A poller with no sockets registered yet.
+    pub fn new() -> Self {
+        Self {
+            fds: Vec::new(),
+            pollfds: Vec::new(),
+        }
+    }
+}
+
+#[cfg(target_os = "linux")]
+impl Default for PollSyscallPoller {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(target_os = "linux")]
+impl ReadinessPoller for PollSyscallPoller {
+    fn register(&mut self, stream: &TcpStream) -> std::io::Result<()> {
+        use std::os::unix::io::AsRawFd;
+        self.fds.push(stream.as_raw_fd());
+        Ok(())
+    }
+
+    fn poll(
+        &mut self,
+        interest: &[Readiness],
+        ready: &mut [Readiness],
+        timeout: Duration,
+    ) -> std::io::Result<()> {
+        debug_assert_eq!(interest.len(), self.fds.len());
+        debug_assert_eq!(ready.len(), self.fds.len());
+        self.pollfds.clear();
+        self.pollfds
+            .extend(interest.iter().zip(&self.fds).map(|(want, &fd)| {
+                let mut events = 0i16;
+                if want.readable {
+                    events |= sys::POLLIN;
+                }
+                if want.writable {
+                    events |= sys::POLLOUT;
+                }
+                sys::PollFd {
+                    // Negative fds are ignored by poll(2): no-interest entries
+                    // stay index-aligned without waking the loop.
+                    fd: if events == 0 { -1 } else { fd },
+                    events,
+                    revents: 0,
+                }
+            }));
+        // Zero stays zero (the event loop's "burst in progress, don't sleep"
+        // round); anything else is at least 1 ms so a sub-millisecond value
+        // does not truncate into a busy loop.
+        let timeout_ms = if timeout.is_zero() {
+            0
+        } else {
+            i32::try_from(timeout.as_millis())
+                .unwrap_or(i32::MAX)
+                .max(1)
+        };
+        loop {
+            let rc = unsafe {
+                sys::poll(
+                    self.pollfds.as_mut_ptr(),
+                    self.pollfds.len() as std::os::raw::c_ulong,
+                    timeout_ms,
+                )
+            };
+            if rc >= 0 {
+                break;
+            }
+            let err = std::io::Error::last_os_error();
+            if err.kind() != std::io::ErrorKind::Interrupted {
+                return Err(err);
+            }
+        }
+        for (slot, pollfd) in ready.iter_mut().zip(&self.pollfds) {
+            let r = pollfd.revents;
+            // Errors and hangups surface through the read path (a read
+            // returns the error or EOF), so they count as readable.
+            slot.readable = r & (sys::POLLIN | sys::POLLHUP | sys::POLLERR | sys::POLLNVAL) != 0;
+            slot.writable = r & (sys::POLLOUT | sys::POLLERR) != 0;
+        }
+        Ok(())
+    }
+}
+
+/// Portable FFI-less fallback: claim every interesting socket ready and let
+/// the non-blocking `read`/`write` calls discover the truth (`WouldBlock`).
+///
+/// A short sleep per round keeps the spin from pegging a core; the sleep is
+/// skipped when the previous round made progress (the loop passes a zero
+/// timeout then). Used on non-Linux targets, and forced everywhere by the
+/// conformance tests so the trait seam itself is exercised.
+pub struct SpinPoller {
+    registered: usize,
+    /// Upper bound on one round's sleep; defaults to 1 ms.
+    nap: Duration,
+}
+
+impl SpinPoller {
+    /// A spin poller with the default 1 ms nap.
+    pub fn new() -> Self {
+        Self {
+            registered: 0,
+            nap: Duration::from_millis(1),
+        }
+    }
+}
+
+impl Default for SpinPoller {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ReadinessPoller for SpinPoller {
+    fn register(&mut self, _stream: &TcpStream) -> std::io::Result<()> {
+        self.registered += 1;
+        Ok(())
+    }
+
+    fn poll(
+        &mut self,
+        interest: &[Readiness],
+        ready: &mut [Readiness],
+        timeout: Duration,
+    ) -> std::io::Result<()> {
+        debug_assert_eq!(interest.len(), self.registered);
+        ready.copy_from_slice(interest);
+        if !timeout.is_zero() {
+            std::thread::sleep(timeout.min(self.nap));
+        }
+        Ok(())
+    }
+}
+
+/// The platform's best poller: `poll(2)` on Linux, the spin fallback
+/// elsewhere.
+pub fn default_poller() -> Box<dyn ReadinessPoller> {
+    #[cfg(target_os = "linux")]
+    {
+        Box::new(PollSyscallPoller::new())
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        Box::new(SpinPoller::new())
+    }
+}
+
+/// This process's OS thread count (Linux: `Threads:` in `/proc/self/status`;
+/// `None` where that is unavailable). Test aid for the "exactly one
+/// event-loop thread" and clean-shutdown assertions.
+pub fn os_thread_count() -> Option<usize> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    status
+        .lines()
+        .find_map(|line| line.strip_prefix("Threads:"))
+        .and_then(|v| v.trim().parse().ok())
+}
+
+// ---------------------------------------------------------------------------
+// Plane
+// ---------------------------------------------------------------------------
+
+/// A poll plane that has bound its listener but not yet connected to its
+/// peers — same two-phase establishment as
+/// [`crate::socket::BoundSocketPlane`], so launchers can treat the two TCP
+/// backends interchangeably.
+pub struct BoundPollPlane {
+    id: ServerId,
+    num_servers: u32,
+    listener: TcpListener,
+}
+
+impl BoundPollPlane {
+    /// The address the listener actually bound (resolves port 0).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Connect to every peer and return the ready plane, with the platform's
+    /// default poller and the default establish timeout.
+    pub fn establish(self, peer_addrs: &[SocketAddr]) -> std::io::Result<PollPlane> {
+        self.establish_with(peer_addrs, DEFAULT_ESTABLISH_TIMEOUT, default_poller())
+    }
+
+    /// [`Self::establish`] with an explicit timeout.
+    pub fn establish_with_timeout(
+        self,
+        peer_addrs: &[SocketAddr],
+        timeout: Duration,
+    ) -> std::io::Result<PollPlane> {
+        self.establish_with(peer_addrs, timeout, default_poller())
+    }
+
+    /// [`Self::establish`] with an explicit timeout and poller (tests force
+    /// [`SpinPoller`] here so the readiness seam runs on every platform).
+    pub fn establish_with(
+        self,
+        peer_addrs: &[SocketAddr],
+        timeout: Duration,
+        mut poller: Box<dyn ReadinessPoller>,
+    ) -> std::io::Result<PollPlane> {
+        let BoundPollPlane {
+            id,
+            num_servers,
+            listener,
+        } = self;
+        let streams = establish_streams(id, num_servers, listener, peer_addrs, timeout)?;
+
+        let (waker_tx, waker_rx) = waker_pair()?;
+        poller.register(&waker_rx)?;
+        let mut peers = Vec::with_capacity(streams.len());
+        for (peer, stream) in streams {
+            stream.set_nonblocking(true)?;
+            poller.register(&stream)?;
+            peers.push(Peer {
+                id: peer,
+                stream,
+                decoder: FrameDecoder::new(),
+                outbound: VecDeque::new(),
+                queued_bytes: 0,
+                read_open: true,
+                write_open: true,
+            });
+        }
+
+        let (command_tx, command_rx) = sync_channel::<Command>(COMMAND_BACKLOG);
+        let (inbox_tx, inbox) = channel::<InboxEvent>();
+        let peer_ids: Vec<ServerId> = peers.iter().map(|p| p.id).collect();
+        let event_loop = std::thread::Builder::new()
+            .name(format!("graphh-poll-loop-{id}"))
+            .spawn(move || {
+                EventLoop {
+                    peers,
+                    waker_rx,
+                    commands: command_rx,
+                    inbox: inbox_tx,
+                    poller,
+                }
+                .run()
+            })
+            .map_err(|e| std::io::Error::other(format!("spawn event-loop thread: {e}")))?;
+
+        Ok(PollPlane {
+            id,
+            num_servers,
+            peer_ids,
+            commands: command_tx,
+            waker: waker_tx,
+            inbox,
+            collector: SuperstepCollector::new(),
+            event_loop: Some(event_loop),
+            scratch: Vec::new(),
+        })
+    }
+}
+
+/// Event-driven TCP implementation of [`BroadcastPlane`]: one non-blocking
+/// stream per peer, all driven by a single readiness-loop thread. See the
+/// [module docs](self) for the threading model.
+///
+/// Construction mirrors [`crate::socket::SocketPlane`]: [`PollPlane::bind`]
+/// then [`BoundPollPlane::establish`].
+pub struct PollPlane {
+    id: ServerId,
+    num_servers: u32,
+    /// Peer ids, sorted — the collector's completeness set.
+    peer_ids: Vec<ServerId>,
+    /// Bounded command channel into the event loop (the backpressure edge).
+    commands: SyncSender<Command>,
+    /// Write end of the waker: one byte unblocks the loop's `poll`.
+    waker: TcpStream,
+    /// Frames (and peer-loss events) from the event loop.
+    inbox: Receiver<InboxEvent>,
+    collector: SuperstepCollector,
+    event_loop: Option<JoinHandle<()>>,
+    /// Reused frame-encoding buffer.
+    scratch: Vec<u8>,
+}
+
+impl PollPlane {
+    /// Bind the listener for server `id` of a `num_servers` cluster on
+    /// `listen_addr` (port 0 picks a free port; see
+    /// [`BoundPollPlane::local_addr`]).
+    pub fn bind<A: ToSocketAddrs>(
+        id: ServerId,
+        num_servers: u32,
+        listen_addr: A,
+    ) -> std::io::Result<BoundPollPlane> {
+        let listener = bind_listener(id, num_servers, listen_addr)?;
+        Ok(BoundPollPlane {
+            id,
+            num_servers,
+            listener,
+        })
+    }
+
+    /// Hand pre-encoded frame bytes to the event loop (blocking while the
+    /// loop is `COMMAND_BACKLOG` commands behind) and wake it.
+    fn send_bytes(&mut self) -> Result<(), PlaneError> {
+        let bytes: Arc<[u8]> = Arc::from(&self.scratch[..]);
+        self.commands
+            .send(Command::Send(bytes))
+            .map_err(|_| PlaneError::Disconnected)?;
+        self.wake();
+        Ok(())
+    }
+
+    fn wake(&self) {
+        // A full waker pipe means the loop already has a pending wakeup;
+        // any other failure surfaces through the command channel.
+        let _ = (&self.waker).write(&[1]);
+    }
+}
+
+impl BroadcastPlane for PollPlane {
+    fn num_servers(&self) -> u32 {
+        self.num_servers
+    }
+
+    fn server_id(&self) -> ServerId {
+        self.id
+    }
+
+    fn broadcast(&mut self, superstep: u32, wire: &[u8]) -> Result<(), PlaneError> {
+        self.scratch.clear();
+        crate::frame::encode_message_into(self.id, superstep, wire, &mut self.scratch)
+            .map_err(|e| PlaneError::Protocol(e.to_string()))?;
+        self.send_bytes()
+    }
+
+    fn end_superstep(&mut self, superstep: u32) -> Result<(), PlaneError> {
+        self.scratch.clear();
+        Frame::EndOfSuperstep {
+            sender: self.id,
+            superstep,
+        }
+        .encode(&mut self.scratch);
+        // No flush step: the event loop writes queued bytes whenever the
+        // socket accepts them, so delivery is a liveness property of the
+        // loop rather than a blocking call here.
+        self.send_bytes()
+    }
+
+    fn collect(&mut self, superstep: u32) -> Result<Vec<WireMessage>, PlaneError> {
+        let inbox = &self.inbox;
+        self.collector.collect(superstep, &self.peer_ids, || {
+            inbox.recv().map_err(|_| PlaneError::Disconnected)
+        })
+    }
+
+    fn abort(&mut self) {
+        self.scratch.clear();
+        Frame::Abort { sender: self.id }.encode(&mut self.scratch);
+        // Best effort and non-blocking (the WIRE.md §5 contract): try_send,
+        // not send — a full command channel means the loop is backpressured,
+        // and an aborting worker must unwind rather than park on it. A
+        // dropped abort is recovered by peers observing the stream close.
+        let bytes: Arc<[u8]> = Arc::from(&self.scratch[..]);
+        let _ = self.commands.try_send(Command::Send(bytes));
+        self.wake();
+    }
+}
+
+impl Drop for PollPlane {
+    fn drop(&mut self) {
+        // Everything broadcast before this point is already in the command
+        // channel (FIFO), so the loop flushes it all before half-closing.
+        let _ = self.commands.send(Command::Shutdown);
+        self.wake();
+        if let Some(handle) = self.event_loop.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for PollPlane {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PollPlane")
+            .field("id", &self.id)
+            .field("num_servers", &self.num_servers)
+            .finish()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Backend dispatch
+// ---------------------------------------------------------------------------
+
+/// Which TCP broadcast backend to run — the launchers' (`graphh-node
+/// --plane`, tests, examples) shared vocabulary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TcpPlaneKind {
+    /// [`crate::socket::SocketPlane`]: blocking I/O, one reader thread per
+    /// peer.
+    Socket,
+    /// [`PollPlane`]: non-blocking I/O, one event-loop thread per endpoint.
+    Poll,
+}
+
+impl std::str::FromStr for TcpPlaneKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "socket" => Ok(TcpPlaneKind::Socket),
+            "poll" => Ok(TcpPlaneKind::Poll),
+            other => Err(format!("unknown plane {other:?} (socket or poll)")),
+        }
+    }
+}
+
+/// A bound-but-unconnected endpoint of either TCP backend, so launchers can
+/// stay plane-agnostic between bind and establish (the two backends share
+/// the two-phase establishment and the GHH1 wire protocol — see
+/// `docs/WIRE.md` §6).
+pub enum BoundTcpPlane {
+    /// A bound [`crate::socket::SocketPlane`] endpoint.
+    Socket(crate::socket::BoundSocketPlane),
+    /// A bound [`PollPlane`] endpoint.
+    Poll(BoundPollPlane),
+}
+
+impl BoundTcpPlane {
+    /// Bind the listener for server `id` of a `num_servers` cluster with the
+    /// chosen backend.
+    pub fn bind<A: ToSocketAddrs>(
+        kind: TcpPlaneKind,
+        id: ServerId,
+        num_servers: u32,
+        listen_addr: A,
+    ) -> std::io::Result<Self> {
+        match kind {
+            TcpPlaneKind::Socket => crate::socket::SocketPlane::bind(id, num_servers, listen_addr)
+                .map(BoundTcpPlane::Socket),
+            TcpPlaneKind::Poll => {
+                PollPlane::bind(id, num_servers, listen_addr).map(BoundTcpPlane::Poll)
+            }
+        }
+    }
+
+    /// The address the listener actually bound (resolves port 0).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        match self {
+            BoundTcpPlane::Socket(b) => b.local_addr(),
+            BoundTcpPlane::Poll(b) => b.local_addr(),
+        }
+    }
+
+    /// Connect to every peer with the default establish timeout.
+    pub fn establish(self, peer_addrs: &[SocketAddr]) -> std::io::Result<Box<dyn BroadcastPlane>> {
+        self.establish_with_timeout(peer_addrs, DEFAULT_ESTABLISH_TIMEOUT)
+    }
+
+    /// [`Self::establish`] with an explicit timeout.
+    pub fn establish_with_timeout(
+        self,
+        peer_addrs: &[SocketAddr],
+        timeout: Duration,
+    ) -> std::io::Result<Box<dyn BroadcastPlane>> {
+        Ok(match self {
+            BoundTcpPlane::Socket(b) => {
+                Box::new(b.establish_with_timeout(peer_addrs, timeout)?) as Box<dyn BroadcastPlane>
+            }
+            BoundTcpPlane::Poll(b) => Box::new(b.establish_with_timeout(peer_addrs, timeout)?),
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Event loop
+// ---------------------------------------------------------------------------
+
+enum Command {
+    /// Enqueue these pre-encoded frame bytes to every peer.
+    Send(Arc<[u8]>),
+    /// Flush all write queues, half-close the streams, exit the loop.
+    Shutdown,
+}
+
+/// One peer connection's event-driven state.
+struct Peer {
+    id: ServerId,
+    stream: TcpStream,
+    /// Carries partial frames across loop iterations.
+    decoder: FrameDecoder,
+    /// Pending outbound (payload, offset-already-written). The payload `Arc`
+    /// is shared across all peers' queues: one broadcast, one allocation.
+    outbound: VecDeque<(Arc<[u8]>, usize)>,
+    queued_bytes: usize,
+    /// False once this peer's stream ended and its loss was reported.
+    read_open: bool,
+    /// False once a write failed; the queue is discarded (reads attribute
+    /// the actual loss).
+    write_open: bool,
+}
+
+impl Peer {
+    fn enqueue(&mut self, bytes: &Arc<[u8]>) {
+        if self.write_open {
+            self.queued_bytes += bytes.len();
+            self.outbound.push_back((Arc::clone(bytes), 0));
+        }
+    }
+}
+
+struct EventLoop {
+    /// Registered with the poller as slots `1..=peers.len()`.
+    peers: Vec<Peer>,
+    /// Poller slot 0.
+    waker_rx: TcpStream,
+    commands: Receiver<Command>,
+    inbox: Sender<InboxEvent>,
+    poller: Box<dyn ReadinessPoller>,
+}
+
+impl EventLoop {
+    fn run(mut self) {
+        let mut read_buf = vec![0u8; READ_CHUNK];
+        let mut interest = vec![Readiness::none(); self.peers.len() + 1];
+        let mut ready = vec![Readiness::none(); self.peers.len() + 1];
+        let mut shutting_down = false;
+        let mut progressed = true;
+        loop {
+            // 1. Commands — but only while below the high-water mark: a slow
+            // peer's growing queue stops the intake, the bounded channel
+            // fills, and the producer blocks in `broadcast`.
+            while self.peers.iter().all(|p| p.queued_bytes < WRITE_HIGH_WATER) {
+                match self.commands.try_recv() {
+                    Ok(Command::Send(bytes)) => {
+                        for peer in &mut self.peers {
+                            peer.enqueue(&bytes);
+                        }
+                        progressed = true;
+                    }
+                    Ok(Command::Shutdown) => shutting_down = true,
+                    // A disconnected sender means the plane was dropped; it
+                    // always sends Shutdown first, but be safe either way.
+                    Err(TryRecvError::Disconnected) => shutting_down = true,
+                    Err(TryRecvError::Empty) => break,
+                }
+                if shutting_down {
+                    break;
+                }
+            }
+
+            // 2. Exit once told to stop and every queue is flushed (or its
+            // peer unreachable). Half-close so peers see a clean EOF after
+            // our final bytes.
+            if shutting_down
+                && self
+                    .peers
+                    .iter()
+                    .all(|p| p.outbound.is_empty() || !p.write_open)
+            {
+                for peer in &self.peers {
+                    let _ = peer.stream.shutdown(Shutdown::Write);
+                }
+                return;
+            }
+
+            // 3. Readiness round. Zero timeout while work remains from the
+            // previous round, so a burst is serviced without sleeping.
+            interest[0] = Readiness {
+                readable: true,
+                writable: false,
+            };
+            for (slot, peer) in interest[1..].iter_mut().zip(&self.peers) {
+                slot.readable = peer.read_open;
+                slot.writable = peer.write_open && !peer.outbound.is_empty();
+            }
+            let timeout = if progressed {
+                Duration::ZERO
+            } else {
+                POLL_TIMEOUT
+            };
+            if self.poller.poll(&interest, &mut ready, timeout).is_err() {
+                // A broken poller cannot drive any stream: report every live
+                // peer lost, then park on the command channel until the
+                // plane shuts us down (no point spinning on a dead poller).
+                for peer in &mut self.peers {
+                    if peer.read_open {
+                        peer.read_open = false;
+                        let _ = self
+                            .inbox
+                            .send(InboxEvent::PeerLost(peer.id, PlaneError::Disconnected));
+                    }
+                    peer.write_open = false;
+                    peer.outbound.clear();
+                    peer.queued_bytes = 0;
+                }
+                loop {
+                    match self.commands.recv() {
+                        Ok(Command::Shutdown) | Err(_) => return,
+                        Ok(Command::Send(_)) => continue,
+                    }
+                }
+            }
+
+            progressed = false;
+            if ready[0].readable {
+                progressed |= drain_waker(&self.waker_rx, &mut read_buf);
+            }
+            for (peer, state) in self.peers.iter_mut().zip(&ready[1..]) {
+                if state.readable && peer.read_open {
+                    progressed |= pump_reads(peer, &mut read_buf, &self.inbox);
+                }
+                if state.writable && peer.write_open && !peer.outbound.is_empty() {
+                    progressed |= pump_writes(peer);
+                }
+            }
+        }
+    }
+}
+
+/// Read one peer's socket until it would block, feeding the frame decoder and
+/// forwarding complete frames. Any stream end — clean EOF, mid-frame EOF,
+/// corruption, I/O error — reports a terminal [`InboxEvent::PeerLost`] with
+/// the same attribution the blocking `SocketPlane` reader threads use.
+/// Returns whether any bytes were consumed.
+fn pump_reads(peer: &mut Peer, buf: &mut [u8], inbox: &Sender<InboxEvent>) -> bool {
+    let mut progressed = false;
+    loop {
+        match (&peer.stream).read(buf) {
+            Ok(0) => {
+                let error = if peer.decoder.is_clean() {
+                    PlaneError::Disconnected
+                } else {
+                    PlaneError::Protocol(format!(
+                        "stream from server {} ended inside a frame",
+                        peer.id
+                    ))
+                };
+                report_loss(peer, inbox, error);
+                return true;
+            }
+            Ok(n) => {
+                progressed = true;
+                peer.decoder.push(&buf[..n]);
+                loop {
+                    match peer.decoder.next_frame() {
+                        Ok(Some(frame)) => {
+                            if frame.sender() != peer.id {
+                                let sender = frame.sender();
+                                report_loss(
+                                    peer,
+                                    inbox,
+                                    PlaneError::Protocol(format!(
+                                        "stream from server {} carried a frame claiming \
+                                         sender {sender}",
+                                        peer.id
+                                    )),
+                                );
+                                return true;
+                            }
+                            if inbox.send(InboxEvent::Frame(frame)).is_err() {
+                                // Plane dropped; stop decoding, the loop will
+                                // be shut down by the command channel.
+                                peer.read_open = false;
+                                return true;
+                            }
+                        }
+                        Ok(None) => break,
+                        Err(FrameError::Corrupt(m)) | Err(FrameError::Io(m)) => {
+                            report_loss(
+                                peer,
+                                inbox,
+                                PlaneError::Protocol(format!(
+                                    "corrupt frame from server {}: {m}",
+                                    peer.id
+                                )),
+                            );
+                            return true;
+                        }
+                    }
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return progressed,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                report_loss(peer, inbox, PlaneError::Disconnected);
+                return true;
+            }
+        }
+    }
+}
+
+fn report_loss(peer: &mut Peer, inbox: &Sender<InboxEvent>, error: PlaneError) {
+    peer.read_open = false;
+    let _ = inbox.send(InboxEvent::PeerLost(peer.id, error));
+}
+
+/// Write queued bytes to one peer until its socket would block or the queue
+/// drains. A write failure discards the queue and closes the write half —
+/// the peer's own read path is what attributes the loss. Returns whether any
+/// bytes moved.
+fn pump_writes(peer: &mut Peer) -> bool {
+    let mut progressed = false;
+    while let Some((bytes, offset)) = peer.outbound.front_mut() {
+        match (&peer.stream).write(&bytes[*offset..]) {
+            Ok(0) => {
+                // A zero-length write on a non-empty slice: treat as a dead
+                // stream rather than spinning.
+                peer.write_open = false;
+                peer.queued_bytes = 0;
+                peer.outbound.clear();
+                return progressed;
+            }
+            Ok(n) => {
+                progressed = true;
+                *offset += n;
+                peer.queued_bytes -= n;
+                if *offset == bytes.len() {
+                    peer.outbound.pop_front();
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return progressed,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                peer.write_open = false;
+                peer.queued_bytes = 0;
+                peer.outbound.clear();
+                return progressed;
+            }
+        }
+    }
+    progressed
+}
+
+/// Drain the waker pipe (its only payload is "wake up").
+fn drain_waker(waker: &TcpStream, buf: &mut [u8]) -> bool {
+    let mut progressed = false;
+    loop {
+        match (&*waker).read(buf) {
+            Ok(0) => return progressed, // plane dropped its write end
+            Ok(_) => progressed = true,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => return progressed, // WouldBlock or a dead waker: either way, proceed
+        }
+    }
+}
+
+/// A connected loopback TCP pair used as a portable waker: the write end
+/// lives with the plane, the read end sits in the poll set. (Unix pipes would
+/// do on Unix; a loopback pair works on every std target and registers with
+/// any [`ReadinessPoller`].)
+fn waker_pair() -> std::io::Result<(TcpStream, TcpStream)> {
+    let listener = TcpListener::bind((Ipv4Addr::LOCALHOST, 0))?;
+    let addr = listener.local_addr()?;
+    let tx = TcpStream::connect(addr)?;
+    // Guard against a stranger racing onto the transient listener.
+    let local = tx.local_addr()?;
+    let rx = loop {
+        let (candidate, peer_addr) = listener.accept()?;
+        if peer_addr == local {
+            break candidate;
+        }
+    };
+    tx.set_nodelay(true)?;
+    tx.set_nonblocking(true)?;
+    rx.set_nonblocking(true)?;
+    Ok((tx, rx))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    fn bind_cluster(n: u32) -> (Vec<BoundPollPlane>, Vec<SocketAddr>) {
+        let bound: Vec<BoundPollPlane> = (0..n)
+            .map(|sid| PollPlane::bind(sid, n, "127.0.0.1:0").unwrap())
+            .collect();
+        let addrs = bound.iter().map(|b| b.local_addr().unwrap()).collect();
+        (bound, addrs)
+    }
+
+    fn establish_all(bound: Vec<BoundPollPlane>, addrs: &[SocketAddr]) -> Vec<PollPlane> {
+        thread::scope(|scope| {
+            let handles: Vec<_> = bound
+                .into_iter()
+                .map(|b| scope.spawn(move || b.establish(addrs).unwrap()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        })
+    }
+
+    #[test]
+    fn config_errors_are_rejected_at_bind() {
+        assert!(PollPlane::bind(0, 0, "127.0.0.1:0").is_err());
+        assert!(PollPlane::bind(3, 3, "127.0.0.1:0").is_err());
+        assert!(PollPlane::bind(0, 1, "127.0.0.1:0").is_ok());
+    }
+
+    #[test]
+    fn single_server_poll_plane_collects_nothing() {
+        let (bound, addrs) = bind_cluster(1);
+        let mut plane = bound.into_iter().next().unwrap().establish(&addrs).unwrap();
+        plane.end_superstep(0).unwrap();
+        assert_eq!(plane.collect(0).unwrap(), Vec::<WireMessage>::new());
+    }
+
+    #[test]
+    fn all_to_all_delivery_over_the_event_loop() {
+        let (bound, addrs) = bind_cluster(3);
+        let planes = establish_all(bound, &addrs);
+        let results: Vec<Vec<usize>> = thread::scope(|scope| {
+            let handles: Vec<_> = planes
+                .into_iter()
+                .map(|mut p| {
+                    scope.spawn(move || {
+                        let mut seen = Vec::new();
+                        for s in 0..4u32 {
+                            for _ in 0..=s {
+                                p.broadcast(s, &[p.server_id() as u8, s as u8]).unwrap();
+                            }
+                            p.end_superstep(s).unwrap();
+                            let got = p.collect(s).unwrap();
+                            assert!(got.iter().all(|w| w.len() == 2 && w[1] == s as u8));
+                            seen.push(got.len());
+                        }
+                        seen
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for seen in results {
+            assert_eq!(seen, vec![2, 4, 6, 8]);
+        }
+    }
+
+    /// Same exchange, poller forced to the portable spin fallback: the
+    /// readiness seam (not just the Linux syscall shim) carries the protocol.
+    #[test]
+    fn all_to_all_delivery_with_the_spin_poller() {
+        let (bound, addrs) = bind_cluster(2);
+        let planes: Vec<PollPlane> = thread::scope(|scope| {
+            let handles: Vec<_> = bound
+                .into_iter()
+                .map(|b| {
+                    let addrs = &addrs;
+                    scope.spawn(move || {
+                        b.establish_with(
+                            addrs,
+                            DEFAULT_ESTABLISH_TIMEOUT,
+                            Box::new(SpinPoller::new()),
+                        )
+                        .unwrap()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        thread::scope(|scope| {
+            for mut p in planes {
+                scope.spawn(move || {
+                    for s in 0..3u32 {
+                        p.broadcast(s, &[p.server_id() as u8]).unwrap();
+                        p.end_superstep(s).unwrap();
+                        assert_eq!(p.collect(s).unwrap().len(), 1);
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn abort_crosses_the_event_loop() {
+        let (bound, addrs) = bind_cluster(2);
+        let mut planes = establish_all(bound, &addrs).into_iter();
+        let mut a = planes.next().unwrap();
+        let mut b = planes.next().unwrap();
+        b.abort();
+        a.end_superstep(0).unwrap();
+        assert_eq!(a.collect(0), Err(PlaneError::Aborted(1)));
+    }
+
+    #[test]
+    fn dropped_peer_surfaces_as_disconnect() {
+        let (bound, addrs) = bind_cluster(2);
+        let mut planes = establish_all(bound, &addrs).into_iter();
+        let mut a = planes.next().unwrap();
+        let b = planes.next().unwrap();
+        drop(b); // peer flushes (nothing), half-closes, exits its loop
+        assert_eq!(a.collect(0), Err(PlaneError::Disconnected));
+    }
+
+    /// Frames queued before a drop must still reach the peer: a worker that
+    /// finishes the run and drops its plane has, by then, broadcast its last
+    /// end-of-superstep marker — the loop flushes before half-closing.
+    #[test]
+    fn drop_flushes_queued_frames_before_closing() {
+        let (bound, addrs) = bind_cluster(2);
+        let mut planes = establish_all(bound, &addrs).into_iter();
+        let mut a = planes.next().unwrap();
+        let mut b = planes.next().unwrap();
+        b.broadcast(0, &[42]).unwrap();
+        b.end_superstep(0).unwrap();
+        drop(b);
+        let wires = a.collect(0).unwrap();
+        assert_eq!(wires.len(), 1);
+        assert_eq!(&wires[0][..], &[42]);
+    }
+
+    /// A large broadcast volume must flow even though both sides write
+    /// before either reads — the loop's concurrent read/write pumping is
+    /// what makes this deadlock-free (a blocking all-write-then-read
+    /// design would stall once both TCP buffers filled).
+    #[test]
+    fn bulk_bidirectional_traffic_does_not_deadlock() {
+        let (bound, addrs) = bind_cluster(2);
+        let planes = establish_all(bound, &addrs);
+        let payload = vec![7u8; 256 * 1024];
+        thread::scope(|scope| {
+            for mut p in planes {
+                let payload = &payload;
+                scope.spawn(move || {
+                    for s in 0..3u32 {
+                        for _ in 0..8 {
+                            p.broadcast(s, payload).unwrap();
+                        }
+                        p.end_superstep(s).unwrap();
+                        let got = p.collect(s).unwrap();
+                        assert_eq!(got.len(), 8);
+                        assert!(got.iter().all(|w| w.len() == payload.len()));
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn missing_peer_times_out_instead_of_hanging() {
+        let bound = PollPlane::bind(1, 2, "127.0.0.1:0").unwrap();
+        let dead = TcpListener::bind("127.0.0.1:0").unwrap();
+        let dead_addr = dead.local_addr().unwrap();
+        drop(dead);
+        let addrs = vec![dead_addr, bound.local_addr().unwrap()];
+        let err = bound
+            .establish_with_timeout(&addrs, Duration::from_millis(300))
+            .unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::TimedOut);
+    }
+
+    // The "exactly one event-loop thread per plane" and clean-shutdown
+    // assertions live in `tests/poll_threads.rs`: thread counts are
+    // process-wide, so they need a test binary of their own rather than a
+    // unit test racing the rest of this crate's parallel suite.
+}

@@ -73,68 +73,12 @@ impl BoundSocketPlane {
             num_servers,
             listener,
         } = self;
-        if peer_addrs.len() != num_servers as usize {
-            return Err(invalid_input(format!(
-                "need one address per server: got {} for a {num_servers}-server cluster",
-                peer_addrs.len()
-            )));
-        }
-        let deadline = Instant::now() + timeout;
-
-        // Dial every lower id (their listeners are up or coming up), then
-        // accept every higher id. The direction is fixed by the ids, so the
-        // establishment graph is acyclic and cannot deadlock; the listener
-        // backlog holds early connects from higher ids until we accept them.
-        let mut streams: Vec<(ServerId, TcpStream)> = Vec::with_capacity(num_servers as usize - 1);
-        for peer in 0..id {
-            let stream = connect_with_retry(peer_addrs[peer as usize], deadline)?;
-            stream.set_nodelay(true)?;
-            let mut hello = Vec::with_capacity(12);
-            hello.extend_from_slice(&HANDSHAKE_MAGIC);
-            hello.extend_from_slice(&num_servers.to_le_bytes());
-            hello.extend_from_slice(&id.to_le_bytes());
-            let mut stream_ref = &stream;
-            stream_ref.write_all(&hello)?;
-            stream_ref.flush()?;
-            streams.push((peer, stream));
-        }
-        let mut expected: Vec<ServerId> = ((id + 1)..num_servers).collect();
-        listener.set_nonblocking(true)?;
-        while !expected.is_empty() {
-            match listener.accept() {
-                Ok((stream, _)) => {
-                    stream.set_nonblocking(false)?;
-                    let peer = read_handshake(&stream, num_servers, deadline)?;
-                    if let Some(slot) = expected.iter().position(|&e| e == peer) {
-                        expected.swap_remove(slot);
-                        stream.set_nodelay(true)?;
-                        streams.push((peer, stream));
-                    } else {
-                        return Err(invalid_data(format!(
-                            "unexpected or duplicate handshake from server {peer}"
-                        )));
-                    }
-                }
-                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                    if Instant::now() >= deadline {
-                        return Err(std::io::Error::new(
-                            std::io::ErrorKind::TimedOut,
-                            format!(
-                                "server {id}: peers {expected:?} did not connect before the \
-                                 establish timeout"
-                            ),
-                        ));
-                    }
-                    std::thread::sleep(Duration::from_millis(5));
-                }
-                Err(e) => return Err(e),
-            }
-        }
-        streams.sort_by_key(|&(peer, _)| peer);
+        let streams = establish_streams(id, num_servers, listener, peer_addrs, timeout)?;
 
         // One reader thread per peer feeds the shared inbox; the write halves
         // stay with the plane.
         let (tx, inbox) = channel::<InboxEvent>();
+        let peer_ids: Vec<ServerId> = streams.iter().map(|&(peer, _)| peer).collect();
         let mut writers = Vec::with_capacity(streams.len());
         let mut readers = Vec::with_capacity(streams.len());
         for (peer, stream) in streams {
@@ -151,6 +95,7 @@ impl BoundSocketPlane {
         Ok(SocketPlane {
             id,
             num_servers,
+            peer_ids,
             writers,
             inbox,
             collector: SuperstepCollector::new(),
@@ -166,6 +111,8 @@ impl BoundSocketPlane {
 pub struct SocketPlane {
     id: ServerId,
     num_servers: u32,
+    /// Peer ids, sorted — the collector's completeness set, computed once.
+    peer_ids: Vec<ServerId>,
     /// Write halves, ordered by peer id.
     writers: Vec<(ServerId, BufWriter<TcpStream>)>,
     /// Frames (and peer-loss events) from every reader thread.
@@ -185,17 +132,7 @@ impl SocketPlane {
         num_servers: u32,
         listen_addr: A,
     ) -> std::io::Result<BoundSocketPlane> {
-        if num_servers == 0 {
-            return Err(invalid_input(
-                "cluster must have at least one server (num_servers = 0)".to_string(),
-            ));
-        }
-        if id >= num_servers {
-            return Err(invalid_input(format!(
-                "server id {id} out of range for a {num_servers}-server cluster"
-            )));
-        }
-        let listener = TcpListener::bind(listen_addr)?;
+        let listener = bind_listener(id, num_servers, listen_addr)?;
         Ok(BoundSocketPlane {
             id,
             num_servers,
@@ -256,8 +193,7 @@ impl BroadcastPlane for SocketPlane {
 
     fn collect(&mut self, superstep: u32) -> Result<Vec<WireMessage>, PlaneError> {
         let inbox = &self.inbox;
-        let peers: Vec<ServerId> = self.writers.iter().map(|&(p, _)| p).collect();
-        self.collector.collect(superstep, &peers, || {
+        self.collector.collect(superstep, &self.peer_ids, || {
             inbox.recv().map_err(|_| PlaneError::Disconnected)
         })
     }
@@ -295,6 +231,118 @@ impl std::fmt::Debug for SocketPlane {
             .field("num_servers", &self.num_servers)
             .finish()
     }
+}
+
+/// Establish the fully-connected fabric: the deterministic dial-lower /
+/// accept-higher topology plus the GHH1 handshake, shared by every TCP
+/// backend ([`SocketPlane`] and [`crate::poll::PollPlane`] differ only in how
+/// they *drive* the established streams). Returns one blocking, NODELAY
+/// stream per peer, sorted by peer id. See `docs/WIRE.md` §2 for the
+/// normative handshake spec.
+pub(crate) fn establish_streams(
+    id: ServerId,
+    num_servers: u32,
+    listener: TcpListener,
+    peer_addrs: &[SocketAddr],
+    timeout: Duration,
+) -> std::io::Result<Vec<(ServerId, TcpStream)>> {
+    if peer_addrs.len() != num_servers as usize {
+        return Err(invalid_input(format!(
+            "need one address per server: got {} for a {num_servers}-server cluster",
+            peer_addrs.len()
+        )));
+    }
+    let deadline = Instant::now() + timeout;
+
+    // Dial every lower id (their listeners are up or coming up), then
+    // accept every higher id. The direction is fixed by the ids, so the
+    // establishment graph is acyclic and cannot deadlock; the listener
+    // backlog holds early connects from higher ids until we accept them.
+    let mut streams: Vec<(ServerId, TcpStream)> =
+        Vec::with_capacity(num_servers.saturating_sub(1) as usize);
+    for peer in 0..id {
+        let stream = connect_with_retry(peer_addrs[peer as usize], deadline)?;
+        stream.set_nodelay(true)?;
+        let mut hello = Vec::with_capacity(12);
+        hello.extend_from_slice(&HANDSHAKE_MAGIC);
+        hello.extend_from_slice(&num_servers.to_le_bytes());
+        hello.extend_from_slice(&id.to_le_bytes());
+        let mut stream_ref = &stream;
+        stream_ref.write_all(&hello)?;
+        stream_ref.flush()?;
+        streams.push((peer, stream));
+    }
+    let mut expected: Vec<ServerId> = ((id + 1)..num_servers).collect();
+    listener.set_nonblocking(true)?;
+    while !expected.is_empty() {
+        // Checked every iteration — including after a dropped stray — so a
+        // periodic prober on the listen port cannot starve the timeout by
+        // keeping accept() busy.
+        if Instant::now() >= deadline {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::TimedOut,
+                format!(
+                    "server {id}: peers {expected:?} did not connect before the establish \
+                     timeout"
+                ),
+            ));
+        }
+        match listener.accept() {
+            Ok((stream, from)) => {
+                stream.set_nonblocking(false)?;
+                let peer = match read_handshake(&stream, num_servers, deadline) {
+                    Ok(peer) => peer,
+                    Err(HandshakeIssue::Stray(why)) => {
+                        // Not a GraphH peer (port scanner, health checker, a
+                        // silent or garbage connection): drop it and keep
+                        // accepting — a stranger must not kill a healthy
+                        // cluster's establishment.
+                        eprintln!(
+                            "graphh establish (server {id}): ignoring connection from \
+                             {from}: {why}"
+                        );
+                        continue;
+                    }
+                    Err(HandshakeIssue::Fatal(e)) => return Err(e),
+                };
+                if let Some(slot) = expected.iter().position(|&e| e == peer) {
+                    expected.swap_remove(slot);
+                    stream.set_nodelay(true)?;
+                    streams.push((peer, stream));
+                } else {
+                    return Err(invalid_data(format!(
+                        "unexpected or duplicate handshake from server {peer}"
+                    )));
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    streams.sort_by_key(|&(peer, _)| peer);
+    Ok(streams)
+}
+
+/// Validate a (server id, cluster size) pair and bind its listener — the
+/// shared first phase of every TCP backend's two-phase establishment.
+pub(crate) fn bind_listener<A: ToSocketAddrs>(
+    id: ServerId,
+    num_servers: u32,
+    listen_addr: A,
+) -> std::io::Result<TcpListener> {
+    if num_servers == 0 {
+        return Err(invalid_input(
+            "cluster must have at least one server (num_servers = 0)".to_string(),
+        ));
+    }
+    if id >= num_servers {
+        return Err(invalid_input(format!(
+            "server id {id} out of range for a {num_servers}-server cluster"
+        )));
+    }
+    TcpListener::bind(listen_addr)
 }
 
 /// Decode frames off one peer's stream into the shared inbox until the stream
@@ -358,29 +406,53 @@ fn connect_with_retry(addr: SocketAddr, deadline: Instant) -> std::io::Result<Tc
     }
 }
 
+/// How an accepted connection failed the handshake: a stray connection is
+/// dropped and establishment continues; a fatal issue (a real GHH1 speaker
+/// with a conflicting cluster config) aborts establishment loudly.
+enum HandshakeIssue {
+    Stray(String),
+    Fatal(std::io::Error),
+}
+
+/// Longest one accepted connection may take to produce its 12 handshake
+/// bytes. Real dialers send them immediately after connect; a silent stray
+/// must not eat the whole establish deadline.
+const HANDSHAKE_READ_CAP: Duration = Duration::from_secs(2);
+
 fn read_handshake(
     stream: &TcpStream,
     num_servers: u32,
     deadline: Instant,
-) -> std::io::Result<ServerId> {
-    // A rogue or half-dead connection must not park establishment forever.
+) -> Result<ServerId, HandshakeIssue> {
+    // A rogue or half-dead connection must not park establishment forever —
+    // nor monopolize the remaining deadline while real peers queue behind it.
     let budget = deadline
         .checked_duration_since(Instant::now())
-        .unwrap_or(Duration::from_millis(1));
-    stream.set_read_timeout(Some(budget))?;
+        .unwrap_or(Duration::from_millis(1))
+        .min(HANDSHAKE_READ_CAP);
+    let io = |e: std::io::Error| HandshakeIssue::Fatal(e);
+    stream.set_read_timeout(Some(budget)).map_err(io)?;
     let mut hello = [0u8; 12];
-    (&mut &*stream).read_exact(&mut hello)?;
-    stream.set_read_timeout(None)?;
+    if let Err(e) = (&mut &*stream).read_exact(&mut hello) {
+        // EOF, timeout, reset: whatever it was, it was not a GraphH peer's
+        // handshake (those are a single immediate 12-byte write).
+        return Err(HandshakeIssue::Stray(format!(
+            "no GHH1 handshake within {budget:?}: {e}"
+        )));
+    }
+    stream.set_read_timeout(None).map_err(io)?;
     if hello[0..4] != HANDSHAKE_MAGIC {
-        return Err(invalid_data(
+        return Err(HandshakeIssue::Stray(
             "connection did not open with the GHH1 handshake magic".to_string(),
         ));
     }
     let claimed_servers = u32::from_le_bytes([hello[4], hello[5], hello[6], hello[7]]);
     if claimed_servers != num_servers {
-        return Err(invalid_data(format!(
+        // A genuine GraphH peer that disagrees about the cluster shape is a
+        // misconfiguration worth failing loudly on, not a stray to ignore.
+        return Err(HandshakeIssue::Fatal(invalid_data(format!(
             "peer believes the cluster has {claimed_servers} servers, this node {num_servers}"
-        )));
+        ))));
     }
     Ok(ServerId::from_le_bytes([
         hello[8], hello[9], hello[10], hello[11],
@@ -493,6 +565,68 @@ mod tests {
         let b = planes.next().unwrap();
         drop(b); // peer "process" dies without ending the superstep
         assert_eq!(a.collect(0), Err(PlaneError::Disconnected));
+    }
+
+    /// A stranger connecting to a node's listener mid-establishment (port
+    /// scanner, health checker, a silent or garbage connection) must be
+    /// dropped — not abort the whole cluster's establishment.
+    #[test]
+    fn stray_connections_do_not_kill_establishment() {
+        let (bound, addrs) = bind_cluster(2);
+        let mut iter = bound.into_iter();
+        let b0 = iter.next().unwrap();
+        let b1 = iter.next().unwrap();
+        let target = addrs[0];
+
+        let mut planes: Vec<SocketPlane> = thread::scope(|scope| {
+            let addrs = &addrs;
+            let h0 = scope.spawn(move || b0.establish(addrs).unwrap());
+            // Two strays into server 0's accept queue ahead of the real
+            // peer: one sends garbage, one connects and says nothing.
+            let garbage = TcpStream::connect(target).unwrap();
+            (&garbage).write_all(b"NOPE").unwrap();
+            drop(garbage);
+            drop(TcpStream::connect(target).unwrap());
+            let h1 = scope.spawn(move || b1.establish(addrs).unwrap());
+            vec![h0.join().unwrap(), h1.join().unwrap()]
+        });
+
+        // The fabric works despite the strays.
+        for p in &mut planes {
+            p.broadcast(0, &[p.server_id() as u8]).unwrap();
+            p.end_superstep(0).unwrap();
+        }
+        for p in &mut planes {
+            assert_eq!(p.collect(0).unwrap().len(), 1);
+        }
+    }
+
+    /// A prober that reconnects in a loop keeps `accept()` returning `Ok`;
+    /// the deadline must still fire — stray handling may not starve the
+    /// establish timeout.
+    #[test]
+    fn accept_side_timeout_survives_persistent_strays() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+
+        let bound = SocketPlane::bind(0, 2, "127.0.0.1:0").unwrap();
+        let addr = bound.local_addr().unwrap();
+        let own_addr = addr; // placeholder entry for this server's slot
+        let done = AtomicBool::new(false);
+        thread::scope(|scope| {
+            scope.spawn(|| {
+                // Connect-and-close probers: each accept yields a clean-EOF
+                // stray.
+                while !done.load(Ordering::Relaxed) {
+                    drop(TcpStream::connect(addr));
+                    thread::sleep(Duration::from_millis(10));
+                }
+            });
+            let err = bound
+                .establish_with_timeout(&[own_addr, addr], Duration::from_millis(300))
+                .unwrap_err();
+            done.store(true, Ordering::Relaxed);
+            assert_eq!(err.kind(), std::io::ErrorKind::TimedOut);
+        });
     }
 
     #[test]

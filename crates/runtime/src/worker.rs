@@ -6,7 +6,8 @@
 //!    its own vertex-replica array and edge cache (the exact code the
 //!    sequential executor runs),
 //! 2. **publish** — encode each tile's updates through the configured
-//!    [`MessageCodec`] and push the wire bytes onto the broadcast plane,
+//!    [`graphh_cluster::MessageCodec`] and push the wire bytes onto the
+//!    broadcast plane,
 //! 3. **exchange** — collect every peer's wire messages for the superstep and
 //!    decode them (charging real decompression time),
 //! 4. **apply** — merge own + received updates, sorted by vertex id

@@ -1,12 +1,17 @@
-//! Differential suite for the TCP transport: a cluster of workers exchanging
+//! Differential suite for the TCP transports: a cluster of workers exchanging
 //! frames over real loopback sockets must be bit-identical to the sequential
-//! reference executor — for PageRank, SSSP and WCC.
+//! reference executor — for PageRank, SSSP and WCC, on **both** TCP backends:
 //!
-//! Each worker runs on its own thread with its own [`SocketPlane`] endpoint
-//! (the multi-process variant of the same wiring lives in `graphh-bench`'s
+//! * [`SocketPlane`] — blocking, one reader thread per peer,
+//! * [`PollPlane`] — event-driven, one readiness loop per endpoint (also run
+//!   once with the portable [`SpinPoller`] forced, so the conformance holds
+//!   through the readiness-trait seam, not just the Linux `poll(2)` shim).
+//!
+//! Each worker runs on its own thread with its own plane endpoint (the
+//! multi-process variant of the same wiring lives in `graphh-bench`'s
 //! `graphh-node` binary and its `multiprocess` test); every broadcast crosses
 //! the wire length-prefix-encoded and re-decoded, so this pins the entire
-//! socket path: handshake, frame codec, reader threads, inbox discipline.
+//! TCP path: handshake, frame codec, reader loop, inbox discipline.
 
 use graphh_cluster::ClusterConfig;
 use graphh_core::exec::ExecutionPlan;
@@ -16,7 +21,9 @@ use graphh_core::{
 use graphh_graph::generators::{GraphGenerator, RmatGenerator};
 use graphh_graph::GraphBuilder;
 use graphh_partition::{PartitionedGraph, Spe, SpeConfig};
-use graphh_runtime::{run_worker, BroadcastPlane, SocketPlane, SuperstepBarrier};
+use graphh_runtime::poll::SpinPoller;
+use graphh_runtime::socket::DEFAULT_ESTABLISH_TIMEOUT;
+use graphh_runtime::{run_worker, BoundTcpPlane, BroadcastPlane, SuperstepBarrier, TcpPlaneKind};
 use std::net::SocketAddr;
 use std::sync::mpsc::channel;
 use std::sync::Arc;
@@ -24,17 +31,31 @@ use std::thread;
 
 const SERVERS: u32 = 3;
 
-/// Run `program` with every server on its own thread and its own TCP
-/// endpoint; returns each server's final replica values.
+/// Which TCP backend (and readiness shim) a run drives.
+#[derive(Clone, Copy, Debug)]
+enum Plane {
+    Socket,
+    Poll,
+    PollSpin,
+}
+
+/// Bind one endpoint per server for `plane`, then establish and run the
+/// worker loop on scoped threads; returns each server's final replica values.
 fn run_over_tcp(
+    plane: Plane,
     config: &GraphHConfig,
     partitioned: &PartitionedGraph,
     program: &dyn GabProgram,
 ) -> Vec<Vec<f64>> {
     let plan = ExecutionPlan::prepare(config, partitioned, program).expect("plan");
     let num_servers = config.cluster.num_servers;
-    let bound: Vec<_> = (0..num_servers)
-        .map(|sid| SocketPlane::bind(sid, num_servers, "127.0.0.1:0").expect("bind"))
+
+    let kind = match plane {
+        Plane::Socket => TcpPlaneKind::Socket,
+        Plane::Poll | Plane::PollSpin => TcpPlaneKind::Poll,
+    };
+    let bound: Vec<BoundTcpPlane> = (0..num_servers)
+        .map(|sid| BoundTcpPlane::bind(kind, sid, num_servers, "127.0.0.1:0").expect("bind"))
         .collect();
     let addrs: Vec<SocketAddr> = bound.iter().map(|b| b.local_addr().unwrap()).collect();
 
@@ -45,21 +66,33 @@ fn run_over_tcp(
                 let addrs = &addrs;
                 let plan = &plan;
                 scope.spawn(move || {
-                    let mut plane = b.establish(addrs).expect("establish");
+                    let mut endpoint: Box<dyn BroadcastPlane> = match (plane, b) {
+                        // The spin-poller run pins conformance through the
+                        // readiness-trait seam itself.
+                        (Plane::PollSpin, BoundTcpPlane::Poll(b)) => Box::new(
+                            b.establish_with(
+                                addrs,
+                                DEFAULT_ESTABLISH_TIMEOUT,
+                                Box::new(SpinPoller::new()),
+                            )
+                            .expect("establish"),
+                        ),
+                        (_, b) => b.establish(addrs).expect("establish"),
+                    };
                     // Each process-like worker has a trivial local barrier;
                     // cross-server lockstep comes from the plane's
                     // end-of-superstep framing, exactly as in a real
                     // multi-process deployment.
                     let barrier = SuperstepBarrier::new(1);
                     let (metrics_tx, _metrics_rx) = channel();
-                    let sid = plane.server_id();
+                    let sid = endpoint.server_id();
                     let output = run_worker(
                         config,
                         plan,
                         partitioned,
                         program,
                         sid,
-                        &mut plane,
+                        endpoint.as_mut(),
                         &barrier,
                         &metrics_tx,
                     )
@@ -75,6 +108,7 @@ fn run_over_tcp(
 }
 
 fn assert_tcp_matches_sequential(
+    plane: Plane,
     partitioned: &PartitionedGraph,
     program: &dyn GabProgram,
     what: &str,
@@ -84,7 +118,7 @@ fn assert_tcp_matches_sequential(
         GraphHEngine::with_executor(config.clone(), Arc::new(SequentialExecutor::new()))
             .run(partitioned, program)
             .expect("sequential run");
-    let replicas = run_over_tcp(&config, partitioned, program);
+    let replicas = run_over_tcp(plane, &config, partitioned, program);
     assert_eq!(replicas.len() as u32, SERVERS);
     for (sid, values) in replicas.iter().enumerate() {
         assert_eq!(
@@ -96,31 +130,27 @@ fn assert_tcp_matches_sequential(
             assert_eq!(
                 x.to_bits(),
                 y.to_bits(),
-                "{what}: server {sid} vertex {v} diverged over TCP ({x} vs {y})"
+                "{what}: server {sid} vertex {v} diverged over {plane:?} TCP ({x} vs {y})"
             );
         }
     }
 }
 
-#[test]
-fn tcp_pagerank_is_bit_identical_to_sequential() {
+fn pagerank_workload() -> PartitionedGraph {
     let g = RmatGenerator::new(8, 6).generate(2017);
-    let p = Spe::partition(&g, &SpeConfig::with_tile_count("tcp", &g, 9)).unwrap();
-    assert_tcp_matches_sequential(&p, &PageRank::new(8), "pagerank");
+    Spe::partition(&g, &SpeConfig::with_tile_count("tcp", &g, 9)).unwrap()
 }
 
-#[test]
-fn tcp_sssp_is_bit_identical_to_sequential() {
+fn sssp_workload() -> (PartitionedGraph, Sssp) {
     let g = RmatGenerator::new(8, 5).generate(42);
     let p = Spe::partition(&g, &SpeConfig::with_tile_count("tcp", &g, 9)).unwrap();
     let source = (0..g.num_vertices() as u32)
         .max_by_key(|&v| g.out_degree(v))
         .unwrap_or(0);
-    assert_tcp_matches_sequential(&p, &Sssp::new(source), "sssp");
+    (p, Sssp::new(source))
 }
 
-#[test]
-fn tcp_wcc_is_bit_identical_to_sequential() {
+fn wcc_workload() -> PartitionedGraph {
     let base = RmatGenerator::new(7, 4).simplified().generate(7);
     let mut b = GraphBuilder::new()
         .with_num_vertices(base.num_vertices())
@@ -129,6 +159,60 @@ fn tcp_wcc_is_bit_identical_to_sequential() {
         b.add_edge(e);
     }
     let sym = b.build().unwrap();
-    let p = Spe::partition(&sym, &SpeConfig::with_tile_count("tcp", &sym, 9)).unwrap();
-    assert_tcp_matches_sequential(&p, &Wcc::new(), "wcc");
+    Spe::partition(&sym, &SpeConfig::with_tile_count("tcp", &sym, 9)).unwrap()
+}
+
+#[test]
+fn tcp_pagerank_is_bit_identical_to_sequential() {
+    assert_tcp_matches_sequential(
+        Plane::Socket,
+        &pagerank_workload(),
+        &PageRank::new(8),
+        "pagerank",
+    );
+}
+
+#[test]
+fn tcp_sssp_is_bit_identical_to_sequential() {
+    let (p, sssp) = sssp_workload();
+    assert_tcp_matches_sequential(Plane::Socket, &p, &sssp, "sssp");
+}
+
+#[test]
+fn tcp_wcc_is_bit_identical_to_sequential() {
+    assert_tcp_matches_sequential(Plane::Socket, &wcc_workload(), &Wcc::new(), "wcc");
+}
+
+#[test]
+fn poll_pagerank_is_bit_identical_to_sequential() {
+    assert_tcp_matches_sequential(
+        Plane::Poll,
+        &pagerank_workload(),
+        &PageRank::new(8),
+        "pagerank",
+    );
+}
+
+#[test]
+fn poll_sssp_is_bit_identical_to_sequential() {
+    let (p, sssp) = sssp_workload();
+    assert_tcp_matches_sequential(Plane::Poll, &p, &sssp, "sssp");
+}
+
+#[test]
+fn poll_wcc_is_bit_identical_to_sequential() {
+    assert_tcp_matches_sequential(Plane::Poll, &wcc_workload(), &Wcc::new(), "wcc");
+}
+
+/// One workload through the portable spin poller: the conformance contract
+/// must hold for any correct [`graphh_runtime::ReadinessPoller`], not just
+/// the platform shim.
+#[test]
+fn poll_with_spin_poller_is_bit_identical_to_sequential() {
+    assert_tcp_matches_sequential(
+        Plane::PollSpin,
+        &pagerank_workload(),
+        &PageRank::new(8),
+        "pagerank-spin",
+    );
 }

@@ -9,7 +9,7 @@
 //! * [`LocalDiskBackend`] — one file per object under a root directory; the
 //!   simulated servers' local disks,
 //! * [`MeteredBackend`] — wraps any backend and charges every byte to an
-//!   [`IoMeter`](crate::meter::IoMeter).
+//!   [`IoMeter`].
 
 use crate::meter::IoMeter;
 use crate::{Result, StorageError};

@@ -1,63 +1,65 @@
-//! A GraphH cluster over real TCP sockets, in one program.
+//! A GraphH cluster over real TCP sockets, in one program — on either TCP
+//! backend.
 //!
 //! Three servers run PageRank over the loopback network: each on its own
-//! thread with its own [`SocketPlane`] endpoint, every broadcast encoded by
-//! the real `MessageCodec`, framed by the length-prefixed wire protocol, and
-//! re-decoded on arrival — the same path the `graphh-node` binary runs with
-//! one *process* per server (see README "Transport backends"). The final
-//! replicas are bit-identical to the sequential reference executor.
+//! thread with its own plane endpoint, every broadcast encoded by the real
+//! `MessageCodec`, framed by the length-prefixed wire protocol (docs/WIRE.md),
+//! and re-decoded on arrival — the same path the `graphh-node` binary runs
+//! with one *process* per server (see README "Transport backends"). The final
+//! replicas are bit-identical to the sequential reference executor, and the
+//! demo *asserts* clean shutdown: after the planes drop, the process is back
+//! to its baseline thread count (no lingering reader or event-loop threads).
 //!
 //! ```text
-//! cargo run --example socket_cluster
+//! cargo run --example socket_cluster             # blocking SocketPlane
+//! cargo run --example socket_cluster -- poll     # event-driven PollPlane
+//! cargo run --example socket_cluster -- both     # one run on each backend
 //! ```
 
 use graphh::core::exec::ExecutionPlan;
 use graphh::prelude::*;
-use graphh::runtime::{run_worker, BroadcastPlane, SocketPlane, SuperstepBarrier};
+use graphh::runtime::poll::os_thread_count;
+use graphh::runtime::{run_worker, BoundTcpPlane, SuperstepBarrier, TcpPlaneKind};
 use std::net::SocketAddr;
 use std::sync::mpsc::channel;
 use std::sync::Arc;
 
 const SERVERS: u32 = 3;
 
-fn main() {
-    // A deterministic workload every endpoint agrees on.
-    let graph = RmatGenerator::new(9, 6).generate(2017);
-    let partitioned = Spe::partition(
-        &graph,
-        &SpeConfig::with_tile_count("socket-demo", &graph, 12),
-    )
-    .unwrap();
-    let program = PageRank::new(10);
-    let config = GraphHConfig::paper_default(ClusterConfig::paper_testbed(SERVERS));
-    let plan = ExecutionPlan::prepare(&config, &partitioned, &program).unwrap();
-
+/// Run the 3-server cluster once over the named plane and return each
+/// server's final replica values (sorted by server id).
+fn run_cluster(
+    plane: TcpPlaneKind,
+    config: &GraphHConfig,
+    plan: &ExecutionPlan,
+    partitioned: &PartitionedGraph,
+    program: &PageRank,
+) -> Vec<(u32, Vec<f64>)> {
     // Bind all listeners first (port 0 = OS-assigned), then establish the
     // fully-connected fabric: lower ids are dialed, higher ids accepted.
-    let bound: Vec<_> = (0..SERVERS)
-        .map(|sid| SocketPlane::bind(sid, SERVERS, "127.0.0.1:0").unwrap())
+    let bound: Vec<BoundTcpPlane> = (0..SERVERS)
+        .map(|sid| BoundTcpPlane::bind(plane, sid, SERVERS, "127.0.0.1:0").unwrap())
         .collect();
     let addrs: Vec<SocketAddr> = bound.iter().map(|b| b.local_addr().unwrap()).collect();
-    println!("cluster endpoints: {addrs:?}");
+    println!("[{plane:?}] cluster endpoints: {addrs:?}");
 
     let mut replicas: Vec<(u32, Vec<f64>)> = std::thread::scope(|scope| {
         let handles: Vec<_> = bound
             .into_iter()
             .map(|b| {
-                let (addrs, plan, partitioned, config, program) =
-                    (&addrs, &plan, &partitioned, &config, &program);
+                let addrs = &addrs;
                 scope.spawn(move || {
-                    let mut plane = b.establish(addrs).expect("establish TCP fabric");
+                    let mut endpoint = b.establish(addrs).expect("establish");
                     let barrier = SuperstepBarrier::new(1); // lockstep comes from the plane
                     let (metrics_tx, _metrics_rx) = channel();
-                    let sid = plane.server_id();
+                    let sid = endpoint.server_id();
                     let out = run_worker(
                         config,
                         plan,
                         partitioned,
                         program,
                         sid,
-                        &mut plane,
+                        endpoint.as_mut(),
                         &barrier,
                         &metrics_tx,
                     )
@@ -69,23 +71,70 @@ fn main() {
         handles.into_iter().map(|h| h.join().unwrap()).collect()
     });
     replicas.sort_by_key(|&(sid, _)| sid);
+    replicas
+}
 
-    // Every replica agrees with the single-threaded reference, bit for bit.
-    let reference = GraphHEngine::with_executor(config, Arc::new(SequentialExecutor::new()))
-        .run(&partitioned, &program)
-        .unwrap();
-    for (sid, values) in &replicas {
-        let identical = values.len() == reference.values.len()
-            && values
-                .iter()
-                .zip(&reference.values)
-                .all(|(a, b)| a.to_bits() == b.to_bits());
-        println!(
-            "server {sid}: {} vertices over TCP, bit-identical to sequential: {identical}",
-            values.len()
-        );
-        assert!(identical);
+fn main() {
+    let choice = std::env::args().nth(1).unwrap_or_else(|| "socket".into());
+    let planes: Vec<TcpPlaneKind> = match choice.as_str() {
+        "both" => vec![TcpPlaneKind::Socket, TcpPlaneKind::Poll],
+        one => vec![one
+            .parse()
+            .unwrap_or_else(|e| panic!("{e} — expected socket, poll or both"))],
+    };
+
+    // A deterministic workload every endpoint agrees on.
+    let graph = RmatGenerator::new(9, 6).generate(2017);
+    let partitioned = Spe::partition(
+        &graph,
+        &SpeConfig::with_tile_count("socket-demo", &graph, 12),
+    )
+    .unwrap();
+    let program = PageRank::new(10);
+    let config = GraphHConfig::paper_default(ClusterConfig::paper_testbed(SERVERS));
+    let plan = ExecutionPlan::prepare(&config, &partitioned, &program).unwrap();
+
+    let reference =
+        GraphHEngine::with_executor(config.clone(), Arc::new(SequentialExecutor::new()))
+            .run(&partitioned, &program)
+            .unwrap();
+
+    for plane in planes {
+        // Snapshot the thread count so clean shutdown below is *asserted*,
+        // not assumed (None on platforms without /proc).
+        let baseline_threads = os_thread_count();
+
+        let replicas = run_cluster(plane, &config, &plan, &partitioned, &program);
+
+        // Every replica agrees with the single-threaded reference, bit for bit.
+        for (sid, values) in &replicas {
+            let identical = values.len() == reference.values.len()
+                && values
+                    .iter()
+                    .zip(&reference.values)
+                    .all(|(a, b)| a.to_bits() == b.to_bits());
+            println!(
+                "[{plane:?}] server {sid}: {} vertices over TCP, bit-identical to sequential: \
+                 {identical}",
+                values.len()
+            );
+            assert!(identical);
+        }
+
+        // Clean shutdown: the planes (and their reader / event-loop threads)
+        // are gone — the thread count is back to the pre-cluster baseline.
+        match (baseline_threads, os_thread_count()) {
+            (Some(before), Some(after)) => {
+                assert_eq!(
+                    after, before,
+                    "[{plane:?}] lingering transport threads after the run"
+                );
+                println!("[{plane:?}] clean shutdown: thread count back to {before}");
+            }
+            _ => println!("[{plane:?}] clean shutdown check skipped (no /proc thread count)"),
+        }
     }
+
     let mut top: Vec<(usize, f64)> = reference.values.iter().copied().enumerate().collect();
     top.sort_by(|a, b| b.1.total_cmp(&a.1));
     println!("top-5 PageRank vertices: {:?}", &top[..5]);
