@@ -44,8 +44,12 @@ fn runtime_and_record_json() -> String {
     let rows = runtime_rows();
     let pool = pool_spawn_microbench();
     let plane = plane_loopback_microbench();
-    let mut out = runtime_report(&rows, &pool, &plane);
-    match std::fs::write("BENCH_runtime.json", runtime_json(&rows, &pool, &plane)) {
+    let codec = codec_microbench();
+    let mut out = runtime_report(&rows, &pool, &plane, &codec);
+    match std::fs::write(
+        "BENCH_runtime.json",
+        runtime_json(&rows, &pool, &plane, &codec),
+    ) {
         Ok(()) => out.push_str("(wrote BENCH_runtime.json)\n"),
         Err(e) => out.push_str(&format!("could not write BENCH_runtime.json: {e}\n")),
     }

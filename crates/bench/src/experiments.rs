@@ -650,6 +650,7 @@ pub fn runtime_executors() -> String {
         &runtime_rows(),
         &pool_spawn_microbench(),
         &plane_loopback_microbench(),
+        &codec_microbench(),
     )
 }
 
@@ -664,7 +665,12 @@ pub fn host_cores() -> usize {
 }
 
 /// Render the executor-comparison table from measured rows.
-pub fn runtime_report(rows: &[RuntimeRow], pool: &PoolBench, plane: &PlaneBench) -> String {
+pub fn runtime_report(
+    rows: &[RuntimeRow],
+    pool: &PoolBench,
+    plane: &PlaneBench,
+    codec: &CodecBench,
+) -> String {
     let mut out = format!(
         "# Runtime: sequential vs threaded executor (RMAT scale-10, PageRank, wall-clock)\n\
          host cores (available_parallelism): {}\n\
@@ -704,8 +710,8 @@ pub fn runtime_report(rows: &[RuntimeRow], pool: &PoolBench, plane: &PlaneBench)
     writeln!(
         out,
         "plane microbench (2 endpoints, {} supersteps x {} x {} B broadcasts): \
-         socket={:.6}s poll={:.6}s socket/poll={:.2}x (poll's win is thread \
-         footprint: 1 loop thread vs one reader per peer)",
+         socket={:.6}s poll={:.6}s socket/poll={:.2}x (poll coalesces each \
+         superstep's frames into one batched, vectored write per peer)",
         plane.supersteps,
         plane.messages_per_superstep,
         plane.payload_bytes,
@@ -714,7 +720,153 @@ pub fn runtime_report(rows: &[RuntimeRow], pool: &PoolBench, plane: &PlaneBench)
         plane.ratio()
     )
     .unwrap();
+    for row in &codec.rows {
+        writeln!(
+            out,
+            "codec microbench ({}, {} updates / {} range, {} B wire): \
+             encode={:.0} MB/s encode_into={:.0} MB/s ({:.2}x) decode={:.0} MB/s \
+             decode_each={:.0} MB/s ({:.2}x)",
+            row.encoding,
+            row.updates,
+            codec.range,
+            row.wire_bytes,
+            row.encode_mb_s,
+            row.encode_into_mb_s,
+            row.encode_into_mb_s / row.encode_mb_s.max(1e-12),
+            row.decode_mb_s,
+            row.decode_each_mb_s,
+            row.decode_each_mb_s / row.decode_mb_s.max(1e-12),
+        )
+        .unwrap();
+    }
     out
+}
+
+/// Measured throughput of the broadcast message codec: the allocating
+/// `encode`/`decode` path versus the pooled-buffer `encode_into`/`decode_each`
+/// hot path this repo's superstep loop actually runs, on a dense message
+/// (most of the range updated) and a sparse-frontier one (few updates, so the
+/// dense decode's zero-byte bitmap skip and the sparse pair walk both show).
+pub struct CodecBench {
+    /// Vertices in each message's target range.
+    pub range: u32,
+    /// Measured per-encoding rows.
+    pub rows: Vec<CodecBenchRow>,
+}
+
+/// One encoding's measured throughputs (MB/s of wire bytes, best of 3).
+pub struct CodecBenchRow {
+    /// "dense" or "sparse".
+    pub encoding: &'static str,
+    /// Updates carried per message.
+    pub updates: usize,
+    /// Encoded wire size in bytes.
+    pub wire_bytes: u64,
+    /// Allocating `BroadcastMessage::encode` path.
+    pub encode_mb_s: f64,
+    /// Buffer-reusing `BroadcastMessage::encode_into` path.
+    pub encode_into_mb_s: f64,
+    /// Allocating `BroadcastMessage::decode` path.
+    pub decode_mb_s: f64,
+    /// Streaming `BroadcastMessage::decode_each` visitor path.
+    pub decode_each_mb_s: f64,
+}
+
+/// Measure [`CodecBench`]: 64 Ki-vertex range; dense = 90% updated, sparse =
+/// 1% updated (the dense row is also decoded through the bitmap's zero-byte
+/// skip). Throughput counts wire bytes moved per second, best of 3.
+pub fn codec_microbench() -> CodecBench {
+    codec_microbench_sized(64 * 1024, 100_000_000)
+}
+
+/// [`codec_microbench`] with an explicit range and per-measurement byte
+/// target, so tests can validate the measurement plumbing on a workload that
+/// finishes in milliseconds even unoptimized.
+pub fn codec_microbench_sized(range: u32, target_bytes: u64) -> CodecBench {
+    use graphh_cluster::{BroadcastEncoding, BroadcastMessage};
+    use std::time::Instant;
+
+    let best_of_3 = |run: &mut dyn FnMut() -> u64| -> f64 {
+        let mut best = f64::INFINITY;
+        let mut bytes = 0u64;
+        for _ in 0..3 {
+            let started = Instant::now();
+            bytes = run();
+            best = best.min(started.elapsed().as_secs_f64());
+        }
+        bytes as f64 / best.max(1e-12) / 1e6
+    };
+
+    let mut rows = Vec::new();
+    for (encoding, name, step) in [
+        (BroadcastEncoding::Dense, "dense", 10u32), // 90% updated
+        (BroadcastEncoding::Sparse, "sparse", 100u32), // 1% updated
+    ] {
+        let updates: Vec<(u32, f64)> = match encoding {
+            // Dense: everything except every `step`-th vertex updated.
+            BroadcastEncoding::Dense => (0..range)
+                .filter(|v| !v.is_multiple_of(step))
+                .map(|v| (v, f64::from(v) * 0.5))
+                .collect(),
+            // Sparse: only every `step`-th vertex updated.
+            BroadcastEncoding::Sparse => (0..range)
+                .step_by(step as usize)
+                .map(|v| (v, f64::from(v) * 0.5))
+                .collect(),
+        };
+        let message = BroadcastMessage::new(0, range, updates);
+        let wire_bytes = message.encoded_size(encoding);
+        // Iteration counts sized so each measurement moves ~`target_bytes`.
+        let iters = (target_bytes / wire_bytes).clamp(2, 4096);
+
+        let encode_mb_s = best_of_3(&mut || {
+            let mut total = 0u64;
+            for _ in 0..iters {
+                total += std::hint::black_box(message.encode(encoding)).len() as u64;
+            }
+            total
+        });
+        let mut out = Vec::new();
+        let encode_into_mb_s = best_of_3(&mut || {
+            let mut total = 0u64;
+            for _ in 0..iters {
+                message.encode_into(encoding, &mut out);
+                total += std::hint::black_box(&out).len() as u64;
+            }
+            total
+        });
+        let wire = message.encode(encoding);
+        let decode_mb_s = best_of_3(&mut || {
+            let mut total = 0u64;
+            for _ in 0..iters {
+                let decoded = BroadcastMessage::decode(&wire).expect("valid wire");
+                total += wire.len() as u64;
+                std::hint::black_box(decoded.updates.len());
+            }
+            total
+        });
+        let decode_each_mb_s = best_of_3(&mut || {
+            let mut total = 0u64;
+            let mut sum = 0u64;
+            for _ in 0..iters {
+                BroadcastMessage::decode_each(&wire, |v, _| sum += u64::from(v))
+                    .expect("valid wire");
+                total += wire.len() as u64;
+            }
+            std::hint::black_box(sum);
+            total
+        });
+        rows.push(CodecBenchRow {
+            encoding: name,
+            updates: message.updates.len(),
+            wire_bytes,
+            encode_mb_s,
+            encode_into_mb_s,
+            decode_mb_s,
+            decode_each_mb_s,
+        });
+    }
+    CodecBench { range, rows }
 }
 
 /// Measured cost of many *short* fork-join phases (the shape of a superstep
@@ -954,7 +1106,12 @@ pub fn runtime_rows() -> Vec<RuntimeRow> {
 /// run). The header records the host core count and the swept axes so a ≤1×
 /// speedup on a small runner reads as the hardware's verdict, not a
 /// regression.
-pub fn runtime_json(rows: &[RuntimeRow], pool: &PoolBench, plane: &PlaneBench) -> String {
+pub fn runtime_json(
+    rows: &[RuntimeRow],
+    pool: &PoolBench,
+    plane: &PlaneBench,
+    codec: &CodecBench,
+) -> String {
     let mut servers_swept: Vec<u32> = rows.iter().map(|r| r.servers).collect();
     servers_swept.dedup();
     let mut threads_swept: Vec<u32> = rows.iter().map(|r| r.threads_per_server).collect();
@@ -1007,7 +1164,7 @@ pub fn runtime_json(rows: &[RuntimeRow], pool: &PoolBench, plane: &PlaneBench) -
         out,
         "  \"planes_swept\": [\"socket\", \"poll\"],\n  \
          \"plane_microbench\": {{\"endpoints\": 2, \"supersteps\": {}, \"messages_per_superstep\": {}, \
-         \"payload_bytes\": {}, \"socket_s\": {:.6}, \"poll_s\": {:.6}, \"socket_over_poll\": {:.4}}}",
+         \"payload_bytes\": {}, \"socket_s\": {:.6}, \"poll_s\": {:.6}, \"socket_over_poll\": {:.4}}},",
         plane.supersteps,
         plane.messages_per_superstep,
         plane.payload_bytes,
@@ -1016,6 +1173,30 @@ pub fn runtime_json(rows: &[RuntimeRow], pool: &PoolBench, plane: &PlaneBench) -
         plane.ratio()
     )
     .unwrap();
+    writeln!(
+        out,
+        "  \"codec_microbench\": {{\"range\": {}, \"rows\": [",
+        codec.range
+    )
+    .unwrap();
+    for (i, row) in codec.rows.iter().enumerate() {
+        writeln!(
+            out,
+            "    {{\"encoding\": \"{}\", \"updates\": {}, \"wire_bytes\": {}, \
+             \"encode_mb_s\": {:.1}, \"encode_into_mb_s\": {:.1}, \
+             \"decode_mb_s\": {:.1}, \"decode_each_mb_s\": {:.1}}}{}",
+            row.encoding,
+            row.updates,
+            row.wire_bytes,
+            row.encode_mb_s,
+            row.encode_into_mb_s,
+            row.decode_mb_s,
+            row.decode_each_mb_s,
+            if i + 1 < codec.rows.len() { "," } else { "" }
+        )
+        .unwrap();
+    }
+    out.push_str("  ]}\n");
     out.push_str("}\n");
     out
 }
@@ -1045,9 +1226,45 @@ mod tests {
         let bench = plane_loopback_microbench();
         assert!(bench.socket_seconds > 0.0);
         assert!(bench.poll_seconds > 0.0);
-        let json = runtime_json(&[], &pool_spawn_microbench(), &bench);
+        let codec = CodecBench {
+            range: 1,
+            rows: Vec::new(),
+        };
+        let json = runtime_json(&[], &pool_spawn_microbench(), &bench, &codec);
         assert!(json.contains("\"planes_swept\": [\"socket\", \"poll\"]"));
         assert!(json.contains("\"plane_microbench\""));
+        assert!(json.contains("\"codec_microbench\""));
+    }
+
+    /// The codec microbench must measure all four paths on both encodings,
+    /// and its rows must render into the runtime JSON record. Runs a tiny
+    /// sized variant: the full 100 MB-per-measurement workload takes seconds
+    /// unoptimized and belongs to `report runtime`, not `cargo test`.
+    #[test]
+    fn codec_microbench_measures_both_encodings_and_all_paths() {
+        let bench = codec_microbench_sized(2048, 64 * 1024);
+        assert_eq!(bench.rows.len(), 2);
+        assert_eq!(bench.rows[0].encoding, "dense");
+        assert_eq!(bench.rows[1].encoding, "sparse");
+        for row in &bench.rows {
+            assert!(row.encode_mb_s > 0.0, "{}", row.encoding);
+            assert!(row.encode_into_mb_s > 0.0, "{}", row.encoding);
+            assert!(row.decode_mb_s > 0.0, "{}", row.encoding);
+            assert!(row.decode_each_mb_s > 0.0, "{}", row.encoding);
+        }
+        let json = runtime_json(&[], &pool_spawn_microbench(), &tiny_plane(), &bench);
+        assert!(json.contains("\"encoding\": \"dense\""));
+        assert!(json.contains("\"encode_into_mb_s\""));
+    }
+
+    fn tiny_plane() -> PlaneBench {
+        PlaneBench {
+            supersteps: 0,
+            messages_per_superstep: 0,
+            payload_bytes: 0,
+            socket_seconds: 1.0,
+            poll_seconds: 1.0,
+        }
     }
 
     #[test]

@@ -53,6 +53,22 @@ impl Default for CommunicationMode {
     }
 }
 
+/// The validated header of a decoded broadcast message, returned by the
+/// streaming [`BroadcastMessage::decode_each`] so receivers can bound the
+/// advertised range against the graph without materializing the updates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BroadcastHeader {
+    /// How the message body was encoded.
+    pub encoding: BroadcastEncoding,
+    /// First vertex of the advertised target range.
+    pub range_start: VertexId,
+    /// One past the last vertex of the advertised target range.
+    pub range_end: VertexId,
+    /// Number of updates the message carried (already verified against the
+    /// body).
+    pub count: u32,
+}
+
 /// A broadcast payload: updated values for vertices inside `[range_start, range_end)`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BroadcastMessage {
@@ -115,6 +131,31 @@ impl BroadcastMessage {
     /// Encode with an explicit encoding (header: tag, range, count).
     pub fn encode(&self, encoding: BroadcastEncoding) -> Vec<u8> {
         let mut out = Vec::new();
+        self.encode_into(encoding, &mut out);
+        out
+    }
+
+    /// [`BroadcastMessage::encode`] into a caller-owned buffer, byte-identical
+    /// to the allocating API: `out` is cleared, [`Self::encoded_size`] is
+    /// reserved up front, and the dense bitmap + value array are written
+    /// directly into `out` — no intermediate bitmap or value vector exists.
+    /// With a reused `out` a steady-state encode performs zero heap
+    /// allocation.
+    ///
+    /// ```
+    /// use graphh_cluster::{BroadcastEncoding, BroadcastMessage};
+    ///
+    /// let m = BroadcastMessage::new(0, 16, vec![(3, 1.5), (9, -2.0)]);
+    /// let mut wire = Vec::new();
+    /// for encoding in [BroadcastEncoding::Dense, BroadcastEncoding::Sparse] {
+    ///     m.encode_into(encoding, &mut wire); // reuses `wire`'s allocation
+    ///     assert_eq!(wire, m.encode(encoding));
+    ///     assert_eq!(wire.len() as u64, m.encoded_size(encoding));
+    /// }
+    /// ```
+    pub fn encode_into(&self, encoding: BroadcastEncoding, out: &mut Vec<u8>) {
+        out.clear();
+        out.reserve(self.encoded_size(encoding) as usize);
         out.push(match encoding {
             BroadcastEncoding::Dense => 0u8,
             BroadcastEncoding::Sparse => 1u8,
@@ -125,16 +166,16 @@ impl BroadcastMessage {
         match encoding {
             BroadcastEncoding::Dense => {
                 let n = self.range_len() as usize;
-                let mut bitmap = vec![0u8; n.div_ceil(8)];
-                let mut values = vec![0f64; n];
+                let bitmap_at = out.len();
+                let values_at = bitmap_at + n.div_ceil(8);
+                // Zero-fill the bitmap + value region in place (within the
+                // reserved capacity), then patch the updated slots.
+                out.resize(values_at + n * 8, 0);
                 for &(v, val) in &self.updates {
                     let i = (v - self.range_start) as usize;
-                    bitmap[i / 8] |= 1 << (i % 8);
-                    values[i] = val;
-                }
-                out.extend_from_slice(&bitmap);
-                for val in values {
-                    out.extend_from_slice(&val.to_le_bytes());
+                    out[bitmap_at + i / 8] |= 1 << (i % 8);
+                    out[values_at + i * 8..values_at + i * 8 + 8]
+                        .copy_from_slice(&val.to_le_bytes());
                 }
             }
             BroadcastEncoding::Sparse => {
@@ -144,11 +185,44 @@ impl BroadcastMessage {
                 }
             }
         }
-        out
     }
 
     /// Decode a message previously produced by [`BroadcastMessage::encode`].
     pub fn decode(data: &[u8]) -> Result<Self, String> {
+        let mut updates = Vec::new();
+        let header = Self::decode_each(data, |v, val| updates.push((v, val)))?;
+        Ok(Self {
+            range_start: header.range_start,
+            range_end: header.range_end,
+            updates,
+        })
+    }
+
+    /// Streaming decode: validate the wire bytes exactly as
+    /// [`BroadcastMessage::decode`] does (same error cases, same messages)
+    /// and hand each `(vertex, value)` update to `visit` in id order, without
+    /// materializing a `Vec<(VertexId, f64)>`. The dense path bit-scans the
+    /// bitmap a byte at a time, skipping all-zero bytes outright — on a
+    /// sparse frontier that is most of the message.
+    ///
+    /// On `Err`, `visit` may already have been called for a valid prefix of
+    /// the updates; callers accumulating into a shared buffer must discard it
+    /// (the engine aborts the run on any corrupt broadcast).
+    ///
+    /// ```
+    /// use graphh_cluster::{BroadcastEncoding, BroadcastMessage};
+    ///
+    /// let m = BroadcastMessage::new(10, 20, vec![(11, 0.5), (19, 2.5)]);
+    /// let wire = m.encode(BroadcastEncoding::Dense);
+    /// let mut seen = Vec::new();
+    /// let header = BroadcastMessage::decode_each(&wire, |v, val| seen.push((v, val))).unwrap();
+    /// assert_eq!(seen, m.updates);
+    /// assert_eq!((header.range_start, header.range_end, header.count), (10, 20, 2));
+    /// ```
+    pub fn decode_each(
+        data: &[u8],
+        mut visit: impl FnMut(VertexId, f64),
+    ) -> Result<BroadcastHeader, String> {
         if data.len() < 13 {
             return Err("broadcast message too short".into());
         }
@@ -166,39 +240,50 @@ impl BroadcastMessage {
             ));
         }
         let body = &data[13..];
-        // Allocate only after the arm-specific length checks: `count` and the
-        // range are wire-controlled, so reserving up front would let a
-        // 13-byte corrupt header demand gigabytes.
-        let mut updates = Vec::new();
-        match tag {
+        let encoding = match tag {
             0 => {
                 let n = (range_end - range_start) as usize;
                 let bitmap_len = n.div_ceil(8);
                 if body.len() != bitmap_len + n * 8 {
                     return Err("dense body length mismatch".into());
                 }
-                updates.reserve_exact(count);
                 let (bitmap, values) = body.split_at(bitmap_len);
-                for i in 0..n {
-                    if bitmap[i / 8] & (1 << (i % 8)) != 0 {
+                let mut visited = 0usize;
+                for (byte_i, &byte) in bitmap.iter().enumerate() {
+                    if byte == 0 {
+                        // All eight slots unchanged: skip without testing
+                        // them bit by bit.
+                        continue;
+                    }
+                    let mut bits = byte;
+                    if byte_i == bitmap_len - 1 && !n.is_multiple_of(8) {
+                        // Padding bits past `n` in the final byte are ignored,
+                        // exactly as the bit-by-bit loop never tested them.
+                        bits &= (1u8 << (n % 8)) - 1;
+                    }
+                    while bits != 0 {
+                        let i = byte_i * 8 + bits.trailing_zeros() as usize;
+                        bits &= bits - 1;
                         let val = f64::from_le_bytes(values[i * 8..i * 8 + 8].try_into().unwrap());
-                        updates.push((range_start + i as u32, val));
+                        visit(range_start + i as u32, val);
+                        visited += 1;
                     }
                 }
-                if updates.len() != count {
+                if visited != count {
                     return Err("dense bitmap count mismatch".into());
                 }
+                BroadcastEncoding::Dense
             }
             1 => {
                 if body.len() != count * 12 {
                     return Err("sparse body length mismatch".into());
                 }
-                updates.reserve_exact(count);
                 // Corrupt or malicious wire bytes must never reach
                 // `apply_updates` (which indexes the replica array by vertex
                 // id): ids must lie inside the advertised range and be
                 // strictly increasing, exactly as `BroadcastMessage::new`
                 // guarantees on the sender side.
+                let mut last: Option<VertexId> = None;
                 for chunk in body.chunks_exact(12) {
                     let v = u32::from_le_bytes(chunk[..4].try_into().unwrap());
                     let val = f64::from_le_bytes(chunk[4..].try_into().unwrap());
@@ -207,22 +292,25 @@ impl BroadcastMessage {
                             "sparse vertex id {v} outside range [{range_start}, {range_end})"
                         ));
                     }
-                    if let Some(&(prev, _)) = updates.last() {
+                    if let Some(prev) = last {
                         if v <= prev {
                             return Err(format!(
                                 "sparse vertex ids not strictly increasing ({prev} then {v})"
                             ));
                         }
                     }
-                    updates.push((v, val));
+                    last = Some(v);
+                    visit(v, val);
                 }
+                BroadcastEncoding::Sparse
             }
             other => return Err(format!("unknown encoding tag {other}")),
-        }
-        Ok(Self {
+        };
+        Ok(BroadcastHeader {
+            encoding,
             range_start,
             range_end,
-            updates,
+            count: count as u32,
         })
     }
 
@@ -289,17 +377,47 @@ impl MessageCodec {
         message: &BroadcastMessage,
         sender: &mut ServerMetrics,
     ) -> (Vec<u8>, BroadcastEncoding) {
-        let encoding = message.choose_encoding(self.mode);
-        let encoded = message.encode(encoding);
-        let wire = match self.compressor {
-            None | Some(Codec::Raw) => encoded,
-            Some(codec) => {
-                let compressed = codec.compress(&encoded);
-                sender.compress_seconds += self.codec_seconds(encoded.len());
-                compressed
-            }
-        };
+        let mut scratch = Vec::new();
+        let mut wire = Vec::new();
+        let encoding = self.encode_into(message, sender, &mut scratch, &mut wire);
         (wire, encoding)
+    }
+
+    /// [`MessageCodec::encode`] into caller-owned buffers, producing
+    /// byte-identical wire bytes in `wire`. On the uncompressed path the
+    /// message is encoded straight into `wire` and `scratch` is untouched; on
+    /// the compressed path the plain encoding lands in `scratch` and the
+    /// compressed bytes in `wire`. Both buffers are cleared first — reuse
+    /// them across messages and the steady-state uncompressed encode
+    /// allocates nothing.
+    ///
+    /// ```
+    /// use graphh_cluster::{BroadcastMessage, CommunicationMode, MessageCodec, ServerMetrics};
+    ///
+    /// let codec = MessageCodec::new(CommunicationMode::default(), None);
+    /// let m = BroadcastMessage::new(0, 64, vec![(7, 1.0)]);
+    /// let (mut scratch, mut wire) = (Vec::new(), Vec::new());
+    /// let mut metrics = ServerMetrics::default();
+    /// let encoding = codec.encode_into(&m, &mut metrics, &mut scratch, &mut wire);
+    /// assert_eq!((wire.clone(), encoding), codec.encode(&m, &mut ServerMetrics::default()));
+    /// ```
+    pub fn encode_into(
+        &self,
+        message: &BroadcastMessage,
+        sender: &mut ServerMetrics,
+        scratch: &mut Vec<u8>,
+        wire: &mut Vec<u8>,
+    ) -> BroadcastEncoding {
+        let encoding = message.choose_encoding(self.mode);
+        match self.compressor {
+            None | Some(Codec::Raw) => message.encode_into(encoding, wire),
+            Some(codec) => {
+                message.encode_into(encoding, scratch);
+                codec.compress_into(scratch, wire);
+                sender.compress_seconds += self.codec_seconds(scratch.len());
+            }
+        }
+        encoding
     }
 
     /// Decode wire bytes produced by [`MessageCodec::encode`], charging
@@ -317,6 +435,36 @@ impl MessageCodec {
             }
         };
         BroadcastMessage::decode(decoded_bytes.as_deref().unwrap_or(wire))
+    }
+
+    /// Streaming receive half of the hot path: decompress `wire` into
+    /// `scratch` when a compressor is configured (charging the receiver
+    /// exactly as [`MessageCodec::decode`] does), then validate and visit
+    /// every update via [`BroadcastMessage::decode_each`] — no
+    /// `BroadcastMessage` and no per-message update vector is materialized.
+    /// On the uncompressed path `scratch` is untouched and nothing is
+    /// allocated.
+    ///
+    /// On `Err`, `visit` may already have observed a valid prefix of the
+    /// updates; callers accumulating into a shared buffer must discard it.
+    pub fn decode_each(
+        &self,
+        wire: &[u8],
+        receiver: &mut ServerMetrics,
+        scratch: &mut Vec<u8>,
+        visit: impl FnMut(VertexId, f64),
+    ) -> Result<BroadcastHeader, String> {
+        let data: &[u8] = match self.compressor {
+            None | Some(Codec::Raw) => wire,
+            Some(codec) => {
+                receiver.decompress_seconds += self.codec_seconds(wire.len());
+                codec
+                    .decompress_into(wire, scratch)
+                    .map_err(|e| e.to_string())?;
+                scratch
+            }
+        };
+        BroadcastMessage::decode_each(data, visit)
     }
 }
 
@@ -343,6 +491,69 @@ mod tests {
             assert_eq!(back.range_start, 100);
             assert_eq!(back.range_end, 164);
         }
+    }
+
+    /// `encode_into` must agree byte-for-byte with `encode`, and the
+    /// streaming `decode_each` must visit exactly what `decode` collects —
+    /// across dense/sparse, empty updates, sparse-frontier dense messages
+    /// (mostly all-zero bitmap bytes) and non-multiple-of-8 ranges (padding
+    /// bits in the final bitmap byte).
+    #[test]
+    fn encode_into_and_decode_each_match_the_allocating_api() {
+        let cases = [
+            msg((100, 164), &[100, 101, 130, 163]),
+            msg((0, 61), &[0, 7, 8, 57, 60]),
+            msg((5, 5), &[]),
+            msg((0, 1000), &[3]), // sparse frontier: zero-byte skip path
+            msg((0, 1000), &(0..1000).collect::<Vec<_>>()),
+            msg((32, 45), &[39]),
+        ];
+        let mut wire = Vec::new();
+        for m in &cases {
+            for enc in [BroadcastEncoding::Dense, BroadcastEncoding::Sparse] {
+                m.encode_into(enc, &mut wire); // `wire` reused across cases
+                assert_eq!(wire, m.encode(enc));
+                let mut visited = Vec::new();
+                let header =
+                    BroadcastMessage::decode_each(&wire, |v, val| visited.push((v, val))).unwrap();
+                let decoded = BroadcastMessage::decode(&wire).unwrap();
+                assert_eq!(visited, decoded.updates);
+                assert_eq!(visited, m.updates);
+                assert_eq!(header.encoding, enc);
+                assert_eq!(header.range_start, m.range_start);
+                assert_eq!(header.range_end, m.range_end);
+                assert_eq!(header.count as usize, m.updates.len());
+            }
+        }
+    }
+
+    /// The corrupt-wire rejection suite must hold for the streaming decoder
+    /// exactly as for `decode` (which is built on it): out-of-range ids,
+    /// non-monotone ids, truncation, bad counts, garbage tags.
+    #[test]
+    fn decode_each_rejects_corrupt_wire() {
+        let reject = |bytes: &[u8]| {
+            BroadcastMessage::decode_each(bytes, |_, _| {}).expect_err("corrupt wire must error")
+        };
+        reject(&[]);
+        reject(&[9u8; 13]); // unknown tag
+        let mut truncated = msg((0, 8), &[2]).encode(BroadcastEncoding::Sparse);
+        truncated.truncate(truncated.len() - 1);
+        reject(&truncated);
+        assert!(reject(&raw_sparse((10, 20), &[11, 25])).contains("outside range"));
+        assert!(reject(&raw_sparse((0, 100), &[5, 3])).contains("strictly increasing"));
+        reject(&raw_sparse((0, 100), &[7, 7]));
+        assert!(reject(&raw_sparse((0, 2), &[0, 1, 0, 1])).contains("exceeds range"));
+        // Dense count mismatch: claim 2 updates, set 1 bitmap bit.
+        let mut dense = msg((0, 16), &[3]).encode(BroadcastEncoding::Dense);
+        dense[9..13].copy_from_slice(&2u32.to_le_bytes());
+        assert!(reject(&dense).contains("count mismatch"));
+        // Dense padding bits past the range are ignored, not counted: a
+        // 13-vertex range leaves 3 padding bits in its 2-byte bitmap.
+        let mut padded = msg((0, 13), &[1]).encode(BroadcastEncoding::Dense);
+        padded[13 + 1] |= 0b1110_0000; // second bitmap byte, bits 13..16
+        let decoded = BroadcastMessage::decode(&padded).unwrap();
+        assert_eq!(decoded.updates, vec![(1, 0.5)]);
     }
 
     #[test]
@@ -472,6 +683,59 @@ mod tests {
         assert!(receiver.decompress_seconds > 0.0);
         // Corrupt wire bytes surface as an error, not a panic.
         assert!(snappy.decode(&[0xFF; 32], &mut receiver).is_err());
+    }
+
+    /// The scratch-threaded codec path must produce byte-identical wire
+    /// bytes, identical metric charges, and identical decode results to the
+    /// allocating path — for every compressor, with dirty reused buffers.
+    #[test]
+    fn message_codec_into_paths_match_allocating_paths() {
+        let messages = [
+            msg((0, 512), &(0..480).collect::<Vec<_>>()), // hybrid → dense
+            msg((0, 512), &[1, 99, 500]),                 // hybrid → sparse
+        ];
+        let compressors = [
+            None,
+            Some(Codec::Raw),
+            Some(Codec::Snappy),
+            Some(Codec::Zlib1),
+        ];
+        let mut enc_scratch = Vec::new();
+        let mut wire = Vec::new();
+        let mut dec_scratch = Vec::new();
+        for compressor in compressors {
+            let codec = MessageCodec::new(CommunicationMode::default(), compressor);
+            for m in &messages {
+                let mut s1 = ServerMetrics::default();
+                let mut s2 = ServerMetrics::default();
+                let (old_wire, old_enc) = codec.encode(m, &mut s1);
+                let new_enc = codec.encode_into(m, &mut s2, &mut enc_scratch, &mut wire);
+                assert_eq!(wire, old_wire);
+                assert_eq!(new_enc, old_enc);
+                assert_eq!(s1.compress_seconds, s2.compress_seconds);
+
+                let mut r1 = ServerMetrics::default();
+                let mut r2 = ServerMetrics::default();
+                let old_decoded = codec.decode(&wire, &mut r1).unwrap();
+                let mut visited = Vec::new();
+                let header = codec
+                    .decode_each(&wire, &mut r2, &mut dec_scratch, |v, val| {
+                        visited.push((v, val));
+                    })
+                    .unwrap();
+                assert_eq!(visited, old_decoded.updates);
+                assert_eq!(header.range_start, old_decoded.range_start);
+                assert_eq!(header.range_end, old_decoded.range_end);
+                assert_eq!(r1.decompress_seconds, r2.decompress_seconds);
+            }
+            // Corrupt wire bytes error through the streaming path too.
+            if compressor.is_some_and(|c| c != Codec::Raw) {
+                let mut r = ServerMetrics::default();
+                assert!(codec
+                    .decode_each(&[0xFF; 32], &mut r, &mut dec_scratch, |_, _| {})
+                    .is_err());
+            }
+        }
     }
 
     #[test]

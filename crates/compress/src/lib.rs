@@ -16,8 +16,7 @@ pub mod varint;
 
 pub use stats::{measure, CodecMeasurement};
 
-use miniz_oxide::deflate::compress_to_vec_zlib;
-use miniz_oxide::inflate::decompress_to_vec_zlib;
+use miniz_oxide::{deflate, inflate};
 
 /// A compression codec.
 ///
@@ -123,29 +122,54 @@ impl Codec {
 
     /// Compress `data`.
     pub fn compress(self, data: &[u8]) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.compress_into(data, &mut out);
+        out
+    }
+
+    /// [`Codec::compress`] into a caller-owned buffer: `out` is cleared and
+    /// filled with the compressed bytes (byte-identical to `compress`), so a
+    /// hot path that pushes many messages through the codec can reuse one
+    /// output allocation for all of them.
+    pub fn compress_into(self, data: &[u8], out: &mut Vec<u8>) {
         match self {
-            Codec::Raw => data.to_vec(),
+            Codec::Raw => {
+                out.clear();
+                out.extend_from_slice(data);
+            }
             Codec::Snappy => snap::raw::Encoder::new()
-                .compress_vec(data)
+                .compress_into(data, out)
                 .expect("snappy compression cannot fail on in-memory data"),
-            Codec::Zlib1 => compress_to_vec_zlib(data, 1),
-            Codec::Zlib3 => compress_to_vec_zlib(data, 3),
-            Codec::VarintDelta => varint::encode_bytes_as_u32_delta(data),
+            Codec::Zlib1 => deflate::compress_into_vec_zlib(data, 1, out),
+            Codec::Zlib3 => deflate::compress_into_vec_zlib(data, 3, out),
+            Codec::VarintDelta => varint::encode_bytes_as_u32_delta_into(data, out),
         }
     }
 
     /// Decompress `data` previously produced by [`Codec::compress`] with the same codec.
     pub fn decompress(self, data: &[u8]) -> Result<Vec<u8>, CompressError> {
+        let mut out = Vec::new();
+        self.decompress_into(data, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`Codec::decompress`] into a caller-owned buffer: `out` is cleared and
+    /// filled with the decompressed bytes. On error `out` may hold a partial
+    /// prefix; treat it as garbage.
+    pub fn decompress_into(self, data: &[u8], out: &mut Vec<u8>) -> Result<(), CompressError> {
         match self {
-            Codec::Raw => Ok(data.to_vec()),
-            Codec::Snappy => snap::raw::Decoder::new()
-                .decompress_vec(data)
-                .map_err(|e| CompressError::Corrupt(e.to_string())),
-            Codec::Zlib1 | Codec::Zlib3 => {
-                decompress_to_vec_zlib(data).map_err(|e| CompressError::Corrupt(format!("{e:?}")))
+            Codec::Raw => {
+                out.clear();
+                out.extend_from_slice(data);
+                Ok(())
             }
+            Codec::Snappy => snap::raw::Decoder::new()
+                .decompress_into(data, out)
+                .map_err(|e| CompressError::Corrupt(e.to_string())),
+            Codec::Zlib1 | Codec::Zlib3 => inflate::decompress_into_vec_zlib(data, out)
+                .map_err(|e| CompressError::Corrupt(format!("{e:?}"))),
             Codec::VarintDelta => {
-                varint::decode_u32_delta_to_bytes(data).map_err(CompressError::Corrupt)
+                varint::decode_u32_delta_to_bytes_into(data, out).map_err(CompressError::Corrupt)
             }
         }
     }
@@ -187,6 +211,28 @@ mod tests {
             let restored = codec.decompress(&compressed).unwrap();
             assert_eq!(restored, data, "codec {}", codec.name());
         }
+    }
+
+    /// The `_into` variants must be byte-identical to the allocating API and
+    /// safe to call repeatedly on the same (dirty) buffers — that reuse is the
+    /// whole point of the broadcast hot path's scratch buffers.
+    #[test]
+    fn into_variants_match_allocating_api_across_buffer_reuse() {
+        let data = sample_tile_like_data();
+        let mut compressed = Vec::new();
+        let mut restored = Vec::new();
+        for codec in Codec::ALL {
+            for _ in 0..2 {
+                codec.compress_into(&data, &mut compressed);
+                assert_eq!(compressed, codec.compress(&data), "codec {}", codec.name());
+                codec.decompress_into(&compressed, &mut restored).unwrap();
+                assert_eq!(restored, data, "codec {}", codec.name());
+            }
+        }
+        // Corrupt input errors without panicking, whatever is left in `out`.
+        assert!(Codec::Snappy
+            .decompress_into(&[0xFF; 64], &mut restored)
+            .is_err());
     }
 
     #[test]

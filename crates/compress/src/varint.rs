@@ -82,16 +82,43 @@ pub fn read_varint64(data: &[u8], pos: &mut usize) -> Result<u64, String> {
     }
 }
 
+/// Zig-zag encode a signed delta (small magnitudes → small varints).
+#[inline]
+fn zigzag(delta: i64) -> u64 {
+    ((delta << 1) ^ (delta >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+#[inline]
+fn unzigzag(z: u64) -> i64 {
+    ((z >> 1) as i64) ^ -((z & 1) as i64)
+}
+
+/// Delta-code one value against `prev` and append its zig-zag varint.
+#[inline]
+fn write_delta(v: u32, prev: &mut i64, out: &mut Vec<u8>) {
+    let delta = i64::from(v) - *prev;
+    *prev = i64::from(v);
+    write_varint64(zigzag(delta), out);
+}
+
+/// Read one zig-zag varint delta and fold it into `prev`, range-checked.
+#[inline]
+fn read_delta(data: &[u8], pos: &mut usize, prev: &mut i64) -> Result<u32, String> {
+    *prev += unzigzag(read_varint64(data, pos)?);
+    if !(0..=i64::from(u32::MAX)).contains(prev) {
+        return Err(format!("decoded value {prev} out of u32 range"));
+    }
+    Ok(*prev as u32)
+}
+
 /// Encode a `u32` slice with zig-zag delta + varint coding.
 pub fn encode_u32_delta(values: &[u32]) -> Vec<u8> {
     let mut out = Vec::with_capacity(values.len());
     write_varint(values.len() as u32, &mut out);
     let mut prev: i64 = 0;
     for &v in values {
-        let delta = i64::from(v) - prev;
-        prev = i64::from(v);
-        let zigzag = ((delta << 1) ^ (delta >> 63)) as u64;
-        write_varint64(zigzag, &mut out);
+        write_delta(v, &mut prev, &mut out);
     }
     out
 }
@@ -103,13 +130,7 @@ pub fn decode_u32_delta(data: &[u8]) -> Result<Vec<u32>, String> {
     let mut out = Vec::with_capacity(len);
     let mut prev: i64 = 0;
     for _ in 0..len {
-        let zigzag = read_varint64(data, &mut pos)?;
-        let delta = ((zigzag >> 1) as i64) ^ -((zigzag & 1) as i64);
-        prev += delta;
-        if !(0..=i64::from(u32::MAX)).contains(&prev) {
-            return Err(format!("decoded value {prev} out of u32 range"));
-        }
-        out.push(prev as u32);
+        out.push(read_delta(data, &mut pos, &mut prev)?);
     }
     Ok(out)
 }
@@ -118,21 +139,41 @@ pub fn decode_u32_delta(data: &[u8]) -> Result<Vec<u32>, String> {
 /// recorded number of leftover bytes) and delta-encode it. This is what lets the
 /// varint codec plug into the generic byte-oriented [`Codec`](crate::Codec) API.
 pub fn encode_bytes_as_u32_delta(data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::new();
+    encode_bytes_as_u32_delta_into(data, &mut out);
+    out
+}
+
+/// [`encode_bytes_as_u32_delta`] into a caller-owned buffer (`out` is cleared
+/// first) with no intermediate word vector: the words are delta-coded
+/// straight off the byte slice, so a reused `out` makes the encode
+/// allocation-free.
+pub fn encode_bytes_as_u32_delta_into(data: &[u8], out: &mut Vec<u8>) {
+    out.clear();
     let full_words = data.len() / 4;
     let tail = &data[full_words * 4..];
-    let values: Vec<u32> = data[..full_words * 4]
-        .chunks_exact(4)
-        .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
-        .collect();
-    let mut out = Vec::new();
     out.push(tail.len() as u8);
     out.extend_from_slice(tail);
-    out.extend_from_slice(&encode_u32_delta(&values));
-    out
+    write_varint(full_words as u32, out);
+    let mut prev: i64 = 0;
+    for c in data[..full_words * 4].chunks_exact(4) {
+        let v = u32::from_le_bytes([c[0], c[1], c[2], c[3]]);
+        write_delta(v, &mut prev, out);
+    }
 }
 
 /// Inverse of [`encode_bytes_as_u32_delta`].
 pub fn decode_u32_delta_to_bytes(data: &[u8]) -> Result<Vec<u8>, String> {
+    let mut out = Vec::new();
+    decode_u32_delta_to_bytes_into(data, &mut out)?;
+    Ok(out)
+}
+
+/// [`decode_u32_delta_to_bytes`] into a caller-owned buffer (`out` is cleared
+/// first), decoding words straight into the output bytes. On error `out` may
+/// hold a partial prefix; treat it as garbage.
+pub fn decode_u32_delta_to_bytes_into(data: &[u8], out: &mut Vec<u8>) -> Result<(), String> {
+    out.clear();
     let Some(&tail_len) = data.first() else {
         return Err("empty varint-delta payload".to_string());
     };
@@ -140,14 +181,18 @@ pub fn decode_u32_delta_to_bytes(data: &[u8]) -> Result<Vec<u8>, String> {
     if data.len() < 1 + tail_len {
         return Err("varint-delta payload shorter than declared tail".to_string());
     }
-    let tail = &data[1..1 + tail_len];
-    let values = decode_u32_delta(&data[1 + tail_len..])?;
-    let mut out = Vec::with_capacity(values.len() * 4 + tail_len);
-    for v in values {
+    let words = &data[1 + tail_len..];
+    let mut pos = 0usize;
+    let len = read_varint(words, &mut pos)? as usize;
+    // `len` is wire-controlled: grow as we decode rather than trusting it
+    // with one huge up-front reservation.
+    let mut prev: i64 = 0;
+    for _ in 0..len {
+        let v = read_delta(words, &mut pos, &mut prev)?;
         out.extend_from_slice(&v.to_le_bytes());
     }
-    out.extend_from_slice(tail);
-    Ok(out)
+    out.extend_from_slice(&data[1..1 + tail_len]);
+    Ok(())
 }
 
 #[cfg(test)]

@@ -442,9 +442,16 @@ impl std::fmt::Debug for ServerState {
 /// each vertex appears at most once; the dedup is a safety net that keeps the
 /// first occurrence if an engine ever violates that.
 pub fn merge_updates(mut all_updates: Vec<(VertexId, f64)>) -> Vec<(VertexId, f64)> {
+    merge_updates_in_place(&mut all_updates);
+    all_updates
+}
+
+/// [`merge_updates`] without consuming the buffer, so the superstep loop can
+/// clear-and-reuse one update vector across supersteps instead of allocating
+/// a fresh one per superstep.
+pub fn merge_updates_in_place(all_updates: &mut Vec<(VertexId, f64)>) {
     all_updates.sort_unstable_by_key(|&(v, _)| v);
     all_updates.dedup_by_key(|&mut (v, _)| v);
-    all_updates
 }
 
 #[cfg(test)]

@@ -6,7 +6,7 @@
 //! ([`graphh_cluster::MessageCodec`]), so Figure 8 numbers are measured here
 //! exactly as they are on the threaded channels.
 
-use super::{merge_updates, ExecutionPlan, Executor, ServerState};
+use super::{merge_updates_in_place, ExecutionPlan, Executor, ServerState};
 use crate::engine::{GraphHConfig, RunResult};
 use crate::gab::GabProgram;
 use crate::Result;
@@ -49,10 +49,17 @@ impl Executor for SequentialExecutor {
         // Vertices updated in the previous superstep (drives Bloom-filter skipping).
         let mut previously_updated: Vec<VertexId> = plan.initial_frontier();
         let mut supersteps_run = 0u32;
+        // Cleared and reused every superstep: the broadcast hot path reuses
+        // one update buffer and one set of codec scratch buffers for the
+        // whole run (zero steady-state allocation on the uncompressed path).
+        let mut all_updates: Vec<(VertexId, f64)> = Vec::new();
+        let mut enc_scratch: Vec<u8> = Vec::new();
+        let mut wire: Vec<u8> = Vec::new();
+        let mut dec_scratch: Vec<u8> = Vec::new();
 
         for superstep in 0..plan.max_supersteps {
             let mut report = SuperstepReport::new(superstep, num_servers);
-            let mut all_updates: Vec<(VertexId, f64)> = Vec::new();
+            all_updates.clear();
 
             for (sid, server) in servers.iter_mut().enumerate() {
                 let phase = server.run_tile_phase(
@@ -66,20 +73,26 @@ impl Executor for SequentialExecutor {
                 // What every *other* server receives from this one.
                 let mut received = ServerMetrics::default();
                 for message in &phase.messages {
-                    let (wire, _encoding) = plan.message_codec.encode(message, &mut server_metrics);
+                    plan.message_codec.encode_into(
+                        message,
+                        &mut server_metrics,
+                        &mut enc_scratch,
+                        &mut wire,
+                    );
                     let fanout = u64::from(num_servers - 1);
                     server_metrics.network_sent_bytes += wire.len() as u64 * fanout;
                     server_metrics.network_messages += fanout;
                     received.network_received_bytes += wire.len() as u64;
                     received.decompress_seconds += plan.message_codec.codec_seconds(wire.len());
-                    // Decode once: every receiver sees the same payload (their
+                    // Decode once, streaming straight into the shared update
+                    // buffer: every receiver sees the same payload (their
                     // decompression time was charged above).
                     let mut scratch = ServerMetrics::default();
-                    let decoded = plan
-                        .message_codec
-                        .decode(&wire, &mut scratch)
+                    plan.message_codec
+                        .decode_each(&wire, &mut scratch, &mut dec_scratch, |v, val| {
+                            all_updates.push((v, val));
+                        })
                         .expect("we just encoded this");
-                    all_updates.extend(decoded.updates);
                 }
                 report.servers[sid] = server_metrics;
                 for (other, slot) in report.servers.iter_mut().enumerate() {
@@ -91,7 +104,7 @@ impl Executor for SequentialExecutor {
             }
 
             // BSP barrier: apply all broadcast updates to every replica.
-            let all_updates = merge_updates(all_updates);
+            merge_updates_in_place(&mut all_updates);
             for server in &mut servers {
                 server.apply_updates(&all_updates);
             }
@@ -101,7 +114,8 @@ impl Executor for SequentialExecutor {
             }
             report.total_vertices_updated = all_updates.len() as u64;
             updated_ratio.push(all_updates.len() as f64 / plan.num_vertices as f64);
-            previously_updated = all_updates.iter().map(|&(v, _)| v).collect();
+            previously_updated.clear();
+            previously_updated.extend(all_updates.iter().map(|&(v, _)| v));
 
             let report = plan.cost_model.finalize(report);
             metrics.push(report);

@@ -1,0 +1,163 @@
+//! A small freelist of reusable byte buffers for the broadcast hot path.
+//!
+//! A steady-state superstep moves every broadcast through the same few
+//! byte-buffer shapes — codec scratch, wire bytes, batched frame bytes. Each
+//! used to be a fresh `Vec<u8>` per message per superstep; [`BufferPool`]
+//! recycles them instead, so after the first superstep warms the pool the
+//! buffer traffic is allocation-free. The pool is shared (`Clone` hands out
+//! another handle to the same freelist), so buffers checked out by a worker
+//! thread and dropped by the poll plane's event loop still come home.
+//!
+//! This is deliberately minimal: a mutex-guarded LIFO of `Vec<u8>`s, bounded
+//! so a burst of giant messages cannot pin unbounded memory forever.
+
+use std::ops::{Deref, DerefMut};
+use std::sync::{Arc, Mutex};
+
+/// Most buffers the freelist retains; further returns are simply freed.
+const MAX_POOLED: usize = 32;
+
+/// A shared, bounded freelist of reusable `Vec<u8>`s.
+///
+/// ```
+/// use graphh_runtime::BufferPool;
+///
+/// let pool = BufferPool::new();
+/// let mut buf = pool.checkout();
+/// buf.extend_from_slice(b"superstep 0 wire bytes");
+/// let capacity = buf.capacity();
+/// drop(buf); // returns the allocation to the pool
+///
+/// let again = pool.checkout(); // recycled: cleared, capacity retained
+/// assert!(again.is_empty());
+/// assert!(again.capacity() >= capacity);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct BufferPool {
+    free: Arc<Mutex<Vec<Vec<u8>>>>,
+}
+
+impl BufferPool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Check out a buffer: the most recently returned one (cleared, capacity
+    /// intact) or a fresh empty `Vec` when the freelist is empty.
+    pub fn checkout(&self) -> PooledBuf {
+        let buf = self
+            .free
+            .lock()
+            .expect("buffer pool poisoned")
+            .pop()
+            .unwrap_or_default();
+        PooledBuf {
+            buf,
+            free: Arc::clone(&self.free),
+        }
+    }
+
+    /// Buffers currently resting in the freelist (test aid).
+    pub fn pooled(&self) -> usize {
+        self.free.lock().expect("buffer pool poisoned").len()
+    }
+}
+
+/// A `Vec<u8>` on loan from a [`BufferPool`]; dropping it returns the
+/// allocation to the pool (cleared) for the next [`BufferPool::checkout`].
+/// Dereferences to the underlying `Vec<u8>`.
+#[derive(Debug)]
+pub struct PooledBuf {
+    buf: Vec<u8>,
+    free: Arc<Mutex<Vec<Vec<u8>>>>,
+}
+
+impl Deref for PooledBuf {
+    type Target = Vec<u8>;
+
+    fn deref(&self) -> &Vec<u8> {
+        &self.buf
+    }
+}
+
+impl DerefMut for PooledBuf {
+    fn deref_mut(&mut self) -> &mut Vec<u8> {
+        &mut self.buf
+    }
+}
+
+impl AsRef<[u8]> for PooledBuf {
+    fn as_ref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+impl Drop for PooledBuf {
+    fn drop(&mut self) {
+        let mut buf = std::mem::take(&mut self.buf);
+        if buf.capacity() == 0 {
+            return;
+        }
+        buf.clear();
+        let mut free = match self.free.lock() {
+            Ok(free) => free,
+            Err(_) => return, // poisoned pool: let the buffer free normally
+        };
+        if free.len() < MAX_POOLED {
+            free.push(buf);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checkout_reuses_the_returned_allocation() {
+        let pool = BufferPool::new();
+        let mut a = pool.checkout();
+        a.extend_from_slice(&[1, 2, 3]);
+        let ptr = a.as_ptr();
+        let cap = a.capacity();
+        drop(a);
+        assert_eq!(pool.pooled(), 1);
+        let b = pool.checkout();
+        assert_eq!(pool.pooled(), 0);
+        assert!(b.is_empty(), "recycled buffers come back cleared");
+        assert_eq!(b.as_ptr(), ptr, "same allocation, no copy");
+        assert!(b.capacity() >= cap);
+    }
+
+    #[test]
+    fn zero_capacity_buffers_are_not_pooled() {
+        let pool = BufferPool::new();
+        drop(pool.checkout()); // never written: nothing worth keeping
+        assert_eq!(pool.pooled(), 0);
+    }
+
+    #[test]
+    fn pool_is_bounded() {
+        let pool = BufferPool::new();
+        let held: Vec<_> = (0..MAX_POOLED + 5)
+            .map(|_| {
+                let mut b = pool.checkout();
+                b.push(0);
+                b
+            })
+            .collect();
+        drop(held);
+        assert_eq!(pool.pooled(), MAX_POOLED);
+    }
+
+    #[test]
+    fn pool_handles_share_one_freelist_across_threads() {
+        let pool = BufferPool::new();
+        let handle = pool.clone();
+        let mut buf = pool.checkout();
+        buf.extend_from_slice(b"crossing threads");
+        std::thread::spawn(move || drop(buf)).join().unwrap();
+        assert_eq!(handle.pooled(), 1);
+    }
+}

@@ -51,6 +51,7 @@
 //! [`graphh_core::SequentialExecutor`].
 
 pub mod barrier;
+pub mod buffer;
 pub mod frame;
 pub mod plane;
 pub mod poll;
@@ -60,6 +61,7 @@ pub mod threaded;
 pub mod worker;
 
 pub use barrier::SuperstepBarrier;
+pub use buffer::{BufferPool, PooledBuf};
 pub use frame::{
     encode_message_into, Frame, FrameDecoder, FrameError, InboxEvent, PlaneError,
     SuperstepCollector, WireMessage,

@@ -33,6 +33,21 @@
 //! buffering without limit; the loop additionally stops accepting commands
 //! while any peer's write queue is above its high-water mark.
 //!
+//! ## Write coalescing
+//!
+//! Broadcast frames are not shipped one by one. The plane accumulates them
+//! in a pooled **batch buffer** ([`crate::buffer::BufferPool`])
+//! and hands the whole batch to the loop when it reaches the flush threshold
+//! (`BATCH_FLUSH`, 256 KiB) or the superstep ends — so a typical superstep costs one command,
+//! one waker write and one contiguous socket write per peer instead of one
+//! of each per frame. On the loop side `pump_writes` additionally gathers
+//! queued batches into a single `write_vectored` call per readiness event.
+//! Batch buffers are shared across all peers' queues (`Arc`) and recycled
+//! through the pool once the last peer has written them, so steady-state
+//! supersteps reuse the same few allocations. None of this changes a single
+//! wire byte: frames are concatenated in order, exactly as `docs/WIRE.md`
+//! specifies them.
+//!
 //! ## Readiness abstraction
 //!
 //! [`ReadinessPoller`] is the minimal mio-style seam: register sockets once,
@@ -51,6 +66,7 @@
 //! joins the loop thread — shutdown is asserted by the thread-count checks in
 //! `tests/poll_threads.rs` and `examples/socket_cluster.rs`, not assumed.
 
+use crate::buffer::{BufferPool, PooledBuf};
 use crate::frame::{
     Frame, FrameDecoder, FrameError, InboxEvent, PlaneError, SuperstepCollector, WireMessage,
 };
@@ -58,7 +74,7 @@ use crate::plane::BroadcastPlane;
 use crate::socket::{bind_listener, establish_streams, DEFAULT_ESTABLISH_TIMEOUT};
 use graphh_graph::ids::ServerId;
 use std::collections::VecDeque;
-use std::io::{Read, Write};
+use std::io::{IoSlice, Read, Write};
 use std::net::{Ipv4Addr, Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::mpsc::{channel, sync_channel, Receiver, Sender, SyncSender, TryRecvError};
 use std::sync::Arc;
@@ -80,6 +96,21 @@ const COMMAND_BACKLOG: usize = 64;
 
 /// Read scratch size per `read` call.
 const READ_CHUNK: usize = 64 * 1024;
+
+/// Bytes of batched frames at which `broadcast` hands the batch to the event
+/// loop without waiting for `end_superstep`. Small supersteps ship as a
+/// single contiguous buffer (one command, one waker write, one socket write
+/// per peer); large supersteps stream in `BATCH_FLUSH`-sized chunks so the
+/// loop overlaps writing with the worker's encoding.
+const BATCH_FLUSH: usize = 256 * 1024;
+
+/// Most queue entries one coalesced `write_vectored` call gathers.
+const MAX_WRITE_VECTORS: usize = 16;
+
+/// Frame bytes shared by every peer's write queue: one batch buffer checked
+/// out of the plane's [`BufferPool`], enqueued once per peer, returned to the
+/// pool when the last peer finishes writing it.
+type SharedBatch = Arc<PooledBuf>;
 
 // ---------------------------------------------------------------------------
 // Readiness abstraction
@@ -414,6 +445,8 @@ impl BoundPollPlane {
             })
             .map_err(|e| std::io::Error::other(format!("spawn event-loop thread: {e}")))?;
 
+        let pool = BufferPool::new();
+        let batch = pool.checkout();
         Ok(PollPlane {
             id,
             num_servers,
@@ -423,7 +456,8 @@ impl BoundPollPlane {
             inbox,
             collector: SuperstepCollector::new(),
             event_loop: Some(event_loop),
-            scratch: Vec::new(),
+            pool,
+            batch,
         })
     }
 }
@@ -447,8 +481,14 @@ pub struct PollPlane {
     inbox: Receiver<InboxEvent>,
     collector: SuperstepCollector,
     event_loop: Option<JoinHandle<()>>,
-    /// Reused frame-encoding buffer.
-    scratch: Vec<u8>,
+    /// Recycles batch buffers: the event loop drops a batch once every peer
+    /// has written it, which returns the allocation here for the next one.
+    pool: BufferPool,
+    /// Frames encoded since the last flush, shipped to the event loop as one
+    /// contiguous buffer (see [`BATCH_FLUSH`]) — the write-coalescing half of
+    /// the plane: peers receive whole supersteps in one or two writes
+    /// instead of one write per frame.
+    batch: PooledBuf,
 }
 
 impl PollPlane {
@@ -468,12 +508,17 @@ impl PollPlane {
         })
     }
 
-    /// Hand pre-encoded frame bytes to the event loop (blocking while the
-    /// loop is `COMMAND_BACKLOG` commands behind) and wake it.
-    fn send_bytes(&mut self) -> Result<(), PlaneError> {
-        let bytes: Arc<[u8]> = Arc::from(&self.scratch[..]);
+    /// Hand the accumulated batch to the event loop (blocking while the loop
+    /// is `COMMAND_BACKLOG` commands behind) and wake it. The batch buffer
+    /// cycles: a fresh one is checked out of the pool, and the shipped one
+    /// returns there once the last peer has written it.
+    fn flush_batch(&mut self) -> Result<(), PlaneError> {
+        if self.batch.is_empty() {
+            return Ok(());
+        }
+        let full = std::mem::replace(&mut self.batch, self.pool.checkout());
         self.commands
-            .send(Command::Send(bytes))
+            .send(Command::Send(Arc::new(full)))
             .map_err(|_| PlaneError::Disconnected)?;
         self.wake();
         Ok(())
@@ -496,23 +541,28 @@ impl BroadcastPlane for PollPlane {
     }
 
     fn broadcast(&mut self, superstep: u32, wire: &[u8]) -> Result<(), PlaneError> {
-        self.scratch.clear();
-        crate::frame::encode_message_into(self.id, superstep, wire, &mut self.scratch)
+        // Frames accumulate in the batch (encode_message_into appends); they
+        // reach the event loop when the batch fills or the superstep ends —
+        // whole supersteps travel as one contiguous buffer instead of one
+        // command + waker write + socket write per frame.
+        crate::frame::encode_message_into(self.id, superstep, wire, &mut self.batch)
             .map_err(|e| PlaneError::Protocol(e.to_string()))?;
-        self.send_bytes()
+        if self.batch.len() >= BATCH_FLUSH {
+            self.flush_batch()?;
+        }
+        Ok(())
     }
 
     fn end_superstep(&mut self, superstep: u32) -> Result<(), PlaneError> {
-        self.scratch.clear();
         Frame::EndOfSuperstep {
             sender: self.id,
             superstep,
         }
-        .encode(&mut self.scratch);
-        // No flush step: the event loop writes queued bytes whenever the
-        // socket accepts them, so delivery is a liveness property of the
-        // loop rather than a blocking call here.
-        self.send_bytes()
+        .encode(&mut self.batch);
+        // The batch must ship now — peers block in `collect` until they see
+        // this marker. Delivery itself stays a liveness property of the
+        // event loop (no blocking socket write here).
+        self.flush_batch()
     }
 
     fn collect(&mut self, superstep: u32) -> Result<Vec<WireMessage>, PlaneError> {
@@ -523,22 +573,27 @@ impl BroadcastPlane for PollPlane {
     }
 
     fn abort(&mut self) {
-        self.scratch.clear();
-        Frame::Abort { sender: self.id }.encode(&mut self.scratch);
+        // The abort rides whatever is still batched (stream order preserved).
+        Frame::Abort { sender: self.id }.encode(&mut self.batch);
         // Best effort and non-blocking (the WIRE.md §5 contract): try_send,
         // not send — a full command channel means the loop is backpressured,
         // and an aborting worker must unwind rather than park on it. A
         // dropped abort is recovered by peers observing the stream close.
-        let bytes: Arc<[u8]> = Arc::from(&self.scratch[..]);
-        let _ = self.commands.try_send(Command::Send(bytes));
+        let full = std::mem::replace(&mut self.batch, self.pool.checkout());
+        let _ = self.commands.try_send(Command::Send(Arc::new(full)));
         self.wake();
     }
 }
 
 impl Drop for PollPlane {
     fn drop(&mut self) {
-        // Everything broadcast before this point is already in the command
-        // channel (FIFO), so the loop flushes it all before half-closing.
+        // Ship any still-batched frames (normally none: `end_superstep`
+        // flushes), then everything is in the FIFO command channel and the
+        // loop flushes it all before half-closing.
+        if !self.batch.is_empty() {
+            let full = std::mem::replace(&mut self.batch, self.pool.checkout());
+            let _ = self.commands.send(Command::Send(Arc::new(full)));
+        }
         let _ = self.commands.send(Command::Shutdown);
         self.wake();
         if let Some(handle) = self.event_loop.take() {
@@ -645,8 +700,8 @@ impl BoundTcpPlane {
 // ---------------------------------------------------------------------------
 
 enum Command {
-    /// Enqueue these pre-encoded frame bytes to every peer.
-    Send(Arc<[u8]>),
+    /// Enqueue this batch of pre-encoded frame bytes to every peer.
+    Send(SharedBatch),
     /// Flush all write queues, half-close the streams, exit the loop.
     Shutdown,
 }
@@ -657,9 +712,10 @@ struct Peer {
     stream: TcpStream,
     /// Carries partial frames across loop iterations.
     decoder: FrameDecoder,
-    /// Pending outbound (payload, offset-already-written). The payload `Arc`
-    /// is shared across all peers' queues: one broadcast, one allocation.
-    outbound: VecDeque<(Arc<[u8]>, usize)>,
+    /// Pending outbound (batch, offset-already-written). The batch `Arc` is
+    /// shared across all peers' queues: one broadcast batch, one buffer —
+    /// returned to the plane's pool when the last peer finishes it.
+    outbound: VecDeque<(SharedBatch, usize)>,
     queued_bytes: usize,
     /// False once this peer's stream ended and its loss was reported.
     read_open: bool,
@@ -669,7 +725,7 @@ struct Peer {
 }
 
 impl Peer {
-    fn enqueue(&mut self, bytes: &Arc<[u8]>) {
+    fn enqueue(&mut self, bytes: &SharedBatch) {
         if self.write_open {
             self.queued_bytes += bytes.len();
             self.outbound.push_back((Arc::clone(bytes), 0));
@@ -864,29 +920,33 @@ fn report_loss(peer: &mut Peer, inbox: &Sender<InboxEvent>, error: PlaneError) {
 }
 
 /// Write queued bytes to one peer until its socket would block or the queue
-/// drains. A write failure discards the queue and closes the write half —
-/// the peer's own read path is what attributes the loss. Returns whether any
-/// bytes moved.
+/// drains, gathering up to [`MAX_WRITE_VECTORS`] queued batches into a single
+/// `write_vectored` call — one syscall moves everything the queue holds,
+/// however the batches were produced. A write failure discards the queue and
+/// closes the write half — the peer's own read path is what attributes the
+/// loss. Returns whether any bytes moved.
 fn pump_writes(peer: &mut Peer) -> bool {
     let mut progressed = false;
-    while let Some((bytes, offset)) = peer.outbound.front_mut() {
-        match (&peer.stream).write(&bytes[*offset..]) {
+    loop {
+        let mut iov = [IoSlice::new(&[]); MAX_WRITE_VECTORS];
+        let mut vectors = 0usize;
+        for (bytes, offset) in peer.outbound.iter().take(MAX_WRITE_VECTORS) {
+            iov[vectors] = IoSlice::new(&bytes[*offset..]);
+            vectors += 1;
+        }
+        if vectors == 0 {
+            return progressed;
+        }
+        let wrote = match (&peer.stream).write_vectored(&iov[..vectors]) {
             Ok(0) => {
-                // A zero-length write on a non-empty slice: treat as a dead
+                // A zero-length write on non-empty slices: treat as a dead
                 // stream rather than spinning.
                 peer.write_open = false;
                 peer.queued_bytes = 0;
                 peer.outbound.clear();
                 return progressed;
             }
-            Ok(n) => {
-                progressed = true;
-                *offset += n;
-                peer.queued_bytes -= n;
-                if *offset == bytes.len() {
-                    peer.outbound.pop_front();
-                }
-            }
+            Ok(n) => n,
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return progressed,
             Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
             Err(_) => {
@@ -895,9 +955,27 @@ fn pump_writes(peer: &mut Peer) -> bool {
                 peer.outbound.clear();
                 return progressed;
             }
+        };
+        progressed = true;
+        peer.queued_bytes -= wrote;
+        // Advance the queue past the written bytes (a short write can end
+        // mid-batch; the remainder goes out next readiness round).
+        let mut remaining = wrote;
+        while remaining > 0 {
+            let (bytes, offset) = peer
+                .outbound
+                .front_mut()
+                .expect("written bytes came from the queue");
+            let left = bytes.len() - *offset;
+            if remaining >= left {
+                remaining -= left;
+                peer.outbound.pop_front();
+            } else {
+                *offset += remaining;
+                remaining = 0;
+            }
         }
     }
-    progressed
 }
 
 /// Drain the waker pipe (its only payload is "wake up").

@@ -11,22 +11,70 @@
 //! 3. **exchange** — collect every peer's wire messages for the superstep and
 //!    decode them (charging real decompression time),
 //! 4. **apply** — merge own + received updates, sorted by vertex id
-//!    ([`merge_updates`]), into the local replica — the sort makes the apply
+//!    ([`graphh_core::exec::merge_updates_in_place`]), into the local replica — the sort makes the apply
 //!    order independent of message arrival order, which is what keeps threaded
 //!    results bit-identical to sequential ones,
 //! 5. **barrier** — cross the superstep barrier; every replica now agrees, and
 //!    every worker independently reaches the same termination decision.
 
 use crate::barrier::SuperstepBarrier;
+use crate::buffer::{BufferPool, PooledBuf};
 use crate::plane::{BroadcastPlane, PlaneError};
 use graphh_cluster::ServerMetrics;
 use graphh_compress::Codec;
-use graphh_core::exec::{merge_updates, ExecutionPlan, ServerState};
+use graphh_core::exec::{merge_updates_in_place, ExecutionPlan, ServerState};
 use graphh_core::gab::GabProgram;
 use graphh_core::{EngineError, GraphHConfig};
 use graphh_graph::ids::{ServerId, VertexId};
 use graphh_partition::PartitionedGraph;
 use std::sync::mpsc::Sender;
+
+/// The buffers one worker's superstep loop reuses across supersteps.
+///
+/// Every superstep used to allocate these afresh — the merged update set, the
+/// Bloom frontier, and three byte buffers for the codec path (encode scratch,
+/// wire bytes, decompression scratch). They are now cleared and refilled in
+/// place, so a steady-state superstep's publish/exchange path performs no
+/// heap allocation on the uncompressed codec path (asserted by
+/// `tests/alloc_count.rs`). The byte buffers come from a [`BufferPool`] so
+/// they return to the pool when the run ends.
+struct SuperstepBuffers {
+    /// This superstep's merged `(vertex, value)` update set (own + received).
+    all_updates: Vec<(VertexId, f64)>,
+    /// Vertex ids updated in the previous superstep (drives Bloom skipping).
+    previously_updated: Vec<VertexId>,
+    /// Pre-compression encode scratch ([`graphh_cluster::MessageCodec::encode_into`]).
+    enc_scratch: PooledBuf,
+    /// Wire bytes of the message currently being published.
+    wire: PooledBuf,
+    /// Decompression scratch for the receive path.
+    dec_scratch: PooledBuf,
+}
+
+impl SuperstepBuffers {
+    fn checkout(pool: &BufferPool, initial_frontier: Vec<VertexId>) -> Self {
+        Self {
+            all_updates: Vec::new(),
+            previously_updated: initial_frontier,
+            enc_scratch: pool.checkout(),
+            wire: pool.checkout(),
+            dec_scratch: pool.checkout(),
+        }
+    }
+
+    /// Reset the per-superstep state, keeping every allocation.
+    fn begin_superstep(&mut self) {
+        self.all_updates.clear();
+    }
+
+    /// Roll the merged update set into the next superstep's frontier, in
+    /// place.
+    fn advance_frontier(&mut self) {
+        self.previously_updated.clear();
+        self.previously_updated
+            .extend(self.all_updates.iter().map(|&(v, _)| v));
+    }
+}
 
 /// One server's metrics for one superstep, streamed to the reducer.
 #[derive(Debug)]
@@ -95,7 +143,11 @@ pub fn run_worker(
 ) -> Result<WorkerOutput, WorkerError> {
     let num_servers = config.cluster.num_servers;
     let mut server = ServerState::build(config, plan, partitioned, sid);
-    let mut previously_updated: Vec<VertexId> = plan.initial_frontier();
+    // Cleared and refilled in place every superstep — the broadcast hot path
+    // of a steady-state superstep allocates nothing on the uncompressed
+    // codec path.
+    let pool = BufferPool::new();
+    let mut bufs = SuperstepBuffers::checkout(&pool, plan.initial_frontier());
     let mut supersteps_run = 0u32;
 
     let body = std::panic::AssertUnwindSafe(|| -> Result<u32, WorkerError> {
@@ -105,7 +157,7 @@ pub fn run_worker(
                     program,
                     plan,
                     superstep,
-                    &previously_updated,
+                    &bufs.previously_updated,
                     config.use_bloom_filter,
                 )
                 .map_err(|error| WorkerError {
@@ -115,60 +167,71 @@ pub fn run_worker(
             let mut metrics = phase.metrics;
 
             // Publish this superstep's messages through the real wire path.
-            let mut all_updates: Vec<(VertexId, f64)> = Vec::new();
+            bufs.begin_superstep();
             for message in &phase.messages {
-                let (wire, _encoding) = plan.message_codec.encode(message, &mut metrics);
+                plan.message_codec.encode_into(
+                    message,
+                    &mut metrics,
+                    &mut bufs.enc_scratch,
+                    &mut bufs.wire,
+                );
                 let fanout = u64::from(num_servers - 1);
-                metrics.network_sent_bytes += wire.len() as u64 * fanout;
+                metrics.network_sent_bytes += bufs.wire.len() as u64 * fanout;
                 metrics.network_messages += fanout;
-                plane.broadcast(superstep, &wire).map_err(plane_error)?;
+                plane
+                    .broadcast(superstep, &bufs.wire)
+                    .map_err(plane_error)?;
                 // The sender applies its own updates without a decode round
                 // trip (the wire format is lossless, and the sequential
                 // executor charges no decompression to the sender either).
-                all_updates.extend(message.updates.iter().copied());
+                bufs.all_updates.extend(message.updates.iter().copied());
             }
             plane.end_superstep(superstep).map_err(plane_error)?;
 
-            // Exchange: decode everything the peers published.
+            // Exchange: decode everything the peers published, streaming the
+            // updates straight into the shared buffer (no per-message vector).
             for wire in plane.collect(superstep).map_err(plane_error)? {
                 metrics.network_received_bytes += wire.len() as u64;
-                let decoded = plan
+                let all_updates = &mut bufs.all_updates;
+                let header = plan
                     .message_codec
-                    .decode(&wire, &mut metrics)
+                    .decode_each(&wire, &mut metrics, &mut bufs.dec_scratch, |v, val| {
+                        all_updates.push((v, val));
+                    })
                     .map_err(|e| WorkerError {
                         error: EngineError::BadInput(format!("corrupt broadcast: {e}")),
                         secondary: false,
                     })?;
-                // `decode` bounds every vertex id by the message's *own*
+                // `decode_each` bounds every vertex id by the message's *own*
                 // advertised range; that range is itself wire bytes, so bound
                 // it by the graph before the ids can index the replica array
-                // in `apply_updates`.
-                if u64::from(decoded.range_end) > plan.num_vertices {
+                // in `apply_updates`. (On either error the partially filled
+                // buffer is never applied: the worker aborts the run.)
+                if u64::from(header.range_end) > plan.num_vertices {
                     return Err(WorkerError {
                         error: EngineError::BadInput(format!(
                             "corrupt broadcast: range end {} exceeds vertex count {}",
-                            decoded.range_end, plan.num_vertices
+                            header.range_end, plan.num_vertices
                         )),
                         secondary: false,
                     });
                 }
-                all_updates.extend(decoded.updates);
             }
 
             // Deterministic apply: sorted by vertex id, so the replica is
             // independent of message arrival order.
-            let all_updates = merge_updates(all_updates);
-            server.apply_updates(&all_updates);
-            metrics.vertices_updated = all_updates.len() as u64;
+            merge_updates_in_place(&mut bufs.all_updates);
+            server.apply_updates(&bufs.all_updates);
+            metrics.vertices_updated = bufs.all_updates.len() as u64;
             metrics.peak_memory_bytes = server.peak_memory();
             let _ = metrics_tx.send(MetricsSlice {
                 superstep,
                 server: sid,
                 metrics,
-                total_updates: all_updates.len() as u64,
+                total_updates: bufs.all_updates.len() as u64,
             });
 
-            previously_updated = all_updates.iter().map(|&(v, _)| v).collect();
+            bufs.advance_frontier();
             supersteps_run = superstep + 1;
 
             // BSP barrier; every worker sees the same update set, so all make
@@ -177,7 +240,7 @@ pub fn run_worker(
                 error: EngineError::BadInput(format!("superstep barrier: {e}")),
                 secondary: true,
             })?;
-            if previously_updated.is_empty() {
+            if bufs.previously_updated.is_empty() {
                 break;
             }
         }
@@ -244,6 +307,48 @@ mod tests {
             Ok(self.payload.take().into_iter().collect())
         }
         fn abort(&mut self) {}
+    }
+
+    /// The superstep buffers must be *reused*, not reallocated: after a
+    /// superstep rolls over, the same allocations hold the next superstep's
+    /// data (this is the clear-and-reuse contract the allocation-counting
+    /// test in `tests/alloc_count.rs` measures end to end).
+    #[test]
+    fn superstep_buffers_reuse_their_allocations_across_supersteps() {
+        let pool = BufferPool::new();
+        let mut bufs = SuperstepBuffers::checkout(&pool, vec![0, 1, 2, 3]);
+        bufs.begin_superstep();
+        bufs.all_updates.extend([(0, 1.0), (2, 2.0)]);
+        bufs.wire.extend_from_slice(&[0u8; 64]);
+        let updates_ptr = bufs.all_updates.as_ptr();
+        let frontier_ptr = bufs.previously_updated.as_ptr();
+        let frontier_cap = bufs.previously_updated.capacity();
+        let wire_ptr = bufs.wire.as_ptr();
+
+        bufs.advance_frontier();
+        assert_eq!(bufs.previously_updated, vec![0, 2]);
+        assert_eq!(
+            bufs.previously_updated.as_ptr(),
+            frontier_ptr,
+            "frontier must be refilled in place, not reallocated"
+        );
+        assert_eq!(bufs.previously_updated.capacity(), frontier_cap);
+
+        bufs.begin_superstep();
+        assert!(bufs.all_updates.is_empty());
+        bufs.all_updates.push((1, 3.0));
+        assert_eq!(
+            bufs.all_updates.as_ptr(),
+            updates_ptr,
+            "update buffer must be cleared, not replaced"
+        );
+        bufs.wire.clear();
+        bufs.wire.extend_from_slice(&[1u8; 32]);
+        assert_eq!(bufs.wire.as_ptr(), wire_ptr, "wire scratch must be reused");
+
+        // Dropping the buffers returns the byte scratch to the pool.
+        drop(bufs);
+        assert_eq!(pool.pooled(), 1, "only the written buffer is worth pooling");
     }
 
     /// A sparse message can be internally consistent (ids inside its own

@@ -1,0 +1,169 @@
+//! Pins the zero-allocation claim of the broadcast hot path.
+//!
+//! A steady-state superstep's publish/exchange work — choose an encoding,
+//! encode the message, frame it for the wire, decode every received message
+//! into the shared update buffer, merge — must perform **zero heap
+//! allocations** on the uncompressed codec path once the reusable buffers
+//! are warm. A counting global allocator measures exactly that: warm the
+//! buffers with one full superstep, snapshot the allocation counter, run
+//! many more supersteps, and require the counter untouched.
+//!
+//! The counter is **thread-local**: the libtest harness thread allocates at
+//! its own unpredictable times, and a process-global counter would charge
+//! that noise to the hot path. This binary still holds a single `#[test]` so
+//! nothing else runs concurrently with the measurement.
+
+use graphh_cluster::{BroadcastMessage, CommunicationMode, MessageCodec, ServerMetrics};
+use graphh_core::exec::merge_updates_in_place;
+use graphh_runtime::frame::encode_message_into;
+use graphh_runtime::{BufferPool, Frame};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+/// Counts this thread's allocations and reallocations (frees are irrelevant).
+struct CountingAllocator;
+
+thread_local! {
+    static LOCAL_ALLOCATIONS: Cell<usize> = const { Cell::new(0) };
+}
+
+/// `try_with`: the allocator can be called during TLS teardown, when the
+/// counter is already gone — those allocations are not ours to count.
+fn bump() {
+    let _ = LOCAL_ALLOCATIONS.try_with(|c| c.set(c.get() + 1));
+}
+
+fn local_allocations() -> usize {
+    LOCAL_ALLOCATIONS.with(Cell::get)
+}
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        bump();
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        bump();
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        bump();
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+    }
+}
+
+#[global_allocator]
+static COUNTING: CountingAllocator = CountingAllocator;
+
+/// One simulated superstep of codec/frame hot-path work over reused buffers:
+/// encode + frame every message, stream-decode every message back into the
+/// shared update buffer, merge. Returns the number of updates merged (so the
+/// work cannot be optimized away).
+#[allow(clippy::too_many_arguments)]
+fn superstep(
+    codec: &MessageCodec,
+    messages: &[BroadcastMessage],
+    sid: u32,
+    superstep: u32,
+    enc_scratch: &mut Vec<u8>,
+    wire: &mut Vec<u8>,
+    frame_buf: &mut Vec<u8>,
+    dec_scratch: &mut Vec<u8>,
+    all_updates: &mut Vec<(u32, f64)>,
+) -> usize {
+    let mut metrics = ServerMetrics::default();
+    all_updates.clear();
+    frame_buf.clear();
+    for message in messages {
+        // Sender side: encode (encoding choice + codec) and frame for TCP.
+        codec.encode_into(message, &mut metrics, enc_scratch, wire);
+        encode_message_into(sid, superstep, wire, frame_buf).expect("payload under frame cap");
+        // Receiver side: streaming validated decode into the shared buffer.
+        codec
+            .decode_each(wire, &mut metrics, dec_scratch, |v, val| {
+                all_updates.push((v, val));
+            })
+            .expect("own wire bytes decode");
+    }
+    Frame::EndOfSuperstep {
+        sender: sid,
+        superstep,
+    }
+    .encode(frame_buf);
+    merge_updates_in_place(all_updates);
+    all_updates.len()
+}
+
+#[test]
+fn steady_state_codec_and_frame_path_allocates_nothing_uncompressed() {
+    // Hybrid mode with both outcomes represented: a dense-encoded message
+    // (90% updated) and a sparse one (a handful of updates in a wide range).
+    let dense = BroadcastMessage::new(
+        0,
+        2048,
+        (0..1843).map(|v| (v, f64::from(v) * 0.25)).collect(),
+    );
+    let sparse = BroadcastMessage::new(
+        2048,
+        4096,
+        [2050u32, 2100, 3000, 4000]
+            .iter()
+            .map(|&v| (v, 1.0))
+            .collect(),
+    );
+    let messages = [dense, sparse];
+    let codec = MessageCodec::new(CommunicationMode::default(), None);
+
+    // The reusable buffers, checked out of a warm pool exactly as the worker
+    // holds them for the whole run.
+    let pool = BufferPool::new();
+    let mut enc_scratch = pool.checkout();
+    let mut wire = pool.checkout();
+    let mut frame_buf = pool.checkout();
+    let mut dec_scratch = pool.checkout();
+    let mut all_updates: Vec<(u32, f64)> = Vec::new();
+
+    // Warm-up superstep: buffers grow to their steady-state capacities.
+    let expected = superstep(
+        &codec,
+        &messages,
+        3,
+        0,
+        &mut enc_scratch,
+        &mut wire,
+        &mut frame_buf,
+        &mut dec_scratch,
+        &mut all_updates,
+    );
+    assert_eq!(expected, 1843 + 4);
+
+    let before = local_allocations();
+    for s in 1..64u32 {
+        let merged = superstep(
+            &codec,
+            &messages,
+            3,
+            s,
+            &mut enc_scratch,
+            &mut wire,
+            &mut frame_buf,
+            &mut dec_scratch,
+            &mut all_updates,
+        );
+        assert_eq!(merged, expected);
+    }
+    let after = local_allocations();
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state codec/frame path must not allocate (uncompressed): \
+         {} allocations over 63 supersteps",
+        after - before
+    );
+}

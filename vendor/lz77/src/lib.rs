@@ -64,10 +64,21 @@ fn delta_inverse(data: &mut [u8]) {
 /// previous hash-bucket candidates are examined per position (higher = better
 /// ratio, slower).
 pub fn compress(magic: u8, data: &[u8], max_chain: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() / 2 + 16);
+    compress_into(magic, data, max_chain, &mut out);
+    out
+}
+
+/// [`compress`] into a caller-owned buffer: `out` is cleared and filled with
+/// the frame, so a hot path can reuse one output allocation across calls.
+/// (The match-finder's hash tables and the delta transform still use internal
+/// scratch; only the *output* allocation is caller-controlled.)
+pub fn compress_into(magic: u8, data: &[u8], max_chain: usize, out: &mut Vec<u8>) {
     let orig = data;
     let transformed = delta_forward(data);
     let data = &transformed[..];
-    let mut out = Vec::with_capacity(data.len() / 2 + 16);
+    out.clear();
+    out.reserve(data.len() / 8 + 16);
     out.push(magic);
     out.extend_from_slice(&(data.len() as u32).to_le_bytes());
 
@@ -151,11 +162,21 @@ pub fn compress(magic: u8, data: &[u8], max_chain: usize) -> Vec<u8> {
         }
     }
     out.extend_from_slice(&checksum(orig).to_le_bytes());
-    out
 }
 
 /// Decompress a frame produced by [`compress`] with the same `magic`.
 pub fn decompress(magic: u8, frame: &[u8]) -> Result<Vec<u8>, LzError> {
+    let mut out = Vec::new();
+    decompress_into(magic, frame, &mut out)?;
+    Ok(out)
+}
+
+/// [`decompress`] into a caller-owned buffer: `out` is cleared and filled with
+/// the decompressed bytes, so a hot path can reuse one allocation across
+/// frames. On error `out` may hold a partial prefix; callers must treat it as
+/// garbage.
+pub fn decompress_into(magic: u8, frame: &[u8], out: &mut Vec<u8>) -> Result<(), LzError> {
+    out.clear();
     if frame.len() < 9 {
         return Err(LzError("frame too short".into()));
     }
@@ -169,7 +190,7 @@ pub fn decompress(magic: u8, frame: &[u8]) -> Result<Vec<u8>, LzError> {
     let body = &frame[5..frame.len() - 4];
     let expect_sum = u32::from_le_bytes(frame[frame.len() - 4..].try_into().unwrap());
 
-    let mut out = Vec::with_capacity(orig_len);
+    out.reserve(orig_len);
     let mut pos = 0usize;
     while out.len() < orig_len {
         if pos >= body.len() {
@@ -208,11 +229,11 @@ pub fn decompress(magic: u8, frame: &[u8]) -> Result<Vec<u8>, LzError> {
     if pos != body.len() {
         return Err(LzError("trailing garbage in token stream".into()));
     }
-    delta_inverse(&mut out);
-    if checksum(&out) != expect_sum {
+    delta_inverse(out);
+    if checksum(out) != expect_sum {
         return Err(LzError("checksum mismatch".into()));
     }
-    Ok(out)
+    Ok(())
 }
 
 #[cfg(test)]
@@ -253,6 +274,22 @@ mod tests {
         let last = frame.len() - 1;
         frame[last] ^= 0xFF;
         assert!(decompress(1, &frame).is_err());
+    }
+
+    #[test]
+    fn into_variants_match_allocating_api_across_buffer_reuse() {
+        let data: Vec<u8> = (0..10_000u32)
+            .flat_map(|i| (i % 191).to_le_bytes())
+            .collect();
+        let mut frame = Vec::new();
+        let mut back = Vec::new();
+        for _ in 0..3 {
+            compress_into(0xA5, &data, 32, &mut frame);
+            assert_eq!(frame, compress(0xA5, &data, 32));
+            decompress_into(0xA5, &frame, &mut back).unwrap();
+            assert_eq!(back, data);
+        }
+        assert!(decompress_into(0xA5, &[0xFF; 32], &mut back).is_err());
     }
 
     #[test]

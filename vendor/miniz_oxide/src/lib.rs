@@ -13,13 +13,21 @@ pub mod deflate {
 
     /// Compress `data` at `level` (0–10; higher searches harder).
     pub fn compress_to_vec_zlib(data: &[u8], level: u8) -> Vec<u8> {
+        let mut out = Vec::new();
+        compress_into_vec_zlib(data, level, &mut out);
+        out
+    }
+
+    /// [`compress_to_vec_zlib`] into a caller-owned buffer (`out` is cleared
+    /// first), so hot paths can reuse one output allocation across messages.
+    pub fn compress_into_vec_zlib(data: &[u8], level: u8, out: &mut Vec<u8>) {
         let max_chain = match level {
             0..=1 => 16,
             2..=3 => 64,
             4..=6 => 128,
             _ => 512,
         };
-        lz77::compress(MAGIC, data, max_chain)
+        lz77::compress_into(MAGIC, data, max_chain, out);
     }
 }
 
@@ -42,6 +50,12 @@ pub mod inflate {
     /// Decompress a frame produced by [`super::deflate::compress_to_vec_zlib`].
     pub fn decompress_to_vec_zlib(data: &[u8]) -> Result<Vec<u8>, DecompressError> {
         lz77::decompress(MAGIC, data).map_err(|e| DecompressError(e.0))
+    }
+
+    /// Decompress into a caller-owned buffer (`out` is cleared first).
+    /// On error `out` may hold a partial prefix; treat it as garbage.
+    pub fn decompress_into_vec_zlib(data: &[u8], out: &mut Vec<u8>) -> Result<(), DecompressError> {
+        lz77::decompress_into(MAGIC, data, out).map_err(|e| DecompressError(e.0))
     }
 }
 

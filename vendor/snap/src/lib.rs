@@ -34,6 +34,14 @@ pub mod raw {
         pub fn compress_vec(&mut self, data: &[u8]) -> Result<Vec<u8>, Error> {
             Ok(lz77::compress(MAGIC, data, MAX_CHAIN))
         }
+
+        /// Compress `data` into a caller-owned buffer (`out` is cleared
+        /// first), so hot paths can reuse one output allocation across
+        /// messages.
+        pub fn compress_into(&mut self, data: &[u8], out: &mut Vec<u8>) -> Result<(), Error> {
+            lz77::compress_into(MAGIC, data, MAX_CHAIN, out);
+            Ok(())
+        }
     }
 
     /// Raw-block Snappy decoder.
@@ -49,6 +57,12 @@ pub mod raw {
         /// Decompress `data` previously produced by [`Encoder::compress_vec`].
         pub fn decompress_vec(&mut self, data: &[u8]) -> Result<Vec<u8>, Error> {
             lz77::decompress(MAGIC, data).map_err(|e| Error(e.0))
+        }
+
+        /// Decompress into a caller-owned buffer (`out` is cleared first).
+        /// On error `out` may hold a partial prefix; treat it as garbage.
+        pub fn decompress_into(&mut self, data: &[u8], out: &mut Vec<u8>) -> Result<(), Error> {
+            lz77::decompress_into(MAGIC, data, out).map_err(|e| Error(e.0))
         }
     }
 
