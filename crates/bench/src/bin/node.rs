@@ -24,13 +24,22 @@
 //! `--peers` (comma-separated, indexed by server id), `--plane socket|poll`
 //! (blocking reader-thread-per-peer vs single event-loop thread — same wire
 //! protocol, see docs/WIRE.md), `--out`, `--establish-timeout-secs`.
+//!
+//! Observability flags (see `docs/OBSERVABILITY.md`): `--trace-out FILE`
+//! enables phase tracing and writes a Chrome trace-event JSON file loadable
+//! in `chrome://tracing` / Perfetto; `--metrics-out FILE` writes this node's
+//! run summary plus a snapshot of every process-wide counter as JSON. Neither
+//! flag changes results or wire bytes.
 
 use graphh_bench::multiprocess::{encode_values, NodeWorkload};
 use graphh_cluster::ClusterConfig;
 use graphh_core::exec::ExecutionPlan;
 use graphh_core::GraphHConfig;
+use graphh_obs::{chrome_trace_json, global_counters, Tracer};
 use graphh_pool::WorkerPool;
-use graphh_runtime::{run_worker, BoundTcpPlane, MetricsSlice, SuperstepBarrier, TcpPlaneKind};
+use graphh_runtime::{
+    run_worker_traced, BoundTcpPlane, MetricsSlice, SuperstepBarrier, TcpPlaneKind,
+};
 use std::net::SocketAddr;
 use std::sync::mpsc::channel;
 use std::time::{Duration, Instant};
@@ -44,6 +53,8 @@ struct Args {
     workload: NodeWorkload,
     threads_per_server: Option<u32>,
     out: Option<String>,
+    trace_out: Option<String>,
+    metrics_out: Option<String>,
     establish_timeout: Duration,
 }
 
@@ -52,7 +63,8 @@ fn usage() -> ! {
         "usage: graphh-node --id I --servers P --listen ADDR --peers A0,A1,... \
          [--plane socket|poll] [--program pagerank|sssp|wcc] [--scale S] \
          [--edge-factor F] [--seed N] [--tiles T] [--supersteps N] \
-         [--threads-per-server T] [--out FILE] [--establish-timeout-secs N]"
+         [--threads-per-server T] [--out FILE] [--trace-out FILE] \
+         [--metrics-out FILE] [--establish-timeout-secs N]"
     );
     std::process::exit(2);
 }
@@ -73,6 +85,8 @@ fn parse_args() -> Result<Args, String> {
     let mut plane = TcpPlaneKind::Socket;
     let mut threads_per_server = None;
     let mut out = None;
+    let mut trace_out = None;
+    let mut metrics_out = None;
     let mut establish_timeout = Duration::from_secs(10);
 
     let mut args = std::env::args().skip(1);
@@ -105,6 +119,8 @@ fn parse_args() -> Result<Args, String> {
                 threads_per_server = Some(value.parse().map_err(|e| bad(&e))?)
             }
             "--out" => out = Some(value),
+            "--trace-out" => trace_out = Some(value),
+            "--metrics-out" => metrics_out = Some(value),
             "--establish-timeout-secs" => {
                 establish_timeout = Duration::from_secs(value.parse().map_err(|e| bad(&e))?)
             }
@@ -126,6 +142,8 @@ fn parse_args() -> Result<Args, String> {
         workload,
         threads_per_server,
         out,
+        trace_out,
+        metrics_out,
         establish_timeout,
     })
 }
@@ -177,7 +195,14 @@ fn run(args: Args) -> Result<(), String> {
     let barrier = SuperstepBarrier::new(1);
     let (metrics_tx, metrics_rx) = channel::<MetricsSlice>();
     let sid = plane.server_id();
-    let output = run_worker(
+    // Tracing is opt-in: without --trace-out the disabled tracer adds zero
+    // allocations and zero clock reads to the superstep loop.
+    let tracer = if args.trace_out.is_some() {
+        Tracer::new()
+    } else {
+        Tracer::off()
+    };
+    let output = run_worker_traced(
         &config,
         &plan,
         &partitioned,
@@ -186,6 +211,7 @@ fn run(args: Args) -> Result<(), String> {
         plane.as_mut(),
         &barrier,
         &metrics_tx,
+        &tracer,
     )
     .map_err(|e| format!("worker failed: {}", e.error))?;
     drop(metrics_tx);
@@ -213,7 +239,75 @@ fn run(args: Args) -> Result<(), String> {
             .map_err(|e| format!("write {path}: {e}"))?;
         eprintln!("graphh-node {}: wrote {path}", args.id);
     }
+
+    if let Some(path) = &args.trace_out {
+        let trace = chrome_trace_json(
+            &format!("graphh-node-{sid}"),
+            std::process::id(),
+            &tracer.drain(),
+        );
+        std::fs::write(path, trace).map_err(|e| format!("write {path}: {e}"))?;
+        eprintln!("graphh-node {}: wrote trace {path}", args.id);
+    }
+
+    if let Some(path) = &args.metrics_out {
+        // This process holds exactly one server's metric slices, so the
+        // summary is hand-assembled here (the cluster-wide reduction needs
+        // every server's slices and lives in the in-process executors).
+        let metrics = node_metrics_json(
+            &args,
+            sid,
+            program.name(),
+            output.supersteps_run,
+            output.values.len(),
+            sent,
+            received,
+            started.elapsed().as_secs_f64(),
+        );
+        std::fs::write(path, metrics).map_err(|e| format!("write {path}: {e}"))?;
+        eprintln!("graphh-node {}: wrote metrics {path}", args.id);
+    }
     Ok(())
+}
+
+/// One node's run summary + the process-wide counter snapshot, as JSON.
+#[allow(clippy::too_many_arguments)]
+fn node_metrics_json(
+    args: &Args,
+    sid: u32,
+    program: &str,
+    supersteps_run: u32,
+    vertices: usize,
+    net_sent_bytes: u64,
+    net_received_bytes: u64,
+    wall_seconds: f64,
+) -> String {
+    format!(
+        concat!(
+            "{{\n",
+            "  \"server\": {},\n",
+            "  \"servers\": {},\n",
+            "  \"plane\": \"{:?}\",\n",
+            "  \"program\": \"{}\",\n",
+            "  \"supersteps_run\": {},\n",
+            "  \"vertices\": {},\n",
+            "  \"net_sent_bytes\": {},\n",
+            "  \"net_received_bytes\": {},\n",
+            "  \"wall_seconds\": {:.6},\n",
+            "  \"counters\": {}\n",
+            "}}\n"
+        ),
+        sid,
+        args.servers,
+        args.plane,
+        graphh_obs::json::escape(program),
+        supersteps_run,
+        vertices,
+        net_sent_bytes,
+        net_received_bytes,
+        wall_seconds,
+        global_counters().snapshot_json(),
+    )
 }
 
 fn main() {

@@ -651,6 +651,7 @@ pub fn runtime_executors() -> String {
         &pool_spawn_microbench(),
         &plane_loopback_microbench(),
         &codec_microbench(),
+        &phase_breakdown(),
     )
 }
 
@@ -670,21 +671,25 @@ pub fn runtime_report(
     pool: &PoolBench,
     plane: &PlaneBench,
     codec: &CodecBench,
+    phase: &PhaseBreakdown,
 ) -> String {
     let mut out = format!(
-        "# Runtime: sequential vs threaded executor (RMAT scale-10, PageRank, wall-clock)\n\
+        "# Runtime: sequential vs threaded executor (RMAT scale-10, PageRank)\n\
+         (wall_s columns are measured host wall-clock; simulated_s is the \
+         cost model's predicted cluster time, identical for both executors)\n\
          host cores (available_parallelism): {}\n\
-         servers\tthreads/server\tsequential_s\tthreaded_s\tspeedup\tidentical\n",
+         servers\tthreads/server\tsequential_wall_s\tthreaded_wall_s\tsimulated_s\tspeedup\tidentical\n",
         host_cores()
     );
     for row in rows {
         writeln!(
             out,
-            "{}\t{}\t{:.6}\t{:.6}\t{:.2}x\t{}",
+            "{}\t{}\t{:.6}\t{:.6}\t{:.6}\t{:.2}x\t{}",
             row.servers,
             row.threads_per_server,
-            row.sequential_seconds,
-            row.threaded_seconds,
+            row.sequential_wall_seconds,
+            row.threaded_wall_seconds,
+            row.simulated_seconds,
             row.speedup(),
             row.identical
         )
@@ -736,6 +741,21 @@ pub fn runtime_report(
             row.decode_mb_s,
             row.decode_each_mb_s,
             row.decode_each_mb_s / row.decode_mb_s.max(1e-12),
+        )
+        .unwrap();
+    }
+    writeln!(
+        out,
+        "phase breakdown (one traced threaded run, {} servers x {} \
+         threads/server, {} supersteps; wall-clock summed across all lanes):",
+        phase.servers, phase.threads_per_server, phase.supersteps
+    )
+    .unwrap();
+    for t in &phase.phases {
+        writeln!(
+            out,
+            "  {}/{}\t{:.6}s\t{} spans",
+            t.cat, t.name, t.total_seconds, t.spans
         )
         .unwrap();
     }
@@ -1024,15 +1044,27 @@ pub fn plane_loopback_microbench() -> PlaneBench {
 }
 
 /// One measured executor-comparison configuration.
+///
+/// Wall-clock and simulated time are distinct quantities and are labelled
+/// distinctly everywhere they are reported: `*_wall_seconds` is measured host
+/// time (hardware- and load-dependent), while [`simulated_seconds`] is the
+/// paper cost model's predicted cluster time, which is a deterministic
+/// function of the workload and identical for both executors by construction.
+///
+/// [`simulated_seconds`]: RuntimeRow::simulated_seconds
 pub struct RuntimeRow {
     /// Cluster size (the paper's `p` servers).
     pub servers: u32,
     /// Tile-phase compute threads per server (the paper's `T`).
     pub threads_per_server: u32,
-    /// Best-of-3 wall-clock seconds, sequential reference executor.
-    pub sequential_seconds: f64,
-    /// Best-of-3 wall-clock seconds, threaded runtime.
-    pub threaded_seconds: f64,
+    /// Best-of-3 measured wall-clock seconds, sequential reference executor.
+    pub sequential_wall_seconds: f64,
+    /// Best-of-3 measured wall-clock seconds, threaded runtime.
+    pub threaded_wall_seconds: f64,
+    /// Cost-model simulated cluster seconds for the whole run (executor-
+    /// independent; taken from the sequential run and asserted equal to the
+    /// threaded run's).
+    pub simulated_seconds: f64,
     /// Whether the two executors produced bit-identical values.
     pub identical: bool,
 }
@@ -1040,7 +1072,7 @@ pub struct RuntimeRow {
 impl RuntimeRow {
     /// Wall-clock speedup of threaded over sequential.
     pub fn speedup(&self) -> f64 {
-        self.sequential_seconds / self.threaded_seconds.max(1e-12)
+        self.sequential_wall_seconds / self.threaded_wall_seconds.max(1e-12)
     }
 }
 
@@ -1089,16 +1121,117 @@ pub fn runtime_rows() -> Vec<RuntimeRow> {
                     .iter()
                     .zip(&thr.values)
                     .all(|(a, b)| a.to_bits() == b.to_bits());
+            debug_assert!(
+                (seq.metrics.total_seconds() - thr.metrics.total_seconds()).abs() < 1e-9,
+                "simulated time is a deterministic function of the workload"
+            );
             rows.push(RuntimeRow {
                 servers,
                 threads_per_server: threads,
-                sequential_seconds: seq.wall_clock_seconds,
-                threaded_seconds: thr.wall_clock_seconds,
+                sequential_wall_seconds: seq.wall_clock_seconds,
+                threaded_wall_seconds: thr.wall_clock_seconds,
+                simulated_seconds: seq.metrics.total_seconds(),
                 identical,
             });
         }
     }
     rows
+}
+
+/// Per-phase wall-clock breakdown of one traced [`ThreadedExecutor`] run —
+/// the observability layer's span stream aggregated by phase name. This is
+/// the per-phase wall-clock axis of `BENCH_runtime.json`: it says *where* the
+/// threaded executor's wall-clock goes (compute vs encode vs plane flush vs
+/// barrier wait), which the single `threaded_wall_s` number cannot.
+///
+/// [`ThreadedExecutor`]: graphh_runtime::ThreadedExecutor
+pub struct PhaseBreakdown {
+    /// Cluster size of the traced run.
+    pub servers: u32,
+    /// Compute threads per server of the traced run.
+    pub threads_per_server: u32,
+    /// Supersteps the traced run executed.
+    pub supersteps: u32,
+    /// Per-span-name totals, largest wall-clock share first.
+    pub phases: Vec<PhaseTotal>,
+}
+
+/// Aggregated wall-clock total for one span name across every lane.
+pub struct PhaseTotal {
+    /// Span category (`"load"`, `"superstep"`, `"pool"`).
+    pub cat: &'static str,
+    /// Span name (e.g. `"tile-compute"`, `"barrier-wait"`).
+    pub name: &'static str,
+    /// How many spans were recorded under this name.
+    pub spans: u64,
+    /// Summed span duration in seconds (lanes run concurrently, so totals
+    /// can exceed the run's wall-clock — they are per-lane time, not elapsed
+    /// time).
+    pub total_seconds: f64,
+}
+
+/// Sum span durations by `(category, name)`, largest total first (name as the
+/// deterministic tiebreak).
+pub fn aggregate_phases(spans: &[graphh_obs::SpanEvent]) -> Vec<PhaseTotal> {
+    let mut totals: Vec<PhaseTotal> = Vec::new();
+    for s in spans {
+        let secs = s.dur_us as f64 / 1e6;
+        match totals
+            .iter_mut()
+            .find(|t| t.cat == s.cat && t.name == s.name)
+        {
+            Some(t) => {
+                t.spans += 1;
+                t.total_seconds += secs;
+            }
+            None => totals.push(PhaseTotal {
+                cat: s.cat,
+                name: s.name,
+                spans: 1,
+                total_seconds: secs,
+            }),
+        }
+    }
+    totals.sort_by(|a, b| {
+        b.total_seconds
+            .total_cmp(&a.total_seconds)
+            .then(a.name.cmp(b.name))
+    });
+    totals
+}
+
+/// Measure the per-phase wall-clock breakdown: one traced threaded run of the
+/// same RMAT scale-10 PageRank workload the executor sweep times, at the
+/// sweep's largest cluster size.
+pub fn phase_breakdown() -> PhaseBreakdown {
+    use graphh_graph::generators::{GraphGenerator, RmatGenerator};
+    use graphh_obs::{TraceConfig, Tracer};
+    use graphh_runtime::ThreadedExecutor;
+    use std::sync::Arc;
+
+    const SERVERS: u32 = 4;
+    const THREADS: u32 = 2;
+    let g = RmatGenerator::new(10, 16).generate(EXPERIMENT_SEED);
+    let p = graphh_partition::Spe::partition(
+        &g,
+        &graphh_partition::SpeConfig::with_tile_count("rmat-10", &g, 16),
+    )
+    .expect("partition");
+    let program = graphh_core::PageRank::new(20);
+    let config = GraphHConfig::paper_default(ClusterConfig::paper_testbed(SERVERS))
+        .with_threads_per_server(THREADS);
+
+    let tracer = Tracer::new();
+    let executor = Arc::new(ThreadedExecutor::with_trace(TraceConfig {
+        tracer: tracer.clone(),
+    }));
+    let run = crate::run_graphh_config(&p, &program, config, executor);
+    PhaseBreakdown {
+        servers: SERVERS,
+        threads_per_server: THREADS,
+        supersteps: run.supersteps_run,
+        phases: aggregate_phases(&tracer.drain()),
+    }
 }
 
 /// Render measured rows as machine-readable JSON (the report binary writes
@@ -1111,6 +1244,7 @@ pub fn runtime_json(
     pool: &PoolBench,
     plane: &PlaneBench,
     codec: &CodecBench,
+    phase: &PhaseBreakdown,
 ) -> String {
     let mut servers_swept: Vec<u32> = rows.iter().map(|r| r.servers).collect();
     servers_swept.dedup();
@@ -1128,6 +1262,7 @@ pub fn runtime_json(
         "{{\n  \"experiment\": \"runtime\",\n  \"workload\": \"rmat-scale10-ef16-pagerank-20\",\n  \
          \"host_cores\": {},\n  \"servers_swept\": [{}],\n  \"threads_per_server_swept\": [{}],\n  \
          \"note\": \"speedup needs host_cores > servers * threads_per_server; single-core runners honestly report <=1x\",\n  \
+         \"seconds_note\": \"*_wall_s keys are measured host wall-clock; simulated_s is the cost model's predicted cluster time (executor-independent)\",\n  \
          \"rows\": [\n",
         host_cores(),
         join(&servers_swept),
@@ -1136,11 +1271,12 @@ pub fn runtime_json(
     for (i, row) in rows.iter().enumerate() {
         writeln!(
             out,
-            "    {{\"servers\": {}, \"threads_per_server\": {}, \"sequential_s\": {:.6}, \"threaded_s\": {:.6}, \"speedup\": {:.4}, \"identical\": {}}}{}",
+            "    {{\"servers\": {}, \"threads_per_server\": {}, \"sequential_wall_s\": {:.6}, \"threaded_wall_s\": {:.6}, \"simulated_s\": {:.6}, \"speedup\": {:.4}, \"identical\": {}}}{}",
             row.servers,
             row.threads_per_server,
-            row.sequential_seconds,
-            row.threaded_seconds,
+            row.sequential_wall_seconds,
+            row.threaded_wall_seconds,
+            row.simulated_seconds,
             row.speedup(),
             row.identical,
             if i + 1 < rows.len() { "," } else { "" }
@@ -1196,6 +1332,28 @@ pub fn runtime_json(
         )
         .unwrap();
     }
+    out.push_str("  ]},\n");
+    writeln!(
+        out,
+        "  \"phase_breakdown\": {{\"executor\": \"threaded\", \"servers\": {}, \
+         \"threads_per_server\": {}, \"supersteps\": {}, \
+         \"note\": \"per-lane wall-clock totals from one traced run; lanes run concurrently so totals can exceed elapsed time\", \
+         \"phases\": [",
+        phase.servers, phase.threads_per_server, phase.supersteps
+    )
+    .unwrap();
+    for (i, t) in phase.phases.iter().enumerate() {
+        writeln!(
+            out,
+            "    {{\"cat\": \"{}\", \"name\": \"{}\", \"spans\": {}, \"total_wall_s\": {:.6}}}{}",
+            t.cat,
+            t.name,
+            t.spans,
+            t.total_seconds,
+            if i + 1 < phase.phases.len() { "," } else { "" }
+        )
+        .unwrap();
+    }
     out.push_str("  ]}\n");
     out.push_str("}\n");
     out
@@ -1230,10 +1388,18 @@ mod tests {
             range: 1,
             rows: Vec::new(),
         };
-        let json = runtime_json(&[], &pool_spawn_microbench(), &bench, &codec);
+        let json = runtime_json(
+            &[],
+            &pool_spawn_microbench(),
+            &bench,
+            &codec,
+            &tiny_phases(),
+        );
         assert!(json.contains("\"planes_swept\": [\"socket\", \"poll\"]"));
         assert!(json.contains("\"plane_microbench\""));
         assert!(json.contains("\"codec_microbench\""));
+        assert!(json.contains("\"phase_breakdown\""));
+        assert!(json.contains("\"name\": \"tile-compute\""));
     }
 
     /// The codec microbench must measure all four paths on both encodings,
@@ -1252,7 +1418,13 @@ mod tests {
             assert!(row.decode_mb_s > 0.0, "{}", row.encoding);
             assert!(row.decode_each_mb_s > 0.0, "{}", row.encoding);
         }
-        let json = runtime_json(&[], &pool_spawn_microbench(), &tiny_plane(), &bench);
+        let json = runtime_json(
+            &[],
+            &pool_spawn_microbench(),
+            &tiny_plane(),
+            &bench,
+            &tiny_phases(),
+        );
         assert!(json.contains("\"encoding\": \"dense\""));
         assert!(json.contains("\"encode_into_mb_s\""));
     }
@@ -1265,6 +1437,45 @@ mod tests {
             socket_seconds: 1.0,
             poll_seconds: 1.0,
         }
+    }
+
+    fn tiny_phases() -> PhaseBreakdown {
+        PhaseBreakdown {
+            servers: 2,
+            threads_per_server: 1,
+            supersteps: 3,
+            phases: vec![PhaseTotal {
+                cat: "superstep",
+                name: "tile-compute",
+                spans: 6,
+                total_seconds: 0.5,
+            }],
+        }
+    }
+
+    /// The phase-breakdown aggregation: spans with the same (cat, name) fold
+    /// into one total, ordered largest-first.
+    #[test]
+    fn aggregate_phases_folds_and_orders() {
+        use graphh_obs::SpanEvent;
+        let span = |name: &'static str, dur_us: u64| SpanEvent {
+            name,
+            cat: "superstep",
+            tid: 1,
+            start_us: 0,
+            dur_us,
+            superstep: Some(0),
+        };
+        let totals = aggregate_phases(&[
+            span("apply", 10),
+            span("tile-compute", 100),
+            span("apply", 5),
+        ]);
+        assert_eq!(totals.len(), 2);
+        assert_eq!(totals[0].name, "tile-compute");
+        assert_eq!(totals[1].name, "apply");
+        assert_eq!(totals[1].spans, 2);
+        assert!((totals[1].total_seconds - 15e-6).abs() < 1e-12);
     }
 
     #[test]

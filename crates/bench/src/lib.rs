@@ -8,8 +8,10 @@
 
 pub mod experiments;
 pub mod multiprocess;
+pub mod trace_check;
 pub mod workloads;
 
 pub use experiments::*;
 pub use multiprocess::*;
+pub use trace_check::*;
 pub use workloads::*;

@@ -1,0 +1,199 @@
+//! Schema validators for the observability artifacts `graphh-node` writes
+//! (`--trace-out`, `--metrics-out`).
+//!
+//! Built on `graphh_obs::JsonValue` — no external JSON tools — so both the
+//! test suite and CI can assert "this traced run produced loadable files"
+//! with `cargo test` alone. The formats are documented in
+//! `docs/OBSERVABILITY.md` §3–4; these validators enforce exactly what that
+//! document promises.
+
+use graphh_obs::JsonValue;
+
+/// What a valid Chrome trace file contained, for further assertions.
+#[derive(Debug)]
+pub struct TraceStats {
+    /// Number of span events (excluding the `process_name` metadata event).
+    pub spans: usize,
+    /// Number of spans with category `"superstep"`.
+    pub superstep_spans: usize,
+    /// Distinct span names, sorted.
+    pub names: Vec<String>,
+}
+
+/// Validate a Chrome trace-event JSON document as `chrome_trace_json` emits
+/// it: `displayTimeUnit`, a `traceEvents` array opening with one
+/// `process_name` metadata event, then complete (`"ph": "X"`) span events
+/// with `name`/`cat`/`ts`/`dur`/`pid`/`tid`, where every `"superstep"`-
+/// category span carries `args.superstep`.
+pub fn validate_chrome_trace(json: &str) -> Result<TraceStats, String> {
+    let doc = JsonValue::parse(json).map_err(|e| format!("trace does not parse: {e}"))?;
+    if doc.get("displayTimeUnit").and_then(JsonValue::as_str) != Some("ms") {
+        return Err("displayTimeUnit must be \"ms\"".into());
+    }
+    let events = doc
+        .get("traceEvents")
+        .and_then(JsonValue::as_array)
+        .ok_or("traceEvents must be an array")?;
+    let meta = events.first().ok_or("traceEvents must not be empty")?;
+    if meta.get("ph").and_then(JsonValue::as_str) != Some("M")
+        || meta.get("name").and_then(JsonValue::as_str) != Some("process_name")
+        || meta
+            .get("args")
+            .and_then(|a| a.get("name"))
+            .and_then(JsonValue::as_str)
+            .is_none()
+    {
+        return Err("first event must be the process_name metadata event".into());
+    }
+
+    let mut names: Vec<String> = Vec::new();
+    let mut superstep_spans = 0;
+    for (i, event) in events.iter().enumerate().skip(1) {
+        let field = |key: &str| {
+            event
+                .get(key)
+                .ok_or(format!("event {i}: missing \"{key}\""))
+        };
+        if field("ph")?.as_str() != Some("X") {
+            return Err(format!("event {i}: span events must be complete (ph X)"));
+        }
+        let name = field("name")?
+            .as_str()
+            .ok_or(format!("event {i}: name must be a string"))?;
+        let cat = field("cat")?
+            .as_str()
+            .ok_or(format!("event {i}: cat must be a string"))?;
+        for key in ["ts", "dur", "pid", "tid"] {
+            field(key)?
+                .as_u64()
+                .ok_or(format!("event {i}: {key} must be a non-negative integer"))?;
+        }
+        if cat == "superstep" {
+            superstep_spans += 1;
+            event
+                .get("args")
+                .and_then(|a| a.get("superstep"))
+                .and_then(JsonValue::as_u64)
+                .ok_or(format!(
+                    "event {i} ({name}): superstep spans must carry args.superstep"
+                ))?;
+        }
+        if !names.iter().any(|n| n == name) {
+            names.push(name.to_string());
+        }
+    }
+    names.sort_unstable();
+    Ok(TraceStats {
+        spans: events.len() - 1,
+        superstep_spans,
+        names,
+    })
+}
+
+/// What a valid `--metrics-out` file contained.
+#[derive(Debug)]
+pub struct MetricsStats {
+    /// This node's server id.
+    pub server: u64,
+    /// Supersteps the run executed.
+    pub supersteps_run: u64,
+    /// The counter names in the snapshot, sorted.
+    pub counter_names: Vec<String>,
+}
+
+/// Validate a `graphh-node --metrics-out` JSON document: the run-summary
+/// fields plus a `counters` object mapping counter names to non-negative
+/// integers.
+pub fn validate_node_metrics(json: &str) -> Result<MetricsStats, String> {
+    let doc = JsonValue::parse(json).map_err(|e| format!("metrics do not parse: {e}"))?;
+    let int = |key: &str| {
+        doc.get(key)
+            .and_then(JsonValue::as_u64)
+            .ok_or(format!("\"{key}\" must be a non-negative integer"))
+    };
+    let server = int("server")?;
+    let servers = int("servers")?;
+    if server >= servers {
+        return Err(format!(
+            "server {server} out of range for {servers} servers"
+        ));
+    }
+    doc.get("program")
+        .and_then(JsonValue::as_str)
+        .ok_or("\"program\" must be a string")?;
+    let supersteps_run = int("supersteps_run")?;
+    int("vertices")?;
+    int("net_sent_bytes")?;
+    int("net_received_bytes")?;
+    let wall = doc
+        .get("wall_seconds")
+        .and_then(JsonValue::as_f64)
+        .ok_or("\"wall_seconds\" must be a number")?;
+    if wall.is_nan() || wall < 0.0 {
+        return Err(format!("wall_seconds must be non-negative, got {wall}"));
+    }
+    let counters = doc.get("counters").ok_or("missing \"counters\" object")?;
+    let fields = match counters {
+        JsonValue::Object(fields) => fields,
+        _ => return Err("\"counters\" must be an object".into()),
+    };
+    let mut counter_names = Vec::with_capacity(fields.len());
+    for (name, value) in fields {
+        value
+            .as_u64()
+            .ok_or(format!("counter \"{name}\" must be a non-negative integer"))?;
+        counter_names.push(name.clone());
+    }
+    counter_names.sort_unstable();
+    Ok(MetricsStats {
+        server,
+        supersteps_run,
+        counter_names,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphh_obs::{chrome_trace_json, Tracer};
+
+    #[test]
+    fn accepts_what_chrome_trace_json_emits() {
+        let tracer = Tracer::new();
+        let mut rec = tracer.thread(1);
+        let s = rec.begin();
+        rec.end_superstep(s, "tile-compute", "superstep", 0);
+        let s = rec.begin();
+        rec.end(s, "server-build", "load");
+        drop(rec);
+        let stats =
+            validate_chrome_trace(&chrome_trace_json("node-0", 7, &tracer.drain())).unwrap();
+        assert_eq!(stats.spans, 2);
+        assert_eq!(stats.superstep_spans, 1);
+        assert_eq!(stats.names, vec!["server-build", "tile-compute"]);
+    }
+
+    #[test]
+    fn rejects_superstep_span_without_args() {
+        let json = r#"{
+  "displayTimeUnit": "ms",
+  "traceEvents": [
+    {"name": "process_name", "ph": "M", "pid": 1, "tid": 0, "args": {"name": "x"}},
+    {"name": "apply", "cat": "superstep", "ph": "X", "ts": 0, "dur": 1, "pid": 1, "tid": 1}
+  ]
+}"#;
+        let err = validate_chrome_trace(json).unwrap_err();
+        assert!(err.contains("args.superstep"), "{err}");
+    }
+
+    #[test]
+    fn rejects_metrics_with_non_integer_counter() {
+        let json = r#"{
+  "server": 0, "servers": 2, "program": "pagerank", "supersteps_run": 3,
+  "vertices": 10, "net_sent_bytes": 1, "net_received_bytes": 1,
+  "wall_seconds": 0.5, "counters": {"poll.bytes_written": -4}
+}"#;
+        let err = validate_node_metrics(json).unwrap_err();
+        assert!(err.contains("poll.bytes_written"), "{err}");
+    }
+}

@@ -25,11 +25,13 @@ use crate::bloom::BloomFilter;
 use crate::engine::{GraphHConfig, RunResult};
 use crate::gab::{GabProgram, InitContext, VertexContext};
 use crate::{EngineError, Result};
-use graphh_cache::{EdgeCache, EdgeCacheConfig};
+use graphh_cache::{CacheStats, EdgeCache, EdgeCacheConfig};
 use graphh_cluster::{BroadcastMessage, CostModel, MemoryTracker, MessageCodec, ServerMetrics};
 use graphh_compress::Codec;
 use graphh_graph::ids::{ServerId, TileId, VertexId};
+use graphh_obs::{global_counters, Tracer};
 use graphh_partition::{PartitionedGraph, Tile, TileAssignment};
+use graphh_storage::{IoMeter, IoSnapshot, MemoryBackend, MeteredBackend, StorageBackend};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -152,8 +154,14 @@ pub struct ServerState {
     pub id: ServerId,
     /// Tiles assigned to this server, in processing order.
     pub tiles: Vec<TileId>,
-    /// Serialized tiles as stored on the server's local disk.
-    disk: HashMap<TileId, Vec<u8>>,
+    /// Serialized tiles as stored on the server's local disk — a real
+    /// [`StorageBackend`] behind an [`IoMeter`], so every byte the engine
+    /// actually moves (staging writes, cache-miss reads, admission re-reads)
+    /// is metered; see [`ServerState::io_snapshot`].
+    disk: MeteredBackend<MemoryBackend>,
+    /// Storage key of each assigned tile, precomputed so the cache-miss path
+    /// does no string formatting.
+    tile_keys: HashMap<TileId, String>,
     /// Local replica of every vertex value (All-in-All policy).
     pub values: Vec<f64>,
     /// Edge cache over idle memory.
@@ -204,7 +212,8 @@ impl ServerState {
         let num_vertices = plan.num_vertices;
         let machine = config.cluster.machine;
         let tiles = plan.assignment.tiles_of(sid);
-        let mut disk = HashMap::new();
+        let disk = MeteredBackend::new(MemoryBackend::new(), IoMeter::shared());
+        let mut tile_keys = HashMap::new();
         let mut blooms = HashMap::new();
         let mut total_tile_bytes = 0u64;
         for &tid in &tiles {
@@ -215,7 +224,10 @@ impl ServerState {
                 tid,
                 BloomFilter::from_ids(tile.sources().iter().copied(), tile.sources().len().max(8)),
             );
-            disk.insert(tid, blob);
+            let key = format!("tiles/{tid}");
+            disk.put(&key, &blob)
+                .expect("staging a tile on the in-memory local disk cannot fail");
+            tile_keys.insert(tid, key);
         }
         // Idle memory = machine memory minus the permanent vertex arrays.
         let permanent = 8 * num_vertices * 2 + 4 * num_vertices * 2;
@@ -239,6 +251,7 @@ impl ServerState {
             id: sid,
             tiles,
             disk,
+            tile_keys,
             values: plan.initial_values.to_vec(),
             cache,
             blooms,
@@ -255,6 +268,66 @@ impl ServerState {
     /// Peak accounted memory so far.
     pub fn peak_memory(&self) -> u64 {
         self.memory.peak()
+    }
+
+    /// Current edge-cache statistics.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Real bytes/ops moved through this server's local-disk backend so far.
+    ///
+    /// This is *actual-storage* accounting, distinct from the simulated
+    /// [`ServerMetrics`] disk counters: a cache miss reads the blob once to
+    /// decode and once more to admit, so the meter legitimately counts the
+    /// admission re-read that the simulated model does not charge.
+    pub fn io_snapshot(&self) -> IoSnapshot {
+        self.disk.meter().snapshot()
+    }
+
+    /// Route this server's pool-job spans into `tracer`, with the pool's
+    /// worker threads on lanes `tid_base + worker_index`.
+    pub fn set_tracer(&self, tracer: Tracer, tid_base: u32) {
+        self.pool.set_tracer(tracer, tid_base);
+    }
+
+    /// Fold this server's storage-meter totals and edge-cache statistics into
+    /// the global counter registry (under `storage.s{id}.*` / `cache.s{id}.*`).
+    ///
+    /// Call once at the end of a run: counts *add* (they are monotone totals
+    /// across every run in the process), gauges overwrite.
+    pub fn publish_observability(&self) {
+        let registry = global_counters();
+        let sid = self.id;
+        let io = self.io_snapshot();
+        registry
+            .counter(&format!("storage.s{sid}.bytes_read"))
+            .add(io.bytes_read);
+        registry
+            .counter(&format!("storage.s{sid}.bytes_written"))
+            .add(io.bytes_written);
+        registry
+            .counter(&format!("storage.s{sid}.read_ops"))
+            .add(io.read_ops);
+        registry
+            .counter(&format!("storage.s{sid}.write_ops"))
+            .add(io.write_ops);
+        let cache = self.cache_stats();
+        registry
+            .counter(&format!("cache.s{sid}.hits"))
+            .add(cache.hits);
+        registry
+            .counter(&format!("cache.s{sid}.misses"))
+            .add(cache.misses);
+        registry
+            .counter(&format!("cache.s{sid}.evictions"))
+            .add(cache.evictions);
+        registry
+            .counter(&format!("cache.s{sid}.resident_tiles"))
+            .set(cache.resident_tiles);
+        registry
+            .counter(&format!("cache.s{sid}.used_bytes"))
+            .set(cache.used_bytes);
     }
 
     /// The compute phase of one superstep on this server: walk the assigned
@@ -304,6 +377,7 @@ impl ServerState {
         let tiles = &self.tiles;
         let cache = &self.cache;
         let disk = &self.disk;
+        let tile_keys = &self.tile_keys;
         let blooms = &self.blooms;
         // Deterministic recency stamps: tile i of this phase gets stamp
         // `base + 1 + i`, regardless of which thread touches the cache first.
@@ -337,11 +411,11 @@ impl ServerState {
                 None => {
                     metrics.cache_misses += 1;
                     let blob = disk
-                        .get(&tile_id)
+                        .get(&tile_keys[&tile_id])
                         .expect("assigned tile must be on local disk");
                     metrics.disk_read_bytes += blob.len() as u64;
                     metrics.disk_read_ops += 1;
-                    let tile = Arc::new(Tile::from_bytes(blob)?);
+                    let tile = Arc::new(Tile::from_bytes(&blob)?);
                     // Admission is deferred to the post-join pass so
                     // evictions happen in tile order on one thread.
                     admit = Some(Arc::clone(&tile));
@@ -392,11 +466,11 @@ impl ServerState {
                 let tile_id = self.tiles[i];
                 let blob = self
                     .disk
-                    .get(&tile_id)
+                    .get(&self.tile_keys[&tile_id])
                     .expect("assigned tile must be on local disk");
                 metrics.compress_seconds +=
                     self.cache
-                        .admit(tile_id, blob, &tile, stamp_base + 1 + i as u64);
+                        .admit(tile_id, &blob, &tile, stamp_base + 1 + i as u64);
             }
             if let Some(message) = outcome.message {
                 messages.push(message);

@@ -12,17 +12,29 @@ use crate::gab::GabProgram;
 use crate::Result;
 use graphh_cluster::{ClusterMetrics, ServerMetrics, SuperstepReport};
 use graphh_graph::ids::VertexId;
+use graphh_obs::TraceConfig;
 use graphh_partition::PartitionedGraph;
 use std::time::Instant;
 
 /// Runs all simulated servers on one thread, in server-id order.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct SequentialExecutor;
+#[derive(Debug, Clone, Default)]
+pub struct SequentialExecutor {
+    trace: TraceConfig,
+}
 
 impl SequentialExecutor {
-    /// A sequential executor.
+    /// A sequential executor with tracing off.
     pub fn new() -> Self {
-        Self
+        Self::default()
+    }
+
+    /// A sequential executor recording phase spans into `trace`.
+    ///
+    /// All servers run on the calling thread, so every span lands on lane 0
+    /// (tagged with its superstep); each server's pool-job spans land on that
+    /// server's pool lanes (see `docs/OBSERVABILITY.md`).
+    pub fn with_trace(trace: TraceConfig) -> Self {
+        Self { trace }
     }
 }
 
@@ -38,11 +50,19 @@ impl Executor for SequentialExecutor {
         program: &dyn GabProgram,
     ) -> Result<RunResult> {
         let started = Instant::now();
+        let tracer = &self.trace.tracer;
+        let mut rec = tracer.thread(0);
+        let load = rec.begin();
         let plan = ExecutionPlan::prepare(config, partitioned, program)?;
         let num_servers = config.cluster.num_servers;
         let mut servers: Vec<ServerState> = (0..num_servers)
-            .map(|sid| ServerState::build(config, &plan, partitioned, sid))
+            .map(|sid| {
+                let server = ServerState::build(config, &plan, partitioned, sid);
+                server.set_tracer(tracer.clone(), 100 * (1 + sid));
+                server
+            })
             .collect();
+        rec.end(load, "server-build", "load");
 
         let mut metrics = ClusterMetrics::default();
         let mut updated_ratio = Vec::new();
@@ -62,6 +82,7 @@ impl Executor for SequentialExecutor {
             all_updates.clear();
 
             for (sid, server) in servers.iter_mut().enumerate() {
+                let compute = rec.begin();
                 let phase = server.run_tile_phase(
                     program,
                     &plan,
@@ -69,9 +90,11 @@ impl Executor for SequentialExecutor {
                     &previously_updated,
                     config.use_bloom_filter,
                 )?;
+                rec.end_superstep(compute, "tile-compute", "superstep", superstep);
                 let mut server_metrics = phase.metrics;
                 // What every *other* server receives from this one.
                 let mut received = ServerMetrics::default();
+                let publish = rec.begin();
                 for message in &phase.messages {
                     plan.message_codec.encode_into(
                         message,
@@ -94,6 +117,7 @@ impl Executor for SequentialExecutor {
                         })
                         .expect("we just encoded this");
                 }
+                rec.end_superstep(publish, "encode-publish", "superstep", superstep);
                 report.servers[sid] = server_metrics;
                 for (other, slot) in report.servers.iter_mut().enumerate() {
                     if other != sid {
@@ -104,10 +128,12 @@ impl Executor for SequentialExecutor {
             }
 
             // BSP barrier: apply all broadcast updates to every replica.
+            let apply = rec.begin();
             merge_updates_in_place(&mut all_updates);
             for server in &mut servers {
                 server.apply_updates(&all_updates);
             }
+            rec.end_superstep(apply, "apply", "superstep", superstep);
             for (sid, server) in servers.iter().enumerate() {
                 report.servers[sid].vertices_updated = all_updates.len() as u64;
                 report.servers[sid].peak_memory_bytes = server.peak_memory();
@@ -126,6 +152,9 @@ impl Executor for SequentialExecutor {
             }
         }
 
+        for server in &servers {
+            server.publish_observability();
+        }
         let per_server_peak_memory = servers.iter().map(ServerState::peak_memory).collect();
         let cache_codec = servers
             .first()

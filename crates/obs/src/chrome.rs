@@ -1,0 +1,124 @@
+//! Chrome trace-event JSON export.
+//!
+//! Emits the subset of the Trace Event Format that `chrome://tracing` and
+//! Perfetto load: one metadata event naming the process, then every span as a
+//! *complete* event (`"ph": "X"`, timestamps and durations in microseconds).
+//! The file format is documented in `docs/OBSERVABILITY.md` §3.
+
+use crate::json::escape;
+use crate::span::SpanEvent;
+use std::fmt::Write;
+
+/// Render `spans` as a Chrome trace-event JSON object (`{"traceEvents": [...]}`).
+///
+/// `process_name` labels the process lane in the viewer; `pid` distinguishes
+/// endpoints when traces from several `graphh-node` processes are merged by
+/// concatenating their `traceEvents` arrays.
+///
+/// ```
+/// use graphh_obs::{chrome_trace_json, Tracer};
+///
+/// let tracer = Tracer::new();
+/// let mut rec = tracer.thread(1);
+/// let s = rec.begin();
+/// rec.end_superstep(s, "encode", "superstep", 0);
+/// drop(rec);
+/// let json = chrome_trace_json("graphh-node-0", 0, &tracer.drain());
+/// assert!(json.contains("\"name\": \"encode\""));
+/// assert!(json.contains("\"process_name\""));
+/// ```
+pub fn chrome_trace_json(process_name: &str, pid: u32, spans: &[SpanEvent]) -> String {
+    let mut out = String::with_capacity(128 + spans.len() * 128);
+    out.push_str("{\n  \"displayTimeUnit\": \"ms\",\n  \"traceEvents\": [\n");
+    let _ = write!(
+        out,
+        "    {{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": {pid}, \"tid\": 0, \
+         \"args\": {{\"name\": \"{}\"}}}}",
+        escape(process_name)
+    );
+    for span in spans {
+        out.push_str(",\n");
+        let _ = write!(
+            out,
+            "    {{\"name\": \"{}\", \"cat\": \"{}\", \"ph\": \"X\", \"ts\": {}, \
+             \"dur\": {}, \"pid\": {pid}, \"tid\": {}",
+            escape(span.name),
+            escape(span.cat),
+            span.start_us,
+            span.dur_us,
+            span.tid,
+        );
+        match span.superstep {
+            Some(step) => {
+                let _ = write!(out, ", \"args\": {{\"superstep\": {step}}}}}");
+            }
+            None => out.push('}'),
+        }
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::JsonValue;
+    use crate::span::Tracer;
+
+    #[test]
+    fn trace_json_round_trips_through_the_parser() {
+        let tracer = Tracer::new();
+        let mut rec = tracer.thread(2);
+        let s = rec.begin();
+        rec.end_superstep(s, "tile-compute", "superstep", 4);
+        let s = rec.begin();
+        rec.end(s, "prepare", "load");
+        drop(rec);
+
+        let json = chrome_trace_json("unit \"test\"", 9, &tracer.drain());
+        let value = JsonValue::parse(&json).expect("emitted trace must parse");
+        let events = value
+            .get("traceEvents")
+            .and_then(JsonValue::as_array)
+            .expect("traceEvents array");
+        assert_eq!(events.len(), 3); // metadata + 2 spans
+
+        let meta = &events[0];
+        assert_eq!(meta.get("ph").and_then(JsonValue::as_str), Some("M"));
+        assert_eq!(
+            meta.get("args")
+                .and_then(|a| a.get("name"))
+                .and_then(JsonValue::as_str),
+            Some("unit \"test\"")
+        );
+        for event in &events[1..] {
+            assert_eq!(event.get("ph").and_then(JsonValue::as_str), Some("X"));
+            assert_eq!(event.get("pid").and_then(JsonValue::as_u64), Some(9));
+            assert_eq!(event.get("tid").and_then(JsonValue::as_u64), Some(2));
+            assert!(event.get("ts").and_then(JsonValue::as_u64).is_some());
+            assert!(event.get("dur").and_then(JsonValue::as_u64).is_some());
+        }
+        let compute = events
+            .iter()
+            .find(|e| e.get("name").and_then(JsonValue::as_str) == Some("tile-compute"))
+            .expect("tile-compute span present");
+        assert_eq!(
+            compute
+                .get("args")
+                .and_then(|a| a.get("superstep"))
+                .and_then(JsonValue::as_u64),
+            Some(4)
+        );
+    }
+
+    #[test]
+    fn empty_trace_is_still_valid_json() {
+        let json = chrome_trace_json("empty", 0, &[]);
+        let value = JsonValue::parse(&json).unwrap();
+        let events = value
+            .get("traceEvents")
+            .and_then(JsonValue::as_array)
+            .unwrap();
+        assert_eq!(events.len(), 1); // just the process_name metadata
+    }
+}

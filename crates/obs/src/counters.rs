@@ -1,0 +1,177 @@
+//! The counter registry: named atomic `u64` counters and gauges.
+//!
+//! Registration (name → handle) allocates and takes a lock, so subsystems
+//! fetch their [`Counter`] handles once at setup/establish time; the hot path
+//! is a relaxed atomic add on a pre-fetched handle — no allocation, no lock,
+//! no branch on an "enabled" flag. Counters are therefore always on, like
+//! `graphh_storage::IoMeter` already was: the cost is one atomic RMW.
+//!
+//! The [`global_counters`] registry is what `--metrics-out` snapshots; tests
+//! that assert on counter values use deltas (before/after), because the
+//! global registry is shared by every run in the process.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// A handle on one named counter. Cloning shares the underlying atomic.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Add `n` to the counter (relaxed; hot-path safe).
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Subtract `n` (wrapping; used by outstanding-resource gauges whose adds
+    /// and subs are strictly paired).
+    #[inline]
+    pub fn sub(&self, n: u64) {
+        self.0.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// Gauge semantics: overwrite with the latest observation.
+    #[inline]
+    pub fn set(&self, value: u64) {
+        self.0.store(value, Ordering::Relaxed);
+    }
+
+    /// Gauge semantics: keep the largest observation (high-water marks).
+    #[inline]
+    pub fn record_max(&self, value: u64) {
+        self.0.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A set of named counters. Cloning shares the registry.
+#[derive(Debug, Clone, Default)]
+pub struct CounterRegistry {
+    names: Arc<Mutex<BTreeMap<String, Counter>>>,
+}
+
+impl CounterRegistry {
+    /// An empty registry (tests; the runtime uses [`global_counters`]).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Get or create the counter named `name`.
+    ///
+    /// Allocates on first registration — call at setup time and keep the
+    /// handle; never call on a per-message path.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut names = self.names.lock().expect("counter registry poisoned");
+        if let Some(counter) = names.get(name) {
+            return counter.clone();
+        }
+        let counter = Counter::default();
+        names.insert(name.to_string(), counter.clone());
+        counter
+    }
+
+    /// All counters with their current values, sorted by name.
+    pub fn snapshot(&self) -> Vec<(String, u64)> {
+        self.names
+            .lock()
+            .expect("counter registry poisoned")
+            .iter()
+            .map(|(name, counter)| (name.clone(), counter.get()))
+            .collect()
+    }
+
+    /// Render the current snapshot as a JSON object (sorted keys).
+    pub fn snapshot_json(&self) -> String {
+        use std::fmt::Write;
+        let snapshot = self.snapshot();
+        let mut out = String::from("{");
+        for (i, (name, value)) in snapshot.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "\"{}\": {value}", crate::json::escape(name));
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// The process-wide registry every runtime subsystem publishes into.
+pub fn global_counters() -> &'static CounterRegistry {
+    static GLOBAL: OnceLock<CounterRegistry> = OnceLock::new();
+    GLOBAL.get_or_init(CounterRegistry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::JsonValue;
+
+    #[test]
+    fn counters_accumulate_and_share_by_name() {
+        let registry = CounterRegistry::new();
+        let a = registry.counter("x.adds");
+        let b = registry.counter("x.adds");
+        a.add(3);
+        b.incr();
+        assert_eq!(registry.counter("x.adds").get(), 4);
+    }
+
+    #[test]
+    fn gauges_set_and_record_max() {
+        let registry = CounterRegistry::new();
+        let gauge = registry.counter("queue.bytes");
+        gauge.set(100);
+        gauge.set(40);
+        assert_eq!(gauge.get(), 40);
+        let peak = registry.counter("queue.peak");
+        peak.record_max(10);
+        peak.record_max(90);
+        peak.record_max(50);
+        assert_eq!(peak.get(), 90);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_json_parses() {
+        let registry = CounterRegistry::new();
+        registry.counter("b.second").add(2);
+        registry.counter("a.first").add(1);
+        let snapshot = registry.snapshot();
+        assert_eq!(
+            snapshot,
+            vec![("a.first".to_string(), 1), ("b.second".to_string(), 2)]
+        );
+        let json = JsonValue::parse(&registry.snapshot_json()).unwrap();
+        assert_eq!(json.get("a.first").and_then(JsonValue::as_u64), Some(1));
+        assert_eq!(json.get("b.second").and_then(JsonValue::as_u64), Some(2));
+    }
+
+    #[test]
+    fn concurrent_adds_do_not_lose_counts() {
+        let registry = CounterRegistry::new();
+        let counter = registry.counter("contended");
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let counter = counter.clone();
+                scope.spawn(move || {
+                    for _ in 0..1000 {
+                        counter.incr();
+                    }
+                });
+            }
+        });
+        assert_eq!(counter.get(), 4000);
+    }
+}

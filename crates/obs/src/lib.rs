@@ -1,0 +1,46 @@
+//! # graphh-obs
+//!
+//! Opt-in wall-clock observability for the GraphH reproduction: phase spans,
+//! Chrome-trace export, and an atomic counter registry. `docs/OBSERVABILITY.md`
+//! is the normative description of the span taxonomy, the counter catalog and
+//! the file formats; this crate is the mechanism.
+//!
+//! The whole layer is built around one contract: **zero cost when off, never
+//! feeding back into computation when on**.
+//!
+//! * A disabled [`Tracer`] ([`Tracer::off`], the default) is a `None` inside —
+//!   [`SpanRecorder::begin`]/[`SpanRecorder::end`] return without reading the
+//!   clock or touching memory, and creating a recorder allocates nothing
+//!   (`crates/runtime/tests/alloc_count.rs` pins this with a counting
+//!   allocator).
+//! * Counters are plain relaxed `AtomicU64` adds; registering a counter name
+//!   allocates, so handles are created at setup/establish time and only the
+//!   atomic add runs on hot paths.
+//! * Nothing in this crate is ever *read* by the engines mid-run, so traced
+//!   and untraced runs are bit-identical (the determinism suites assert this).
+//!
+//! ```
+//! use graphh_obs::{Tracer, chrome_trace_json};
+//!
+//! let tracer = Tracer::new();
+//! let mut rec = tracer.thread(0);
+//! let start = rec.begin();
+//! // ... the phase being measured ...
+//! rec.end(start, "tile-compute", "superstep");
+//! drop(rec); // flushes the thread-local buffer into the tracer
+//!
+//! let spans = tracer.drain();
+//! assert_eq!(spans.len(), 1);
+//! let json = chrome_trace_json("example", 1, &spans);
+//! assert!(json.contains("\"ph\": \"X\""));
+//! ```
+
+pub mod chrome;
+pub mod counters;
+pub mod json;
+pub mod span;
+
+pub use chrome::chrome_trace_json;
+pub use counters::{global_counters, Counter, CounterRegistry};
+pub use json::JsonValue;
+pub use span::{SpanEvent, SpanRecorder, SpanStart, TraceConfig, Tracer};

@@ -1,0 +1,300 @@
+//! Per-thread span recording against one shared monotonic origin.
+//!
+//! A [`Tracer`] owns the run's time origin and the drained span set; each
+//! participating thread checks out a [`SpanRecorder`] that appends finished
+//! spans to its own private `Vec` — no locks, no cross-thread traffic on the
+//! recording path. The buffers merge into the tracer when a recorder is
+//! dropped (or [`SpanRecorder::flush`]ed), which is the only synchronized
+//! step and happens once per thread per run, not per span.
+
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// One finished span: a named interval on one logical thread's timeline.
+///
+/// Spans are *complete* intervals (Chrome's `"ph": "X"` events): nesting is
+/// implied by containment, so recording needs no begin/end pairing state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Phase name, e.g. `"tile-compute"` (see `docs/OBSERVABILITY.md`).
+    pub name: &'static str,
+    /// Category, e.g. `"superstep"`, `"load"`, `"pool"`.
+    pub cat: &'static str,
+    /// Logical thread lane the span belongs to (see the tid scheme in
+    /// `docs/OBSERVABILITY.md` — 0 is the driver, `1 + sid` a server worker).
+    pub tid: u32,
+    /// Microseconds since the tracer's origin.
+    pub start_us: u64,
+    /// Span duration in microseconds.
+    pub dur_us: u64,
+    /// Superstep index the span belongs to, if any.
+    pub superstep: Option<u32>,
+}
+
+#[derive(Debug)]
+struct TracerShared {
+    origin: Instant,
+    drained: Mutex<Vec<SpanEvent>>,
+}
+
+/// Handle on one run's span collection. Cheap to clone (an `Arc` bump when
+/// enabled, nothing when off); [`Tracer::off`] — also the `Default` — records
+/// nothing and allocates nothing.
+#[derive(Debug, Clone, Default)]
+pub struct Tracer {
+    shared: Option<Arc<TracerShared>>,
+}
+
+impl Tracer {
+    /// An enabled tracer; "now" becomes timestamp zero of the trace.
+    pub fn new() -> Self {
+        Tracer {
+            shared: Some(Arc::new(TracerShared {
+                origin: Instant::now(),
+                drained: Mutex::new(Vec::new()),
+            })),
+        }
+    }
+
+    /// The disabled tracer: every recorder it hands out is a no-op.
+    pub fn off() -> Self {
+        Tracer::default()
+    }
+
+    /// Whether spans are being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.shared.is_some()
+    }
+
+    /// Check out a recorder for the logical thread lane `tid`.
+    ///
+    /// When the tracer is off this performs no allocation — the recorder's
+    /// buffer is an empty `Vec` that is never pushed to.
+    pub fn thread(&self, tid: u32) -> SpanRecorder {
+        SpanRecorder {
+            shared: self.shared.clone(),
+            tid,
+            buf: Vec::new(),
+        }
+    }
+
+    /// Merge every flushed recorder's spans into one list, sorted for stable
+    /// rendering: by lane, then start time, then longest-first so that a
+    /// parent span always precedes the spans it contains.
+    pub fn drain(&self) -> Vec<SpanEvent> {
+        let Some(shared) = &self.shared else {
+            return Vec::new();
+        };
+        let mut spans = std::mem::take(&mut *shared.drained.lock().expect("tracer poisoned"));
+        spans.sort_by(|a, b| {
+            (a.tid, a.start_us, std::cmp::Reverse(a.dur_us), a.name).cmp(&(
+                b.tid,
+                b.start_us,
+                std::cmp::Reverse(b.dur_us),
+                b.name,
+            ))
+        });
+        spans
+    }
+}
+
+/// An opaque span start timestamp; obtained from [`SpanRecorder::begin`],
+/// consumed by [`SpanRecorder::end`].
+#[derive(Debug, Clone, Copy)]
+pub struct SpanStart(u64);
+
+/// One thread's private span buffer. Recording appends to a local `Vec`;
+/// dropping (or [`flush`](Self::flush)ing) hands the buffer to the tracer.
+#[derive(Debug)]
+pub struct SpanRecorder {
+    shared: Option<Arc<TracerShared>>,
+    tid: u32,
+    buf: Vec<SpanEvent>,
+}
+
+impl SpanRecorder {
+    /// Whether this recorder actually records.
+    pub fn is_enabled(&self) -> bool {
+        self.shared.is_some()
+    }
+
+    /// Read the clock (only when enabled) and return the span's start mark.
+    #[inline]
+    pub fn begin(&self) -> SpanStart {
+        match &self.shared {
+            Some(shared) => SpanStart(shared.origin.elapsed().as_micros() as u64),
+            None => SpanStart(0),
+        }
+    }
+
+    /// Finish a span started at `start`.
+    #[inline]
+    pub fn end(&mut self, start: SpanStart, name: &'static str, cat: &'static str) {
+        self.end_inner(start, name, cat, None);
+    }
+
+    /// Finish a span started at `start`, tagged with its superstep index.
+    #[inline]
+    pub fn end_superstep(
+        &mut self,
+        start: SpanStart,
+        name: &'static str,
+        cat: &'static str,
+        superstep: u32,
+    ) {
+        self.end_inner(start, name, cat, Some(superstep));
+    }
+
+    fn end_inner(
+        &mut self,
+        start: SpanStart,
+        name: &'static str,
+        cat: &'static str,
+        superstep: Option<u32>,
+    ) {
+        let Some(shared) = &self.shared else {
+            return;
+        };
+        let now = shared.origin.elapsed().as_micros() as u64;
+        self.buf.push(SpanEvent {
+            name,
+            cat,
+            tid: self.tid,
+            start_us: start.0,
+            dur_us: now.saturating_sub(start.0),
+            superstep,
+        });
+    }
+
+    /// Move the buffered spans into the tracer (also runs on drop).
+    pub fn flush(&mut self) {
+        let Some(shared) = &self.shared else {
+            return;
+        };
+        if self.buf.is_empty() {
+            return;
+        }
+        shared
+            .drained
+            .lock()
+            .expect("tracer poisoned")
+            .append(&mut self.buf);
+    }
+}
+
+impl Drop for SpanRecorder {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+/// The observability knob an executor takes: which tracer (if any) phase
+/// spans are recorded into.
+///
+/// `Default` is fully off. Keep a clone of the tracer to
+/// [`Tracer::drain`] the spans after the run:
+///
+/// ```
+/// use graphh_obs::{TraceConfig, Tracer};
+///
+/// let tracer = Tracer::new();
+/// let config = TraceConfig { tracer: tracer.clone() };
+/// assert!(config.tracer.is_enabled());
+/// // ... hand `config` to an executor, run, then `tracer.drain()` ...
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TraceConfig {
+    /// Destination for phase spans; [`Tracer::off`] disables tracing.
+    pub tracer: Tracer,
+}
+
+impl TraceConfig {
+    /// An enabled config with a fresh tracer.
+    pub fn enabled() -> Self {
+        TraceConfig {
+            tracer: Tracer::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let tracer = Tracer::off();
+        assert!(!tracer.is_enabled());
+        let mut rec = tracer.thread(7);
+        let s = rec.begin();
+        rec.end(s, "phase", "test");
+        rec.end_superstep(s, "phase", "test", 3);
+        drop(rec);
+        assert!(tracer.drain().is_empty());
+    }
+
+    #[test]
+    fn nested_spans_sort_parent_first() {
+        let tracer = Tracer::new();
+        let mut rec = tracer.thread(0);
+        let outer = rec.begin();
+        let inner = rec.begin();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        rec.end_superstep(inner, "inner", "test", 0);
+        rec.end_superstep(outer, "outer", "test", 0);
+        drop(rec);
+
+        let spans = tracer.drain();
+        assert_eq!(spans.len(), 2);
+        // Containment: the outer interval covers the inner one...
+        let (outer, inner) = (&spans[0], &spans[1]);
+        assert_eq!(outer.name, "outer");
+        assert_eq!(inner.name, "inner");
+        assert!(outer.start_us <= inner.start_us);
+        assert!(outer.start_us + outer.dur_us >= inner.start_us + inner.dur_us);
+        // ...and the sort puts the parent before the child it contains.
+        assert_eq!(outer.superstep, Some(0));
+    }
+
+    #[test]
+    fn cross_thread_spans_merge_on_one_timeline() {
+        let tracer = Tracer::new();
+        std::thread::scope(|scope| {
+            for tid in 1..=4u32 {
+                let tracer = &tracer;
+                scope.spawn(move || {
+                    let mut rec = tracer.thread(tid);
+                    for step in 0..3 {
+                        let s = rec.begin();
+                        rec.end_superstep(s, "work", "test", step);
+                    }
+                });
+            }
+        });
+        let spans = tracer.drain();
+        assert_eq!(spans.len(), 12);
+        // Sorted by lane first; every lane contributed its three spans.
+        for tid in 1..=4u32 {
+            assert_eq!(spans.iter().filter(|s| s.tid == tid).count(), 3);
+        }
+        assert!(spans.windows(2).all(|w| w[0].tid <= w[1].tid));
+        // All spans share the tracer's origin: timestamps are comparable.
+        assert!(spans.iter().all(|s| s.start_us < 10_000_000));
+    }
+
+    #[test]
+    fn drain_is_destructive_and_flush_is_incremental() {
+        let tracer = Tracer::new();
+        let mut rec = tracer.thread(0);
+        let s = rec.begin();
+        rec.end(s, "a", "test");
+        rec.flush();
+        assert_eq!(tracer.drain().len(), 1);
+        let s = rec.begin();
+        rec.end(s, "b", "test");
+        drop(rec);
+        let again = tracer.drain();
+        assert_eq!(again.len(), 1);
+        assert_eq!(again[0].name, "b");
+    }
+}

@@ -39,6 +39,7 @@
 //!   with no cross-thread traffic at all, so the sequential path has zero
 //!   overhead.
 
+use graphh_obs::Tracer;
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex, MutexGuard};
@@ -118,6 +119,13 @@ struct PoolState {
     active: usize,
     /// Set on drop; workers exit their loop.
     shutdown: bool,
+    /// Span destination for per-phase job spans ([`Tracer::off`] by default:
+    /// workers then run jobs with zero observability overhead).
+    tracer: Tracer,
+    /// First span lane for this pool's workers (worker `i` records on lane
+    /// `tid_base + i`); set together with the tracer so several pools can
+    /// occupy disjoint lanes in one trace.
+    tid_base: u32,
 }
 
 struct PoolShared {
@@ -173,6 +181,8 @@ impl WorkerPool {
                 job: None,
                 active: 0,
                 shutdown: false,
+                tracer: Tracer::off(),
+                tid_base: 0,
             }),
             work: Condvar::new(),
             done: Condvar::new(),
@@ -183,7 +193,7 @@ impl WorkerPool {
                 let shared = std::sync::Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("graphh-pool-{i}"))
-                    .spawn(move || Self::worker_loop(&shared))
+                    .spawn(move || Self::worker_loop(&shared, i as u32))
                     .expect("spawn pool worker")
             })
             .collect();
@@ -206,10 +216,19 @@ impl WorkerPool {
         self.threads
     }
 
-    fn worker_loop(shared: &PoolShared) {
+    /// Record one `pool-job` span per resident worker per phase into
+    /// `tracer`, on lanes `tid_base + 1 ..`. Pass [`Tracer::off`] to stop
+    /// recording; that is also the state every pool starts in.
+    pub fn set_tracer(&self, tracer: Tracer, tid_base: u32) {
+        let mut state = lock(&self.shared.state);
+        state.tracer = tracer;
+        state.tid_base = tid_base;
+    }
+
+    fn worker_loop(shared: &PoolShared, worker_index: u32) {
         let mut seen_epoch = 0u64;
         loop {
-            let job = {
+            let (job, tracer, tid_base) = {
                 let mut state = lock(&shared.state);
                 loop {
                     if state.shutdown {
@@ -217,12 +236,23 @@ impl WorkerPool {
                     }
                     if state.epoch != seen_epoch {
                         seen_epoch = state.epoch;
-                        break state.job.expect("job set whenever the epoch bumps");
+                        break (
+                            state.job.expect("job set whenever the epoch bumps"),
+                            state.tracer.clone(),
+                            state.tid_base,
+                        );
                     }
                     state = shared.work.wait(state).unwrap_or_else(|e| e.into_inner());
                 }
             };
-            job();
+            if tracer.is_enabled() {
+                let mut rec = tracer.thread(tid_base + worker_index);
+                let start = rec.begin();
+                job();
+                rec.end(start, "pool-job", "pool");
+            } else {
+                job();
+            }
             let mut state = lock(&shared.state);
             state.active -= 1;
             if state.active == 0 {
@@ -541,6 +571,26 @@ mod tests {
             let _ = pool.fork_join_ordered(8, |i| i);
             drop(pool); // must not hang or leak
         }
+    }
+
+    #[test]
+    fn pool_job_spans_land_on_worker_lanes() {
+        let pool = WorkerPool::new(3);
+        if pool.threads() < 2 {
+            return; // single-core host: no resident workers, no job spans
+        }
+        let tracer = Tracer::new();
+        pool.set_tracer(tracer.clone(), 100);
+        let _ = pool.fork_join_ordered(64, |i| i);
+        let _ = pool.fork_join_ordered(64, |i| i);
+        // Recorders flush at the end of each phase, before the join releases
+        // the caller, so the spans are visible as soon as fork-join returns.
+        let spans = tracer.drain();
+        assert!(!spans.is_empty(), "resident workers must record job spans");
+        assert!(spans
+            .iter()
+            .all(|s| s.name == "pool-job" && s.cat == "pool"));
+        assert!(spans.iter().all(|s| s.tid > 100 && s.tid < 100 + 3));
     }
 
     #[test]

@@ -73,4 +73,4 @@ pub use poll::{
 pub use reduce::{reduce_metrics, ReducedMetrics};
 pub use socket::{BoundSocketPlane, SocketPlane};
 pub use threaded::ThreadedExecutor;
-pub use worker::{run_worker, MetricsSlice, WorkerError, WorkerOutput};
+pub use worker::{run_worker, run_worker_traced, MetricsSlice, WorkerError, WorkerOutput};

@@ -73,6 +73,7 @@ use crate::frame::{
 use crate::plane::BroadcastPlane;
 use crate::socket::{bind_listener, establish_streams, DEFAULT_ESTABLISH_TIMEOUT};
 use graphh_graph::ids::ServerId;
+use graphh_obs::{global_counters, Counter};
 use std::collections::VecDeque;
 use std::io::{IoSlice, Read, Write};
 use std::net::{Ipv4Addr, Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -111,6 +112,38 @@ const MAX_WRITE_VECTORS: usize = 16;
 /// out of the plane's [`BufferPool`], enqueued once per peer, returned to the
 /// pool when the last peer finishes writing it.
 type SharedBatch = Arc<PooledBuf>;
+
+/// The event loop's observability counters (see `docs/OBSERVABILITY.md` for
+/// the catalog). Handles are fetched from the global registry once at
+/// establish time; the loop's updates are relaxed atomic adds — never an
+/// allocation, never read back by the loop itself.
+struct LoopCounters {
+    /// Coalesced `write_vectored` calls issued.
+    write_vectored_calls: Counter,
+    /// Frame bytes actually written to peer sockets.
+    bytes_written: Counter,
+    /// Intake rounds skipped because some peer's write queue was above
+    /// [`WRITE_HIGH_WATER`] (each one is a round of producer backpressure).
+    high_water_stalls: Counter,
+    /// Largest write-queue depth any peer reached, in bytes (gauge).
+    queued_bytes_peak: Counter,
+    /// Peers whose stream ended (clean or not) — the reconnect-relevant
+    /// signal a future fault-tolerance layer would watch.
+    peers_lost: Counter,
+}
+
+impl LoopCounters {
+    fn registered() -> Self {
+        let registry = global_counters();
+        LoopCounters {
+            write_vectored_calls: registry.counter("poll.write_vectored_calls"),
+            bytes_written: registry.counter("poll.bytes_written"),
+            high_water_stalls: registry.counter("poll.high_water_stalls"),
+            queued_bytes_peak: registry.counter("poll.queued_bytes_peak"),
+            peers_lost: registry.counter("poll.peers_lost"),
+        }
+    }
+}
 
 // ---------------------------------------------------------------------------
 // Readiness abstraction
@@ -413,6 +446,7 @@ impl BoundPollPlane {
 
         let (waker_tx, waker_rx) = waker_pair()?;
         poller.register(&waker_rx)?;
+        let registry = global_counters();
         let mut peers = Vec::with_capacity(streams.len());
         for (peer, stream) in streams {
             stream.set_nonblocking(true)?;
@@ -425,6 +459,10 @@ impl BoundPollPlane {
                 queued_bytes: 0,
                 read_open: true,
                 write_open: true,
+                // Per-peer traffic counters, named at establish time (the
+                // only place the name formatting — an allocation — happens).
+                frames_in: registry.counter(&format!("poll.s{id}.from{peer}.frames_in")),
+                bytes_in: registry.counter(&format!("poll.s{id}.from{peer}.bytes_in")),
             });
         }
 
@@ -440,6 +478,7 @@ impl BoundPollPlane {
                     commands: command_rx,
                     inbox: inbox_tx,
                     poller,
+                    counters: LoopCounters::registered(),
                 }
                 .run()
             })
@@ -458,6 +497,7 @@ impl BoundPollPlane {
             event_loop: Some(event_loop),
             pool,
             batch,
+            batch_flushes: registry.counter("poll.batch_flushes"),
         })
     }
 }
@@ -489,6 +529,8 @@ pub struct PollPlane {
     /// the plane: peers receive whole supersteps in one or two writes
     /// instead of one write per frame.
     batch: PooledBuf,
+    /// Batches handed to the event loop (`poll.batch_flushes`).
+    batch_flushes: Counter,
 }
 
 impl PollPlane {
@@ -520,6 +562,7 @@ impl PollPlane {
         self.commands
             .send(Command::Send(Arc::new(full)))
             .map_err(|_| PlaneError::Disconnected)?;
+        self.batch_flushes.incr();
         self.wake();
         Ok(())
     }
@@ -722,12 +765,17 @@ struct Peer {
     /// False once a write failed; the queue is discarded (reads attribute
     /// the actual loss).
     write_open: bool,
+    /// Complete frames decoded off this peer's stream.
+    frames_in: Counter,
+    /// Raw stream bytes read from this peer.
+    bytes_in: Counter,
 }
 
 impl Peer {
-    fn enqueue(&mut self, bytes: &SharedBatch) {
+    fn enqueue(&mut self, bytes: &SharedBatch, queued_peak: &Counter) {
         if self.write_open {
             self.queued_bytes += bytes.len();
+            queued_peak.record_max(self.queued_bytes as u64);
             self.outbound.push_back((Arc::clone(bytes), 0));
         }
     }
@@ -741,6 +789,7 @@ struct EventLoop {
     commands: Receiver<Command>,
     inbox: Sender<InboxEvent>,
     poller: Box<dyn ReadinessPoller>,
+    counters: LoopCounters,
 }
 
 impl EventLoop {
@@ -754,11 +803,16 @@ impl EventLoop {
             // 1. Commands — but only while below the high-water mark: a slow
             // peer's growing queue stops the intake, the bounded channel
             // fills, and the producer blocks in `broadcast`.
-            while self.peers.iter().all(|p| p.queued_bytes < WRITE_HIGH_WATER) {
+            loop {
+                if !self.peers.iter().all(|p| p.queued_bytes < WRITE_HIGH_WATER) {
+                    // Intake gated: backpressure is reaching the producer.
+                    self.counters.high_water_stalls.incr();
+                    break;
+                }
                 match self.commands.try_recv() {
                     Ok(Command::Send(bytes)) => {
                         for peer in &mut self.peers {
-                            peer.enqueue(&bytes);
+                            peer.enqueue(&bytes, &self.counters.queued_bytes_peak);
                         }
                         progressed = true;
                     }
@@ -810,6 +864,7 @@ impl EventLoop {
                 for peer in &mut self.peers {
                     if peer.read_open {
                         peer.read_open = false;
+                        self.counters.peers_lost.incr();
                         let _ = self
                             .inbox
                             .send(InboxEvent::PeerLost(peer.id, PlaneError::Disconnected));
@@ -832,10 +887,10 @@ impl EventLoop {
             }
             for (peer, state) in self.peers.iter_mut().zip(&ready[1..]) {
                 if state.readable && peer.read_open {
-                    progressed |= pump_reads(peer, &mut read_buf, &self.inbox);
+                    progressed |= pump_reads(peer, &mut read_buf, &self.inbox, &self.counters);
                 }
                 if state.writable && peer.write_open && !peer.outbound.is_empty() {
-                    progressed |= pump_writes(peer);
+                    progressed |= pump_writes(peer, &self.counters);
                 }
             }
         }
@@ -847,7 +902,12 @@ impl EventLoop {
 /// corruption, I/O error — reports a terminal [`InboxEvent::PeerLost`] with
 /// the same attribution the blocking `SocketPlane` reader threads use.
 /// Returns whether any bytes were consumed.
-fn pump_reads(peer: &mut Peer, buf: &mut [u8], inbox: &Sender<InboxEvent>) -> bool {
+fn pump_reads(
+    peer: &mut Peer,
+    buf: &mut [u8],
+    inbox: &Sender<InboxEvent>,
+    counters: &LoopCounters,
+) -> bool {
     let mut progressed = false;
     loop {
         match (&peer.stream).read(buf) {
@@ -860,11 +920,12 @@ fn pump_reads(peer: &mut Peer, buf: &mut [u8], inbox: &Sender<InboxEvent>) -> bo
                         peer.id
                     ))
                 };
-                report_loss(peer, inbox, error);
+                report_loss(peer, inbox, error, counters);
                 return true;
             }
             Ok(n) => {
                 progressed = true;
+                peer.bytes_in.add(n as u64);
                 peer.decoder.push(&buf[..n]);
                 loop {
                     match peer.decoder.next_frame() {
@@ -879,9 +940,11 @@ fn pump_reads(peer: &mut Peer, buf: &mut [u8], inbox: &Sender<InboxEvent>) -> bo
                                          sender {sender}",
                                         peer.id
                                     )),
+                                    counters,
                                 );
                                 return true;
                             }
+                            peer.frames_in.incr();
                             if inbox.send(InboxEvent::Frame(frame)).is_err() {
                                 // Plane dropped; stop decoding, the loop will
                                 // be shut down by the command channel.
@@ -898,6 +961,7 @@ fn pump_reads(peer: &mut Peer, buf: &mut [u8], inbox: &Sender<InboxEvent>) -> bo
                                     "corrupt frame from server {}: {m}",
                                     peer.id
                                 )),
+                                counters,
                             );
                             return true;
                         }
@@ -907,15 +971,21 @@ fn pump_reads(peer: &mut Peer, buf: &mut [u8], inbox: &Sender<InboxEvent>) -> bo
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return progressed,
             Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
             Err(_) => {
-                report_loss(peer, inbox, PlaneError::Disconnected);
+                report_loss(peer, inbox, PlaneError::Disconnected, counters);
                 return true;
             }
         }
     }
 }
 
-fn report_loss(peer: &mut Peer, inbox: &Sender<InboxEvent>, error: PlaneError) {
+fn report_loss(
+    peer: &mut Peer,
+    inbox: &Sender<InboxEvent>,
+    error: PlaneError,
+    counters: &LoopCounters,
+) {
     peer.read_open = false;
+    counters.peers_lost.incr();
     let _ = inbox.send(InboxEvent::PeerLost(peer.id, error));
 }
 
@@ -925,7 +995,7 @@ fn report_loss(peer: &mut Peer, inbox: &Sender<InboxEvent>, error: PlaneError) {
 /// however the batches were produced. A write failure discards the queue and
 /// closes the write half — the peer's own read path is what attributes the
 /// loss. Returns whether any bytes moved.
-fn pump_writes(peer: &mut Peer) -> bool {
+fn pump_writes(peer: &mut Peer, counters: &LoopCounters) -> bool {
     let mut progressed = false;
     loop {
         let mut iov = [IoSlice::new(&[]); MAX_WRITE_VECTORS];
@@ -937,6 +1007,7 @@ fn pump_writes(peer: &mut Peer) -> bool {
         if vectors == 0 {
             return progressed;
         }
+        counters.write_vectored_calls.incr();
         let wrote = match (&peer.stream).write_vectored(&iov[..vectors]) {
             Ok(0) => {
                 // A zero-length write on non-empty slices: treat as a dead
@@ -957,6 +1028,7 @@ fn pump_writes(peer: &mut Peer) -> bool {
             }
         };
         progressed = true;
+        counters.bytes_written.add(wrote as u64);
         peer.queued_bytes -= wrote;
         // Advance the queue past the written bytes (a short write can end
         // mid-batch; the remainder goes out next readiness round).

@@ -24,6 +24,7 @@
 use crate::frame::{Frame, FrameError, InboxEvent, PlaneError, SuperstepCollector, WireMessage};
 use crate::plane::BroadcastPlane;
 use graphh_graph::ids::ServerId;
+use graphh_obs::{global_counters, Counter};
 use std::io::{BufReader, BufWriter, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::mpsc::{channel, Receiver, Sender};
@@ -76,7 +77,9 @@ impl BoundSocketPlane {
         let streams = establish_streams(id, num_servers, listener, peer_addrs, timeout)?;
 
         // One reader thread per peer feeds the shared inbox; the write halves
-        // stay with the plane.
+        // stay with the plane. Per-peer counters register here — once, at
+        // establish time — so the reader loops only touch atomics.
+        let registry = global_counters();
         let (tx, inbox) = channel::<InboxEvent>();
         let peer_ids: Vec<ServerId> = streams.iter().map(|&(peer, _)| peer).collect();
         let mut writers = Vec::with_capacity(streams.len());
@@ -84,10 +87,12 @@ impl BoundSocketPlane {
         for (peer, stream) in streams {
             let read_half = stream.try_clone()?;
             let tx = tx.clone();
+            let frames_in = registry.counter(&format!("socket.s{id}.from{peer}.frames_in"));
+            let bytes_in = registry.counter(&format!("socket.s{id}.from{peer}.bytes_in"));
             readers.push(
                 std::thread::Builder::new()
                     .name(format!("graphh-sock-rx-{id}-from-{peer}"))
-                    .spawn(move || reader_loop(read_half, peer, &tx))
+                    .spawn(move || reader_loop(read_half, peer, &tx, frames_in, bytes_in))
                     .map_err(|e| std::io::Error::other(format!("spawn reader thread: {e}")))?,
             );
             writers.push((peer, BufWriter::new(stream)));
@@ -101,6 +106,7 @@ impl BoundSocketPlane {
             collector: SuperstepCollector::new(),
             readers,
             scratch: Vec::new(),
+            bytes_written: registry.counter("socket.bytes_written"),
         })
     }
 }
@@ -121,6 +127,8 @@ pub struct SocketPlane {
     readers: Vec<JoinHandle<()>>,
     /// Reused frame-encoding buffer.
     scratch: Vec<u8>,
+    /// Total wire bytes handed to the write halves (all peers combined).
+    bytes_written: Counter,
 }
 
 impl SocketPlane {
@@ -148,6 +156,7 @@ impl SocketPlane {
             writer
                 .write_all(&self.scratch)
                 .map_err(|_| PlaneError::Disconnected)?;
+            self.bytes_written.add(self.scratch.len() as u64);
         }
         Ok(())
     }
@@ -173,6 +182,7 @@ impl BroadcastPlane for SocketPlane {
             writer
                 .write_all(&self.scratch)
                 .map_err(|_| PlaneError::Disconnected)?;
+            self.bytes_written.add(self.scratch.len() as u64);
         }
         Ok(())
     }
@@ -351,11 +361,23 @@ pub(crate) fn bind_listener<A: ToSocketAddrs>(
 /// ever sent is already in the inbox ahead of the loss event, so the
 /// collector can tell a peer that finished the run and closed (benign) from
 /// one that died mid-superstep (fatal).
-fn reader_loop(stream: TcpStream, peer: ServerId, tx: &Sender<InboxEvent>) {
-    let mut reader = BufReader::new(stream);
+fn reader_loop(
+    stream: TcpStream,
+    peer: ServerId,
+    tx: &Sender<InboxEvent>,
+    frames_in: Counter,
+    bytes_in: Counter,
+) {
+    // Counting below the BufReader charges bytes as they come off the socket
+    // (readahead included) — that is the "bytes over the wire" number we want.
+    let mut reader = BufReader::new(CountingRead {
+        inner: stream,
+        bytes: bytes_in,
+    });
     loop {
         match Frame::read_from(&mut reader) {
             Ok(Some(frame)) => {
+                frames_in.incr();
                 if frame.sender() != peer {
                     let _ = tx.send(InboxEvent::PeerLost(
                         peer,
@@ -386,6 +408,20 @@ fn reader_loop(stream: TcpStream, peer: ServerId, tx: &Sender<InboxEvent>) {
                 return;
             }
         }
+    }
+}
+
+/// A `Read` adapter that charges every byte read to a [`Counter`].
+struct CountingRead<R> {
+    inner: R,
+    bytes: Counter,
+}
+
+impl<R: Read> Read for CountingRead<R> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.bytes.add(n as u64);
+        Ok(n)
     }
 }
 

@@ -1,7 +1,7 @@
 //! The threaded executor: one OS thread per simulated server.
 //!
 //! Spawns a scoped thread per server, wires them into a [`ChannelPlane`] and a
-//! [`SuperstepBarrier`], runs [`run_worker`] on each, and reduces the streamed
+//! [`SuperstepBarrier`], runs [`run_worker_traced`] on each, and reduces the streamed
 //! metrics deterministically. Differential tests (below and in
 //! `tests/determinism.rs`) pin its output to the sequential reference
 //! bit-for-bit.
@@ -9,10 +9,11 @@
 use crate::barrier::SuperstepBarrier;
 use crate::plane::{BroadcastPlane, ChannelPlane};
 use crate::reduce::reduce_metrics;
-use crate::worker::{run_worker, MetricsSlice, WorkerError, WorkerOutput};
+use crate::worker::{run_worker_traced, MetricsSlice, WorkerError, WorkerOutput};
 use graphh_core::exec::{ExecutionPlan, Executor};
 use graphh_core::gab::GabProgram;
 use graphh_core::{EngineError, GraphHConfig, RunResult};
+use graphh_obs::TraceConfig;
 use graphh_partition::PartitionedGraph;
 use std::sync::mpsc::channel;
 use std::thread;
@@ -25,13 +26,23 @@ use std::time::Instant;
 /// Observationally equivalent to
 /// [`graphh_core::SequentialExecutor`]: `values` are bit-identical; wall-clock
 /// time scales with available cores instead of cluster size.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct ThreadedExecutor;
+#[derive(Debug, Clone, Default)]
+pub struct ThreadedExecutor {
+    trace: TraceConfig,
+}
 
 impl ThreadedExecutor {
-    /// A threaded executor.
+    /// A threaded executor with tracing off.
     pub fn new() -> Self {
-        Self
+        Self::default()
+    }
+
+    /// A threaded executor recording phase spans into `trace`.
+    ///
+    /// Server `sid`'s worker thread records on lane `1 + sid`; its pool jobs
+    /// on lanes `100 * (1 + sid) + worker_index` (see `docs/OBSERVABILITY.md`).
+    pub fn with_trace(trace: TraceConfig) -> Self {
+        Self { trace }
     }
 }
 
@@ -47,7 +58,11 @@ impl Executor for ThreadedExecutor {
         program: &dyn GabProgram,
     ) -> Result<RunResult, EngineError> {
         let started = Instant::now();
+        let tracer = &self.trace.tracer;
+        let mut driver_rec = tracer.thread(0);
+        let prepare = driver_rec.begin();
         let plan = ExecutionPlan::prepare(config, partitioned, program)?;
+        driver_rec.end(prepare, "plan-prepare", "load");
         let num_servers = config.cluster.num_servers;
         let planes = ChannelPlane::connect(num_servers);
         let barrier = SuperstepBarrier::new(num_servers);
@@ -61,9 +76,10 @@ impl Executor for ThreadedExecutor {
                         let metrics_tx = metrics_tx.clone();
                         let plan = &plan;
                         let barrier = &barrier;
+                        let tracer = tracer.clone();
                         scope.spawn(move || {
                             let sid = plane.server_id();
-                            run_worker(
+                            run_worker_traced(
                                 config,
                                 plan,
                                 partitioned,
@@ -72,6 +88,7 @@ impl Executor for ThreadedExecutor {
                                 &mut plane,
                                 barrier,
                                 &metrics_tx,
+                                &tracer,
                             )
                         })
                     })

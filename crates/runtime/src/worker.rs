@@ -26,6 +26,7 @@ use graphh_core::exec::{merge_updates_in_place, ExecutionPlan, ServerState};
 use graphh_core::gab::GabProgram;
 use graphh_core::{EngineError, GraphHConfig};
 use graphh_graph::ids::{ServerId, VertexId};
+use graphh_obs::Tracer;
 use graphh_partition::PartitionedGraph;
 use std::sync::mpsc::Sender;
 
@@ -141,8 +142,43 @@ pub fn run_worker(
     barrier: &SuperstepBarrier,
     metrics_tx: &Sender<MetricsSlice>,
 ) -> Result<WorkerOutput, WorkerError> {
+    run_worker_traced(
+        config,
+        plan,
+        partitioned,
+        program,
+        sid,
+        plane,
+        barrier,
+        metrics_tx,
+        &Tracer::off(),
+    )
+}
+
+/// [`run_worker`] recording phase spans into `tracer`.
+///
+/// The worker records on lane `1 + sid`; its server's pool jobs land on lanes
+/// `100 * (1 + sid) + worker_index` (see `docs/OBSERVABILITY.md`). With the
+/// tracer off ([`Tracer::off`]) every span call is a no-op that reads no clock
+/// and allocates nothing — the contract `tests/alloc_count.rs` pins.
+#[allow(clippy::too_many_arguments)]
+pub fn run_worker_traced(
+    config: &GraphHConfig,
+    plan: &ExecutionPlan,
+    partitioned: &PartitionedGraph,
+    program: &dyn GabProgram,
+    sid: ServerId,
+    plane: &mut dyn BroadcastPlane,
+    barrier: &SuperstepBarrier,
+    metrics_tx: &Sender<MetricsSlice>,
+    tracer: &Tracer,
+) -> Result<WorkerOutput, WorkerError> {
     let num_servers = config.cluster.num_servers;
+    let mut rec = tracer.thread(1 + sid);
+    let load = rec.begin();
     let mut server = ServerState::build(config, plan, partitioned, sid);
+    server.set_tracer(tracer.clone(), 100 * (1 + sid));
+    rec.end(load, "server-build", "load");
     // Cleared and refilled in place every superstep — the broadcast hot path
     // of a steady-state superstep allocates nothing on the uncompressed
     // codec path.
@@ -150,8 +186,10 @@ pub fn run_worker(
     let mut bufs = SuperstepBuffers::checkout(&pool, plan.initial_frontier());
     let mut supersteps_run = 0u32;
 
+    let rec = &mut rec;
     let body = std::panic::AssertUnwindSafe(|| -> Result<u32, WorkerError> {
         for superstep in 0..plan.max_supersteps {
+            let compute = rec.begin();
             let phase = server
                 .run_tile_phase(
                     program,
@@ -164,10 +202,12 @@ pub fn run_worker(
                     error,
                     secondary: false,
                 })?;
+            rec.end_superstep(compute, "tile-compute", "superstep", superstep);
             let mut metrics = phase.metrics;
 
             // Publish this superstep's messages through the real wire path.
             bufs.begin_superstep();
+            let publish = rec.begin();
             for message in &phase.messages {
                 plan.message_codec.encode_into(
                     message,
@@ -186,10 +226,14 @@ pub fn run_worker(
                 // executor charges no decompression to the sender either).
                 bufs.all_updates.extend(message.updates.iter().copied());
             }
+            rec.end_superstep(publish, "encode-publish", "superstep", superstep);
+            let flush = rec.begin();
             plane.end_superstep(superstep).map_err(plane_error)?;
+            rec.end_superstep(flush, "plane-flush", "superstep", superstep);
 
             // Exchange: decode everything the peers published, streaming the
             // updates straight into the shared buffer (no per-message vector).
+            let exchange = rec.begin();
             for wire in plane.collect(superstep).map_err(plane_error)? {
                 metrics.network_received_bytes += wire.len() as u64;
                 let all_updates = &mut bufs.all_updates;
@@ -217,11 +261,14 @@ pub fn run_worker(
                     });
                 }
             }
+            rec.end_superstep(exchange, "collect-decode", "superstep", superstep);
 
             // Deterministic apply: sorted by vertex id, so the replica is
             // independent of message arrival order.
+            let apply = rec.begin();
             merge_updates_in_place(&mut bufs.all_updates);
             server.apply_updates(&bufs.all_updates);
+            rec.end_superstep(apply, "apply", "superstep", superstep);
             metrics.vertices_updated = bufs.all_updates.len() as u64;
             metrics.peak_memory_bytes = server.peak_memory();
             let _ = metrics_tx.send(MetricsSlice {
@@ -236,10 +283,12 @@ pub fn run_worker(
 
             // BSP barrier; every worker sees the same update set, so all make
             // the same continue/stop decision and stay in lockstep.
+            let wait = rec.begin();
             barrier.wait().map_err(|e| WorkerError {
                 error: EngineError::BadInput(format!("superstep barrier: {e}")),
                 secondary: true,
             })?;
+            rec.end_superstep(wait, "barrier-wait", "superstep", superstep);
             if bufs.previously_updated.is_empty() {
                 break;
             }
@@ -255,13 +304,16 @@ pub fn run_worker(
     let result = std::panic::catch_unwind(body);
 
     match result {
-        Ok(Ok(supersteps_run)) => Ok(WorkerOutput {
-            server: sid,
-            values: std::mem::take(&mut server.values),
-            cache_codec: server.cache_codec(),
-            peak_memory: server.peak_memory(),
-            supersteps_run,
-        }),
+        Ok(Ok(supersteps_run)) => {
+            server.publish_observability();
+            Ok(WorkerOutput {
+                server: sid,
+                values: std::mem::take(&mut server.values),
+                cache_codec: server.cache_codec(),
+                peak_memory: server.peak_memory(),
+                supersteps_run,
+            })
+        }
         Ok(Err(e)) => {
             plane.abort();
             barrier.poison();

@@ -15,6 +15,7 @@
 
 use graphh_cluster::{BroadcastMessage, CommunicationMode, MessageCodec, ServerMetrics};
 use graphh_core::exec::merge_updates_in_place;
+use graphh_obs::{SpanRecorder, Tracer};
 use graphh_runtime::frame::encode_message_into;
 use graphh_runtime::{BufferPool, Frame};
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -65,6 +66,11 @@ static COUNTING: CountingAllocator = CountingAllocator;
 /// encode + frame every message, stream-decode every message back into the
 /// shared update buffer, merge. Returns the number of updates merged (so the
 /// work cannot be optimized away).
+///
+/// Phase spans are recorded into `rec` exactly where the real worker loop
+/// records them — with a disabled recorder every call must be a free no-op,
+/// which is the observability layer's zero-cost-when-off contract and part of
+/// what the allocation counter below pins.
 #[allow(clippy::too_many_arguments)]
 fn superstep(
     codec: &MessageCodec,
@@ -76,10 +82,12 @@ fn superstep(
     frame_buf: &mut Vec<u8>,
     dec_scratch: &mut Vec<u8>,
     all_updates: &mut Vec<(u32, f64)>,
+    rec: &mut SpanRecorder,
 ) -> usize {
     let mut metrics = ServerMetrics::default();
     all_updates.clear();
     frame_buf.clear();
+    let publish = rec.begin();
     for message in messages {
         // Sender side: encode (encoding choice + codec) and frame for TCP.
         codec.encode_into(message, &mut metrics, enc_scratch, wire);
@@ -91,12 +99,17 @@ fn superstep(
             })
             .expect("own wire bytes decode");
     }
+    rec.end_superstep(publish, "encode-publish", "superstep", superstep);
+    let flush = rec.begin();
     Frame::EndOfSuperstep {
         sender: sid,
         superstep,
     }
     .encode(frame_buf);
+    rec.end_superstep(flush, "plane-flush", "superstep", superstep);
+    let apply = rec.begin();
     merge_updates_in_place(all_updates);
+    rec.end_superstep(apply, "apply", "superstep", superstep);
     all_updates.len()
 }
 
@@ -128,6 +141,10 @@ fn steady_state_codec_and_frame_path_allocates_nothing_uncompressed() {
     let mut frame_buf = pool.checkout();
     let mut dec_scratch = pool.checkout();
     let mut all_updates: Vec<(u32, f64)> = Vec::new();
+    // Tracing disabled — as in every untraced run — must add zero allocations
+    // (and zero clock reads) to the measured loop.
+    let tracer = Tracer::off();
+    let mut rec = tracer.thread(1);
 
     // Warm-up superstep: buffers grow to their steady-state capacities.
     let expected = superstep(
@@ -140,6 +157,7 @@ fn steady_state_codec_and_frame_path_allocates_nothing_uncompressed() {
         &mut frame_buf,
         &mut dec_scratch,
         &mut all_updates,
+        &mut rec,
     );
     assert_eq!(expected, 1843 + 4);
 
@@ -155,6 +173,7 @@ fn steady_state_codec_and_frame_path_allocates_nothing_uncompressed() {
             &mut frame_buf,
             &mut dec_scratch,
             &mut all_updates,
+            &mut rec,
         );
         assert_eq!(merged, expected);
     }
@@ -162,8 +181,8 @@ fn steady_state_codec_and_frame_path_allocates_nothing_uncompressed() {
     assert_eq!(
         after - before,
         0,
-        "steady-state codec/frame path must not allocate (uncompressed): \
-         {} allocations over 63 supersteps",
+        "steady-state codec/frame path must not allocate (uncompressed, \
+         tracing off): {} allocations over 63 supersteps",
         after - before
     );
 }
