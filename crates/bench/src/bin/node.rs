@@ -18,7 +18,11 @@
 //! cmp v0.bin v1.bin   # byte-identical replicas
 //! ```
 //!
-//! Workload flags (must match on every node): `--program pagerank|sssp|wcc`,
+//! Workload flags (must match on every node): `--program NAME` (any program
+//! in the [`graphh_core::registry`] — run `--list-programs` to see them),
+//! `--program-arg key=value` (repeatable, per-program options such as
+//! `source=7` or `alpha=14`), `--direction auto|pull|push` (push/pull engine
+//! policy — never changes results or wire bytes, see docs/ALGORITHMS.md),
 //! `--scale`, `--edge-factor`, `--seed`, `--tiles`, `--supersteps`,
 //! `--threads-per-server`. Runtime flags: `--id`, `--servers`, `--listen`,
 //! `--peers` (comma-separated, indexed by server id), `--plane socket|poll`
@@ -34,7 +38,8 @@
 use graphh_bench::multiprocess::{encode_values, NodeWorkload};
 use graphh_cluster::ClusterConfig;
 use graphh_core::exec::ExecutionPlan;
-use graphh_core::GraphHConfig;
+use graphh_core::registry::PROGRAMS;
+use graphh_core::{DirectionMode, GraphHConfig};
 use graphh_obs::{chrome_trace_json, global_counters, Tracer};
 use graphh_pool::WorkerPool;
 use graphh_runtime::{
@@ -50,6 +55,7 @@ struct Args {
     listen: String,
     peers: Vec<SocketAddr>,
     plane: TcpPlaneKind,
+    direction: DirectionMode,
     workload: NodeWorkload,
     threads_per_server: Option<u32>,
     out: Option<String>,
@@ -61,11 +67,19 @@ struct Args {
 fn usage() -> ! {
     eprintln!(
         "usage: graphh-node --id I --servers P --listen ADDR --peers A0,A1,... \
-         [--plane socket|poll] [--program pagerank|sssp|wcc] [--scale S] \
+         [--plane socket|poll] [--program NAME] [--program-arg K=V]... \
+         [--direction auto|pull|push] [--scale S] \
          [--edge-factor F] [--seed N] [--tiles T] [--supersteps N] \
          [--threads-per-server T] [--out FILE] [--trace-out FILE] \
-         [--metrics-out FILE] [--establish-timeout-secs N]"
+         [--metrics-out FILE] [--establish-timeout-secs N] [--list-programs]"
     );
+    eprintln!("programs:");
+    for spec in PROGRAMS {
+        eprintln!("  {:18} {}", spec.name, spec.summary);
+        for (key, doc) in spec.options {
+            eprintln!("      {key}= {doc}");
+        }
+    }
     std::process::exit(2);
 }
 
@@ -76,6 +90,7 @@ fn parse_args() -> Result<Args, String> {
     let mut peers: Vec<SocketAddr> = Vec::new();
     let mut workload = NodeWorkload {
         program: "pagerank".into(),
+        program_args: Vec::new(),
         scale: 8,
         edge_factor: 6,
         seed: 2017,
@@ -83,6 +98,7 @@ fn parse_args() -> Result<Args, String> {
         supersteps: 10,
     };
     let mut plane = TcpPlaneKind::Socket;
+    let mut direction = DirectionMode::Auto;
     let mut threads_per_server = None;
     let mut out = None;
     let mut trace_out = None;
@@ -91,7 +107,7 @@ fn parse_args() -> Result<Args, String> {
 
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
-        if flag == "--help" || flag == "-h" {
+        if flag == "--help" || flag == "-h" || flag == "--list-programs" {
             usage();
         }
         let value = args
@@ -109,7 +125,9 @@ fn parse_args() -> Result<Args, String> {
                     .collect::<Result<_, _>>()?;
             }
             "--plane" => plane = value.parse()?,
+            "--direction" => direction = value.parse()?,
             "--program" => workload.program = value,
+            "--program-arg" => workload.program_args.push(value),
             "--scale" => workload.scale = value.parse().map_err(|e| bad(&e))?,
             "--edge-factor" => workload.edge_factor = value.parse().map_err(|e| bad(&e))?,
             "--seed" => workload.seed = value.parse().map_err(|e| bad(&e))?,
@@ -139,6 +157,7 @@ fn parse_args() -> Result<Args, String> {
         listen,
         peers,
         plane,
+        direction,
         workload,
         threads_per_server,
         out,
@@ -163,7 +182,8 @@ fn run(args: Args) -> Result<(), String> {
         args.plane,
     );
 
-    let mut config = GraphHConfig::paper_default(ClusterConfig::paper_testbed(args.servers));
+    let mut config = GraphHConfig::paper_default(ClusterConfig::paper_testbed(args.servers))
+        .with_direction_mode(args.direction);
     if let Some(threads) = args.threads_per_server {
         config = config.with_threads_per_server(threads);
     }
@@ -288,6 +308,7 @@ fn node_metrics_json(
             "  \"server\": {},\n",
             "  \"servers\": {},\n",
             "  \"plane\": \"{:?}\",\n",
+            "  \"direction\": \"{}\",\n",
             "  \"program\": \"{}\",\n",
             "  \"supersteps_run\": {},\n",
             "  \"vertices\": {},\n",
@@ -300,6 +321,7 @@ fn node_metrics_json(
         sid,
         args.servers,
         args.plane,
+        args.direction.as_str(),
         graphh_obs::json::escape(program),
         supersteps_run,
         vertices,

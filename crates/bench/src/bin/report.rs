@@ -42,14 +42,15 @@ fn available() -> Vec<Experiment> {
 /// same numbers to `BENCH_runtime.json`.
 fn runtime_and_record_json() -> String {
     let rows = runtime_rows();
+    let sweep = kernel_sweep();
     let pool = pool_spawn_microbench();
     let plane = plane_loopback_microbench();
     let codec = codec_microbench();
     let phases = phase_breakdown();
-    let mut out = runtime_report(&rows, &pool, &plane, &codec, &phases);
+    let mut out = runtime_report(&rows, &sweep, &pool, &plane, &codec, &phases);
     match std::fs::write(
         "BENCH_runtime.json",
-        runtime_json(&rows, &pool, &plane, &codec, &phases),
+        runtime_json(&rows, &sweep, &pool, &plane, &codec, &phases),
     ) {
         Ok(()) => out.push_str("(wrote BENCH_runtime.json)\n"),
         Err(e) => out.push_str(&format!("could not write BENCH_runtime.json: {e}\n")),

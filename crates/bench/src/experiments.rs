@@ -648,6 +648,7 @@ pub fn ablations() -> String {
 pub fn runtime_executors() -> String {
     runtime_report(
         &runtime_rows(),
+        &kernel_sweep(),
         &pool_spawn_microbench(),
         &plane_loopback_microbench(),
         &codec_microbench(),
@@ -668,6 +669,7 @@ pub fn host_cores() -> usize {
 /// Render the executor-comparison table from measured rows.
 pub fn runtime_report(
     rows: &[RuntimeRow],
+    sweep: &[KernelSweepRow],
     pool: &PoolBench,
     plane: &PlaneBench,
     codec: &CodecBench,
@@ -700,6 +702,24 @@ pub fn runtime_report(
          barrier overhead make it <=1x; the threaded executor runs p server \
          threads x T tile threads)\n",
     );
+    out.push_str(
+        "# Kernel sweep: every registry program x direction mode (3 servers; \
+         identical = bit-equal to the pull-forced sequential reference)\n\
+         program\tmode\tsequential_wall_s\tthreaded_wall_s\tsupersteps\tidentical\n",
+    );
+    for row in sweep {
+        writeln!(
+            out,
+            "{}\t{}\t{:.6}\t{:.6}\t{}\t{}",
+            row.program,
+            row.mode,
+            row.sequential_wall_seconds,
+            row.threaded_wall_seconds,
+            row.supersteps_run,
+            row.identical
+        )
+        .unwrap();
+    }
     writeln!(
         out,
         "pool microbench ({} phases x {} items, {} threads): \
@@ -1138,6 +1158,124 @@ pub fn runtime_rows() -> Vec<RuntimeRow> {
     rows
 }
 
+/// One measured (registry program × direction mode) configuration of the
+/// kernel sweep — the per-kernel axis of `BENCH_runtime.json`.
+///
+/// `identical` is the gate CI's perf smoke enforces: this row's sequential
+/// *and* threaded runs must both be bit-identical to the pull-forced
+/// sequential reference of the same program, so the direction machinery
+/// (push path, auto switching) can never silently change results.
+pub struct KernelSweepRow {
+    /// Registry name of the program (`pagerank`, `bfs-dopt`, ...).
+    pub program: &'static str,
+    /// Direction mode of this row: `"pull"` (forced) or `"auto"`.
+    pub mode: &'static str,
+    /// Best wall-clock seconds, sequential reference executor.
+    pub sequential_wall_seconds: f64,
+    /// Best wall-clock seconds, threaded runtime.
+    pub threaded_wall_seconds: f64,
+    /// Supersteps the sequential run executed (convergence point).
+    pub supersteps_run: u32,
+    /// Both executors bit-identical to the pull-forced sequential reference.
+    pub identical: bool,
+}
+
+/// Measure the kernel sweep: every registry program × {pull-forced, auto}
+/// direction mode, sequential and threaded wall-clock on a 3-server cluster,
+/// each run bit-compared against the program's pull-forced sequential
+/// reference. Pull-only programs resolve `auto` to pull, so their two rows
+/// double as a same-input stability check.
+pub fn kernel_sweep() -> Vec<KernelSweepRow> {
+    use graphh_core::registry::{ProgramContext, ProgramOptions, PROGRAMS};
+    use graphh_core::{DirectionMode, SequentialExecutor};
+    use graphh_graph::generators::{GraphGenerator, RmatGenerator};
+    use graphh_graph::GraphBuilder;
+    use graphh_runtime::ThreadedExecutor;
+    use std::sync::Arc;
+
+    const SERVERS: u32 = 3;
+    let dir = RmatGenerator::new(9, 8).generate(EXPERIMENT_SEED);
+    let pdir = graphh_partition::Spe::partition(
+        &dir,
+        &graphh_partition::SpeConfig::with_tile_count("sweep", &dir, 12),
+    )
+    .expect("partition");
+    let base = RmatGenerator::new(8, 6)
+        .simplified()
+        .generate(EXPERIMENT_SEED);
+    let mut b = GraphBuilder::new()
+        .with_num_vertices(base.num_vertices())
+        .symmetric(true);
+    for e in base.edges().iter() {
+        b.add_edge(e);
+    }
+    let sym = b.build().expect("symmetric sweep graph");
+    let psym = graphh_partition::Spe::partition(
+        &sym,
+        &graphh_partition::SpeConfig::with_tile_count("sweep-sym", &sym, 12),
+    )
+    .expect("partition");
+
+    let mut rows = Vec::new();
+    for spec in PROGRAMS {
+        let (graph, part) = if spec.symmetrize_input {
+            (&sym, &psym)
+        } else {
+            (&dir, &pdir)
+        };
+        let mut opts = ProgramOptions::new();
+        if spec.accepts("supersteps") {
+            opts.set("supersteps", "10");
+        }
+        let program = spec
+            .build(&ProgramContext::new(graph.out_degrees()), &opts)
+            .expect("registry build");
+        let reference = crate::run_graphh_config(
+            part,
+            program.as_ref(),
+            GraphHConfig::paper_default(ClusterConfig::paper_testbed(SERVERS))
+                .with_direction_mode(DirectionMode::ForcePull),
+            Arc::new(SequentialExecutor::new()),
+        );
+        for (mode_name, mode) in [
+            ("pull", DirectionMode::ForcePull),
+            ("auto", DirectionMode::Auto),
+        ] {
+            let config = GraphHConfig::paper_default(ClusterConfig::paper_testbed(SERVERS))
+                .with_direction_mode(mode);
+            let seq = crate::run_graphh_config(
+                part,
+                program.as_ref(),
+                config.clone(),
+                Arc::new(SequentialExecutor::new()),
+            );
+            let thr = crate::run_graphh_config(
+                part,
+                program.as_ref(),
+                config,
+                Arc::new(ThreadedExecutor::new()),
+            );
+            let identical = [&seq, &thr].iter().all(|run| {
+                run.values.len() == reference.values.len()
+                    && run
+                        .values
+                        .iter()
+                        .zip(&reference.values)
+                        .all(|(a, b)| a.to_bits() == b.to_bits())
+            });
+            rows.push(KernelSweepRow {
+                program: spec.name,
+                mode: mode_name,
+                sequential_wall_seconds: seq.wall_clock_seconds,
+                threaded_wall_seconds: thr.wall_clock_seconds,
+                supersteps_run: seq.supersteps_run,
+                identical,
+            });
+        }
+    }
+    rows
+}
+
 /// Per-phase wall-clock breakdown of one traced [`ThreadedExecutor`] run —
 /// the observability layer's span stream aggregated by phase name. This is
 /// the per-phase wall-clock axis of `BENCH_runtime.json`: it says *where* the
@@ -1241,6 +1379,7 @@ pub fn phase_breakdown() -> PhaseBreakdown {
 /// regression.
 pub fn runtime_json(
     rows: &[RuntimeRow],
+    sweep: &[KernelSweepRow],
     pool: &PoolBench,
     plane: &PlaneBench,
     codec: &CodecBench,
@@ -1280,6 +1419,27 @@ pub fn runtime_json(
             row.speedup(),
             row.identical,
             if i + 1 < rows.len() { "," } else { "" }
+        )
+        .unwrap();
+    }
+    out.push_str("  ],\n");
+    out.push_str(
+        "  \"kernel_sweep_note\": \"per registry program x direction mode; identical \
+         gates both executors bit-equal to the pull-forced sequential reference\",\n  \
+         \"kernel_sweep\": [\n",
+    );
+    for (i, row) in sweep.iter().enumerate() {
+        writeln!(
+            out,
+            "    {{\"program\": \"{}\", \"mode\": \"{}\", \"sequential_wall_s\": {:.6}, \
+             \"threaded_wall_s\": {:.6}, \"supersteps\": {}, \"identical\": {}}}{}",
+            row.program,
+            row.mode,
+            row.sequential_wall_seconds,
+            row.threaded_wall_seconds,
+            row.supersteps_run,
+            row.identical,
+            if i + 1 < sweep.len() { "," } else { "" }
         )
         .unwrap();
     }
@@ -1390,6 +1550,7 @@ mod tests {
         };
         let json = runtime_json(
             &[],
+            &tiny_sweep(),
             &pool_spawn_microbench(),
             &bench,
             &codec,
@@ -1400,6 +1561,8 @@ mod tests {
         assert!(json.contains("\"codec_microbench\""));
         assert!(json.contains("\"phase_breakdown\""));
         assert!(json.contains("\"name\": \"tile-compute\""));
+        assert!(json.contains("\"kernel_sweep\""));
+        assert!(json.contains("\"program\": \"bfs-dopt\""));
     }
 
     /// The codec microbench must measure all four paths on both encodings,
@@ -1420,6 +1583,7 @@ mod tests {
         }
         let json = runtime_json(
             &[],
+            &tiny_sweep(),
             &pool_spawn_microbench(),
             &tiny_plane(),
             &bench,
@@ -1427,6 +1591,17 @@ mod tests {
         );
         assert!(json.contains("\"encoding\": \"dense\""));
         assert!(json.contains("\"encode_into_mb_s\""));
+    }
+
+    fn tiny_sweep() -> Vec<KernelSweepRow> {
+        vec![KernelSweepRow {
+            program: "bfs-dopt",
+            mode: "auto",
+            sequential_wall_seconds: 0.1,
+            threaded_wall_seconds: 0.1,
+            supersteps_run: 4,
+            identical: true,
+        }]
     }
 
     fn tiny_plane() -> PlaneBench {
@@ -1465,6 +1640,7 @@ mod tests {
             start_us: 0,
             dur_us,
             superstep: Some(0),
+            direction: None,
         };
         let totals = aggregate_phases(&[
             span("apply", 10),

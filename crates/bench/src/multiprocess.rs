@@ -9,7 +9,8 @@
 //! builds the identical workload in-process to diff the nodes' value files
 //! against the sequential reference executor.
 
-use graphh_core::{GabProgram, PageRank, Sssp, Wcc};
+use graphh_core::registry::{find_program, program_names, ProgramContext, ProgramOptions};
+use graphh_core::GabProgram;
 use graphh_graph::generators::{GraphGenerator, RmatGenerator};
 use graphh_graph::{Graph, GraphBuilder};
 use graphh_partition::{PartitionedGraph, Spe, SpeConfig};
@@ -18,8 +19,12 @@ use graphh_pool::WorkerPool;
 /// Parameters that pin a node workload bit-for-bit across processes.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct NodeWorkload {
-    /// `pagerank`, `sssp` or `wcc`.
+    /// A [`graphh_core::registry`] program name (`pagerank`, `sssp`, `wcc`,
+    /// `bfs`, `bfs-dopt`, `labelprop`, `degree-centrality`).
     pub program: String,
+    /// Per-program `key=value` options (the `--program-arg` CLI values); must
+    /// match on every process, like every other workload field.
+    pub program_args: Vec<String>,
     /// RMAT scale (log2 vertices).
     pub scale: u32,
     /// RMAT edge factor.
@@ -28,48 +33,53 @@ pub struct NodeWorkload {
     pub seed: u64,
     /// Target tile count for the SPE.
     pub tiles: u32,
-    /// Superstep cap handed to the program.
+    /// Superstep cap handed to the program (only to programs that take one).
     pub supersteps: u32,
 }
 
 impl NodeWorkload {
     /// Deterministically construct the graph, partition and program every
     /// process of the cluster must agree on.
+    ///
+    /// The program comes from the registry; the graph is a seeded RMAT,
+    /// symmetrised first when the program's [`ProgramSpec::symmetrize_input`]
+    /// contract asks for it (WCC, label propagation).
+    ///
+    /// [`ProgramSpec::symmetrize_input`]: graphh_core::registry::ProgramSpec::symmetrize_input
     pub fn build(
         &self,
         pool: &WorkerPool,
     ) -> Result<(PartitionedGraph, Box<dyn GabProgram>), String> {
-        let (graph, program): (Graph, Box<dyn GabProgram>) = match self.program.as_str() {
-            "pagerank" => (
-                RmatGenerator::new(self.scale, self.edge_factor).generate(self.seed),
-                Box::new(PageRank::new(self.supersteps)),
-            ),
-            "sssp" => {
-                let graph = RmatGenerator::new(self.scale, self.edge_factor).generate(self.seed);
-                let source = (0..graph.num_vertices() as u32)
-                    .max_by_key(|&v| graph.out_degree(v))
-                    .unwrap_or(0);
-                (graph, Box::new(Sssp::new(source)))
+        let spec = find_program(&self.program).ok_or_else(|| {
+            format!(
+                "unknown program {:?} (expected one of: {})",
+                self.program,
+                program_names()
+            )
+        })?;
+        let graph: Graph = if spec.symmetrize_input {
+            let base = RmatGenerator::new(self.scale, self.edge_factor)
+                .simplified()
+                .generate(self.seed);
+            let mut b = GraphBuilder::new()
+                .with_num_vertices(base.num_vertices())
+                .symmetric(true);
+            for e in base.edges().iter() {
+                b.add_edge(e);
             }
-            "wcc" => {
-                let base = RmatGenerator::new(self.scale, self.edge_factor)
-                    .simplified()
-                    .generate(self.seed);
-                let mut b = GraphBuilder::new()
-                    .with_num_vertices(base.num_vertices())
-                    .symmetric(true);
-                for e in base.edges().iter() {
-                    b.add_edge(e);
-                }
-                let graph = b.build().map_err(|e| format!("symmetrise graph: {e}"))?;
-                (graph, Box::new(Wcc::new()))
-            }
-            other => {
-                return Err(format!(
-                    "unknown program {other:?} (expected pagerank, sssp or wcc)"
-                ))
-            }
+            b.build().map_err(|e| format!("symmetrise graph: {e}"))?
+        } else {
+            RmatGenerator::new(self.scale, self.edge_factor).generate(self.seed)
         };
+        let ctx = ProgramContext::new(graph.out_degrees());
+        let mut opts = ProgramOptions::parse(&self.program_args)?;
+        // The workload-level superstep cap feeds programs that take one
+        // (explicit program args still win: options are last-write-wins and
+        // this default is prepended conceptually, appended never overriding).
+        if spec.accepts("supersteps") && opts.get("supersteps").is_none() {
+            opts.set("supersteps", &self.supersteps.to_string());
+        }
+        let program = spec.build(&ctx, &opts)?;
         let partitioned = Spe::partition_with_pool(
             &graph,
             &SpeConfig::with_tile_count("node", &graph, self.tiles),
@@ -144,6 +154,7 @@ mod tests {
     fn workload_build_is_deterministic_across_calls() {
         let w = NodeWorkload {
             program: "pagerank".into(),
+            program_args: Vec::new(),
             scale: 7,
             edge_factor: 4,
             seed: 11,
@@ -161,6 +172,7 @@ mod tests {
     fn unknown_program_is_rejected() {
         let w = NodeWorkload {
             program: "frobnicate".into(),
+            program_args: Vec::new(),
             scale: 5,
             edge_factor: 2,
             seed: 1,

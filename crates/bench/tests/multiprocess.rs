@@ -1,7 +1,8 @@
 //! Multi-process determinism: launch real `graphh-node` OS processes over
 //! loopback TCP and pin their replicas bit-identical to each other *and* to
-//! the in-process sequential reference executor — for PageRank, SSSP and WCC,
-//! over **both** TCP planes (`--plane socket` and `--plane poll`).
+//! the in-process sequential reference executor — for PageRank, SSSP, WCC and
+//! BFS (plain and direction-optimizing), over **both** TCP planes
+//! (`--plane socket` and `--plane poll`).
 //!
 //! This is the strongest statement the transport refactor makes: the same
 //! superstep loop, wire codec and frame protocol, with the simulated servers
@@ -43,37 +44,40 @@ fn spawn_node(
         .map(|p| format!("127.0.0.1:{p}"))
         .collect::<Vec<_>>()
         .join(",");
-    Command::new(env!("CARGO_BIN_EXE_graphh-node"))
-        .args([
-            "--id",
-            &id.to_string(),
-            "--servers",
-            &SERVERS.to_string(),
-            "--listen",
-            &format!("127.0.0.1:{}", ports[id as usize]),
-            "--plane",
-            plane,
-            "--peers",
-            &peers,
-            "--program",
-            &workload.program,
-            "--scale",
-            &workload.scale.to_string(),
-            "--edge-factor",
-            &workload.edge_factor.to_string(),
-            "--seed",
-            &workload.seed.to_string(),
-            "--tiles",
-            &workload.tiles.to_string(),
-            "--supersteps",
-            &workload.supersteps.to_string(),
-            "--establish-timeout-secs",
-            "30",
-            "--out",
-            &out.display().to_string(),
-        ])
-        .spawn()
-        .expect("spawn graphh-node")
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_graphh-node"));
+    for arg in &workload.program_args {
+        cmd.args(["--program-arg", arg]);
+    }
+    cmd.args([
+        "--id",
+        &id.to_string(),
+        "--servers",
+        &SERVERS.to_string(),
+        "--listen",
+        &format!("127.0.0.1:{}", ports[id as usize]),
+        "--plane",
+        plane,
+        "--peers",
+        &peers,
+        "--program",
+        &workload.program,
+        "--scale",
+        &workload.scale.to_string(),
+        "--edge-factor",
+        &workload.edge_factor.to_string(),
+        "--seed",
+        &workload.seed.to_string(),
+        "--tiles",
+        &workload.tiles.to_string(),
+        "--supersteps",
+        &workload.supersteps.to_string(),
+        "--establish-timeout-secs",
+        "30",
+        "--out",
+        &out.display().to_string(),
+    ])
+    .spawn()
+    .expect("spawn graphh-node")
 }
 
 /// Run the cluster once; `Err` when any node exits nonzero (e.g. it lost the
@@ -161,6 +165,7 @@ fn assert_cluster_matches_sequential(workload: NodeWorkload, plane: &str) {
 fn workload(program: &str) -> NodeWorkload {
     NodeWorkload {
         program: program.into(),
+        program_args: Vec::new(),
         scale: 7,
         edge_factor: 5,
         seed: 2017,
@@ -200,4 +205,29 @@ fn two_process_poll_sssp_matches_sequential() {
 #[test]
 fn two_process_poll_wcc_matches_sequential() {
     assert_cluster_matches_sequential(workload("wcc"), "poll");
+}
+
+// The formerly orphaned BFS kernel, end-to-end through the registry and the
+// `--program` flag — and its direction-optimizing variant with thresholds
+// passed as `--program-arg K=V`, so the push path and the per-superstep
+// direction decision run inside real separate processes.
+
+#[test]
+fn two_process_tcp_bfs_matches_sequential() {
+    assert_cluster_matches_sequential(workload("bfs"), "socket");
+}
+
+#[test]
+fn two_process_poll_bfs_matches_sequential() {
+    assert_cluster_matches_sequential(workload("bfs"), "poll");
+}
+
+#[test]
+fn two_process_poll_dopt_bfs_switches_direction_and_matches_sequential() {
+    let mut w = workload("bfs-dopt");
+    // α=β=2: the auto heuristic genuinely switches to push on this small
+    // graph, and every process must switch at the same superstep to stay
+    // bit-identical to the (pull-resolved) sequential reference.
+    w.program_args = vec!["alpha=2".into(), "beta=2".into()];
+    assert_cluster_matches_sequential(w, "poll");
 }

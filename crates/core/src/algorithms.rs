@@ -1,8 +1,17 @@
 //! The vertex-centric programs the paper evaluates (PageRank, SSSP) plus the other
-//! standard analytics GraphH supports (WCC, BFS, degree centrality), all expressed
-//! in the GAB model (Algorithms 6 and 7 of the paper).
+//! standard analytics GraphH supports (WCC, BFS, degree centrality,
+//! direction-optimizing BFS, label propagation), all expressed in the GAB model
+//! (Algorithms 6 and 7 of the paper).
+//!
+//! The monotone min-combine programs (SSSP, WCC, BFS) also implement the *push*
+//! side of the model ([`GabProgram::scatter`] / [`GabProgram::combine`]): their
+//! gather is a minimum over in-neighbour contributions, which is exact and
+//! order-insensitive in `f64`, so pull and push supersteps produce bit-identical
+//! values (see `docs/ALGORITHMS.md`). Their `direction` hook keeps the default
+//! pull-only policy; [`DirectionOptimizingBfs`] opts into the Beamer α/β
+//! heuristic and is the kernel that actually switches at runtime.
 
-use crate::gab::{GabProgram, InitContext, VertexContext};
+use crate::gab::{Direction, FrontierStats, GabProgram, InitContext, VertexContext};
 use graphh_graph::ids::VertexId;
 
 /// PageRank with damping factor 0.85 (Algorithm 6).
@@ -136,6 +145,22 @@ impl GabProgram for Sssp {
         // the update propagation.
         true
     }
+
+    fn supports_push(&self) -> bool {
+        true
+    }
+
+    fn scatter(
+        &self,
+        _source: VertexId,
+        value: f64,
+        out_edges: &mut dyn Iterator<Item = (VertexId, f32)>,
+        emit: &mut dyn FnMut(VertexId, f64),
+    ) {
+        for (target, w) in out_edges {
+            emit(target, value + f64::from(w));
+        }
+    }
 }
 
 /// Weakly connected components via label propagation: every vertex starts with its
@@ -182,6 +207,22 @@ impl GabProgram for Wcc {
 
     fn is_update(&self, old: f64, new: f64) -> bool {
         new < old
+    }
+
+    fn supports_push(&self) -> bool {
+        true
+    }
+
+    fn scatter(
+        &self,
+        _source: VertexId,
+        value: f64,
+        out_edges: &mut dyn Iterator<Item = (VertexId, f32)>,
+        emit: &mut dyn FnMut(VertexId, f64),
+    ) {
+        for (target, _w) in out_edges {
+            emit(target, value);
+        }
     }
 }
 
@@ -232,6 +273,204 @@ impl GabProgram for Bfs {
 
     fn is_update(&self, old: f64, new: f64) -> bool {
         new < old
+    }
+
+    fn supports_push(&self) -> bool {
+        true
+    }
+
+    fn scatter(
+        &self,
+        _source: VertexId,
+        value: f64,
+        out_edges: &mut dyn Iterator<Item = (VertexId, f32)>,
+        emit: &mut dyn FnMut(VertexId, f64),
+    ) {
+        for (target, _w) in out_edges {
+            emit(target, value + 1.0);
+        }
+    }
+}
+
+/// Direction-optimizing BFS (Beamer et al.): the same levels as [`Bfs`], but the
+/// engine picks push or pull per superstep from the replicated frontier stats.
+///
+/// The α/β heuristic is the classic one — push while the frontier is sparse
+/// (`frontier_out_edges * alpha < total_out_edges` **and**
+/// `frontier_size * beta < num_vertices`), pull once it is dense. The decision
+/// is a pure function of [`FrontierStats`], which every executor replicates,
+/// so sequential, threaded and multi-process runs switch direction at the same
+/// supersteps — and because BFS's combine is an exact `f64` minimum, the
+/// resulting values (and wire bytes) are bit-identical either way.
+#[derive(Debug, Clone)]
+pub struct DirectionOptimizingBfs {
+    /// The source vertex.
+    pub source: VertexId,
+    /// Push/pull edge-count threshold (Beamer's α; 14 in the original paper).
+    pub alpha: u64,
+    /// Push/pull frontier-size threshold (Beamer's β; 24 in the original paper).
+    pub beta: u64,
+}
+
+impl DirectionOptimizingBfs {
+    /// Direction-optimizing BFS from `source` with the classic α=14, β=24.
+    pub fn new(source: VertexId) -> Self {
+        Self {
+            source,
+            alpha: crate::exec::DIRECTION_ALPHA,
+            beta: crate::exec::DIRECTION_BETA,
+        }
+    }
+
+    /// Override the switching thresholds.
+    pub fn with_thresholds(source: VertexId, alpha: u64, beta: u64) -> Self {
+        Self {
+            source,
+            alpha,
+            beta,
+        }
+    }
+}
+
+impl GabProgram for DirectionOptimizingBfs {
+    fn name(&self) -> &'static str {
+        "bfs-dopt"
+    }
+
+    fn initial_value(&self, v: VertexId, _ctx: &InitContext<'_>) -> f64 {
+        if v == self.source {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    fn gather(
+        &self,
+        _target: VertexId,
+        in_edges: &mut dyn Iterator<Item = (VertexId, f32)>,
+        ctx: &VertexContext<'_>,
+    ) -> f64 {
+        let mut best = f64::INFINITY;
+        for (src, _) in in_edges {
+            best = best.min(ctx.values[src as usize] + 1.0);
+        }
+        best
+    }
+
+    fn apply(&self, _target: VertexId, accum: f64, current: f64, _ctx: &VertexContext<'_>) -> f64 {
+        accum.min(current)
+    }
+
+    fn is_update(&self, old: f64, new: f64) -> bool {
+        new < old
+    }
+
+    fn supports_push(&self) -> bool {
+        true
+    }
+
+    fn scatter(
+        &self,
+        _source: VertexId,
+        value: f64,
+        out_edges: &mut dyn Iterator<Item = (VertexId, f32)>,
+        emit: &mut dyn FnMut(VertexId, f64),
+    ) {
+        for (target, _w) in out_edges {
+            emit(target, value + 1.0);
+        }
+    }
+
+    fn direction(&self, stats: &FrontierStats) -> Direction {
+        stats.beamer(self.alpha, self.beta)
+    }
+}
+
+/// Synchronous label propagation with deterministic min-tie-break: every vertex
+/// starts with its own id and each round adopts the most frequent label among
+/// its in-neighbours, ties broken by the smallest label.
+///
+/// The mode computation needs *all* of a vertex's in-neighbour labels at once
+/// (a histogram is not a binary combine), so the program is pull-only — the
+/// default [`GabProgram::direction`] hook already pins it there, and a
+/// force-push run is rejected at plan time. Synchronous LPA can oscillate on
+/// bipartite structures, so the round count is capped (default 20).
+#[derive(Debug, Clone)]
+pub struct LabelPropagation {
+    /// Hard cap on propagation rounds.
+    pub max_rounds: u32,
+}
+
+impl Default for LabelPropagation {
+    fn default() -> Self {
+        Self { max_rounds: 20 }
+    }
+}
+
+impl LabelPropagation {
+    /// Label propagation with the default 20-round cap.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Label propagation capped at `max_rounds` rounds.
+    pub fn with_rounds(max_rounds: u32) -> Self {
+        Self { max_rounds }
+    }
+}
+
+impl GabProgram for LabelPropagation {
+    fn name(&self) -> &'static str {
+        "labelprop"
+    }
+
+    fn initial_value(&self, v: VertexId, _ctx: &InitContext<'_>) -> f64 {
+        f64::from(v)
+    }
+
+    fn gather(
+        &self,
+        _target: VertexId,
+        in_edges: &mut dyn Iterator<Item = (VertexId, f32)>,
+        ctx: &VertexContext<'_>,
+    ) -> f64 {
+        // Tile target ranges partition the vertex space, so this iterator is
+        // the vertex's complete in-neighbour set: the histogram is exact.
+        let mut labels: Vec<f64> = in_edges.map(|(src, _)| ctx.values[src as usize]).collect();
+        if labels.is_empty() {
+            return f64::INFINITY; // sentinel: apply keeps the current label
+        }
+        labels.sort_unstable_by(f64::total_cmp);
+        let mut best = labels[0];
+        let mut best_count = 0usize;
+        let mut i = 0;
+        while i < labels.len() {
+            let label = labels[i];
+            let mut j = i + 1;
+            while j < labels.len() && labels[j] == label {
+                j += 1;
+            }
+            // Strict `>`: on a tie the earlier (smaller, since sorted) label wins.
+            if j - i > best_count {
+                best = label;
+                best_count = j - i;
+            }
+            i = j;
+        }
+        best
+    }
+
+    fn apply(&self, _target: VertexId, accum: f64, current: f64, _ctx: &VertexContext<'_>) -> f64 {
+        if accum.is_infinite() {
+            current
+        } else {
+            accum
+        }
+    }
+
+    fn max_supersteps(&self) -> u32 {
+        self.max_rounds
     }
 }
 
@@ -371,6 +610,77 @@ mod tests {
         let c = ctx(&values, &out, &ind);
         let mut edges = [(0u32, 100.0f32)].into_iter();
         assert_eq!(bfs.gather(1, &mut edges, &c), 1.0);
+    }
+
+    #[test]
+    fn min_programs_scatter_what_gather_would_see() {
+        // For every min-combine kernel, scatter(source→target) must emit
+        // exactly the contribution gather(target) derives from that source —
+        // this is the per-edge identity the push/pull bit-equality rests on.
+        let values = vec![3.0, f64::INFINITY];
+        let out = vec![1, 0];
+        let ind = vec![0, 1];
+        let c = ctx(&values, &out, &ind);
+
+        let cases: Vec<(Box<dyn GabProgram>, f32)> = vec![
+            (Box::new(Sssp::new(0)), 2.5),
+            (Box::new(Wcc::new()), 1.0),
+            (Box::new(Bfs::new(0)), 7.0),
+            (Box::new(DirectionOptimizingBfs::new(0)), 7.0),
+        ];
+        for (program, weight) in cases {
+            assert!(program.supports_push(), "{}", program.name());
+            let mut pushed = Vec::new();
+            let mut edges = [(1u32, weight)].into_iter();
+            program.scatter(0, values[0], &mut edges, &mut |t, contribution| {
+                pushed.push((t, contribution))
+            });
+            let mut in_edges = [(0u32, weight)].into_iter();
+            let gathered = program.gather(1, &mut in_edges, &c);
+            assert_eq!(pushed, vec![(1u32, gathered)], "{}", program.name());
+        }
+    }
+
+    #[test]
+    fn dopt_bfs_direction_follows_beamer_thresholds() {
+        let bfs = DirectionOptimizingBfs::new(0);
+        let sparse = FrontierStats {
+            frontier_size: 1,
+            frontier_out_edges: 2,
+            num_vertices: 1_000,
+            total_out_edges: 10_000,
+        };
+        let dense = FrontierStats {
+            frontier_size: 900,
+            frontier_out_edges: 9_000,
+            num_vertices: 1_000,
+            total_out_edges: 10_000,
+        };
+        assert!(matches!(bfs.direction(&sparse), Direction::Push));
+        assert!(matches!(bfs.direction(&dense), Direction::Pull));
+        // Plain BFS keeps the pull-only default even on a sparse frontier.
+        assert!(matches!(Bfs::new(0).direction(&sparse), Direction::Pull));
+    }
+
+    #[test]
+    fn label_propagation_takes_the_mode_with_min_tie_break() {
+        let lp = LabelPropagation::new();
+        assert_eq!(lp.max_supersteps(), 20);
+        let values = vec![5.0, 2.0, 5.0, 2.0, 9.0];
+        let out = vec![0; 5];
+        let ind = vec![0; 5];
+        let c = ctx(&values, &out, &ind);
+        // Labels {5, 2, 5}: 5 wins on count.
+        let mut edges = [(0u32, 1.0f32), (1, 1.0), (2, 1.0)].into_iter();
+        assert_eq!(lp.gather(4, &mut edges, &c), 5.0);
+        // Labels {5, 2, 5, 2}: tied 2-2, the smaller label wins.
+        let mut edges = [(0u32, 1.0f32), (1, 1.0), (2, 1.0), (3, 1.0)].into_iter();
+        assert_eq!(lp.gather(4, &mut edges, &c), 2.0);
+        // No in-neighbours: the sentinel keeps the current label.
+        let mut edges = std::iter::empty();
+        let sentinel = lp.gather(4, &mut edges, &c);
+        assert_eq!(lp.apply(4, sentinel, 9.0, &c), 9.0);
+        assert!(!lp.supports_push());
     }
 
     #[test]

@@ -9,7 +9,7 @@
 
 use crate::exec::sequential::SequentialExecutor;
 use crate::exec::Executor;
-use crate::gab::GabProgram;
+use crate::gab::{DirectionMode, GabProgram};
 use crate::Result;
 use graphh_cache::CacheMode;
 use graphh_cluster::{ClusterConfig, ClusterMetrics, CommunicationMode};
@@ -41,6 +41,12 @@ pub struct GraphHConfig {
     /// (`cluster.machine.workers`; 12 on the paper testbed). Results are
     /// bit-identical for every thread count — only wall-clock changes.
     pub threads_per_server: Option<u32>,
+    /// Per-superstep tile-loop direction policy: consult the program's
+    /// [`crate::gab::GabProgram::direction`] hook (`Auto`, the default and
+    /// the paper's effective behaviour, since every paper program is
+    /// pull-only), or force every superstep onto one path. Forcing push for
+    /// a pull-only program is rejected at plan time.
+    pub direction_mode: DirectionMode,
 }
 
 impl GraphHConfig {
@@ -56,6 +62,7 @@ impl GraphHConfig {
             use_bloom_filter: true,
             max_supersteps: None,
             threads_per_server: None,
+            direction_mode: DirectionMode::Auto,
         }
     }
 
@@ -72,6 +79,13 @@ impl GraphHConfig {
     /// a config bug.
     pub fn with_threads_per_server(mut self, threads: u32) -> Self {
         self.threads_per_server = Some(threads);
+        self
+    }
+
+    /// Pin the per-superstep direction policy (see
+    /// [`GraphHConfig::direction_mode`]).
+    pub fn with_direction_mode(mut self, mode: DirectionMode) -> Self {
+        self.direction_mode = mode;
         self
     }
 

@@ -23,7 +23,7 @@ pub mod sequential;
 
 use crate::bloom::BloomFilter;
 use crate::engine::{GraphHConfig, RunResult};
-use crate::gab::{GabProgram, InitContext, VertexContext};
+use crate::gab::{Direction, DirectionMode, FrontierStats, GabProgram, InitContext, VertexContext};
 use crate::{EngineError, Result};
 use graphh_cache::{CacheStats, EdgeCache, EdgeCacheConfig};
 use graphh_cluster::{BroadcastMessage, CostModel, MemoryTracker, MessageCodec, ServerMetrics};
@@ -44,6 +44,17 @@ use std::sync::Arc;
 /// threshold (frontier algorithms like SSSP/BFS) probing pays for itself many
 /// times over and `tiles_skipped` semantics are unchanged.
 pub const BLOOM_DENSE_FRONTIER_FRACTION: f64 = 0.25;
+
+/// Default α of the Beamer direction heuristic: push only while the
+/// frontier's out-edges are under `1/α` of all edges (see
+/// [`FrontierStats::beamer`]). Programs may override via their
+/// [`GabProgram::direction`] hook; this default applies when the hook
+/// returns [`Direction::Auto`].
+pub const DIRECTION_ALPHA: u64 = 14;
+
+/// Default β of the Beamer direction heuristic: push only while the frontier
+/// holds under `1/β` of all vertices.
+pub const DIRECTION_BETA: u64 = 24;
 
 /// An execution strategy for the GraphH engine.
 ///
@@ -87,6 +98,15 @@ pub struct ExecutionPlan {
     /// resolved from the config (explicit knob, else the machine's worker
     /// count).
     pub threads_per_server: u32,
+    /// Total out-edges in the graph (the denominator of every frontier-
+    /// density decision).
+    pub total_out_edges: u64,
+    /// The run's direction policy (from the config).
+    pub direction_mode: DirectionMode,
+    /// Whether this run can ever take the push path: the program has a push
+    /// side *and* the policy does not pin pull. Servers only build push
+    /// indexes when this is set.
+    pub push_capable: bool,
 }
 
 impl ExecutionPlan {
@@ -118,12 +138,20 @@ impl ExecutionPlan {
                 .map(|v| program.initial_value(v, &init_ctx))
                 .collect(),
         );
+        if config.direction_mode == DirectionMode::ForcePush && !program.supports_push() {
+            return Err(EngineError::BadInput(format!(
+                "direction: force-push requested but program {:?} is pull-only \
+                 (it implements no scatter/combine side)",
+                program.name()
+            )));
+        }
         let assignment =
             TileAssignment::round_robin(partitioned.num_tiles(), config.cluster.num_servers);
         let max_supersteps = config
             .max_supersteps
             .unwrap_or(u32::MAX)
             .min(program.max_supersteps());
+        let total_out_edges = out_degrees.iter().map(|&d| u64::from(d)).sum();
         Ok(Self {
             num_vertices,
             out_degrees,
@@ -139,12 +167,190 @@ impl ExecutionPlan {
                 .threads_per_server
                 .unwrap_or(config.cluster.machine.workers)
                 .max(1),
+            total_out_edges,
+            direction_mode: config.direction_mode,
+            push_capable: program.supports_push()
+                && config.direction_mode != DirectionMode::ForcePull,
         })
     }
 
     /// Vertex ids active before superstep 0 (everything changed at init).
     pub fn initial_frontier(&self) -> Vec<VertexId> {
         (0..self.num_vertices as u32).collect()
+    }
+
+    /// The replicated frontier stats for one superstep's frontier.
+    ///
+    /// Pure integer folds over replicated inputs (the merged update set and
+    /// the shared out-degree array) — every executor and every server
+    /// computes the identical value, and the hot loop allocates nothing.
+    pub fn frontier_stats(&self, frontier: &[VertexId]) -> FrontierStats {
+        let mut frontier_out_edges = 0u64;
+        for &v in frontier {
+            frontier_out_edges += u64::from(self.out_degrees[v as usize]);
+        }
+        FrontierStats {
+            frontier_size: frontier.len() as u64,
+            frontier_out_edges,
+            num_vertices: self.num_vertices,
+            total_out_edges: self.total_out_edges,
+        }
+    }
+
+    /// Resolve the direction the next superstep runs: the policy first
+    /// (force-pull / force-push), then the program's hook, then the engine's
+    /// default Beamer heuristic for hooks returning [`Direction::Auto`].
+    /// Never returns `Auto`; a push request from a program without a push
+    /// side is clamped to pull.
+    ///
+    /// Deterministic by construction: a pure function of the plan and the
+    /// replicated stats, so sequential, threaded and multi-process runs pick
+    /// the same direction at the same superstep.
+    pub fn resolve_direction(&self, program: &dyn GabProgram, stats: &FrontierStats) -> Direction {
+        let choice = match self.direction_mode {
+            DirectionMode::ForcePull => Direction::Pull,
+            DirectionMode::ForcePush => Direction::Push,
+            DirectionMode::Auto => match program.direction(stats) {
+                Direction::Auto => stats.beamer(DIRECTION_ALPHA, DIRECTION_BETA),
+                explicit => explicit,
+            },
+        };
+        if choice == Direction::Push && !self.push_capable {
+            Direction::Pull
+        } else {
+            choice
+        }
+    }
+
+    /// Bundle one superstep's frontier with its stats and the resolved
+    /// direction — computed **once per superstep per executor** and handed
+    /// to every server's [`ServerState::run_tile_phase`].
+    pub fn frontier_view<'a>(
+        &self,
+        program: &dyn GabProgram,
+        frontier: &'a [VertexId],
+    ) -> FrontierView<'a> {
+        let stats = self.frontier_stats(frontier);
+        let direction = self.resolve_direction(program, &stats);
+        FrontierView {
+            vertices: frontier,
+            stats,
+            direction,
+        }
+    }
+}
+
+/// One superstep's replicated frontier, its [`FrontierStats`], and the
+/// engine's resolved [`Direction`] decision.
+///
+/// Built by [`ExecutionPlan::frontier_view`]; both the Bloom dense-skip rule
+/// and the push/pull branch read from here instead of recomputing density.
+#[derive(Debug, Clone, Copy)]
+pub struct FrontierView<'a> {
+    /// Vertices updated in the previous superstep, ascending (the merge at
+    /// the barrier sorts them).
+    pub vertices: &'a [VertexId],
+    /// Replicated stats over `vertices`.
+    pub stats: FrontierStats,
+    /// The resolved tile-loop direction (never [`Direction::Auto`]).
+    pub direction: Direction,
+}
+
+impl FrontierView<'_> {
+    /// Whether the frontier is dense enough that the per-tile Bloom probe is
+    /// pure overhead (the `BLOOM_DENSE_FRONTIER_FRACTION` rule). Kept as the
+    /// exact multiply-compare the engine has always used, so the skip
+    /// decision is bit-compatible with earlier releases.
+    pub fn is_dense(&self) -> bool {
+        self.stats.frontier_size as f64
+            >= self.stats.num_vertices as f64 * BLOOM_DENSE_FRONTIER_FRACTION
+    }
+}
+
+/// Per-tile transpose of the in-edge CSR for the push loop: the same edges,
+/// grouped by **source** instead of target.
+///
+/// Tiles store only in-edges (sources grouped by target), which is exactly
+/// what `gather` wants and exactly what `scatter` cannot use. The transpose
+/// is built once per assigned tile at server build time (only for
+/// push-capable runs), stays resident, and is walked with a two-pointer
+/// sweep against the sorted frontier. Sources are ascending; a source's
+/// out-targets are ascending; duplicate edges keep their tile order — so
+/// the push loop's emit order is deterministic for any thread count.
+struct PushIndex {
+    /// First / one-past-last target vertex of the tile (mirrors the tile).
+    target_start: VertexId,
+    target_end: VertexId,
+    /// Distinct source vertices with at least one edge into the tile,
+    /// ascending.
+    sources: Vec<VertexId>,
+    /// CSR offsets into `targets` / `weights`, length `sources.len() + 1`.
+    offsets: Vec<u64>,
+    /// Out-targets (within this tile) grouped by source.
+    targets: Vec<VertexId>,
+    /// Edge weights; `None` for unweighted graphs (unit weight).
+    weights: Option<Vec<f32>>,
+}
+
+impl PushIndex {
+    fn build(tile: &Tile) -> Self {
+        let mut edges: Vec<(VertexId, VertexId, f32)> =
+            Vec::with_capacity(tile.num_edges() as usize);
+        for target in tile.targets() {
+            for (source, weight) in tile.in_edges(target) {
+                edges.push((source, target, weight));
+            }
+        }
+        // Stable sort: duplicate (source, target) edges keep their tile order.
+        edges.sort_by_key(|&(source, target, _)| (source, target));
+        let mut sources = Vec::new();
+        let mut offsets = vec![0u64];
+        let mut targets = Vec::with_capacity(edges.len());
+        let mut weights = tile.is_weighted().then(|| Vec::with_capacity(edges.len()));
+        for (source, target, weight) in edges {
+            if sources.last() != Some(&source) {
+                sources.push(source);
+                offsets.push(targets.len() as u64);
+            }
+            targets.push(target);
+            if let Some(ws) = &mut weights {
+                ws.push(weight);
+            }
+            *offsets.last_mut().expect("offsets is never empty") = targets.len() as u64;
+        }
+        PushIndex {
+            target_start: tile.target_start,
+            target_end: tile.target_end,
+            sources,
+            offsets,
+            targets,
+            weights,
+        }
+    }
+
+    /// Number of target slots the tile covers.
+    fn num_targets(&self) -> usize {
+        (self.target_end - self.target_start) as usize
+    }
+
+    /// Out-edges of the source at position `si`, as `(target, weight)`.
+    fn out_edges(&self, si: usize) -> impl Iterator<Item = (VertexId, f32)> + '_ {
+        let lo = self.offsets[si] as usize;
+        let hi = self.offsets[si + 1] as usize;
+        (lo..hi).map(move |k| (self.targets[k], self.weights.as_ref().map_or(1.0, |w| w[k])))
+    }
+
+    /// Out-degree (into this tile) of the source at position `si`.
+    fn out_degree(&self, si: usize) -> u64 {
+        self.offsets[si + 1] - self.offsets[si]
+    }
+
+    /// Resident footprint, for the memory tracker.
+    fn memory_bytes(&self) -> u64 {
+        self.sources.len() as u64 * 4
+            + self.offsets.len() as u64 * 8
+            + self.targets.len() as u64 * 4
+            + self.weights.as_ref().map_or(0, |w| w.len() as u64 * 4)
     }
 }
 
@@ -168,6 +374,9 @@ pub struct ServerState {
     cache: EdgeCache,
     /// Per-tile Bloom filters over source vertices.
     blooms: HashMap<TileId, BloomFilter>,
+    /// Per-tile out-edge transposes for the push loop, parallel to `tiles`.
+    /// Empty unless the plan is push-capable.
+    push_indexes: Vec<PushIndex>,
     /// Memory accounting.
     memory: MemoryTracker,
     /// This server's persistent compute-thread pool (the paper's `T` worker
@@ -247,6 +456,21 @@ impl ServerState {
         memory.set_component("degree-arrays", 4 * num_vertices * 2);
         let bloom_bytes: u64 = blooms.values().map(BloomFilter::memory_bytes).sum();
         memory.set_component("bloom-filters", bloom_bytes);
+        // Push-capable runs keep a resident out-edge transpose per assigned
+        // tile (the push loop never touches disk or cache); pull-only runs
+        // pay nothing.
+        let push_indexes: Vec<PushIndex> = if plan.push_capable {
+            tiles
+                .iter()
+                .map(|&tid| PushIndex::build(&partitioned.tiles[tid as usize]))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        if !push_indexes.is_empty() {
+            let push_bytes: u64 = push_indexes.iter().map(PushIndex::memory_bytes).sum();
+            memory.set_component("push-index", push_bytes);
+        }
         ServerState {
             id: sid,
             tiles,
@@ -255,6 +479,7 @@ impl ServerState {
             values: plan.initial_values.to_vec(),
             cache,
             blooms,
+            push_indexes,
             memory,
             pool: graphh_pool::WorkerPool::new(plan.threads_per_server as usize),
         }
@@ -330,9 +555,20 @@ impl ServerState {
             .set(cache.used_bytes);
     }
 
-    /// The compute phase of one superstep on this server: walk the assigned
-    /// tiles (Bloom-skipping inactive ones), gather/apply against the local
-    /// replica, and emit one broadcast message per tile with updates.
+    /// The compute phase of one superstep on this server, in the direction
+    /// the executor resolved for this superstep (`frontier.direction`):
+    ///
+    /// * **pull** — walk the assigned tiles (Bloom-skipping inactive ones),
+    ///   gather/apply every target against the local replica,
+    /// * **push** — sweep the sorted frontier against each tile's resident
+    ///   out-edge transpose (`PushIndex`), scatter/combine/apply, touching
+    ///   neither the edge cache nor the local disk.
+    ///
+    /// Both paths emit updates in ascending target order per tile and
+    /// messages in tile order, so for programs honouring the combine-order
+    /// contract the broadcast bytes are identical in either direction
+    /// (`docs/ALGORITHMS.md` has the proof sketch; the forced-push vs
+    /// forced-pull suites in `tests/determinism.rs` pin it).
     ///
     /// Tiles are processed by this server's **persistent**
     /// [`graphh_pool::WorkerPool`] (the paper's `T` intra-server compute
@@ -354,18 +590,80 @@ impl ServerState {
         program: &dyn GabProgram,
         plan: &ExecutionPlan,
         superstep: u32,
-        previously_updated: &[VertexId],
+        frontier: &FrontierView<'_>,
         use_bloom: bool,
     ) -> Result<TilePhaseOutput> {
         let threads = plan.threads_per_server as usize;
+        // Stamp base read before the phase so pull-path recency stamps are
+        // deterministic (push supersteps never touch the cache, so the clock
+        // simply does not advance on them — identically on every executor).
+        let stamp_base = self.cache.clock();
+        let outcomes: Vec<Result<TileOutcome>> = match frontier.direction {
+            Direction::Push => self.push_outcomes(program, plan, superstep, frontier),
+            // `resolve_direction` never returns `Auto`; treat it as pull.
+            Direction::Pull | Direction::Auto => {
+                self.pull_outcomes(program, plan, superstep, frontier, use_bloom, stamp_base)
+            }
+        };
+
+        // Deterministic reduction, in tile order: fold metrics (fixing the
+        // floating-point summation order), collect messages, and admit the
+        // tiles that missed — evictions therefore replay identically for any
+        // thread count.
+        let mut metrics = ServerMetrics::default();
+        let mut messages = Vec::new();
+        let mut transient = Vec::with_capacity(self.tiles.len());
+        for (i, outcome) in outcomes.into_iter().enumerate() {
+            let outcome = outcome?;
+            metrics.merge(&outcome.metrics);
+            if let Some(tile) = outcome.admit {
+                let tile_id = self.tiles[i];
+                let blob = self
+                    .disk
+                    .get(&self.tile_keys[&tile_id])
+                    .expect("assigned tile must be on local disk");
+                metrics.compress_seconds +=
+                    self.cache
+                        .admit(tile_id, &blob, &tile, stamp_base + 1 + i as u64);
+            }
+            if let Some(message) = outcome.message {
+                messages.push(message);
+            }
+            transient.push(outcome.tile_memory_bytes);
+        }
+
+        // Transient tile memory: up to `threads` tiles are decoded
+        // concurrently, so charge the sum of the `threads` largest (with one
+        // thread this is exactly the sequential per-tile maximum).
+        transient.sort_unstable_by(|a, b| b.cmp(a));
+        let concurrent_tile_bytes: u64 = transient.iter().take(threads.max(1)).sum();
+        self.memory.with_transient(concurrent_tile_bytes, |_| ());
+
+        self.memory
+            .set_component("edge-cache", self.cache.stats().used_bytes);
+        metrics.peak_memory_bytes = self.memory.peak();
+
+        Ok(TilePhaseOutput { metrics, messages })
+    }
+
+    /// The pull path: today's gather loop, unchanged — Bloom probe, cache
+    /// lookup / disk fetch, per-target gather/apply in tile order.
+    fn pull_outcomes(
+        &self,
+        program: &dyn GabProgram,
+        plan: &ExecutionPlan,
+        superstep: u32,
+        frontier: &FrontierView<'_>,
+        use_bloom: bool,
+        stamp_base: u64,
+    ) -> Vec<Result<TileOutcome>> {
         let run_everything = superstep == 0 && program.run_all_vertices_initially();
         // Skip the O(frontier)-per-tile Bloom probe outright when the frontier
         // is dense: nothing would be skipped, and the probe itself becomes the
-        // hot loop. The rule depends only on the frontier, so it is identical
-        // across executors and thread counts.
-        let frontier_is_dense = previously_updated.len() as f64
-            >= plan.num_vertices as f64 * BLOOM_DENSE_FRONTIER_FRACTION;
-        let probe_bloom = use_bloom && !run_everything && !frontier_is_dense;
+        // hot loop. The rule reads the shared frontier stats, so it is
+        // identical across executors and thread counts.
+        let probe_bloom = use_bloom && !run_everything && !frontier.is_dense();
+        let previously_updated = frontier.vertices;
 
         let vertex_ctx = VertexContext {
             values: &self.values,
@@ -379,11 +677,10 @@ impl ServerState {
         let disk = &self.disk;
         let tile_keys = &self.tile_keys;
         let blooms = &self.blooms;
+
         // Deterministic recency stamps: tile i of this phase gets stamp
         // `base + 1 + i`, regardless of which thread touches the cache first.
-        let stamp_base = cache.clock();
-
-        let outcomes: Vec<Result<TileOutcome>> = self.pool.fork_join_ordered(tiles.len(), |i| {
+        self.pool.fork_join_ordered(tiles.len(), |i| {
             let tile_id = tiles[i];
             let stamp = stamp_base + 1 + i as u64;
             let mut metrics = ServerMetrics::default();
@@ -450,46 +747,124 @@ impl ServerState {
                 admit,
                 tile_memory_bytes: tile.memory_bytes(),
             })
-        });
+        })
+    }
 
-        // Deterministic reduction, in tile order: fold metrics (fixing the
-        // floating-point summation order), collect messages, and admit the
-        // tiles that missed — evictions therefore replay identically for any
-        // thread count.
-        let mut metrics = ServerMetrics::default();
-        let mut messages = Vec::new();
-        let mut transient = Vec::with_capacity(tiles.len());
-        for (i, outcome) in outcomes.into_iter().enumerate() {
-            let outcome = outcome?;
-            metrics.merge(&outcome.metrics);
-            if let Some(tile) = outcome.admit {
-                let tile_id = self.tiles[i];
-                let blob = self
-                    .disk
-                    .get(&self.tile_keys[&tile_id])
-                    .expect("assigned tile must be on local disk");
-                metrics.compress_seconds +=
-                    self.cache
-                        .admit(tile_id, &blob, &tile, stamp_base + 1 + i as u64);
+    /// The push path: sweep the sorted frontier against each tile's resident
+    /// [`PushIndex`], scatter each frontier source's out-edges, fold
+    /// contributions per target with the program's order-insensitive
+    /// `combine`, then apply in ascending target order.
+    ///
+    /// Determinism for any thread count mirrors the pull path: tiles are
+    /// data-independent (they read the *previous* superstep's replica), each
+    /// produces its own metrics/updates, and outcomes reduce in tile order.
+    /// Within a tile the accumulation order is fixed — frontier sources
+    /// ascending, each source's targets ascending — and `combine` must be
+    /// order-insensitive anyway, so the per-target accumulator is
+    /// schedule-independent too. The path touches neither the edge cache nor
+    /// the disk: the transpose is resident, so a push superstep moves zero
+    /// storage bytes and leaves cache recency untouched.
+    fn push_outcomes(
+        &self,
+        program: &dyn GabProgram,
+        plan: &ExecutionPlan,
+        superstep: u32,
+        frontier: &FrontierView<'_>,
+    ) -> Vec<Result<TileOutcome>> {
+        debug_assert_eq!(
+            self.push_indexes.len(),
+            self.tiles.len(),
+            "push direction resolved without push indexes (plan not push-capable?)"
+        );
+        let vertex_ctx = VertexContext {
+            values: &self.values,
+            out_degrees: &plan.out_degrees,
+            in_degrees: &plan.in_degrees,
+            num_vertices: plan.num_vertices,
+            superstep,
+        };
+        let indexes = &self.push_indexes;
+        let active = frontier.vertices;
+
+        self.pool.fork_join_ordered(indexes.len(), |i| {
+            let index = &indexes[i];
+            let mut metrics = ServerMetrics::default();
+            let num_targets = index.num_targets();
+            // Per-tile accumulator slots, indexed by target offset. The push
+            // loop allocates these per tile (the zero-allocation gate covers
+            // the broadcast codec path, not tile compute).
+            let mut acc = vec![0.0f64; num_targets];
+            let mut touched = vec![false; num_targets];
+            let mut any_source = false;
+
+            // Two-pointer sweep: both the frontier (sorted by the barrier
+            // merge) and the index's sources are ascending.
+            let (mut fi, mut si) = (0usize, 0usize);
+            while fi < active.len() && si < index.sources.len() {
+                match active[fi].cmp(&index.sources[si]) {
+                    std::cmp::Ordering::Less => fi += 1,
+                    std::cmp::Ordering::Greater => si += 1,
+                    std::cmp::Ordering::Equal => {
+                        let source = index.sources[si];
+                        metrics.edges_processed += index.out_degree(si);
+                        let value = vertex_ctx.values[source as usize];
+                        let target_start = index.target_start;
+                        let mut edges = index.out_edges(si);
+                        program.scatter(source, value, &mut edges, &mut |target, contribution| {
+                            let slot = (target - target_start) as usize;
+                            if touched[slot] {
+                                acc[slot] = program.combine(acc[slot], contribution);
+                            } else {
+                                acc[slot] = contribution;
+                                touched[slot] = true;
+                            }
+                        });
+                        any_source = true;
+                        fi += 1;
+                        si += 1;
+                    }
+                }
             }
-            if let Some(message) = outcome.message {
-                messages.push(message);
+
+            // No frontier source reaches this tile: the exact-skip analogue
+            // of the pull path's Bloom skip (and never a false positive).
+            if !any_source {
+                metrics.tiles_skipped += 1;
+                return Ok(TileOutcome {
+                    metrics,
+                    message: None,
+                    admit: None,
+                    tile_memory_bytes: 0,
+                });
             }
-            transient.push(outcome.tile_memory_bytes);
-        }
 
-        // Transient tile memory: up to `threads` tiles are decoded
-        // concurrently, so charge the sum of the `threads` largest (with one
-        // thread this is exactly the sequential per-tile maximum).
-        transient.sort_unstable_by(|a, b| b.cmp(a));
-        let concurrent_tile_bytes: u64 = transient.iter().take(threads.max(1)).sum();
-        self.memory.with_transient(concurrent_tile_bytes, |_| ());
+            // Apply in ascending target order — the same order the pull loop
+            // walks targets, so updates (and therefore wire bytes) line up.
+            let mut tile_updates: Vec<(VertexId, f64)> = Vec::new();
+            for slot in 0..num_targets {
+                if !touched[slot] {
+                    continue;
+                }
+                let target = index.target_start + slot as VertexId;
+                let current = vertex_ctx.values[target as usize];
+                let new = program.apply(target, acc[slot], current, &vertex_ctx);
+                if program.is_update(current, new) {
+                    tile_updates.push((target, new));
+                }
+            }
+            metrics.tiles_processed += 1;
+            metrics.messages_produced += tile_updates.len() as u64;
 
-        self.memory
-            .set_component("edge-cache", self.cache.stats().used_bytes);
-        metrics.peak_memory_bytes = self.memory.peak();
-
-        Ok(TilePhaseOutput { metrics, messages })
+            let message = (!tile_updates.is_empty())
+                .then(|| BroadcastMessage::new(index.target_start, index.target_end, tile_updates));
+            Ok(TileOutcome {
+                metrics,
+                message,
+                admit: None,
+                // Accumulator scratch: 8 bytes + 1 flag per target slot.
+                tile_memory_bytes: num_targets as u64 * 9,
+            })
+        })
     }
 
     /// The barrier's apply half: fold `updates` (pre-sorted by vertex id) into
@@ -581,6 +956,86 @@ mod tests {
         cfg.cluster.num_servers = 0; // bypasses the constructor assert on purpose
         let err = ExecutionPlan::prepare(&cfg, &p, &PageRank::new(1)).unwrap_err();
         assert!(err.to_string().contains("num_servers"), "{err}");
+    }
+
+    #[test]
+    fn direction_decision_is_a_pure_function_of_the_replicated_frontier() {
+        use crate::algorithms::{DirectionOptimizingBfs, Sssp};
+
+        let g = RmatGenerator::new(7, 4).generate(9);
+        let p = Spe::partition(&g, &SpeConfig::with_tile_count("t", &g, 5)).unwrap();
+        let cfg = GraphHConfig::paper_default(ClusterConfig::paper_testbed(2));
+        let dopt = DirectionOptimizingBfs::with_thresholds(0, 2, 2);
+        let plan = ExecutionPlan::prepare(&cfg, &p, &dopt).unwrap();
+        assert!(plan.push_capable);
+
+        // Same frontier → same stats → same decision, on every call and on an
+        // independently prepared plan (what a second process would compute).
+        let sparse: Vec<VertexId> = vec![0, 3];
+        let dense: Vec<VertexId> = (0..plan.num_vertices as u32).collect();
+        let plan2 = ExecutionPlan::prepare(&cfg, &p, &dopt).unwrap();
+        for frontier in [&sparse, &dense] {
+            let a = plan.frontier_view(&dopt, frontier);
+            let b = plan2.frontier_view(&dopt, frontier);
+            assert_eq!(a.stats, b.stats);
+            assert_eq!(a.direction, b.direction);
+            assert_eq!(a.direction, plan.frontier_view(&dopt, frontier).direction);
+        }
+        assert_eq!(
+            plan.frontier_view(&dopt, &sparse).direction,
+            Direction::Push
+        );
+        assert_eq!(plan.frontier_view(&dopt, &dense).direction, Direction::Pull);
+
+        // Force modes override the hook; a pull-only plan clamps push away.
+        let force_pull = cfg.clone().with_direction_mode(DirectionMode::ForcePull);
+        let plan_pull = ExecutionPlan::prepare(&force_pull, &p, &dopt).unwrap();
+        assert!(!plan_pull.push_capable);
+        assert_eq!(
+            plan_pull.frontier_view(&dopt, &sparse).direction,
+            Direction::Pull
+        );
+        let force_push = cfg.clone().with_direction_mode(DirectionMode::ForcePush);
+        let plan_push = ExecutionPlan::prepare(&force_push, &p, &dopt).unwrap();
+        assert_eq!(
+            plan_push.frontier_view(&dopt, &dense).direction,
+            Direction::Push
+        );
+
+        // A push-capable program with the default pull-only hook stays pull in
+        // Auto mode: auto runs are byte-identical to the pre-direction engine.
+        let sssp = Sssp::new(0);
+        let plan_sssp = ExecutionPlan::prepare(&cfg, &p, &sssp).unwrap();
+        assert_eq!(
+            plan_sssp.frontier_view(&sssp, &sparse).direction,
+            Direction::Pull
+        );
+
+        // Force-push on a genuinely pull-only program is a plan-time error.
+        let err = ExecutionPlan::prepare(&force_push, &p, &PageRank::new(1)).unwrap_err();
+        assert!(err.to_string().contains("pull-only"), "{err}");
+    }
+
+    #[test]
+    fn frontier_stats_sum_out_edges_over_the_frontier() {
+        let g = RmatGenerator::new(6, 4).generate(2);
+        let p = Spe::partition(&g, &SpeConfig::with_tile_count("t", &g, 3)).unwrap();
+        let cfg = GraphHConfig::paper_default(ClusterConfig::paper_testbed(1));
+        let plan = ExecutionPlan::prepare(&cfg, &p, &PageRank::new(1)).unwrap();
+        let frontier: Vec<VertexId> = vec![1, 4, 7];
+        let stats = plan.frontier_stats(&frontier);
+        assert_eq!(stats.frontier_size, 3);
+        assert_eq!(
+            stats.frontier_out_edges,
+            frontier
+                .iter()
+                .map(|&v| u64::from(plan.out_degrees[v as usize]))
+                .sum::<u64>()
+        );
+        assert_eq!(stats.num_vertices, plan.num_vertices);
+        assert_eq!(stats.total_out_edges, plan.total_out_edges);
+        let empty = plan.frontier_stats(&[]);
+        assert_eq!((empty.frontier_size, empty.frontier_out_edges), (0, 0));
     }
 
     #[test]

@@ -8,11 +8,11 @@
 
 use super::{merge_updates_in_place, ExecutionPlan, Executor, ServerState};
 use crate::engine::{GraphHConfig, RunResult};
-use crate::gab::GabProgram;
+use crate::gab::{Direction, GabProgram};
 use crate::Result;
 use graphh_cluster::{ClusterMetrics, ServerMetrics, SuperstepReport};
 use graphh_graph::ids::VertexId;
-use graphh_obs::TraceConfig;
+use graphh_obs::{global_counters, TraceConfig};
 use graphh_partition::PartitionedGraph;
 use std::time::Instant;
 
@@ -76,10 +76,23 @@ impl Executor for SequentialExecutor {
         let mut enc_scratch: Vec<u8> = Vec::new();
         let mut wire: Vec<u8> = Vec::new();
         let mut dec_scratch: Vec<u8> = Vec::new();
+        // Direction decision counters, fetched once (the registry lookup
+        // locks; the hot-loop adds are relaxed atomics).
+        let counters = global_counters();
+        let dir_pull = counters.counter("exec.direction.pull");
+        let dir_push = counters.counter("exec.direction.push");
 
         for superstep in 0..plan.max_supersteps {
             let mut report = SuperstepReport::new(superstep, num_servers);
             all_updates.clear();
+            // One frontier view per superstep: stats + direction, shared by
+            // every server's tile phase (and identical to what every
+            // threaded / multi-process worker computes from its replica).
+            let view = plan.frontier_view(program, &previously_updated);
+            match view.direction {
+                Direction::Push => dir_push.add(1),
+                _ => dir_pull.add(1),
+            }
 
             for (sid, server) in servers.iter_mut().enumerate() {
                 let compute = rec.begin();
@@ -87,10 +100,16 @@ impl Executor for SequentialExecutor {
                     program,
                     &plan,
                     superstep,
-                    &previously_updated,
+                    &view,
                     config.use_bloom_filter,
                 )?;
-                rec.end_superstep(compute, "tile-compute", "superstep", superstep);
+                rec.end_superstep_dir(
+                    compute,
+                    "tile-compute",
+                    "superstep",
+                    superstep,
+                    view.direction.as_str(),
+                );
                 let mut server_metrics = phase.metrics;
                 // What every *other* server receives from this one.
                 let mut received = ServerMetrics::default();

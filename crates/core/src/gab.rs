@@ -11,8 +11,134 @@
 //! (unlike GAS) the user only writes two functions. Values are `f64`; that covers
 //! every algorithm in the paper (ranks, distances, component labels) and keeps the
 //! wire encoding uniform.
+//!
+//! ## Direction-aware programs
+//!
+//! Beyond the paper, a program may also provide a **push side**
+//! ([`GabProgram::scatter`] over out-edges with an order-insensitive
+//! [`GabProgram::combine`]) and a per-superstep [`GabProgram::direction`]
+//! hook deciding — from the globally-replicated [`FrontierStats`] — whether
+//! the superstep runs the pull (gather) or push (scatter) tile loop. The
+//! engine guarantees both loops produce bit-identical broadcasts for
+//! programs honouring the combine-order contract; `docs/ALGORITHMS.md`
+//! spells out the exact rules.
 
 use graphh_graph::ids::VertexId;
+
+/// Which tile loop a superstep runs.
+///
+/// This is both the program hook's *request* ([`GabProgram::direction`] may
+/// return [`Direction::Auto`] to delegate to the engine's Beamer-style
+/// heuristic) and, after [`crate::exec::ExecutionPlan::resolve_direction`],
+/// the engine's *decision* (never `Auto`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// Gather over in-edges: every active target folds its in-neighbours.
+    Pull,
+    /// Scatter over out-edges: every frontier source emits contributions.
+    Push,
+    /// Let the engine choose from the frontier stats (hook return only).
+    Auto,
+}
+
+impl Direction {
+    /// Stable lower-case label ("pull" / "push" / "auto") for counters,
+    /// span args and JSON.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Direction::Pull => "pull",
+            Direction::Push => "push",
+            Direction::Auto => "auto",
+        }
+    }
+}
+
+/// The run-level direction policy (config knob / `--direction` CLI flag).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DirectionMode {
+    /// Ask the program's [`GabProgram::direction`] hook every superstep.
+    #[default]
+    Auto,
+    /// Run every superstep on the pull path, ignoring the hook.
+    ForcePull,
+    /// Run every superstep on the push path (rejected at plan time for
+    /// programs without a push side).
+    ForcePush,
+}
+
+impl DirectionMode {
+    /// Stable lower-case label ("auto" / "pull" / "push").
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DirectionMode::Auto => "auto",
+            DirectionMode::ForcePull => "pull",
+            DirectionMode::ForcePush => "push",
+        }
+    }
+}
+
+impl std::str::FromStr for DirectionMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "auto" => Ok(DirectionMode::Auto),
+            "pull" => Ok(DirectionMode::ForcePull),
+            "push" => Ok(DirectionMode::ForcePush),
+            other => Err(format!(
+                "unknown direction mode {other:?} (expected auto, pull or push)"
+            )),
+        }
+    }
+}
+
+/// Globally-replicated frontier bookkeeping for one superstep.
+///
+/// Every executor computes this from the *same* merged update set (the
+/// frontier is replicated on every server, like the vertex values), so the
+/// stats — and every decision derived from them (Bloom dense-skip, direction
+/// choice) — are identical on the sequential executor, every threaded
+/// worker, and every `graphh-node` process at the same superstep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrontierStats {
+    /// Vertices updated in the previous superstep.
+    pub frontier_size: u64,
+    /// Sum of out-degrees over the frontier (edges a push superstep scans).
+    pub frontier_out_edges: u64,
+    /// Vertices in the graph.
+    pub num_vertices: u64,
+    /// Edges in the graph (edges a pull superstep scans at worst).
+    pub total_out_edges: u64,
+}
+
+impl FrontierStats {
+    /// Fraction of all vertices in the frontier, in `[0, 1]`.
+    pub fn density(&self) -> f64 {
+        if self.num_vertices == 0 {
+            0.0
+        } else {
+            self.frontier_size as f64 / self.num_vertices as f64
+        }
+    }
+
+    /// The Beamer-style direction heuristic (direction-optimizing BFS):
+    /// push while the frontier is sparse, pull once it covers enough of the
+    /// graph that scanning everything is cheaper than chasing out-edges.
+    ///
+    /// Pure integer arithmetic over replicated stats — bit-identical on
+    /// every executor. Chooses [`Direction::Push`] iff the frontier's
+    /// out-edges are under `1/alpha` of all edges **and** the frontier holds
+    /// under `1/beta` of all vertices; [`Direction::Pull`] otherwise.
+    pub fn beamer(&self, alpha: u64, beta: u64) -> Direction {
+        let sparse_edges = self.frontier_out_edges.saturating_mul(alpha) < self.total_out_edges;
+        let sparse_vertices = self.frontier_size.saturating_mul(beta) < self.num_vertices;
+        if sparse_edges && sparse_vertices {
+            Direction::Push
+        } else {
+            Direction::Pull
+        }
+    }
+}
 
 /// Context available while computing initial values.
 #[derive(Debug, Clone, Copy)]
@@ -84,6 +210,64 @@ pub trait GabProgram: Send + Sync {
     fn run_all_vertices_initially(&self) -> bool {
         true
     }
+
+    /// Whether the program implements the push side ([`Self::scatter`] /
+    /// [`Self::combine`]). Defaults to `false`: pull-only programs compile
+    /// and behave exactly as before, and the engine never builds push
+    /// indexes or offers the push loop for them.
+    fn supports_push(&self) -> bool {
+        false
+    }
+
+    /// Push-side emit: `source` (a frontier vertex whose value changed last
+    /// superstep) walks its out-edges and `emit(target, contribution)`s a
+    /// candidate accumulator value per out-neighbour. Contributions to the
+    /// same target are folded with [`Self::combine`], then handed to
+    /// [`Self::apply`] exactly like a gathered accumulator.
+    ///
+    /// **Contract:** for push/pull bit-identity, `scatter` must emit for
+    /// target `t` exactly what `gather(t, ..)` would compute from the edge
+    /// `source -> t` alone, and `combine` must be order-insensitive and
+    /// exact (e.g. `f64::min` — monotone min-style programs qualify, sums
+    /// generally do not). See `docs/ALGORITHMS.md`.
+    ///
+    /// The default panics: the engine only calls it when
+    /// [`Self::supports_push`] is `true` (force-push on a pull-only program
+    /// is rejected at plan time with a clear error instead).
+    fn scatter(
+        &self,
+        source: VertexId,
+        value: f64,
+        out_edges: &mut dyn Iterator<Item = (VertexId, f32)>,
+        emit: &mut dyn FnMut(VertexId, f64),
+    ) {
+        let _ = (value, out_edges, emit);
+        unreachable!(
+            "program {:?} advertises no push side (supports_push() is false) \
+             but scatter() was called for source {source}",
+            self.name()
+        );
+    }
+
+    /// Fold two emitted contributions for the same target. Must be
+    /// order-insensitive and exact; the default is `f64::min` (the right
+    /// fold for every monotone min-style program: BFS, SSSP, WCC).
+    fn combine(&self, a: f64, b: f64) -> f64 {
+        a.min(b)
+    }
+
+    /// Which tile loop the next superstep should run, given the replicated
+    /// frontier stats. Consulted only under [`DirectionMode::Auto`]; return
+    /// [`Direction::Auto`] to delegate to the engine's default Beamer
+    /// heuristic. The default pins the paper's behaviour: always pull.
+    ///
+    /// **Must be stateless** — a pure function of `stats`. One program
+    /// instance is shared by every server worker, so any interior mutability
+    /// here would be advanced once per *server* per superstep and desync
+    /// the cluster.
+    fn direction(&self, _stats: &FrontierStats) -> Direction {
+        Direction::Pull
+    }
 }
 
 #[cfg(test)]
@@ -124,6 +308,73 @@ mod tests {
         assert_eq!(p.update_tolerance(), 0.0);
         assert!(p.run_all_vertices_initially());
         assert_eq!(p.max_supersteps(), 1);
+    }
+
+    #[test]
+    fn default_direction_hooks_keep_programs_pull_only() {
+        let p = CountInEdges;
+        assert!(!p.supports_push());
+        let stats = FrontierStats {
+            frontier_size: 1,
+            frontier_out_edges: 1,
+            num_vertices: 1000,
+            total_out_edges: 10_000,
+        };
+        assert_eq!(p.direction(&stats), Direction::Pull);
+        assert_eq!(p.combine(3.0, 2.0), 2.0);
+    }
+
+    #[test]
+    fn beamer_heuristic_switches_on_frontier_sparsity() {
+        let sparse = FrontierStats {
+            frontier_size: 3,
+            frontier_out_edges: 40,
+            num_vertices: 1024,
+            total_out_edges: 6144,
+        };
+        assert_eq!(sparse.beamer(14, 24), Direction::Push);
+        let dense = FrontierStats {
+            frontier_size: 900,
+            frontier_out_edges: 5500,
+            num_vertices: 1024,
+            total_out_edges: 6144,
+        };
+        assert_eq!(dense.beamer(14, 24), Direction::Pull);
+        // Edge sparsity alone is not enough: a wide, low-degree frontier pulls.
+        let wide = FrontierStats {
+            frontier_size: 600,
+            frontier_out_edges: 100,
+            num_vertices: 1024,
+            total_out_edges: 6144,
+        };
+        assert_eq!(wide.beamer(14, 24), Direction::Pull);
+    }
+
+    #[test]
+    fn direction_mode_parses_and_round_trips() {
+        for (text, mode) in [
+            ("auto", DirectionMode::Auto),
+            ("pull", DirectionMode::ForcePull),
+            ("push", DirectionMode::ForcePush),
+        ] {
+            assert_eq!(text.parse::<DirectionMode>().unwrap(), mode);
+            assert_eq!(mode.as_str(), text);
+        }
+        assert!("sideways".parse::<DirectionMode>().is_err());
+        assert_eq!(DirectionMode::default(), DirectionMode::Auto);
+        assert_eq!(Direction::Push.as_str(), "push");
+        assert_eq!(Direction::Auto.as_str(), "auto");
+    }
+
+    #[test]
+    fn frontier_density_is_a_fraction() {
+        let stats = FrontierStats {
+            frontier_size: 256,
+            frontier_out_edges: 0,
+            num_vertices: 1024,
+            total_out_edges: 0,
+        };
+        assert_eq!(stats.density(), 0.25);
     }
 
     #[test]

@@ -30,14 +30,18 @@ pub mod engine;
 pub mod exec;
 pub mod gab;
 pub mod reference;
+pub mod registry;
 pub mod replication;
 
-pub use algorithms::{Bfs, DegreeCentrality, PageRank, Sssp, Wcc};
+pub use algorithms::{
+    Bfs, DegreeCentrality, DirectionOptimizingBfs, LabelPropagation, PageRank, Sssp, Wcc,
+};
 pub use bloom::BloomFilter;
 pub use engine::{GraphHConfig, GraphHEngine, RunResult};
 pub use exec::sequential::SequentialExecutor;
-pub use exec::{ExecutionPlan, Executor, ServerState};
-pub use gab::{GabProgram, InitContext, VertexContext};
+pub use exec::{ExecutionPlan, Executor, FrontierView, ServerState};
+pub use gab::{Direction, DirectionMode, FrontierStats, GabProgram, InitContext, VertexContext};
+pub use registry::{ProgramContext, ProgramOptions, ProgramSpec};
 pub use replication::{MemoryModel, ReplicationPolicy};
 
 /// Errors produced by the engine.

@@ -48,11 +48,25 @@ pub fn chrome_trace_json(process_name: &str, pid: u32, spans: &[SpanEvent]) -> S
             span.dur_us,
             span.tid,
         );
-        match span.superstep {
-            Some(step) => {
+        match (span.superstep, span.direction) {
+            (Some(step), Some(direction)) => {
+                let _ = write!(
+                    out,
+                    ", \"args\": {{\"superstep\": {step}, \"direction\": \"{}\"}}}}",
+                    escape(direction)
+                );
+            }
+            (Some(step), None) => {
                 let _ = write!(out, ", \"args\": {{\"superstep\": {step}}}}}");
             }
-            None => out.push('}'),
+            (None, Some(direction)) => {
+                let _ = write!(
+                    out,
+                    ", \"args\": {{\"direction\": \"{}\"}}}}",
+                    escape(direction)
+                );
+            }
+            (None, None) => out.push('}'),
         }
     }
     out.push_str("\n  ]\n}\n");

@@ -29,6 +29,9 @@ pub struct SpanEvent {
     pub dur_us: u64,
     /// Superstep index the span belongs to, if any.
     pub superstep: Option<u32>,
+    /// Tile-loop direction of the span ("pull" / "push"), recorded on
+    /// compute spans by direction-aware executors; `None` elsewhere.
+    pub direction: Option<&'static str>,
 }
 
 #[derive(Debug)]
@@ -130,7 +133,7 @@ impl SpanRecorder {
     /// Finish a span started at `start`.
     #[inline]
     pub fn end(&mut self, start: SpanStart, name: &'static str, cat: &'static str) {
-        self.end_inner(start, name, cat, None);
+        self.end_inner(start, name, cat, None, None);
     }
 
     /// Finish a span started at `start`, tagged with its superstep index.
@@ -142,7 +145,22 @@ impl SpanRecorder {
         cat: &'static str,
         superstep: u32,
     ) {
-        self.end_inner(start, name, cat, Some(superstep));
+        self.end_inner(start, name, cat, Some(superstep), None);
+    }
+
+    /// Finish a span started at `start`, tagged with its superstep index and
+    /// tile-loop direction ("pull" / "push"). Like every recorder call, a
+    /// no-op reading no clock when the tracer is off.
+    #[inline]
+    pub fn end_superstep_dir(
+        &mut self,
+        start: SpanStart,
+        name: &'static str,
+        cat: &'static str,
+        superstep: u32,
+        direction: &'static str,
+    ) {
+        self.end_inner(start, name, cat, Some(superstep), Some(direction));
     }
 
     fn end_inner(
@@ -151,6 +169,7 @@ impl SpanRecorder {
         name: &'static str,
         cat: &'static str,
         superstep: Option<u32>,
+        direction: Option<&'static str>,
     ) {
         let Some(shared) = &self.shared else {
             return;
@@ -163,6 +182,7 @@ impl SpanRecorder {
             start_us: start.0,
             dur_us: now.saturating_sub(start.0),
             superstep,
+            direction,
         });
     }
 

@@ -23,10 +23,10 @@ use crate::plane::{BroadcastPlane, PlaneError};
 use graphh_cluster::ServerMetrics;
 use graphh_compress::Codec;
 use graphh_core::exec::{merge_updates_in_place, ExecutionPlan, ServerState};
-use graphh_core::gab::GabProgram;
+use graphh_core::gab::{Direction, GabProgram};
 use graphh_core::{EngineError, GraphHConfig};
 use graphh_graph::ids::{ServerId, VertexId};
-use graphh_obs::Tracer;
+use graphh_obs::{global_counters, Tracer};
 use graphh_partition::PartitionedGraph;
 use std::sync::mpsc::Sender;
 
@@ -185,24 +185,39 @@ pub fn run_worker_traced(
     let pool = BufferPool::new();
     let mut bufs = SuperstepBuffers::checkout(&pool, plan.initial_frontier());
     let mut supersteps_run = 0u32;
+    // Direction decision counters, fetched once before the loop (the registry
+    // lookup locks; the per-superstep adds are relaxed atomics). Only server 0
+    // counts, so the totals match the sequential executor's.
+    let counters = global_counters();
+    let dir_pull = counters.counter("exec.direction.pull");
+    let dir_push = counters.counter("exec.direction.push");
 
     let rec = &mut rec;
     let body = std::panic::AssertUnwindSafe(|| -> Result<u32, WorkerError> {
         for superstep in 0..plan.max_supersteps {
+            // Every worker derives the same view from its replicated frontier,
+            // so all workers run the same direction at the same superstep.
+            let view = plan.frontier_view(program, &bufs.previously_updated);
+            if sid == 0 {
+                match view.direction {
+                    Direction::Push => dir_push.add(1),
+                    _ => dir_pull.add(1),
+                }
+            }
             let compute = rec.begin();
             let phase = server
-                .run_tile_phase(
-                    program,
-                    plan,
-                    superstep,
-                    &bufs.previously_updated,
-                    config.use_bloom_filter,
-                )
+                .run_tile_phase(program, plan, superstep, &view, config.use_bloom_filter)
                 .map_err(|error| WorkerError {
                     error,
                     secondary: false,
                 })?;
-            rec.end_superstep(compute, "tile-compute", "superstep", superstep);
+            rec.end_superstep_dir(
+                compute,
+                "tile-compute",
+                "superstep",
+                superstep,
+                view.direction.as_str(),
+            );
             let mut metrics = phase.metrics;
 
             // Publish this superstep's messages through the real wire path.

@@ -1,21 +1,27 @@
 //! Pins the zero-allocation claim of the broadcast hot path.
 //!
-//! A steady-state superstep's publish/exchange work — choose an encoding,
-//! encode the message, frame it for the wire, decode every received message
-//! into the shared update buffer, merge — must perform **zero heap
-//! allocations** on the uncompressed codec path once the reusable buffers
-//! are warm. A counting global allocator measures exactly that: warm the
-//! buffers with one full superstep, snapshot the allocation counter, run
-//! many more supersteps, and require the counter untouched.
+//! A steady-state superstep's publish/exchange work — resolve the superstep's
+//! push/pull direction from the frontier, choose an encoding, encode the
+//! message, frame it for the wire, decode every received message into the
+//! shared update buffer, merge — must perform **zero heap allocations** on
+//! the uncompressed codec path once the reusable buffers are warm. A counting
+//! global allocator measures exactly that: warm the buffers with one full
+//! superstep, snapshot the allocation counter, run many more supersteps, and
+//! require the counter untouched.
 //!
 //! The counter is **thread-local**: the libtest harness thread allocates at
 //! its own unpredictable times, and a process-global counter would charge
 //! that noise to the hot path. This binary still holds a single `#[test]` so
 //! nothing else runs concurrently with the measurement.
 
-use graphh_cluster::{BroadcastMessage, CommunicationMode, MessageCodec, ServerMetrics};
-use graphh_core::exec::merge_updates_in_place;
+use graphh_cluster::{
+    BroadcastMessage, ClusterConfig, CommunicationMode, MessageCodec, ServerMetrics,
+};
+use graphh_core::exec::{merge_updates_in_place, ExecutionPlan};
+use graphh_core::{DirectionOptimizingBfs, GabProgram, GraphHConfig};
+use graphh_graph::generators::{GraphGenerator, RmatGenerator};
 use graphh_obs::{SpanRecorder, Tracer};
+use graphh_partition::{Spe, SpeConfig};
 use graphh_runtime::frame::encode_message_into;
 use graphh_runtime::{BufferPool, Frame};
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -63,9 +69,11 @@ unsafe impl GlobalAlloc for CountingAllocator {
 static COUNTING: CountingAllocator = CountingAllocator;
 
 /// One simulated superstep of codec/frame hot-path work over reused buffers:
-/// encode + frame every message, stream-decode every message back into the
-/// shared update buffer, merge. Returns the number of updates merged (so the
-/// work cannot be optimized away).
+/// resolve the direction from the frontier (the per-superstep decision every
+/// direction-aware executor now makes), encode + frame every message,
+/// stream-decode every message back into the shared update buffer, merge.
+/// Returns the number of updates merged (so the work cannot be optimized
+/// away).
 ///
 /// Phase spans are recorded into `rec` exactly where the real worker loop
 /// records them — with a disabled recorder every call must be a free no-op,
@@ -75,6 +83,9 @@ static COUNTING: CountingAllocator = CountingAllocator;
 fn superstep(
     codec: &MessageCodec,
     messages: &[BroadcastMessage],
+    plan: &ExecutionPlan,
+    program: &dyn GabProgram,
+    frontier: &[u32],
     sid: u32,
     superstep: u32,
     enc_scratch: &mut Vec<u8>,
@@ -84,9 +95,20 @@ fn superstep(
     all_updates: &mut Vec<(u32, f64)>,
     rec: &mut SpanRecorder,
 ) -> usize {
+    // The direction decision — frontier stats + Beamer heuristic — runs on
+    // borrowed slices only; it is part of the zero-allocation loop.
+    let view = plan.frontier_view(program, frontier);
     let mut metrics = ServerMetrics::default();
     all_updates.clear();
     frame_buf.clear();
+    let compute = rec.begin();
+    rec.end_superstep_dir(
+        compute,
+        "tile-compute",
+        "superstep",
+        superstep,
+        view.direction.as_str(),
+    );
     let publish = rec.begin();
     for message in messages {
         // Sender side: encode (encoding choice + codec) and frame for TCP.
@@ -133,6 +155,17 @@ fn steady_state_codec_and_frame_path_allocates_nothing_uncompressed() {
     let messages = [dense, sparse];
     let codec = MessageCodec::new(CommunicationMode::default(), None);
 
+    // A real plan + push-capable program so the measured loop runs the same
+    // frontier-stats / direction-resolution code the worker loop runs. Built
+    // before the snapshot: only the per-superstep decision is measured.
+    let graph = RmatGenerator::new(7, 4).generate(2017);
+    let partitioned =
+        Spe::partition(&graph, &SpeConfig::with_tile_count("alloc", &graph, 4)).expect("partition");
+    let config = GraphHConfig::paper_default(ClusterConfig::paper_testbed(1));
+    let program = DirectionOptimizingBfs::new(0);
+    let plan = ExecutionPlan::prepare(&config, &partitioned, &program).expect("plan");
+    let frontier: Vec<u32> = (0..64).collect();
+
     // The reusable buffers, checked out of a warm pool exactly as the worker
     // holds them for the whole run.
     let pool = BufferPool::new();
@@ -150,6 +183,9 @@ fn steady_state_codec_and_frame_path_allocates_nothing_uncompressed() {
     let expected = superstep(
         &codec,
         &messages,
+        &plan,
+        &program,
+        &frontier,
         3,
         0,
         &mut enc_scratch,
@@ -166,6 +202,9 @@ fn steady_state_codec_and_frame_path_allocates_nothing_uncompressed() {
         let merged = superstep(
             &codec,
             &messages,
+            &plan,
+            &program,
+            &frontier,
             3,
             s,
             &mut enc_scratch,

@@ -15,8 +15,10 @@
 
 use graphh_cluster::ClusterConfig;
 use graphh_core::exec::ExecutionPlan;
+use graphh_core::registry::{ProgramContext, ProgramOptions, PROGRAMS};
 use graphh_core::{
-    GabProgram, GraphHConfig, GraphHEngine, PageRank, SequentialExecutor, Sssp, Wcc,
+    DirectionMode, DirectionOptimizingBfs, GabProgram, GraphHConfig, GraphHEngine, PageRank,
+    SequentialExecutor, Sssp, Wcc,
 };
 use graphh_graph::generators::{GraphGenerator, RmatGenerator};
 use graphh_graph::GraphBuilder;
@@ -215,4 +217,91 @@ fn poll_with_spin_poller_is_bit_identical_to_sequential() {
         &PageRank::new(8),
         "pagerank-spin",
     );
+}
+
+/// Every registry program — including the formerly orphaned `bfs` and
+/// `degree-centrality` and the new `bfs-dopt` / `labelprop` kernels — is
+/// bit-identical to the sequential reference over every TCP backend and the
+/// readiness-trait seam.
+#[test]
+fn every_registry_program_is_bit_identical_over_every_plane() {
+    let dir = RmatGenerator::new(7, 5).generate(2017);
+    let pdir = Spe::partition(&dir, &SpeConfig::with_tile_count("tcp", &dir, 8)).unwrap();
+    let base = RmatGenerator::new(7, 4).simplified().generate(2017);
+    let mut b = GraphBuilder::new()
+        .with_num_vertices(base.num_vertices())
+        .symmetric(true);
+    for e in base.edges().iter() {
+        b.add_edge(e);
+    }
+    let sym = b.build().unwrap();
+    let psym = Spe::partition(&sym, &SpeConfig::with_tile_count("tcp", &sym, 8)).unwrap();
+
+    for spec in PROGRAMS {
+        let (graph, part) = if spec.symmetrize_input {
+            (&sym, &psym)
+        } else {
+            (&dir, &pdir)
+        };
+        let mut opts = ProgramOptions::new();
+        if spec.accepts("supersteps") {
+            opts.set("supersteps", "6");
+        }
+        let program = spec
+            .build(&ProgramContext::new(graph.out_degrees()), &opts)
+            .unwrap();
+        for plane in [Plane::Socket, Plane::Poll, Plane::PollSpin] {
+            assert_tcp_matches_sequential(
+                plane,
+                part,
+                program.as_ref(),
+                &format!("{} over {plane:?}", spec.name),
+            );
+        }
+    }
+}
+
+/// The direction axis crosses the wire unchanged: forced-pull, forced-push
+/// and auto-switching BFS runs over real TCP all land bit-identical to the
+/// forced-pull sequential reference — push/pull is an engine-local decision
+/// and never alters the broadcast bytes (docs/WIRE.md).
+#[test]
+fn direction_modes_are_bit_identical_over_tcp() {
+    let g = RmatGenerator::new(7, 5).generate(42);
+    let p = Spe::partition(&g, &SpeConfig::with_tile_count("tcp", &g, 8)).unwrap();
+    let source = (0..g.num_vertices() as u32)
+        .max_by_key(|&v| g.out_degree(v))
+        .unwrap_or(0);
+    // α=β=2 so the auto run genuinely switches on this small graph.
+    let program = DirectionOptimizingBfs::with_thresholds(source, 2, 2);
+
+    let reference = GraphHEngine::with_executor(
+        GraphHConfig::paper_default(ClusterConfig::paper_testbed(SERVERS))
+            .with_direction_mode(DirectionMode::ForcePull),
+        Arc::new(SequentialExecutor::new()),
+    )
+    .run(&p, &program)
+    .expect("sequential reference");
+
+    for mode in [
+        DirectionMode::ForcePull,
+        DirectionMode::ForcePush,
+        DirectionMode::Auto,
+    ] {
+        let config = GraphHConfig::paper_default(ClusterConfig::paper_testbed(SERVERS))
+            .with_direction_mode(mode);
+        for plane in [Plane::Socket, Plane::Poll] {
+            let replicas = run_over_tcp(plane, &config, &p, &program);
+            for (sid, values) in replicas.iter().enumerate() {
+                assert_eq!(values.len(), reference.values.len());
+                for (v, (x, y)) in values.iter().zip(&reference.values).enumerate() {
+                    assert_eq!(
+                        x.to_bits(),
+                        y.to_bits(),
+                        "bfs-dopt {mode:?} over {plane:?}: server {sid} vertex {v} diverged"
+                    );
+                }
+            }
+        }
+    }
 }

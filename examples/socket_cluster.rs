@@ -1,8 +1,8 @@
 //! A GraphH cluster over real TCP sockets, in one program — on either TCP
-//! backend.
+//! backend, running any registered program.
 //!
-//! Three servers run PageRank over the loopback network: each on its own
-//! thread with its own plane endpoint, every broadcast encoded by the real
+//! Three servers run the chosen kernel over the loopback network: each on its
+//! own thread with its own plane endpoint, every broadcast encoded by the real
 //! `MessageCodec`, framed by the length-prefixed wire protocol (docs/WIRE.md),
 //! and re-decoded on arrival — the same path the `graphh-node` binary runs
 //! with one *process* per server (see README "Transport backends"). The final
@@ -11,12 +11,13 @@
 //! to its baseline thread count (no lingering reader or event-loop threads).
 //!
 //! ```text
-//! cargo run --example socket_cluster             # blocking SocketPlane
-//! cargo run --example socket_cluster -- poll     # event-driven PollPlane
-//! cargo run --example socket_cluster -- both     # one run on each backend
+//! cargo run --example socket_cluster                  # SocketPlane, PageRank
+//! cargo run --example socket_cluster -- poll          # event-driven PollPlane
+//! cargo run --example socket_cluster -- both bfs-dopt # each backend, any kernel
 //! ```
 
 use graphh::core::exec::ExecutionPlan;
+use graphh::core::registry::{find_program, program_names, ProgramContext, ProgramOptions};
 use graphh::prelude::*;
 use graphh::runtime::poll::os_thread_count;
 use graphh::runtime::{run_worker, BoundTcpPlane, SuperstepBarrier, TcpPlaneKind};
@@ -33,7 +34,7 @@ fn run_cluster(
     config: &GraphHConfig,
     plan: &ExecutionPlan,
     partitioned: &PartitionedGraph,
-    program: &PageRank,
+    program: &dyn GabProgram,
 ) -> Vec<(u32, Vec<f64>)> {
     // Bind all listeners first (port 0 = OS-assigned), then establish the
     // fully-connected fabric: lower ids are dialed, higher ids accepted.
@@ -82,21 +83,47 @@ fn main() {
             .parse()
             .unwrap_or_else(|e| panic!("{e} — expected socket, poll or both"))],
     };
+    let kernel = std::env::args().nth(2).unwrap_or_else(|| "pagerank".into());
+    let spec = find_program(&kernel).unwrap_or_else(|| {
+        panic!(
+            "unknown program {kernel:?} — expected one of: {}",
+            program_names()
+        )
+    });
 
-    // A deterministic workload every endpoint agrees on.
-    let graph = RmatGenerator::new(9, 6).generate(2017);
+    // A deterministic workload every endpoint agrees on (the undirected
+    // kernels get a symmetrised edge set, as their registry contract asks).
+    let base = RmatGenerator::new(9, 6).generate(2017);
+    let graph = if spec.symmetrize_input {
+        let mut b = GraphBuilder::new()
+            .with_num_vertices(base.num_vertices())
+            .symmetric(true);
+        for e in base.edges().iter() {
+            b.add_edge(e);
+        }
+        b.build().unwrap()
+    } else {
+        base
+    };
     let partitioned = Spe::partition(
         &graph,
         &SpeConfig::with_tile_count("socket-demo", &graph, 12),
     )
     .unwrap();
-    let program = PageRank::new(10);
+    let mut opts = ProgramOptions::new();
+    if spec.accepts("supersteps") {
+        opts.set("supersteps", "10");
+    }
+    let program = spec
+        .build(&ProgramContext::new(graph.out_degrees()), &opts)
+        .unwrap();
+    let program = program.as_ref();
     let config = GraphHConfig::paper_default(ClusterConfig::paper_testbed(SERVERS));
-    let plan = ExecutionPlan::prepare(&config, &partitioned, &program).unwrap();
+    let plan = ExecutionPlan::prepare(&config, &partitioned, program).unwrap();
 
     let reference =
         GraphHEngine::with_executor(config.clone(), Arc::new(SequentialExecutor::new()))
-            .run(&partitioned, &program)
+            .run(&partitioned, program)
             .unwrap();
 
     for plane in planes {
@@ -104,7 +131,7 @@ fn main() {
         // not assumed (None on platforms without /proc).
         let baseline_threads = os_thread_count();
 
-        let replicas = run_cluster(plane, &config, &plan, &partitioned, &program);
+        let replicas = run_cluster(plane, &config, &plan, &partitioned, program);
 
         // Every replica agrees with the single-threaded reference, bit for bit.
         for (sid, values) in &replicas {
@@ -137,5 +164,5 @@ fn main() {
 
     let mut top: Vec<(usize, f64)> = reference.values.iter().copied().enumerate().collect();
     top.sort_by(|a, b| b.1.total_cmp(&a.1));
-    println!("top-5 PageRank vertices: {:?}", &top[..5]);
+    println!("top-5 {} vertices: {:?}", program.name(), &top[..5]);
 }

@@ -59,6 +59,7 @@ pub use graphh_cluster as cluster;
 pub use graphh_compress as compress;
 pub use graphh_core as core;
 pub use graphh_graph as graph;
+pub use graphh_obs as obs;
 pub use graphh_partition as partition;
 pub use graphh_pool as pool;
 pub use graphh_runtime as runtime;
@@ -74,7 +75,8 @@ pub mod prelude {
     pub use graphh_cluster::{ClusterConfig, CommunicationMode, CostModel, MachineSpec};
     pub use graphh_compress::Codec;
     pub use graphh_core::{
-        Bfs, DegreeCentrality, Executor, GabProgram, GraphHConfig, GraphHEngine, PageRank,
+        Bfs, DegreeCentrality, Direction, DirectionMode, DirectionOptimizingBfs, Executor,
+        FrontierStats, GabProgram, GraphHConfig, GraphHEngine, LabelPropagation, PageRank,
         RunResult, SequentialExecutor, Sssp, Wcc,
     };
     pub use graphh_graph::datasets::{Dataset, DatasetSpec};

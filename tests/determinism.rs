@@ -4,7 +4,10 @@
 //! 3 seeds × {PageRank, SSSP, WCC} × {sequential, threaded} on a 4-server
 //! cluster: `result.values` must be **bit-identical** (not approximately
 //! equal), the superstep counts must agree, and the scheduling-independent
-//! byte counters must match exactly.
+//! byte counters must match exactly. The direction axis rides the same
+//! harness: forced-push, forced-pull and auto-switching runs of the
+//! min-combine kernels must also agree bit for bit, on both executors and on
+//! every registered program.
 
 use graphh::prelude::*;
 use std::sync::Arc;
@@ -241,4 +244,295 @@ fn corrupt_wire_bytes_error_but_never_panic() {
     bad_sparse.extend_from_slice(&9999u32.to_le_bytes()); // id outside range
     bad_sparse.extend_from_slice(&1.0f64.to_le_bytes());
     assert!(BroadcastMessage::decode(&bad_sparse).is_err());
+}
+
+/// A directed RMAT partition and its symmetrised sibling, shared by the
+/// registry-wide sweeps below.
+fn workload_graphs(seed: u64) -> (Graph, PartitionedGraph, Graph, PartitionedGraph) {
+    let dir = RmatGenerator::new(8, 5).generate(seed);
+    let pdir = Spe::partition(&dir, &SpeConfig::with_tile_count("det", &dir, 11)).unwrap();
+    let base = RmatGenerator::new(7, 4).simplified().generate(seed);
+    let mut b = GraphBuilder::new()
+        .with_num_vertices(base.num_vertices())
+        .symmetric(true);
+    for e in base.edges().iter() {
+        b.add_edge(e);
+    }
+    let sym = b.build().unwrap();
+    let psym = Spe::partition(&sym, &SpeConfig::with_tile_count("det", &sym, 11)).unwrap();
+    (dir, pdir, sym, psym)
+}
+
+/// *Every* registered program — including the kernels that used to be
+/// orphaned (`bfs`, `degree-centrality`) and the new ones (`bfs-dopt`,
+/// `labelprop`) — is bit-identical between the sequential reference and the
+/// threaded runtime.
+#[test]
+fn every_registry_program_is_bit_identical_across_executors() {
+    use graphh::core::registry::{ProgramContext, ProgramOptions, PROGRAMS};
+
+    let (seq, thr) = engine_pair();
+    for seed in [SEEDS[0], SEEDS[1]] {
+        let (dir, pdir, sym, psym) = workload_graphs(seed);
+        for spec in PROGRAMS {
+            let (graph, part) = if spec.symmetrize_input {
+                (&sym, &psym)
+            } else {
+                (&dir, &pdir)
+            };
+            let mut opts = ProgramOptions::new();
+            if spec.accepts("supersteps") {
+                opts.set("supersteps", "8");
+            }
+            let program = spec
+                .build(&ProgramContext::new(graph.out_degrees()), &opts)
+                .unwrap();
+            let a = seq.run(part, program.as_ref()).unwrap();
+            let b = thr.run(part, program.as_ref()).unwrap();
+            assert_bit_identical(&a, &b, &format!("{} seed {seed}", spec.name));
+        }
+    }
+}
+
+/// The tentpole invariant: for the min-combine kernels, a forced-push run is
+/// bit-identical to a forced-pull run — values, superstep counts and
+/// convergence trajectory — on both executors. (Byte counters are *not*
+/// compared across directions: push legitimately skips different tiles.)
+#[test]
+fn forced_push_matches_forced_pull_bit_for_bit() {
+    let (dir, pdir, _sym, psym) = workload_graphs(SEEDS[0]);
+    let source = (0..dir.num_vertices() as u32)
+        .max_by_key(|&v| dir.out_degree(v))
+        .unwrap_or(0);
+
+    type Workload<'a> = (&'a str, &'a PartitionedGraph, Box<dyn GabProgram>);
+    let workloads: Vec<Workload> = vec![
+        ("sssp", &pdir, Box::new(Sssp::new(source))),
+        ("bfs", &pdir, Box::new(Bfs::new(source))),
+        (
+            "bfs-dopt",
+            &pdir,
+            Box::new(DirectionOptimizingBfs::new(source)),
+        ),
+        ("wcc", &psym, Box::new(Wcc::new())),
+    ];
+    for (name, part, program) in workloads {
+        let config_for = |mode: DirectionMode| {
+            GraphHConfig::paper_default(ClusterConfig::paper_testbed(SERVERS))
+                .with_direction_mode(mode)
+        };
+        let reference = GraphHEngine::with_executor(
+            config_for(DirectionMode::ForcePull),
+            Arc::new(SequentialExecutor::new()),
+        )
+        .run(part, program.as_ref())
+        .unwrap();
+        for mode in [DirectionMode::ForcePush, DirectionMode::Auto] {
+            let seq =
+                GraphHEngine::with_executor(config_for(mode), Arc::new(SequentialExecutor::new()))
+                    .run(part, program.as_ref())
+                    .unwrap();
+            let thr =
+                GraphHEngine::with_executor(config_for(mode), Arc::new(ThreadedExecutor::new()))
+                    .run(part, program.as_ref())
+                    .unwrap();
+            assert_values_and_trajectory(&reference, &seq, &format!("{name} seq {mode:?}"));
+            assert_values_and_trajectory(&reference, &thr, &format!("{name} thr {mode:?}"));
+        }
+    }
+}
+
+/// Like [`assert_bit_identical`] without the byte counters: the direction
+/// axis changes which tiles are touched (and hence disk/cache traffic) but
+/// never a value or the convergence trajectory.
+fn assert_values_and_trajectory(a: &RunResult, b: &RunResult, what: &str) {
+    assert_eq!(a.values.len(), b.values.len(), "{what}: value count");
+    for (i, (x, y)) in a.values.iter().zip(&b.values).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "{what}: vertex {i} diverged ({x} vs {y})"
+        );
+    }
+    assert_eq!(
+        a.supersteps_run, b.supersteps_run,
+        "{what}: superstep count"
+    );
+    assert_eq!(
+        a.updated_ratio_per_superstep, b.updated_ratio_per_superstep,
+        "{what}: convergence trajectory"
+    );
+    assert_eq!(
+        a.metrics.total_network_bytes(),
+        b.metrics.total_network_bytes(),
+        "{what}: network bytes (direction must never change wire bytes)"
+    );
+}
+
+/// Force-push on a pull-only program must be rejected at plan time, loudly —
+/// not silently degraded to pull.
+#[test]
+fn force_push_on_a_pull_only_program_is_a_plan_error() {
+    let (_, pdir, _, _) = workload_graphs(SEEDS[0]);
+    let config = GraphHConfig::paper_default(ClusterConfig::paper_testbed(SERVERS))
+        .with_direction_mode(DirectionMode::ForcePush);
+    let engine = GraphHEngine::with_executor(config, Arc::new(SequentialExecutor::new()));
+    let err = engine.run(&pdir, &PageRank::new(3)).unwrap_err();
+    let rendered = err.to_string();
+    assert!(rendered.contains("pull-only"), "{rendered}");
+}
+
+/// Auto mode actually *switches*: with aggressive thresholds, bfs-dopt runs
+/// both pull supersteps (the dense start) and push supersteps (the sparse
+/// tail) in one run — asserted from the recorded spans, which both executors
+/// must agree on superstep by superstep.
+#[test]
+fn auto_mode_switches_direction_and_both_executors_agree_on_when() {
+    use graphh::obs::{TraceConfig, Tracer};
+    use std::collections::BTreeMap;
+
+    let (dir, pdir, _, _) = workload_graphs(SEEDS[0]);
+    let source = (0..dir.num_vertices() as u32)
+        .max_by_key(|&v| dir.out_degree(v))
+        .unwrap_or(0);
+    // α=β=2: push whenever the frontier holds less than half the edges and
+    // half the vertices — guarantees both directions appear on this workload.
+    let program = DirectionOptimizingBfs::with_thresholds(source, 2, 2);
+    let config = GraphHConfig::paper_default(ClusterConfig::paper_testbed(SERVERS));
+
+    let mut schedules: Vec<BTreeMap<u32, &'static str>> = Vec::new();
+    let seq_tracer = Tracer::new();
+    let seq = GraphHEngine::with_executor(
+        config.clone(),
+        Arc::new(SequentialExecutor::with_trace(TraceConfig {
+            tracer: seq_tracer.clone(),
+        })),
+    )
+    .run(&pdir, &program)
+    .unwrap();
+    let thr_tracer = Tracer::new();
+    let thr = GraphHEngine::with_executor(
+        config,
+        Arc::new(ThreadedExecutor::with_trace(TraceConfig {
+            tracer: thr_tracer.clone(),
+        })),
+    )
+    .run(&pdir, &program)
+    .unwrap();
+    assert_values_and_trajectory(&seq, &thr, "bfs-dopt auto");
+
+    for tracer in [seq_tracer, thr_tracer] {
+        let mut schedule: BTreeMap<u32, &'static str> = BTreeMap::new();
+        for span in tracer.drain() {
+            if span.name == "tile-compute" {
+                let step = span.superstep.expect("compute spans carry a superstep");
+                let direction = span.direction.expect("compute spans carry a direction");
+                // Every server agrees on the per-superstep direction.
+                assert_eq!(*schedule.entry(step).or_insert(direction), direction);
+            }
+        }
+        schedules.push(schedule);
+    }
+    assert_eq!(
+        schedules[0], schedules[1],
+        "executors disagreed on the direction schedule"
+    );
+    let directions: std::collections::BTreeSet<_> = schedules[0].values().copied().collect();
+    assert!(
+        directions.contains("pull") && directions.contains("push"),
+        "expected a run that uses both directions, got {directions:?}"
+    );
+    assert_eq!(
+        schedules[0].get(&0),
+        Some(&"pull"),
+        "full initial frontier is dense"
+    );
+}
+
+/// The corrupt-wire harness, aimed at a worker that is mid *push* superstep:
+/// attacker-controlled broadcast bytes must surface as `Err`, never a panic,
+/// with the push machinery (frontier stats, push index, scatter loop) live.
+#[test]
+fn corrupt_wire_bytes_on_the_push_path_error_but_never_panic() {
+    use graphh::cluster::{BroadcastEncoding, BroadcastMessage};
+    use graphh::core::exec::ExecutionPlan;
+    use graphh::graph::ids::ServerId;
+    use graphh::runtime::plane::{PlaneError, WireMessage};
+    use graphh::runtime::{run_worker, BroadcastPlane, SuperstepBarrier};
+    use std::sync::mpsc::channel;
+
+    /// Feeds the worker one attacker-controlled payload per superstep.
+    struct InjectingPlane {
+        payloads: Vec<WireMessage>,
+    }
+    impl BroadcastPlane for InjectingPlane {
+        fn num_servers(&self) -> u32 {
+            2
+        }
+        fn server_id(&self) -> ServerId {
+            0
+        }
+        fn broadcast(&mut self, _superstep: u32, _wire: &[u8]) -> Result<(), PlaneError> {
+            Ok(())
+        }
+        fn end_superstep(&mut self, _superstep: u32) -> Result<(), PlaneError> {
+            Ok(())
+        }
+        fn collect(&mut self, _superstep: u32) -> Result<Vec<WireMessage>, PlaneError> {
+            Ok(self.payloads.pop().into_iter().collect())
+        }
+        fn abort(&mut self) {}
+    }
+
+    let g = RmatGenerator::new(7, 4).generate(SEEDS[0]);
+    let p = Spe::partition(&g, &SpeConfig::with_tile_count("det", &g, 6)).unwrap();
+    let config = GraphHConfig::paper_default(ClusterConfig::paper_testbed(1))
+        .with_direction_mode(DirectionMode::ForcePush);
+    let program = Sssp::new(0);
+    let plan = ExecutionPlan::prepare(&config, &p, &program).unwrap();
+
+    // Deterministic xorshift, as in the pull-path harness above.
+    let mut state = 0x2017_2017_2017_2017u64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let valid = BroadcastMessage::new(0, 64, (0..32).map(|v| (v * 2, v as f64)).collect())
+        .encode(BroadcastEncoding::Sparse);
+    for _ in 0..100 {
+        let mut corrupt = valid.clone();
+        for _ in 0..(1 + next() as usize % 3) {
+            let i = next() as usize % corrupt.len().max(1);
+            corrupt[i] ^= (1 + next() % 255) as u8;
+        }
+        if next() % 4 == 0 {
+            corrupt.truncate(next() as usize % (corrupt.len() + 1));
+        }
+        let mut plane = InjectingPlane {
+            payloads: vec![corrupt.clone().into()],
+        };
+        let barrier = SuperstepBarrier::new(1);
+        let (metrics_tx, _metrics_rx) = channel();
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_worker(
+                &config,
+                &plan,
+                &p,
+                &program,
+                0,
+                &mut plane,
+                &barrier,
+                &metrics_tx,
+            )
+            .map(|out| out.supersteps_run)
+        }));
+        // Ok(Ok(_)) — the flip stayed valid — and Ok(Err(_)) are both fine;
+        // a panic mid-push-superstep is not.
+        assert!(
+            outcome.is_ok(),
+            "push-path worker panicked on corrupt wire bytes"
+        );
+    }
 }
