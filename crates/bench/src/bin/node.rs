@@ -24,7 +24,9 @@
 //! `source=7` or `alpha=14`), `--direction auto|pull|push` (push/pull engine
 //! policy — never changes results or wire bytes, see docs/ALGORITHMS.md),
 //! `--scale`, `--edge-factor`, `--seed`, `--tiles`, `--supersteps`,
-//! `--threads-per-server`. Runtime flags: `--id`, `--servers`, `--listen`,
+//! `--threads-per-server`, `--compressor none|raw|snappy|zlib-1|zlib-3|varint-delta`
+//! (message compressor; defaults to the paper's snappy — compression never
+//! changes decoded values, only wire bytes). Runtime flags: `--id`, `--servers`, `--listen`,
 //! `--peers` (comma-separated, indexed by server id), `--plane socket|poll`
 //! (blocking reader-thread-per-peer vs single event-loop thread — same wire
 //! protocol, see docs/WIRE.md), `--out`, `--establish-timeout-secs`.
@@ -37,6 +39,7 @@
 
 use graphh_bench::multiprocess::{encode_values, NodeWorkload};
 use graphh_cluster::ClusterConfig;
+use graphh_compress::Codec;
 use graphh_core::exec::ExecutionPlan;
 use graphh_core::registry::PROGRAMS;
 use graphh_core::{DirectionMode, GraphHConfig};
@@ -58,6 +61,9 @@ struct Args {
     direction: DirectionMode,
     workload: NodeWorkload,
     threads_per_server: Option<u32>,
+    /// Outer `None` = flag absent (keep the paper default); inner value is
+    /// the configured message compressor (`None` = uncompressed).
+    compressor: Option<Option<Codec>>,
     out: Option<String>,
     trace_out: Option<String>,
     metrics_out: Option<String>,
@@ -70,7 +76,9 @@ fn usage() -> ! {
          [--plane socket|poll] [--program NAME] [--program-arg K=V]... \
          [--direction auto|pull|push] [--scale S] \
          [--edge-factor F] [--seed N] [--tiles T] [--supersteps N] \
-         [--threads-per-server T] [--out FILE] [--trace-out FILE] \
+         [--threads-per-server T] \
+         [--compressor none|raw|snappy|zlib-1|zlib-3|varint-delta] \
+         [--out FILE] [--trace-out FILE] \
          [--metrics-out FILE] [--establish-timeout-secs N] [--list-programs]"
     );
     eprintln!("programs:");
@@ -100,6 +108,7 @@ fn parse_args() -> Result<Args, String> {
     let mut plane = TcpPlaneKind::Socket;
     let mut direction = DirectionMode::Auto;
     let mut threads_per_server = None;
+    let mut compressor = None;
     let mut out = None;
     let mut trace_out = None;
     let mut metrics_out = None;
@@ -136,6 +145,7 @@ fn parse_args() -> Result<Args, String> {
             "--threads-per-server" => {
                 threads_per_server = Some(value.parse().map_err(|e| bad(&e))?)
             }
+            "--compressor" => compressor = Some(parse_compressor(&value)?),
             "--out" => out = Some(value),
             "--trace-out" => trace_out = Some(value),
             "--metrics-out" => metrics_out = Some(value),
@@ -160,11 +170,29 @@ fn parse_args() -> Result<Args, String> {
         direction,
         workload,
         threads_per_server,
+        compressor,
         out,
         trace_out,
         metrics_out,
         establish_timeout,
     })
+}
+
+/// Parse a `--compressor` value: `none` disables compression; every other
+/// value is a codec's canonical [`Codec::name`].
+fn parse_compressor(value: &str) -> Result<Option<Codec>, String> {
+    if value == "none" {
+        return Ok(None);
+    }
+    Codec::ALL
+        .into_iter()
+        .find(|c| c.name() == value)
+        .map(Some)
+        .ok_or_else(|| {
+            format!(
+                "bad value for --compressor: {value} (none|raw|snappy|zlib-1|zlib-3|varint-delta)"
+            )
+        })
 }
 
 fn run(args: Args) -> Result<(), String> {
@@ -186,6 +214,9 @@ fn run(args: Args) -> Result<(), String> {
         .with_direction_mode(args.direction);
     if let Some(threads) = args.threads_per_server {
         config = config.with_threads_per_server(threads);
+    }
+    if let Some(compressor) = args.compressor {
+        config.message_compressor = compressor;
     }
     config.validate().map_err(|e| e.to_string())?;
 

@@ -764,6 +764,21 @@ pub fn runtime_report(
         )
         .unwrap();
     }
+    for row in &codec.compressed {
+        writeln!(
+            out,
+            "compressed codec microbench ({}, {} B plain -> {} B wire): \
+             encode={:.0} MB/s encode_into+scratch={:.0} MB/s ({:.2}x) identical={}",
+            row.compressor,
+            row.plain_bytes,
+            row.wire_bytes,
+            row.encode_mb_s,
+            row.encode_into_mb_s,
+            row.speedup(),
+            row.identical,
+        )
+        .unwrap();
+    }
     writeln!(
         out,
         "phase breakdown (one traced threaded run, {} servers x {} \
@@ -792,6 +807,11 @@ pub struct CodecBench {
     pub range: u32,
     /// Measured per-encoding rows.
     pub rows: Vec<CodecBenchRow>,
+    /// Measured per-compressor rows over a small dense message (the repo's
+    /// real per-tile broadcast regime): the allocating `MessageCodec::encode`
+    /// versus `encode_into_with` reusing a persistent
+    /// [`CompressorScratch`](graphh_compress::CompressorScratch) across calls.
+    pub compressed: Vec<CompressedCodecBenchRow>,
 }
 
 /// One encoding's measured throughputs (MB/s of wire bytes, best of 3).
@@ -812,6 +832,39 @@ pub struct CodecBenchRow {
     pub decode_each_mb_s: f64,
 }
 
+/// One compressor's measured encode throughputs (MB/s of *plain* payload
+/// bytes pushed through encode + compress, best of 3 — both paths move the
+/// same plain bytes, so the column ratio is the scratch-reuse speedup).
+/// `Raw` is not a row: `None` and `Some(Raw)` both take the uncompressed
+/// path, which [`CodecBenchRow`] already measures. The LZSS codecs
+/// (snappy, zlib-*) are the ones with per-call match-finder tables to
+/// amortize; `varint-delta` never had per-call compressor state, so its
+/// two paths are expected near parity — its row exists for the
+/// byte-identity gate, not the speedup.
+pub struct CompressedCodecBenchRow {
+    /// Compressor name (`snappy`, `zlib-1`, `zlib-3`, `varint-delta`).
+    pub compressor: &'static str,
+    /// Plain (pre-compression) encoded payload size in bytes.
+    pub plain_bytes: u64,
+    /// Compressed wire size in bytes.
+    pub wire_bytes: u64,
+    /// Allocating `MessageCodec::encode` path (fresh buffers + fresh
+    /// compressor state every call).
+    pub encode_mb_s: f64,
+    /// `MessageCodec::encode_into_with` reusing buffers and one persistent
+    /// compressor scratch across every call.
+    pub encode_into_mb_s: f64,
+    /// Both paths produced byte-identical wire bytes.
+    pub identical: bool,
+}
+
+impl CompressedCodecBenchRow {
+    /// Scratch-reusing encode throughput over the allocating baseline.
+    pub fn speedup(&self) -> f64 {
+        self.encode_into_mb_s / self.encode_mb_s.max(1e-12)
+    }
+}
+
 /// Measure [`CodecBench`]: 64 Ki-vertex range; dense = 90% updated, sparse =
 /// 1% updated (the dense row is also decoded through the bitmap's zero-byte
 /// skip). Throughput counts wire bytes moved per second, best of 3.
@@ -823,7 +876,8 @@ pub fn codec_microbench() -> CodecBench {
 /// target, so tests can validate the measurement plumbing on a workload that
 /// finishes in milliseconds even unoptimized.
 pub fn codec_microbench_sized(range: u32, target_bytes: u64) -> CodecBench {
-    use graphh_cluster::{BroadcastEncoding, BroadcastMessage};
+    use graphh_cluster::{BroadcastEncoding, BroadcastMessage, MessageCodec, ServerMetrics};
+    use graphh_compress::CompressorScratch;
     use std::time::Instant;
 
     let best_of_3 = |run: &mut dyn FnMut() -> u64| -> f64 {
@@ -906,7 +960,80 @@ pub fn codec_microbench_sized(range: u32, target_bytes: u64) -> CodecBench {
             decode_each_mb_s,
         });
     }
-    CodecBench { range, rows }
+
+    // The compressed encode paths: allocating `encode` — fresh buffers and
+    // fresh compressor state per call, what the hot path did before lanes
+    // parked a scratch — versus `encode_into_with` carrying one persistent
+    // scratch across every call, what the worker's encode lanes run now.
+    // Measured on a *small* dense message (128-vertex range, ~1 KB plain):
+    // per-tile broadcast ranges in this repo's real workloads are tens to
+    // hundreds of vertices, and small messages are exactly where per-call
+    // match-finder table setup dominates the compression itself.
+    const COMPRESSED_RANGE: u32 = 128;
+    let dense_updates: Vec<(u32, f64)> = (0..COMPRESSED_RANGE)
+        .filter(|v| !v.is_multiple_of(10))
+        .map(|v| (v, f64::from(v) * 0.5))
+        .collect();
+    let message = BroadcastMessage::new(0, COMPRESSED_RANGE, dense_updates);
+    let plain_bytes = message.encoded_size(BroadcastEncoding::Dense);
+    let iters = (target_bytes / plain_bytes).clamp(2, 16384);
+    let mut compressed = Vec::new();
+    for codec in [
+        Codec::Snappy,
+        Codec::Zlib1,
+        Codec::Zlib3,
+        Codec::VarintDelta,
+    ] {
+        let mc = MessageCodec::new(CommunicationMode::default(), Some(codec));
+        let encode_mb_s = best_of_3(&mut || {
+            let mut total = 0u64;
+            for _ in 0..iters {
+                let (wire, _) = mc.encode(&message, &mut ServerMetrics::default());
+                std::hint::black_box(wire.len());
+                total += plain_bytes;
+            }
+            total
+        });
+        let mut scratch = Vec::new();
+        let mut wire = Vec::new();
+        let mut comp = CompressorScratch::new();
+        let encode_into_mb_s = best_of_3(&mut || {
+            let mut total = 0u64;
+            for _ in 0..iters {
+                mc.encode_into_with(
+                    &message,
+                    &mut ServerMetrics::default(),
+                    &mut scratch,
+                    &mut wire,
+                    &mut comp,
+                );
+                std::hint::black_box(wire.len());
+                total += plain_bytes;
+            }
+            total
+        });
+        let (alloc_wire, _) = mc.encode(&message, &mut ServerMetrics::default());
+        mc.encode_into_with(
+            &message,
+            &mut ServerMetrics::default(),
+            &mut scratch,
+            &mut wire,
+            &mut comp,
+        );
+        compressed.push(CompressedCodecBenchRow {
+            compressor: codec.name(),
+            plain_bytes,
+            wire_bytes: wire.len() as u64,
+            encode_mb_s,
+            encode_into_mb_s,
+            identical: alloc_wire == wire,
+        });
+    }
+    CodecBench {
+        range,
+        rows,
+        compressed,
+    }
 }
 
 /// Measured cost of many *short* fork-join phases (the shape of a superstep
@@ -1492,6 +1619,28 @@ pub fn runtime_json(
         )
         .unwrap();
     }
+    out.push_str("  ],\n  \"compressed\": [\n");
+    for (i, row) in codec.compressed.iter().enumerate() {
+        writeln!(
+            out,
+            "    {{\"compressor\": \"{}\", \"plain_bytes\": {}, \"wire_bytes\": {}, \
+             \"encode_mb_s\": {:.1}, \"encode_into_mb_s\": {:.1}, \
+             \"speedup\": {:.4}, \"identical\": {}}}{}",
+            row.compressor,
+            row.plain_bytes,
+            row.wire_bytes,
+            row.encode_mb_s,
+            row.encode_into_mb_s,
+            row.speedup(),
+            row.identical,
+            if i + 1 < codec.compressed.len() {
+                ","
+            } else {
+                ""
+            }
+        )
+        .unwrap();
+    }
     out.push_str("  ]},\n");
     writeln!(
         out,
@@ -1547,6 +1696,7 @@ mod tests {
         let codec = CodecBench {
             range: 1,
             rows: Vec::new(),
+            compressed: Vec::new(),
         };
         let json = runtime_json(
             &[],
@@ -1581,6 +1731,21 @@ mod tests {
             assert!(row.decode_mb_s > 0.0, "{}", row.encoding);
             assert!(row.decode_each_mb_s > 0.0, "{}", row.encoding);
         }
+        // One row per compressed codec (Raw takes the uncompressed path), and
+        // the scratch-reusing path must stay byte-identical to the allocating
+        // one — the invariant CI's perf smoke greps for in the JSON.
+        let names: Vec<&str> = bench.compressed.iter().map(|r| r.compressor).collect();
+        assert_eq!(names, ["snappy", "zlib-1", "zlib-3", "varint-delta"]);
+        for row in &bench.compressed {
+            assert!(row.encode_mb_s > 0.0, "{}", row.compressor);
+            assert!(row.encode_into_mb_s > 0.0, "{}", row.compressor);
+            assert!(row.wire_bytes > 0, "{}", row.compressor);
+            assert!(
+                row.identical,
+                "{}: scratch reuse changed wire bytes",
+                row.compressor
+            );
+        }
         let json = runtime_json(
             &[],
             &tiny_sweep(),
@@ -1591,6 +1756,8 @@ mod tests {
         );
         assert!(json.contains("\"encoding\": \"dense\""));
         assert!(json.contains("\"encode_into_mb_s\""));
+        assert!(json.contains("\"compressed\": ["));
+        assert!(json.contains("\"compressor\": \"zlib-1\""));
     }
 
     fn tiny_sweep() -> Vec<KernelSweepRow> {

@@ -35,6 +35,7 @@ fn free_loopback_ports(n: usize) -> Vec<u16> {
 fn spawn_node(
     workload: &NodeWorkload,
     plane: &str,
+    extra_args: &[&str],
     id: u32,
     ports: &[u16],
     out: &std::path::Path,
@@ -48,6 +49,7 @@ fn spawn_node(
     for arg in &workload.program_args {
         cmd.args(["--program-arg", arg]);
     }
+    cmd.args(extra_args);
     cmd.args([
         "--id",
         &id.to_string(),
@@ -85,6 +87,7 @@ fn spawn_node(
 fn try_cluster_run(
     workload: &NodeWorkload,
     plane: &str,
+    extra_args: &[&str],
     attempt: u32,
 ) -> Result<Vec<Vec<f64>>, String> {
     let dir = std::env::temp_dir();
@@ -99,7 +102,7 @@ fn try_cluster_run(
         .collect();
     let ports = free_loopback_ports(SERVERS as usize);
     let children: Vec<Child> = (0..SERVERS)
-        .map(|id| spawn_node(workload, plane, id, &ports, &outs[id as usize]))
+        .map(|id| spawn_node(workload, plane, extra_args, id, &ports, &outs[id as usize]))
         .collect();
     let mut ok = true;
     for mut child in children {
@@ -120,11 +123,22 @@ fn try_cluster_run(
 }
 
 fn assert_cluster_matches_sequential(workload: NodeWorkload, plane: &str) {
+    assert_cluster_matches_sequential_with_args(workload, plane, &[]);
+}
+
+/// [`assert_cluster_matches_sequential`] with extra `graphh-node` CLI flags
+/// (e.g. `--compressor zlib-1`). The sequential reference keeps the default
+/// config: config knobs passed this way must never change decoded values.
+fn assert_cluster_matches_sequential_with_args(
+    workload: NodeWorkload,
+    plane: &str,
+    extra_args: &[&str],
+) {
     // Retry a couple of times: the free-port reservation is inherently racy
     // on a shared machine, and a stolen port makes a node exit nonzero.
     let mut replicas = None;
     for attempt in 0..3 {
-        match try_cluster_run(&workload, plane, attempt) {
+        match try_cluster_run(&workload, plane, extra_args, attempt) {
             Ok(values) => {
                 replicas = Some(values);
                 break;
@@ -230,4 +244,19 @@ fn two_process_poll_dopt_bfs_switches_direction_and_matches_sequential() {
     // bit-identical to the (pull-resolved) sequential reference.
     w.program_args = vec!["alpha=2".into(), "beta=2".into()];
     assert_cluster_matches_sequential(w, "poll");
+}
+
+// The compressed broadcast path end-to-end across real processes: every wire
+// message is zlib-compressed through the persistent per-lane compressor
+// scratch and decompressed on the receiving node — decoded values must still
+// be bit-identical to the sequential reference (which runs the default
+// config: compression never changes values, only wire bytes).
+
+#[test]
+fn two_process_poll_compressed_pagerank_matches_sequential() {
+    assert_cluster_matches_sequential_with_args(
+        workload("pagerank"),
+        "poll",
+        &["--compressor", "zlib-1"],
+    );
 }

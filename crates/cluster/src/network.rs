@@ -17,7 +17,7 @@
 //! Figure 8's traffic series are measured, not estimated.
 
 use crate::metrics::ServerMetrics;
-use graphh_compress::Codec;
+use graphh_compress::{Codec, CompressorScratch};
 use graphh_graph::ids::VertexId;
 use serde::{Deserialize, Serialize};
 
@@ -202,8 +202,10 @@ impl BroadcastMessage {
     /// [`BroadcastMessage::decode`] does (same error cases, same messages)
     /// and hand each `(vertex, value)` update to `visit` in id order, without
     /// materializing a `Vec<(VertexId, f64)>`. The dense path bit-scans the
-    /// bitmap a byte at a time, skipping all-zero bytes outright — on a
-    /// sparse frontier that is most of the message.
+    /// bitmap a `u64` word (64 slots) at a time, skipping all-zero words
+    /// outright — on a sparse frontier that is most of the message — and
+    /// walks set bits with `trailing_zeros`; remaining bytes past the last
+    /// full word go through the same scan a byte at a time.
     ///
     /// On `Err`, `visit` may already have been called for a valid prefix of
     /// the updates; callers accumulating into a shared buffer must discard it
@@ -249,20 +251,39 @@ impl BroadcastMessage {
                 }
                 let (bitmap, values) = body.split_at(bitmap_len);
                 let mut visited = 0usize;
-                for (byte_i, &byte) in bitmap.iter().enumerate() {
-                    if byte == 0 {
-                        // All eight slots unchanged: skip without testing
-                        // them bit by bit.
+                let mut words = bitmap.chunks_exact(8);
+                for (word_i, word) in words.by_ref().enumerate() {
+                    let mut bits = u64::from_le_bytes(word.try_into().unwrap());
+                    if bits == 0 {
+                        // All 64 slots unchanged: skip the whole word.
                         continue;
                     }
-                    let mut bits = byte;
-                    if byte_i == bitmap_len - 1 && !n.is_multiple_of(8) {
-                        // Padding bits past `n` in the final byte are ignored,
-                        // exactly as the bit-by-bit loop never tested them.
-                        bits &= (1u8 << (n % 8)) - 1;
+                    let base = word_i * 64;
+                    if n - base < 64 {
+                        // Padding bits past `n` in the final word are ignored,
+                        // exactly as a bit-by-bit loop never tested them.
+                        bits &= (1u64 << (n - base)) - 1;
                     }
                     while bits != 0 {
-                        let i = byte_i * 8 + bits.trailing_zeros() as usize;
+                        let i = base + bits.trailing_zeros() as usize;
+                        bits &= bits - 1;
+                        let val = f64::from_le_bytes(values[i * 8..i * 8 + 8].try_into().unwrap());
+                        visit(range_start + i as u32, val);
+                        visited += 1;
+                    }
+                }
+                let tail_base = (bitmap_len / 8) * 64;
+                for (byte_i, &byte) in words.remainder().iter().enumerate() {
+                    if byte == 0 {
+                        continue;
+                    }
+                    let base = tail_base + byte_i * 8;
+                    let mut bits = byte;
+                    if n - base < 8 {
+                        bits &= (1u8 << (n - base)) - 1;
+                    }
+                    while bits != 0 {
+                        let i = base + bits.trailing_zeros() as usize;
                         bits &= bits - 1;
                         let val = f64::from_le_bytes(values[i * 8..i * 8 + 8].try_into().unwrap());
                         visit(range_start + i as u32, val);
@@ -408,12 +429,36 @@ impl MessageCodec {
         scratch: &mut Vec<u8>,
         wire: &mut Vec<u8>,
     ) -> BroadcastEncoding {
+        self.encode_into_with(
+            message,
+            sender,
+            scratch,
+            wire,
+            &mut CompressorScratch::new(),
+        )
+    }
+
+    /// [`MessageCodec::encode_into`] with caller-owned compressor state: the
+    /// LZSS codecs reuse `comp`'s match-finder tables across messages instead
+    /// of re-allocating them per call, so with all three of `scratch`, `wire`
+    /// and `comp` reused the steady-state *compressed* encode allocates
+    /// nothing either. Wire bytes, encoding choice and the metric charge are
+    /// byte-for-byte identical to the per-call APIs; the uncompressed path
+    /// leaves `comp` (and `scratch`) untouched.
+    pub fn encode_into_with(
+        &self,
+        message: &BroadcastMessage,
+        sender: &mut ServerMetrics,
+        scratch: &mut Vec<u8>,
+        wire: &mut Vec<u8>,
+        comp: &mut CompressorScratch,
+    ) -> BroadcastEncoding {
         let encoding = message.choose_encoding(self.mode);
         match self.compressor {
             None | Some(Codec::Raw) => message.encode_into(encoding, wire),
             Some(codec) => {
                 message.encode_into(encoding, scratch);
-                codec.compress_into(scratch, wire);
+                codec.compress_into_with(scratch, wire, comp);
                 sender.compress_seconds += self.codec_seconds(scratch.len());
             }
         }
@@ -507,6 +552,8 @@ mod tests {
             msg((0, 1000), &[3]), // sparse frontier: zero-byte skip path
             msg((0, 1000), &(0..1000).collect::<Vec<_>>()),
             msg((32, 45), &[39]),
+            msg((0, 64), &[0, 63]), // exactly one full bitmap word, no padding
+            msg((0, 139), &[63, 64, 127, 128, 138]), // full words + byte tail with padding
         ];
         let mut wire = Vec::new();
         for m in &cases {
@@ -685,24 +732,28 @@ mod tests {
         assert!(snappy.decode(&[0xFF; 32], &mut receiver).is_err());
     }
 
-    /// The scratch-threaded codec path must produce byte-identical wire
+    /// The scratch-threaded codec paths must produce byte-identical wire
     /// bytes, identical metric charges, and identical decode results to the
-    /// allocating path — for every compressor, with dirty reused buffers.
+    /// allocating path — for every compressor, with dirty reused buffers and
+    /// a warm `CompressorScratch` carried across all messages and codecs.
     #[test]
     fn message_codec_into_paths_match_allocating_paths() {
         let messages = [
             msg((0, 512), &(0..480).collect::<Vec<_>>()), // hybrid → dense
             msg((0, 512), &[1, 99, 500]),                 // hybrid → sparse
         ];
-        let compressors = [
+        let compressors: [Option<Codec>; 6] = [
             None,
             Some(Codec::Raw),
             Some(Codec::Snappy),
             Some(Codec::Zlib1),
+            Some(Codec::Zlib3),
+            Some(Codec::VarintDelta),
         ];
         let mut enc_scratch = Vec::new();
         let mut wire = Vec::new();
         let mut dec_scratch = Vec::new();
+        let mut comp = CompressorScratch::new();
         for compressor in compressors {
             let codec = MessageCodec::new(CommunicationMode::default(), compressor);
             for m in &messages {
@@ -713,6 +764,16 @@ mod tests {
                 assert_eq!(wire, old_wire);
                 assert_eq!(new_enc, old_enc);
                 assert_eq!(s1.compress_seconds, s2.compress_seconds);
+
+                // Same again through the persistent-compressor-state entry
+                // point, with the scratch deliberately warm from whatever
+                // codec ran before.
+                let mut s3 = ServerMetrics::default();
+                let with_enc =
+                    codec.encode_into_with(m, &mut s3, &mut enc_scratch, &mut wire, &mut comp);
+                assert_eq!(wire, old_wire);
+                assert_eq!(with_enc, old_enc);
+                assert_eq!(s1.compress_seconds, s3.compress_seconds);
 
                 let mut r1 = ServerMetrics::default();
                 let mut r2 = ServerMetrics::default();

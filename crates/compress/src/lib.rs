@@ -53,6 +53,73 @@ impl std::fmt::Display for CompressError {
 
 impl std::error::Error for CompressError {}
 
+/// Reusable per-compressor state for the broadcast hot path: the LZSS
+/// match-finder's hash-chain tables and delta buffer (reset in O(1) via a
+/// generation stamp, see [`lz77::Scratch`]) plus local, non-atomic call
+/// statistics.
+///
+/// One instance lives with each encode lane / run loop; threading it through
+/// [`Codec::compress_into_with`] makes the steady-state *compressed* encode
+/// path allocation-free — the output stays byte-identical to the per-call
+/// APIs. The stats are plain counters so recording them costs nothing on the
+/// hot path; [`CompressorScratch::publish_observability`] flushes them into
+/// the process-global `compress.*` counters (`graphh_obs`) once, at run end.
+#[derive(Debug, Default)]
+pub struct CompressorScratch {
+    lz: lz77::Scratch,
+    /// `compress_into_with` invocations through this scratch.
+    calls: u64,
+    /// Plain (pre-compression) bytes pushed through this scratch.
+    bytes_in: u64,
+    /// Compressed bytes produced through this scratch.
+    bytes_out: u64,
+    /// Calls that found the scratch warm (everything after the first).
+    scratch_reuses: u64,
+}
+
+impl CompressorScratch {
+    /// A cold scratch; all internal buffers are allocated lazily on first
+    /// use, so creating one is free.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one call's traffic (invoked by [`Codec::compress_into_with`]).
+    fn note(&mut self, bytes_in: usize, bytes_out: usize) {
+        self.scratch_reuses += u64::from(self.calls > 0);
+        self.calls += 1;
+        self.bytes_in += bytes_in as u64;
+        self.bytes_out += bytes_out as u64;
+    }
+
+    /// Calls recorded since the last flush (test aid).
+    pub fn calls(&self) -> u64 {
+        self.calls
+    }
+
+    /// Flush the locally accumulated stats into the process-global
+    /// `compress.calls` / `compress.bytes_in` / `compress.bytes_out` /
+    /// `compress.scratch_reuses` counters and zero them. Registry lookups
+    /// lock and may allocate, so this belongs at run end, never in the
+    /// superstep loop (see `docs/OBSERVABILITY.md`).
+    pub fn publish_observability(&mut self) {
+        if self.calls == 0 {
+            return;
+        }
+        let counters = graphh_obs::global_counters();
+        counters.counter("compress.calls").add(self.calls);
+        counters.counter("compress.bytes_in").add(self.bytes_in);
+        counters.counter("compress.bytes_out").add(self.bytes_out);
+        counters
+            .counter("compress.scratch_reuses")
+            .add(self.scratch_reuses);
+        self.calls = 0;
+        self.bytes_in = 0;
+        self.bytes_out = 0;
+        self.scratch_reuses = 0;
+    }
+}
+
 impl Codec {
     /// All codecs, in cache-mode order.
     pub const ALL: [Codec; 5] = [
@@ -121,7 +188,7 @@ impl Codec {
     }
 
     /// Compress `data`.
-    pub fn compress(self, data: &[u8]) -> Vec<u8> {
+    pub fn compress(&self, data: &[u8]) -> Vec<u8> {
         let mut out = Vec::new();
         self.compress_into(data, &mut out);
         out
@@ -131,23 +198,39 @@ impl Codec {
     /// filled with the compressed bytes (byte-identical to `compress`), so a
     /// hot path that pushes many messages through the codec can reuse one
     /// output allocation for all of them.
-    pub fn compress_into(self, data: &[u8], out: &mut Vec<u8>) {
+    pub fn compress_into(&self, data: &[u8], out: &mut Vec<u8>) {
+        self.compress_into_with(data, out, &mut CompressorScratch::new());
+    }
+
+    /// [`Codec::compress_into`] with caller-owned compressor state: the LZSS
+    /// codecs reuse `scratch`'s match-finder tables instead of re-allocating
+    /// them per call, which removes every steady-state allocation from the
+    /// compressed broadcast path. Output is byte-identical to [`Codec::compress`]
+    /// for every codec; `Raw` and `VarintDelta` need no match-finder state and
+    /// only record call statistics on `scratch`.
+    pub fn compress_into_with(
+        &self,
+        data: &[u8],
+        out: &mut Vec<u8>,
+        scratch: &mut CompressorScratch,
+    ) {
         match self {
             Codec::Raw => {
                 out.clear();
                 out.extend_from_slice(data);
             }
             Codec::Snappy => snap::raw::Encoder::new()
-                .compress_into(data, out)
+                .compress_into_with(data, out, &mut scratch.lz)
                 .expect("snappy compression cannot fail on in-memory data"),
-            Codec::Zlib1 => deflate::compress_into_vec_zlib(data, 1, out),
-            Codec::Zlib3 => deflate::compress_into_vec_zlib(data, 3, out),
+            Codec::Zlib1 => deflate::compress_into_vec_zlib_with(data, 1, out, &mut scratch.lz),
+            Codec::Zlib3 => deflate::compress_into_vec_zlib_with(data, 3, out, &mut scratch.lz),
             Codec::VarintDelta => varint::encode_bytes_as_u32_delta_into(data, out),
         }
+        scratch.note(data.len(), out.len());
     }
 
     /// Decompress `data` previously produced by [`Codec::compress`] with the same codec.
-    pub fn decompress(self, data: &[u8]) -> Result<Vec<u8>, CompressError> {
+    pub fn decompress(&self, data: &[u8]) -> Result<Vec<u8>, CompressError> {
         let mut out = Vec::new();
         self.decompress_into(data, &mut out)?;
         Ok(out)
@@ -156,7 +239,7 @@ impl Codec {
     /// [`Codec::decompress`] into a caller-owned buffer: `out` is cleared and
     /// filled with the decompressed bytes. On error `out` may hold a partial
     /// prefix; treat it as garbage.
-    pub fn decompress_into(self, data: &[u8], out: &mut Vec<u8>) -> Result<(), CompressError> {
+    pub fn decompress_into(&self, data: &[u8], out: &mut Vec<u8>) -> Result<(), CompressError> {
         match self {
             Codec::Raw => {
                 out.clear();
@@ -175,7 +258,7 @@ impl Codec {
     }
 
     /// Achieved compression ratio (`uncompressed / compressed`) on a sample.
-    pub fn measured_ratio(self, data: &[u8]) -> f64 {
+    pub fn measured_ratio(&self, data: &[u8]) -> f64 {
         if data.is_empty() {
             return 1.0;
         }
@@ -233,6 +316,57 @@ mod tests {
         assert!(Codec::Snappy
             .decompress_into(&[0xFF; 64], &mut restored)
             .is_err());
+    }
+
+    /// `compress_into_with` on a warm, repeatedly reused scratch must stay
+    /// byte-identical to the per-call allocating API — across all codecs and
+    /// payload shapes, including mid-stream payload-size changes that leave
+    /// stale match-finder entries behind.
+    #[test]
+    fn scratch_reuse_is_byte_identical_for_every_codec() {
+        let big = sample_tile_like_data();
+        let payloads: [&[u8]; 4] = [&big, b"short", &big[..4096], b""];
+        let mut out = Vec::new();
+        for codec in Codec::ALL {
+            let mut scratch = CompressorScratch::new();
+            for round in 0..3 {
+                for payload in payloads {
+                    codec.compress_into_with(payload, &mut out, &mut scratch);
+                    assert_eq!(
+                        out,
+                        codec.compress(payload),
+                        "codec {} round {round} payload len {}",
+                        codec.name(),
+                        payload.len()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_counts_calls_bytes_and_reuses() {
+        let data = sample_tile_like_data();
+        let mut scratch = CompressorScratch::new();
+        let mut out = Vec::new();
+        let mut expect_out = 0u64;
+        for _ in 0..3 {
+            Codec::Snappy.compress_into_with(&data, &mut out, &mut scratch);
+            expect_out += out.len() as u64;
+        }
+        assert_eq!(scratch.calls, 3);
+        assert_eq!(scratch.bytes_in, 3 * data.len() as u64);
+        assert_eq!(scratch.bytes_out, expect_out);
+        assert_eq!(scratch.scratch_reuses, 2);
+        // Flushing publishes into the global registry and zeroes the locals.
+        scratch.publish_observability();
+        assert_eq!(scratch.calls(), 0);
+        assert!(
+            graphh_obs::global_counters()
+                .counter("compress.calls")
+                .get()
+                >= 3
+        );
     }
 
     #[test]

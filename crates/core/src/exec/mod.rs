@@ -516,6 +516,14 @@ impl ServerState {
         self.pool.set_tracer(tracer, tid_base);
     }
 
+    /// This server's persistent compute-thread pool. Exposed so the runtime's
+    /// worker loop can fan phases other than tile compute (the encode-compress
+    /// publish phase) over the same resident threads instead of spawning its
+    /// own.
+    pub fn pool(&self) -> &graphh_pool::WorkerPool {
+        &self.pool
+    }
+
     /// Fold this server's storage-meter totals and edge-cache statistics into
     /// the global counter registry (under `storage.s{id}.*` / `cache.s{id}.*`).
     ///

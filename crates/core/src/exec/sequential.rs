@@ -76,6 +76,10 @@ impl Executor for SequentialExecutor {
         let mut enc_scratch: Vec<u8> = Vec::new();
         let mut wire: Vec<u8> = Vec::new();
         let mut dec_scratch: Vec<u8> = Vec::new();
+        // Persistent compressor state (LZSS match-finder tables): reused for
+        // every compressed message of the run, making the compressed encode
+        // path allocation-free too; flushed into `compress.*` at run end.
+        let mut comp = graphh_compress::CompressorScratch::new();
         // Direction decision counters, fetched once (the registry lookup
         // locks; the hot-loop adds are relaxed atomics).
         let counters = global_counters();
@@ -115,11 +119,12 @@ impl Executor for SequentialExecutor {
                 let mut received = ServerMetrics::default();
                 let publish = rec.begin();
                 for message in &phase.messages {
-                    plan.message_codec.encode_into(
+                    plan.message_codec.encode_into_with(
                         message,
                         &mut server_metrics,
                         &mut enc_scratch,
                         &mut wire,
+                        &mut comp,
                     );
                     let fanout = u64::from(num_servers - 1);
                     server_metrics.network_sent_bytes += wire.len() as u64 * fanout;
@@ -174,6 +179,7 @@ impl Executor for SequentialExecutor {
         for server in &servers {
             server.publish_observability();
         }
+        comp.publish_observability();
         let per_server_peak_memory = servers.iter().map(ServerState::peak_memory).collect();
         let cache_codec = servers
             .first()

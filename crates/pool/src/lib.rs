@@ -115,6 +115,8 @@ struct PoolState {
     epoch: u64,
     /// The current phase's job, present while `active > 0`.
     job: Option<Job>,
+    /// Span name the current phase's job spans are recorded under.
+    job_name: &'static str,
     /// Resident workers still running the current job.
     active: usize,
     /// Set on drop; workers exit their loop.
@@ -179,6 +181,7 @@ impl WorkerPool {
             state: Mutex::new(PoolState {
                 epoch: 0,
                 job: None,
+                job_name: "pool-job",
                 active: 0,
                 shutdown: false,
                 tracer: Tracer::off(),
@@ -228,7 +231,7 @@ impl WorkerPool {
     fn worker_loop(shared: &PoolShared, worker_index: u32) {
         let mut seen_epoch = 0u64;
         loop {
-            let (job, tracer, tid_base) = {
+            let (job, job_name, tracer, tid_base) = {
                 let mut state = lock(&shared.state);
                 loop {
                     if state.shutdown {
@@ -238,6 +241,7 @@ impl WorkerPool {
                         seen_epoch = state.epoch;
                         break (
                             state.job.expect("job set whenever the epoch bumps"),
+                            state.job_name,
                             state.tracer.clone(),
                             state.tid_base,
                         );
@@ -249,7 +253,7 @@ impl WorkerPool {
                 let mut rec = tracer.thread(tid_base + worker_index);
                 let start = rec.begin();
                 job();
-                rec.end(start, "pool-job", "pool");
+                rec.end(start, job_name, "pool");
             } else {
                 job();
             }
@@ -267,6 +271,25 @@ impl WorkerPool {
     /// re-raised on the caller after the phase has fully drained (the pool
     /// stays usable afterwards).
     pub fn fork_join_ordered<T, F>(&self, num_items: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        self.fork_join_ordered_named(num_items, "pool-job", f)
+    }
+
+    /// [`WorkerPool::fork_join_ordered`] with an explicit span name: when a
+    /// tracer is attached (see [`WorkerPool::set_tracer`]) each resident
+    /// worker records one span per phase under `name` instead of the generic
+    /// `pool-job`, so distinct phase kinds sharing one pool (tile compute vs.
+    /// encode-compress) stay distinguishable in the trace and the phase
+    /// breakdown.
+    pub fn fork_join_ordered_named<T, F>(
+        &self,
+        num_items: usize,
+        name: &'static str,
+        f: F,
+    ) -> Vec<T>
     where
         T: Send,
         F: Fn(usize) -> T + Sync,
@@ -312,6 +335,7 @@ impl WorkerPool {
         {
             let mut state = lock(&self.shared.state);
             state.job = Some(job);
+            state.job_name = name;
             state.epoch += 1;
             state.active = self.handles.len();
             self.shared.work.notify_all();
@@ -591,6 +615,22 @@ mod tests {
             .iter()
             .all(|s| s.name == "pool-job" && s.cat == "pool"));
         assert!(spans.iter().all(|s| s.tid > 100 && s.tid < 100 + 3));
+    }
+
+    #[test]
+    fn named_phases_record_spans_under_their_own_name() {
+        let pool = WorkerPool::new(3);
+        if pool.threads() < 2 {
+            return; // single-core host: no resident workers, no job spans
+        }
+        let tracer = Tracer::new();
+        pool.set_tracer(tracer.clone(), 200);
+        let _ = pool.fork_join_ordered_named(64, "encode-compress", |i| i);
+        let _ = pool.fork_join_ordered(64, |i| i);
+        let spans = tracer.drain();
+        assert!(spans.iter().any(|s| s.name == "encode-compress"));
+        assert!(spans.iter().any(|s| s.name == "pool-job"));
+        assert!(spans.iter().all(|s| s.cat == "pool"));
     }
 
     #[test]

@@ -21,7 +21,7 @@ use crate::barrier::SuperstepBarrier;
 use crate::buffer::{BufferPool, PooledBuf};
 use crate::plane::{BroadcastPlane, PlaneError};
 use graphh_cluster::ServerMetrics;
-use graphh_compress::Codec;
+use graphh_compress::{Codec, CompressorScratch};
 use graphh_core::exec::{merge_updates_in_place, ExecutionPlan, ServerState};
 use graphh_core::gab::{Direction, GabProgram};
 use graphh_core::{EngineError, GraphHConfig};
@@ -30,26 +30,60 @@ use graphh_obs::{global_counters, Tracer};
 use graphh_partition::PartitionedGraph;
 use std::sync::mpsc::Sender;
 
+/// One encode lane: the buffers and compressor state one message of the
+/// publish phase encodes into. Each message index owns its own lane, so the
+/// server pool's workers can encode+compress messages concurrently without
+/// sharing buffers; the serial ship loop then walks the lanes in index order,
+/// which keeps the wire byte stream — and the float summation of the metered
+/// compression time — identical to the sequential reference.
+struct EncodeLane {
+    /// Pre-compression encode scratch ([`graphh_cluster::MessageCodec::encode_into_with`]).
+    enc_scratch: PooledBuf,
+    /// Wire bytes of this lane's message.
+    wire: PooledBuf,
+    /// Persistent LZSS compressor state, reused for the whole run.
+    comp: CompressorScratch,
+    /// Compression seconds this lane's message was charged (per-message value,
+    /// summed in index order by the ship loop).
+    compress_seconds: f64,
+}
+
+impl EncodeLane {
+    fn checkout(pool: &BufferPool) -> Self {
+        Self {
+            enc_scratch: pool.checkout(),
+            wire: pool.checkout(),
+            comp: CompressorScratch::new(),
+            compress_seconds: 0.0,
+        }
+    }
+}
+
 /// The buffers one worker's superstep loop reuses across supersteps.
 ///
 /// Every superstep used to allocate these afresh — the merged update set, the
-/// Bloom frontier, and three byte buffers for the codec path (encode scratch,
-/// wire bytes, decompression scratch). They are now cleared and refilled in
-/// place, so a steady-state superstep's publish/exchange path performs no
-/// heap allocation on the uncompressed codec path (asserted by
-/// `tests/alloc_count.rs`). The byte buffers come from a [`BufferPool`] so
-/// they return to the pool when the run ends.
+/// Bloom frontier, and the byte buffers for the codec path (per-lane encode
+/// scratch + wire bytes, shared decompression scratch). They are now cleared
+/// and refilled in place, and each lane carries a persistent
+/// [`CompressorScratch`], so a steady-state superstep's publish/exchange path
+/// performs no heap allocation on either the uncompressed *or* the compressed
+/// codec path (asserted by `tests/alloc_count.rs`). The byte buffers come
+/// from a [`BufferPool`] so they return to the pool when the run ends.
 struct SuperstepBuffers {
     /// This superstep's merged `(vertex, value)` update set (own + received).
     all_updates: Vec<(VertexId, f64)>,
     /// Vertex ids updated in the previous superstep (drives Bloom skipping).
     previously_updated: Vec<VertexId>,
-    /// Pre-compression encode scratch ([`graphh_cluster::MessageCodec::encode_into`]).
-    enc_scratch: PooledBuf,
-    /// Wire bytes of the message currently being published.
-    wire: PooledBuf,
+    /// One lane per concurrently encoded message, grown to the widest
+    /// superstep seen (tile counts are fixed per run, so this settles after
+    /// the first superstep). Mutexes are uncontended by construction — lane
+    /// `i` is touched only by whichever pool thread claimed index `i` — they
+    /// exist to keep the fan-out safe without `unsafe` shared mutation.
+    lanes: Vec<std::sync::Mutex<EncodeLane>>,
     /// Decompression scratch for the receive path.
     dec_scratch: PooledBuf,
+    /// Handle for growing `lanes`.
+    buffer_pool: BufferPool,
 }
 
 impl SuperstepBuffers {
@@ -57,15 +91,36 @@ impl SuperstepBuffers {
         Self {
             all_updates: Vec::new(),
             previously_updated: initial_frontier,
-            enc_scratch: pool.checkout(),
-            wire: pool.checkout(),
+            lanes: Vec::new(),
             dec_scratch: pool.checkout(),
+            buffer_pool: pool.clone(),
         }
     }
 
     /// Reset the per-superstep state, keeping every allocation.
     fn begin_superstep(&mut self) {
         self.all_updates.clear();
+    }
+
+    /// Make sure at least `n` encode lanes exist (allocates only when a
+    /// superstep publishes more messages than any before it).
+    fn ensure_lanes(&mut self, n: usize) {
+        while self.lanes.len() < n {
+            self.lanes.push(std::sync::Mutex::new(EncodeLane::checkout(
+                &self.buffer_pool,
+            )));
+        }
+    }
+
+    /// Flush every lane's accumulated `compress.*` statistics into the global
+    /// counter registry (run end only: the registry locks).
+    fn publish_observability(&mut self) {
+        for lane in &mut self.lanes {
+            lane.get_mut()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .comp
+                .publish_observability();
+        }
     }
 
     /// Roll the merged update set into the next superstep's frontier, in
@@ -221,20 +276,44 @@ pub fn run_worker_traced(
             let mut metrics = phase.metrics;
 
             // Publish this superstep's messages through the real wire path.
+            // Encode+compress fans out over the server's persistent compute
+            // pool (each message index encodes into its own lane), then the
+            // serial ship loop walks the lanes in index order — so the byte
+            // stream on the plane, and the index-ordered float summation of
+            // the compression charge, are identical to a serial encode no
+            // matter how the pool schedules the lanes.
             bufs.begin_superstep();
             let publish = rec.begin();
-            for message in &phase.messages {
-                plan.message_codec.encode_into(
-                    message,
-                    &mut metrics,
-                    &mut bufs.enc_scratch,
-                    &mut bufs.wire,
-                );
+            bufs.ensure_lanes(phase.messages.len());
+            let lanes = &bufs.lanes;
+            let messages = &phase.messages;
+            server
+                .pool()
+                .fork_join_ordered_named(messages.len(), "encode-compress", |i| {
+                    let mut lane = lanes[i]
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    let lane = &mut *lane;
+                    let mut charged = ServerMetrics::default();
+                    plan.message_codec.encode_into_with(
+                        &messages[i],
+                        &mut charged,
+                        &mut lane.enc_scratch,
+                        &mut lane.wire,
+                        &mut lane.comp,
+                    );
+                    lane.compress_seconds = charged.compress_seconds;
+                });
+            for (i, message) in phase.messages.iter().enumerate() {
+                let lane = bufs.lanes[i]
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                metrics.compress_seconds += lane.compress_seconds;
                 let fanout = u64::from(num_servers - 1);
-                metrics.network_sent_bytes += bufs.wire.len() as u64 * fanout;
+                metrics.network_sent_bytes += lane.wire.len() as u64 * fanout;
                 metrics.network_messages += fanout;
                 plane
-                    .broadcast(superstep, &bufs.wire)
+                    .broadcast(superstep, &lane.wire)
                     .map_err(plane_error)?;
                 // The sender applies its own updates without a decode round
                 // trip (the wire format is lossless, and the sequential
@@ -321,6 +400,7 @@ pub fn run_worker_traced(
     match result {
         Ok(Ok(supersteps_run)) => {
             server.publish_observability();
+            bufs.publish_observability();
             Ok(WorkerOutput {
                 server: sid,
                 values: std::mem::take(&mut server.values),
@@ -386,11 +466,16 @@ mod tests {
         let mut bufs = SuperstepBuffers::checkout(&pool, vec![0, 1, 2, 3]);
         bufs.begin_superstep();
         bufs.all_updates.extend([(0, 1.0), (2, 2.0)]);
-        bufs.wire.extend_from_slice(&[0u8; 64]);
+        bufs.ensure_lanes(2);
+        assert_eq!(bufs.lanes.len(), 2);
+        let wire_ptr = {
+            let mut lane = bufs.lanes[0].lock().unwrap();
+            lane.wire.extend_from_slice(&[0u8; 64]);
+            lane.wire.as_ptr()
+        };
         let updates_ptr = bufs.all_updates.as_ptr();
         let frontier_ptr = bufs.previously_updated.as_ptr();
         let frontier_cap = bufs.previously_updated.capacity();
-        let wire_ptr = bufs.wire.as_ptr();
 
         bufs.advance_frontier();
         assert_eq!(bufs.previously_updated, vec![0, 2]);
@@ -409,9 +494,16 @@ mod tests {
             updates_ptr,
             "update buffer must be cleared, not replaced"
         );
-        bufs.wire.clear();
-        bufs.wire.extend_from_slice(&[1u8; 32]);
-        assert_eq!(bufs.wire.as_ptr(), wire_ptr, "wire scratch must be reused");
+        // A later superstep with no more messages than before keeps the same
+        // lanes (and their buffers) rather than growing or replacing them.
+        bufs.ensure_lanes(2);
+        assert_eq!(bufs.lanes.len(), 2);
+        {
+            let mut lane = bufs.lanes[0].lock().unwrap();
+            lane.wire.clear();
+            lane.wire.extend_from_slice(&[1u8; 32]);
+            assert_eq!(lane.wire.as_ptr(), wire_ptr, "wire scratch must be reused");
+        }
 
         // Dropping the buffers returns the byte scratch to the pool.
         drop(bufs);

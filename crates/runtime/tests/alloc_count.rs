@@ -2,12 +2,14 @@
 //!
 //! A steady-state superstep's publish/exchange work — resolve the superstep's
 //! push/pull direction from the frontier, choose an encoding, encode the
-//! message, frame it for the wire, decode every received message into the
-//! shared update buffer, merge — must perform **zero heap allocations** on
-//! the uncompressed codec path once the reusable buffers are warm. A counting
+//! message, compress it, frame it for the wire, decode every received message
+//! into the shared update buffer, merge — must perform **zero heap
+//! allocations** once the reusable buffers (including the persistent
+//! [`CompressorScratch`] holding the LZSS match-finder tables) are warm, on
+//! the uncompressed path *and* on every compressed codec path. A counting
 //! global allocator measures exactly that: warm the buffers with one full
 //! superstep, snapshot the allocation counter, run many more supersteps, and
-//! require the counter untouched.
+//! require the counter untouched — once per codec configuration.
 //!
 //! The counter is **thread-local**: the libtest harness thread allocates at
 //! its own unpredictable times, and a process-global counter would charge
@@ -17,6 +19,7 @@
 use graphh_cluster::{
     BroadcastMessage, ClusterConfig, CommunicationMode, MessageCodec, ServerMetrics,
 };
+use graphh_compress::{Codec, CompressorScratch};
 use graphh_core::exec::{merge_updates_in_place, ExecutionPlan};
 use graphh_core::{DirectionOptimizingBfs, GabProgram, GraphHConfig};
 use graphh_graph::generators::{GraphGenerator, RmatGenerator};
@@ -70,10 +73,10 @@ static COUNTING: CountingAllocator = CountingAllocator;
 
 /// One simulated superstep of codec/frame hot-path work over reused buffers:
 /// resolve the direction from the frontier (the per-superstep decision every
-/// direction-aware executor now makes), encode + frame every message,
-/// stream-decode every message back into the shared update buffer, merge.
-/// Returns the number of updates merged (so the work cannot be optimized
-/// away).
+/// direction-aware executor now makes), encode + compress + frame every
+/// message, stream-decode every message back into the shared update buffer,
+/// merge. Returns the number of updates merged (so the work cannot be
+/// optimized away).
 ///
 /// Phase spans are recorded into `rec` exactly where the real worker loop
 /// records them — with a disabled recorder every call must be a free no-op,
@@ -92,6 +95,7 @@ fn superstep(
     wire: &mut Vec<u8>,
     frame_buf: &mut Vec<u8>,
     dec_scratch: &mut Vec<u8>,
+    comp: &mut CompressorScratch,
     all_updates: &mut Vec<(u32, f64)>,
     rec: &mut SpanRecorder,
 ) -> usize {
@@ -111,8 +115,9 @@ fn superstep(
     );
     let publish = rec.begin();
     for message in messages {
-        // Sender side: encode (encoding choice + codec) and frame for TCP.
-        codec.encode_into(message, &mut metrics, enc_scratch, wire);
+        // Sender side: encode (encoding choice + codec, with persistent
+        // compressor state) and frame for TCP.
+        codec.encode_into_with(message, &mut metrics, enc_scratch, wire, comp);
         encode_message_into(sid, superstep, wire, frame_buf).expect("payload under frame cap");
         // Receiver side: streaming validated decode into the shared buffer.
         codec
@@ -136,7 +141,7 @@ fn superstep(
 }
 
 #[test]
-fn steady_state_codec_and_frame_path_allocates_nothing_uncompressed() {
+fn steady_state_codec_and_frame_path_allocates_nothing_for_every_codec() {
     // Hybrid mode with both outcomes represented: a dense-encoded message
     // (90% updated) and a sparse one (a handful of updates in a wide range).
     let dense = BroadcastMessage::new(
@@ -153,11 +158,10 @@ fn steady_state_codec_and_frame_path_allocates_nothing_uncompressed() {
             .collect(),
     );
     let messages = [dense, sparse];
-    let codec = MessageCodec::new(CommunicationMode::default(), None);
 
     // A real plan + push-capable program so the measured loop runs the same
     // frontier-stats / direction-resolution code the worker loop runs. Built
-    // before the snapshot: only the per-superstep decision is measured.
+    // before any snapshot: only the per-superstep decision is measured.
     let graph = RmatGenerator::new(7, 4).generate(2017);
     let partitioned =
         Spe::partition(&graph, &SpeConfig::with_tile_count("alloc", &graph, 4)).expect("partition");
@@ -166,62 +170,82 @@ fn steady_state_codec_and_frame_path_allocates_nothing_uncompressed() {
     let plan = ExecutionPlan::prepare(&config, &partitioned, &program).expect("plan");
     let frontier: Vec<u32> = (0..64).collect();
 
-    // The reusable buffers, checked out of a warm pool exactly as the worker
-    // holds them for the whole run.
+    // One zero-allocation measurement per codec configuration: the
+    // uncompressed path and every compressed codec, each with its own warm
+    // buffers and persistent compressor scratch.
+    let compressors: [Option<Codec>; 6] = [
+        None,
+        Some(Codec::Raw),
+        Some(Codec::Snappy),
+        Some(Codec::Zlib1),
+        Some(Codec::Zlib3),
+        Some(Codec::VarintDelta),
+    ];
     let pool = BufferPool::new();
-    let mut enc_scratch = pool.checkout();
-    let mut wire = pool.checkout();
-    let mut frame_buf = pool.checkout();
-    let mut dec_scratch = pool.checkout();
-    let mut all_updates: Vec<(u32, f64)> = Vec::new();
-    // Tracing disabled — as in every untraced run — must add zero allocations
-    // (and zero clock reads) to the measured loop.
-    let tracer = Tracer::off();
-    let mut rec = tracer.thread(1);
+    for compressor in compressors {
+        let label = compressor.map_or("uncompressed", Codec::name);
+        let codec = MessageCodec::new(CommunicationMode::default(), compressor);
 
-    // Warm-up superstep: buffers grow to their steady-state capacities.
-    let expected = superstep(
-        &codec,
-        &messages,
-        &plan,
-        &program,
-        &frontier,
-        3,
-        0,
-        &mut enc_scratch,
-        &mut wire,
-        &mut frame_buf,
-        &mut dec_scratch,
-        &mut all_updates,
-        &mut rec,
-    );
-    assert_eq!(expected, 1843 + 4);
+        // The reusable buffers, checked out of the pool exactly as the worker
+        // holds them (per encode lane) for the whole run.
+        let mut enc_scratch = pool.checkout();
+        let mut wire = pool.checkout();
+        let mut frame_buf = pool.checkout();
+        let mut dec_scratch = pool.checkout();
+        let mut comp = CompressorScratch::new();
+        let mut all_updates: Vec<(u32, f64)> = Vec::new();
+        // Tracing disabled — as in every untraced run — must add zero
+        // allocations (and zero clock reads) to the measured loop.
+        let tracer = Tracer::off();
+        let mut rec = tracer.thread(1);
 
-    let before = local_allocations();
-    for s in 1..64u32 {
-        let merged = superstep(
+        // Warm-up superstep: buffers (and the compressor's match-finder
+        // tables) grow to their steady-state capacities.
+        let expected = superstep(
             &codec,
             &messages,
             &plan,
             &program,
             &frontier,
             3,
-            s,
+            0,
             &mut enc_scratch,
             &mut wire,
             &mut frame_buf,
             &mut dec_scratch,
+            &mut comp,
             &mut all_updates,
             &mut rec,
         );
-        assert_eq!(merged, expected);
+        assert_eq!(expected, 1843 + 4, "codec {label}");
+
+        let before = local_allocations();
+        for s in 1..64u32 {
+            let merged = superstep(
+                &codec,
+                &messages,
+                &plan,
+                &program,
+                &frontier,
+                3,
+                s,
+                &mut enc_scratch,
+                &mut wire,
+                &mut frame_buf,
+                &mut dec_scratch,
+                &mut comp,
+                &mut all_updates,
+                &mut rec,
+            );
+            assert_eq!(merged, expected, "codec {label}");
+        }
+        let after = local_allocations();
+        assert_eq!(
+            after - before,
+            0,
+            "steady-state codec/frame path must not allocate (codec {label}, \
+             tracing off): {} allocations over 63 supersteps",
+            after - before
+        );
     }
-    let after = local_allocations();
-    assert_eq!(
-        after - before,
-        0,
-        "steady-state codec/frame path must not allocate (uncompressed, \
-         tracing off): {} allocations over 63 supersteps",
-        after - before
-    );
 }

@@ -162,7 +162,14 @@ fn threaded_matches_sequential_across_wire_configs() {
         CommunicationMode::Sparse,
         CommunicationMode::default(),
     ] {
-        for compressor in [None, Some(Codec::Snappy), Some(Codec::Zlib1)] {
+        for compressor in [
+            None,
+            Some(Codec::Raw),
+            Some(Codec::Snappy),
+            Some(Codec::Zlib1),
+            Some(Codec::Zlib3),
+            Some(Codec::VarintDelta),
+        ] {
             let mut config = GraphHConfig::paper_default(ClusterConfig::paper_testbed(SERVERS));
             config.communication = mode;
             config.message_compressor = compressor;
@@ -204,7 +211,13 @@ fn corrupt_wire_bytes_error_but_never_panic() {
         CommunicationMode::Sparse,
         CommunicationMode::default(),
     ] {
-        for compressor in [None, Some(Codec::Snappy), Some(Codec::Zlib1)] {
+        for compressor in [
+            None,
+            Some(Codec::Snappy),
+            Some(Codec::Zlib1),
+            Some(Codec::Zlib3),
+            Some(Codec::VarintDelta),
+        ] {
             let codec = MessageCodec::new(mode, compressor);
             for message in &messages {
                 let mut sender = ServerMetrics::default();

@@ -21,13 +21,25 @@ pub mod deflate {
     /// [`compress_to_vec_zlib`] into a caller-owned buffer (`out` is cleared
     /// first), so hot paths can reuse one output allocation across messages.
     pub fn compress_into_vec_zlib(data: &[u8], level: u8, out: &mut Vec<u8>) {
+        compress_into_vec_zlib_with(data, level, out, &mut lz77::Scratch::new());
+    }
+
+    /// [`compress_into_vec_zlib`] with caller-owned match-finder state:
+    /// byte-identical output, zero steady-state allocation when both `out`
+    /// and `scratch` are reused across messages.
+    pub fn compress_into_vec_zlib_with(
+        data: &[u8],
+        level: u8,
+        out: &mut Vec<u8>,
+        scratch: &mut lz77::Scratch,
+    ) {
         let max_chain = match level {
             0..=1 => 16,
             2..=3 => 64,
             4..=6 => 128,
             _ => 512,
         };
-        lz77::compress_into(MAGIC, data, max_chain, out);
+        lz77::compress_into_with(MAGIC, data, max_chain, out, scratch);
     }
 }
 

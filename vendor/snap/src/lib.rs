@@ -42,6 +42,19 @@ pub mod raw {
             lz77::compress_into(MAGIC, data, MAX_CHAIN, out);
             Ok(())
         }
+
+        /// [`Encoder::compress_into`] with caller-owned match-finder state:
+        /// byte-identical output, zero steady-state allocation when both
+        /// `out` and `scratch` are reused across messages.
+        pub fn compress_into_with(
+            &mut self,
+            data: &[u8],
+            out: &mut Vec<u8>,
+            scratch: &mut lz77::Scratch,
+        ) -> Result<(), Error> {
+            lz77::compress_into_with(MAGIC, data, MAX_CHAIN, out, scratch);
+            Ok(())
+        }
     }
 
     /// Raw-block Snappy decoder.
