@@ -36,6 +36,19 @@
 //! in `chrome://tracing` / Perfetto; `--metrics-out FILE` writes this node's
 //! run summary plus a snapshot of every process-wide counter as JSON. Neither
 //! flag changes results or wire bytes.
+//!
+//! Fault-tolerance flags (see `docs/WIRE.md` §9): `--resilient` establishes
+//! the cluster with the resilient wire protocol — transient peer failures
+//! park the link, the survivor redials (or accepts a redial) with the `GHHR`
+//! resume handshake, and retained frames are replayed, so a node process can
+//! be killed and restarted mid-run without changing the final values.
+//! `--checkpoint-dir DIR` snapshots replica values + superstep cursor every
+//! `--checkpoint-every N` supersteps (GHHC files, atomic rename); on startup
+//! an existing checkpoint for this server id is loaded automatically and the
+//! run resumes at its cursor while peers replay the delta.
+//! `--reconnect-deadline-secs N` bounds how long a lost peer may stay away;
+//! `--superstep-delay-ms N` is a chaos-test aid that widens the window for
+//! killing a node mid-run (never changes values).
 
 use graphh_bench::multiprocess::{encode_values, NodeWorkload};
 use graphh_cluster::ClusterConfig;
@@ -46,7 +59,8 @@ use graphh_core::{DirectionMode, GraphHConfig};
 use graphh_obs::{chrome_trace_json, global_counters, Tracer};
 use graphh_pool::WorkerPool;
 use graphh_runtime::{
-    run_worker_traced, BoundTcpPlane, MetricsSlice, SuperstepBarrier, TcpPlaneKind,
+    run_worker_with, validate_peer_table, BoundTcpPlane, CheckpointSink, MetricsSlice,
+    ResilienceConfig, SuperstepBarrier, TcpPlaneKind, WorkerOptions,
 };
 use std::net::SocketAddr;
 use std::sync::mpsc::channel;
@@ -68,6 +82,17 @@ struct Args {
     trace_out: Option<String>,
     metrics_out: Option<String>,
     establish_timeout: Duration,
+    /// Establish with the resilient wire protocol (reconnect-and-resume).
+    resilient: bool,
+    /// Directory for periodic GHHC checkpoints (implies auto-resume from an
+    /// existing checkpoint on startup).
+    checkpoint_dir: Option<String>,
+    /// Checkpoint cadence in supersteps.
+    checkpoint_every: u32,
+    /// How long a lost peer may stay away before the run fails terminally.
+    reconnect_deadline: Duration,
+    /// Chaos-test aid: artificial pause at the top of each superstep.
+    superstep_delay: Option<Duration>,
 }
 
 fn usage() -> ! {
@@ -79,7 +104,9 @@ fn usage() -> ! {
          [--threads-per-server T] \
          [--compressor none|raw|snappy|zlib-1|zlib-3|varint-delta] \
          [--out FILE] [--trace-out FILE] \
-         [--metrics-out FILE] [--establish-timeout-secs N] [--list-programs]"
+         [--metrics-out FILE] [--establish-timeout-secs N] \
+         [--resilient] [--checkpoint-dir DIR] [--checkpoint-every N] \
+         [--reconnect-deadline-secs N] [--superstep-delay-ms N] [--list-programs]"
     );
     eprintln!("programs:");
     for spec in PROGRAMS {
@@ -113,11 +140,20 @@ fn parse_args() -> Result<Args, String> {
     let mut trace_out = None;
     let mut metrics_out = None;
     let mut establish_timeout = Duration::from_secs(10);
+    let mut resilient = false;
+    let mut checkpoint_dir = None;
+    let mut checkpoint_every = 1;
+    let mut reconnect_deadline = ResilienceConfig::default().reconnect_deadline;
+    let mut superstep_delay = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         if flag == "--help" || flag == "-h" || flag == "--list-programs" {
             usage();
+        }
+        if flag == "--resilient" {
+            resilient = true;
+            continue;
         }
         let value = args
             .next()
@@ -152,6 +188,14 @@ fn parse_args() -> Result<Args, String> {
             "--establish-timeout-secs" => {
                 establish_timeout = Duration::from_secs(value.parse().map_err(|e| bad(&e))?)
             }
+            "--checkpoint-dir" => checkpoint_dir = Some(value),
+            "--checkpoint-every" => checkpoint_every = value.parse().map_err(|e| bad(&e))?,
+            "--reconnect-deadline-secs" => {
+                reconnect_deadline = Duration::from_secs(value.parse().map_err(|e| bad(&e))?)
+            }
+            "--superstep-delay-ms" => {
+                superstep_delay = Some(Duration::from_millis(value.parse().map_err(|e| bad(&e))?))
+            }
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -160,6 +204,12 @@ fn parse_args() -> Result<Args, String> {
     let listen = listen.ok_or("--listen is required")?;
     if peers.is_empty() && servers > 1 {
         return Err("--peers is required for clusters with more than one server".into());
+    }
+    if checkpoint_dir.is_some() && !resilient {
+        // A restart without the resilient protocol cannot rejoin its peers
+        // (nothing retains or replays the delta), so the combination is a
+        // misconfiguration, not a degraded mode.
+        return Err("--checkpoint-dir requires --resilient".into());
     }
     Ok(Args {
         id,
@@ -175,6 +225,11 @@ fn parse_args() -> Result<Args, String> {
         trace_out,
         metrics_out,
         establish_timeout,
+        resilient,
+        checkpoint_dir,
+        checkpoint_every,
+        reconnect_deadline,
+        superstep_delay,
     })
 }
 
@@ -231,14 +286,50 @@ fn run(args: Args) -> Result<(), String> {
     } else {
         args.peers.clone()
     };
-    let mut plane = bound
-        .establish_with_timeout(&peer_addrs, args.establish_timeout)
-        .map_err(|e| format!("establish cluster: {e}"))?;
+    validate_peer_table(args.id, args.servers, &peer_addrs, bound.local_addr().ok())
+        .map_err(|e| format!("invalid --peers table: {e}"))?;
+
+    // Checkpoint auto-resume: an existing GHHC snapshot for this server id
+    // means a previous incarnation of this process died mid-run — restart at
+    // its cursor and let peers replay the delta (hence `resuming_from`: our
+    // receive cursors open at the checkpointed superstep, and the resume
+    // handshake asks every peer for exactly the frames we lost).
+    let checkpoint_sink = args
+        .checkpoint_dir
+        .as_ref()
+        .map(|dir| CheckpointSink::new(dir, args.checkpoint_every));
+    let resumed = match &checkpoint_sink {
+        Some(sink) => sink
+            .load(args.id)
+            .map_err(|e| format!("load checkpoint: {e}"))?,
+        None => None,
+    };
+    let start_superstep = resumed.as_ref().map_or(0, |c| c.next_superstep);
+
+    let mut plane = if args.resilient {
+        let config = ResilienceConfig {
+            reconnect_deadline: args.reconnect_deadline,
+            ..ResilienceConfig::resuming_from(start_superstep)
+        };
+        bound
+            .establish_resilient(&peer_addrs, args.establish_timeout, config)
+            .map_err(|e| format!("establish resilient cluster: {e}"))?
+    } else {
+        bound
+            .establish_with_timeout(&peer_addrs, args.establish_timeout)
+            .map_err(|e| format!("establish cluster: {e}"))?
+    };
     eprintln!(
-        "graphh-node {}/{}: cluster established ({} peers)",
+        "graphh-node {}/{}: cluster established ({} peers{}{})",
         args.id,
         args.servers,
-        args.servers - 1
+        args.servers - 1,
+        if args.resilient { ", resilient" } else { "" },
+        if resumed.is_some() {
+            format!(", resumed at superstep {start_superstep}")
+        } else {
+            String::new()
+        },
     );
 
     // One worker per process: the local barrier is trivial, lockstep comes
@@ -253,7 +344,14 @@ fn run(args: Args) -> Result<(), String> {
     } else {
         Tracer::off()
     };
-    let output = run_worker_traced(
+    let options = WorkerOptions {
+        start_superstep,
+        initial_values: resumed.as_ref().map(|c| c.values.clone()),
+        initial_frontier: resumed.map(|c| c.frontier),
+        checkpoint: checkpoint_sink,
+        superstep_delay: args.superstep_delay,
+    };
+    let output = run_worker_with(
         &config,
         &plan,
         &partitioned,
@@ -263,6 +361,7 @@ fn run(args: Args) -> Result<(), String> {
         &barrier,
         &metrics_tx,
         &tracer,
+        options,
     )
     .map_err(|e| format!("worker failed: {}", e.error))?;
     drop(metrics_tx);

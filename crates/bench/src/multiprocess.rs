@@ -90,44 +90,10 @@ impl NodeWorkload {
     }
 }
 
-/// Magic header of a node value file.
-pub const VALUES_MAGIC: [u8; 4] = *b"GHHV";
-
-/// Serialize final vertex values the way `graphh-node --out` writes them:
-/// magic, u64 LE count, then each value's f64 bits LE — lossless, so two
-/// files are byte-equal iff the runs were bit-identical.
-pub fn encode_values(values: &[f64]) -> Vec<u8> {
-    let mut out = Vec::with_capacity(12 + values.len() * 8);
-    out.extend_from_slice(&VALUES_MAGIC);
-    out.extend_from_slice(&(values.len() as u64).to_le_bytes());
-    for v in values {
-        out.extend_from_slice(&v.to_bits().to_le_bytes());
-    }
-    out
-}
-
-/// Parse a node value file back into vertex values.
-pub fn decode_values(bytes: &[u8]) -> Result<Vec<f64>, String> {
-    if bytes.len() < 12 || bytes[0..4] != VALUES_MAGIC {
-        return Err("not a GHHV value file".into());
-    }
-    let count = u64::from_le_bytes(bytes[4..12].try_into().unwrap()) as usize;
-    // Checked arithmetic: the count is untrusted file bytes, and a corrupt
-    // header must come back as Err, not overflow.
-    let expected = count
-        .checked_mul(8)
-        .and_then(|payload| payload.checked_add(12));
-    if expected != Some(bytes.len()) {
-        return Err(format!(
-            "value file length {} does not match its count {count}",
-            bytes.len()
-        ));
-    }
-    Ok(bytes[12..]
-        .chunks_exact(8)
-        .map(|c| f64::from_bits(u64::from_le_bytes(c.try_into().unwrap())))
-        .collect())
-}
+// The GHHV value-file codec now lives in the runtime (it is also the value
+// section of GHHC checkpoint files — `graphh_runtime::checkpoint`); re-export
+// it under its historical home so launchers keep one import path.
+pub use graphh_runtime::{decode_values, encode_values, VALUES_MAGIC};
 
 #[cfg(test)]
 mod tests {

@@ -24,6 +24,8 @@
 //!   tag 1 Message        : u32 LE superstep, payload bytes (rest of body)
 //!   tag 2 EndOfSuperstep : u32 LE superstep
 //!   tag 3 Abort          : (nothing)
+//!   tag 4 Ack            : u32 LE superstep   (resilient mode only)
+//!   tag 5 Goodbye        : (nothing)          (resilient mode only)
 //! ```
 //!
 //! The length prefix covers the body only. Decoders reject unknown tags,
@@ -59,6 +61,8 @@ pub const MAX_MESSAGE_PAYLOAD: usize = MAX_FRAME_BODY - 9;
 const TAG_MESSAGE: u8 = 1;
 const TAG_END_OF_SUPERSTEP: u8 = 2;
 const TAG_ABORT: u8 = 3;
+const TAG_ACK: u8 = 4;
+const TAG_GOODBYE: u8 = 5;
 
 /// What travels between servers on the broadcast fabric.
 #[derive(Debug, Clone)]
@@ -84,6 +88,26 @@ pub enum Frame {
         /// Sending server.
         sender: ServerId,
     },
+    /// `sender` durably holds its state through `superstep` — peers may
+    /// discard retained frames up to and including it. Only the resilient
+    /// transports emit (and intercept) acks; an ack must never reach a
+    /// [`SuperstepCollector`].
+    Ack {
+        /// Acknowledging server.
+        sender: ServerId,
+        /// Last superstep the sender durably applied.
+        superstep: u32,
+    },
+    /// `sender` finished the run and is closing its connections *on
+    /// purpose*: the EOF that follows is a clean exit, not a cut. Receivers
+    /// must not arm recovery for (or linger on behalf of) a peer that said
+    /// goodbye — it needs nothing ever again. Only the resilient transports
+    /// emit (and intercept) goodbyes; one must never reach a
+    /// [`SuperstepCollector`].
+    Goodbye {
+        /// Departing server.
+        sender: ServerId,
+    },
 }
 
 impl Frame {
@@ -92,7 +116,19 @@ impl Frame {
         match *self {
             Frame::Message { sender, .. }
             | Frame::EndOfSuperstep { sender, .. }
-            | Frame::Abort { sender } => sender,
+            | Frame::Abort { sender }
+            | Frame::Ack { sender, .. }
+            | Frame::Goodbye { sender } => sender,
+        }
+    }
+
+    /// The superstep a frame belongs to, for the variants that have one.
+    pub fn frame_superstep(&self) -> Option<u32> {
+        match *self {
+            Frame::Message { superstep, .. }
+            | Frame::EndOfSuperstep { superstep, .. }
+            | Frame::Ack { superstep, .. } => Some(superstep),
+            Frame::Abort { .. } | Frame::Goodbye { .. } => None,
         }
     }
 
@@ -122,6 +158,15 @@ impl Frame {
             }
             Frame::Abort { sender } => {
                 out.push(TAG_ABORT);
+                out.extend_from_slice(&sender.to_le_bytes());
+            }
+            Frame::Ack { sender, superstep } => {
+                out.push(TAG_ACK);
+                out.extend_from_slice(&sender.to_le_bytes());
+                out.extend_from_slice(&superstep.to_le_bytes());
+            }
+            Frame::Goodbye { sender } => {
+                out.push(TAG_GOODBYE);
                 out.extend_from_slice(&sender.to_le_bytes());
             }
         }
@@ -193,6 +238,25 @@ impl Frame {
                     )));
                 }
                 Ok(Frame::Abort { sender })
+            }
+            TAG_ACK => {
+                if rest.len() != 4 {
+                    return Err(FrameError::Corrupt(format!(
+                        "ack frame must have a 9-byte body, got {}",
+                        body.len()
+                    )));
+                }
+                let superstep = u32::from_le_bytes([rest[0], rest[1], rest[2], rest[3]]);
+                Ok(Frame::Ack { sender, superstep })
+            }
+            TAG_GOODBYE => {
+                if !rest.is_empty() {
+                    return Err(FrameError::Corrupt(format!(
+                        "goodbye frame must have a 5-byte body, got {}",
+                        body.len()
+                    )));
+                }
+                Ok(Frame::Goodbye { sender })
             }
             other => Err(FrameError::Corrupt(format!("unknown frame tag {other}"))),
         }
@@ -419,6 +483,12 @@ pub enum InboxEvent {
     Frame(Frame),
     /// `ServerId`'s stream ended with this terminal error.
     PeerLost(ServerId, PlaneError),
+    /// `ServerId`'s stream was cut and has been re-established (resilient
+    /// transports only). The transport must enqueue this *after* the last
+    /// frame of the old stream and *before* the first frame of the new one —
+    /// the collector uses the boundary to discard the old stream's torn tail
+    /// and to recognize replayed duplicates.
+    PeerResumed(ServerId),
 }
 
 /// The BSP inbox discipline every broadcast-plane backend shares.
@@ -439,6 +509,27 @@ pub enum InboxEvent {
 /// * a [`InboxEvent::PeerLost`] fails the collect only if that peer has not
 ///   yet ended the superstep being collected (and poisons every later collect
 ///   the peer's stashed frames cannot satisfy).
+///
+/// ## Resume discipline (resilient transports)
+///
+/// A resilient transport reports a recovered connection as
+/// [`InboxEvent::PeerResumed`] instead of `PeerLost`. Per-stream FIFO makes
+/// recovery well-defined: from one peer, the received supersteps always form
+/// a completed prefix plus at most one torn tail. On `PeerResumed(p)` the
+/// collector
+///
+/// * discards the torn tail — stashed frames (and frames already accumulated
+///   for the in-progress collect) from `p` whose superstep was never
+///   completed by an end-of-superstep marker; the peer re-sends them in full
+///   over the new stream,
+/// * starts silently dropping frames from `p` below its completed-prefix
+///   cursor — a restarted peer re-executing from an older checkpoint re-sends
+///   supersteps this server already applied, and those deterministic
+///   duplicates must not be double-applied.
+///
+/// Both rules are inert on a fault-free run: without a `PeerResumed` event no
+/// frame is ever purged or dropped, and the strict past-superstep rejection
+/// above is unchanged.
 #[derive(Debug, Default)]
 pub struct SuperstepCollector {
     /// Frames for future supersteps that arrived while collecting an earlier
@@ -446,6 +537,13 @@ pub struct SuperstepCollector {
     stash: Vec<Frame>,
     /// Peers whose streams ended, with the terminal error each one reported.
     dead: Vec<(ServerId, PlaneError)>,
+    /// Per-peer count of completed supersteps (last end-of-superstep marker's
+    /// superstep + 1), maintained at intake time so it reflects everything
+    /// *received*, including markers still stashed for a future collect.
+    eos_through: Vec<(ServerId, u32)>,
+    /// Per-peer floor below which arriving frames are silently dropped as
+    /// post-resume replay duplicates. Empty until a `PeerResumed` arrives.
+    drop_until: Vec<(ServerId, u32)>,
 }
 
 impl SuperstepCollector {
@@ -478,32 +576,82 @@ impl SuperstepCollector {
             }
         }
 
-        let mut wires = Vec::new();
+        let mut wires: Vec<(ServerId, WireMessage)> = Vec::new();
         let mut pending: Vec<ServerId> = peers.to_vec();
-        // Frames stashed by an earlier collect come first.
+        // Frames stashed by an earlier collect come first. They were already
+        // admitted (and cursor-counted) at their original intake, so they are
+        // never re-checked against `drop_until`.
         let stashed = std::mem::take(&mut self.stash);
         let mut queue = stashed.into_iter();
         while !pending.is_empty() {
             let frame = match queue.next() {
                 Some(frame) => frame,
-                None => match next()? {
-                    InboxEvent::Frame(frame) => frame,
-                    InboxEvent::PeerLost(peer, error) => {
-                        self.dead.push((peer, error.clone()));
-                        if pending.contains(&peer) {
-                            // Streams are FIFO: everything this peer ever sent
-                            // was delivered before the loss event, so it can
-                            // never end this superstep.
-                            return Err(error);
+                // Intake: pull events until one yields an admissible frame.
+                None => loop {
+                    match next()? {
+                        InboxEvent::Frame(frame) => {
+                            match &frame {
+                                Frame::Message {
+                                    sender,
+                                    superstep: s,
+                                    ..
+                                } => {
+                                    if *s < Self::cursor(&self.drop_until, *sender) {
+                                        continue; // post-resume replay duplicate
+                                    }
+                                }
+                                Frame::EndOfSuperstep {
+                                    sender,
+                                    superstep: s,
+                                } => {
+                                    if *s < Self::cursor(&self.drop_until, *sender) {
+                                        continue; // post-resume replay duplicate
+                                    }
+                                    Self::raise_cursor(&mut self.eos_through, *sender, *s + 1);
+                                }
+                                Frame::Abort { .. } => {}
+                                Frame::Ack { sender, .. } | Frame::Goodbye { sender } => {
+                                    return Err(PlaneError::Protocol(format!(
+                                        "transport-level frame from server {sender} reached \
+                                         the collector (acks and goodbyes must be intercepted)"
+                                    )));
+                                }
+                            }
+                            break frame;
                         }
-                        continue;
+                        InboxEvent::PeerLost(peer, error) => {
+                            self.dead.push((peer, error.clone()));
+                            if pending.contains(&peer) {
+                                // Streams are FIFO: everything this peer ever
+                                // sent was delivered before the loss event, so
+                                // it can never end this superstep.
+                                return Err(error);
+                            }
+                            continue;
+                        }
+                        InboxEvent::PeerResumed(peer) => {
+                            let cursor = Self::cursor(&self.eos_through, peer);
+                            // Discard the old stream's torn tail: frames of
+                            // supersteps the peer never completed. The peer
+                            // re-sends those supersteps in full.
+                            self.stash.retain(|f| {
+                                f.sender() != peer || f.frame_superstep().is_none_or(|s| s < cursor)
+                            });
+                            if superstep >= cursor {
+                                wires.retain(|&(p, _)| p != peer);
+                            }
+                            Self::raise_cursor(&mut self.drop_until, peer, cursor);
+                            continue;
+                        }
                     }
                 },
             };
             match frame {
                 Frame::Message {
-                    superstep: s, wire, ..
-                } if s == superstep => wires.push(wire),
+                    sender,
+                    superstep: s,
+                    wire,
+                } if s == superstep => wires.push((sender, wire)),
                 Frame::EndOfSuperstep {
                     sender,
                     superstep: s,
@@ -524,6 +672,13 @@ impl SuperstepCollector {
                     self.stash.push(frame);
                 }
                 Frame::Abort { sender } => return Err(PlaneError::Aborted(sender)),
+                Frame::Ack { sender, .. } | Frame::Goodbye { sender } => {
+                    // Unreachable (rejected at intake, never stashed), but the
+                    // discipline is stated in one place either way.
+                    return Err(PlaneError::Protocol(format!(
+                        "transport-level frame from server {sender} reached the collector"
+                    )));
+                }
                 Frame::Message { superstep: s, .. }
                 | Frame::EndOfSuperstep { superstep: s, .. } => {
                     return Err(PlaneError::Protocol(format!(
@@ -534,7 +689,21 @@ impl SuperstepCollector {
         }
         // Anything left over in the drained stash belongs to a later superstep.
         self.stash.extend(queue);
-        Ok(wires)
+        Ok(wires.into_iter().map(|(_, wire)| wire).collect())
+    }
+
+    fn cursor(table: &[(ServerId, u32)], peer: ServerId) -> u32 {
+        table
+            .iter()
+            .find(|&&(p, _)| p == peer)
+            .map_or(0, |&(_, c)| c)
+    }
+
+    fn raise_cursor(table: &mut Vec<(ServerId, u32)>, peer: ServerId, value: u32) {
+        match table.iter_mut().find(|(p, _)| *p == peer) {
+            Some((_, c)) => *c = (*c).max(value),
+            None => table.push((peer, value)),
+        }
     }
 }
 
@@ -1061,5 +1230,169 @@ mod tests {
         // Superstep 2 is not: peer 1 can never end it.
         let err = c.collect(2, &[1, 2], feed(vec![eos(2, 2)])).unwrap_err();
         assert_eq!(err, PlaneError::Disconnected);
+    }
+
+    // -- resilient-mode frames and resume discipline -------------------------
+
+    #[test]
+    fn ack_frame_roundtrips_and_rejects_wrong_body_size() {
+        match roundtrip(&Frame::Ack {
+            sender: 6,
+            superstep: 31,
+        }) {
+            Frame::Ack { sender, superstep } => assert_eq!((sender, superstep), (6, 31)),
+            other => panic!("wrong variant: {other:?}"),
+        }
+        // Ack one byte short of its superstep.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&8u32.to_le_bytes());
+        bytes.push(TAG_ACK);
+        bytes.extend_from_slice(&1u32.to_le_bytes());
+        bytes.extend_from_slice(&[0, 0, 0]);
+        assert!(matches!(Frame::decode(&bytes), Err(FrameError::Corrupt(_))));
+        // Ack with trailing garbage.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&10u32.to_le_bytes());
+        bytes.push(TAG_ACK);
+        bytes.extend_from_slice(&1u32.to_le_bytes());
+        bytes.extend_from_slice(&[0, 0, 0, 0, 0xff]);
+        assert!(matches!(Frame::decode(&bytes), Err(FrameError::Corrupt(_))));
+    }
+
+    #[test]
+    fn ack_reaching_the_collector_is_a_protocol_error() {
+        let mut c = SuperstepCollector::new();
+        let err = c
+            .collect(
+                0,
+                &[1],
+                feed(vec![InboxEvent::Frame(Frame::Ack {
+                    sender: 1,
+                    superstep: 0,
+                })]),
+            )
+            .unwrap_err();
+        assert!(matches!(err, PlaneError::Protocol(_)), "{err:?}");
+    }
+
+    fn resumed(peer: ServerId) -> InboxEvent {
+        InboxEvent::PeerResumed(peer)
+    }
+
+    /// A resume purges the stashed torn tail: frames of a superstep the peer
+    /// never completed are discarded, and the peer's full re-send of that
+    /// superstep is what counts — exactly once.
+    #[test]
+    fn resume_purges_stashed_torn_tail_and_accepts_the_resend() {
+        let mut c = SuperstepCollector::new();
+        // A torn superstep-1 message (no EOS) stashes while 0 completes.
+        let s0 = c
+            .collect(0, &[1], feed(vec![msg(1, 0, 10), msg(1, 1, 99), eos(1, 0)]))
+            .unwrap();
+        assert_eq!(s0.len(), 1);
+        // The peer reconnects and re-sends superstep 1 in full.
+        let s1 = c
+            .collect(1, &[1], feed(vec![resumed(1), msg(1, 1, 42), eos(1, 1)]))
+            .unwrap();
+        assert_eq!(
+            s1.len(),
+            1,
+            "torn frame must not survive alongside its re-send"
+        );
+        assert_eq!(s1[0][0], 42);
+    }
+
+    /// A resume mid-collect purges what the torn stream already contributed to
+    /// the in-progress superstep, so the peer's full re-send is not doubled.
+    #[test]
+    fn resume_purges_current_collect_accumulation() {
+        let mut c = SuperstepCollector::new();
+        let wires = c
+            .collect(
+                0,
+                &[1, 2],
+                feed(vec![
+                    msg(1, 0, 9), // delivered, then the stream tears
+                    resumed(1),
+                    msg(1, 0, 9), // full re-send of superstep 0
+                    eos(1, 0),
+                    msg(2, 0, 20),
+                    eos(2, 0),
+                ]),
+            )
+            .unwrap();
+        assert_eq!(
+            wires.len(),
+            2,
+            "the torn contribution must be replaced, not kept"
+        );
+    }
+
+    /// A restarted peer re-executing from an old checkpoint re-sends
+    /// supersteps this server already completed; those deterministic
+    /// duplicates (including the end-of-superstep markers) are dropped
+    /// silently — no double-apply, no double-EOS protocol error.
+    #[test]
+    fn resume_drops_replayed_supersteps_below_the_completed_prefix() {
+        let mut c = SuperstepCollector::new();
+        let s0 = c
+            .collect(0, &[1], feed(vec![msg(1, 0, 7), eos(1, 0)]))
+            .unwrap();
+        assert_eq!(s0.len(), 1);
+        // Peer restarts from superstep 0 and re-sends everything.
+        let s1 = c
+            .collect(
+                1,
+                &[1],
+                feed(vec![
+                    resumed(1),
+                    msg(1, 0, 7), // duplicate of an applied superstep: dropped
+                    eos(1, 0),    // duplicate marker: dropped, not double-EOS
+                    msg(1, 1, 8),
+                    eos(1, 1),
+                ]),
+            )
+            .unwrap();
+        assert_eq!(s1.len(), 1);
+        assert_eq!(s1[0][0], 8);
+    }
+
+    /// A peer that completed the in-progress superstep before the cut keeps
+    /// its contribution: only the incomplete tail is discarded.
+    #[test]
+    fn resume_keeps_completed_contributions_of_the_current_superstep() {
+        let mut c = SuperstepCollector::new();
+        let wires = c
+            .collect(
+                0,
+                &[1, 2],
+                feed(vec![
+                    msg(1, 0, 5),
+                    eos(1, 0), // peer 1 completed superstep 0, then the cut
+                    resumed(1),
+                    msg(1, 0, 5), // replayed duplicate: dropped
+                    eos(1, 0),    // replayed duplicate: dropped
+                    msg(2, 0, 6),
+                    eos(2, 0),
+                ]),
+            )
+            .unwrap();
+        assert_eq!(wires.len(), 2);
+    }
+
+    /// Without a resume event the strict discipline is untouched: past-
+    /// superstep frames are still protocol violations.
+    #[test]
+    fn past_superstep_strictness_survives_unrelated_resumes() {
+        let mut c = SuperstepCollector::new();
+        let s0 = c
+            .collect(0, &[1, 2], feed(vec![eos(1, 0), eos(2, 0)]))
+            .unwrap();
+        assert!(s0.is_empty());
+        // Peer 2 resumes; peer 1 then misbehaves with a past-superstep frame.
+        let err = c
+            .collect(1, &[1, 2], feed(vec![resumed(2), msg(1, 0, 1)]))
+            .unwrap_err();
+        assert!(matches!(err, PlaneError::Protocol(_)), "{err:?}");
     }
 }

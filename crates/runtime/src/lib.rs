@@ -52,16 +52,23 @@
 
 pub mod barrier;
 pub mod buffer;
+pub mod chaos;
+pub mod checkpoint;
 pub mod frame;
 pub mod plane;
 pub mod poll;
 pub mod reduce;
+pub mod resume;
 pub mod socket;
 pub mod threaded;
 pub mod worker;
 
 pub use barrier::SuperstepBarrier;
 pub use buffer::{BufferPool, PooledBuf};
+pub use chaos::{CutPlan, FaultPlane, SeverPeer};
+pub use checkpoint::{
+    decode_values, encode_values, Checkpoint, CheckpointSink, CHECKPOINT_MAGIC, VALUES_MAGIC,
+};
 pub use frame::{
     encode_message_into, Frame, FrameDecoder, FrameError, InboxEvent, PlaneError,
     SuperstepCollector, WireMessage,
@@ -71,6 +78,12 @@ pub use poll::{
     BoundPollPlane, BoundTcpPlane, PollPlane, ReadinessPoller, SpinPoller, TcpPlaneKind,
 };
 pub use reduce::{reduce_metrics, ReducedMetrics};
-pub use socket::{BoundSocketPlane, SocketPlane};
+pub use resume::{
+    validate_peer_table, HandshakeFault, ReplayError, ReplayLog, ResilienceConfig, ResumeHello,
+};
+pub use socket::{BoundSocketPlane, ResilientSocketPlane, SocketPlane};
 pub use threaded::ThreadedExecutor;
-pub use worker::{run_worker, run_worker_traced, MetricsSlice, WorkerError, WorkerOutput};
+pub use worker::{
+    run_worker, run_worker_traced, run_worker_with, MetricsSlice, WorkerError, WorkerOptions,
+    WorkerOutput,
+};

@@ -74,6 +74,17 @@ pub trait BroadcastPlane: Send {
     /// before applying them.)
     fn collect(&mut self, superstep: u32) -> Result<Vec<WireMessage>, PlaneError>;
 
+    /// Declare that this server durably holds all state through `superstep`
+    /// (applied in memory, or checkpointed when the worker persists state) —
+    /// so peers may discard their retained replay frames for it. Resilient
+    /// transports forward this as an `Ack` frame and trim their own replay
+    /// logs on the acks they receive; for everything else durability is moot
+    /// and the default is a no-op, keeping the fault-free wire byte stream
+    /// and allocation profile unchanged.
+    fn acknowledge(&mut self, _superstep: u32) -> Result<(), PlaneError> {
+        Ok(())
+    }
+
     /// Tell every peer this server is aborting (best effort, never blocks).
     fn abort(&mut self);
 }

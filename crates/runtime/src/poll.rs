@@ -67,10 +67,14 @@
 //! `tests/poll_threads.rs` and `examples/socket_cluster.rs`, not assumed.
 
 use crate::buffer::{BufferPool, PooledBuf};
+use crate::chaos::SeverPeer;
 use crate::frame::{
     Frame, FrameDecoder, FrameError, InboxEvent, PlaneError, SuperstepCollector, WireMessage,
 };
 use crate::plane::BroadcastPlane;
+use crate::resume::{
+    count_frames, HandshakeFault, ReplayLog, ResilienceConfig, ResumeHello, RESUME_HELLO_LEN,
+};
 use crate::socket::{bind_listener, establish_streams, DEFAULT_ESTABLISH_TIMEOUT};
 use graphh_graph::ids::ServerId;
 use graphh_obs::{global_counters, Counter};
@@ -80,7 +84,7 @@ use std::net::{Ipv4Addr, Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketA
 use std::sync::mpsc::{channel, sync_channel, Receiver, Sender, SyncSender, TryRecvError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// How long one `poll` round may sleep when nothing is ready. Bounds shutdown
 /// latency for events the waker does not cover; the waker covers commands.
@@ -191,6 +195,23 @@ pub trait ReadinessPoller: Send {
         ready: &mut [Readiness],
         timeout: Duration,
     ) -> std::io::Result<()>;
+
+    /// Register a listening socket as the next slot (its `readable` means a
+    /// connection is waiting to be accepted). Only the resilient plane needs
+    /// this; pollers that cannot watch a listener refuse here, failing
+    /// `establish_resilient` loudly instead of never accepting reconnects.
+    fn register_listener(&mut self, _listener: &TcpListener) -> std::io::Result<()> {
+        Err(std::io::Error::other(
+            "this poller cannot watch a listener (resilient mode unsupported)",
+        ))
+    }
+
+    /// Replace the socket behind an existing slot (a reconnected peer
+    /// stream). Pollers that re-derive readiness each round (the spin
+    /// fallback) need no bookkeeping; fd-based pollers swap the descriptor.
+    fn reregister(&mut self, _slot: usize, _stream: &TcpStream) -> std::io::Result<()> {
+        Ok(())
+    }
 }
 
 /// Level-triggered readiness via the `poll(2)` syscall.
@@ -254,6 +275,18 @@ impl ReadinessPoller for PollSyscallPoller {
     fn register(&mut self, stream: &TcpStream) -> std::io::Result<()> {
         use std::os::unix::io::AsRawFd;
         self.fds.push(stream.as_raw_fd());
+        Ok(())
+    }
+
+    fn register_listener(&mut self, listener: &TcpListener) -> std::io::Result<()> {
+        use std::os::unix::io::AsRawFd;
+        self.fds.push(listener.as_raw_fd());
+        Ok(())
+    }
+
+    fn reregister(&mut self, slot: usize, stream: &TcpStream) -> std::io::Result<()> {
+        use std::os::unix::io::AsRawFd;
+        self.fds[slot] = stream.as_raw_fd();
         Ok(())
     }
 
@@ -351,6 +384,11 @@ impl Default for SpinPoller {
 
 impl ReadinessPoller for SpinPoller {
     fn register(&mut self, _stream: &TcpStream) -> std::io::Result<()> {
+        self.registered += 1;
+        Ok(())
+    }
+
+    fn register_listener(&mut self, _listener: &TcpListener) -> std::io::Result<()> {
         self.registered += 1;
         Ok(())
     }
@@ -459,6 +497,8 @@ impl BoundPollPlane {
                 queued_bytes: 0,
                 read_open: true,
                 write_open: true,
+                ack_delivered: None,
+                done: false,
                 // Per-peer traffic counters, named at establish time (the
                 // only place the name formatting — an allocation — happens).
                 frames_in: registry.counter(&format!("poll.s{id}.from{peer}.frames_in")),
@@ -479,6 +519,7 @@ impl BoundPollPlane {
                     inbox: inbox_tx,
                     poller,
                     counters: LoopCounters::registered(),
+                    resilient: None,
                 }
                 .run()
             })
@@ -498,6 +539,149 @@ impl BoundPollPlane {
             pool,
             batch,
             batch_flushes: registry.counter("poll.batch_flushes"),
+            resilient: false,
+            batch_superstep: 0,
+        })
+    }
+
+    /// Connect to every peer and return a fault-tolerant poll plane: same
+    /// event loop and wire protocol, but the handshake is the 16-byte `GHHR`
+    /// resume hello (both directions), broadcast batches are retained for
+    /// replay until acked, and a mid-run connection loss triggers
+    /// reconnect-and-resume inside the loop (redial for lower-id peers, the
+    /// kept-open listener for higher-id ones) instead of reporting terminal
+    /// peer loss. Only a failure outliving `config.reconnect_deadline` (or a
+    /// resume request below the replay floor) surfaces as `PeerLost`.
+    pub fn establish_resilient(
+        self,
+        peer_addrs: &[SocketAddr],
+        timeout: Duration,
+        config: ResilienceConfig,
+    ) -> std::io::Result<PollPlane> {
+        self.establish_resilient_with(peer_addrs, timeout, config, default_poller())
+    }
+
+    /// [`Self::establish_resilient`] with an explicit poller.
+    pub fn establish_resilient_with(
+        self,
+        peer_addrs: &[SocketAddr],
+        timeout: Duration,
+        config: ResilienceConfig,
+        mut poller: Box<dyn ReadinessPoller>,
+    ) -> std::io::Result<PollPlane> {
+        let BoundPollPlane {
+            id,
+            num_servers,
+            listener,
+        } = self;
+        if peer_addrs.len() != num_servers as usize {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!(
+                    "peer table has {} entries for a {num_servers}-server cluster",
+                    peer_addrs.len()
+                ),
+            ));
+        }
+        let mut fault_budget = if config.handshake_fault.is_some() {
+            config.handshake_fault_budget
+        } else {
+            0
+        };
+        let streams = establish_resilient_streams(
+            id,
+            num_servers,
+            &listener,
+            peer_addrs,
+            timeout,
+            &config,
+            &mut fault_budget,
+        )?;
+
+        let (waker_tx, waker_rx) = waker_pair()?;
+        poller.register(&waker_rx)?;
+        let registry = global_counters();
+        let mut peers = Vec::with_capacity(streams.len());
+        // The peers' initial resume_from values are ignored here: this
+        // endpoint's replay log is empty at establish time, so there is
+        // nothing to replay regardless of where a peer asks to resume (a
+        // restarted process re-broadcasts from its checkpoint cursor through
+        // the normal worker loop instead).
+        for (peer, stream, _peer_resume_from) in streams {
+            stream.set_nonblocking(true)?;
+            poller.register(&stream)?;
+            peers.push(Peer {
+                id: peer,
+                stream,
+                decoder: FrameDecoder::new(),
+                outbound: VecDeque::new(),
+                queued_bytes: 0,
+                read_open: true,
+                write_open: true,
+                ack_delivered: None,
+                done: false,
+                frames_in: registry.counter(&format!("poll.s{id}.from{peer}.frames_in")),
+                bytes_in: registry.counter(&format!("poll.s{id}.from{peer}.bytes_in")),
+            });
+        }
+        // The listener stays open for the whole run (slot `peers + 1`) so
+        // cut peers — or a restarted process — can always dial back in.
+        listener.set_nonblocking(true)?;
+        poller.register_listener(&listener)?;
+
+        let resilient = ResilientState {
+            id,
+            num_servers,
+            listener,
+            peer_addrs: peer_addrs.to_vec(),
+            config: config.clone(),
+            fault_budget,
+            replay: ReplayLog::new(num_servers, id),
+            recv_cursor: vec![config.resume_from; num_servers as usize],
+            down: (0..peers.len()).map(|_| None).collect(),
+            gone: vec![false; peers.len()],
+            last_ack: None,
+            aborted: false,
+            pool: BufferPool::new(),
+            reconnects: registry.counter("fabric.reconnects"),
+            replayed_frames: registry.counter("fabric.replayed_frames"),
+        };
+
+        let (command_tx, command_rx) = sync_channel::<Command>(COMMAND_BACKLOG);
+        let (inbox_tx, inbox) = channel::<InboxEvent>();
+        let peer_ids: Vec<ServerId> = peers.iter().map(|p| p.id).collect();
+        let event_loop = std::thread::Builder::new()
+            .name(format!("graphh-rpoll-loop-{id}"))
+            .spawn(move || {
+                EventLoop {
+                    peers,
+                    waker_rx,
+                    commands: command_rx,
+                    inbox: inbox_tx,
+                    poller,
+                    counters: LoopCounters::registered(),
+                    resilient: Some(resilient),
+                }
+                .run()
+            })
+            .map_err(|e| std::io::Error::other(format!("spawn event-loop thread: {e}")))?;
+
+        let pool = BufferPool::new();
+        let batch = pool.checkout();
+        Ok(PollPlane {
+            id,
+            num_servers,
+            peer_ids,
+            commands: command_tx,
+            waker: waker_tx,
+            inbox,
+            collector: SuperstepCollector::new(),
+            event_loop: Some(event_loop),
+            pool,
+            batch,
+            batch_flushes: registry.counter("poll.batch_flushes"),
+            resilient: true,
+            batch_superstep: 0,
         })
     }
 }
@@ -531,6 +715,14 @@ pub struct PollPlane {
     batch: PooledBuf,
     /// Batches handed to the event loop (`poll.batch_flushes`).
     batch_flushes: Counter,
+    /// True when this plane was built by `establish_resilient`: batches are
+    /// shipped retained (replay log) and acks/severs become commands. The
+    /// default path never sets this, so fault-free planes behave exactly as
+    /// before.
+    resilient: bool,
+    /// The superstep every frame in the current batch belongs to (batches
+    /// never span supersteps — `end_superstep` flushes).
+    batch_superstep: u32,
 }
 
 impl PollPlane {
@@ -559,8 +751,16 @@ impl PollPlane {
             return Ok(());
         }
         let full = std::mem::replace(&mut self.batch, self.pool.checkout());
+        let command = if self.resilient {
+            Command::SendRetained {
+                superstep: self.batch_superstep,
+                batch: Arc::new(full),
+            }
+        } else {
+            Command::Send(Arc::new(full))
+        };
         self.commands
-            .send(Command::Send(Arc::new(full)))
+            .send(command)
             .map_err(|_| PlaneError::Disconnected)?;
         self.batch_flushes.incr();
         self.wake();
@@ -588,6 +788,7 @@ impl BroadcastPlane for PollPlane {
         // reach the event loop when the batch fills or the superstep ends —
         // whole supersteps travel as one contiguous buffer instead of one
         // command + waker write + socket write per frame.
+        self.batch_superstep = superstep;
         crate::frame::encode_message_into(self.id, superstep, wire, &mut self.batch)
             .map_err(|e| PlaneError::Protocol(e.to_string()))?;
         if self.batch.len() >= BATCH_FLUSH {
@@ -597,6 +798,7 @@ impl BroadcastPlane for PollPlane {
     }
 
     fn end_superstep(&mut self, superstep: u32) -> Result<(), PlaneError> {
+        self.batch_superstep = superstep;
         Frame::EndOfSuperstep {
             sender: self.id,
             superstep,
@@ -615,15 +817,49 @@ impl BroadcastPlane for PollPlane {
         })
     }
 
+    fn acknowledge(&mut self, superstep: u32) -> Result<(), PlaneError> {
+        if !self.resilient {
+            return Ok(());
+        }
+        // Acks travel unretained (losing one to a cut only delays replay-log
+        // trimming) in their own batch, so they never mix into a retained one.
+        let mut buf = self.pool.checkout();
+        Frame::Ack {
+            sender: self.id,
+            superstep,
+        }
+        .encode(&mut buf);
+        self.commands
+            .send(Command::Ack {
+                superstep,
+                batch: Arc::new(buf),
+            })
+            .map_err(|_| PlaneError::Disconnected)?;
+        self.wake();
+        Ok(())
+    }
+
     fn abort(&mut self) {
         // The abort rides whatever is still batched (stream order preserved).
+        // On a resilient plane the batched frames travel unretained here —
+        // acceptable, because an abort ends the run for every peer anyway.
         Frame::Abort { sender: self.id }.encode(&mut self.batch);
         // Best effort and non-blocking (the WIRE.md §5 contract): try_send,
         // not send — a full command channel means the loop is backpressured,
         // and an aborting worker must unwind rather than park on it. A
         // dropped abort is recovered by peers observing the stream close.
         let full = std::mem::replace(&mut self.batch, self.pool.checkout());
-        let _ = self.commands.try_send(Command::Send(Arc::new(full)));
+        let _ = self.commands.try_send(Command::Abort(Arc::new(full)));
+        self.wake();
+    }
+}
+
+impl SeverPeer for PollPlane {
+    fn sever_peer(&mut self, peer: ServerId) {
+        if !self.resilient {
+            return;
+        }
+        let _ = self.commands.send(Command::Sever(peer));
         self.wake();
     }
 }
@@ -736,6 +972,25 @@ impl BoundTcpPlane {
             BoundTcpPlane::Poll(b) => Box::new(b.establish_with_timeout(peer_addrs, timeout)?),
         })
     }
+
+    /// Connect to every peer with the *resilient* wire protocol (`GHHR`
+    /// resume handshake, frame retention + replay, reconnect-and-resume; see
+    /// `docs/WIRE.md` §9). Either backend, same launcher-facing shape as
+    /// [`Self::establish`].
+    pub fn establish_resilient(
+        self,
+        peer_addrs: &[SocketAddr],
+        timeout: Duration,
+        config: ResilienceConfig,
+    ) -> std::io::Result<Box<dyn BroadcastPlane>> {
+        Ok(match self {
+            BoundTcpPlane::Socket(b) => {
+                Box::new(b.establish_resilient(peer_addrs, timeout, config)?)
+                    as Box<dyn BroadcastPlane>
+            }
+            BoundTcpPlane::Poll(b) => Box::new(b.establish_resilient(peer_addrs, timeout, config)?),
+        })
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -745,6 +1000,21 @@ impl BoundTcpPlane {
 enum Command {
     /// Enqueue this batch of pre-encoded frame bytes to every peer.
     Send(SharedBatch),
+    /// Same, but also retain the batch in the replay log under `superstep`
+    /// until every peer acks it (resilient planes only — a batch never spans
+    /// supersteps because `end_superstep` always flushes).
+    SendRetained { superstep: u32, batch: SharedBatch },
+    /// An acknowledgement batch: enqueued like [`Command::Send`], but the
+    /// superstep is also remembered so a re-established link can repeat the
+    /// latest ack (acks travel unretained and die with a cut stream).
+    Ack { superstep: u32, batch: SharedBatch },
+    /// An abort batch: enqueued like [`Command::Send`], but also marks the
+    /// run aborted so shutdown never lingers for stragglers.
+    Abort(SharedBatch),
+    /// Chaos injection: cut the live connection to this peer (flush its
+    /// queue, then close our write half — the peer sees a full stream then a
+    /// FIN, exactly like a real boundary failure).
+    Sever(ServerId),
     /// Flush all write queues, half-close the streams, exit the loop.
     Shutdown,
 }
@@ -765,6 +1035,14 @@ struct Peer {
     /// False once a write failed; the queue is discarded (reads attribute
     /// the actual loss).
     write_open: bool,
+    /// Highest ack superstep queued on this link while writable (`None`
+    /// when none). Acks travel unretained, so this is what tells a finished
+    /// endpoint whether a down peer might still be waiting on our floor.
+    ack_delivered: Option<u32>,
+    /// True once the peer sent a `Goodbye`: its next EOF is a deliberate
+    /// clean exit, so the cut must not arm recovery and the linger must not
+    /// hold the door for it.
+    done: bool,
     /// Complete frames decoded off this peer's stream.
     frames_in: Counter,
     /// Raw stream bytes read from this peer.
@@ -781,6 +1059,53 @@ impl Peer {
     }
 }
 
+/// One down peer's recovery clock.
+struct DownState {
+    /// Past this instant the peer is declared terminally lost.
+    deadline: Instant,
+    /// Next redial attempt (dial-side recovery only).
+    next_retry: Instant,
+}
+
+/// Everything the event loop needs for reconnect-and-resume, present only on
+/// planes built by `establish_resilient`. The loop is single-threaded, so
+/// unlike the socket plane's fabric none of this needs locks or generations:
+/// command intake, replay appends, stream replacement and recovery all
+/// interleave at loop-iteration granularity, which makes replay trivially
+/// gap-free (no frame can be appended between a replay snapshot and the
+/// stream install — both happen on this thread).
+struct ResilientState {
+    id: ServerId,
+    num_servers: u32,
+    /// Kept open (and polled, last slot) for the whole run so peers can
+    /// redial at any point — including a restarted process rejoining.
+    listener: TcpListener,
+    peer_addrs: Vec<SocketAddr>,
+    config: ResilienceConfig,
+    /// Remaining sabotaged dial attempts (chaos handshake faults).
+    fault_budget: u32,
+    replay: ReplayLog,
+    /// Per-peer count of completed supersteps received (EOS superstep + 1),
+    /// indexed by server id: the `resume_from` this endpoint requests when a
+    /// link is re-established.
+    recv_cursor: Vec<u32>,
+    /// Recovery clocks, indexed like `peers` (None = link believed up).
+    down: Vec<Option<DownState>>,
+    /// Terminally lost peers, indexed like `peers`.
+    gone: Vec<bool>,
+    /// Highest superstep this endpoint acknowledged; repeated on every
+    /// re-established link (acks are unretained — any the peer missed while
+    /// down died with the old stream, and it needs the current floor to trim
+    /// its own replay log and finish its own linger).
+    last_ack: Option<u32>,
+    /// Set by [`Command::Abort`]: an aborted run never lingers at shutdown.
+    aborted: bool,
+    /// Buffers for replay blobs (recycled like broadcast batches).
+    pool: BufferPool,
+    reconnects: Counter,
+    replayed_frames: Counter,
+}
+
 struct EventLoop {
     /// Registered with the poller as slots `1..=peers.len()`.
     peers: Vec<Peer>,
@@ -790,14 +1115,23 @@ struct EventLoop {
     inbox: Sender<InboxEvent>,
     poller: Box<dyn ReadinessPoller>,
     counters: LoopCounters,
+    /// Present only on resilient planes; `None` leaves every code path of
+    /// the default plane byte-identical.
+    resilient: Option<ResilientState>,
 }
 
 impl EventLoop {
     fn run(mut self) {
         let mut read_buf = vec![0u8; READ_CHUNK];
-        let mut interest = vec![Readiness::none(); self.peers.len() + 1];
-        let mut ready = vec![Readiness::none(); self.peers.len() + 1];
+        // Slot layout: 0 = waker, 1..=peers = peer streams, and on resilient
+        // planes one more for the always-open listener.
+        let slots = self.peers.len() + 1 + usize::from(self.resilient.is_some());
+        let mut interest = vec![Readiness::none(); slots];
+        let mut ready = vec![Readiness::none(); slots];
         let mut shutting_down = false;
+        // Armed on the first shutdown iteration that still has unacked
+        // retained frames: the graceful-termination linger window.
+        let mut linger_deadline: Option<Instant> = None;
         let mut progressed = true;
         loop {
             // 1. Commands — but only while below the high-water mark: a slow
@@ -816,6 +1150,48 @@ impl EventLoop {
                         }
                         progressed = true;
                     }
+                    Ok(Command::SendRetained { superstep, batch }) => {
+                        if let Some(r) = self.resilient.as_mut() {
+                            // Retain before enqueueing: a frame is replayable
+                            // the moment any peer could have missed it.
+                            r.replay.append(superstep, &batch, count_frames(&batch));
+                        }
+                        for peer in &mut self.peers {
+                            peer.enqueue(&batch, &self.counters.queued_bytes_peak);
+                        }
+                        progressed = true;
+                    }
+                    Ok(Command::Ack { superstep, batch }) => {
+                        if let Some(r) = self.resilient.as_mut() {
+                            r.last_ack = Some(r.last_ack.map_or(superstep, |s| s.max(superstep)));
+                        }
+                        for peer in &mut self.peers {
+                            peer.enqueue(&batch, &self.counters.queued_bytes_peak);
+                            if peer.write_open {
+                                // Queued while writable counts as delivered:
+                                // the exit path flushes queues before close.
+                                peer.ack_delivered = Some(
+                                    peer.ack_delivered.map_or(superstep, |s| s.max(superstep)),
+                                );
+                            }
+                        }
+                        progressed = true;
+                    }
+                    Ok(Command::Abort(batch)) => {
+                        if let Some(r) = self.resilient.as_mut() {
+                            r.aborted = true;
+                        }
+                        for peer in &mut self.peers {
+                            peer.enqueue(&batch, &self.counters.queued_bytes_peak);
+                        }
+                        progressed = true;
+                    }
+                    Ok(Command::Sever(peer_id)) => {
+                        if let Some(peer) = self.peers.iter_mut().find(|p| p.id == peer_id) {
+                            sever_poll_peer(peer);
+                        }
+                        progressed = true;
+                    }
                     Ok(Command::Shutdown) => shutting_down = true,
                     // A disconnected sender means the plane was dropped; it
                     // always sends Shutdown first, but be safe either way.
@@ -827,15 +1203,75 @@ impl EventLoop {
                 }
             }
 
-            // 2. Exit once told to stop and every queue is flushed (or its
-            // peer unreachable). Half-close so peers see a clean EOF after
-            // our final bytes.
+            // 1b. Graceful-termination linger: a finished endpoint must keep
+            // serving (accepts, replay, recovery) while a *down* peer might
+            // still need something only we can give it — frames we retain
+            // (it has not acked everything) or our latest ack (acks travel
+            // unretained, so one lost to a cut leaves the peer unable to
+            // trim its own log and finish its own linger). Exiting early
+            // slams the listener on a peer cut near the end of the run; its
+            // redials bounce until its deadline declares us lost. Up links
+            // owe nothing (queued bytes reach the peer even after we close),
+            // gone peers can never come back, and an aborted run never
+            // lingers. Bounded by the reconnect deadline (a peer down that
+            // long is given up by recovery, which forgets it from the log).
+            let lingering = shutting_down
+                && match self.resilient.as_ref() {
+                    Some(r) if !r.aborted => {
+                        let replay_needed = r.replay.retained_supersteps() > 0;
+                        let owes_a_down_peer =
+                            self.peers.iter().zip(&r.down).any(|(peer, down)| {
+                                down.is_some()
+                                    && (replay_needed
+                                        || r.last_ack
+                                            .is_some_and(|ack| peer.ack_delivered != Some(ack)))
+                            });
+                        owes_a_down_peer && {
+                            let deadline = *linger_deadline.get_or_insert_with(|| {
+                                Instant::now() + r.config.reconnect_deadline
+                            });
+                            Instant::now() < deadline
+                        }
+                    }
+                    _ => false,
+                };
+
+            // 1c. Resilient recovery: declare deadline-expired peers lost and
+            // redial lower-id down peers (higher-id ones come back through
+            // the listener). Skipped once shutting down past the linger — the
+            // run is over.
+            if !shutting_down || lingering {
+                if let Some(r) = self.resilient.as_mut() {
+                    progressed |= recovery_tick(
+                        &mut self.peers,
+                        r,
+                        &self.inbox,
+                        self.poller.as_mut(),
+                        &self.counters,
+                    );
+                }
+            }
+
+            // 2. Exit once told to stop, done lingering, and every queue is
+            // flushed (or its peer unreachable). Half-close so peers see a
+            // clean EOF after our final bytes.
             if shutting_down
+                && !lingering
                 && self
                     .peers
                     .iter()
                     .all(|p| p.outbound.is_empty() || !p.write_open)
             {
+                // Announce the clean exit so peers treat the coming EOFs as
+                // a deliberate close, not a cut to recover from. Best-effort
+                // (9 bytes into a drained socket buffer).
+                if let Some(r) = self.resilient.as_ref() {
+                    let mut goodbye = Vec::new();
+                    Frame::Goodbye { sender: r.id }.encode(&mut goodbye);
+                    for peer in self.peers.iter().filter(|p| p.write_open) {
+                        let _ = (&peer.stream).write_all(&goodbye);
+                    }
+                }
                 for peer in &self.peers {
                     let _ = peer.stream.shutdown(Shutdown::Write);
                 }
@@ -851,6 +1287,12 @@ impl EventLoop {
             for (slot, peer) in interest[1..].iter_mut().zip(&self.peers) {
                 slot.readable = peer.read_open;
                 slot.writable = peer.write_open && !peer.outbound.is_empty();
+            }
+            if self.resilient.is_some() {
+                interest[1 + self.peers.len()] = Readiness {
+                    readable: true,
+                    writable: false,
+                };
             }
             let timeout = if progressed {
                 Duration::ZERO
@@ -876,7 +1318,7 @@ impl EventLoop {
                 loop {
                     match self.commands.recv() {
                         Ok(Command::Shutdown) | Err(_) => return,
-                        Ok(Command::Send(_)) => continue,
+                        Ok(_) => continue,
                     }
                 }
             }
@@ -885,16 +1327,507 @@ impl EventLoop {
             if ready[0].readable {
                 progressed |= drain_waker(&self.waker_rx, &mut read_buf);
             }
-            for (peer, state) in self.peers.iter_mut().zip(&ready[1..]) {
-                if state.readable && peer.read_open {
-                    progressed |= pump_reads(peer, &mut read_buf, &self.inbox, &self.counters);
+            match self.resilient.as_mut() {
+                None => {
+                    for (peer, state) in self.peers.iter_mut().zip(&ready[1..]) {
+                        if state.readable && peer.read_open {
+                            progressed |=
+                                pump_reads(peer, &mut read_buf, &self.inbox, &self.counters);
+                        }
+                        if state.writable && peer.write_open && !peer.outbound.is_empty() {
+                            progressed |= pump_writes(peer, &self.counters);
+                        }
+                    }
                 }
-                if state.writable && peer.write_open && !peer.outbound.is_empty() {
-                    progressed |= pump_writes(peer, &self.counters);
+                Some(r) => {
+                    for (idx, peer) in self.peers.iter_mut().enumerate() {
+                        let state = ready[1 + idx];
+                        if state.readable && peer.read_open {
+                            let (prog, ended) =
+                                pump_reads_resilient(peer, &mut read_buf, &self.inbox, r);
+                            progressed |= prog;
+                            if ended {
+                                // A stream end is a *cut*, not a loss: park
+                                // the link and start the recovery clock. Only
+                                // the reconnect deadline makes it terminal.
+                                enter_down(peer, idx, r, &self.inbox);
+                                progressed = true;
+                            }
+                        }
+                        if state.writable && peer.write_open && !peer.outbound.is_empty() {
+                            progressed |= pump_writes(peer, &self.counters);
+                        }
+                    }
+                    if (!shutting_down || lingering) && ready[1 + self.peers.len()].readable {
+                        progressed |= accept_poll_connections(
+                            &mut self.peers,
+                            r,
+                            &self.inbox,
+                            self.poller.as_mut(),
+                            &self.counters,
+                        );
+                    }
                 }
             }
         }
     }
+}
+
+/// How long a resume-handshake read may block the event loop (or an
+/// establishment) before the counterpart is written off as a stray.
+const RESUME_HANDSHAKE_CAP: Duration = Duration::from_secs(2);
+
+/// Chaos injection on one peer link: flush everything queued (blocking — a
+/// sever is deterministic, the peer must receive the full superstep), then
+/// close only our write half. The peer observes a complete stream followed by
+/// a FIN — exactly a superstep-boundary failure; its recovery then closes its
+/// socket, which our read path observes, parking our side of the link too.
+fn sever_poll_peer(peer: &mut Peer) {
+    if !peer.write_open {
+        return;
+    }
+    let _ = peer.stream.set_nonblocking(false);
+    while let Some((bytes, offset)) = peer.outbound.pop_front() {
+        if peer.stream.write_all(&bytes[offset..]).is_err() {
+            break;
+        }
+    }
+    peer.outbound.clear();
+    peer.queued_bytes = 0;
+    let _ = peer.stream.set_nonblocking(true);
+    let _ = peer.stream.shutdown(Shutdown::Write);
+    peer.write_open = false;
+}
+
+/// Park a peer whose stream ended: close it fully, reset the decoder (a torn
+/// frame tail is re-delivered by replay, not resumed mid-frame), and start
+/// the recovery clock — unless the peer is already terminally gone or
+/// announced a clean exit with a goodbye.
+fn enter_down(peer: &mut Peer, idx: usize, r: &mut ResilientState, inbox: &Sender<InboxEvent>) {
+    let _ = peer.stream.shutdown(Shutdown::Both);
+    peer.read_open = false;
+    peer.write_open = false;
+    peer.outbound.clear();
+    peer.queued_bytes = 0;
+    // Anything queued (acks included) may have died with the stream; the
+    // reinstall's repeated ack is what re-establishes delivery.
+    peer.ack_delivered = None;
+    peer.decoder = FrameDecoder::new();
+    if r.gone[idx] {
+        return;
+    }
+    if peer.done {
+        // Announced clean exit: nothing to recover — no redial clock, no
+        // linger obligation — but the collector must still learn the stream
+        // is over, with the same benign-after-end-of-superstep semantics as
+        // a plain plane's EOF.
+        let _ = inbox.send(InboxEvent::PeerLost(peer.id, PlaneError::Disconnected));
+        return;
+    }
+    let now = Instant::now();
+    r.down[idx] = Some(DownState {
+        deadline: now + r.config.reconnect_deadline,
+        next_retry: now,
+    });
+}
+
+/// One round of recovery: expire deadlines into terminal `PeerLost`, redial
+/// lower-id down peers whose backoff elapsed. Higher-id peers redial us; we
+/// only watch their deadline here.
+fn recovery_tick(
+    peers: &mut [Peer],
+    r: &mut ResilientState,
+    inbox: &Sender<InboxEvent>,
+    poller: &mut dyn ReadinessPoller,
+    counters: &LoopCounters,
+) -> bool {
+    let mut progressed = false;
+    for idx in 0..peers.len() {
+        let (deadline, next_retry) = match &r.down[idx] {
+            Some(d) => (d.deadline, d.next_retry),
+            None => continue,
+        };
+        let now = Instant::now();
+        if now >= deadline {
+            r.down[idx] = None;
+            r.gone[idx] = true;
+            r.replay.forget(peers[idx].id);
+            counters.peers_lost.incr();
+            let _ = inbox.send(InboxEvent::PeerLost(
+                peers[idx].id,
+                PlaneError::Disconnected,
+            ));
+            progressed = true;
+            continue;
+        }
+        let peer_id = peers[idx].id;
+        if peer_id < r.id && now >= next_retry {
+            match dial_poll_link(r, peer_id) {
+                Some((stream, peer_resume_from)) => {
+                    progressed = true;
+                    install_poll_link(
+                        peers,
+                        idx,
+                        stream,
+                        peer_resume_from,
+                        r,
+                        inbox,
+                        poller,
+                        counters,
+                    );
+                }
+                None => {
+                    if let Some(d) = r.down[idx].as_mut() {
+                        d.next_retry = Instant::now() + r.config.retry_backoff;
+                    }
+                }
+            }
+        }
+    }
+    progressed
+}
+
+/// One bounded redial attempt (connect + resume handshake).
+fn dial_poll_link(r: &mut ResilientState, peer: ServerId) -> Option<(TcpStream, u32)> {
+    let stream =
+        TcpStream::connect_timeout(&r.peer_addrs[peer as usize], Duration::from_millis(100))
+            .ok()?;
+    resume_dial_handshake(
+        stream,
+        r.num_servers,
+        r.id,
+        peer,
+        r.recv_cursor[peer as usize],
+        r.config.handshake_fault,
+        &mut r.fault_budget,
+    )
+}
+
+/// Dial-side half of the `GHHR` resume handshake: send our hello (or a
+/// chaos-sabotaged one, consuming fault budget), read and validate the reply.
+/// Returns the stream plus the superstep the peer asks us to resume from.
+fn resume_dial_handshake(
+    mut stream: TcpStream,
+    num_servers: u32,
+    id: ServerId,
+    peer: ServerId,
+    resume_from: u32,
+    fault: Option<HandshakeFault>,
+    fault_budget: &mut u32,
+) -> Option<(TcpStream, u32)> {
+    let _ = stream.set_nodelay(true);
+    let hello = ResumeHello {
+        cluster_size: num_servers,
+        sender: id,
+        resume_from,
+    };
+    let encoded = hello.encode();
+    if let Some(fault) = fault {
+        if *fault_budget > 0 {
+            *fault_budget -= 1;
+            match fault {
+                HandshakeFault::Torn { bytes } => {
+                    let cut = bytes.min(RESUME_HELLO_LEN);
+                    let _ = stream.write_all(&encoded[..cut]);
+                }
+                HandshakeFault::Duplicate => {
+                    let _ = stream
+                        .write_all(&encoded)
+                        .and_then(|_| stream.write_all(&encoded));
+                }
+                HandshakeFault::Drop => {}
+            }
+            return None; // dropping `stream` closes the sabotaged attempt
+        }
+    }
+    stream.write_all(&encoded).ok()?;
+    let _ = stream.set_read_timeout(Some(RESUME_HANDSHAKE_CAP));
+    let mut reply = [0u8; RESUME_HELLO_LEN];
+    stream.read_exact(&mut reply).ok()?;
+    let _ = stream.set_read_timeout(None);
+    let reply = ResumeHello::decode(&reply).ok()?;
+    reply.check(num_servers, id, Some(peer)).ok()?;
+    Some((stream, reply.resume_from))
+}
+
+/// Accept-side half of the `GHHR` resume handshake: read and validate the
+/// dialer's hello (must come from a higher-id peer — dial direction is
+/// fixed), reply with our own cursor for that peer. Any malformed, stale or
+/// misdirected hello drops the connection without disturbing the plane.
+fn resume_accept_handshake(
+    mut stream: TcpStream,
+    num_servers: u32,
+    id: ServerId,
+    cursor_of: &dyn Fn(ServerId) -> u32,
+) -> Option<(ServerId, TcpStream, u32)> {
+    stream.set_nonblocking(false).ok()?;
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(RESUME_HANDSHAKE_CAP));
+    let mut buf = [0u8; RESUME_HELLO_LEN];
+    stream.read_exact(&mut buf).ok()?;
+    let hello = ResumeHello::decode(&buf).ok()?;
+    hello.check(num_servers, id, None).ok()?;
+    if hello.sender <= id {
+        return None;
+    }
+    let reply = ResumeHello {
+        cluster_size: num_servers,
+        sender: id,
+        resume_from: cursor_of(hello.sender),
+    };
+    stream.write_all(&reply.encode()).ok()?;
+    let _ = stream.set_read_timeout(None);
+    Some((hello.sender, stream, hello.resume_from))
+}
+
+/// Drain the listener's accept queue: every valid reconnect supersedes
+/// whatever stream its slot holds and is installed with replay.
+fn accept_poll_connections(
+    peers: &mut [Peer],
+    r: &mut ResilientState,
+    inbox: &Sender<InboxEvent>,
+    poller: &mut dyn ReadinessPoller,
+    counters: &LoopCounters,
+) -> bool {
+    let mut progressed = false;
+    loop {
+        let stream = match r.listener.accept() {
+            Ok((stream, _from)) => stream,
+            Err(_) => break, // WouldBlock or a transient accept error
+        };
+        let (sender, stream, peer_resume_from) =
+            match resume_accept_handshake(stream, r.num_servers, r.id, &|s| {
+                r.recv_cursor[s as usize]
+            }) {
+                Some(accepted) => accepted,
+                None => continue,
+            };
+        // Higher-id sender (checked above): its slot is `sender - 1`.
+        let idx = (sender - 1) as usize;
+        if r.gone[idx] {
+            continue; // terminally lost peers stay dead
+        }
+        // Supersede the old stream (cut, or abandoned by the peer). Unread
+        // tail bytes on it are torn-tail frames ≥ the cursor we just sent —
+        // the peer replays them on the new stream and the collector dedups.
+        let _ = peers[idx].stream.shutdown(Shutdown::Both);
+        progressed = true;
+        install_poll_link(
+            peers,
+            idx,
+            stream,
+            peer_resume_from,
+            r,
+            inbox,
+            poller,
+            counters,
+        );
+    }
+    progressed
+}
+
+/// Adopt a handshaken stream as the live link for slot `idx`: replay what
+/// the peer still needs, announce the resume, and rearm the poller slot.
+/// Single-threaded, so the replay snapshot and the install are atomic with
+/// respect to broadcast intake — replay is gap-free by construction.
+#[allow(clippy::too_many_arguments)]
+fn install_poll_link(
+    peers: &mut [Peer],
+    idx: usize,
+    stream: TcpStream,
+    peer_resume_from: u32,
+    r: &mut ResilientState,
+    inbox: &Sender<InboxEvent>,
+    poller: &mut dyn ReadinessPoller,
+    counters: &LoopCounters,
+) {
+    let peer_id = peers[idx].id;
+    let (blob, frames) = match r.replay.replay_from(peer_resume_from) {
+        Ok(snapshot) => snapshot,
+        Err(e) => {
+            // The peer wants frames already trimmed below the replay floor:
+            // permanently unrecoverable, not a transient failure.
+            r.down[idx] = None;
+            r.gone[idx] = true;
+            r.replay.forget(peer_id);
+            counters.peers_lost.incr();
+            let _ = inbox.send(InboxEvent::PeerLost(
+                peer_id,
+                PlaneError::Protocol(e.to_string()),
+            ));
+            return;
+        }
+    };
+    if stream.set_nonblocking(true).is_err() || poller.reregister(1 + idx, &stream).is_err() {
+        return; // could not adopt the stream; recovery keeps retrying
+    }
+    let peer = &mut peers[idx];
+    peer.stream = stream;
+    peer.decoder = FrameDecoder::new();
+    peer.outbound.clear();
+    peer.queued_bytes = 0;
+    peer.read_open = true;
+    peer.write_open = true;
+    // The resume event precedes everything the new stream can deliver
+    // (frames only surface through pump_reads, which runs after this
+    // returns): the collector purges the old torn tail at the event, then
+    // dedups whatever the replay below re-delivers.
+    let _ = inbox.send(InboxEvent::PeerResumed(peer_id));
+    r.reconnects.incr();
+    if !blob.is_empty() {
+        let mut buf = r.pool.checkout();
+        buf.extend_from_slice(&blob);
+        peer.enqueue(&Arc::new(buf), &counters.queued_bytes_peak);
+        r.replayed_frames.add(frames);
+    }
+    // Repeat our latest ack on the new link: the peer may have missed it
+    // while down, and it needs the current floor to trim its own replay log
+    // (and finish its own linger at shutdown).
+    if let Some(superstep) = r.last_ack {
+        let mut buf = r.pool.checkout();
+        Frame::Ack {
+            sender: r.id,
+            superstep,
+        }
+        .encode(&mut buf);
+        peer.enqueue(&Arc::new(buf), &counters.queued_bytes_peak);
+    }
+    peer.ack_delivered = r.last_ack;
+    // A rejoining (restarted) peer is a live participant again.
+    peer.done = false;
+    r.down[idx] = None;
+}
+
+/// Resilient twin of [`pump_reads`]: same decode loop, but acks are
+/// intercepted into the replay log, end-of-superstep markers raise the
+/// peer's receive cursor, and *any* stream end — EOF, torn frame, corrupt
+/// bytes, sender mismatch, I/O error — is reported as `(.., true)` for the
+/// caller to park the link instead of declaring the peer lost.
+fn pump_reads_resilient(
+    peer: &mut Peer,
+    buf: &mut [u8],
+    inbox: &Sender<InboxEvent>,
+    r: &mut ResilientState,
+) -> (bool, bool) {
+    let mut progressed = false;
+    loop {
+        match (&peer.stream).read(buf) {
+            Ok(0) => return (true, true),
+            Ok(n) => {
+                progressed = true;
+                peer.bytes_in.add(n as u64);
+                peer.decoder.push(&buf[..n]);
+                loop {
+                    match peer.decoder.next_frame() {
+                        Ok(Some(frame)) => {
+                            if frame.sender() != peer.id {
+                                return (true, true); // poisoned stream: cut it
+                            }
+                            peer.frames_in.incr();
+                            match frame {
+                                Frame::Ack { sender, superstep } => {
+                                    r.replay.ack(sender, superstep);
+                                    continue; // transport-level, never forwarded
+                                }
+                                Frame::Goodbye { .. } => {
+                                    // Deliberate clean exit: the EOF that
+                                    // follows is not a cut. Never forwarded.
+                                    peer.done = true;
+                                    continue;
+                                }
+                                Frame::EndOfSuperstep { superstep, .. } => {
+                                    let cursor = &mut r.recv_cursor[peer.id as usize];
+                                    *cursor = (*cursor).max(superstep.saturating_add(1));
+                                }
+                                _ => {}
+                            }
+                            if inbox.send(InboxEvent::Frame(frame)).is_err() {
+                                // Plane dropped; stop decoding, no recovery.
+                                peer.read_open = false;
+                                return (true, false);
+                            }
+                        }
+                        Ok(None) => break,
+                        Err(_) => return (true, true),
+                    }
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return (progressed, false),
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => return (true, true),
+        }
+    }
+}
+
+/// Blocking `GHHR` establishment for the resilient poll plane: dial every
+/// lower-id peer (retrying — and spending any chaos fault budget — until the
+/// deadline), then accept every higher-id peer, exchanging resume hellos in
+/// both directions. The listener is borrowed, not consumed: it stays open
+/// with the event loop for the whole run.
+fn establish_resilient_streams(
+    id: ServerId,
+    num_servers: u32,
+    listener: &TcpListener,
+    peer_addrs: &[SocketAddr],
+    timeout: Duration,
+    config: &ResilienceConfig,
+    fault_budget: &mut u32,
+) -> std::io::Result<Vec<(ServerId, TcpStream, u32)>> {
+    let deadline = Instant::now() + timeout;
+    let mut streams: Vec<(ServerId, TcpStream, u32)> = Vec::new();
+    for peer in 0..id {
+        loop {
+            if Instant::now() >= deadline {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::TimedOut,
+                    format!("server {id}: timed out dialing server {peer}"),
+                ));
+            }
+            if let Ok(stream) = TcpStream::connect(peer_addrs[peer as usize]) {
+                if let Some((stream, resume)) = resume_dial_handshake(
+                    stream,
+                    num_servers,
+                    id,
+                    peer,
+                    config.resume_from,
+                    config.handshake_fault,
+                    fault_budget,
+                ) {
+                    streams.push((peer, stream, resume));
+                    break;
+                }
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+    listener.set_nonblocking(true)?;
+    let needed = (num_servers - id - 1) as usize;
+    let mut seen = vec![false; num_servers as usize];
+    let mut accepted = 0usize;
+    while accepted < needed {
+        if Instant::now() >= deadline {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::TimedOut,
+                format!("server {id}: timed out waiting for higher-id peers to dial in"),
+            ));
+        }
+        match listener.accept() {
+            Ok((stream, _from)) => {
+                if let Some((sender, stream, resume)) =
+                    resume_accept_handshake(stream, num_servers, id, &|_| config.resume_from)
+                {
+                    if !seen[sender as usize] {
+                        seen[sender as usize] = true;
+                        accepted += 1;
+                        streams.push((sender, stream, resume));
+                    }
+                }
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+    streams.sort_by_key(|&(peer, _, _)| peer);
+    Ok(streams)
 }
 
 /// Read one peer's socket until it would block, feeding the frame decoder and
@@ -1270,4 +2203,283 @@ mod tests {
     // assertions live in `tests/poll_threads.rs`: thread counts are
     // process-wide, so they need a test binary of their own rather than a
     // unit test racing the rest of this crate's parallel suite.
+}
+
+#[cfg(test)]
+mod resilient_tests {
+    use super::*;
+    use crate::chaos::{CutPlan, FaultPlane};
+    use std::thread;
+
+    fn bind_cluster(n: u32) -> (Vec<BoundPollPlane>, Vec<SocketAddr>) {
+        let bound: Vec<BoundPollPlane> = (0..n)
+            .map(|sid| PollPlane::bind(sid, n, "127.0.0.1:0").unwrap())
+            .collect();
+        let addrs = bound.iter().map(|b| b.local_addr().unwrap()).collect();
+        (bound, addrs)
+    }
+
+    fn establish_resilient_all(
+        bound: Vec<BoundPollPlane>,
+        addrs: &[SocketAddr],
+        config: &ResilienceConfig,
+    ) -> Vec<PollPlane> {
+        thread::scope(|scope| {
+            let handles: Vec<_> = bound
+                .into_iter()
+                .map(|b| {
+                    let config = config.clone();
+                    scope.spawn(move || {
+                        b.establish_resilient(addrs, Duration::from_secs(10), config)
+                            .unwrap()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        })
+    }
+
+    /// Fault-free resilient runs behave exactly like the plain poll plane.
+    #[test]
+    fn resilient_all_to_all_parity_without_faults() {
+        let (bound, addrs) = bind_cluster(3);
+        let planes = establish_resilient_all(bound, &addrs, &ResilienceConfig::default());
+        let results: Vec<Vec<usize>> = thread::scope(|scope| {
+            let handles: Vec<_> = planes
+                .into_iter()
+                .map(|mut p| {
+                    scope.spawn(move || {
+                        let mut seen = Vec::new();
+                        for s in 0..4u32 {
+                            for _ in 0..=s {
+                                p.broadcast(s, &[p.server_id() as u8, s as u8]).unwrap();
+                            }
+                            p.end_superstep(s).unwrap();
+                            let got = p.collect(s).unwrap();
+                            assert!(got.iter().all(|w| w.len() == 2 && w[1] == s as u8));
+                            p.acknowledge(s).unwrap();
+                            seen.push(got.len());
+                        }
+                        seen
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for seen in results {
+            assert_eq!(seen, vec![2, 4, 6, 8]);
+        }
+    }
+
+    /// A connection cut at a superstep boundary recovers via redial + replay,
+    /// and every superstep still collects exactly once per peer per message.
+    #[test]
+    fn boundary_cut_recovers_with_exactly_once_delivery() {
+        let (bound, addrs) = bind_cluster(2);
+        let mut planes = establish_resilient_all(bound, &addrs, &ResilienceConfig::default());
+        let p1 = planes.pop().unwrap();
+        let p0 = planes.pop().unwrap();
+        // Server 0 severs its link to server 1 right after superstep 1 ends:
+        // server 1 sees a full superstep then a FIN, redials, and resumes.
+        let mut p0 = FaultPlane::new(p0, CutPlan::explicit(vec![(1, 1)]));
+
+        let run = |p: &mut dyn BroadcastPlane| {
+            let id = p.server_id();
+            let peer = 1 - id;
+            for s in 0..5u32 {
+                p.broadcast(s, &[id as u8, s as u8]).unwrap();
+                p.end_superstep(s).unwrap();
+                let got = p.collect(s).unwrap();
+                assert_eq!(
+                    got.len(),
+                    1,
+                    "server {id} superstep {s}: exactly one message expected"
+                );
+                assert_eq!(&got[0][..], &[peer as u8, s as u8]);
+                p.acknowledge(s).unwrap();
+            }
+        };
+        thread::scope(|scope| {
+            let h0 = scope.spawn(move || run(&mut p0));
+            let mut p1 = p1;
+            let h1 = scope.spawn(move || run(&mut p1));
+            h0.join().unwrap();
+            h1.join().unwrap();
+        });
+    }
+
+    /// Both directions cut at once (a reconnect storm, here at different
+    /// supersteps each) still converges to exactly-once delivery.
+    #[test]
+    fn mutual_cuts_still_converge() {
+        let (bound, addrs) = bind_cluster(2);
+        let mut planes = establish_resilient_all(bound, &addrs, &ResilienceConfig::default());
+        let p1 = planes.pop().unwrap();
+        let p0 = planes.pop().unwrap();
+        let mut p0 = FaultPlane::new(p0, CutPlan::explicit(vec![(1, 1), (2, 1)]));
+        let mut p1 = FaultPlane::new(p1, CutPlan::explicit(vec![(1, 0)]));
+
+        let run = |p: &mut dyn BroadcastPlane| {
+            let id = p.server_id();
+            let peer = 1 - id;
+            for s in 0..5u32 {
+                p.broadcast(s, &[id as u8, s as u8]).unwrap();
+                p.end_superstep(s).unwrap();
+                let got = p.collect(s).unwrap();
+                assert_eq!(got.len(), 1, "server {id} superstep {s}");
+                assert_eq!(&got[0][..], &[peer as u8, s as u8]);
+                p.acknowledge(s).unwrap();
+            }
+        };
+        thread::scope(|scope| {
+            let h0 = scope.spawn(move || run(&mut p0));
+            let h1 = scope.spawn(move || run(&mut p1));
+            h0.join().unwrap();
+            h1.join().unwrap();
+        });
+    }
+
+    /// The recovery machinery also rides the portable spin poller — the
+    /// resilient path must not depend on the Linux `poll(2)` shim (listener
+    /// readiness degrades to opportunistic accept attempts).
+    #[test]
+    fn boundary_cut_recovers_on_the_spin_poller() {
+        let (bound, addrs) = bind_cluster(2);
+        let planes: Vec<PollPlane> = thread::scope(|scope| {
+            let handles: Vec<_> = bound
+                .into_iter()
+                .map(|b| {
+                    let addrs = &addrs;
+                    scope.spawn(move || {
+                        b.establish_resilient_with(
+                            addrs,
+                            Duration::from_secs(10),
+                            ResilienceConfig::default(),
+                            Box::new(SpinPoller::new()),
+                        )
+                        .unwrap()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let mut planes = planes.into_iter();
+        let p0 = planes.next().unwrap();
+        let p1 = planes.next().unwrap();
+        let mut p0 = FaultPlane::new(p0, CutPlan::explicit(vec![(0, 1)]));
+        let run = |p: &mut dyn BroadcastPlane| {
+            let id = p.server_id();
+            for s in 0..3u32 {
+                p.broadcast(s, &[id as u8, s as u8]).unwrap();
+                p.end_superstep(s).unwrap();
+                let got = p.collect(s).unwrap();
+                assert_eq!(got.len(), 1, "server {id} superstep {s}");
+                p.acknowledge(s).unwrap();
+            }
+        };
+        thread::scope(|scope| {
+            let h0 = scope.spawn(move || run(&mut p0));
+            let mut p1 = p1;
+            let h1 = scope.spawn(move || run(&mut p1));
+            h0.join().unwrap();
+            h1.join().unwrap();
+        });
+    }
+
+    /// A peer that never comes back is terminal — but only after the
+    /// reconnect deadline, not on the first EOF.
+    #[test]
+    fn dead_peer_is_terminal_only_after_the_deadline() {
+        let (bound, addrs) = bind_cluster(2);
+        let config = ResilienceConfig {
+            reconnect_deadline: Duration::from_millis(200),
+            retry_backoff: Duration::from_millis(20),
+            ..ResilienceConfig::default()
+        };
+        let mut planes = establish_resilient_all(bound, &addrs, &config);
+        let mut p1 = planes.pop().unwrap();
+        let mut p0 = planes.pop().unwrap();
+        let start = Instant::now();
+        // Simulate a crash, not a graceful exit: sever the link first so the
+        // drop's goodbye never reaches p0 (a killed process sends none), then
+        // tear the plane down.
+        p1.sever_peer(0);
+        drop(p1);
+        p0.end_superstep(0).unwrap();
+        assert_eq!(p0.collect(0), Err(PlaneError::Disconnected));
+        assert!(
+            start.elapsed() >= Duration::from_millis(150),
+            "terminal loss must wait out the reconnect deadline"
+        );
+    }
+
+    /// Sabotaged resume handshakes (torn hello, then dropped hello) are
+    /// retried until the fault budget runs out; establishment still succeeds.
+    #[test]
+    fn torn_and_dropped_handshakes_are_survived() {
+        for fault in [HandshakeFault::Torn { bytes: 7 }, HandshakeFault::Drop] {
+            let (bound, addrs) = bind_cluster(2);
+            let mut iter = bound.into_iter();
+            let b0 = iter.next().unwrap();
+            let b1 = iter.next().unwrap();
+            let faulty = ResilienceConfig {
+                handshake_fault: Some(fault),
+                handshake_fault_budget: 2,
+                ..ResilienceConfig::default()
+            };
+            let (mut p0, mut p1) = thread::scope(|scope| {
+                let addrs0 = &addrs;
+                let h0 = scope.spawn(move || {
+                    b0.establish_resilient(
+                        addrs0,
+                        Duration::from_secs(10),
+                        ResilienceConfig::default(),
+                    )
+                    .unwrap()
+                });
+                let addrs1 = &addrs;
+                let h1 = scope.spawn(move || {
+                    b1.establish_resilient(addrs1, Duration::from_secs(10), faulty)
+                        .unwrap()
+                });
+                (h0.join().unwrap(), h1.join().unwrap())
+            });
+            p0.broadcast(0, b"after-chaos").unwrap();
+            p0.end_superstep(0).unwrap();
+            p1.end_superstep(0).unwrap();
+            let got = p1.collect(0).unwrap();
+            assert_eq!(&got[0][..], b"after-chaos");
+            assert!(p0.collect(0).unwrap().is_empty());
+            // Ack like a real worker would: an unacked final superstep makes
+            // the last plane to drop linger for its (now absent) peer.
+            p1.acknowledge(0).unwrap();
+            p0.acknowledge(0).unwrap();
+        }
+    }
+
+    /// Severing an already-severed (or recovering) link is a harmless no-op.
+    #[test]
+    fn double_sever_is_idempotent() {
+        let (bound, addrs) = bind_cluster(2);
+        let mut planes = establish_resilient_all(bound, &addrs, &ResilienceConfig::default());
+        let p1 = planes.pop().unwrap();
+        let mut p0 = planes.pop().unwrap();
+        p0.sever_peer(1);
+        p0.sever_peer(1);
+        let run = |mut p: PollPlane| {
+            let id = p.server_id();
+            for s in 0..3u32 {
+                p.broadcast(s, &[id as u8, s as u8]).unwrap();
+                p.end_superstep(s).unwrap();
+                assert_eq!(p.collect(s).unwrap().len(), 1, "server {id} superstep {s}");
+                p.acknowledge(s).unwrap();
+            }
+        };
+        thread::scope(|scope| {
+            let h0 = scope.spawn(move || run(p0));
+            let h1 = scope.spawn(move || run(p1));
+            h0.join().unwrap();
+            h1.join().unwrap();
+        });
+    }
 }

@@ -680,3 +680,1140 @@ mod tests {
         assert_eq!(err.kind(), std::io::ErrorKind::TimedOut);
     }
 }
+
+// ---------------------------------------------------------------------------
+// Resilient mode: reconnect-and-resume over the same wire protocol
+// ---------------------------------------------------------------------------
+
+use crate::chaos::SeverPeer;
+use crate::resume::{
+    HandshakeFault, ReplayError, ReplayLog, ResilienceConfig, ResumeHello, RESUME_HELLO_LEN,
+};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// One peer link's lifecycle state.
+enum LinkState {
+    /// Connected; the write half lives here.
+    Up(BufWriter<TcpStream>),
+    /// Cut (or not yet established); recovery may be running.
+    Down,
+    /// Recovery gave up; the terminal `PeerLost` was delivered. Final.
+    Gone,
+}
+
+/// One peer link: its state plus a generation counter. Every state-owning
+/// transition bumps the generation, so a reader (or deadline watcher) created
+/// for generation `g` abandons its claim when the slot has moved past `g` —
+/// the disambiguation that stops a stale EOF from tearing down the stream
+/// that replaced it.
+struct LinkSlot {
+    state: LinkState,
+    gen: u64,
+    /// False until the first stream to this peer is installed; the first
+    /// connection of a process's run must not report a `PeerResumed`.
+    ever_connected: bool,
+    /// Highest ack superstep successfully written on this link (`NO_ACK`
+    /// when none). Acks travel unretained, so this is what tells a finished
+    /// endpoint whether a down peer might still be waiting on our floor.
+    ack_delivered: u32,
+    /// True once the peer sent a `Goodbye`: its next EOF is a deliberate
+    /// clean exit, so the cut must not arm recovery and the linger must not
+    /// hold the door for it.
+    peer_done: bool,
+}
+
+/// The shared hub of a [`ResilientSocketPlane`]: everything the worker
+/// thread, the reader threads, the accept thread, and the recovery paths
+/// touch together.
+///
+/// Sentinel for "no superstep acknowledged yet" (a real ack superstep never
+/// reaches `u32::MAX`).
+const NO_ACK: u32 = u32::MAX;
+
+/// Lock order (held-while-acquiring): `replay` → `links[i]` → `tx` /
+/// `reader_handles`. The broadcast path holds `replay` across [append +
+/// every live-link write] and recovery holds it across [snapshot + replay
+/// write + mark-Up], which is what makes replay gap-free: no frame can be
+/// appended to the log yet miss both the snapshot and the live stream.
+struct Fabric {
+    id: ServerId,
+    num_servers: u32,
+    links: Vec<Mutex<LinkSlot>>,
+    replay: Mutex<ReplayLog>,
+    /// Inbox sender; cloned per reader thread, locked for recovery events.
+    tx: Mutex<Sender<InboxEvent>>,
+    /// Per-peer count of completed supersteps received (EOS superstep + 1),
+    /// maintained by the reader threads: the `resume_from` this endpoint
+    /// requests when a link to that peer is re-established.
+    recv_cursor: Vec<AtomicU32>,
+    stop: AtomicBool,
+    /// Highest superstep this endpoint acknowledged ([`NO_ACK`] before the
+    /// first ack). Acks travel unretained, so a re-established link repeats
+    /// the latest one — without it a recovered peer could linger a full
+    /// deadline at drop waiting for acks that died with the old stream.
+    last_ack: AtomicU32,
+    /// Set by [`BroadcastPlane::abort`]: an aborted run never lingers at
+    /// drop (there is nothing left worth delivering).
+    aborted: AtomicBool,
+    config: ResilienceConfig,
+    /// Remaining sabotaged dial attempts (chaos handshake faults).
+    fault_budget: AtomicU32,
+    peer_addrs: Vec<SocketAddr>,
+    reader_handles: Mutex<Vec<Option<JoinHandle<()>>>>,
+    reconnects: Counter,
+    replayed_frames: Counter,
+    bytes_written: Counter,
+}
+
+/// Why an attempt to install a new stream failed.
+enum InstallError {
+    /// Transient: back off and dial again.
+    Retry,
+    /// Unrecoverable (peer declared gone): stop recovering this link.
+    Fatal,
+}
+
+impl Fabric {
+    /// Append `bytes` (`frames` whole frames) to the replay log and write
+    /// them to every live link. Per-link write failures demote the link to
+    /// Down (its reader then drives recovery) — they never fail the caller;
+    /// the replay log guarantees delivery once the link is back.
+    fn send_retained(&self, superstep: u32, bytes: &[u8], frames: u64) {
+        let mut replay = lock(&self.replay);
+        replay.append(superstep, bytes, frames);
+        for peer in 0..self.num_servers {
+            if peer == self.id {
+                continue;
+            }
+            let mut slot = lock(&self.links[peer as usize]);
+            if let LinkState::Up(writer) = &mut slot.state {
+                if writer.write_all(bytes).is_err() {
+                    let _ = writer.get_ref().shutdown(Shutdown::Both);
+                    slot.state = LinkState::Down;
+                    slot.ack_delivered = NO_ACK;
+                } else {
+                    self.bytes_written.add(bytes.len() as u64);
+                }
+            }
+        }
+    }
+
+    /// Flush every live link; failures demote to Down like write failures.
+    fn flush_all(&self) {
+        for peer in 0..self.num_servers {
+            if peer == self.id {
+                continue;
+            }
+            let mut slot = lock(&self.links[peer as usize]);
+            if let LinkState::Up(writer) = &mut slot.state {
+                if writer.flush().is_err() {
+                    let _ = writer.get_ref().shutdown(Shutdown::Both);
+                    slot.state = LinkState::Down;
+                    slot.ack_delivered = NO_ACK;
+                }
+            }
+        }
+    }
+
+    /// Write-and-flush `bytes` to every live link without retaining them
+    /// (acks and aborts: losing one to a cut is always safe).
+    fn send_unretained(&self, bytes: &[u8]) {
+        for peer in 0..self.num_servers {
+            if peer == self.id {
+                continue;
+            }
+            let mut slot = lock(&self.links[peer as usize]);
+            if let LinkState::Up(writer) = &mut slot.state {
+                if writer
+                    .write_all(bytes)
+                    .and_then(|_| writer.flush())
+                    .is_err()
+                {
+                    let _ = writer.get_ref().shutdown(Shutdown::Both);
+                    slot.state = LinkState::Down;
+                    slot.ack_delivered = NO_ACK;
+                } else {
+                    self.bytes_written.add(bytes.len() as u64);
+                }
+            }
+        }
+    }
+
+    /// Write-and-flush the ack for `superstep` to every Up link that has not
+    /// carried it yet, recording per-link delivery. Idempotent: re-calling
+    /// with the same superstep writes nothing to links already covered, so
+    /// the linger loop can use it to heal links that raced an install.
+    fn send_ack(&self, superstep: u32) {
+        let mut bytes = Vec::new();
+        Frame::Ack {
+            sender: self.id,
+            superstep,
+        }
+        .encode(&mut bytes);
+        for peer in 0..self.num_servers {
+            if peer == self.id {
+                continue;
+            }
+            let mut slot = lock(&self.links[peer as usize]);
+            if slot.ack_delivered != NO_ACK && slot.ack_delivered >= superstep {
+                continue;
+            }
+            if let LinkState::Up(writer) = &mut slot.state {
+                if writer
+                    .write_all(&bytes)
+                    .and_then(|_| writer.flush())
+                    .is_err()
+                {
+                    let _ = writer.get_ref().shutdown(Shutdown::Both);
+                    slot.state = LinkState::Down;
+                    slot.ack_delivered = NO_ACK;
+                } else {
+                    slot.ack_delivered = superstep;
+                    self.bytes_written.add(bytes.len() as u64);
+                }
+            }
+        }
+    }
+
+    fn send_event(&self, event: InboxEvent) {
+        let _ = lock(&self.tx).send(event);
+    }
+
+    /// Spawn the reader thread for a freshly installed stream.
+    fn spawn_reader(self: &Arc<Self>, peer: ServerId, stream: TcpStream, gen: u64) {
+        let fabric = Arc::clone(self);
+        let tx = lock(&self.tx).clone();
+        let handle = std::thread::Builder::new()
+            .name(format!("graphh-rsock-rx-{}-from-{peer}", self.id))
+            .spawn(move || fabric.reader_loop(stream, peer, gen, tx))
+            .ok();
+        lock(&self.reader_handles)[peer as usize] = handle;
+    }
+
+    /// Decode frames off one stream until it ends, then drive that link's
+    /// recovery. Acks are intercepted here (transport-level, never forwarded);
+    /// end-of-superstep markers raise the peer's receive cursor. *Any* stream
+    /// end — EOF, I/O error, corrupt bytes, sender mismatch — is treated as a
+    /// cut, never as terminal loss; the reconnect deadline is what bounds it.
+    fn reader_loop(
+        self: Arc<Self>,
+        stream: TcpStream,
+        peer: ServerId,
+        gen: u64,
+        tx: Sender<InboxEvent>,
+    ) {
+        let registry = global_counters();
+        let frames_in = registry.counter(&format!("socket.s{}.from{peer}.frames_in", self.id));
+        let bytes_in = registry.counter(&format!("socket.s{}.from{peer}.bytes_in", self.id));
+        let read_half = match stream.try_clone() {
+            Ok(s) => s,
+            Err(_) => {
+                let _ = stream.shutdown(Shutdown::Both);
+                self.handle_cut(peer, gen);
+                return;
+            }
+        };
+        let mut reader = BufReader::new(CountingRead {
+            inner: read_half,
+            bytes: bytes_in,
+        });
+        // Until EOF, a torn frame, corrupt bytes or an I/O error — a cut
+        // either way — replay will re-deliver whatever the tear ate.
+        while let Ok(Some(frame)) = Frame::read_from(&mut reader) {
+            frames_in.incr();
+            if frame.sender() != peer {
+                break; // poisoned stream: cut it and recover
+            }
+            match frame {
+                Frame::Ack { sender, superstep } => {
+                    lock(&self.replay).ack(sender, superstep);
+                    continue;
+                }
+                Frame::Goodbye { .. } => {
+                    // Deliberate clean exit: the EOF that follows is
+                    // not a cut. Transport-level, never forwarded.
+                    lock(&self.links[peer as usize]).peer_done = true;
+                    continue;
+                }
+                Frame::EndOfSuperstep { superstep, .. } => {
+                    self.recv_cursor[peer as usize]
+                        .fetch_max(superstep.saturating_add(1), Ordering::AcqRel);
+                }
+                _ => {}
+            }
+            if tx.send(InboxEvent::Frame(frame)).is_err() {
+                return; // plane dropped; stop reading, no recovery
+            }
+        }
+        drop(reader);
+        let _ = stream.shutdown(Shutdown::Both);
+        self.handle_cut(peer, gen);
+    }
+
+    /// A stream of generation `gen` ended. If this thread still owns the
+    /// link (the slot has not moved past `gen`), park it Down and run
+    /// recovery inline: redial peers this server dials, await the redial of
+    /// peers that dial this server — each bounded by the reconnect deadline.
+    fn handle_cut(self: &Arc<Self>, peer: ServerId, gen: u64) {
+        let new_gen;
+        {
+            let mut slot = lock(&self.links[peer as usize]);
+            if slot.gen != gen || matches!(slot.state, LinkState::Gone) {
+                return; // a newer stream (or terminal loss) owns this link
+            }
+            // Dropping the writer completes the close (FIN both ways).
+            slot.state = LinkState::Down;
+            slot.ack_delivered = NO_ACK;
+            slot.gen += 1;
+            new_gen = slot.gen;
+            if slot.peer_done {
+                drop(slot);
+                // Announced clean exit, not a cut: no recovery — but the
+                // collector must still learn the stream is over, with the
+                // same benign-after-end-of-superstep semantics as a plain
+                // plane's EOF.
+                self.send_event(InboxEvent::PeerLost(peer, PlaneError::Disconnected));
+                return;
+            }
+        }
+        if self.stop.load(Ordering::Acquire) {
+            return;
+        }
+        if peer < self.id {
+            self.redial_loop(peer, new_gen);
+        } else {
+            self.await_reconnect(peer, new_gen);
+        }
+    }
+
+    /// Dial-side recovery: reconnect with backoff until the deadline.
+    fn redial_loop(self: &Arc<Self>, peer: ServerId, gen: u64) {
+        let deadline = Instant::now() + self.config.reconnect_deadline;
+        loop {
+            if self.stop.load(Ordering::Acquire) {
+                return;
+            }
+            if Instant::now() >= deadline {
+                self.give_up(peer, gen);
+                return;
+            }
+            if let Ok(stream) = TcpStream::connect(self.peer_addrs[peer as usize]) {
+                match self.dial_link(peer, stream, false) {
+                    Ok(()) | Err(InstallError::Fatal) => return,
+                    Err(InstallError::Retry) => {}
+                }
+            }
+            std::thread::sleep(self.config.retry_backoff);
+        }
+    }
+
+    /// Accept-side recovery: the peer dials us; wait for the accept thread
+    /// to install its new stream (which bumps the generation) or give up at
+    /// the deadline.
+    fn await_reconnect(self: &Arc<Self>, peer: ServerId, gen: u64) {
+        let deadline = Instant::now() + self.config.reconnect_deadline;
+        let poll = self.config.retry_backoff.min(Duration::from_millis(25));
+        loop {
+            if self.stop.load(Ordering::Acquire) {
+                return;
+            }
+            if lock(&self.links[peer as usize]).gen != gen {
+                return; // reconnected (or superseded)
+            }
+            if Instant::now() >= deadline {
+                self.give_up(peer, gen);
+                return;
+            }
+            std::thread::sleep(poll);
+        }
+    }
+
+    /// The deadline passed with the link still down at `gen`: terminal loss.
+    fn give_up(&self, peer: ServerId, gen: u64) {
+        {
+            let mut slot = lock(&self.links[peer as usize]);
+            if slot.gen != gen {
+                return;
+            }
+            slot.state = LinkState::Gone;
+            slot.gen += 1;
+        }
+        lock(&self.replay).forget(peer);
+        self.send_event(InboxEvent::PeerLost(peer, PlaneError::Disconnected));
+    }
+
+    /// Unconditionally mark a link terminally lost (replay-floor violation).
+    fn declare_gone(&self, peer: ServerId, error: PlaneError) {
+        {
+            let mut slot = lock(&self.links[peer as usize]);
+            if matches!(slot.state, LinkState::Gone) {
+                return;
+            }
+            slot.state = LinkState::Gone;
+            slot.gen += 1;
+        }
+        lock(&self.replay).forget(peer);
+        self.send_event(InboxEvent::PeerLost(peer, error));
+    }
+
+    /// Graceful-termination linger: a finished endpoint keeps its listener,
+    /// readers and replay service alive while a *down* peer might still need
+    /// something only we can give it — either frames we retain (it has not
+    /// acked everything) or our latest ack (acks travel unretained, so one
+    /// lost to the cut leaves the peer unable to trim its own log and finish
+    /// its own linger). Without this, the first server to terminate slams
+    /// its door on a peer cut near the end of the run; the peer's redials
+    /// bounce off a closed listener until its deadline declares us lost.
+    /// Up links owe nothing (their queued bytes are kernel-delivered after
+    /// close, and the loop re-pushes any ack that raced an install); Gone
+    /// peers can never come back. Bounded by the reconnect deadline (a peer
+    /// down that long is given up by its recovery watcher, which `forget`s
+    /// it and unblocks us) and skipped entirely after an abort.
+    fn linger_for_stragglers(&self) {
+        if self.aborted.load(Ordering::Acquire) {
+            return;
+        }
+        // Push out our final acks first: peers linger on the same condition,
+        // and an unflushed ack would turn this into a mutual deadline wait.
+        self.flush_all();
+        let deadline = Instant::now() + self.config.reconnect_deadline;
+        loop {
+            let last_ack = self.last_ack.load(Ordering::Acquire);
+            if last_ack != NO_ACK {
+                // Heal any Up link whose latest ack raced a reinstall
+                // (idempotent: writes only where delivery lags).
+                self.send_ack(last_ack);
+            }
+            let replay_needed = lock(&self.replay).retained_supersteps() > 0;
+            let owes_a_down_peer = (0..self.num_servers).filter(|&p| p != self.id).any(|p| {
+                let slot = lock(&self.links[p as usize]);
+                matches!(slot.state, LinkState::Down)
+                    && !slot.peer_done
+                    && (replay_needed || (last_ack != NO_ACK && slot.ack_delivered != last_ack))
+            });
+            if !owes_a_down_peer || Instant::now() >= deadline {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+}
+
+impl Fabric {
+    /// Dial-side half of the resume handshake: send our hello (or a
+    /// chaos-sabotaged one), read the peer's reply, then install the stream.
+    /// `initial` marks first-establishment dials, which must not emit
+    /// `PeerResumed`.
+    fn dial_link(
+        self: &Arc<Self>,
+        peer: ServerId,
+        stream: TcpStream,
+        initial: bool,
+    ) -> Result<(), InstallError> {
+        let _ = stream.set_nodelay(true);
+        let hello = ResumeHello {
+            cluster_size: self.num_servers,
+            sender: self.id,
+            resume_from: self.recv_cursor[peer as usize].load(Ordering::Acquire),
+        };
+        let encoded = hello.encode();
+        // Chaos handshake faults: sabotage this dial attempt if the budget
+        // allows, then report it transient — the *next* attempt is honest
+        // once the budget runs out, so faulted clusters still converge.
+        if let Some(fault) = self.config.handshake_fault {
+            let sabotaged = self
+                .fault_budget
+                .fetch_update(Ordering::AcqRel, Ordering::Acquire, |b| b.checked_sub(1))
+                .is_ok();
+            if sabotaged {
+                let mut s = stream;
+                match fault {
+                    HandshakeFault::Torn { bytes } => {
+                        let cut = bytes.min(RESUME_HELLO_LEN);
+                        let _ = s.write_all(&encoded[..cut]).and_then(|_| s.flush());
+                    }
+                    HandshakeFault::Duplicate => {
+                        let _ = s
+                            .write_all(&encoded)
+                            .and_then(|_| s.write_all(&encoded))
+                            .and_then(|_| s.flush());
+                    }
+                    HandshakeFault::Drop => {}
+                }
+                // Dropping `s` closes the sabotaged stream.
+                return Err(InstallError::Retry);
+            }
+        }
+        let mut s = stream;
+        if s.write_all(&encoded).and_then(|_| s.flush()).is_err() {
+            return Err(InstallError::Retry);
+        }
+        let _ = s.set_read_timeout(Some(HANDSHAKE_READ_CAP));
+        let mut reply = [0u8; RESUME_HELLO_LEN];
+        if s.read_exact(&mut reply).is_err() {
+            return Err(InstallError::Retry);
+        }
+        let _ = s.set_read_timeout(None);
+        let reply = match ResumeHello::decode(&reply) {
+            Ok(h) => h,
+            Err(_) => return Err(InstallError::Retry),
+        };
+        if reply.check(self.num_servers, self.id, Some(peer)).is_err() {
+            return Err(InstallError::Retry);
+        }
+        self.install_link(peer, s, reply.resume_from, initial)
+    }
+
+    /// Install a freshly handshaken stream as the live link to `peer`:
+    /// replay everything the peer still needs, mark the slot Up, announce
+    /// the resume, and spawn the reader — all under the replay lock, so no
+    /// concurrent broadcast can slip a frame between the replay snapshot and
+    /// the live stream (gap-free).
+    fn install_link(
+        self: &Arc<Self>,
+        peer: ServerId,
+        stream: TcpStream,
+        peer_resume_from: u32,
+        initial: bool,
+    ) -> Result<(), InstallError> {
+        let read_stream = match stream.try_clone() {
+            Ok(s) => s,
+            Err(_) => return Err(InstallError::Retry),
+        };
+        let replay = lock(&self.replay);
+        let (blob, frames) = match replay.replay_from(peer_resume_from) {
+            Ok(snapshot) => snapshot,
+            Err(e @ ReplayError::BelowFloor { .. }) => {
+                drop(replay);
+                // The peer needs frames we have already trimmed: permanently
+                // unrecoverable, not a transient failure.
+                self.declare_gone(peer, PlaneError::Protocol(e.to_string()));
+                return Err(InstallError::Fatal);
+            }
+        };
+        let mut writer = BufWriter::new(stream);
+        if writer.write_all(&blob).is_err() {
+            return Err(InstallError::Retry);
+        }
+        // Repeat our latest ack on the new stream: acks are unretained, so
+        // any the peer missed while down died with the old stream — and it
+        // needs the current floor to trim its own log and finish its linger.
+        let last_ack = self.last_ack.load(Ordering::Acquire);
+        if last_ack != NO_ACK {
+            let mut ack = Vec::new();
+            Frame::Ack {
+                sender: self.id,
+                superstep: last_ack,
+            }
+            .encode(&mut ack);
+            if writer.write_all(&ack).is_err() {
+                return Err(InstallError::Retry);
+            }
+        }
+        if writer.flush().is_err() {
+            return Err(InstallError::Retry);
+        }
+        if frames > 0 {
+            self.replayed_frames.add(frames);
+            self.bytes_written.add(blob.len() as u64);
+        }
+        let gen;
+        {
+            let mut slot = lock(&self.links[peer as usize]);
+            if matches!(slot.state, LinkState::Gone) {
+                return Err(InstallError::Fatal);
+            }
+            if !initial {
+                // The resume event must reach the collector *before* any
+                // frame the new reader forwards; we hold the replay lock, so
+                // the reader is not running yet and nothing can race it.
+                self.send_event(InboxEvent::PeerResumed(peer));
+                self.reconnects.incr();
+            }
+            slot.gen += 1;
+            gen = slot.gen;
+            slot.state = LinkState::Up(writer);
+            slot.ever_connected = true;
+            // The resent ack above is on the wire; a later one that raced
+            // this install is healed by the linger loop's `send_ack`.
+            slot.ack_delivered = last_ack;
+            // A rejoining (restarted) peer is a live participant again.
+            slot.peer_done = false;
+        }
+        drop(replay);
+        self.spawn_reader(peer, read_stream, gen);
+        Ok(())
+    }
+
+    /// The persistent accept thread: the listener stays open for the whole
+    /// run so a cut peer (or a restarted process) can always dial back in.
+    fn accept_loop(self: Arc<Self>, listener: TcpListener) {
+        let _ = listener.set_nonblocking(true);
+        while !self.stop.load(Ordering::Acquire) {
+            match listener.accept() {
+                Ok((stream, from)) => self.handle_accepted(stream, from),
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                Err(_) => std::thread::sleep(Duration::from_millis(10)),
+            }
+        }
+    }
+
+    /// Validate one accepted connection's resume hello and, if it is a
+    /// legitimate (re)connection from a higher-id peer, supersede any old
+    /// stream and install the new one.
+    fn handle_accepted(self: &Arc<Self>, stream: TcpStream, from: SocketAddr) {
+        if stream.set_nonblocking(false).is_err() {
+            return;
+        }
+        let _ = stream.set_nodelay(true);
+        let _ = stream.set_read_timeout(Some(HANDSHAKE_READ_CAP));
+        let mut buf = [0u8; RESUME_HELLO_LEN];
+        let mut s = stream;
+        if s.read_exact(&mut buf).is_err() {
+            eprintln!(
+                "server {}: dropping stray connection from {from} (short resume hello)",
+                self.id
+            );
+            return;
+        }
+        let hello = match ResumeHello::decode(&buf) {
+            Ok(h) => h,
+            Err(e) => {
+                eprintln!(
+                    "server {}: dropping stray connection from {from}: {e}",
+                    self.id
+                );
+                return;
+            }
+        };
+        if let Err(e) = hello.check(self.num_servers, self.id, None) {
+            eprintln!("server {}: rejecting hello from {from}: {e}", self.id);
+            return;
+        }
+        // Dial direction is fixed: only higher-id peers dial us.
+        if hello.sender <= self.id {
+            eprintln!(
+                "server {}: rejecting hello from {from}: server {} must accept our dial, not dial us",
+                self.id, hello.sender
+            );
+            return;
+        }
+        let _ = s.set_read_timeout(None);
+        let peer = hello.sender;
+        let initial;
+        {
+            let mut slot = lock(&self.links[peer as usize]);
+            match &mut slot.state {
+                LinkState::Gone => return, // terminally lost; stays dead
+                LinkState::Up(writer) => {
+                    // A reconnect superseding a link we still think is up:
+                    // kill the old stream and bump the generation so the old
+                    // reader abandons its recovery claim when it notices.
+                    let _ = writer.get_ref().shutdown(Shutdown::Both);
+                    slot.state = LinkState::Down;
+                    slot.ack_delivered = NO_ACK;
+                    slot.gen += 1;
+                }
+                LinkState::Down => {
+                    // Supersede any pending redial/await watcher.
+                    slot.gen += 1;
+                }
+            }
+            initial = !slot.ever_connected;
+        }
+        // Join the superseded reader (bounded: its stream is closed both
+        // ends) so every frame it forwarded is in the inbox before the
+        // `PeerResumed` that install_link will enqueue.
+        if let Some(handle) = lock(&self.reader_handles)[peer as usize].take() {
+            let _ = handle.join();
+        }
+        let reply = ResumeHello {
+            cluster_size: self.num_servers,
+            sender: self.id,
+            resume_from: self.recv_cursor[peer as usize].load(Ordering::Acquire),
+        };
+        if s.write_all(&reply.encode())
+            .and_then(|_| s.flush())
+            .is_err()
+        {
+            return; // dialer will retry
+        }
+        let _ = self.install_link(peer, s, hello.resume_from, initial);
+    }
+}
+
+impl BoundSocketPlane {
+    /// Connect to every peer and return a fault-tolerant plane: same wire
+    /// protocol as [`Self::establish`] except the handshake is the 16-byte
+    /// `GHHR` resume hello (both directions), frames are retained for replay
+    /// until acked, and a mid-run connection loss triggers
+    /// reconnect-and-resume instead of aborting (terminal
+    /// [`PlaneError::Disconnected`] only after `config.reconnect_deadline`).
+    pub fn establish_resilient(
+        self,
+        peer_addrs: &[SocketAddr],
+        timeout: Duration,
+        config: ResilienceConfig,
+    ) -> std::io::Result<ResilientSocketPlane> {
+        let BoundSocketPlane {
+            id,
+            num_servers,
+            listener,
+        } = self;
+        if peer_addrs.len() != num_servers as usize {
+            return Err(invalid_input(format!(
+                "peer table has {} entries for a {num_servers}-server cluster",
+                peer_addrs.len()
+            )));
+        }
+        let registry = global_counters();
+        let (tx, inbox) = channel();
+        let fault_budget = if config.handshake_fault.is_some() {
+            config.handshake_fault_budget
+        } else {
+            0
+        };
+        let resume_from = config.resume_from;
+        let fabric = Arc::new(Fabric {
+            id,
+            num_servers,
+            links: (0..num_servers)
+                .map(|_| {
+                    Mutex::new(LinkSlot {
+                        state: LinkState::Down,
+                        gen: 0,
+                        ever_connected: false,
+                        ack_delivered: NO_ACK,
+                        peer_done: false,
+                    })
+                })
+                .collect(),
+            replay: Mutex::new(ReplayLog::new(num_servers, id)),
+            tx: Mutex::new(tx),
+            recv_cursor: (0..num_servers)
+                .map(|_| AtomicU32::new(resume_from))
+                .collect(),
+            stop: AtomicBool::new(false),
+            last_ack: AtomicU32::new(NO_ACK),
+            aborted: AtomicBool::new(false),
+            config,
+            fault_budget: AtomicU32::new(fault_budget),
+            peer_addrs: peer_addrs.to_vec(),
+            reader_handles: Mutex::new((0..num_servers).map(|_| None).collect()),
+            reconnects: registry.counter("fabric.reconnects"),
+            replayed_frames: registry.counter("fabric.replayed_frames"),
+            bytes_written: registry.counter("socket.bytes_written"),
+        });
+
+        // The accept thread owns the listener for the plane's whole life, so
+        // peers can redial at any point — including a restarted process
+        // re-joining mid-run.
+        let accept_fabric = Arc::clone(&fabric);
+        let accept_handle = std::thread::Builder::new()
+            .name(format!("graphh-rsock-accept-{id}"))
+            .spawn(move || accept_fabric.accept_loop(listener))
+            .ok();
+
+        let deadline = Instant::now() + timeout;
+        // Dial every lower-id peer (same topology as the non-resilient plane).
+        for peer in 0..id {
+            loop {
+                if Instant::now() >= deadline {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::TimedOut,
+                        format!("server {id}: timed out dialing server {peer}"),
+                    ));
+                }
+                if let Ok(stream) = TcpStream::connect(peer_addrs[peer as usize]) {
+                    match fabric.dial_link(peer, stream, true) {
+                        Ok(()) => break,
+                        Err(InstallError::Fatal) => {
+                            return Err(invalid_data(format!(
+                                "server {id}: server {peer} rejected the resume handshake"
+                            )))
+                        }
+                        Err(InstallError::Retry) => {}
+                    }
+                }
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+        // Wait for every higher-id peer to dial in.
+        loop {
+            let all_up = ((id + 1)..num_servers)
+                .all(|peer| matches!(lock(&fabric.links[peer as usize]).state, LinkState::Up(_)));
+            if all_up {
+                break;
+            }
+            if Instant::now() >= deadline {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::TimedOut,
+                    format!("server {id}: timed out waiting for higher-id peers to dial in"),
+                ));
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+
+        let peer_ids = (0..num_servers).filter(|&p| p != id).collect();
+        Ok(ResilientSocketPlane {
+            fabric,
+            peer_ids,
+            inbox,
+            collector: SuperstepCollector::new(),
+            scratch: Vec::new(),
+            accept_handle,
+        })
+    }
+}
+
+/// The fault-tolerant TCP broadcast plane: [`SocketPlane`]'s wire protocol
+/// plus frame retention ([`ReplayLog`]), the `GHHR` resume handshake, and
+/// reconnect-and-resume recovery. A transient peer failure parks the link and
+/// replays the missing frames once the peer is back; only a failure that
+/// outlives `ResilienceConfig::reconnect_deadline` (or a resume request below
+/// the replay floor) surfaces as terminal peer loss.
+pub struct ResilientSocketPlane {
+    fabric: Arc<Fabric>,
+    peer_ids: Vec<ServerId>,
+    inbox: Receiver<InboxEvent>,
+    collector: SuperstepCollector,
+    scratch: Vec<u8>,
+    accept_handle: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ResilientSocketPlane {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ResilientSocketPlane")
+            .field("id", &self.fabric.id)
+            .field("num_servers", &self.fabric.num_servers)
+            .finish()
+    }
+}
+
+impl BroadcastPlane for ResilientSocketPlane {
+    fn num_servers(&self) -> u32 {
+        self.fabric.num_servers
+    }
+
+    fn server_id(&self) -> ServerId {
+        self.fabric.id
+    }
+
+    fn broadcast(&mut self, superstep: u32, wire: &[u8]) -> Result<(), PlaneError> {
+        self.scratch.clear();
+        crate::frame::encode_message_into(self.fabric.id, superstep, wire, &mut self.scratch)
+            .map_err(|e| PlaneError::Protocol(e.to_string()))?;
+        // Per-link write failures never bubble up: the frame is in the
+        // replay log, and recovery re-delivers it when the link returns.
+        self.fabric.send_retained(superstep, &self.scratch, 1);
+        Ok(())
+    }
+
+    fn end_superstep(&mut self, superstep: u32) -> Result<(), PlaneError> {
+        self.scratch.clear();
+        Frame::EndOfSuperstep {
+            sender: self.fabric.id,
+            superstep,
+        }
+        .encode(&mut self.scratch);
+        self.fabric.send_retained(superstep, &self.scratch, 1);
+        self.fabric.flush_all();
+        Ok(())
+    }
+
+    fn collect(&mut self, superstep: u32) -> Result<Vec<WireMessage>, PlaneError> {
+        let inbox = &self.inbox;
+        self.collector.collect(superstep, &self.peer_ids, || {
+            inbox.recv().map_err(|_| PlaneError::Disconnected)
+        })
+    }
+
+    fn acknowledge(&mut self, superstep: u32) -> Result<(), PlaneError> {
+        // Not retained, but remembered: a reconnect repeats the latest ack,
+        // and `send_ack` records per-link delivery for the linger check.
+        self.fabric.last_ack.store(superstep, Ordering::Release);
+        self.fabric.send_ack(superstep);
+        Ok(())
+    }
+
+    fn abort(&mut self) {
+        self.scratch.clear();
+        Frame::Abort {
+            sender: self.fabric.id,
+        }
+        .encode(&mut self.scratch);
+        self.fabric.aborted.store(true, Ordering::Release);
+        self.fabric.send_unretained(&self.scratch);
+    }
+}
+
+impl SeverPeer for ResilientSocketPlane {
+    fn sever_peer(&mut self, peer: ServerId) {
+        if peer == self.fabric.id || peer >= self.fabric.num_servers {
+            return;
+        }
+        let mut slot = lock(&self.fabric.links[peer as usize]);
+        if let LinkState::Up(writer) = &mut slot.state {
+            // Flush then close only the write half: the peer receives every
+            // queued frame followed by a clean FIN — a deterministic cut at
+            // the exact point in the stream where the sever happened. Writes
+            // after SHUT_WR fail immediately, demoting the link to Down, and
+            // our reader sees the peer's answering FIN and starts recovery.
+            let _ = writer.flush();
+            let _ = writer.get_ref().shutdown(Shutdown::Write);
+        }
+    }
+}
+
+impl Drop for ResilientSocketPlane {
+    fn drop(&mut self) {
+        // Serve stragglers before tearing anything down: a peer cut near the
+        // end of the run may still need our listener and replay log.
+        self.fabric.linger_for_stragglers();
+        // Announce the clean exit so peers treat the coming EOFs as a
+        // deliberate close, not a cut to recover from.
+        let mut goodbye = Vec::new();
+        Frame::Goodbye {
+            sender: self.fabric.id,
+        }
+        .encode(&mut goodbye);
+        self.fabric.send_unretained(&goodbye);
+        self.fabric.stop.store(true, Ordering::Release);
+        for peer in &self.peer_ids {
+            let mut slot = lock(&self.fabric.links[*peer as usize]);
+            if let LinkState::Up(writer) = &mut slot.state {
+                let _ = writer.flush();
+                let _ = writer.get_ref().shutdown(Shutdown::Both);
+                slot.state = LinkState::Down;
+                slot.ack_delivered = NO_ACK;
+            }
+            slot.gen += 1; // supersede any in-flight recovery watcher
+        }
+        let handles: Vec<_> = lock(&self.fabric.reader_handles)
+            .iter_mut()
+            .filter_map(Option::take)
+            .collect();
+        for handle in handles {
+            let _ = handle.join();
+        }
+        if let Some(handle) = self.accept_handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod resilient_tests {
+    use super::*;
+    use crate::chaos::{CutPlan, FaultPlane};
+    use std::thread;
+
+    fn bind_cluster(n: u32) -> (Vec<BoundSocketPlane>, Vec<SocketAddr>) {
+        let bound: Vec<BoundSocketPlane> = (0..n)
+            .map(|sid| SocketPlane::bind(sid, n, "127.0.0.1:0").unwrap())
+            .collect();
+        let addrs = bound.iter().map(|b| b.local_addr().unwrap()).collect();
+        (bound, addrs)
+    }
+
+    fn establish_resilient_all(
+        bound: Vec<BoundSocketPlane>,
+        addrs: &[SocketAddr],
+        config: &ResilienceConfig,
+    ) -> Vec<ResilientSocketPlane> {
+        thread::scope(|scope| {
+            let handles: Vec<_> = bound
+                .into_iter()
+                .map(|b| {
+                    let config = config.clone();
+                    scope.spawn(move || {
+                        b.establish_resilient(addrs, Duration::from_secs(10), config)
+                            .unwrap()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        })
+    }
+
+    /// Fault-free resilient runs behave exactly like the plain socket plane.
+    #[test]
+    fn resilient_all_to_all_parity_without_faults() {
+        let (bound, addrs) = bind_cluster(3);
+        let planes = establish_resilient_all(bound, &addrs, &ResilienceConfig::default());
+        let results: Vec<Vec<usize>> = thread::scope(|scope| {
+            let handles: Vec<_> = planes
+                .into_iter()
+                .map(|mut p| {
+                    scope.spawn(move || {
+                        let mut seen = Vec::new();
+                        for s in 0..4u32 {
+                            for _ in 0..=s {
+                                p.broadcast(s, &[p.server_id() as u8, s as u8]).unwrap();
+                            }
+                            p.end_superstep(s).unwrap();
+                            let got = p.collect(s).unwrap();
+                            assert!(got.iter().all(|w| w.len() == 2 && w[1] == s as u8));
+                            p.acknowledge(s).unwrap();
+                            seen.push(got.len());
+                        }
+                        seen
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for seen in results {
+            assert_eq!(seen, vec![2, 4, 6, 8]);
+        }
+    }
+
+    /// A connection cut at a superstep boundary recovers via redial + replay,
+    /// and every superstep still collects exactly once per peer per message.
+    #[test]
+    fn boundary_cut_recovers_with_exactly_once_delivery() {
+        let (bound, addrs) = bind_cluster(2);
+        let mut planes = establish_resilient_all(bound, &addrs, &ResilienceConfig::default());
+        let p1 = planes.pop().unwrap();
+        let p0 = planes.pop().unwrap();
+        // Server 0 severs its link to server 1 right after superstep 1 ends:
+        // server 1 sees a full superstep then a FIN, redials, and resumes.
+        let mut p0 = FaultPlane::new(p0, CutPlan::explicit(vec![(1, 1)]));
+
+        let run = |p: &mut dyn BroadcastPlane| {
+            let id = p.server_id();
+            let peer = 1 - id;
+            for s in 0..5u32 {
+                p.broadcast(s, &[id as u8, s as u8]).unwrap();
+                p.end_superstep(s).unwrap();
+                let got = p.collect(s).unwrap();
+                assert_eq!(
+                    got.len(),
+                    1,
+                    "server {id} superstep {s}: exactly one message expected"
+                );
+                assert_eq!(&got[0][..], &[peer as u8, s as u8]);
+                p.acknowledge(s).unwrap();
+            }
+        };
+        thread::scope(|scope| {
+            let h0 = scope.spawn(move || {
+                run(&mut p0);
+                p0
+            });
+            let mut p1 = p1;
+            let h1 = scope.spawn(move || run(&mut p1));
+            h0.join().unwrap();
+            h1.join().unwrap();
+        });
+    }
+
+    /// Both directions cut at once (a reconnect storm, here at different
+    /// supersteps each) still converges to exactly-once delivery.
+    #[test]
+    fn mutual_cuts_still_converge() {
+        let (bound, addrs) = bind_cluster(2);
+        let mut planes = establish_resilient_all(bound, &addrs, &ResilienceConfig::default());
+        let p1 = planes.pop().unwrap();
+        let p0 = planes.pop().unwrap();
+        let mut p0 = FaultPlane::new(p0, CutPlan::explicit(vec![(1, 1), (2, 1)]));
+        let mut p1 = FaultPlane::new(p1, CutPlan::explicit(vec![(1, 0)]));
+
+        let run = |p: &mut dyn BroadcastPlane| {
+            let id = p.server_id();
+            let peer = 1 - id;
+            for s in 0..5u32 {
+                p.broadcast(s, &[id as u8, s as u8]).unwrap();
+                p.end_superstep(s).unwrap();
+                let got = p.collect(s).unwrap();
+                assert_eq!(got.len(), 1, "server {id} superstep {s}");
+                assert_eq!(&got[0][..], &[peer as u8, s as u8]);
+                p.acknowledge(s).unwrap();
+            }
+        };
+        thread::scope(|scope| {
+            let h0 = scope.spawn(move || run(&mut p0));
+            let h1 = scope.spawn(move || run(&mut p1));
+            h0.join().unwrap();
+            h1.join().unwrap();
+        });
+    }
+
+    /// A peer that never comes back is terminal — but only after the
+    /// reconnect deadline, not on the first EOF.
+    #[test]
+    fn dead_peer_is_terminal_only_after_the_deadline() {
+        let (bound, addrs) = bind_cluster(2);
+        let config = ResilienceConfig {
+            reconnect_deadline: Duration::from_millis(200),
+            retry_backoff: Duration::from_millis(20),
+            ..ResilienceConfig::default()
+        };
+        let mut planes = establish_resilient_all(bound, &addrs, &config);
+        let mut p1 = planes.pop().unwrap();
+        let mut p0 = planes.pop().unwrap();
+        let start = Instant::now();
+        // Simulate a crash, not a graceful exit: sever the link first so the
+        // drop's goodbye never reaches p0 (a killed process sends none), then
+        // tear the plane down.
+        p1.sever_peer(0);
+        drop(p1);
+        p0.end_superstep(0).unwrap();
+        assert_eq!(p0.collect(0), Err(PlaneError::Disconnected));
+        assert!(
+            start.elapsed() >= Duration::from_millis(150),
+            "terminal loss must wait out the reconnect deadline"
+        );
+    }
+
+    /// Sabotaged resume handshakes (torn hello, then dropped hello) are
+    /// retried until the fault budget runs out; establishment still succeeds.
+    #[test]
+    fn torn_and_dropped_handshakes_are_survived() {
+        for fault in [HandshakeFault::Torn { bytes: 7 }, HandshakeFault::Drop] {
+            let (bound, addrs) = bind_cluster(2);
+            let mut iter = bound.into_iter();
+            let b0 = iter.next().unwrap();
+            let b1 = iter.next().unwrap();
+            let faulty = ResilienceConfig {
+                handshake_fault: Some(fault),
+                handshake_fault_budget: 2,
+                ..ResilienceConfig::default()
+            };
+            let (mut p0, mut p1) = thread::scope(|scope| {
+                let addrs0 = &addrs;
+                let h0 = scope.spawn(move || {
+                    b0.establish_resilient(
+                        addrs0,
+                        Duration::from_secs(10),
+                        ResilienceConfig::default(),
+                    )
+                    .unwrap()
+                });
+                let addrs1 = &addrs;
+                let h1 = scope.spawn(move || {
+                    b1.establish_resilient(addrs1, Duration::from_secs(10), faulty)
+                        .unwrap()
+                });
+                (h0.join().unwrap(), h1.join().unwrap())
+            });
+            p0.broadcast(0, b"after-chaos").unwrap();
+            p0.end_superstep(0).unwrap();
+            p1.end_superstep(0).unwrap();
+            let got = p1.collect(0).unwrap();
+            assert_eq!(&got[0][..], b"after-chaos");
+            assert!(p0.collect(0).unwrap().is_empty());
+            // Ack like a real worker would: an unacked final superstep makes
+            // the last plane to drop linger for its (now absent) peer.
+            p1.acknowledge(0).unwrap();
+            p0.acknowledge(0).unwrap();
+        }
+    }
+}

@@ -19,6 +19,7 @@
 
 use crate::barrier::SuperstepBarrier;
 use crate::buffer::{BufferPool, PooledBuf};
+use crate::checkpoint::{Checkpoint, CheckpointSink};
 use crate::plane::{BroadcastPlane, PlaneError};
 use graphh_cluster::ServerMetrics;
 use graphh_compress::{Codec, CompressorScratch};
@@ -179,6 +180,33 @@ fn plane_error(e: PlaneError) -> WorkerError {
     }
 }
 
+/// Optional behaviors of [`run_worker_with`] beyond the plain superstep loop.
+/// [`Default`] is exactly the historical behavior — fresh start at superstep
+/// 0, no checkpoints, no delay — and is what every existing entry point uses.
+#[derive(Default)]
+pub struct WorkerOptions {
+    /// First superstep to execute. Non-zero when resuming from a checkpoint:
+    /// the worker re-enters the loop at this cursor with the checkpointed
+    /// values/frontier and relies on peers replaying the delta.
+    pub start_superstep: u32,
+    /// Replica values to start from (checkpoint restore). `None` = the
+    /// initial values [`ServerState::build`] computes.
+    pub initial_values: Option<Vec<f64>>,
+    /// Frontier the first executed superstep starts from (checkpoint
+    /// restore). `None` = [`ExecutionPlan::initial_frontier`].
+    pub initial_frontier: Option<Vec<VertexId>>,
+    /// Periodic checkpoint writer. When set, the worker snapshots replica
+    /// values + superstep cursor after every due superstep and only
+    /// acknowledges durability ([`BroadcastPlane::acknowledge`]) for
+    /// checkpointed supersteps — so peers retain exactly the replay delta a
+    /// restart would need. When unset, every superstep is acknowledged as it
+    /// completes (in-memory state is durable enough for transient cuts).
+    pub checkpoint: Option<CheckpointSink>,
+    /// Artificial pause at the top of each superstep. A test aid that widens
+    /// the window for killing a process mid-run; it never changes values.
+    pub superstep_delay: Option<std::time::Duration>,
+}
+
 /// Run server `sid` to completion on the calling thread.
 ///
 /// On *any* exit that is not a clean finish — an `Err` return or a panic
@@ -228,18 +256,60 @@ pub fn run_worker_traced(
     metrics_tx: &Sender<MetricsSlice>,
     tracer: &Tracer,
 ) -> Result<WorkerOutput, WorkerError> {
+    run_worker_with(
+        config,
+        plan,
+        partitioned,
+        program,
+        sid,
+        plane,
+        barrier,
+        metrics_tx,
+        tracer,
+        WorkerOptions::default(),
+    )
+}
+
+/// [`run_worker_traced`] with explicit [`WorkerOptions`] — the entry point
+/// for checkpoint-resumed runs ([`WorkerOptions::start_superstep`] plus the
+/// restored values/frontier) and periodic checkpoint writing. With
+/// `WorkerOptions::default()` it is exactly `run_worker_traced`.
+#[allow(clippy::too_many_arguments)]
+pub fn run_worker_with(
+    config: &GraphHConfig,
+    plan: &ExecutionPlan,
+    partitioned: &PartitionedGraph,
+    program: &dyn GabProgram,
+    sid: ServerId,
+    plane: &mut dyn BroadcastPlane,
+    barrier: &SuperstepBarrier,
+    metrics_tx: &Sender<MetricsSlice>,
+    tracer: &Tracer,
+    options: WorkerOptions,
+) -> Result<WorkerOutput, WorkerError> {
     let num_servers = config.cluster.num_servers;
     let mut rec = tracer.thread(1 + sid);
     let load = rec.begin();
     let mut server = ServerState::build(config, plan, partitioned, sid);
     server.set_tracer(tracer.clone(), 100 * (1 + sid));
     rec.end(load, "server-build", "load");
+    // Checkpoint restore: replace the freshly built replica with the
+    // snapshotted one. Supersteps are deterministic, so re-entering the loop
+    // at the snapshot cursor with these values/frontier recomputes the exact
+    // run the original process would have continued.
+    if let Some(values) = options.initial_values {
+        server.values = values;
+    }
+    let start_superstep = options.start_superstep;
+    let initial_frontier = options
+        .initial_frontier
+        .unwrap_or_else(|| plan.initial_frontier());
     // Cleared and refilled in place every superstep — the broadcast hot path
     // of a steady-state superstep allocates nothing on the uncompressed
     // codec path.
     let pool = BufferPool::new();
-    let mut bufs = SuperstepBuffers::checkout(&pool, plan.initial_frontier());
-    let mut supersteps_run = 0u32;
+    let mut bufs = SuperstepBuffers::checkout(&pool, initial_frontier);
+    let mut supersteps_run = start_superstep;
     // Direction decision counters, fetched once before the loop (the registry
     // lookup locks; the per-superstep adds are relaxed atomics). Only server 0
     // counts, so the totals match the sequential executor's.
@@ -247,9 +317,24 @@ pub fn run_worker_traced(
     let dir_pull = counters.counter("exec.direction.pull");
     let dir_push = counters.counter("exec.direction.push");
 
+    let checkpoint_sink = options.checkpoint;
+    let superstep_delay = options.superstep_delay;
+    // A resumed run whose restored frontier is already empty terminated in
+    // its previous life — running even one superstep would diverge from the
+    // original run, so the loop is skipped entirely.
+    let resumed_after_termination = start_superstep > 0 && bufs.previously_updated.is_empty();
+
     let rec = &mut rec;
     let body = std::panic::AssertUnwindSafe(|| -> Result<u32, WorkerError> {
-        for superstep in 0..plan.max_supersteps {
+        let loop_end = if resumed_after_termination {
+            start_superstep
+        } else {
+            plan.max_supersteps
+        };
+        for superstep in start_superstep..loop_end {
+            if let Some(delay) = superstep_delay {
+                std::thread::sleep(delay);
+            }
             // Every worker derives the same view from its replicated frontier,
             // so all workers run the same direction at the same superstep.
             let view = plan.frontier_view(program, &bufs.previously_updated);
@@ -374,6 +459,29 @@ pub fn run_worker_traced(
 
             bufs.advance_frontier();
             supersteps_run = superstep + 1;
+
+            // Durability + ack. With a checkpoint sink, a snapshot is written
+            // on due supersteps and only then is the superstep acknowledged —
+            // an ack is a promise that a restart will not need this
+            // superstep's frames replayed. Without one, in-memory state is
+            // durable enough for transient cuts, so every superstep acks.
+            match &checkpoint_sink {
+                Some(sink) if sink.due(superstep) => {
+                    sink.write(&Checkpoint {
+                        server: sid,
+                        next_superstep: superstep + 1,
+                        frontier: bufs.previously_updated.clone(),
+                        values: server.values.clone(),
+                    })
+                    .map_err(|e| WorkerError {
+                        error: EngineError::BadInput(format!("checkpoint write: {e}")),
+                        secondary: false,
+                    })?;
+                    plane.acknowledge(superstep).map_err(plane_error)?;
+                }
+                Some(_) => {}
+                None => plane.acknowledge(superstep).map_err(plane_error)?,
+            }
 
             // BSP barrier; every worker sees the same update set, so all make
             // the same continue/stop decision and stay in lockstep.

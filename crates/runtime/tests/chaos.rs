@@ -1,0 +1,284 @@
+//! The chaos determinism suite: clusters under deterministic fault injection
+//! must produce replicas bit-identical to the *unfaulted* sequential
+//! reference.
+//!
+//! Every run here wraps real TCP endpoints (both backends: the blocking
+//! [`SocketPlane`] fabric and the event-driven [`PollPlane`] loop,
+//! established with the resilient `GHHR` protocol) in a
+//! [`graphh_runtime::FaultPlane`] that severs live connections at exact
+//! superstep boundaries. The transports must recover on their own — redial,
+//! resume handshake, frame replay, collector dedup — and the suite demands
+//! the strongest possible outcome: not "eventually consistent", but the
+//! exact bits the run would have produced with no fault at all.
+//!
+//! The sweep tests cut at *every* superstep boundary of a run (for PageRank
+//! and direction-optimizing BFS, on both backends): off-by-one bugs in
+//! replay cursors live precisely at those boundaries, so covering all of
+//! them leaves no place to hide. The storm test drives seeded multi-cut
+//! schedules on every server at once ([`CutPlan::seeded`]), so a failure
+//! reproduces from its seed.
+
+use graphh_cluster::ClusterConfig;
+use graphh_core::exec::ExecutionPlan;
+use graphh_core::{
+    DirectionOptimizingBfs, GabProgram, GraphHConfig, GraphHEngine, PageRank, SequentialExecutor,
+};
+use graphh_graph::generators::{GraphGenerator, RmatGenerator};
+use graphh_partition::{PartitionedGraph, Spe, SpeConfig};
+use graphh_runtime::{
+    run_worker, BroadcastPlane, CutPlan, FaultPlane, PollPlane, ResilienceConfig, SeverPeer,
+    SocketPlane, SuperstepBarrier,
+};
+use std::net::SocketAddr;
+use std::sync::mpsc::channel;
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+const SERVERS: u32 = 3;
+const ESTABLISH_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Which resilient TCP backend a chaos run drives.
+#[derive(Clone, Copy, Debug)]
+enum Kind {
+    Socket,
+    Poll,
+}
+
+/// Run one server to completion over a fault-injected resilient plane.
+fn run_chaos_worker<P: BroadcastPlane + SeverPeer>(
+    plane: P,
+    cuts: CutPlan,
+    config: &GraphHConfig,
+    plan: &ExecutionPlan,
+    partitioned: &PartitionedGraph,
+    program: &dyn GabProgram,
+) -> (u32, Vec<f64>) {
+    let cut_list = cuts.cuts().to_vec();
+    let mut plane = FaultPlane::new(plane, cuts);
+    let barrier = SuperstepBarrier::new(1);
+    let (metrics_tx, _metrics_rx) = channel();
+    let sid = plane.server_id();
+    let output = run_worker(
+        config,
+        plan,
+        partitioned,
+        program,
+        sid,
+        &mut plane,
+        &barrier,
+        &metrics_tx,
+    )
+    .unwrap_or_else(|e| panic!("chaos worker {sid} (cuts {cut_list:?}): {e:?}"));
+    (sid, output.values)
+}
+
+/// Establish a resilient cluster of `SERVERS` endpoints over loopback and run
+/// the full worker loop on scoped threads, with server `sid` executing
+/// `plans[sid]`'s connection cuts. Returns final replicas ordered by server.
+fn run_resilient_cluster(
+    kind: Kind,
+    config: &GraphHConfig,
+    partitioned: &PartitionedGraph,
+    program: &dyn GabProgram,
+    plans: &[CutPlan],
+) -> Vec<Vec<f64>> {
+    assert_eq!(plans.len() as u32, SERVERS);
+    let plan = ExecutionPlan::prepare(config, partitioned, program).expect("plan");
+
+    let mut outputs: Vec<(u32, Vec<f64>)> = match kind {
+        Kind::Socket => {
+            let bound: Vec<_> = (0..SERVERS)
+                .map(|sid| SocketPlane::bind(sid, SERVERS, "127.0.0.1:0").expect("bind"))
+                .collect();
+            let addrs: Vec<SocketAddr> = bound.iter().map(|b| b.local_addr().unwrap()).collect();
+            thread::scope(|scope| {
+                let handles: Vec<_> = bound
+                    .into_iter()
+                    .zip(plans)
+                    .map(|(b, cuts)| {
+                        let (addrs, plan, cuts) = (&addrs, &plan, cuts.clone());
+                        scope.spawn(move || {
+                            let endpoint = b
+                                .establish_resilient(
+                                    addrs,
+                                    ESTABLISH_TIMEOUT,
+                                    ResilienceConfig::default(),
+                                )
+                                .expect("establish resilient socket");
+                            run_chaos_worker(endpoint, cuts, config, plan, partitioned, program)
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            })
+        }
+        Kind::Poll => {
+            let bound: Vec<_> = (0..SERVERS)
+                .map(|sid| PollPlane::bind(sid, SERVERS, "127.0.0.1:0").expect("bind"))
+                .collect();
+            let addrs: Vec<SocketAddr> = bound.iter().map(|b| b.local_addr().unwrap()).collect();
+            thread::scope(|scope| {
+                let handles: Vec<_> = bound
+                    .into_iter()
+                    .zip(plans)
+                    .map(|(b, cuts)| {
+                        let (addrs, plan, cuts) = (&addrs, &plan, cuts.clone());
+                        scope.spawn(move || {
+                            let endpoint = b
+                                .establish_resilient(
+                                    addrs,
+                                    ESTABLISH_TIMEOUT,
+                                    ResilienceConfig::default(),
+                                )
+                                .expect("establish resilient poll");
+                            run_chaos_worker(endpoint, cuts, config, plan, partitioned, program)
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            })
+        }
+    };
+    outputs.sort_by_key(|&(sid, _)| sid);
+    outputs.into_iter().map(|(_, values)| values).collect()
+}
+
+/// The unfaulted ground truth: the sequential reference executor.
+fn sequential_reference(partitioned: &PartitionedGraph, program: &dyn GabProgram) -> Vec<f64> {
+    let config = GraphHConfig::paper_default(ClusterConfig::paper_testbed(SERVERS));
+    GraphHEngine::with_executor(config, Arc::new(SequentialExecutor::new()))
+        .run(partitioned, program)
+        .expect("sequential reference")
+        .values
+}
+
+fn assert_chaos_matches_reference(
+    kind: Kind,
+    partitioned: &PartitionedGraph,
+    program: &dyn GabProgram,
+    reference: &[f64],
+    plans: &[CutPlan],
+    what: &str,
+) {
+    let config = GraphHConfig::paper_default(ClusterConfig::paper_testbed(SERVERS));
+    let replicas = run_resilient_cluster(kind, &config, partitioned, program, plans);
+    for (sid, values) in replicas.iter().enumerate() {
+        assert_eq!(values.len(), reference.len(), "{what}: server {sid}");
+        for (v, (x, y)) in values.iter().zip(reference).enumerate() {
+            assert_eq!(
+                x.to_bits(),
+                y.to_bits(),
+                "{what}: server {sid} vertex {v} diverged under chaos ({x} vs {y})"
+            );
+        }
+    }
+}
+
+fn pagerank_workload() -> PartitionedGraph {
+    let g = RmatGenerator::new(6, 4).generate(2017);
+    Spe::partition(&g, &SpeConfig::with_tile_count("chaos", &g, 6)).unwrap()
+}
+
+fn bfs_workload() -> (PartitionedGraph, DirectionOptimizingBfs) {
+    let g = RmatGenerator::new(6, 4).generate(42);
+    let p = Spe::partition(&g, &SpeConfig::with_tile_count("chaos", &g, 6)).unwrap();
+    let source = (0..g.num_vertices() as u32)
+        .max_by_key(|&v| g.out_degree(v))
+        .unwrap_or(0);
+    // α=β=2 so the run genuinely switches push/pull on this small graph —
+    // direction decisions must also survive mid-run cuts untouched.
+    (p, DirectionOptimizingBfs::with_thresholds(source, 2, 2))
+}
+
+/// Cut at *every* superstep boundary, one run per boundary: server 0 severs
+/// a rotating victim right after ending superstep `s`. Replay-cursor
+/// off-by-ones live exactly at these boundaries.
+fn sweep_every_boundary(
+    kind: Kind,
+    partitioned: &PartitionedGraph,
+    program: &dyn GabProgram,
+    supersteps: u32,
+    what: &str,
+) {
+    let reference = sequential_reference(partitioned, program);
+    for s in 0..supersteps {
+        let victim = 1 + (s % (SERVERS - 1));
+        let mut plans = vec![CutPlan::none(); SERVERS as usize];
+        plans[0] = CutPlan::explicit(vec![(s, victim)]);
+        assert_chaos_matches_reference(
+            kind,
+            partitioned,
+            program,
+            &reference,
+            &plans,
+            &format!("{what}: cut peer {victim} after superstep {s}"),
+        );
+    }
+}
+
+const PAGERANK_SUPERSTEPS: u32 = 5;
+
+#[test]
+fn socket_pagerank_survives_a_cut_at_every_boundary() {
+    sweep_every_boundary(
+        Kind::Socket,
+        &pagerank_workload(),
+        &PageRank::new(PAGERANK_SUPERSTEPS),
+        PAGERANK_SUPERSTEPS,
+        "socket pagerank",
+    );
+}
+
+#[test]
+fn poll_pagerank_survives_a_cut_at_every_boundary() {
+    sweep_every_boundary(
+        Kind::Poll,
+        &pagerank_workload(),
+        &PageRank::new(PAGERANK_SUPERSTEPS),
+        PAGERANK_SUPERSTEPS,
+        "poll pagerank",
+    );
+}
+
+#[test]
+fn socket_bfs_survives_a_cut_at_every_boundary() {
+    let (p, bfs) = bfs_workload();
+    // BFS terminates when its frontier drains; cuts scheduled past the last
+    // superstep are never reached, so sweeping a fixed bound covers every
+    // boundary the run actually has.
+    sweep_every_boundary(Kind::Socket, &p, &bfs, 4, "socket bfs");
+}
+
+#[test]
+fn poll_bfs_survives_a_cut_at_every_boundary() {
+    let (p, bfs) = bfs_workload();
+    sweep_every_boundary(Kind::Poll, &p, &bfs, 4, "poll bfs");
+}
+
+/// The reconnect storm: every server runs a seeded multi-cut schedule at
+/// once, so links drop and resume all over the cluster throughout the run —
+/// and the result must still be the unfaulted reference, bit for bit. A
+/// failure replays exactly from the seed.
+#[test]
+fn reconnect_storm_converges_to_the_unfaulted_reference() {
+    let partitioned = pagerank_workload();
+    let program = PageRank::new(PAGERANK_SUPERSTEPS);
+    let reference = sequential_reference(&partitioned, &program);
+    for kind in [Kind::Socket, Kind::Poll] {
+        let plans: Vec<CutPlan> = (0..SERVERS)
+            .map(|sid| {
+                let peers: Vec<u32> = (0..SERVERS).filter(|&p| p != sid).collect();
+                CutPlan::seeded(0x5EED_2017 + u64::from(sid), PAGERANK_SUPERSTEPS, &peers, 3)
+            })
+            .collect();
+        assert_chaos_matches_reference(
+            kind,
+            &partitioned,
+            &program,
+            &reference,
+            &plans,
+            &format!("reconnect storm over {kind:?}"),
+        );
+    }
+}
