@@ -31,6 +31,19 @@
 //! (blocking reader-thread-per-peer vs single event-loop thread — same wire
 //! protocol, see docs/WIRE.md), `--out`, `--establish-timeout-secs`.
 //!
+//! Instead of enumerating every peer, a node may bootstrap by **seed
+//! discovery** (see `docs/WIRE.md` §10): `--seed HOST:PORT` (repeatable)
+//! names any already-listening cluster member; the node dials a live seed,
+//! exchanges `GHHM` membership frames, and learns the full `server id →
+//! address` book before establishing. `--peers` and seed addresses are
+//! mutually exclusive — the static table and the gossiped book are
+//! alternative sources of truth. (`--seed` keeps its workload meaning too:
+//! a bare integer is the graph-generator RNG seed, a `host:port` value is a
+//! membership seed — the two value shapes never overlap.) With `--resilient`,
+//! a replacement process for a dead id may bind a *different* port: it
+//! announces itself with a bumped incarnation, the book update gossips to
+//! every survivor, and redials converge on the new address mid-run.
+//!
 //! Observability flags (see `docs/OBSERVABILITY.md`): `--trace-out FILE`
 //! enables phase tracing and writes a Chrome trace-event JSON file loadable
 //! in `chrome://tracing` / Perfetto; `--metrics-out FILE` writes this node's
@@ -71,6 +84,9 @@ struct Args {
     servers: u32,
     listen: String,
     peers: Vec<SocketAddr>,
+    /// Membership seed addresses (`--seed HOST:PORT`, repeatable) — the
+    /// address book is learned from a live seed instead of `--peers`.
+    seeds: Vec<SocketAddr>,
     plane: TcpPlaneKind,
     direction: DirectionMode,
     workload: NodeWorkload,
@@ -97,7 +113,8 @@ struct Args {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: graphh-node --id I --servers P --listen ADDR --peers A0,A1,... \
+        "usage: graphh-node --id I --servers P --listen ADDR \
+         (--peers A0,A1,... | --seed HOST:PORT...) \
          [--plane socket|poll] [--program NAME] [--program-arg K=V]... \
          [--direction auto|pull|push] [--scale S] \
          [--edge-factor F] [--seed N] [--tiles T] [--supersteps N] \
@@ -123,6 +140,7 @@ fn parse_args() -> Result<Args, String> {
     let mut servers = None;
     let mut listen = None;
     let mut peers: Vec<SocketAddr> = Vec::new();
+    let mut seeds: Vec<SocketAddr> = Vec::new();
     let mut workload = NodeWorkload {
         program: "pagerank".into(),
         program_args: Vec::new(),
@@ -175,7 +193,23 @@ fn parse_args() -> Result<Args, String> {
             "--program-arg" => workload.program_args.push(value),
             "--scale" => workload.scale = value.parse().map_err(|e| bad(&e))?,
             "--edge-factor" => workload.edge_factor = value.parse().map_err(|e| bad(&e))?,
-            "--seed" => workload.seed = value.parse().map_err(|e| bad(&e))?,
+            // `--seed` is overloaded by value shape: a `host:port` socket
+            // address is a membership seed node (repeatable, docs/WIRE.md
+            // §10); a bare integer keeps its original meaning as the
+            // graph-generator RNG seed. The domains are disjoint — an
+            // integer never parses as a socket address and vice versa.
+            "--seed" => {
+                if let Ok(addr) = value.parse::<SocketAddr>() {
+                    seeds.push(addr);
+                } else {
+                    workload.seed = value.parse().map_err(|_| {
+                        format!(
+                            "bad value for --seed: {value} (expected a membership \
+                             seed HOST:PORT or an integer RNG seed)"
+                        )
+                    })?;
+                }
+            }
             "--tiles" => workload.tiles = value.parse().map_err(|e| bad(&e))?,
             "--supersteps" => workload.supersteps = value.parse().map_err(|e| bad(&e))?,
             "--threads-per-server" => {
@@ -202,8 +236,8 @@ fn parse_args() -> Result<Args, String> {
     let id = id.ok_or("--id is required")?;
     let servers = servers.ok_or("--servers is required")?;
     let listen = listen.ok_or("--listen is required")?;
-    if peers.is_empty() && servers > 1 {
-        return Err("--peers is required for clusters with more than one server".into());
+    if peers.is_empty() && seeds.is_empty() && servers > 1 {
+        return Err("--peers or --seed is required for clusters with more than one server".into());
     }
     if checkpoint_dir.is_some() && !resilient {
         // A restart without the resilient protocol cannot rejoin its peers
@@ -216,6 +250,7 @@ fn parse_args() -> Result<Args, String> {
         servers,
         listen,
         peers,
+        seeds,
         plane,
         direction,
         workload,
@@ -281,13 +316,19 @@ fn run(args: Args) -> Result<(), String> {
         .map_err(|e| format!("prepare plan: {e}"))?;
     drop(pool); // the run uses the per-server pool inside `ServerState`
 
-    let peer_addrs: Vec<SocketAddr> = if args.servers == 1 {
+    let peer_addrs: Vec<SocketAddr> = if args.servers == 1 && args.seeds.is_empty() {
         vec![bound.local_addr().map_err(|e| e.to_string())?]
     } else {
         args.peers.clone()
     };
-    validate_peer_table(args.id, args.servers, &peer_addrs, bound.local_addr().ok())
-        .map_err(|e| format!("invalid --peers table: {e}"))?;
+    validate_peer_table(
+        args.id,
+        args.servers,
+        &peer_addrs,
+        &args.seeds,
+        bound.local_addr().ok(),
+    )
+    .map_err(|e| format!("invalid peer configuration: {e}"))?;
 
     // Checkpoint auto-resume: an existing GHHC snapshot for this server id
     // means a previous incarnation of this process died mid-run — restart at
@@ -306,7 +347,36 @@ fn run(args: Args) -> Result<(), String> {
     };
     let start_superstep = resumed.as_ref().map_or(0, |c| c.next_superstep);
 
-    let mut plane = if args.resilient {
+    let discovered = !args.seeds.is_empty();
+    let mut plane = if discovered {
+        // Seed discovery: learn the address book from a live seed over GHHM
+        // before establishing; a restart announces itself under its server id
+        // (bumping its incarnation if the book already lists the dead
+        // address), so peers redial the *new* address mid-run.
+        let view = bound
+            .discover(&args.seeds, args.establish_timeout)
+            .map_err(|e| format!("seed discovery: {e}"))?;
+        eprintln!(
+            "graphh-node {}/{}: address book discovered (version {}, incarnation {})",
+            args.id,
+            args.servers,
+            view.handle.version(),
+            view.incarnation,
+        );
+        if args.resilient {
+            let config = ResilienceConfig {
+                reconnect_deadline: args.reconnect_deadline,
+                ..ResilienceConfig::resuming_from(start_superstep)
+            };
+            bound
+                .establish_resilient_discovered(view, args.establish_timeout, config)
+                .map_err(|e| format!("establish resilient cluster (discovered): {e}"))?
+        } else {
+            bound
+                .establish_discovered(view, args.establish_timeout)
+                .map_err(|e| format!("establish cluster (discovered): {e}"))?
+        }
+    } else if args.resilient {
         let config = ResilienceConfig {
             reconnect_deadline: args.reconnect_deadline,
             ..ResilienceConfig::resuming_from(start_superstep)
@@ -320,11 +390,12 @@ fn run(args: Args) -> Result<(), String> {
             .map_err(|e| format!("establish cluster: {e}"))?
     };
     eprintln!(
-        "graphh-node {}/{}: cluster established ({} peers{}{})",
+        "graphh-node {}/{}: cluster established ({} peers{}{}{})",
         args.id,
         args.servers,
         args.servers - 1,
         if args.resilient { ", resilient" } else { "" },
+        if discovered { ", seed-discovered" } else { "" },
         if resumed.is_some() {
             format!(", resumed at superstep {start_superstep}")
         } else {
@@ -432,6 +503,22 @@ fn node_metrics_json(
     net_received_bytes: u64,
     wall_seconds: f64,
 ) -> String {
+    // Counters register lazily on first touch, so a fault-free (or
+    // non-resilient, or static-table) run would otherwise omit the whole
+    // `fabric.*` / `membership.*` families from the snapshot. Pre-register
+    // them all: a zero row in every run's JSON beats a key that appears only
+    // when something went wrong.
+    for name in [
+        "fabric.reconnects",
+        "fabric.replayed_frames",
+        "fabric.checkpoint_bytes",
+        "membership.announces",
+        "membership.gossip_deltas",
+        "membership.book_version",
+        "membership.adoptions",
+    ] {
+        global_counters().counter(name);
+    }
     format!(
         concat!(
             "{{\n",

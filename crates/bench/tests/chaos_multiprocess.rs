@@ -183,6 +183,197 @@ fn try_chaos_run(attempt: u32) -> Result<Vec<Vec<u8>>, String> {
         .collect()
 }
 
+/// Spawn one node that bootstraps from a membership seed instead of a
+/// static `--peers` table. `listen_port` is the node's own port — for the
+/// replacement incarnation it is deliberately *different* from the port the
+/// dead process occupied.
+fn spawn_node_seeded(
+    workload: &NodeWorkload,
+    id: u32,
+    listen_port: u16,
+    seed_port: u16,
+    ckpt_dir: &Path,
+    out: &Path,
+) -> Child {
+    Command::new(env!("CARGO_BIN_EXE_graphh-node"))
+        .args([
+            "--id",
+            &id.to_string(),
+            "--servers",
+            &SERVERS.to_string(),
+            "--listen",
+            &format!("127.0.0.1:{listen_port}"),
+            "--plane",
+            "poll",
+            "--seed",
+            &format!("127.0.0.1:{seed_port}"),
+            "--program",
+            &workload.program,
+            "--scale",
+            &workload.scale.to_string(),
+            "--edge-factor",
+            &workload.edge_factor.to_string(),
+            "--seed",
+            &workload.seed.to_string(),
+            "--tiles",
+            &workload.tiles.to_string(),
+            "--supersteps",
+            &workload.supersteps.to_string(),
+            "--establish-timeout-secs",
+            "60",
+            "--resilient",
+            "--checkpoint-dir",
+            &ckpt_dir.display().to_string(),
+            "--checkpoint-every",
+            "1",
+            "--reconnect-deadline-secs",
+            "60",
+            "--superstep-delay-ms",
+            "120",
+            "--out",
+            &out.display().to_string(),
+        ])
+        .spawn()
+        .expect("spawn graphh-node (seeded)")
+}
+
+/// The membership run: cluster bootstrapped from seeds only, victim killed
+/// with `SIGKILL` and restarted on a **different port**. Node 1 is the victim
+/// so both redial directions are exercised: the replacement dials node 0
+/// itself, while node 2 must *learn the new address through gossip* (node 0
+/// serves the adoption announce, the book delta rides the ack cadence to
+/// node 2, and node 2's reconnect loop re-consults the book before redialing).
+fn try_membership_run(attempt: u32) -> Result<Vec<Vec<u8>>, String> {
+    const VICTIM: u32 = 1;
+    let w = workload();
+    let tag = format!("graphh-member-{}-a{attempt}", std::process::id());
+    let dir = std::env::temp_dir();
+    let ckpt_dir = dir.join(format!("{tag}-ckpt"));
+    let _ = std::fs::remove_dir_all(&ckpt_dir);
+    std::fs::create_dir_all(&ckpt_dir).map_err(|e| format!("create {ckpt_dir:?}: {e}"))?;
+    let outs: Vec<PathBuf> = (0..SERVERS)
+        .map(|id| dir.join(format!("{tag}-s{id}.bin")))
+        .collect();
+    // One extra port: the replacement incarnation's fresh address.
+    let ports = free_loopback_ports(SERVERS as usize + 1);
+    let seed_port = ports[0]; // node 0 doubles as the seed node
+    let mut children: Vec<Child> = (0..SERVERS)
+        .map(|id| {
+            spawn_node_seeded(
+                &w,
+                id,
+                ports[id as usize],
+                seed_port,
+                &ckpt_dir,
+                &outs[id as usize],
+            )
+        })
+        .collect();
+
+    let victim_ckpt = ckpt_dir.join(format!("ckpt-s{VICTIM}.ghhc"));
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while !victim_ckpt.exists() {
+        if Instant::now() >= deadline {
+            for child in &mut children {
+                let _ = child.kill();
+            }
+            return Err("victim never wrote its first checkpoint".into());
+        }
+        for child in &mut children {
+            if let Ok(Some(status)) = child.try_wait() {
+                for child in &mut children {
+                    let _ = child.kill();
+                }
+                return Err(format!("a node exited early ({status}) before the kill"));
+            }
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    std::thread::sleep(Duration::from_millis(60));
+
+    children[VICTIM as usize]
+        .kill()
+        .map_err(|e| format!("kill victim: {e}"))?;
+    let _ = children[VICTIM as usize].wait();
+
+    // The replacement: same server id, same checkpoint directory, same seed —
+    // but a brand-new listen port. Nobody tells the survivors; the address
+    // book has to carry the adoption.
+    children[VICTIM as usize] = spawn_node_seeded(
+        &w,
+        VICTIM,
+        ports[SERVERS as usize],
+        seed_port,
+        &ckpt_dir,
+        &outs[VICTIM as usize],
+    );
+
+    let mut ok = true;
+    for child in &mut children {
+        ok &= child.wait().expect("wait for graphh-node").success();
+    }
+    let _ = std::fs::remove_dir_all(&ckpt_dir);
+    if !ok {
+        for path in &outs {
+            let _ = std::fs::remove_file(path);
+        }
+        return Err("a graphh-node process exited nonzero".into());
+    }
+    outs.iter()
+        .map(|path| {
+            let bytes = std::fs::read(path).map_err(|e| format!("read {path:?}: {e}"))?;
+            let _ = std::fs::remove_file(path);
+            Ok(bytes)
+        })
+        .collect()
+}
+
+#[test]
+fn seed_discovered_cluster_adopts_replacement_at_new_port_byte_for_byte() {
+    let mut raw = None;
+    for attempt in 0..3 {
+        match try_membership_run(attempt) {
+            Ok(files) => {
+                raw = Some(files);
+                break;
+            }
+            Err(e) if attempt < 2 => {
+                eprintln!("membership attempt {attempt} failed ({e}); retrying")
+            }
+            Err(e) => panic!("membership cluster never completed: {e}"),
+        }
+    }
+    let raw = raw.unwrap();
+
+    for (sid, bytes) in raw.iter().enumerate().skip(1) {
+        assert_eq!(
+            bytes, &raw[0],
+            "server {sid}'s GHHV file differs from server 0's after the replacement"
+        );
+    }
+
+    let pool = WorkerPool::with_host_parallelism();
+    let (partitioned, program) = workload().build(&pool).expect("reference workload");
+    let reference = GraphHEngine::with_executor(
+        GraphHConfig::paper_default(ClusterConfig::paper_testbed(SERVERS)),
+        Arc::new(SequentialExecutor::new()),
+    )
+    .run(&partitioned, program.as_ref())
+    .expect("sequential reference run");
+
+    for (sid, bytes) in raw.iter().enumerate() {
+        let values = decode_values(bytes).expect("decode GHHV");
+        assert_eq!(values.len(), reference.values.len(), "server {sid}");
+        for (v, (x, y)) in values.iter().zip(&reference.values).enumerate() {
+            assert_eq!(
+                x.to_bits(),
+                y.to_bits(),
+                "server {sid} vertex {v} diverged after replacement at a new port ({x} vs {y})"
+            );
+        }
+    }
+}
+
 #[test]
 fn kill9_mid_run_restart_matches_sequential_byte_for_byte() {
     // Retry a couple of times: the free-port reservation is inherently racy

@@ -258,6 +258,11 @@ mod tests {
         let tracer = Tracer::new();
         let mut rec = tracer.thread(0);
         let outer = rec.begin();
+        // Separate the two starts by more than the µs timestamp resolution:
+        // with identical (start, dur) the sort's final name tie-break would
+        // order "inner" first and the parent-first assertion below would
+        // depend on scheduler timing.
+        std::thread::sleep(std::time::Duration::from_millis(2));
         let inner = rec.begin();
         std::thread::sleep(std::time::Duration::from_millis(2));
         rec.end_superstep(inner, "inner", "test", 0);

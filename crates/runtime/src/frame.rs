@@ -26,6 +26,7 @@
 //!   tag 3 Abort          : (nothing)
 //!   tag 4 Ack            : u32 LE superstep   (resilient mode only)
 //!   tag 5 Goodbye        : (nothing)          (resilient mode only)
+//!   tag 6 Membership     : GHHM message bytes (resilient mode only)
 //! ```
 //!
 //! The length prefix covers the body only. Decoders reject unknown tags,
@@ -63,6 +64,7 @@ const TAG_END_OF_SUPERSTEP: u8 = 2;
 const TAG_ABORT: u8 = 3;
 const TAG_ACK: u8 = 4;
 const TAG_GOODBYE: u8 = 5;
+const TAG_MEMBERSHIP: u8 = 6;
 
 /// What travels between servers on the broadcast fabric.
 #[derive(Debug, Clone)]
@@ -108,6 +110,16 @@ pub enum Frame {
         /// Departing server.
         sender: ServerId,
     },
+    /// An address-book gossip delta (an encoded `GHHM` message, opaque at
+    /// this layer — [`crate::membership::MembershipMsg`] is the codec).
+    /// Only the resilient transports emit (and intercept) membership
+    /// frames; one must never reach a [`SuperstepCollector`].
+    Membership {
+        /// Gossiping server.
+        sender: ServerId,
+        /// The encoded membership message.
+        payload: WireMessage,
+    },
 }
 
 impl Frame {
@@ -118,7 +130,8 @@ impl Frame {
             | Frame::EndOfSuperstep { sender, .. }
             | Frame::Abort { sender }
             | Frame::Ack { sender, .. }
-            | Frame::Goodbye { sender } => sender,
+            | Frame::Goodbye { sender }
+            | Frame::Membership { sender, .. } => sender,
         }
     }
 
@@ -128,7 +141,7 @@ impl Frame {
             Frame::Message { superstep, .. }
             | Frame::EndOfSuperstep { superstep, .. }
             | Frame::Ack { superstep, .. } => Some(superstep),
-            Frame::Abort { .. } | Frame::Goodbye { .. } => None,
+            Frame::Abort { .. } | Frame::Goodbye { .. } | Frame::Membership { .. } => None,
         }
     }
 
@@ -168,6 +181,12 @@ impl Frame {
             Frame::Goodbye { sender } => {
                 out.push(TAG_GOODBYE);
                 out.extend_from_slice(&sender.to_le_bytes());
+            }
+            Frame::Membership { sender, payload } => {
+                debug_assert!(payload.len() <= MAX_MESSAGE_PAYLOAD);
+                out.push(TAG_MEMBERSHIP);
+                out.extend_from_slice(&sender.to_le_bytes());
+                out.extend_from_slice(payload);
             }
         }
         let body_len = (out.len() - body_len_at - 4) as u32;
@@ -257,6 +276,17 @@ impl Frame {
                     )));
                 }
                 Ok(Frame::Goodbye { sender })
+            }
+            TAG_MEMBERSHIP => {
+                if rest.is_empty() {
+                    return Err(FrameError::Corrupt(
+                        "membership frame with an empty payload".into(),
+                    ));
+                }
+                Ok(Frame::Membership {
+                    sender,
+                    payload: rest.into(),
+                })
             }
             other => Err(FrameError::Corrupt(format!("unknown frame tag {other}"))),
         }
@@ -610,10 +640,13 @@ impl SuperstepCollector {
                                     Self::raise_cursor(&mut self.eos_through, *sender, *s + 1);
                                 }
                                 Frame::Abort { .. } => {}
-                                Frame::Ack { sender, .. } | Frame::Goodbye { sender } => {
+                                Frame::Ack { sender, .. }
+                                | Frame::Goodbye { sender }
+                                | Frame::Membership { sender, .. } => {
                                     return Err(PlaneError::Protocol(format!(
                                         "transport-level frame from server {sender} reached \
-                                         the collector (acks and goodbyes must be intercepted)"
+                                         the collector (acks, goodbyes and membership gossip \
+                                         must be intercepted)"
                                     )));
                                 }
                             }
@@ -672,7 +705,9 @@ impl SuperstepCollector {
                     self.stash.push(frame);
                 }
                 Frame::Abort { sender } => return Err(PlaneError::Aborted(sender)),
-                Frame::Ack { sender, .. } | Frame::Goodbye { sender } => {
+                Frame::Ack { sender, .. }
+                | Frame::Goodbye { sender }
+                | Frame::Membership { sender, .. } => {
                     // Unreachable (rejected at intake, never stashed), but the
                     // discipline is stated in one place either way.
                     return Err(PlaneError::Protocol(format!(
@@ -764,6 +799,27 @@ mod tests {
             Frame::Abort { sender } => assert_eq!(sender, 9),
             other => panic!("wrong variant: {other:?}"),
         }
+    }
+
+    #[test]
+    fn membership_frame_roundtrips_and_rejects_an_empty_payload() {
+        let payload: Vec<u8> = b"GHHM-opaque-gossip-bytes".to_vec();
+        match roundtrip(&Frame::Membership {
+            sender: 6,
+            payload: payload.clone().into(),
+        }) {
+            Frame::Membership { sender, payload: p } => {
+                assert_eq!(sender, 6);
+                assert_eq!(&p[..], &payload[..]);
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+        // A membership frame with no payload bytes is corrupt.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&5u32.to_le_bytes());
+        bytes.push(TAG_MEMBERSHIP);
+        bytes.extend_from_slice(&6u32.to_le_bytes());
+        assert!(matches!(Frame::decode(&bytes), Err(FrameError::Corrupt(_))));
     }
 
     #[test]

@@ -55,6 +55,7 @@ pub mod buffer;
 pub mod chaos;
 pub mod checkpoint;
 pub mod frame;
+pub mod membership;
 pub mod plane;
 pub mod poll;
 pub mod reduce;
@@ -72,6 +73,10 @@ pub use checkpoint::{
 pub use frame::{
     encode_message_into, Frame, FrameDecoder, FrameError, InboxEvent, PlaneError,
     SuperstepCollector, WireMessage,
+};
+pub use membership::{
+    discover, AddressBook, BookEntry, MembershipHandle, MembershipKind, MembershipMsg,
+    MembershipState, MembershipView, MergeOutcome, ReconnectBackoff, WireEntry, MEMBERSHIP_MAGIC,
 };
 pub use plane::{BroadcastPlane, ChannelPlane};
 pub use poll::{

@@ -452,6 +452,24 @@ impl BoundPollPlane {
         self.listener.local_addr()
     }
 
+    /// Seed-node bootstrap: learn the full `id → address` book from `seeds`
+    /// via `GHHM` exchanges on this plane's listener (see
+    /// [`crate::membership::discover`]). Follow with
+    /// [`Self::establish_discovered`] or [`Self::establish_resilient_discovered`].
+    pub fn discover(
+        &self,
+        seeds: &[SocketAddr],
+        timeout: Duration,
+    ) -> std::io::Result<crate::membership::MembershipView> {
+        crate::membership::discover(
+            self.id,
+            self.num_servers as usize,
+            &self.listener,
+            seeds,
+            timeout,
+        )
+    }
+
     /// Connect to every peer and return the ready plane, with the platform's
     /// default poller and the default establish timeout.
     pub fn establish(self, peer_addrs: &[SocketAddr]) -> std::io::Result<PollPlane> {
@@ -473,14 +491,51 @@ impl BoundPollPlane {
         self,
         peer_addrs: &[SocketAddr],
         timeout: Duration,
+        poller: Box<dyn ReadinessPoller>,
+    ) -> std::io::Result<PollPlane> {
+        self.establish_inner(peer_addrs, timeout, poller, Vec::new(), None)
+    }
+
+    /// The address book learned by seed discovery ([`crate::membership::discover`])
+    /// replaces the static peer table; early-stashed bootstrap connections
+    /// feed the normal accept handling and the listener keeps answering
+    /// `GHHM` exchanges for peers still bootstrapping their own books.
+    pub fn establish_discovered(
+        self,
+        view: crate::membership::MembershipView,
+        timeout: Duration,
+    ) -> std::io::Result<PollPlane> {
+        let crate::membership::MembershipView {
+            handle,
+            peer_addrs,
+            early,
+            ..
+        } = view;
+        self.establish_inner(&peer_addrs, timeout, default_poller(), early, Some(&handle))
+    }
+
+    fn establish_inner(
+        self,
+        peer_addrs: &[SocketAddr],
+        timeout: Duration,
         mut poller: Box<dyn ReadinessPoller>,
+        early: Vec<TcpStream>,
+        membership: Option<&crate::membership::MembershipState>,
     ) -> std::io::Result<PollPlane> {
         let BoundPollPlane {
             id,
             num_servers,
             listener,
         } = self;
-        let streams = establish_streams(id, num_servers, listener, peer_addrs, timeout)?;
+        let streams = establish_streams(
+            id,
+            num_servers,
+            listener,
+            peer_addrs,
+            timeout,
+            early,
+            membership,
+        )?;
 
         let (waker_tx, waker_rx) = waker_pair()?;
         poller.register(&waker_rx)?;
@@ -561,6 +616,26 @@ impl BoundPollPlane {
         self.establish_resilient_with(peer_addrs, timeout, config, default_poller())
     }
 
+    /// [`Self::establish_resilient`] against a seed-discovered address book:
+    /// installs the membership handle into the config (redials re-consult the
+    /// gossiped book; the event loop answers `GHHM` exchanges from late
+    /// bootstrappers and replacement processes) and uses the learned peer
+    /// table. The view's early-stashed connections are dropped — they carry
+    /// `GHHR` dials whose owners retry against the listener, which stays
+    /// open with the event loop.
+    pub fn establish_resilient_discovered(
+        self,
+        view: crate::membership::MembershipView,
+        timeout: Duration,
+        mut config: ResilienceConfig,
+    ) -> std::io::Result<PollPlane> {
+        let crate::membership::MembershipView {
+            handle, peer_addrs, ..
+        } = view;
+        config.membership = Some(handle);
+        self.establish_resilient_with(&peer_addrs, timeout, config, default_poller())
+    }
+
     /// [`Self::establish_resilient`] with an explicit poller.
     pub fn establish_resilient_with(
         self,
@@ -636,7 +711,7 @@ impl BoundPollPlane {
             peer_addrs: peer_addrs.to_vec(),
             config: config.clone(),
             fault_budget,
-            replay: ReplayLog::new(num_servers, id),
+            replay: ReplayLog::resuming_from(num_servers, id, config.resume_from),
             recv_cursor: vec![config.resume_from; num_servers as usize],
             down: (0..peers.len()).map(|_| None).collect(),
             gone: vec![false; peers.len()],
@@ -645,6 +720,9 @@ impl BoundPollPlane {
             pool: BufferPool::new(),
             reconnects: registry.counter("fabric.reconnects"),
             replayed_frames: registry.counter("fabric.replayed_frames"),
+            // The establish itself proves every peer holds a complete book:
+            // nothing to gossip until the book moves again.
+            last_gossip_version: config.membership.as_ref().map_or(0, |m| m.version()),
         };
 
         let (command_tx, command_rx) = sync_channel::<Command>(COMMAND_BACKLOG);
@@ -864,6 +942,23 @@ impl SeverPeer for PollPlane {
     }
 }
 
+impl PollPlane {
+    /// Tear this endpoint down as a *crash* — the in-process analog of
+    /// `kill -9` for chaos tests: the event loop closes every stream on the
+    /// spot (queued bytes included) and exits without sending a goodbye,
+    /// serving a linger, or attempting recovery. Without this, a crash
+    /// simulated as "sever, then drop" races the plane's own redial
+    /// machinery, which can resurrect the link in the gap and turn the drop
+    /// into a clean goodbye exit — peers would then stop holding the door
+    /// open for a replacement.
+    pub fn crash(self) {
+        let _ = self.commands.send(Command::Crash);
+        self.wake();
+        // The normal drop runs next: its Shutdown command lands on a closed
+        // channel (ignored) and it joins the already-exiting event loop.
+    }
+}
+
 impl Drop for PollPlane {
     fn drop(&mut self) {
         // Ship any still-batched frames (normally none: `end_superstep`
@@ -991,6 +1086,53 @@ impl BoundTcpPlane {
             BoundTcpPlane::Poll(b) => Box::new(b.establish_resilient(peer_addrs, timeout, config)?),
         })
     }
+
+    /// Seed-node bootstrap on either backend: learn the full address book
+    /// from `seeds` via `GHHM` exchanges (`docs/WIRE.md` §10).
+    pub fn discover(
+        &self,
+        seeds: &[SocketAddr],
+        timeout: Duration,
+    ) -> std::io::Result<crate::membership::MembershipView> {
+        match self {
+            BoundTcpPlane::Socket(b) => b.discover(seeds, timeout),
+            BoundTcpPlane::Poll(b) => b.discover(seeds, timeout),
+        }
+    }
+
+    /// [`Self::establish`] against a seed-discovered address book.
+    pub fn establish_discovered(
+        self,
+        view: crate::membership::MembershipView,
+        timeout: Duration,
+    ) -> std::io::Result<Box<dyn BroadcastPlane>> {
+        Ok(match self {
+            BoundTcpPlane::Socket(b) => {
+                Box::new(b.establish_discovered(view, timeout)?) as Box<dyn BroadcastPlane>
+            }
+            BoundTcpPlane::Poll(b) => Box::new(b.establish_discovered(view, timeout)?),
+        })
+    }
+
+    /// [`Self::establish_resilient`] against a seed-discovered address book:
+    /// the membership handle is installed into the config, so redials consult
+    /// the gossiped book and replacement processes are adopted mid-run.
+    pub fn establish_resilient_discovered(
+        self,
+        view: crate::membership::MembershipView,
+        timeout: Duration,
+        config: ResilienceConfig,
+    ) -> std::io::Result<Box<dyn BroadcastPlane>> {
+        Ok(match self {
+            BoundTcpPlane::Socket(b) => {
+                Box::new(b.establish_resilient_discovered(view, timeout, config)?)
+                    as Box<dyn BroadcastPlane>
+            }
+            BoundTcpPlane::Poll(b) => {
+                Box::new(b.establish_resilient_discovered(view, timeout, config)?)
+            }
+        })
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -1015,6 +1157,10 @@ enum Command {
     /// queue, then close our write half — the peer sees a full stream then a
     /// FIN, exactly like a real boundary failure).
     Sever(ServerId),
+    /// Chaos injection: die like a killed process — close every stream on
+    /// the spot (queued bytes included), send no goodbye, serve no linger,
+    /// attempt no recovery, and exit the loop immediately.
+    Crash,
     /// Flush all write queues, half-close the streams, exit the loop.
     Shutdown,
 }
@@ -1065,6 +1211,8 @@ struct DownState {
     deadline: Instant,
     /// Next redial attempt (dial-side recovery only).
     next_retry: Instant,
+    /// Deterministic seeded exponential backoff pacing the redials.
+    backoff: crate::membership::ReconnectBackoff,
 }
 
 /// Everything the event loop needs for reconnect-and-resume, present only on
@@ -1104,6 +1252,11 @@ struct ResilientState {
     pool: BufferPool,
     reconnects: Counter,
     replayed_frames: Counter,
+    /// Book version last pushed as a tag-6 gossip frame. The loop is
+    /// single-threaded, so the steady-state cadence check in `gossip_tick`
+    /// is one u64 compare per iteration — zero allocation until the book
+    /// actually moves (never, on a fault-free run).
+    last_gossip_version: u64,
 }
 
 struct EventLoop {
@@ -1192,6 +1345,19 @@ impl EventLoop {
                         }
                         progressed = true;
                     }
+                    Ok(Command::Crash) => {
+                        // kill -9: everything closes abruptly — queued bytes
+                        // die with the process, no goodbye, no linger, no
+                        // recovery served. Returning drops the listener too.
+                        for peer in &mut self.peers {
+                            let _ = peer.stream.shutdown(Shutdown::Both);
+                            peer.read_open = false;
+                            peer.write_open = false;
+                            peer.outbound.clear();
+                            peer.queued_bytes = 0;
+                        }
+                        return;
+                    }
                     Ok(Command::Shutdown) => shutting_down = true,
                     // A disconnected sender means the plane was dropped; it
                     // always sends Shutdown first, but be safe either way.
@@ -1249,6 +1415,7 @@ impl EventLoop {
                         self.poller.as_mut(),
                         &self.counters,
                     );
+                    progressed |= gossip_tick(&mut self.peers, r, &self.counters);
                 }
             }
 
@@ -1428,6 +1595,7 @@ fn enter_down(peer: &mut Peer, idx: usize, r: &mut ResilientState, inbox: &Sende
     r.down[idx] = Some(DownState {
         deadline: now + r.config.reconnect_deadline,
         next_retry: now,
+        backoff: r.config.backoff_for(r.id, peer.id),
     });
 }
 
@@ -1478,7 +1646,7 @@ fn recovery_tick(
                 }
                 None => {
                     if let Some(d) = r.down[idx].as_mut() {
-                        d.next_retry = Instant::now() + r.config.retry_backoff;
+                        d.next_retry = Instant::now() + d.backoff.next_delay();
                     }
                 }
             }
@@ -1487,11 +1655,41 @@ fn recovery_tick(
     progressed
 }
 
-/// One bounded redial attempt (connect + resume handshake).
+/// Anti-entropy push, one check per loop iteration: if the address book
+/// moved past what this endpoint last gossiped, flood the delta to every
+/// writable peer as an unretained tag-6 frame. Receivers whose merge changes
+/// nothing do not bump their own version, so the flood converges. Fault-free
+/// runs never get past the version compare — the book only moves when an
+/// address changes.
+fn gossip_tick(peers: &mut [Peer], r: &mut ResilientState, counters: &LoopCounters) -> bool {
+    let Some(membership) = r.config.membership.as_ref() else {
+        return false;
+    };
+    let version = membership.version();
+    if version <= r.last_gossip_version {
+        return false;
+    }
+    r.last_gossip_version = version;
+    let payload = membership.delta_payload();
+    let mut buf = r.pool.checkout();
+    Frame::Membership {
+        sender: r.id,
+        payload: payload.into(),
+    }
+    .encode(&mut buf);
+    let batch = Arc::new(buf);
+    for peer in peers.iter_mut() {
+        peer.enqueue(&batch, &counters.queued_bytes_peak);
+    }
+    true
+}
+
+/// One bounded redial attempt (connect + resume handshake). The target
+/// address comes from the gossiped book when membership is live — a
+/// replacement process may have adopted the peer's id at a fresh address.
 fn dial_poll_link(r: &mut ResilientState, peer: ServerId) -> Option<(TcpStream, u32)> {
-    let stream =
-        TcpStream::connect_timeout(&r.peer_addrs[peer as usize], Duration::from_millis(100))
-            .ok()?;
+    let addr = r.config.peer_addr(peer, &r.peer_addrs);
+    let stream = TcpStream::connect_timeout(&addr, Duration::from_millis(100)).ok()?;
     resume_dial_handshake(
         stream,
         r.num_servers,
@@ -1595,6 +1793,25 @@ fn accept_poll_connections(
             Ok((stream, _from)) => stream,
             Err(_) => break, // WouldBlock or a transient accept error
         };
+        // Membership dispatch first: a restarted process runs seed discovery
+        // before it can resume, and its `GHHM` exchanges land on this same
+        // listener. Serving one may teach us a replacement's fresh address;
+        // the next `gossip_tick` floods it to the survivors.
+        if let Some(m) = r.config.membership.as_ref() {
+            if stream.set_nonblocking(false).is_err() {
+                continue;
+            }
+            match crate::membership::peek_magic(&stream) {
+                Ok(magic) if magic == crate::membership::MEMBERSHIP_MAGIC => {
+                    let mut s = stream;
+                    let _ = m.serve_stream(&mut s);
+                    progressed = true;
+                    continue;
+                }
+                Ok(_) => {}
+                Err(_) => continue, // silent or dead stray
+            }
+        }
         let (sender, stream, peer_resume_from) =
             match resume_accept_handshake(stream, r.num_servers, r.id, &|s| {
                 r.recv_cursor[s as usize]
@@ -1735,6 +1952,21 @@ fn pump_reads_resilient(
                                     peer.done = true;
                                     continue;
                                 }
+                                Frame::Membership { ref payload, .. } => {
+                                    // Address-book gossip: merge it; the next
+                                    // `gossip_tick` pushes any news onward.
+                                    // Never forwarded to the collector; a
+                                    // malformed payload is dropped (the
+                                    // anti-entropy cadence re-converges).
+                                    if let Some(m) = r.config.membership.as_ref() {
+                                        if let Ok(msg) =
+                                            crate::membership::MembershipMsg::decode(payload)
+                                        {
+                                            let _ = m.merge_msg(&msg);
+                                        }
+                                    }
+                                    continue;
+                                }
                                 Frame::EndOfSuperstep { superstep, .. } => {
                                     let cursor = &mut r.recv_cursor[peer.id as usize];
                                     *cursor = (*cursor).max(superstep.saturating_add(1));
@@ -1813,6 +2045,23 @@ fn establish_resilient_streams(
         }
         match listener.accept() {
             Ok((stream, _from)) => {
+                // Peers still finishing their own seed discovery dial `GHHM`
+                // exchanges at this listener mid-establishment; serve them so
+                // their books converge and they can join.
+                if let Some(m) = config.membership.as_ref() {
+                    if stream.set_nonblocking(false).is_err() {
+                        continue;
+                    }
+                    match crate::membership::peek_magic(&stream) {
+                        Ok(magic) if magic == crate::membership::MEMBERSHIP_MAGIC => {
+                            let mut s = stream;
+                            let _ = m.serve_stream(&mut s);
+                            continue;
+                        }
+                        Ok(_) => {}
+                        Err(_) => continue,
+                    }
+                }
                 if let Some((sender, stream, resume)) =
                     resume_accept_handshake(stream, num_servers, id, &|_| config.resume_from)
                 {
@@ -2397,14 +2646,12 @@ mod resilient_tests {
             ..ResilienceConfig::default()
         };
         let mut planes = establish_resilient_all(bound, &addrs, &config);
-        let mut p1 = planes.pop().unwrap();
+        let p1 = planes.pop().unwrap();
         let mut p0 = planes.pop().unwrap();
         let start = Instant::now();
-        // Simulate a crash, not a graceful exit: sever the link first so the
-        // drop's goodbye never reaches p0 (a killed process sends none), then
-        // tear the plane down.
-        p1.sever_peer(0);
-        drop(p1);
+        // Simulate a crash, not a graceful exit: no goodbye ever reaches p0
+        // (a killed process sends none) and no self-recovery runs.
+        p1.crash();
         p0.end_superstep(0).unwrap();
         assert_eq!(p0.collect(0), Err(PlaneError::Disconnected));
         assert!(
@@ -2478,6 +2725,155 @@ mod resilient_tests {
         thread::scope(|scope| {
             let h0 = scope.spawn(move || run(p0));
             let h1 = scope.spawn(move || run(p1));
+            h0.join().unwrap();
+            h1.join().unwrap();
+        });
+    }
+
+    /// A cluster bootstrapped from one seed address (no static peer table)
+    /// converges its address books and reaches all-to-all parity.
+    #[test]
+    fn seed_discovered_cluster_reaches_parity() {
+        let (bound, addrs) = bind_cluster(3);
+        let seed = addrs[0];
+        let planes: Vec<PollPlane> = thread::scope(|scope| {
+            let handles: Vec<_> = bound
+                .into_iter()
+                .map(|b| {
+                    scope.spawn(move || {
+                        let view = b.discover(&[seed], Duration::from_secs(10)).unwrap();
+                        assert_eq!(view.incarnation, 0, "fresh bootstrap never bumps");
+                        b.establish_resilient_discovered(
+                            view,
+                            Duration::from_secs(10),
+                            ResilienceConfig::default(),
+                        )
+                        .unwrap()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let results: Vec<Vec<usize>> = thread::scope(|scope| {
+            let handles: Vec<_> = planes
+                .into_iter()
+                .map(|mut p| {
+                    scope.spawn(move || {
+                        let mut seen = Vec::new();
+                        for s in 0..4u32 {
+                            p.broadcast(s, &[p.server_id() as u8, s as u8]).unwrap();
+                            p.end_superstep(s).unwrap();
+                            let got = p.collect(s).unwrap();
+                            assert!(got.iter().all(|w| w.len() == 2 && w[1] == s as u8));
+                            p.acknowledge(s).unwrap();
+                            seen.push(got.len());
+                        }
+                        seen
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for seen in results {
+            assert_eq!(seen, vec![2, 2, 2, 2]);
+        }
+    }
+
+    /// The tentpole scenario on the event-loop backend: a peer is killed
+    /// mid-run and a replacement with the same server id rejoins **at a
+    /// different address** via seed discovery. The survivor learns the fresh
+    /// address through the `GHHM` exchange on its listener, its redial
+    /// consults the gossiped book, and the run finishes exactly-once.
+    #[test]
+    fn replacement_at_a_new_address_is_adopted_mid_run() {
+        let (bound, addrs) = bind_cluster(2);
+        let seed = addrs[0];
+        let survivor_config = ResilienceConfig {
+            reconnect_deadline: Duration::from_secs(10),
+            retry_backoff: Duration::from_millis(10),
+            ..ResilienceConfig::default()
+        };
+        let victim_config = ResilienceConfig {
+            reconnect_deadline: Duration::from_millis(300),
+            retry_backoff: Duration::from_millis(10),
+            ..ResilienceConfig::default()
+        };
+        let (p0, p1) = thread::scope(|scope| {
+            let mut iter = bound.into_iter();
+            let b0 = iter.next().unwrap();
+            let b1 = iter.next().unwrap();
+            let c0 = survivor_config.clone();
+            let c1 = victim_config.clone();
+            let h0 = scope.spawn(move || {
+                let view = b0.discover(&[seed], Duration::from_secs(10)).unwrap();
+                b0.establish_resilient_discovered(view, Duration::from_secs(10), c0)
+                    .unwrap()
+            });
+            let h1 = scope.spawn(move || {
+                let view = b1.discover(&[seed], Duration::from_secs(10)).unwrap();
+                b1.establish_resilient_discovered(view, Duration::from_secs(10), c1)
+                    .unwrap()
+            });
+            (h0.join().unwrap(), h1.join().unwrap())
+        });
+
+        const TOTAL: u32 = 6;
+        const CRASH_AT: u32 = 3;
+        // Per-server progress (supersteps fully collected + acked), so the
+        // victim can crash only once the survivor has absorbed everything it
+        // broadcast pre-crash — the multiprocess driver guarantees the same
+        // by killing well after the victim's checkpoint lands. Crashing
+        // earlier can destroy queued frames the survivor still needs, which
+        // no replacement can replay (its log starts at the resume cursor):
+        // that is *correctly* terminal, but it is not this test's scenario.
+        let progress = [
+            std::sync::atomic::AtomicU32::new(0),
+            std::sync::atomic::AtomicU32::new(0),
+        ];
+        let run = |p: &mut PollPlane, from: u32, to: u32| {
+            let id = p.server_id();
+            let peer = 1 - id;
+            for s in from..to {
+                p.broadcast(s, &[id as u8, s as u8]).unwrap();
+                p.end_superstep(s).unwrap();
+                let got = p.collect(s).unwrap();
+                assert_eq!(got.len(), 1, "server {id} superstep {s}");
+                assert_eq!(&got[0][..], &[peer as u8, s as u8]);
+                p.acknowledge(s).unwrap();
+                progress[id as usize].store(s + 1, std::sync::atomic::Ordering::Release);
+            }
+        };
+        thread::scope(|scope| {
+            let h0 = scope.spawn(|| {
+                let mut p0 = p0;
+                run(&mut p0, 0, TOTAL);
+            });
+            let h1 = scope.spawn(|| {
+                let mut p1 = p1;
+                run(&mut p1, 0, CRASH_AT);
+                while progress[0].load(std::sync::atomic::Ordering::Acquire) < CRASH_AT {
+                    thread::sleep(Duration::from_millis(1));
+                }
+                // Die like a killed process: no goodbye, no linger, no
+                // self-recovery — the survivor must hold the door open.
+                p1.crash();
+                let rb = PollPlane::bind(1, 2, "127.0.0.1:0").unwrap();
+                assert_ne!(rb.local_addr().unwrap(), addrs[1]);
+                let view = rb.discover(&[seed], Duration::from_secs(10)).unwrap();
+                // The replacement runs to a clean goodbye, so it does not
+                // need the victim's short crash-linger deadline — and must
+                // not have it: if its dial and the survivor's book-guided
+                // redial cross, the duplicate-connection re-park plus
+                // backoff can outlast 300ms on a loaded machine.
+                let config = ResilienceConfig {
+                    resume_from: CRASH_AT,
+                    ..survivor_config.clone()
+                };
+                let mut p1 = rb
+                    .establish_resilient_discovered(view, Duration::from_secs(10), config)
+                    .unwrap();
+                run(&mut p1, CRASH_AT, TOTAL);
+            });
             h0.join().unwrap();
             h1.join().unwrap();
         });

@@ -18,6 +18,7 @@
 //! The normative byte spec lives in `docs/WIRE.md` §9; this module is the
 //! reference implementation.
 
+use crate::membership::MembershipHandle;
 use graphh_graph::ids::ServerId;
 use std::collections::VecDeque;
 use std::net::SocketAddr;
@@ -183,9 +184,20 @@ pub struct ReplayLog {
 impl ReplayLog {
     /// An empty log for a `num_servers`-cluster endpoint with id `own`.
     pub fn new(num_servers: u32, own: ServerId) -> Self {
+        Self::resuming_from(num_servers, own, 0)
+    }
+
+    /// An empty log for an endpoint resuming at superstep `resume_from`: the
+    /// floor starts there, because nothing below it can ever be replayed —
+    /// those frames belonged to the dead predecessor, and any of them still
+    /// unflushed when it was killed are gone for good. A peer whose hello
+    /// asks below this floor is therefore rejected as unrecoverable
+    /// ([`ReplayError::BelowFloor`]) instead of silently receiving an empty
+    /// replay and waiting forever for frames no one holds.
+    pub fn resuming_from(num_servers: u32, own: ServerId, resume_from: u32) -> Self {
         Self {
             entries: VecDeque::new(),
-            trimmed_until: 0,
+            trimmed_until: resume_from,
             acked: vec![None; num_servers as usize],
             own,
             bytes_retained: 0,
@@ -315,8 +327,14 @@ pub struct ResilienceConfig {
     /// How long a cut peer may stay down before the terminal
     /// [`crate::frame::InboxEvent::PeerLost`] fires.
     pub reconnect_deadline: Duration,
-    /// Pause between reconnect attempts.
+    /// Base pause between reconnect attempts; attempt `k` waits a jittered
+    /// `min(retry_backoff · 2^k, retry_backoff_cap)` (see
+    /// [`crate::membership::ReconnectBackoff`]).
     pub retry_backoff: Duration,
+    /// Ceiling of the exponential redial backoff. Clamped to
+    /// `reconnect_deadline` — a single sleep longer than the whole redial
+    /// window could never fire.
+    pub retry_backoff_cap: Duration,
     /// The superstep this endpoint resumes from (0 for a fresh start; a
     /// restarted server passes its checkpoint cursor). Sent in every
     /// [`ResumeHello`] and used to seed the per-peer receive cursors.
@@ -326,6 +344,12 @@ pub struct ResilienceConfig {
     /// ...for this many dial attempts in total (then dial honestly, so every
     /// faulted reconnect still terminates).
     pub handshake_fault_budget: u32,
+    /// The live membership state from seed discovery. When set, redial
+    /// loops re-consult the gossiped address book before every attempt
+    /// (adopting a replacement peer's new address) and the transports
+    /// piggyback gossip deltas on the ack cadence. `None` = the PR 9 static
+    /// table behaviour, byte-for-byte.
+    pub membership: Option<MembershipHandle>,
 }
 
 impl Default for ResilienceConfig {
@@ -333,9 +357,11 @@ impl Default for ResilienceConfig {
         Self {
             reconnect_deadline: Duration::from_secs(30),
             retry_backoff: Duration::from_millis(50),
+            retry_backoff_cap: Duration::from_secs(1),
             resume_from: 0,
             handshake_fault: None,
             handshake_fault_budget: 0,
+            membership: None,
         }
     }
 }
@@ -348,6 +374,28 @@ impl ResilienceConfig {
             resume_from: superstep,
             ..Self::default()
         }
+    }
+
+    /// The redial backoff schedule for the link `own → peer`: exponential
+    /// from `retry_backoff`, capped by `retry_backoff_cap` (itself clamped
+    /// to the reconnect deadline), deterministically jittered per link.
+    pub fn backoff_for(
+        &self,
+        own: ServerId,
+        peer: ServerId,
+    ) -> crate::membership::ReconnectBackoff {
+        let cap = self.retry_backoff_cap.min(self.reconnect_deadline);
+        crate::membership::ReconnectBackoff::seeded_for(self.retry_backoff, cap, own, peer)
+    }
+
+    /// The address to dial `peer` at right now: the gossiped book's entry
+    /// when membership is live (a replacement may have moved), else the
+    /// static table's.
+    pub fn peer_addr(&self, peer: ServerId, static_addrs: &[SocketAddr]) -> SocketAddr {
+        self.membership
+            .as_ref()
+            .and_then(|m| m.peer_addr(peer))
+            .unwrap_or(static_addrs[peer as usize])
     }
 }
 
@@ -370,17 +418,29 @@ pub(crate) fn count_frames(mut bytes: &[u8]) -> u64 {
 /// misconfigured cluster fails at plan time with a clear message instead of
 /// hanging in establish or failing halfway through.
 ///
-/// Rejects: a table whose length disagrees with the cluster size, an own id
-/// outside the cluster, duplicate addresses (two servers cannot share an
-/// endpoint — and a duplicate of the own entry is another server dialing
-/// *this* node), a port-0 entry (not dialable), and — when the node's own
-/// bound address is known — any *other* server's entry pointing at it.
+/// Rejects: mixing a static `--peers` table with `--seed` discovery (the two
+/// are alternative sources of the same address book — a node must pick one),
+/// a table whose length disagrees with the cluster size, an own id outside
+/// the cluster, duplicate addresses (two servers cannot share an endpoint —
+/// and a duplicate of the own entry is another server dialing *this* node),
+/// a port-0 entry (not dialable), and — when the node's own bound address is
+/// known — any *other* server's entry pointing at it.
 pub fn validate_peer_table(
     id: ServerId,
     num_servers: u32,
     peers: &[SocketAddr],
+    seeds: &[SocketAddr],
     own_addr: Option<SocketAddr>,
 ) -> Result<(), String> {
+    if !peers.is_empty() && !seeds.is_empty() {
+        return Err(format!(
+            "--peers and --seed are mutually exclusive: the static table \
+             ({} peers) and seed discovery ({} seeds) are alternative sources \
+             of the address book — drop one",
+            peers.len(),
+            seeds.len()
+        ));
+    }
     if num_servers == 0 {
         return Err("cluster size must be at least 1".into());
     }
@@ -388,6 +448,16 @@ pub fn validate_peer_table(
         return Err(format!(
             "server id {id} outside the {num_servers}-server cluster"
         ));
+    }
+    if peers.is_empty() && !seeds.is_empty() {
+        // Seed-discovery mode: the table is learned, not declared. Only the
+        // seed addresses themselves can be vetted at plan time.
+        for (i, seed) in seeds.iter().enumerate() {
+            if seed.port() == 0 {
+                return Err(format!("seed {i} address {seed} has port 0 (not dialable)"));
+            }
+        }
+        return Ok(());
     }
     if peers.len() != num_servers as usize {
         return Err(format!(
@@ -585,6 +655,26 @@ mod tests {
     }
 
     #[test]
+    fn restarted_log_rejects_cursors_below_its_resume_point() {
+        // A replacement resuming at superstep 3 can never replay anything
+        // below it — those frames died with its predecessor. A peer asking
+        // for them must get a terminal rejection, not a silent empty replay
+        // that leaves it waiting forever for frames no one holds.
+        let log = ReplayLog::resuming_from(2, 1, 3);
+        assert_eq!(log.floor(), 3);
+        assert!(matches!(
+            log.replay_from(2),
+            Err(ReplayError::BelowFloor {
+                requested: 2,
+                floor: 3
+            })
+        ));
+        let (bytes, frames) = log.replay_from(3).unwrap();
+        assert!(bytes.is_empty());
+        assert_eq!(frames, 0);
+    }
+
+    #[test]
     fn count_frames_counts_whole_frames_only() {
         let mut bytes = eos_bytes(0, 1);
         bytes.extend_from_slice(&eos_bytes(0, 2));
@@ -601,31 +691,49 @@ mod tests {
     #[test]
     fn peer_table_validation_catches_misconfigurations() {
         let table = vec![addr(4750), addr(4751), addr(4752)];
-        assert!(validate_peer_table(0, 3, &table, Some(addr(4750))).is_ok());
+        assert!(validate_peer_table(0, 3, &table, &[], Some(addr(4750))).is_ok());
 
         // Count mismatch.
-        let err = validate_peer_table(0, 4, &table, None).unwrap_err();
+        let err = validate_peer_table(0, 4, &table, &[], None).unwrap_err();
         assert!(err.contains("lists 3 addresses"), "{err}");
 
         // Duplicate addresses.
         let dup = vec![addr(4750), addr(4751), addr(4750)];
-        let err = validate_peer_table(1, 3, &dup, None).unwrap_err();
+        let err = validate_peer_table(1, 3, &dup, &[], None).unwrap_err();
         assert!(err.contains("share address"), "{err}");
 
         // Self-dialing entry: another server's slot points at this node.
         let selfdial = vec![addr(4750), addr(4751), addr(4752)];
-        let err = validate_peer_table(0, 3, &selfdial, Some(addr(4751))).unwrap_err();
+        let err = validate_peer_table(0, 3, &selfdial, &[], Some(addr(4751))).unwrap_err();
         assert!(err.contains("own listen address"), "{err}");
 
         // Unspecified own IP still matches on port.
         let own: SocketAddr = "0.0.0.0:4752".parse().unwrap();
-        let err = validate_peer_table(0, 3, &selfdial, Some(own)).unwrap_err();
+        let err = validate_peer_table(0, 3, &selfdial, &[], Some(own)).unwrap_err();
         assert!(err.contains("own listen address"), "{err}");
 
         // Port 0 and bad ids.
         let zero = vec![addr(4750), "127.0.0.1:0".parse().unwrap()];
-        assert!(validate_peer_table(0, 2, &zero, None).is_err());
-        assert!(validate_peer_table(5, 3, &table, None).is_err());
-        assert!(validate_peer_table(0, 0, &[], None).is_err());
+        assert!(validate_peer_table(0, 2, &zero, &[], None).is_err());
+        assert!(validate_peer_table(5, 3, &table, &[], None).is_err());
+        assert!(validate_peer_table(0, 0, &[], &[], None).is_err());
+    }
+
+    #[test]
+    fn peer_table_validation_handles_seed_mode() {
+        let table = vec![addr(4750), addr(4751), addr(4752)];
+        let seeds = vec![addr(4750)];
+
+        // Mixing the static table with seeds is a plan-time error.
+        let err = validate_peer_table(0, 3, &table, &seeds, None).unwrap_err();
+        assert!(err.contains("mutually exclusive"), "{err}");
+
+        // Seeds alone are fine — the table is learned, not declared…
+        assert!(validate_peer_table(2, 3, &[], &seeds, Some(addr(4752))).is_ok());
+        // …but the seed addresses themselves must be dialable,
+        let bad_seed = vec!["127.0.0.1:0".parse().unwrap()];
+        assert!(validate_peer_table(2, 3, &[], &bad_seed, None).is_err());
+        // and the usual id-range checks still apply.
+        assert!(validate_peer_table(9, 3, &[], &seeds, None).is_err());
     }
 }

@@ -54,6 +54,24 @@ impl BoundSocketPlane {
         self.listener.local_addr()
     }
 
+    /// Seed-node bootstrap: learn the full `id → address` book from `seeds`
+    /// via `GHHM` exchanges on this plane's listener (see
+    /// [`crate::membership::discover`]). Follow with
+    /// [`Self::establish_discovered`] or [`Self::establish_resilient_discovered`].
+    pub fn discover(
+        &self,
+        seeds: &[SocketAddr],
+        timeout: Duration,
+    ) -> std::io::Result<crate::membership::MembershipView> {
+        crate::membership::discover(
+            self.id,
+            self.num_servers as usize,
+            &self.listener,
+            seeds,
+            timeout,
+        )
+    }
+
     /// Connect to every peer and return the ready plane.
     ///
     /// `peer_addrs` holds one address per server, indexed by server id (this
@@ -69,12 +87,50 @@ impl BoundSocketPlane {
         peer_addrs: &[SocketAddr],
         timeout: Duration,
     ) -> std::io::Result<SocketPlane> {
+        self.establish_inner(peer_addrs, timeout, Vec::new(), None)
+    }
+
+    /// Establish against the address book learned by seed discovery
+    /// ([`crate::membership::discover`]) instead of a static table. The
+    /// view's early-stashed connections (peers that dialed `GHH1` while this
+    /// node was still bootstrapping) feed the normal accept handling, and
+    /// the listener keeps answering `GHHM` exchanges for peers still
+    /// bootstrapping their own books.
+    pub fn establish_discovered(
+        self,
+        view: crate::membership::MembershipView,
+        timeout: Duration,
+    ) -> std::io::Result<SocketPlane> {
+        let crate::membership::MembershipView {
+            handle,
+            peer_addrs,
+            early,
+            ..
+        } = view;
+        self.establish_inner(&peer_addrs, timeout, early, Some(&handle))
+    }
+
+    fn establish_inner(
+        self,
+        peer_addrs: &[SocketAddr],
+        timeout: Duration,
+        early: Vec<TcpStream>,
+        membership: Option<&crate::membership::MembershipState>,
+    ) -> std::io::Result<SocketPlane> {
         let BoundSocketPlane {
             id,
             num_servers,
             listener,
         } = self;
-        let streams = establish_streams(id, num_servers, listener, peer_addrs, timeout)?;
+        let streams = establish_streams(
+            id,
+            num_servers,
+            listener,
+            peer_addrs,
+            timeout,
+            early,
+            membership,
+        )?;
 
         // One reader thread per peer feeds the shared inbox; the write halves
         // stay with the plane. Per-peer counters register here — once, at
@@ -255,6 +311,8 @@ pub(crate) fn establish_streams(
     listener: TcpListener,
     peer_addrs: &[SocketAddr],
     timeout: Duration,
+    early: Vec<TcpStream>,
+    membership: Option<&crate::membership::MembershipState>,
 ) -> std::io::Result<Vec<(ServerId, TcpStream)>> {
     if peer_addrs.len() != num_servers as usize {
         return Err(invalid_input(format!(
@@ -283,6 +341,11 @@ pub(crate) fn establish_streams(
         streams.push((peer, stream));
     }
     let mut expected: Vec<ServerId> = ((id + 1)..num_servers).collect();
+    // Connections stashed by a seed-discovery bootstrap before establish
+    // began: ordinary GHH1 dials from higher ids that arrived while this node
+    // was still gossiping its address book. They go through the same
+    // handshake validation as freshly accepted streams.
+    let mut pending: Vec<TcpStream> = early;
     listener.set_nonblocking(true)?;
     while !expected.is_empty() {
         // Checked every iteration — including after a dropped stray — so a
@@ -297,38 +360,68 @@ pub(crate) fn establish_streams(
                 ),
             ));
         }
-        match listener.accept() {
-            Ok((stream, from)) => {
-                stream.set_nonblocking(false)?;
-                let peer = match read_handshake(&stream, num_servers, deadline) {
-                    Ok(peer) => peer,
-                    Err(HandshakeIssue::Stray(why)) => {
-                        // Not a GraphH peer (port scanner, health checker, a
-                        // silent or garbage connection): drop it and keep
-                        // accepting — a stranger must not kill a healthy
-                        // cluster's establishment.
-                        eprintln!(
-                            "graphh establish (server {id}): ignoring connection from \
-                             {from}: {why}"
-                        );
-                        continue;
+        let stream = if let Some(stream) = pending.pop() {
+            stream
+        } else {
+            match listener.accept() {
+                Ok((stream, from)) => {
+                    stream.set_nonblocking(false)?;
+                    // Seed-mode listeners keep answering `GHHM` exchanges:
+                    // peers still bootstrapping their own address books dial
+                    // us after our own discovery already converged.
+                    if let Some(state) = membership {
+                        match crate::membership::peek_magic(&stream) {
+                            Ok(magic) if magic == crate::membership::MEMBERSHIP_MAGIC => {
+                                let mut stream = stream;
+                                let _ = state.serve_stream(&mut stream);
+                                continue;
+                            }
+                            Ok(_) => {}
+                            Err(why) => {
+                                eprintln!(
+                                    "graphh establish (server {id}): ignoring connection \
+                                     from {from}: {why}"
+                                );
+                                continue;
+                            }
+                        }
                     }
-                    Err(HandshakeIssue::Fatal(e)) => return Err(e),
-                };
-                if let Some(slot) = expected.iter().position(|&e| e == peer) {
-                    expected.swap_remove(slot);
-                    stream.set_nodelay(true)?;
-                    streams.push((peer, stream));
-                } else {
-                    return Err(invalid_data(format!(
-                        "unexpected or duplicate handshake from server {peer}"
-                    )));
+                    stream
                 }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(5));
+                    continue;
+                }
+                Err(e) => return Err(e),
             }
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_millis(5));
+        };
+        let from = stream
+            .peer_addr()
+            .map(|a| a.to_string())
+            .unwrap_or_else(|_| "<unknown>".to_string());
+        let peer = match read_handshake(&stream, num_servers, deadline) {
+            Ok(peer) => peer,
+            Err(HandshakeIssue::Stray(why)) => {
+                // Not a GraphH peer (port scanner, health checker, a
+                // silent or garbage connection): drop it and keep
+                // accepting — a stranger must not kill a healthy
+                // cluster's establishment.
+                eprintln!(
+                    "graphh establish (server {id}): ignoring connection from \
+                     {from}: {why}"
+                );
+                continue;
             }
-            Err(e) => return Err(e),
+            Err(HandshakeIssue::Fatal(e)) => return Err(e),
+        };
+        if let Some(slot) = expected.iter().position(|&e| e == peer) {
+            expected.swap_remove(slot);
+            stream.set_nodelay(true)?;
+            streams.push((peer, stream));
+        } else {
+            return Err(invalid_data(format!(
+                "unexpected or duplicate handshake from server {peer}"
+            )));
         }
     }
     streams.sort_by_key(|&(peer, _)| peer);
@@ -686,10 +779,11 @@ mod tests {
 // ---------------------------------------------------------------------------
 
 use crate::chaos::SeverPeer;
+use crate::membership::{MembershipMsg, MEMBERSHIP_MAGIC};
 use crate::resume::{
     HandshakeFault, ReplayError, ReplayLog, ResilienceConfig, ResumeHello, RESUME_HELLO_LEN,
 };
-use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 
 fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
@@ -768,6 +862,11 @@ struct Fabric {
     reconnects: Counter,
     replayed_frames: Counter,
     bytes_written: Counter,
+    /// Book version this endpoint last pushed as a tag-6 gossip frame. The
+    /// steady-state cadence check (in `acknowledge` and the linger loop) is
+    /// one relaxed load against the membership version mirror — zero
+    /// allocation and no lock unless the book actually moved.
+    last_gossip_version: AtomicU64,
 }
 
 /// Why an attempt to install a new stream failed.
@@ -884,6 +983,34 @@ impl Fabric {
         let _ = lock(&self.tx).send(event);
     }
 
+    /// Anti-entropy push: if the address book moved past what this endpoint
+    /// last gossiped, flood the delta to every Up link as a tag-6 frame.
+    /// Idempotent and race-tolerant — two threads observing the same bump may
+    /// both push, and receivers whose merge changes nothing do not re-gossip,
+    /// so the flood converges. Fault-free runs never get here past the first
+    /// version check: the book only moves when an address changes.
+    fn gossip_if_changed(&self) {
+        let Some(membership) = &self.config.membership else {
+            return;
+        };
+        let version = membership.version();
+        if self
+            .last_gossip_version
+            .fetch_max(version, Ordering::AcqRel)
+            >= version
+        {
+            return;
+        }
+        let payload = membership.delta_payload();
+        let mut bytes = Vec::new();
+        Frame::Membership {
+            sender: self.id,
+            payload: payload.into(),
+        }
+        .encode(&mut bytes);
+        self.send_unretained(&bytes);
+    }
+
     /// Spawn the reader thread for a freshly installed stream.
     fn spawn_reader(self: &Arc<Self>, peer: ServerId, stream: TcpStream, gen: u64) {
         let fabric = Arc::clone(self);
@@ -940,6 +1067,24 @@ impl Fabric {
                     lock(&self.links[peer as usize]).peer_done = true;
                     continue;
                 }
+                Frame::Membership { ref payload, .. } => {
+                    // Address-book gossip: merge and, if our book learned
+                    // something, push the news onward. Never forwarded to
+                    // the collector. A malformed payload is dropped — the
+                    // anti-entropy cadence re-converges the books.
+                    if let Some(membership) = &self.config.membership {
+                        if let Ok(msg) = MembershipMsg::decode(payload) {
+                            if membership
+                                .merge_msg(&msg)
+                                .map(|o| o.changed)
+                                .unwrap_or(false)
+                            {
+                                self.gossip_if_changed();
+                            }
+                        }
+                    }
+                    continue;
+                }
                 Frame::EndOfSuperstep { superstep, .. } => {
                     self.recv_cursor[peer as usize]
                         .fetch_max(superstep.saturating_add(1), Ordering::AcqRel);
@@ -991,24 +1136,33 @@ impl Fabric {
         }
     }
 
-    /// Dial-side recovery: reconnect with backoff until the deadline.
+    /// Dial-side recovery: reconnect until the deadline, pacing attempts
+    /// with deterministic seeded exponential backoff. Every attempt
+    /// re-consults the gossiped address book first — a replacement process
+    /// may have adopted the peer's id at a fresh address since the last try.
     fn redial_loop(self: &Arc<Self>, peer: ServerId, gen: u64) {
         let deadline = Instant::now() + self.config.reconnect_deadline;
+        let mut backoff = self.config.backoff_for(self.id, peer);
         loop {
             if self.stop.load(Ordering::Acquire) {
                 return;
             }
-            if Instant::now() >= deadline {
+            let now = Instant::now();
+            if now >= deadline {
                 self.give_up(peer, gen);
                 return;
             }
-            if let Ok(stream) = TcpStream::connect(self.peer_addrs[peer as usize]) {
+            let addr = self.config.peer_addr(peer, &self.peer_addrs);
+            if let Ok(stream) = TcpStream::connect(addr) {
                 match self.dial_link(peer, stream, false) {
                     Ok(()) | Err(InstallError::Fatal) => return,
                     Err(InstallError::Retry) => {}
                 }
             }
-            std::thread::sleep(self.config.retry_backoff);
+            let nap = backoff
+                .next_delay()
+                .min(deadline.saturating_duration_since(Instant::now()));
+            std::thread::sleep(nap);
         }
     }
 
@@ -1089,6 +1243,9 @@ impl Fabric {
                 // (idempotent: writes only where delivery lags).
                 self.send_ack(last_ack);
             }
+            // Same piggyback cadence as `acknowledge`: a book update learned
+            // during the linger still reaches peers waiting on a replacement.
+            self.gossip_if_changed();
             let replay_needed = lock(&self.replay).retained_supersteps() > 0;
             let owes_a_down_peer = (0..self.num_servers).filter(|&p| p != self.id).any(|p| {
                 let slot = lock(&self.links[p as usize]);
@@ -1273,6 +1430,31 @@ impl Fabric {
             return;
         }
         let _ = stream.set_nodelay(true);
+        // Membership dispatch first: a restarted process runs seed discovery
+        // before it can resume, and its `GHHM` exchanges land on this same
+        // listener. Serving one may teach us a replacement's fresh address —
+        // flood that to the survivors so their redial loops find it.
+        if let Some(membership) = &self.config.membership {
+            match crate::membership::peek_magic(&stream) {
+                Ok(magic) if magic == MEMBERSHIP_MAGIC => {
+                    let mut s = stream;
+                    if let Ok(outcome) = membership.serve_stream(&mut s) {
+                        if outcome.changed {
+                            self.gossip_if_changed();
+                        }
+                    }
+                    return;
+                }
+                Ok(_) => {}
+                Err(e) => {
+                    eprintln!(
+                        "server {}: dropping stray connection from {from}: {e}",
+                        self.id
+                    );
+                    return;
+                }
+            }
+        }
         let _ = stream.set_read_timeout(Some(HANDSHAKE_READ_CAP));
         let mut buf = [0u8; RESUME_HELLO_LEN];
         let mut s = stream;
@@ -1362,6 +1544,35 @@ impl BoundSocketPlane {
         timeout: Duration,
         config: ResilienceConfig,
     ) -> std::io::Result<ResilientSocketPlane> {
+        self.establish_resilient_inner(peer_addrs, timeout, config)
+    }
+
+    /// [`Self::establish_resilient`] against a seed-discovered address book:
+    /// installs the membership handle into the config (redials re-consult the
+    /// gossiped book; the accept loop answers `GHHM` exchanges from late
+    /// bootstrappers and replacement processes) and uses the learned peer
+    /// table. The view's early-stashed connections are dropped — they carry
+    /// `GHHR` dials whose owners retry against the accept loop this method
+    /// spawns immediately.
+    pub fn establish_resilient_discovered(
+        self,
+        view: crate::membership::MembershipView,
+        timeout: Duration,
+        mut config: ResilienceConfig,
+    ) -> std::io::Result<ResilientSocketPlane> {
+        let crate::membership::MembershipView {
+            handle, peer_addrs, ..
+        } = view;
+        config.membership = Some(handle);
+        self.establish_resilient_inner(&peer_addrs, timeout, config)
+    }
+
+    fn establish_resilient_inner(
+        self,
+        peer_addrs: &[SocketAddr],
+        timeout: Duration,
+        config: ResilienceConfig,
+    ) -> std::io::Result<ResilientSocketPlane> {
         let BoundSocketPlane {
             id,
             num_servers,
@@ -1381,6 +1592,10 @@ impl BoundSocketPlane {
             0
         };
         let resume_from = config.resume_from;
+        // Seed the gossip cursor at the current book version: the establish
+        // itself proves every peer holds a complete book, so there is
+        // nothing to push until the book moves again.
+        let initial_book_version = config.membership.as_ref().map_or(0, |m| m.version());
         let fabric = Arc::new(Fabric {
             id,
             num_servers,
@@ -1395,7 +1610,7 @@ impl BoundSocketPlane {
                     })
                 })
                 .collect(),
-            replay: Mutex::new(ReplayLog::new(num_servers, id)),
+            replay: Mutex::new(ReplayLog::resuming_from(num_servers, id, resume_from)),
             tx: Mutex::new(tx),
             recv_cursor: (0..num_servers)
                 .map(|_| AtomicU32::new(resume_from))
@@ -1410,6 +1625,7 @@ impl BoundSocketPlane {
             reconnects: registry.counter("fabric.reconnects"),
             replayed_frames: registry.counter("fabric.replayed_frames"),
             bytes_written: registry.counter("socket.bytes_written"),
+            last_gossip_version: AtomicU64::new(initial_book_version),
         });
 
         // The accept thread owns the listener for the plane's whole life, so
@@ -1497,6 +1713,32 @@ impl std::fmt::Debug for ResilientSocketPlane {
     }
 }
 
+impl ResilientSocketPlane {
+    /// Tear this endpoint down as a *crash* — the in-process analog of
+    /// `kill -9` for chaos tests. No goodbye is sent and no linger is
+    /// served, and every link is marked terminally gone *before* the
+    /// streams close, so this plane's own recovery machinery cannot
+    /// resurrect a connection in the gap between the cut and the teardown
+    /// (a resurrected link would turn the ensuing drop into a clean
+    /// goodbye exit, and peers would stop holding the door open for a
+    /// replacement). Peers observe exactly what a killed process leaves
+    /// behind: a FIN mid-run, then a dead listener.
+    pub fn crash(self) {
+        self.fabric.stop.store(true, Ordering::Release);
+        for peer in &self.peer_ids {
+            let mut slot = lock(&self.fabric.links[*peer as usize]);
+            if let LinkState::Up(writer) = &mut slot.state {
+                let _ = writer.flush();
+                let _ = writer.get_ref().shutdown(Shutdown::Both);
+            }
+            slot.state = LinkState::Gone;
+            slot.gen += 1; // supersede any in-flight recovery watcher
+        }
+        // The normal drop runs next with nothing left to say: every link
+        // is Gone, so it sends no goodbye and lingers for no straggler.
+    }
+}
+
 impl BroadcastPlane for ResilientSocketPlane {
     fn num_servers(&self) -> u32 {
         self.fabric.num_servers
@@ -1540,6 +1782,10 @@ impl BroadcastPlane for ResilientSocketPlane {
         // and `send_ack` records per-link delivery for the linger check.
         self.fabric.last_ack.store(superstep, Ordering::Release);
         self.fabric.send_ack(superstep);
+        // Anti-entropy piggyback on the ack cadence: one relaxed version
+        // load in the fault-free steady state, a delta flood only when the
+        // address book actually moved.
+        self.fabric.gossip_if_changed();
         Ok(())
     }
 
@@ -1757,14 +2003,12 @@ mod resilient_tests {
             ..ResilienceConfig::default()
         };
         let mut planes = establish_resilient_all(bound, &addrs, &config);
-        let mut p1 = planes.pop().unwrap();
+        let p1 = planes.pop().unwrap();
         let mut p0 = planes.pop().unwrap();
         let start = Instant::now();
-        // Simulate a crash, not a graceful exit: sever the link first so the
-        // drop's goodbye never reaches p0 (a killed process sends none), then
-        // tear the plane down.
-        p1.sever_peer(0);
-        drop(p1);
+        // Simulate a crash, not a graceful exit: no goodbye ever reaches p0
+        // (a killed process sends none) and no self-recovery runs.
+        p1.crash();
         p0.end_superstep(0).unwrap();
         assert_eq!(p0.collect(0), Err(PlaneError::Disconnected));
         assert!(
@@ -1815,5 +2059,156 @@ mod resilient_tests {
             p1.acknowledge(0).unwrap();
             p0.acknowledge(0).unwrap();
         }
+    }
+
+    /// A cluster bootstrapped from one seed address (no static peer table)
+    /// converges its address books and reaches the same all-to-all parity as
+    /// a statically configured one.
+    #[test]
+    fn seed_discovered_cluster_reaches_parity() {
+        let (bound, addrs) = bind_cluster(3);
+        let seed = addrs[0];
+        let planes: Vec<ResilientSocketPlane> = thread::scope(|scope| {
+            let handles: Vec<_> = bound
+                .into_iter()
+                .map(|b| {
+                    scope.spawn(move || {
+                        let view = b.discover(&[seed], Duration::from_secs(10)).unwrap();
+                        assert_eq!(view.incarnation, 0, "fresh bootstrap never bumps");
+                        b.establish_resilient_discovered(
+                            view,
+                            Duration::from_secs(10),
+                            ResilienceConfig::default(),
+                        )
+                        .unwrap()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let results: Vec<Vec<usize>> = thread::scope(|scope| {
+            let handles: Vec<_> = planes
+                .into_iter()
+                .map(|mut p| {
+                    scope.spawn(move || {
+                        let mut seen = Vec::new();
+                        for s in 0..4u32 {
+                            p.broadcast(s, &[p.server_id() as u8, s as u8]).unwrap();
+                            p.end_superstep(s).unwrap();
+                            let got = p.collect(s).unwrap();
+                            assert!(got.iter().all(|w| w.len() == 2 && w[1] == s as u8));
+                            p.acknowledge(s).unwrap();
+                            seen.push(got.len());
+                        }
+                        seen
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for seen in results {
+            assert_eq!(seen, vec![2, 2, 2, 2]);
+        }
+    }
+
+    /// The tentpole scenario at transport level: a peer is killed mid-run and
+    /// a replacement process with the same server id comes back **at a
+    /// different address**, found via seed discovery. The survivor's redial
+    /// loop re-consults the gossiped book, replays from the replacement's
+    /// checkpoint cursor, and the run finishes with exactly-once delivery.
+    #[test]
+    fn replacement_at_a_new_address_is_adopted_mid_run() {
+        let (bound, addrs) = bind_cluster(2);
+        let seed = addrs[0];
+        let survivor_config = ResilienceConfig {
+            reconnect_deadline: Duration::from_secs(10),
+            retry_backoff: Duration::from_millis(10),
+            ..ResilienceConfig::default()
+        };
+        // The victim gets a short deadline so its crash-simulating drop
+        // (sever first: a killed process sends no goodbye) lingers briefly.
+        let victim_config = ResilienceConfig {
+            reconnect_deadline: Duration::from_millis(300),
+            retry_backoff: Duration::from_millis(10),
+            ..ResilienceConfig::default()
+        };
+        let (p0, p1) = thread::scope(|scope| {
+            let mut iter = bound.into_iter();
+            let b0 = iter.next().unwrap();
+            let b1 = iter.next().unwrap();
+            let c0 = survivor_config.clone();
+            let c1 = victim_config.clone();
+            let h0 = scope.spawn(move || {
+                let view = b0.discover(&[seed], Duration::from_secs(10)).unwrap();
+                b0.establish_resilient_discovered(view, Duration::from_secs(10), c0)
+                    .unwrap()
+            });
+            let h1 = scope.spawn(move || {
+                let view = b1.discover(&[seed], Duration::from_secs(10)).unwrap();
+                b1.establish_resilient_discovered(view, Duration::from_secs(10), c1)
+                    .unwrap()
+            });
+            (h0.join().unwrap(), h1.join().unwrap())
+        });
+
+        const TOTAL: u32 = 6;
+        const CRASH_AT: u32 = 3; // victim completes supersteps 0..CRASH_AT
+                                 // Per-server progress (supersteps fully collected + acked), so the
+                                 // victim can crash only once the survivor has absorbed everything it
+                                 // broadcast pre-crash — the multiprocess driver guarantees the same
+                                 // by killing well after the victim's checkpoint lands. Crashing
+                                 // earlier can destroy in-flight frames the survivor still needs,
+                                 // which no replacement can replay (its log starts at the resume
+                                 // cursor): that is *correctly* terminal, but not this scenario.
+        let progress = [AtomicU32::new(0), AtomicU32::new(0)];
+        let run = |p: &mut ResilientSocketPlane, from: u32, to: u32| {
+            let id = p.server_id();
+            let peer = 1 - id;
+            for s in from..to {
+                p.broadcast(s, &[id as u8, s as u8]).unwrap();
+                p.end_superstep(s).unwrap();
+                let got = p.collect(s).unwrap();
+                assert_eq!(got.len(), 1, "server {id} superstep {s}");
+                assert_eq!(&got[0][..], &[peer as u8, s as u8]);
+                p.acknowledge(s).unwrap();
+                progress[id as usize].store(s + 1, Ordering::Release);
+            }
+        };
+        thread::scope(|scope| {
+            let h0 = scope.spawn(|| {
+                let mut p0 = p0;
+                run(&mut p0, 0, TOTAL);
+            });
+            let h1 = scope.spawn(|| {
+                let mut p1 = p1;
+                run(&mut p1, 0, CRASH_AT);
+                while progress[0].load(Ordering::Acquire) < CRASH_AT {
+                    thread::sleep(Duration::from_millis(1));
+                }
+                // Die like a killed process: no goodbye, no linger, no
+                // self-recovery — the survivor must hold the door open.
+                p1.crash();
+                // The replacement re-binds the same server id on a fresh
+                // OS-assigned port and finds the cluster through the seed.
+                let rb = SocketPlane::bind(1, 2, "127.0.0.1:0").unwrap();
+                assert_ne!(rb.local_addr().unwrap(), addrs[1]);
+                let view = rb.discover(&[seed], Duration::from_secs(10)).unwrap();
+                // The replacement runs to a clean goodbye, so it does not
+                // need the victim's short crash-linger deadline — and must
+                // not have it: if its dial and the survivor's book-guided
+                // redial cross, the duplicate-connection re-park plus
+                // backoff can outlast 300ms on a loaded machine.
+                let config = ResilienceConfig {
+                    resume_from: CRASH_AT,
+                    ..survivor_config.clone()
+                };
+                let mut p1 = rb
+                    .establish_resilient_discovered(view, Duration::from_secs(10), config)
+                    .unwrap();
+                run(&mut p1, CRASH_AT, TOTAL);
+            });
+            h0.join().unwrap();
+            h1.join().unwrap();
+        });
     }
 }

@@ -26,7 +26,7 @@ use graphh_graph::generators::{GraphGenerator, RmatGenerator};
 use graphh_obs::{SpanRecorder, Tracer};
 use graphh_partition::{Spe, SpeConfig};
 use graphh_runtime::frame::encode_message_into;
-use graphh_runtime::{BufferPool, Frame};
+use graphh_runtime::{BufferPool, Frame, MembershipHandle};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
 
@@ -181,6 +181,15 @@ fn steady_state_codec_and_frame_path_allocates_nothing_for_every_codec() {
         Some(Codec::Zlib3),
         Some(Codec::VarintDelta),
     ];
+    // A live membership handle, as every seed-discovered resilient fabric
+    // holds one: its per-iteration steady-state work — the gossip-cadence
+    // version check and the redial address lookup — rides the same hot loop
+    // and must stay allocation-free while the book is quiescent (the
+    // fault-free case). Built before any snapshot: counter registration and
+    // the book itself allocate once, at setup.
+    let membership = MembershipHandle::new(3, 4, "127.0.0.1:4750".parse().unwrap());
+    let mut last_book_version = membership.version();
+
     let pool = BufferPool::new();
     for compressor in compressors {
         let label = compressor.map_or("uncompressed", Codec::name);
@@ -221,6 +230,14 @@ fn steady_state_codec_and_frame_path_allocates_nothing_for_every_codec() {
 
         let before = local_allocations();
         for s in 1..64u32 {
+            // The resilient event loop's membership tick: one version load
+            // and compare (gossip only fires when the book moved), plus the
+            // book consultation a redial would perform. Neither may allocate.
+            let version = membership.version();
+            if version > last_book_version {
+                last_book_version = version;
+            }
+            std::hint::black_box(membership.peer_addr(s % 4));
             let merged = superstep(
                 &codec,
                 &messages,
